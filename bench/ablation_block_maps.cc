@@ -1,0 +1,83 @@
+// Ablation: static striping vs coordinator block maps (paper §3.1). Static
+// placement computes the storage site from (fileID, block) with zero state;
+// dynamic placement consults per-file block maps managed by the coordinator,
+// buying placement flexibility at the price of map-fetch round trips and
+// coordinator load. The paper offers both; this bench quantifies the toll.
+#include <cstdio>
+
+#include "src/slice/ensemble.h"
+#include "src/workload/seqio.h"
+
+namespace slice {
+namespace {
+
+struct RunResult {
+  double mb_per_sec;
+  uint64_t map_fetches;
+};
+
+RunResult RunStream(bool use_block_maps, bool reread) {
+  EventQueue queue;
+  EnsembleConfig config;
+  config.num_storage_nodes = 4;
+  config.num_small_file_servers = 0;
+  config.num_coordinators = 1;
+  config.use_block_maps = use_block_maps;
+  Ensemble ensemble(queue, config);
+  auto client = ensemble.MakeSyncClient(0);
+  CreateRes created = client->Create(ensemble.root(), "mapped").value();
+  SLICE_CHECK(created.status == Nfsstat3::kOk);
+
+  auto run_once = [&](bool write) {
+    SeqIoParams params;
+    params.file_bytes = 64 << 20;
+    params.write = write;
+    params.client_ns_per_byte = write ? 24.0 : 14.0;
+    bool done = false;
+    SeqIoProcess proc(ensemble.client_host(0), queue, ensemble.virtual_server(),
+                      *created.object, params, [&] { done = true; });
+    proc.Start();
+    queue.RunUntilIdle();
+    SLICE_CHECK(done);
+    SLICE_CHECK(proc.errors() == 0);
+    return proc.ThroughputMbPerSec();
+  };
+
+  double mbps = run_once(/*write=*/true);
+  if (reread) {
+    // Second pass reads with a warm µproxy map cache.
+    mbps = run_once(/*write=*/false);
+  }
+  return RunResult{mbps, ensemble.AggregateCounters().Get("map_fetches")};
+}
+
+void Run() {
+  std::printf("Ablation: static striping vs coordinator block maps (64MB stream, 4 nodes)\n\n");
+  std::printf("%-28s %12s %14s\n", "configuration", "MB/s", "map fetches");
+  const RunResult static_write = RunStream(false, false);
+  std::printf("%-28s %12.1f %14llu\n", "static striping, write", static_write.mb_per_sec,
+              static_cast<unsigned long long>(static_write.map_fetches));
+  const RunResult mapped_write = RunStream(true, false);
+  std::printf("%-28s %12.1f %14llu\n", "block maps, cold write", mapped_write.mb_per_sec,
+              static_cast<unsigned long long>(mapped_write.map_fetches));
+  const RunResult static_read = RunStream(false, true);
+  std::printf("%-28s %12.1f %14llu\n", "static striping, re-read", static_read.mb_per_sec,
+              static_cast<unsigned long long>(static_read.map_fetches));
+  const RunResult mapped_read = RunStream(true, true);
+  std::printf("%-28s %12.1f %14llu\n", "block maps, warm re-read", mapped_read.mb_per_sec,
+              static_cast<unsigned long long>(mapped_read.map_fetches));
+
+  std::printf(
+      "\nexpected shape: block maps cost a coordinator round trip per 64-block map\n"
+      "fragment on first touch (cold), then the µproxy's map cache amortizes it —\n"
+      "warm throughput approaches static striping. The paper keeps static\n"
+      "placement as the default and block maps as the flexible option (§3.1).\n");
+}
+
+}  // namespace
+}  // namespace slice
+
+int main() {
+  slice::Run();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation: the small-file threshold offset (paper §3.1 fixes it at 64KB).
+// Sweeps the threshold under the SFS-like mix: a tiny threshold pushes
+// small-file traffic onto the storage array (losing the small-file servers'
+// RAM and allocation policies); a huge threshold funnels bulk traffic
+// through the small-file servers (losing striping parallelism).
+#include <cstdio>
+
+#include "bench/sfs_harness.h"
+
+namespace slice {
+namespace {
+
+SfsPoint RunWithThreshold(uint32_t threshold, double offered) {
+  EventQueue queue;
+  EnsembleConfig config;
+  config.num_storage_nodes = 4;
+  config.num_small_file_servers = 2;
+  config.num_dir_servers = 1;
+  config.num_clients = 4;
+  config.threshold = threshold;
+  config.cal.storage_cache_mb = kSfsStorageCacheMb;
+  config.cal.sfs_cache_mb = kSfsSmallFileCacheMb;
+  config.storage_extra_meta_ios = kSfsMetaIos;
+  Ensemble ensemble(queue, config);
+  SfsParams params = ScaledSfsParams(offered);
+  SfsBenchmark bench(ensemble.client_host(0), queue, ensemble.virtual_server(),
+                     ensemble.root(), params);
+  SLICE_CHECK(bench.Setup().ok());
+  const SfsReport report = bench.Run();
+  return SfsPoint{offered, report.delivered_iops, report.mean_latency_ms};
+}
+
+void Run() {
+  std::printf("Ablation: small-file threshold offset (Slice-4, SFS-like mix)\n\n");
+  std::printf("%-12s %14s %14s %14s %14s\n", "threshold", "IOPS@3200", "lat ms", "IOPS@6400",
+              "lat ms");
+  for (uint32_t threshold : {8192u, 32768u, 65536u, 262144u}) {
+    const SfsPoint low = RunWithThreshold(threshold, 3200);
+    std::printf("%-12u %14.0f %14.1f", threshold, low.delivered, low.latency_ms);
+    std::fflush(stdout);
+    const SfsPoint high = RunWithThreshold(threshold, 6400);
+    std::printf(" %14.0f %14.1f\n", high.delivered, high.latency_ms);
+  }
+  std::printf(
+      "\nshape notes: differences are modest at this scale — with an 8KB I/O unit a\n"
+      "small threshold competes by striping I/O straight over four storage nodes,\n"
+      "at the price of losing the small-file servers' RAM and allocation policies\n"
+      "(visible as latency). The paper fixed 64KB to keep 94%% of files wholly\n"
+      "behind the small-file servers while bulk transfers bypass them.\n");
+}
+
+}  // namespace
+}  // namespace slice
+
+int main() {
+  slice::Run();
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Figure 3 reproduction: directory service scaling under the name-intensive
+// untar workload.
+//
+//   paper: average untar latency per client process vs number of processes.
+//   N-MFS (one FreeBSD MFS server) starts lowest but its CPU saturates
+//   quickly; Slice-1/2/4 start slightly higher (logging + µproxy overhead)
+//   and scale with more directory servers. mkdir switching (p = 1/N) and
+//   name hashing perform identically on this many-directory namespace.
+//
+// Scaled down from the paper's 36,000 creations per process (set
+// SLICE_BENCH_CREATIONS to override) — shape, not absolute seconds.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "src/baseline/baseline_server.h"
+#include "src/slice/ensemble.h"
+#include "src/workload/untar.h"
+
+namespace slice {
+namespace {
+
+int CreationsPerProcess() {
+  if (const char* env = std::getenv("SLICE_BENCH_CREATIONS"); env != nullptr) {
+    return std::atoi(env);
+  }
+  return 1200;
+}
+
+constexpr int kClientHosts = 5;  // the paper used five client PCs
+
+// Returns mean untar latency (ms) per process.
+template <typename MakeHost, typename GetServer, typename GetRoot>
+double RunUntarProcesses(EventQueue& queue, int num_processes, MakeHost&& host_for,
+                         GetServer&& server, GetRoot&& root) {
+  std::vector<std::unique_ptr<UntarProcess>> procs;
+  int finished = 0;
+  for (int p = 0; p < num_processes; ++p) {
+    UntarParams params;
+    params.total_creations = CreationsPerProcess();
+    params.top_name = "untar_p" + std::to_string(p);
+    procs.push_back(std::make_unique<UntarProcess>(host_for(p), queue, server(), root(),
+                                                   params, /*seed=*/100 + p,
+                                                   [&finished] { ++finished; }));
+  }
+  for (auto& proc : procs) {
+    proc->Start();
+  }
+  queue.RunUntilIdle();
+  SLICE_CHECK(finished == num_processes);
+
+  double total_ms = 0;
+  for (auto& proc : procs) {
+    SLICE_CHECK(proc->errors() == 0);
+    total_ms += ToMillis(proc->elapsed());
+  }
+  return total_ms / num_processes;
+}
+
+double RunSlice(int num_dir_servers, int num_processes, NamePolicy policy) {
+  EventQueue queue;
+  EnsembleConfig config;
+  config.num_dir_servers = static_cast<size_t>(num_dir_servers);
+  config.num_small_file_servers = 1;
+  config.num_storage_nodes = 2;
+  config.num_clients = kClientHosts;
+  config.name_policy = policy;
+  config.mkdir_redirect_probability = 1.0 / num_dir_servers;  // p = 1/N
+  Ensemble ensemble(queue, config);
+  return RunUntarProcesses(
+      queue, num_processes,
+      [&](int p) -> Host& { return ensemble.client_host(p % kClientHosts); },
+      [&] { return ensemble.virtual_server(); }, [&] { return ensemble.root(); });
+}
+
+double RunMfs(int num_processes) {
+  EventQueue queue;
+  Network net(queue, NetworkParams{});
+  BaselineServerParams params;
+  params.memory_backed = true;
+  BaselineServer server(net, queue, 0x0a000010, params);
+  std::vector<std::unique_ptr<Host>> hosts;
+  for (int i = 0; i < kClientHosts; ++i) {
+    hosts.push_back(std::make_unique<Host>(net, 0x0a000901 + static_cast<NetAddr>(i)));
+  }
+  return RunUntarProcesses(
+      queue, num_processes, [&](int p) -> Host& { return *hosts[p % kClientHosts]; },
+      [&] { return server.endpoint(); }, [&] { return server.RootHandle(); });
+}
+
+void RunFig3() {
+  std::printf("Figure 3: directory service scaling — mean untar latency (ms) per process\n");
+  std::printf("(%d creations/process, ~7 NFS ops per file create)\n\n",
+              CreationsPerProcess());
+  const int process_counts[] = {1, 2, 4, 8, 16};
+
+  std::printf("%-10s", "procs");
+  for (int procs : process_counts) {
+    std::printf("%10d", procs);
+  }
+  std::printf("\n");
+
+  auto print_line = [&](const char* name, auto&& runner) {
+    std::printf("%-10s", name);
+    for (int procs : process_counts) {
+      std::printf("%10.0f", runner(procs));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  };
+
+  print_line("N-MFS", [&](int procs) { return RunMfs(procs); });
+  print_line("Slice-1",
+             [&](int procs) { return RunSlice(1, procs, NamePolicy::kMkdirSwitching); });
+  print_line("Slice-2",
+             [&](int procs) { return RunSlice(2, procs, NamePolicy::kMkdirSwitching); });
+  print_line("Slice-4",
+             [&](int procs) { return RunSlice(4, procs, NamePolicy::kMkdirSwitching); });
+  print_line("Slice-4h",
+             [&](int procs) { return RunSlice(4, procs, NamePolicy::kNameHashing); });
+
+  std::printf(
+      "\nshape checks (paper): N-MFS lowest at 1 process but grows steeply as its\n"
+      "CPU saturates; Slice-N lines scale with N; mkdir switching (Slice-4) and\n"
+      "name hashing (Slice-4h) perform identically on this namespace.\n");
+}
+
+}  // namespace
+}  // namespace slice
+
+int main() {
+  slice::RunFig3();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 5 reproduction: SPECsfs97-style delivered throughput vs offered
+// load, for the single-server NFS baseline and Slice with N storage nodes.
+//
+//   paper: the FreeBSD NFS baseline saturates at 850 IOPS; Slice-1 beats it
+//   (faster directory ops, extra small-file caches on the same number of
+//   disk arms); throughput scales with storage nodes up to ~6600 IOPS for
+//   Slice-8 (64 disks). All Slice configurations serve ONE unified volume.
+//
+// Scaled-down substitute workload (see DESIGN.md): check the shape — who
+// wins, roughly linear scaling with storage nodes, saturation plateaus.
+#include <cstdio>
+
+#include "bench/sfs_harness.h"
+
+namespace slice {
+namespace {
+
+void RunFig5() {
+  std::printf("Figure 5: SFS97-like delivered throughput (IOPS) vs offered load\n\n");
+  const double offered_loads[] = {400, 800, 1600, 3200, 6400, 9600, 12800};
+
+  std::printf("%-10s", "offered");
+  for (double offered : offered_loads) {
+    std::printf("%8.0f", offered);
+  }
+  std::printf("%12s\n", "sat(<40ms)");
+
+  // SPECsfs disqualifies runs whose mean latency exceeds the response-time
+  // bound (40ms in SFS97); delivered IOPS past that point is metadata-only
+  // throughput with unusable I/O latency.
+  constexpr double kLatencyBoundMs = 40.0;
+  auto run_line = [&](const char* name, auto&& runner) {
+    std::printf("%-10s", name);
+    double best = 0;
+    for (double offered : offered_loads) {
+      const SfsPoint point = runner(offered);
+      if (point.latency_ms <= kLatencyBoundMs) {
+        best = std::max(best, point.delivered);
+      }
+      std::printf("%8.0f", point.delivered);
+      std::fflush(stdout);
+    }
+    std::printf("%12.0f\n", best);
+    return best;
+  };
+
+  const double base = run_line("NFS", [](double o) { return RunBaselinePoint(o); });
+  const double s1 = run_line("Slice-1", [](double o) { return RunSlicePoint(1, o); });
+  const double s2 = run_line("Slice-2", [](double o) { return RunSlicePoint(2, o); });
+  const double s4 = run_line("Slice-4", [](double o) { return RunSlicePoint(4, o); });
+  const double s8 = run_line("Slice-8", [](double o) { return RunSlicePoint(8, o); });
+
+  std::printf("\nsaturation ratios vs baseline (paper: Slice-8/NFS = 6600/850 = 7.8x):\n");
+  std::printf("  Slice-1 %.1fx  Slice-2 %.1fx  Slice-4 %.1fx  Slice-8 %.1fx\n", s1 / base,
+              s2 / base, s4 / base, s8 / base);
+  std::printf(
+      "shape checks: Slice-1 > NFS baseline; saturation grows with storage nodes;\n"
+      "all Slice lines serve a single unified volume (no volume partitioning).\n");
+}
+
+}  // namespace
+}  // namespace slice
+
+int main() {
+  slice::RunFig5();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 6 reproduction: SPECsfs97-style mean latency vs delivered
+// throughput.
+//
+//   paper: latency stays low until saturation, with visible jumps where the
+//   ensemble's small-file-server cache (1GB across two servers) overflows as
+//   the self-scaling file set grows; the EMC Celerra 506 comparison point
+//   had lower latency in the nearest-equivalent configuration, but Slice
+//   kept scaling by adding nodes.
+//
+// We sweep offered load (the file set grows with it, like SPECsfs) and print
+// (delivered IOPS, mean ms) series for the baseline and Slice-N.
+#include <cstdio>
+
+#include "bench/sfs_harness.h"
+
+namespace slice {
+namespace {
+
+void RunFig6() {
+  std::printf("Figure 6: SFS97-like mean latency (ms) vs delivered throughput (IOPS)\n\n");
+  const double offered_loads[] = {400, 800, 1600, 3200, 6400, 9600, 12800};
+
+  auto run_line = [&](const char* name, auto&& runner) {
+    std::printf("%-10s", name);
+    for (double offered : offered_loads) {
+      const SfsPoint point = runner(offered);
+      std::printf("  (%5.0f, %5.1fms)", point.delivered, point.latency_ms);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  };
+
+  std::printf("%-10s  (delivered IOPS, mean latency) per offered point %s\n", "line",
+              "[400..9600]");
+  run_line("NFS", [](double o) { return RunBaselinePoint(o); });
+  run_line("Slice-1", [](double o) { return RunSlicePoint(1, o); });
+  run_line("Slice-2", [](double o) { return RunSlicePoint(2, o); });
+  run_line("Slice-4", [](double o) { return RunSlicePoint(4, o); });
+  run_line("Slice-8", [](double o) { return RunSlicePoint(8, o); });
+
+  std::printf(
+      "\nshape checks (paper): latency low and flat until each line approaches its\n"
+      "saturation point, then climbs steeply; latency jumps appear as the growing\n"
+      "file set overflows the small-file-server caches; larger Slice\n"
+      "configurations sustain acceptable latency to higher IOPS.\n");
+}
+
+}  // namespace
+}  // namespace slice
+
+int main() {
+  slice::RunFig6();
+  return 0;
+}

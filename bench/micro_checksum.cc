@@ -1,0 +1,52 @@
+// Micro-benchmark: incremental checksum adjustment (RFC 1624, the paper's
+// NAT-derived technique, §4.1) vs full recomputation, for the µproxy's
+// address/port rewriting. The paper's claim: incremental cost is
+// proportional to the bytes modified, independent of packet size.
+#include <benchmark/benchmark.h>
+
+#include "src/net/packet.h"
+#include "src/rpc/rpc_message.h"
+
+namespace slice {
+namespace {
+
+Packet PacketOfSize(size_t payload) {
+  Bytes data(payload, 0x42);
+  return Packet::MakeUdp(Endpoint{0x0a000901, 800}, Endpoint{0x0a000064, 2049}, data);
+}
+
+void BM_IncrementalRewrite(benchmark::State& state) {
+  Packet pkt = PacketOfSize(static_cast<size_t>(state.range(0)));
+  uint32_t flip = 0;
+  for (auto _ : state) {
+    pkt.RewriteDst(Endpoint{0x0a000100 + (flip++ & 1), 2049});
+    benchmark::DoNotOptimize(pkt.udp_checksum());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IncrementalRewrite)->Arg(128)->Arg(1024)->Arg(8192)->Arg(32768);
+
+void BM_FullRecompute(benchmark::State& state) {
+  Packet pkt = PacketOfSize(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    pkt.RecomputeChecksums();
+    benchmark::DoNotOptimize(pkt.udp_checksum());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullRecompute)->Arg(128)->Arg(1024)->Arg(8192)->Arg(32768);
+
+}  // namespace
+}  // namespace slice
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf(
+      "\nexpected shape: incremental rewrite time is flat across packet sizes;\n"
+      "full recomputation grows linearly with the packet (the paper's rationale\n"
+      "for NAT-style differential checksums in the µproxy, §4.1).\n");
+  return 0;
+}

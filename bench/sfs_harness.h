@@ -1,0 +1,96 @@
+// Shared harness for the SPECsfs-style benches (Figures 5 and 6): runs the
+// SFS-like mix against a Slice ensemble with N storage nodes or against the
+// single-server NFS baseline, with a self-scaling file set (bigger offered
+// load -> bigger file set, like SPECsfs), and returns (delivered IOPS, mean
+// latency) per offered-load point.
+#ifndef SLICE_BENCH_SFS_HARNESS_H_
+#define SLICE_BENCH_SFS_HARNESS_H_
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "src/baseline/baseline_server.h"
+#include "src/slice/ensemble.h"
+#include "src/workload/sfs_gen.h"
+
+namespace slice {
+
+inline double BenchScale() {
+  if (const char* env = std::getenv("SLICE_BENCH_SFS_SCALE"); env != nullptr) {
+    return std::atof(env);
+  }
+  return 1.0;
+}
+
+inline SfsParams ScaledSfsParams(double offered) {
+  SfsParams params;
+  params.offered_ops_per_sec = offered;
+  // SPECsfs grows the file set with offered load (10MB per op/s on the real
+  // suite); we grow file count with load so cache pressure rises too.
+  params.num_files = static_cast<size_t>(std::max(120.0, offered / 4.0 * BenchScale()));
+  params.num_dirs = 16;
+  // SPECsfs adds generator processes with offered load; without this the
+  // outstanding-request cap, not the server, would bound delivered IOPS.
+  params.num_processes = static_cast<size_t>(std::max(8.0, offered / 100.0));
+  params.warmup = FromMillis(800);
+  params.duration = FromSeconds(4);
+  return params;
+}
+
+// Calibration shared by both systems: small caches relative to the scaled
+// file set, and FFS-like metadata amplification so disk arms bound
+// saturation as in the paper.
+constexpr double kSfsMetaIos = 3.0;
+constexpr double kSfsStorageCacheMb = 3.0;
+constexpr double kSfsSmallFileCacheMb = 6.0;  // x2 servers = the "1GB" equivalent
+// The baseline server is the same Dell 4400 as one storage node — same RAM.
+// Slice's extra file-manager machines bring extra cache; that asymmetry is
+// the architecture's point, not an unfair handicap.
+constexpr double kSfsBaselineCacheMb = 3.0;
+
+struct SfsPoint {
+  double offered = 0;
+  double delivered = 0;
+  double latency_ms = 0;
+};
+
+inline SfsPoint RunSlicePoint(size_t storage_nodes, double offered) {
+  EventQueue queue;
+  EnsembleConfig config;
+  config.num_storage_nodes = storage_nodes;
+  config.num_small_file_servers = 2;
+  config.num_dir_servers = 1;
+  config.num_clients = 4;
+  config.cal.storage_cache_mb = kSfsStorageCacheMb;
+  config.cal.sfs_cache_mb = kSfsSmallFileCacheMb;
+  config.storage_extra_meta_ios = kSfsMetaIos;
+  Ensemble ensemble(queue, config);
+  SfsParams params = ScaledSfsParams(offered);
+  SfsBenchmark bench(ensemble.client_host(0), queue, ensemble.virtual_server(),
+                     ensemble.root(), params);
+  SLICE_CHECK(bench.Setup().ok());
+  const SfsReport report = bench.Run();
+  return SfsPoint{offered, report.delivered_iops, report.mean_latency_ms};
+}
+
+inline SfsPoint RunBaselinePoint(double offered) {
+  EventQueue queue;
+  Network net(queue, NetworkParams{});
+  BaselineServerParams server_params;
+  server_params.memory_backed = false;
+  server_params.cache_bytes = static_cast<uint64_t>(kSfsBaselineCacheMb * (1 << 20));
+  server_params.extra_meta_ios = kSfsMetaIos;
+  BaselineServer server(net, queue, 0x0a000010, server_params);
+  Host client_host(net, 0x0a000901);
+
+  SfsParams params = ScaledSfsParams(offered);
+  SfsBenchmark bench(client_host, queue, server.endpoint(), server.RootHandle(), params);
+  SLICE_CHECK(bench.Setup().ok());
+  const SfsReport report = bench.Run();
+  return SfsPoint{offered, report.delivered_iops, report.mean_latency_ms};
+}
+
+}  // namespace slice
+
+#endif  // SLICE_BENCH_SFS_HARNESS_H_

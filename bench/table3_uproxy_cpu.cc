@@ -1,0 +1,192 @@
+// Table 3 reproduction: µproxy CPU cost per packet, by stage.
+//
+//   paper (500 MHz Alpha, 6250 packets/s): interception 0.7%, packet decode
+//   4.1%, redirection/rewriting 0.5%, soft-state logic 0.8% — 6.1% total,
+//   with decode dominating because of the variable-length ONC RPC header.
+//
+// We measure the same stages of *this* µproxy implementation with
+// google-benchmark on real packets from the untar op mix, and report each
+// stage's ns/packet plus its share of total µproxy CPU and the equivalent
+// %CPU at the paper's 6250 packets/s operating point.
+#include <benchmark/benchmark.h>
+
+#include "src/core/request_decode.h"
+#include "src/core/routing_table.h"
+#include "src/dir/dir_server.h"
+#include "src/net/packet.h"
+#include "src/nfs/nfs_xdr.h"
+#include "src/rpc/rpc_message.h"
+
+namespace slice {
+namespace {
+
+constexpr uint64_t kSecret = 0x51ce;
+
+// Builds the seven-packet untar request mix: lookup, access, create,
+// getattr, lookup, setattr, setattr (paper §5).
+std::vector<Packet> UntarPacketMix() {
+  const FileHandle dir = FileHandle::Make(1, MakeFileid(0, 5), 1, FileType3::kDir, 1, kSecret);
+  const FileHandle file = FileHandle::Make(1, MakeFileid(0, 6), 1, FileType3::kReg, 1, kSecret);
+  const Endpoint client{0x0a000901, 800};
+  const Endpoint server{0x0a000064, 2049};
+
+  auto make = [&](NfsProc proc, const std::function<void(XdrEncoder&)>& encode_args) {
+    RpcCall call;
+    call.xid = 1000 + static_cast<uint32_t>(proc);
+    call.prog = kNfsProgram;
+    call.vers = kNfsVersion;
+    call.proc = static_cast<uint32_t>(proc);
+    call.cred.machine_name = "bench-client-host";  // realistic variable length
+    call.cred.gids = {0, 5, 20};
+    XdrEncoder enc;
+    encode_args(enc);
+    call.args = enc.Take();
+    return Packet::MakeUdp(client, server, call.Encode());
+  };
+
+  std::vector<Packet> mix;
+  mix.push_back(make(NfsProc::kLookup,
+                     [&](XdrEncoder& e) { DirOpArgs{dir, "newfile.c"}.Encode(e); }));
+  mix.push_back(make(NfsProc::kAccess, [&](XdrEncoder& e) { AccessArgs{dir, 0x3f}.Encode(e); }));
+  mix.push_back(make(NfsProc::kCreate, [&](XdrEncoder& e) {
+    CreateArgs args;
+    args.dir = dir;
+    args.name = "newfile.c";
+    args.Encode(e);
+  }));
+  mix.push_back(make(NfsProc::kGetattr, [&](XdrEncoder& e) { GetattrArgs{file}.Encode(e); }));
+  mix.push_back(make(NfsProc::kLookup,
+                     [&](XdrEncoder& e) { DirOpArgs{dir, "newfile.c"}.Encode(e); }));
+  mix.push_back(make(NfsProc::kSetattr, [&](XdrEncoder& e) {
+    SetattrArgs args;
+    args.object = file;
+    args.new_attributes.mode = 0644;
+    args.Encode(e);
+  }));
+  mix.push_back(make(NfsProc::kSetattr, [&](XdrEncoder& e) {
+    SetattrArgs args;
+    args.object = file;
+    args.new_attributes.mtime = NfsTime{1, 0};
+    args.Encode(e);
+  }));
+  return mix;
+}
+
+// Stage 1: packet interception — recognizing an intercepted UDP packet and
+// locating the RPC payload (header sanity checks, address match).
+void BM_Stage1_Interception(benchmark::State& state) {
+  const std::vector<Packet> mix = UntarPacketMix();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Packet& pkt = mix[i++ % mix.size()];
+    bool ours = pkt.IsValidUdp() && pkt.dst_port() == 2049 && pkt.dst_addr() == 0x0a000064;
+    benchmark::DoNotOptimize(ours);
+    ByteSpan payload = pkt.payload();
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Stage1_Interception);
+
+// Stage 2: packet decode — the ONC RPC header walk (variable-length
+// credential) plus extraction of the routed NFS fields.
+void BM_Stage2_Decode(benchmark::State& state) {
+  const std::vector<Packet> mix = UntarPacketMix();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Packet& pkt = mix[i++ % mix.size()];
+    DecodedRequest req;
+    Status st = DecodeNfsRequest(pkt.payload(), &req);
+    benchmark::DoNotOptimize(st);
+    benchmark::DoNotOptimize(req.fh);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Stage2_Decode);
+
+// Stage 3: redirection/rewriting — route selection + destination rewrite
+// with incremental checksum adjustment.
+void BM_Stage3_RedirectRewrite(benchmark::State& state) {
+  std::vector<Packet> mix = UntarPacketMix();
+  std::vector<DecodedRequest> reqs(mix.size());
+  for (size_t i = 0; i < mix.size(); ++i) {
+    SLICE_CHECK(DecodeNfsRequest(mix[i].payload(), &reqs[i]).ok());
+  }
+  RoutingTable table(64, {{0x0a000100, 2049}, {0x0a000101, 2049}, {0x0a000102, 2049}});
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t idx = i++ % mix.size();
+    const Endpoint target = table.ByPhysical(SiteOfFileid(reqs[idx].fh.fileid()));
+    mix[idx].RewriteDst(target);
+    benchmark::DoNotOptimize(mix[idx].ip_checksum());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Stage3_RedirectRewrite);
+
+// Stage 4: soft-state logic — pending-record insert/erase and response
+// pairing bookkeeping.
+void BM_Stage4_SoftState(benchmark::State& state) {
+  const std::vector<Packet> mix = UntarPacketMix();
+  std::vector<DecodedRequest> reqs(mix.size());
+  for (size_t i = 0; i < mix.size(); ++i) {
+    SLICE_CHECK(DecodeNfsRequest(mix[i].payload(), &reqs[i]).ok());
+  }
+  struct Pending {
+    NfsProc proc;
+    FileHandle fh;
+    uint64_t offset;
+    uint32_t count;
+  };
+  std::unordered_map<uint64_t, Pending> pending;
+  size_t i = 0;
+  uint32_t xid = 0;
+  for (auto _ : state) {
+    const DecodedRequest& req = reqs[i++ % mix.size()];
+    const uint64_t key = (static_cast<uint64_t>(800) << 32) | xid++;
+    pending.emplace(key, Pending{req.proc, req.fh, req.offset, req.count});
+    auto it = pending.find(key);  // response pairing
+    benchmark::DoNotOptimize(it->second.proc);
+    pending.erase(it);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Stage4_SoftState);
+
+// Whole-packet request path: all four stages end to end.
+void BM_Total_RequestPath(benchmark::State& state) {
+  std::vector<Packet> mix = UntarPacketMix();
+  RoutingTable table(64, {{0x0a000100, 2049}, {0x0a000101, 2049}, {0x0a000102, 2049}});
+  std::unordered_map<uint64_t, NfsProc> pending;
+  size_t i = 0;
+  uint32_t xid = 0;
+  for (auto _ : state) {
+    Packet& pkt = mix[i++ % mix.size()];
+    bool ours = pkt.IsValidUdp() && pkt.dst_port() == 2049;
+    benchmark::DoNotOptimize(ours);
+    DecodedRequest req;
+    if (DecodeNfsRequest(pkt.payload(), &req).ok()) {
+      const Endpoint target = table.ByPhysical(SiteOfFileid(req.fh.fileid()));
+      pkt.RewriteDst(target);
+      const uint64_t key = (static_cast<uint64_t>(800) << 32) | xid++;
+      pending.emplace(key, req.proc);
+      pending.erase(key);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Total_RequestPath);
+
+}  // namespace
+}  // namespace slice
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf(
+      "\nTable 3 comparison (paper, 500MHz CPU @ 6250 pkt/s): interception 0.7%%,\n"
+      "decode 4.1%%, redirect/rewrite 0.5%%, soft state 0.8%%. To compare shape,\n"
+      "multiply each stage's ns/packet by 6250/s: %%CPU = ns * 6250 / 1e9 * 100.\n"
+      "The decode stage should dominate, as the paper found.\n");
+  return 0;
+}

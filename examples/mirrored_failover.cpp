@@ -1,0 +1,87 @@
+// Mirrored striping and failover: per-file mirroring (paper §3.1) lets a
+// file survive the loss of a storage node; the µproxy fans writes to every
+// replica and alternates reads between them.
+//
+//   $ ./mirrored_failover
+#include <cstdio>
+
+#include "src/slice/ensemble.h"
+
+using namespace slice;
+
+int main() {
+  EventQueue queue;
+  EnsembleConfig config;
+  config.num_storage_nodes = 4;
+  config.num_small_file_servers = 0;  // keep every byte on the mirrored bulk path
+  config.default_replication = 2;     // per-file policy: new files are 2-way mirrored
+  Ensemble ensemble(queue, config);
+  auto client = ensemble.MakeSyncClient(0);
+
+  CreateRes created = client->Create(ensemble.root(), "precious.db").value();
+  SLICE_CHECK(created.status == Nfsstat3::kOk);
+  const FileHandle fh = *created.object;
+  std::printf("created precious.db with replication degree %d (from its file handle)\n",
+              fh.replication());
+
+  // Write 8 x 32KB blocks; the µproxy absorbs each write and fans it out to
+  // both replicas of each stripe.
+  Bytes block(32768);
+  for (int b = 0; b < 8; ++b) {
+    for (size_t i = 0; i < block.size(); ++i) {
+      block[i] = static_cast<uint8_t>(b * 31 + i);
+    }
+    WriteRes res =
+        client->Write(fh, static_cast<uint64_t>(b) * 32768, block, StableHow::kFileSync)
+            .value();
+    SLICE_CHECK(res.status == Nfsstat3::kOk);
+  }
+  std::printf("wrote 256KB; µproxy counters: %s\n\n",
+              ensemble.AggregateCounters().ToString().c_str());
+
+  // Show which nodes hold each block's replicas, then kill one node.
+  const Uproxy& proxy = ensemble.uproxy(0);
+  std::printf("stripe map (block -> replica nodes): ");
+  for (uint64_t b = 0; b < 4; ++b) {
+    std::printf("%llu->(%u,%u) ", static_cast<unsigned long long>(b),
+                ensemble.uproxy(0).StripeSite(fh, b * 32768, 0),
+                ensemble.uproxy(0).StripeSite(fh, b * 32768, 1));
+  }
+  (void)proxy;
+  const uint32_t victim = ensemble.uproxy(0).StripeSite(fh, 0, 0);
+  std::printf("\n\nfailing storage node %u (primary replica of block 0)...\n", victim);
+  ensemble.storage_node(victim).Fail();
+
+  // Reads that would hit the dead node still succeed from the mirrors: the
+  // surviving replica of every block serves a direct read.
+  size_t recovered = 0;
+  for (uint64_t b = 0; b < 8; ++b) {
+    for (uint32_t replica = 0; replica < 2; ++replica) {
+      const uint32_t node = ensemble.uproxy(0).StripeSite(fh, b * 32768, replica);
+      if (node == victim) {
+        continue;
+      }
+      SyncNfsClient direct(ensemble.client_host(0), queue,
+                           ensemble.storage_node(node).endpoint());
+      ReadRes res = direct.Read(fh, b * 32768, 32768).value();
+      if (res.status == Nfsstat3::kOk && res.count == 32768) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  std::printf("recovered %zu of 8 blocks from surviving replicas\n", recovered);
+  SLICE_CHECK(recovered == 8);
+
+  // Bring the node back; the ensemble is whole again (uncommitted data on
+  // the failed node would have been re-sent by clients per NFSv3 commit
+  // semantics — here everything was FILE_SYNC).
+  ensemble.storage_node(victim).Restart();
+  ReadRes healed = client->Read(fh, 0, 32768).value();
+  SLICE_CHECK(healed.status == Nfsstat3::kOk);
+  std::printf("node %u restarted; reads through the µproxy work again (%u bytes)\n", victim,
+              healed.count);
+  std::printf("\nmirroring \"is simple and reliable ... and allows load-balanced reads\"\n"
+              "at the cost of double write traffic (paper §3.1, Table 2).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Quickstart: assemble a Slice ensemble, mount its single virtual NFS
+// volume through the interposed µproxy, and watch the request routing do
+// its job.
+//
+//   $ ./quickstart
+//
+// Everything runs on the in-process simulated network — no privileges or
+// real sockets needed. The same API (Ensemble + VolumeClient / NfsClient)
+// is what the tests and benchmark harnesses build on.
+#include <cstdio>
+
+#include "src/slice/ensemble.h"
+#include "src/slice/volume_client.h"
+
+using namespace slice;
+
+int main() {
+  // 1. Build the ensemble: 2 directory servers, 2 small-file servers,
+  //    4 storage nodes, 1 coordinator — one unified volume.
+  EventQueue queue;
+  EnsembleConfig config;
+  config.num_dir_servers = 2;
+  config.num_small_file_servers = 2;
+  config.num_storage_nodes = 4;
+  config.num_coordinators = 1;
+  Ensemble ensemble(queue, config);
+
+  std::printf("mounted virtual server %s (one volume, %zu servers behind it)\n\n",
+              EndpointToString(ensemble.virtual_server()).c_str(),
+              config.num_dir_servers + config.num_small_file_servers +
+                  config.num_storage_nodes + config.num_coordinators);
+
+  // 2. Use the volume through a path-style client.
+  VolumeClient volume(ensemble.client_host(0), queue, ensemble.virtual_server(),
+                      ensemble.root());
+
+  SLICE_CHECK(volume.MkdirAll("/projects/slice").ok());
+
+  // A small file: routed to a small-file server.
+  Bytes note(2000, 'n');
+  SLICE_CHECK(volume.WriteFile("/projects/slice/NOTES.md", note).ok());
+
+  // A large file: blocks beyond the 64KB threshold stripe over the storage
+  // nodes.
+  Bytes big(1 << 20);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<uint8_t>(i * 7);
+  }
+  SLICE_CHECK(volume.WriteFile("/projects/slice/dataset.bin", big).ok());
+
+  // 3. Read everything back through the same virtual endpoint.
+  Bytes note_back = volume.ReadFile("/projects/slice/NOTES.md").value();
+  Bytes big_back = volume.ReadFile("/projects/slice/dataset.bin").value();
+  SLICE_CHECK(note_back == note);
+  SLICE_CHECK(big_back == big);
+  std::printf("wrote + read back a 2KB file and a 1MB file through one mount\n");
+
+  Fattr3 attr = volume.Stat("/projects/slice/dataset.bin").value();
+  std::printf("stat dataset.bin: size=%llu (attributes patched fresh by the µproxy)\n\n",
+              static_cast<unsigned long long>(attr.size));
+
+  // 4. Where did the requests actually go?
+  std::printf("µproxy routing counters: %s\n\n",
+              ensemble.AggregateCounters().ToString().c_str());
+  size_t nodes_with_data = 0;
+  for (size_t i = 0; i < ensemble.num_storage_nodes(); ++i) {
+    if (ensemble.storage_node(i).store().object_count() > 0) {
+      ++nodes_with_data;
+    }
+  }
+  std::printf("storage nodes holding stripes of dataset.bin: %zu of %zu\n", nodes_with_data,
+              ensemble.num_storage_nodes());
+  std::printf("small-file servers holding NOTES.md: ");
+  for (size_t i = 0; i < ensemble.num_small_file_servers(); ++i) {
+    if (ensemble.small_file_server(i).file_count() > 0) {
+      std::printf("sfs%zu ", i);
+    }
+  }
+  std::printf("\n\ndone — %llu simulated ms elapsed\n",
+              static_cast<unsigned long long>(queue.now() / kNanosPerMilli));
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Recovery tour: the three recovery mechanisms of the Slice architecture,
+// exercised end to end.
+//
+//   1. Dataless directory servers — crash one, replay its write-ahead log
+//      from the storage array (paper §2.3).
+//   2. Small-file server recovery — map records from its WAL, data refetched
+//      from backing objects on demand (paper §4.4).
+//   3. Coordinator intention logging — a µproxy dies mid-remove; the
+//      coordinator's probe finishes the multi-site operation (paper §3.3.2).
+//
+//   $ ./recovery_tour
+#include <cstdio>
+
+#include "src/coord/coord_proto.h"
+#include "src/slice/ensemble.h"
+
+using namespace slice;
+
+int main() {
+  EventQueue queue;
+  EnsembleConfig config;
+  config.num_dir_servers = 2;
+  config.num_small_file_servers = 2;
+  config.num_storage_nodes = 4;
+  config.num_coordinators = 1;
+  Ensemble ensemble(queue, config);
+  auto client = ensemble.MakeSyncClient(0);
+  const FileHandle root = ensemble.root();
+
+  // --- 1. directory server crash + WAL replay ---
+  std::printf("1) directory server crash/recovery\n");
+  for (int i = 0; i < 20; ++i) {
+    SLICE_CHECK(client->Create(root, "file" + std::to_string(i)).value().status ==
+                Nfsstat3::kOk);
+  }
+  ensemble.dir_server(0).FlushLog();
+  queue.RunUntilIdle();
+  std::printf("   created 20 files; dir server 0 logged %llu bytes to the storage array\n",
+              static_cast<unsigned long long>(ensemble.dir_server(0).log_bytes()));
+
+  ensemble.dir_server(0).Fail();
+  ensemble.dir_server(0).Restart();
+  queue.RunUntilIdle();  // replay runs over real RPC reads
+  LookupRes found = client->Lookup(root, "file7").value();
+  SLICE_CHECK(found.status == Nfsstat3::kOk);
+  std::printf("   crashed + restarted: %zu entries rebuilt by log replay, lookup works\n\n",
+              ensemble.dir_server(0).store().entry_count());
+
+  // --- 2. small-file server crash: dataless by construction ---
+  std::printf("2) small-file server crash/recovery (dataless managers)\n");
+  CreateRes small = client->Create(root, "small.dat").value();
+  Bytes payload(5000, 0x5a);
+  SLICE_CHECK(client->Write(*small.object, 0, payload, StableHow::kUnstable).value().status ==
+              Nfsstat3::kOk);
+  SLICE_CHECK(client->Commit(*small.object).value().status == Nfsstat3::kOk);
+  queue.RunUntilIdle();
+
+  for (size_t i = 0; i < ensemble.num_small_file_servers(); ++i) {
+    ensemble.small_file_server(i).FlushDirtyForTest();
+  }
+  queue.RunUntilIdle();
+  for (size_t i = 0; i < ensemble.num_small_file_servers(); ++i) {
+    ensemble.small_file_server(i).Fail();
+    ensemble.small_file_server(i).Restart();
+  }
+  queue.RunUntilIdle();
+  ReadRes back = client->Read(*small.object, 0, 5000).value();
+  SLICE_CHECK(back.status == Nfsstat3::kOk && back.data == payload);
+  uint64_t fetches = 0;
+  for (size_t i = 0; i < ensemble.num_small_file_servers(); ++i) {
+    fetches += ensemble.small_file_server(i).backing_fetches();
+  }
+  std::printf("   both small-file servers crashed; map records replayed from WAL and\n");
+  std::printf("   data refetched from the storage array (%llu backing fetches) -- RAM\n",
+              static_cast<unsigned long long>(fetches));
+  std::printf("   held nothing the system could not rebuild\n\n");
+
+  // --- 3. coordinator finishes an orphaned multi-site operation ---
+  std::printf("3) coordinator intention log vs. a dying µproxy\n");
+  CreateRes doomed = client->Create(root, "doomed.dat").value();
+  SLICE_CHECK(client
+                  ->Write(*doomed.object, 1 << 20, Bytes(32768, 1), StableHow::kFileSync)
+                  .value()
+                  .status == Nfsstat3::kOk);
+  // Remove the name; the µproxy logs an intent and fans out data removal —
+  // but we immediately wipe its soft state, as if the client host rebooted.
+  SLICE_CHECK(client->Remove(root, "doomed.dat").value().status == Nfsstat3::kOk);
+  ensemble.uproxy(0).DropSoftState();
+  queue.RunUntilIdle();  // coordinator probe fires and completes the remove
+  ReadRes gone = client->Read(*doomed.object, 1 << 20, 100).value();
+  std::printf("   name removed, µproxy state dropped mid-operation; coordinator ran %llu\n",
+              static_cast<unsigned long long>(ensemble.coordinator(0).recoveries_run()));
+  std::printf("   recovery pass(es); stale data bytes remaining: %u; pending intents: %zu\n",
+              gone.count, ensemble.coordinator(0).pending_intents());
+  std::printf("\nall three managers recovered from shared storage — the \"dataless\"\n"
+              "principle of paper §2.3 in action.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "src/common/bytes.h"
+
+namespace slice {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+}  // namespace
+
+std::string ToHex(ByteSpan data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::string HexDump(ByteSpan data, size_t max_bytes) {
+  const size_t n = data.size() < max_bytes ? data.size() : max_bytes;
+  std::string out = ToHex(data.subspan(0, n));
+  if (n < data.size()) {
+    out += "... (";
+    out += std::to_string(data.size());
+    out += " bytes)";
+  }
+  return out;
+}
+
+}  // namespace slice

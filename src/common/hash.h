@@ -1,0 +1,40 @@
+// Non-cryptographic hashes. FNV-1a is the "competing hash function" used by
+// the hash-choice ablation bench; MixU64 is a SplitMix64 finalizer used where
+// we only need to scramble an integer key (e.g. fileID -> logical server).
+#ifndef SLICE_COMMON_HASH_H_
+#define SLICE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/bytes.h"
+
+namespace slice {
+
+constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline uint64_t Fnv1a64(ByteSpan data, uint64_t seed = kFnvOffsetBasis) {
+  uint64_t h = seed;
+  for (uint8_t b : data) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(std::string_view data, uint64_t seed = kFnvOffsetBasis) {
+  return Fnv1a64(ByteSpan(reinterpret_cast<const uint8_t*>(data.data()), data.size()), seed);
+}
+
+// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
+inline uint64_t MixU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace slice
+
+#endif  // SLICE_COMMON_HASH_H_

@@ -1,0 +1,35 @@
+#include "src/common/inet_checksum.h"
+
+#include "src/common/status.h"
+
+namespace slice {
+
+uint32_t OnesComplementSum(ByteSpan data, uint32_t initial) {
+  uint32_t sum = initial;
+  size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<uint32_t>(data[i]) << 8;  // odd trailing byte, zero-padded
+  }
+  return sum;
+}
+
+uint16_t IncrementalChecksumUpdate(uint16_t old_checksum, ByteSpan old_bytes,
+                                   ByteSpan new_bytes) {
+  SLICE_CHECK(old_bytes.size() == new_bytes.size());
+  SLICE_CHECK(old_bytes.size() % 2 == 0);
+
+  // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m')
+  uint32_t sum = static_cast<uint16_t>(~old_checksum);
+  for (size_t i = 0; i + 1 < old_bytes.size(); i += 2) {
+    const uint16_t m = static_cast<uint16_t>((old_bytes[i] << 8) | old_bytes[i + 1]);
+    const uint16_t mp = static_cast<uint16_t>((new_bytes[i] << 8) | new_bytes[i + 1]);
+    sum += static_cast<uint16_t>(~m);
+    sum += mp;
+  }
+  return static_cast<uint16_t>(~FoldSum(sum));
+}
+
+}  // namespace slice

@@ -1,0 +1,41 @@
+// Internet checksum (RFC 1071) and incremental update (RFC 1624).
+//
+// The µproxy rewrites IP addresses and UDP ports in intercepted NFS packets;
+// like the paper's prototype (which derived its code from FreeBSD NAT), it
+// adjusts checksums incrementally so the cost is proportional to the number
+// of modified bytes, not the packet size.
+#ifndef SLICE_COMMON_INET_CHECKSUM_H_
+#define SLICE_COMMON_INET_CHECKSUM_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace slice {
+
+// One's-complement sum over `data`, folded to 16 bits (not yet inverted).
+// `initial` lets callers chain sums (e.g. pseudo-header + payload).
+uint32_t OnesComplementSum(ByteSpan data, uint32_t initial = 0);
+
+// Fold a 32-bit running sum to 16 bits.
+inline uint16_t FoldSum(uint32_t sum) {
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(sum);
+}
+
+// Full Internet checksum: inverted folded one's-complement sum.
+inline uint16_t InetChecksum(ByteSpan data, uint32_t initial = 0) {
+  return static_cast<uint16_t>(~FoldSum(OnesComplementSum(data, initial)));
+}
+
+// RFC 1624 incremental update: given the old checksum and an in-place field
+// change old_bytes -> new_bytes (16-bit aligned within the checksummed data),
+// returns the new checksum without touching the rest of the packet.
+// old_bytes and new_bytes must have equal, even sizes.
+uint16_t IncrementalChecksumUpdate(uint16_t old_checksum, ByteSpan old_bytes, ByteSpan new_bytes);
+
+}  // namespace slice
+
+#endif  // SLICE_COMMON_INET_CHECKSUM_H_

@@ -1,0 +1,52 @@
+// Minimal leveled logging. Off by default above kWarning so benchmarks stay
+// quiet; tests may raise verbosity via SetLogLevel.
+#ifndef SLICE_COMMON_LOGGING_H_
+#define SLICE_COMMON_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace slice {
+
+enum class LogLevel : uint8_t { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void LogLine(LogLevel level, const char* file, int line, const std::string& message);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SLICE_LOG(level)                                                     \
+  if (::slice::GetLogLevel() > ::slice::LogLevel::level) {                   \
+  } else                                                                     \
+    ::slice::internal::LogMessage(::slice::LogLevel::level, __FILE__, __LINE__).stream()
+
+#define SLICE_DLOG SLICE_LOG(kDebug)
+#define SLICE_ILOG SLICE_LOG(kInfo)
+#define SLICE_WLOG SLICE_LOG(kWarning)
+#define SLICE_ELOG SLICE_LOG(kError)
+
+}  // namespace slice
+
+#endif  // SLICE_COMMON_LOGGING_H_

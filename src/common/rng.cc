@@ -1,0 +1,15 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace slice {
+
+double Rng::NextExponential(double mean) {
+  double u = NextDouble();
+  if (u <= 0.0) {
+    u = 1e-12;
+  }
+  return -mean * std::log(u);
+}
+
+}  // namespace slice

@@ -1,0 +1,61 @@
+// Deterministic PRNG (xoshiro256**) with convenience distributions.
+// Simulation code never uses std::random_device or global state: every
+// component takes an explicitly seeded Rng so experiments replay exactly.
+#ifndef SLICE_COMMON_RNG_H_
+#define SLICE_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "src/common/hash.h"
+
+namespace slice {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5e1ce5eedull) {
+    // SplitMix64 seeding per xoshiro reference implementation.
+    uint64_t x = seed;
+    for (auto& s : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      s = MixU64(x);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = RotL(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = RotL(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return NextU64() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) { return lo + NextBelow(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  bool NextBool(double probability_true) { return NextDouble() < probability_true; }
+
+  // Exponentially distributed with the given mean (for inter-arrival times).
+  double NextExponential(double mean);
+
+  // Forks an independent stream; deterministic function of current state.
+  Rng Fork() { return Rng(NextU64() ^ 0xf0f0f0f0f0f0f0f0ull); }
+
+ private:
+  static uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace slice
+
+#endif  // SLICE_COMMON_RNG_H_

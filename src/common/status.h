@@ -1,0 +1,126 @@
+// Lightweight status / result types used across the Slice codebase.
+//
+// Error handling policy (per C++ Core Guidelines E.*): recoverable,
+// expected failures travel as Status / Result<T> return values; programming
+// errors abort via SLICE_CHECK. Exceptions are not used on hot paths.
+#ifndef SLICE_COMMON_STATUS_H_
+#define SLICE_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace slice {
+
+// Broad error taxonomy. NFS-level errors (nfsstat3) are carried separately in
+// protocol replies; StatusCode covers library/transport level failures.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,     // transient: retry may succeed (e.g. dropped packet)
+  kTimedOut,
+  kCorrupt,         // parse / integrity failure
+  kMisdirected,     // request routed to a server that does not own the item
+  kInternal,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// A cheap value-semantic status: code plus optional message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+  explicit Status(StatusCode code) : code_(code) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+// Result<T>: either a value or a Status (never both). Modeled after
+// absl::StatusOr, minimal surface.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : rep_(std::move(value)) {}                 // NOLINT
+  Result(Status status) : rep_(std::move(status)) {}          // NOLINT
+  Result(StatusCode code, std::string message)
+      : rep_(Status(code, std::move(message))) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(rep_);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+
+#define SLICE_CHECK(expr)                                 \
+  do {                                                    \
+    if (!(expr)) {                                        \
+      ::slice::CheckFailed(__FILE__, __LINE__, #expr);    \
+    }                                                     \
+  } while (0)
+
+#define SLICE_RETURN_IF_ERROR(expr)        \
+  do {                                     \
+    ::slice::Status _st = (expr);          \
+    if (!_st.ok()) {                       \
+      return _st;                          \
+    }                                      \
+  } while (0)
+
+#define SLICE_INTERNAL_CONCAT2(a, b) a##b
+#define SLICE_INTERNAL_CONCAT(a, b) SLICE_INTERNAL_CONCAT2(a, b)
+
+#define SLICE_ASSIGN_OR_RETURN(lhs, expr) \
+  SLICE_ASSIGN_OR_RETURN_IMPL(SLICE_INTERNAL_CONCAT(_slice_res_, __LINE__), lhs, expr)
+
+#define SLICE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace slice
+
+#endif  // SLICE_COMMON_STATUS_H_

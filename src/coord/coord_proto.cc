@@ -1,0 +1,85 @@
+#include "src/coord/coord_proto.h"
+
+namespace slice {
+
+void LogIntentArgs::Encode(XdrEncoder& enc) const {
+  enc.PutEnum(static_cast<uint32_t>(op));
+  EncodeFileHandle(enc, file);
+  enc.PutUint64(arg);
+}
+
+Result<LogIntentArgs> LogIntentArgs::Decode(XdrDecoder& dec) {
+  LogIntentArgs args;
+  SLICE_ASSIGN_OR_RETURN(uint32_t op_raw, dec.GetUint32());
+  if (op_raw < 1 || op_raw > 4) {
+    return Status(StatusCode::kCorrupt, "coord: bad intent op");
+  }
+  args.op = static_cast<IntentOp>(op_raw);
+  SLICE_ASSIGN_OR_RETURN(args.file, DecodeFileHandle(dec));
+  SLICE_ASSIGN_OR_RETURN(args.arg, dec.GetUint64());
+  return args;
+}
+
+void LogIntentRes::Encode(XdrEncoder& enc) const { enc.PutUint64(intent_id); }
+
+Result<LogIntentRes> LogIntentRes::Decode(XdrDecoder& dec) {
+  LogIntentRes res;
+  SLICE_ASSIGN_OR_RETURN(res.intent_id, dec.GetUint64());
+  return res;
+}
+
+void CompleteArgs::Encode(XdrEncoder& enc) const { enc.PutUint64(intent_id); }
+
+Result<CompleteArgs> CompleteArgs::Decode(XdrDecoder& dec) {
+  CompleteArgs args;
+  SLICE_ASSIGN_OR_RETURN(args.intent_id, dec.GetUint64());
+  return args;
+}
+
+void CompleteRes::Encode(XdrEncoder& enc) const { enc.PutBool(acknowledged); }
+
+Result<CompleteRes> CompleteRes::Decode(XdrDecoder& dec) {
+  CompleteRes res;
+  SLICE_ASSIGN_OR_RETURN(res.acknowledged, dec.GetBool());
+  return res;
+}
+
+void GetMapArgs::Encode(XdrEncoder& enc) const {
+  EncodeFileHandle(enc, file);
+  enc.PutUint64(first_block);
+  enc.PutUint32(count);
+  enc.PutBool(allocate);
+}
+
+Result<GetMapArgs> GetMapArgs::Decode(XdrDecoder& dec) {
+  GetMapArgs args;
+  SLICE_ASSIGN_OR_RETURN(args.file, DecodeFileHandle(dec));
+  SLICE_ASSIGN_OR_RETURN(args.first_block, dec.GetUint64());
+  SLICE_ASSIGN_OR_RETURN(args.count, dec.GetUint32());
+  SLICE_ASSIGN_OR_RETURN(args.allocate, dec.GetBool());
+  return args;
+}
+
+void GetMapRes::Encode(XdrEncoder& enc) const {
+  enc.PutUint64(first_block);
+  enc.PutUint32(static_cast<uint32_t>(sites.size()));
+  for (uint32_t site : sites) {
+    enc.PutUint32(site);
+  }
+}
+
+Result<GetMapRes> GetMapRes::Decode(XdrDecoder& dec) {
+  GetMapRes res;
+  SLICE_ASSIGN_OR_RETURN(res.first_block, dec.GetUint64());
+  SLICE_ASSIGN_OR_RETURN(uint32_t n, dec.GetUint32());
+  if (n > 65536) {
+    return Status(StatusCode::kCorrupt, "coord: oversized map fragment");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    SLICE_ASSIGN_OR_RETURN(uint32_t site, dec.GetUint32());
+    res.sites.push_back(site);
+  }
+  return res;
+}
+
+}  // namespace slice

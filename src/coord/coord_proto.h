@@ -1,0 +1,79 @@
+// Wire protocol between µproxies and block-service coordinators (paper
+// §2.2/§3.3.2/§4.2): intention logging for multi-site atomicity, completion
+// notifications, and per-file block-map fetch for dynamic I/O placement.
+#ifndef SLICE_COORD_COORD_PROTO_H_
+#define SLICE_COORD_COORD_PROTO_H_
+
+#include <vector>
+
+#include "src/nfs/nfs_xdr.h"
+
+namespace slice {
+
+constexpr uint32_t kCoordProgram = 395620;
+constexpr uint32_t kCoordVersion = 1;
+
+enum class CoordProc : uint32_t {
+  kNull = 0,
+  kLogIntent = 1,
+  kComplete = 2,
+  kGetMap = 3,
+};
+
+// What the in-flight multi-site operation is; recovery re-executes it
+// idempotently if the µproxy dies before completing.
+enum class IntentOp : uint32_t {
+  kRemove = 1,        // remove file data on all storage sites
+  kTruncate = 2,      // truncate file data to `arg` bytes on all sites
+  kCommit = 3,        // make unstable writes durable on all sites
+  kMirrorWrite = 4,   // mirrored writes in flight; recovery forces a commit
+};
+
+struct LogIntentArgs {
+  IntentOp op = IntentOp::kRemove;
+  FileHandle file;
+  uint64_t arg = 0;
+  void Encode(XdrEncoder& enc) const;
+  static Result<LogIntentArgs> Decode(XdrDecoder& dec);
+};
+
+struct LogIntentRes {
+  uint64_t intent_id = 0;
+  void Encode(XdrEncoder& enc) const;
+  static Result<LogIntentRes> Decode(XdrDecoder& dec);
+};
+
+struct CompleteArgs {
+  uint64_t intent_id = 0;
+  void Encode(XdrEncoder& enc) const;
+  static Result<CompleteArgs> Decode(XdrDecoder& dec);
+};
+
+struct CompleteRes {
+  bool acknowledged = true;
+  void Encode(XdrEncoder& enc) const;
+  static Result<CompleteRes> Decode(XdrDecoder& dec);
+};
+
+struct GetMapArgs {
+  FileHandle file;
+  uint64_t first_block = 0;
+  uint32_t count = 0;
+  bool allocate = false;  // assign placements for unmapped blocks (writes)
+  void Encode(XdrEncoder& enc) const;
+  static Result<GetMapArgs> Decode(XdrDecoder& dec);
+};
+
+struct GetMapRes {
+  uint64_t first_block = 0;
+  // Storage-node index per block; 0xffffffff = unmapped (read of a hole).
+  std::vector<uint32_t> sites;
+  void Encode(XdrEncoder& enc) const;
+  static Result<GetMapRes> Decode(XdrDecoder& dec);
+};
+
+constexpr uint32_t kUnmappedBlock = 0xffffffff;
+
+}  // namespace slice
+
+#endif  // SLICE_COORD_COORD_PROTO_H_

@@ -1,0 +1,275 @@
+#include "src/coord/coordinator.h"
+
+#include "src/common/logging.h"
+
+namespace slice {
+namespace {
+
+enum class CoordLogOp : uint32_t {
+  kIntent = 1,
+  kComplete = 2,
+  kMapAssign = 3,
+};
+
+constexpr NetPort kCoordPort = 3049;
+
+}  // namespace
+
+Coordinator::Coordinator(Network& net, EventQueue& queue, NetAddr addr,
+                         CoordinatorParams params, std::vector<Endpoint> storage_nodes,
+                         std::vector<Endpoint> small_file_servers)
+    : RpcServerNode(net, queue, addr, kCoordPort),
+      params_(params),
+      storage_nodes_(std::move(storage_nodes)),
+      small_file_servers_(std::move(small_file_servers)) {
+  for (const Endpoint& node : storage_nodes_) {
+    node_clients_.push_back(std::make_unique<NfsClient>(host(), queue, node));
+  }
+  for (const Endpoint& node : small_file_servers_) {
+    node_clients_.push_back(std::make_unique<NfsClient>(host(), queue, node));
+  }
+  if (params_.backing_node.addr != 0) {
+    wal_ = std::make_unique<WriteAheadLog>(host(), queue, params_.backing_node,
+                                           params_.backing_object);
+  }
+}
+
+uint64_t Coordinator::LogIntent(const LogIntentArgs& args, bool log) {
+  const uint64_t id = next_intent_id_++;
+  intents_[id] = Intent{args.op, args.file, args.arg, now()};
+  if (log && wal_) {
+    XdrEncoder rec;
+    rec.PutEnum(static_cast<uint32_t>(CoordLogOp::kIntent));
+    rec.PutUint64(id);
+    rec.PutEnum(static_cast<uint32_t>(args.op));
+    rec.PutOpaqueVar(args.file.bytes());
+    rec.PutUint64(args.arg);
+    wal_->Append(rec.bytes());
+  }
+  ArmProbe(id);
+  return id;
+}
+
+void Coordinator::Complete(uint64_t intent_id, bool log) {
+  if (intents_.erase(intent_id) == 0) {
+    return;
+  }
+  if (log && wal_) {
+    XdrEncoder rec;
+    rec.PutEnum(static_cast<uint32_t>(CoordLogOp::kComplete));
+    rec.PutUint64(intent_id);
+    wal_->Append(rec.bytes());
+  }
+}
+
+void Coordinator::ArmProbe(uint64_t intent_id) {
+  queue().ScheduleAfter(params_.intent_timeout, [this, intent_id]() {
+    if (failed() || !intents_.contains(intent_id)) {
+      return;
+    }
+    SLICE_ILOG << "coordinator: intent " << intent_id << " timed out; running recovery";
+    RunRecovery(intent_id);
+  });
+}
+
+void Coordinator::RunRecovery(uint64_t intent_id) {
+  const auto it = intents_.find(intent_id);
+  if (it == intents_.end()) {
+    return;
+  }
+  const Intent intent = it->second;
+  ++recoveries_run_;
+
+  // Idempotent fan-out across every storage site (and small-file servers for
+  // remove/truncate, which affect data below the threshold too).
+  const bool include_sfs = intent.op == IntentOp::kRemove || intent.op == IntentOp::kTruncate;
+  const size_t targets = storage_nodes_.size() +
+                         (include_sfs ? small_file_servers_.size() : 0);
+  auto pending = std::make_shared<size_t>(targets);
+  auto finish = [this, intent_id, pending]() {
+    if (--*pending == 0) {
+      Complete(intent_id, /*log=*/true);
+    }
+  };
+
+  for (size_t i = 0; i < node_clients_.size(); ++i) {
+    const bool is_sfs = i >= storage_nodes_.size();
+    if (is_sfs && !include_sfs) {
+      continue;
+    }
+    NfsClient& client = *node_clients_[i];
+    switch (intent.op) {
+      case IntentOp::kRemove:
+        client.Remove(intent.file, "",
+                      [finish](Status, const RemoveRes&) { finish(); });
+        break;
+      case IntentOp::kTruncate: {
+        SetattrArgs sargs;
+        sargs.object = intent.file;
+        sargs.new_attributes.size = intent.arg;
+        client.Setattr(sargs, [finish](Status, const SetattrRes&) { finish(); });
+        break;
+      }
+      case IntentOp::kCommit:
+      case IntentOp::kMirrorWrite:
+        client.Commit(intent.file, 0, 0,
+                      [finish](Status, const CommitRes&) { finish(); });
+        break;
+    }
+  }
+  if (targets == 0) {
+    Complete(intent_id, /*log=*/true);
+  }
+}
+
+GetMapRes Coordinator::GetOrAssignMap(const GetMapArgs& args) {
+  GetMapRes res;
+  res.first_block = args.first_block;
+  std::vector<uint32_t>& map = block_maps_[args.file.fileid()];
+  const uint64_t end = args.first_block + args.count;
+  if (args.allocate && map.size() < end) {
+    const size_t base = Fnv1a64(args.file.bytes()) % params_.num_storage_sites;
+    for (uint64_t b = map.size(); b < end; ++b) {
+      const uint32_t site = static_cast<uint32_t>((base + b) % params_.num_storage_sites);
+      map.push_back(site);
+      ++maps_assigned_;
+      LogMapAssignment(args.file.fileid(), b, site);
+    }
+  }
+  for (uint64_t b = args.first_block; b < end; ++b) {
+    res.sites.push_back(b < map.size() ? map[b] : kUnmappedBlock);
+  }
+  return res;
+}
+
+void Coordinator::LogMapAssignment(uint64_t fileid, uint64_t block, uint32_t site) {
+  if (!wal_) {
+    return;
+  }
+  XdrEncoder rec;
+  rec.PutEnum(static_cast<uint32_t>(CoordLogOp::kMapAssign));
+  rec.PutUint64(fileid);
+  rec.PutUint64(block);
+  rec.PutUint32(site);
+  wal_->Append(rec.bytes());
+}
+
+void Coordinator::ReplayRecord(ByteSpan record) {
+  XdrDecoder dec(record);
+  Result<uint32_t> op = dec.GetUint32();
+  if (!op.ok()) {
+    return;
+  }
+  switch (static_cast<CoordLogOp>(*op)) {
+    case CoordLogOp::kIntent: {
+      Result<uint64_t> id = dec.GetUint64();
+      Result<uint32_t> intent_op = dec.GetUint32();
+      Result<Bytes> fh = dec.GetOpaqueVar(64);
+      Result<uint64_t> arg = dec.GetUint64();
+      if (id.ok() && intent_op.ok() && fh.ok() && arg.ok() &&
+          fh->size() == FileHandle::kSize) {
+        intents_[*id] = Intent{static_cast<IntentOp>(*intent_op),
+                               FileHandle::FromBytes(*fh), *arg, now()};
+        next_intent_id_ = std::max(next_intent_id_, *id + 1);
+      }
+      break;
+    }
+    case CoordLogOp::kComplete: {
+      Result<uint64_t> id = dec.GetUint64();
+      if (id.ok()) {
+        intents_.erase(*id);
+        next_intent_id_ = std::max(next_intent_id_, *id + 1);
+      }
+      break;
+    }
+    case CoordLogOp::kMapAssign: {
+      Result<uint64_t> fileid = dec.GetUint64();
+      Result<uint64_t> block = dec.GetUint64();
+      Result<uint32_t> site = dec.GetUint32();
+      if (fileid.ok() && block.ok() && site.ok()) {
+        std::vector<uint32_t>& map = block_maps_[*fileid];
+        if (map.size() <= *block) {
+          map.resize(*block + 1, kUnmappedBlock);
+        }
+        map[*block] = *site;
+      }
+      break;
+    }
+  }
+}
+
+void Coordinator::OnRestart() {
+  if (!wal_) {
+    return;
+  }
+  wal_->DiscardBuffered();
+  intents_.clear();
+  block_maps_.clear();
+  recovering_ = true;
+  wal_->Replay([this](ByteSpan record) { ReplayRecord(record); },
+               [this](Status st) {
+                 if (!st.ok()) {
+                   SLICE_ELOG << "coordinator: replay failed: " << st.ToString();
+                 }
+                 recovering_ = false;
+                 SLICE_ILOG << "coordinator recovered; " << intents_.size()
+                            << " in-flight intents";
+                 // Operations that were in flight at the crash are finished
+                 // (or effectively aborted) now.
+                 std::vector<uint64_t> pending;
+                 pending.reserve(intents_.size());
+                 for (const auto& [id, intent] : intents_) {
+                   (void)intent;
+                   pending.push_back(id);
+                 }
+                 for (uint64_t id : pending) {
+                   RunRecovery(id);
+                 }
+               });
+}
+
+RpcAcceptStat Coordinator::HandleCall(const RpcMessageView& call, XdrEncoder& reply,
+                                      ServiceCost& cost) {
+  if (call.prog != kCoordProgram || call.vers != kCoordVersion) {
+    return RpcAcceptStat::kProgUnavail;
+  }
+  cost.AddCpu(FromMicros(params_.op_cpu_us));
+  XdrDecoder dec(call.body);
+  switch (static_cast<CoordProc>(call.proc)) {
+    case CoordProc::kNull:
+      return RpcAcceptStat::kSuccess;
+    case CoordProc::kLogIntent: {
+      Result<LogIntentArgs> args = LogIntentArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      LogIntentRes res;
+      res.intent_id = LogIntent(*args, /*log=*/true);
+      res.Encode(reply);
+      return RpcAcceptStat::kSuccess;
+    }
+    case CoordProc::kComplete: {
+      Result<CompleteArgs> args = CompleteArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      Complete(args->intent_id, /*log=*/true);
+      CompleteRes res;
+      res.Encode(reply);
+      return RpcAcceptStat::kSuccess;
+    }
+    case CoordProc::kGetMap: {
+      Result<GetMapArgs> args = GetMapArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      GetMapRes res = GetOrAssignMap(*args);
+      res.Encode(reply);
+      return RpcAcceptStat::kSuccess;
+    }
+    default:
+      return RpcAcceptStat::kProcUnavail;
+  }
+}
+
+}  // namespace slice

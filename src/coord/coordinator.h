@@ -1,0 +1,92 @@
+// Block-service coordinator (paper §2.2, §3.3.2, §4.2): preserves atomicity
+// of file operations that span multiple storage sites — remove/truncate,
+// consistent write commitment, and mirrored writes — via an intention log,
+// and manages optional per-file block maps for dynamic I/O placement.
+//
+// Protocol: the µproxy logs an intention before a multi-site operation and
+// clears it with a completion message afterwards. If the completion does not
+// arrive within a time bound, the coordinator assumes the µproxy lost its
+// soft state and re-executes the operation itself (every recovery action is
+// idempotent). A restarted coordinator rebuilds its pending-intent table by
+// scanning its own log, which — like every Slice manager — is backed by an
+// object in the storage array.
+#ifndef SLICE_COORD_COORDINATOR_H_
+#define SLICE_COORD_COORDINATOR_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/coord/coord_proto.h"
+#include "src/dir/wal.h"
+#include "src/nfs/nfs_client.h"
+#include "src/rpc/rpc_server.h"
+
+namespace slice {
+
+struct CoordinatorParams {
+  uint64_t volume_secret = 0;
+  double op_cpu_us = 40.0;
+  SimTime intent_timeout = FromSeconds(2);
+  // Dynamic block maps assign this many storage sites round-robin.
+  uint32_t num_storage_sites = 1;
+  // WAL backing (intents + block maps); disabled when addr == 0.
+  Endpoint backing_node;
+  FileHandle backing_object;
+};
+
+class Coordinator : public RpcServerNode {
+ public:
+  // `storage_nodes` and `small_file_servers` are the recovery fan-out
+  // targets for orphaned intentions.
+  Coordinator(Network& net, EventQueue& queue, NetAddr addr, CoordinatorParams params,
+              std::vector<Endpoint> storage_nodes, std::vector<Endpoint> small_file_servers);
+
+  size_t pending_intents() const { return intents_.size(); }
+  uint64_t recoveries_run() const { return recoveries_run_; }
+  uint64_t maps_assigned() const { return maps_assigned_; }
+  bool recovering() const { return recovering_; }
+  void FlushLog() {
+    if (wal_) {
+      wal_->Flush();
+    }
+  }
+
+ protected:
+  RpcAcceptStat HandleCall(const RpcMessageView& call, XdrEncoder& reply,
+                           ServiceCost& cost) override;
+  void OnRestart() override;
+
+ private:
+  struct Intent {
+    IntentOp op;
+    FileHandle file;
+    uint64_t arg;
+    SimTime logged_at;
+  };
+
+  uint64_t LogIntent(const LogIntentArgs& args, bool log);
+  void Complete(uint64_t intent_id, bool log);
+  void ArmProbe(uint64_t intent_id);
+  // Executes the intent's recovery action against all storage sites.
+  void RunRecovery(uint64_t intent_id);
+
+  GetMapRes GetOrAssignMap(const GetMapArgs& args);
+  void LogMapAssignment(uint64_t fileid, uint64_t block, uint32_t site);
+  void ReplayRecord(ByteSpan record);
+
+  CoordinatorParams params_;
+  std::vector<Endpoint> storage_nodes_;
+  std::vector<Endpoint> small_file_servers_;
+  std::vector<std::unique_ptr<NfsClient>> node_clients_;  // storage then sfs
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::unordered_map<uint64_t, Intent> intents_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> block_maps_;  // fileid -> site per block
+  uint64_t next_intent_id_ = 1;
+  uint64_t recoveries_run_ = 0;
+  uint64_t maps_assigned_ = 0;
+  bool recovering_ = false;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_COORD_COORDINATOR_H_

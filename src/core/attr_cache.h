@@ -1,0 +1,69 @@
+// µproxy attribute cache (paper §4.1): directory servers hold the
+// authoritative attributes, but I/O flows past them straight to storage and
+// small-file servers. The µproxy keeps attributes current by updating its
+// cache as each operation completes, patching a complete, fresh attribute
+// set into every reply, and pushing modified attributes back to the
+// directory server with setattr on eviction, commit, or a periodic timer.
+#ifndef SLICE_CORE_ATTR_CACHE_H_
+#define SLICE_CORE_ATTR_CACHE_H_
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/nfs/nfs_types.h"
+#include "src/sim/event_queue.h"
+
+namespace slice {
+
+class AttrCache {
+ public:
+  explicit AttrCache(size_t capacity) : capacity_(capacity) {}
+
+  struct Entry {
+    Fattr3 attr;
+    bool dirty = false;  // size/mtime modified locally, not yet written back
+  };
+
+  // Merges attributes seen in a server reply. Locally cached size/times win
+  // when the entry is dirty (the µproxy has seen I/O the server has not).
+  void MergeFromReply(uint64_t fileid, const Fattr3& attr);
+
+  // Applies the attribute side effects of an I/O operation.
+  void NoteRead(uint64_t fileid, NfsTime now);
+  void NoteWrite(uint64_t fileid, uint64_t end_offset, NfsTime now);
+
+  // Current view, if cached.
+  const Entry* Find(uint64_t fileid) const;
+
+  // Marks an entry clean (after a successful writeback).
+  void MarkClean(uint64_t fileid);
+  void Erase(uint64_t fileid);
+  void Clear();
+
+  // Dirty fileids needing writeback. `all` = periodic flush; otherwise only
+  // entries at least `min_age` stale would be returned by the caller's
+  // policy (we simply return all dirty entries — the caller owns cadence).
+  std::vector<uint64_t> DirtyFiles() const;
+
+  size_t size() const { return entries_.size(); }
+  uint64_t evictions() const { return evictions_; }
+  // Dirty entries that were evicted by capacity pressure since the last
+  // call; their attributes must still be written back.
+  std::vector<std::pair<uint64_t, Fattr3>> TakeEvictedDirty();
+
+ private:
+  Entry& GetOrInsert(uint64_t fileid);
+  void TouchLru(uint64_t fileid);
+
+  size_t capacity_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> lru_index_;
+  std::vector<std::pair<uint64_t, Fattr3>> evicted_dirty_;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_CORE_ATTR_CACHE_H_

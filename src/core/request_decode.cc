@@ -1,0 +1,120 @@
+#include "src/core/request_decode.h"
+
+namespace slice {
+
+Status DecodeNfsRequest(ByteSpan payload, DecodedRequest* out) {
+  Result<RpcPeek> peek = PeekRpcMessage(payload);
+  if (!peek.ok()) {
+    return peek.status();
+  }
+  if (peek->type != RpcMsgType::kCall || peek->prog != kNfsProgram ||
+      peek->vers != kNfsVersion) {
+    return Status(StatusCode::kCorrupt, "uproxy: not an NFSv3 call");
+  }
+  out->xid = peek->xid;
+  out->proc = static_cast<NfsProc>(peek->proc);
+  out->body_offset = peek->body_offset;
+
+  XdrDecoder dec(payload.subspan(peek->body_offset));
+  switch (out->proc) {
+    case NfsProc::kNull:
+    case NfsProc::kMknod:
+    case NfsProc::kPathconf:
+      return OkStatus();
+
+    case NfsProc::kGetattr:
+    case NfsProc::kReadlink:
+    case NfsProc::kFsstat:
+    case NfsProc::kFsinfo:
+    case NfsProc::kAccess:
+    case NfsProc::kSetattr: {
+      SLICE_ASSIGN_OR_RETURN(out->fh, DecodeFileHandle(dec));
+      out->has_fh = true;
+      if (out->proc == NfsProc::kSetattr) {
+        // Pull the size field (if being set) so truncates can fan out.
+        Result<Sattr3> sattr = DecodeSattr3(dec);
+        if (sattr.ok() && sattr->size.has_value()) {
+          out->offset = *sattr->size;
+          out->count = 1;  // marks "size change present"
+        }
+      }
+      return OkStatus();
+    }
+
+    case NfsProc::kLookup:
+    case NfsProc::kRemove:
+    case NfsProc::kRmdir:
+    case NfsProc::kCreate:
+    case NfsProc::kMkdir:
+    case NfsProc::kSymlink: {
+      SLICE_ASSIGN_OR_RETURN(out->fh, DecodeFileHandle(dec));
+      out->has_fh = true;
+      SLICE_ASSIGN_OR_RETURN(out->name, dec.GetString(255));
+      return OkStatus();
+    }
+
+    case NfsProc::kRename: {
+      SLICE_ASSIGN_OR_RETURN(out->fh, DecodeFileHandle(dec));
+      out->has_fh = true;
+      SLICE_ASSIGN_OR_RETURN(out->name, dec.GetString(255));
+      SLICE_ASSIGN_OR_RETURN(out->fh2, DecodeFileHandle(dec));
+      SLICE_ASSIGN_OR_RETURN(out->name2, dec.GetString(255));
+      return OkStatus();
+    }
+
+    case NfsProc::kLink: {
+      // link(file, dir, name): route by the (dir, name) entry placement.
+      SLICE_ASSIGN_OR_RETURN(out->fh2, DecodeFileHandle(dec));  // file
+      SLICE_ASSIGN_OR_RETURN(out->fh, DecodeFileHandle(dec));   // dir
+      out->has_fh = true;
+      SLICE_ASSIGN_OR_RETURN(out->name, dec.GetString(255));
+      return OkStatus();
+    }
+
+    case NfsProc::kRead:
+    case NfsProc::kCommit: {
+      SLICE_ASSIGN_OR_RETURN(out->fh, DecodeFileHandle(dec));
+      out->has_fh = true;
+      SLICE_ASSIGN_OR_RETURN(out->offset, dec.GetUint64());
+      SLICE_ASSIGN_OR_RETURN(out->count, dec.GetUint32());
+      return OkStatus();
+    }
+
+    case NfsProc::kWrite: {
+      SLICE_ASSIGN_OR_RETURN(out->fh, DecodeFileHandle(dec));
+      out->has_fh = true;
+      SLICE_ASSIGN_OR_RETURN(out->offset, dec.GetUint64());
+      SLICE_ASSIGN_OR_RETURN(out->count, dec.GetUint32());
+      SLICE_ASSIGN_OR_RETURN(uint32_t stable, dec.GetUint32());
+      if (stable > 2) {
+        return Status(StatusCode::kCorrupt, "uproxy: bad stable_how");
+      }
+      out->stable = static_cast<StableHow>(stable);
+      return OkStatus();
+    }
+
+    case NfsProc::kReaddir:
+    case NfsProc::kReaddirplus: {
+      SLICE_ASSIGN_OR_RETURN(out->fh, DecodeFileHandle(dec));
+      out->has_fh = true;
+      return OkStatus();
+    }
+  }
+  return Status(StatusCode::kCorrupt, "uproxy: unknown procedure");
+}
+
+Status DecodeNfsReply(ByteSpan payload, DecodedReply* out) {
+  Result<RpcPeek> peek = PeekRpcMessage(payload);
+  if (!peek.ok()) {
+    return peek.status();
+  }
+  if (peek->type != RpcMsgType::kReply) {
+    return Status(StatusCode::kCorrupt, "uproxy: not a reply");
+  }
+  out->xid = peek->xid;
+  out->stat = peek->accept_stat;
+  out->body_offset = peek->body_offset;
+  return OkStatus();
+}
+
+}  // namespace slice

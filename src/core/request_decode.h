@@ -1,0 +1,50 @@
+// The µproxy's packet-decode stage: walks the ONC RPC header (including the
+// variable-length credential the paper blames for most of the decode cost,
+// Table 3) and extracts exactly the fields request routing needs — request
+// type, file handles, name components, offset/count (paper §3: "the µproxy
+// examines up to four fields of each request").
+#ifndef SLICE_CORE_REQUEST_DECODE_H_
+#define SLICE_CORE_REQUEST_DECODE_H_
+
+#include <string>
+
+#include "src/nfs/nfs_xdr.h"
+#include "src/rpc/rpc_message.h"
+
+namespace slice {
+
+struct DecodedRequest {
+  uint32_t xid = 0;
+  NfsProc proc = NfsProc::kNull;
+  // Primary handle: the target file for I/O and attribute ops, the parent
+  // directory for name ops.
+  FileHandle fh;
+  bool has_fh = false;
+  std::string name;   // name component for name ops
+  // Secondary pair (rename target, link directory).
+  FileHandle fh2;
+  std::string name2;
+  // I/O fields.
+  uint64_t offset = 0;
+  uint32_t count = 0;
+  StableHow stable = StableHow::kUnstable;
+  // Byte offset of the procedure body within the RPC payload.
+  size_t body_offset = 0;
+};
+
+// Decodes an NFS call from a UDP payload. Returns kCorrupt for
+// non-NFS-call traffic (which the µproxy passes through untouched).
+Status DecodeNfsRequest(ByteSpan payload, DecodedRequest* out);
+
+// Reply-side peek: (xid, accept_stat, body offset) for attribute patching.
+struct DecodedReply {
+  uint32_t xid = 0;
+  RpcAcceptStat stat = RpcAcceptStat::kSuccess;
+  size_t body_offset = 0;
+};
+
+Status DecodeNfsReply(ByteSpan payload, DecodedReply* out);
+
+}  // namespace slice
+
+#endif  // SLICE_CORE_REQUEST_DECODE_H_

@@ -1,0 +1,66 @@
+// µproxy routing table (paper §3): a compact array mapping logical server
+// IDs to physical servers. Keys hash into the logical space; multiple
+// logical IDs map to one physical server, leaving slack for reconfiguration
+// ("the number of logical servers defines ... the minimal granularity for
+// rebalancing"). The table is soft state — an external authority replaces it
+// wholesale; the µproxy never mutates it in place.
+#ifndef SLICE_CORE_ROUTING_TABLE_H_
+#define SLICE_CORE_ROUTING_TABLE_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/packet.h"
+
+namespace slice {
+
+class RoutingTable {
+ public:
+  RoutingTable() = default;
+
+  // Builds a table with `logical_slots` slots filled round-robin over
+  // `servers`.
+  RoutingTable(size_t logical_slots, std::vector<Endpoint> servers)
+      : servers_(std::move(servers)), slots_(logical_slots) {
+    SLICE_CHECK(!servers_.empty());
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      slots_[i] = static_cast<uint32_t>(i % servers_.size());
+    }
+  }
+
+  bool empty() const { return servers_.empty(); }
+  size_t logical_slots() const { return slots_.size(); }
+  size_t physical_count() const { return servers_.size(); }
+
+  // Logical slot for a routing key.
+  uint32_t SlotFor(uint64_t key) const { return static_cast<uint32_t>(key % slots_.size()); }
+
+  Endpoint Lookup(uint64_t key) const { return servers_[slots_[SlotFor(key)]]; }
+  Endpoint ByPhysical(size_t index) const { return servers_[index % servers_.size()]; }
+  uint32_t PhysicalIndexFor(uint64_t key) const { return slots_[SlotFor(key)]; }
+
+  // Reconfiguration: rebind one logical slot to another physical server.
+  void Rebind(uint32_t slot, uint32_t physical_index) {
+    SLICE_CHECK(slot < slots_.size() && physical_index < servers_.size());
+    slots_[slot] = physical_index;
+  }
+
+  // Reconfiguration: install a new server list, remapping slots round-robin.
+  void Reload(std::vector<Endpoint> servers) {
+    SLICE_CHECK(!servers.empty());
+    servers_ = std::move(servers);
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      slots_[i] = static_cast<uint32_t>(i % servers_.size());
+    }
+  }
+
+  const std::vector<Endpoint>& servers() const { return servers_; }
+
+ private:
+  std::vector<Endpoint> servers_;
+  std::vector<uint32_t> slots_;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_CORE_ROUTING_TABLE_H_

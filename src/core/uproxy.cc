@@ -1,0 +1,860 @@
+#include "src/core/uproxy.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace slice {
+namespace {
+
+constexpr size_t kMaxPending = 8192;
+
+// Coin in [0,1) derived from the (parent, name) fingerprint, so retransmitted
+// mkdirs take the same redirect decision (paper §3.2).
+double RedirectCoin(uint64_t fingerprint) {
+  return static_cast<double>(MixU64(fingerprint) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Uproxy::Uproxy(Network& net, EventQueue& queue, Host& client_host, UproxyConfig config)
+    : net_(net),
+      queue_(queue),
+      client_host_(client_host),
+      config_(std::move(config)),
+      attr_cache_(config_.attr_cache_entries) {
+  SLICE_CHECK(!config_.dir_servers.empty());
+  SLICE_CHECK(!config_.storage_nodes.empty());
+  dir_table_ = RoutingTable(config_.logical_name_slots, config_.dir_servers);
+  if (!config_.small_file_servers.empty()) {
+    sfs_table_ = RoutingTable(config_.logical_name_slots, config_.small_file_servers);
+  }
+  own_rpc_ = std::make_unique<RpcClient>(client_host_, queue_);
+  net_.InstallTap(client_host_.addr(), this);
+}
+
+Uproxy::~Uproxy() {
+  *alive_ = false;
+  net_.RemoveTap(client_host_.addr());
+}
+
+NfsTime Uproxy::Now() const {
+  return NfsTime{static_cast<uint32_t>(queue_.now() / kNanosPerSec),
+                 static_cast<uint32_t>(queue_.now() % kNanosPerSec)};
+}
+
+SimTime Uproxy::ChargeCpu() {
+  return cpu_.Acquire(queue_.now(), FromMicros(config_.per_packet_cpu_us));
+}
+
+void Uproxy::DropSoftState() {
+  pending_.clear();
+  attr_cache_.Clear();
+  map_cache_.clear();
+  // "It is free to discard its state and/or pending packets without
+  // compromising correctness" (§2.1): in-flight µproxy-originated calls die
+  // too; coordinators finish any orphaned multi-site operations.
+  own_rpc_ = std::make_unique<RpcClient>(client_host_, queue_);
+  counters_.Add("soft_state_drops");
+}
+
+uint32_t Uproxy::StripeSite(const FileHandle& fh, uint64_t offset, uint32_t replica) const {
+  const uint32_t n = static_cast<uint32_t>(config_.storage_nodes.size());
+  const uint32_t k = std::max<uint32_t>(1, fh.replication());
+  const uint64_t base = Fnv1a64(fh.bytes());
+  const uint64_t block = offset / config_.stripe_unit;
+  return static_cast<uint32_t>((base + block * k + replica) % n);
+}
+
+Uproxy::RouteDecision Uproxy::SelectRoute(const DecodedRequest& req) {
+  RouteDecision out;
+  switch (req.proc) {
+    case NfsProc::kNull:
+    case NfsProc::kFsstat:
+    case NfsProc::kFsinfo:
+      out.cls = RouteClass::kDirServer;
+      out.target = dir_table_.ByPhysical(0);
+      return out;
+
+    case NfsProc::kGetattr:
+    case NfsProc::kSetattr:
+    case NfsProc::kAccess:
+    case NfsProc::kReadlink:
+    case NfsProc::kReaddir:
+    case NfsProc::kReaddirplus:
+      // fhandle-keyed: fixed placement embeds the owning site in the fileID.
+      out.cls = RouteClass::kDirServer;
+      out.target = dir_table_.ByPhysical(SiteOfFileid(req.fh.fileid()));
+      return out;
+
+    case NfsProc::kLookup:
+    case NfsProc::kCreate:
+    case NfsProc::kSymlink:
+    case NfsProc::kRemove:
+    case NfsProc::kRmdir:
+    case NfsProc::kLink:
+    case NfsProc::kRename: {
+      out.cls = RouteClass::kDirServer;
+      if (config_.name_policy == NamePolicy::kNameHashing) {
+        out.target = dir_table_.Lookup(NameFingerprint(req.fh, req.name));
+      } else {
+        out.target = dir_table_.ByPhysical(SiteOfFileid(req.fh.fileid()));
+      }
+      return out;
+    }
+
+    case NfsProc::kMkdir: {
+      out.cls = RouteClass::kDirServer;
+      const uint64_t fingerprint = NameFingerprint(req.fh, req.name);
+      if (config_.name_policy == NamePolicy::kNameHashing) {
+        out.target = dir_table_.Lookup(fingerprint);
+      } else if (RedirectCoin(fingerprint) < config_.mkdir_redirect_probability) {
+        // Mkdir switching: place the new directory (and its descendants) on
+        // a different site chosen by hash — races involve at most two sites.
+        out.target = dir_table_.Lookup(fingerprint);
+      } else {
+        out.target = dir_table_.ByPhysical(SiteOfFileid(req.fh.fileid()));
+      }
+      return out;
+    }
+
+    case NfsProc::kRead:
+    case NfsProc::kWrite: {
+      const bool small = !config_.small_file_servers.empty() && req.offset < config_.threshold;
+      if (small) {
+        out.cls = RouteClass::kSmallFile;
+        out.target = sfs_table_.Lookup(MixU64(req.fh.fileid()));
+        return out;
+      }
+      const uint32_t replication = std::max<uint32_t>(1, req.fh.replication());
+      if (req.proc == NfsProc::kWrite && replication > 1) {
+        out.cls = RouteClass::kMirrorWrite;
+        return out;
+      }
+      // Mirrored reads alternate between the replicas to balance load.
+      const uint32_t replica =
+          replication > 1
+              ? static_cast<uint32_t>((req.offset / config_.stripe_unit) % replication)
+              : 0;
+      out.cls = RouteClass::kStorage;
+      out.storage_index = StripeSite(req.fh, req.offset, replica);
+      out.target = config_.storage_nodes[out.storage_index];
+      return out;
+    }
+
+    case NfsProc::kCommit: {
+      // A commit may cover data on several sites (striped blocks, mirrors,
+      // the small-file portion); fan out unless one storage node holds
+      // everything.
+      if (config_.storage_nodes.size() > 1 || !config_.small_file_servers.empty() ||
+          req.fh.replication() > 1) {
+        out.cls = RouteClass::kMultiCommit;
+        return out;
+      }
+      out.cls = RouteClass::kStorage;
+      out.storage_index = 0;
+      out.target = config_.storage_nodes[0];
+      return out;
+    }
+
+    default:
+      out.cls = RouteClass::kPassThrough;
+      return out;
+  }
+}
+
+void Uproxy::PassThroughOutbound(Packet&& pkt) {
+  counters_.Add("pass_through");
+  net_.Inject(std::move(pkt));
+}
+
+void Uproxy::HandleOutbound(Packet&& pkt) {
+  if (!(pkt.dst() == config_.virtual_server)) {
+    net_.Inject(std::move(pkt));
+    return;
+  }
+  DecodedRequest req;
+  if (!DecodeNfsRequest(pkt.payload(), &req).ok()) {
+    PassThroughOutbound(std::move(pkt));
+    return;
+  }
+  counters_.Add("intercepted");
+
+  const uint64_t key = KeyOf(pkt.src_port(), req.xid);
+  if (const auto it = pending_.find(key); it != pending_.end() && it->second.absorbed) {
+    counters_.Add("duplicate_absorbed");
+    return;  // fan-out already in flight; our own RPC layer retransmits
+  }
+
+  // Dynamic placement: bulk I/O consults the coordinator block maps.
+  if (config_.use_block_maps && !config_.coordinators.empty() &&
+      (req.proc == NfsProc::kRead || req.proc == NfsProc::kWrite) &&
+      (config_.small_file_servers.empty() || req.offset >= config_.threshold)) {
+    const uint64_t block = req.offset / config_.stripe_unit;
+    auto map_it = map_cache_.find(req.fh.fileid());
+    if (map_it == map_cache_.end() || map_it->second.size() <= block ||
+        map_it->second[block] == kUnmappedBlock) {
+      // Hold the request, fetch a map fragment, then route.
+      counters_.Add("map_fetches");
+      GetMapArgs margs;
+      margs.file = req.fh;
+      margs.first_block = block;
+      margs.count = 64;
+      margs.allocate = req.proc == NfsProc::kWrite;
+      XdrEncoder enc;
+      margs.Encode(enc);
+      auto held = std::make_shared<Packet>(std::move(pkt));
+      own_rpc_->Call(CoordinatorFor(req.fh), kCoordProgram, kCoordVersion,
+                     static_cast<uint32_t>(CoordProc::kGetMap), enc.Take(),
+                     [this, held, req](Status st, const RpcMessageView& reply) {
+                       if (st.ok()) {
+                         XdrDecoder dec(reply.body);
+                         Result<GetMapRes> res = GetMapRes::Decode(dec);
+                         if (res.ok()) {
+                           std::vector<uint32_t>& map = map_cache_[req.fh.fileid()];
+                           if (map.size() < res->first_block + res->sites.size()) {
+                             map.resize(res->first_block + res->sites.size(), kUnmappedBlock);
+                           }
+                           for (size_t i = 0; i < res->sites.size(); ++i) {
+                             map[res->first_block + i] = res->sites[i];
+                           }
+                         }
+                       }
+                       // Re-process; a still-unmapped read block falls back
+                       // to static striping (reading a hole).
+                       const uint64_t blk = req.offset / config_.stripe_unit;
+                       const std::vector<uint32_t>& map = map_cache_[req.fh.fileid()];
+                       Endpoint target;
+                       if (blk < map.size() && map[blk] != kUnmappedBlock) {
+                         target = config_.storage_nodes[map[blk] %
+                                                        config_.storage_nodes.size()];
+                       } else {
+                         target = config_.storage_nodes[StripeSite(req.fh, req.offset)];
+                       }
+                       ForwardRequest(std::move(*held), req, target);
+                     });
+      return;
+    }
+    const Endpoint target =
+        config_.storage_nodes[map_it->second[block] % config_.storage_nodes.size()];
+    ForwardRequest(std::move(pkt), req, target);
+    return;
+  }
+
+  const RouteDecision route = SelectRoute(req);
+  switch (route.cls) {
+    case RouteClass::kPassThrough:
+      PassThroughOutbound(std::move(pkt));
+      return;
+    case RouteClass::kDirServer: {
+      counters_.Add("routed_dir");
+      // Removes need the victim's identity to reclaim its data afterwards;
+      // ask ahead (FIFO ordering guarantees the lookup is served first).
+      if (req.proc == NfsProc::kRemove) {
+        OwnLookup(route.target, req.fh, req.name,
+                  [this, key](Status st, const LookupRes& res) {
+                    auto it = pending_.find(key);
+                    if (!st.ok() || it == pending_.end() || res.status != Nfsstat3::kOk) {
+                      return;
+                    }
+                    // Only reclaim data when the last link goes away.
+                    if (res.object.type() == FileType3::kReg && res.obj_attributes &&
+                        res.obj_attributes->nlink <= 1) {
+                      it->second.fh = res.object;
+                      it->second.count = 1;  // marks "data removal armed"
+                    }
+                  });
+      }
+      ForwardRequest(std::move(pkt), req, route.target);
+      return;
+    }
+    case RouteClass::kSmallFile:
+      counters_.Add("routed_sfs");
+      ForwardRequest(std::move(pkt), req, route.target);
+      return;
+    case RouteClass::kStorage:
+      counters_.Add("routed_storage");
+      ForwardRequest(std::move(pkt), req, route.target);
+      return;
+    case RouteClass::kMirrorWrite:
+      counters_.Add("mirrored_writes");
+      AbsorbMirrorWrite(req, pkt.src(), pkt.payload());
+      return;
+    case RouteClass::kMultiCommit: {
+      // A file the µproxy knows to be wholly below the threshold has all of
+      // its data at one small-file server: commit there directly instead of
+      // fanning out (the common case — 94% of an SFS file set is small).
+      if (!config_.small_file_servers.empty()) {
+        const AttrCache::Entry* entry = attr_cache_.Find(req.fh.fileid());
+        if (entry != nullptr && entry->attr.size <= config_.threshold) {
+          counters_.Add("small_commits");
+          ForwardRequest(std::move(pkt), req, sfs_table_.Lookup(MixU64(req.fh.fileid())));
+          return;
+        }
+      }
+      counters_.Add("multi_commits");
+      AbsorbMultiCommit(req, pkt.src());
+      return;
+    }
+  }
+}
+
+void Uproxy::ForwardRequest(Packet&& pkt, const DecodedRequest& req, Endpoint target) {
+  if (pending_.size() >= kMaxPending) {
+    pending_.clear();  // soft state; clients retransmit
+  }
+  Pending pending;
+  pending.proc = req.proc;
+  pending.fh = req.fh;
+  pending.offset = req.offset;
+  if (req.proc != NfsProc::kRemove) {
+    pending.count = req.count;
+  }
+  auto [it, inserted] = pending_.emplace(KeyOf(pkt.src_port(), req.xid), pending);
+  if (!inserted) {
+    // Retransmission: keep existing record (it may hold the remove lookup).
+  }
+
+  pkt.RewriteDst(target);
+  const SimTime ready = ChargeCpu();
+  auto shared = std::make_shared<Packet>(std::move(pkt));
+  queue_.ScheduleAt(ready, [this, shared, alive = alive_]() {
+    if (*alive) {
+      net_.Inject(std::move(*shared));
+    }
+  });
+}
+
+void Uproxy::HandleInbound(Packet&& pkt) {
+  // The µproxy's own RPC traffic (fan-outs, writebacks, coordinator calls)
+  // rides on a separate port; hand it up without interference.
+  if (pkt.dst_port() == own_rpc_->local().port) {
+    net_.DeliverLocal(pkt.dst_addr(), std::move(pkt));
+    return;
+  }
+  DecodedReply reply;
+  if (!DecodeNfsReply(pkt.payload(), &reply).ok()) {
+    net_.DeliverLocal(pkt.dst_addr(), std::move(pkt));
+    return;
+  }
+  const uint64_t key = KeyOf(pkt.dst_port(), reply.xid);
+  auto it = pending_.find(key);
+  if (it == pending_.end()) {
+    net_.DeliverLocal(pkt.dst_addr(), std::move(pkt));
+    return;
+  }
+  Pending pending = it->second;
+  pending_.erase(it);
+
+  if (reply.stat == RpcAcceptStat::kSuccess) {
+    // Track I/O side effects on attributes, then patch a complete, current
+    // attribute set into the reply.
+    if (pending.proc == NfsProc::kRead) {
+      attr_cache_.NoteRead(pending.fh.fileid(), Now());
+    } else if (pending.proc == NfsProc::kWrite) {
+      attr_cache_.NoteWrite(pending.fh.fileid(), pending.offset + pending.count, Now());
+      ArmWritebackTimer();
+    } else if (pending.proc == NfsProc::kRemove && pending.count == 1) {
+      // Forwarded remove succeeded and the lookup armed data reclamation.
+      XdrDecoder dec(pkt.payload().subspan(reply.body_offset));
+      Result<RemoveRes> res = RemoveRes::Decode(dec);
+      if (res.ok() && res->status == Nfsstat3::kOk) {
+        ScheduleDataRemove(pending.fh);
+        attr_cache_.Erase(pending.fh.fileid());
+      }
+    } else if (pending.proc == NfsProc::kSetattr && pending.count == 1) {
+      // Truncate observed: propagate to the data servers.
+      XdrDecoder dec(pkt.payload().subspan(reply.body_offset));
+      Result<SetattrRes> res = SetattrRes::Decode(dec);
+      if (res.ok() && res->status == Nfsstat3::kOk) {
+        ScheduleDataTruncate(pending.fh, pending.offset);
+      }
+    } else if (pending.proc == NfsProc::kCommit) {
+      // Push the committed file's attributes home; the periodic timer
+      // handles the rest of the dirty set.
+      if (const AttrCache::Entry* entry = attr_cache_.Find(pending.fh.fileid());
+          entry != nullptr && entry->dirty) {
+        WritebackAttrs(pending.fh.fileid(), entry->attr);
+      }
+    }
+    PatchReplyAttrs(pkt, pending, reply);
+  }
+
+  pkt.RewriteSrc(config_.virtual_server);
+  const SimTime ready = ChargeCpu();
+  const NetAddr client_addr = pkt.dst_addr();
+  auto shared = std::make_shared<Packet>(std::move(pkt));
+  queue_.ScheduleAt(ready, [this, client_addr, shared, alive = alive_]() {
+    if (*alive) {
+      net_.DeliverLocal(client_addr, std::move(*shared));
+    }
+  });
+}
+
+std::optional<size_t> Uproxy::LocateTargetAttr(ByteSpan payload, const Pending& pending,
+                                               const DecodedReply& reply) const {
+  ByteSpan body = payload.subspan(reply.body_offset);
+  if (body.size() < 4) {
+    return std::nullopt;
+  }
+  const uint32_t status = GetU32(body.data());
+  size_t pos = 4;
+  auto post_op_attr_here = [&]() -> std::optional<size_t> {
+    if (body.size() < pos + 4) {
+      return std::nullopt;
+    }
+    const bool present = GetU32(body.data() + pos) == 1;
+    pos += 4;
+    if (!present || body.size() < pos + kFattr3WireSize) {
+      return std::nullopt;
+    }
+    return reply.body_offset + pos;
+  };
+
+  switch (pending.proc) {
+    case NfsProc::kGetattr:
+      if (status != 0 || body.size() < 4 + kFattr3WireSize) {
+        return std::nullopt;
+      }
+      return reply.body_offset + 4;
+    case NfsProc::kRead:
+    case NfsProc::kAccess:
+      return post_op_attr_here();
+    case NfsProc::kWrite:
+    case NfsProc::kCommit: {
+      // wcc_data: pre-op bool (+24) then post-op attr.
+      if (body.size() < pos + 4) {
+        return std::nullopt;
+      }
+      const bool pre = GetU32(body.data() + pos) == 1;
+      pos += 4 + (pre ? 24 : 0);
+      return post_op_attr_here();
+    }
+    case NfsProc::kLookup: {
+      if (status != 0) {
+        return std::nullopt;
+      }
+      // fh is a variable opaque: length word + padded bytes.
+      if (body.size() < pos + 4) {
+        return std::nullopt;
+      }
+      const uint32_t fh_len = GetU32(body.data() + pos);
+      pos += 4 + fh_len + XdrPad(fh_len);
+      return post_op_attr_here();
+    }
+    case NfsProc::kCreate:
+    case NfsProc::kMkdir: {
+      if (status != 0) {
+        return std::nullopt;
+      }
+      if (body.size() < pos + 4) {
+        return std::nullopt;
+      }
+      const bool has_fh = GetU32(body.data() + pos) == 1;
+      pos += 4;
+      if (has_fh) {
+        if (body.size() < pos + 4) {
+          return std::nullopt;
+        }
+        const uint32_t fh_len = GetU32(body.data() + pos);
+        pos += 4 + fh_len + XdrPad(fh_len);
+      }
+      return post_op_attr_here();
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+void Uproxy::PatchReplyAttrs(Packet& pkt, const Pending& pending, const DecodedReply& reply) {
+  const std::optional<size_t> attr_offset = LocateTargetAttr(pkt.payload(), pending, reply);
+  if (!attr_offset.has_value()) {
+    return;
+  }
+  ByteSpan attr_bytes = pkt.payload().subspan(*attr_offset, kFattr3WireSize);
+  XdrDecoder dec(attr_bytes);
+  Result<Fattr3> server_attr = DecodeFattr3(dec);
+  if (!server_attr.ok()) {
+    return;
+  }
+  attr_cache_.MergeFromReply(server_attr->fileid, *server_attr);
+  const AttrCache::Entry* entry = attr_cache_.Find(server_attr->fileid);
+  if (entry == nullptr || entry->attr == *server_attr) {
+    return;  // nothing to patch
+  }
+  XdrEncoder enc;
+  EncodeFattr3(enc, entry->attr);
+  pkt.RewriteBytes(kPacketHeaderSize + *attr_offset, enc.bytes());
+  counters_.Add("attrs_patched");
+}
+
+// --- µproxy-originated calls ---
+
+void Uproxy::OwnWrite(Endpoint server, const FileHandle& fh, uint64_t offset, ByteSpan data,
+                      StableHow stable, std::function<void(Status, const WriteRes&)> cb) {
+  WriteArgs args;
+  args.file = fh;
+  args.offset = offset;
+  args.count = static_cast<uint32_t>(data.size());
+  args.stable = stable;
+  args.data.assign(data.begin(), data.end());
+  XdrEncoder enc;
+  args.Encode(enc);
+  own_rpc_->Call(server, kNfsProgram, kNfsVersion, static_cast<uint32_t>(NfsProc::kWrite),
+                 enc.Take(), [cb = std::move(cb)](Status st, const RpcMessageView& reply) {
+                   WriteRes res;
+                   if (st.ok()) {
+                     XdrDecoder dec(reply.body);
+                     Result<WriteRes> decoded = WriteRes::Decode(dec);
+                     if (decoded.ok()) {
+                       res = *decoded;
+                     } else {
+                       st = decoded.status();
+                     }
+                   }
+                   cb(st, res);
+                 });
+}
+
+void Uproxy::OwnCommit(Endpoint server, const FileHandle& fh,
+                       std::function<void(Status, const CommitRes&)> cb) {
+  XdrEncoder enc;
+  CommitArgs{fh, 0, 0}.Encode(enc);
+  own_rpc_->Call(server, kNfsProgram, kNfsVersion, static_cast<uint32_t>(NfsProc::kCommit),
+                 enc.Take(), [cb = std::move(cb)](Status st, const RpcMessageView& reply) {
+                   CommitRes res;
+                   if (st.ok()) {
+                     XdrDecoder dec(reply.body);
+                     Result<CommitRes> decoded = CommitRes::Decode(dec);
+                     if (decoded.ok()) {
+                       res = *decoded;
+                     } else {
+                       st = decoded.status();
+                     }
+                   }
+                   cb(st, res);
+                 });
+}
+
+void Uproxy::OwnSetattrSize(Endpoint server, const FileHandle& fh, uint64_t size,
+                            std::function<void(Status)> cb) {
+  SetattrArgs args;
+  args.object = fh;
+  args.new_attributes.size = size;
+  XdrEncoder enc;
+  args.Encode(enc);
+  own_rpc_->Call(server, kNfsProgram, kNfsVersion, static_cast<uint32_t>(NfsProc::kSetattr),
+                 enc.Take(),
+                 [cb = std::move(cb)](Status st, const RpcMessageView&) { cb(st); });
+}
+
+void Uproxy::OwnRemoveObject(Endpoint server, const FileHandle& fh,
+                             std::function<void(Status)> cb) {
+  XdrEncoder enc;
+  DirOpArgs{fh, ""}.Encode(enc);
+  own_rpc_->Call(server, kNfsProgram, kNfsVersion, static_cast<uint32_t>(NfsProc::kRemove),
+                 enc.Take(),
+                 [cb = std::move(cb)](Status st, const RpcMessageView&) { cb(st); });
+}
+
+void Uproxy::OwnLookup(Endpoint server, const FileHandle& dir, const std::string& name,
+                       std::function<void(Status, const LookupRes&)> cb) {
+  XdrEncoder enc;
+  DirOpArgs{dir, name}.Encode(enc);
+  own_rpc_->Call(server, kNfsProgram, kNfsVersion, static_cast<uint32_t>(NfsProc::kLookup),
+                 enc.Take(), [cb = std::move(cb)](Status st, const RpcMessageView& reply) {
+                   LookupRes res;
+                   if (st.ok()) {
+                     XdrDecoder dec(reply.body);
+                     Result<LookupRes> decoded = LookupRes::Decode(dec);
+                     if (decoded.ok()) {
+                       res = *decoded;
+                     } else {
+                       st = decoded.status();
+                     }
+                   }
+                   cb(st, res);
+                 });
+}
+
+// --- absorb paths ---
+
+void Uproxy::ReplyToClient(Endpoint client, uint32_t xid, const Bytes& result_body) {
+  RpcReply reply;
+  reply.xid = xid;
+  reply.result = result_body;
+  Packet pkt = Packet::MakeUdp(config_.virtual_server, client, reply.Encode());
+  const SimTime ready = ChargeCpu();
+  auto shared = std::make_shared<Packet>(std::move(pkt));
+  queue_.ScheduleAt(ready, [this, client, shared, alive = alive_]() {
+    if (*alive) {
+      net_.DeliverLocal(client.addr, std::move(*shared));
+    }
+  });
+}
+
+Endpoint Uproxy::CoordinatorFor(const FileHandle& fh) const {
+  SLICE_CHECK(!config_.coordinators.empty());
+  return config_.coordinators[fh.fileid() % config_.coordinators.size()];
+}
+
+void Uproxy::WithIntent(IntentOp op, const FileHandle& fh, uint64_t arg,
+                        std::function<void(std::function<void()> complete)> body) {
+  if (config_.coordinators.empty()) {
+    body([]() {});
+    return;
+  }
+  LogIntentArgs args;
+  args.op = op;
+  args.file = fh;
+  args.arg = arg;
+  XdrEncoder enc;
+  args.Encode(enc);
+  const Endpoint coord = CoordinatorFor(fh);
+  counters_.Add("intents_logged");
+  own_rpc_->Call(
+      coord, kCoordProgram, kCoordVersion, static_cast<uint32_t>(CoordProc::kLogIntent),
+      enc.Take(),
+      [this, coord, body = std::move(body)](Status st, const RpcMessageView& reply) {
+        uint64_t intent_id = 0;
+        if (st.ok()) {
+          XdrDecoder dec(reply.body);
+          Result<LogIntentRes> res = LogIntentRes::Decode(dec);
+          if (res.ok()) {
+            intent_id = res->intent_id;
+          }
+        }
+        body([this, coord, intent_id]() {
+          if (intent_id == 0) {
+            return;
+          }
+          CompleteArgs cargs;
+          cargs.intent_id = intent_id;
+          XdrEncoder cenc;
+          cargs.Encode(cenc);
+          own_rpc_->Call(coord, kCoordProgram, kCoordVersion,
+                         static_cast<uint32_t>(CoordProc::kComplete), cenc.Take(),
+                         [](Status, const RpcMessageView&) {});
+        });
+      });
+}
+
+void Uproxy::AbsorbMirrorWrite(const DecodedRequest& req, Endpoint client, ByteSpan payload) {
+  XdrDecoder dec(payload.subspan(req.body_offset));
+  Result<WriteArgs> decoded = WriteArgs::Decode(dec);
+  if (!decoded.ok()) {
+    return;  // drop; client retransmits, then fails decode at the server
+  }
+  const WriteArgs args = *decoded;
+  const uint32_t replication = std::max<uint32_t>(2, args.file.replication());
+
+  Pending pending;
+  pending.proc = NfsProc::kWrite;
+  pending.fh = args.file;
+  pending.offset = args.offset;
+  pending.count = args.count;
+  pending.absorbed = true;
+  pending_[KeyOf(client.port, req.xid)] = pending;
+
+  // Duplicating the payload for the extra replicas costs client-host CPU.
+  cpu_.Acquire(queue_.now(),
+               static_cast<SimTime>(static_cast<double>(args.data.size()) *
+                                    (replication - 1) * config_.mirror_copy_ns_per_byte));
+
+  WithIntent(IntentOp::kMirrorWrite, args.file, args.offset,
+             [this, args, client, req, replication](std::function<void()> complete) {
+               auto results = std::make_shared<std::vector<WriteRes>>();
+               auto failures = std::make_shared<int>(0);
+               auto remaining = std::make_shared<uint32_t>(replication);
+               for (uint32_t r = 0; r < replication; ++r) {
+                 const uint32_t node = StripeSite(args.file, args.offset, r);
+                 OwnWrite(config_.storage_nodes[node], args.file, args.offset, args.data,
+                          args.stable,
+                          [this, results, failures, remaining, client, req, args,
+                           complete](Status st, const WriteRes& res) {
+                            if (!st.ok() || res.status != Nfsstat3::kOk) {
+                              ++*failures;
+                            } else {
+                              results->push_back(res);
+                            }
+                            if (--*remaining > 0) {
+                              return;
+                            }
+                            complete();
+                            pending_.erase(KeyOf(client.port, req.xid));
+                            if (*failures > 0 || results->empty()) {
+                              counters_.Add("mirror_write_failures");
+                              return;  // stay silent; client retransmits
+                            }
+                            attr_cache_.NoteWrite(args.file.fileid(),
+                                                  args.offset + args.count, Now());
+                            ArmWritebackTimer();
+                            WriteRes merged = results->front();
+                            for (const WriteRes& r2 : *results) {
+                              if (r2.committed == StableHow::kUnstable) {
+                                merged.committed = StableHow::kUnstable;
+                              }
+                              merged.count = std::min(merged.count, r2.count);
+                            }
+                            if (const AttrCache::Entry* e =
+                                    attr_cache_.Find(args.file.fileid());
+                                e != nullptr) {
+                              merged.wcc.after = e->attr;
+                            }
+                            XdrEncoder enc;
+                            merged.Encode(enc);
+                            ReplyToClient(client, req.xid, enc.bytes());
+                          });
+               }
+             });
+}
+
+void Uproxy::AbsorbMultiCommit(const DecodedRequest& req, Endpoint client) {
+  Pending pending;
+  pending.proc = NfsProc::kCommit;
+  pending.fh = req.fh;
+  pending.absorbed = true;
+  pending_[KeyOf(client.port, req.xid)] = pending;
+
+  // Commit pushes the file's attribute view back to the directory service.
+  if (const AttrCache::Entry* entry = attr_cache_.Find(req.fh.fileid());
+      entry != nullptr && entry->dirty) {
+    WritebackAttrs(req.fh.fileid(), entry->attr);
+  }
+
+  // Targets: every storage node (striping may have touched any of them) and
+  // the file's small-file server.
+  std::vector<Endpoint> targets = config_.storage_nodes;
+  if (!config_.small_file_servers.empty()) {
+    targets.push_back(sfs_table_.Lookup(MixU64(req.fh.fileid())));
+  }
+
+  WithIntent(
+      IntentOp::kCommit, req.fh, 0,
+      [this, req, client, targets](std::function<void()> complete) {
+        auto verf = std::make_shared<uint64_t>(0);
+        auto failures = std::make_shared<int>(0);
+        auto remaining = std::make_shared<size_t>(targets.size());
+        for (const Endpoint& target : targets) {
+          OwnCommit(target, req.fh,
+                    [this, verf, failures, remaining, client, req,
+                     complete](Status st, const CommitRes& res) {
+                      if (!st.ok() || res.status != Nfsstat3::kOk) {
+                        ++*failures;
+                      } else {
+                        *verf = MixU64(*verf ^ res.verf);
+                      }
+                      if (--*remaining > 0) {
+                        return;
+                      }
+                      complete();
+                      pending_.erase(KeyOf(client.port, req.xid));
+                      if (*failures > 0) {
+                        counters_.Add("commit_failures");
+                        return;
+                      }
+                      CommitRes merged;
+                      merged.verf = *verf;
+                      if (const AttrCache::Entry* e = attr_cache_.Find(req.fh.fileid());
+                          e != nullptr) {
+                        merged.wcc.after = e->attr;
+                      }
+                      XdrEncoder enc;
+                      merged.Encode(enc);
+                      ReplyToClient(client, req.xid, enc.bytes());
+                    });
+        }
+      });
+}
+
+void Uproxy::ScheduleDataRemove(const FileHandle& fh) {
+  counters_.Add("data_removes");
+  std::vector<Endpoint> targets = config_.storage_nodes;
+  if (!config_.small_file_servers.empty()) {
+    targets.push_back(sfs_table_.Lookup(MixU64(fh.fileid())));
+  }
+  WithIntent(IntentOp::kRemove, fh, 0,
+             [this, fh, targets](std::function<void()> complete) {
+               auto remaining = std::make_shared<size_t>(targets.size());
+               for (const Endpoint& target : targets) {
+                 OwnRemoveObject(target, fh, [remaining, complete](Status) {
+                   if (--*remaining == 0) {
+                     complete();
+                   }
+                 });
+               }
+             });
+}
+
+void Uproxy::ScheduleDataTruncate(const FileHandle& fh, uint64_t size) {
+  counters_.Add("data_truncates");
+  std::vector<Endpoint> targets = config_.storage_nodes;
+  if (!config_.small_file_servers.empty()) {
+    targets.push_back(sfs_table_.Lookup(MixU64(fh.fileid())));
+  }
+  WithIntent(IntentOp::kTruncate, fh, size,
+             [this, fh, size, targets](std::function<void()> complete) {
+               auto remaining = std::make_shared<size_t>(targets.size());
+               for (const Endpoint& target : targets) {
+                 OwnSetattrSize(target, fh, size, [remaining, complete](Status) {
+                   if (--*remaining == 0) {
+                     complete();
+                   }
+                 });
+               }
+             });
+}
+
+// --- attribute writeback ---
+
+void Uproxy::WritebackAttrs(uint64_t fileid, const Fattr3& attr) {
+  SetattrArgs args;
+  args.object =
+      FileHandle::Make(static_cast<uint32_t>(attr.fsid), fileid, 1, attr.type, 1, 0);
+  // The directory server routes on the fileid; capability checking applies
+  // to storage objects, not file managers, so a zero-secret handle is fine
+  // for the manager-side setattr. Size and mtime are what I/O changed.
+  args.new_attributes.size = attr.size;
+  args.new_attributes.mtime = attr.mtime;
+  args.new_attributes.atime = attr.atime;
+  XdrEncoder enc;
+  args.Encode(enc);
+  const Endpoint target = dir_table_.ByPhysical(SiteOfFileid(fileid));
+  counters_.Add("attr_writebacks");
+  // Optimistically mark clean at issue so concurrent flush triggers do not
+  // duplicate the setattr; a lost writeback re-dirties on the next write.
+  attr_cache_.MarkClean(fileid);
+  own_rpc_->Call(target, kNfsProgram, kNfsVersion, static_cast<uint32_t>(NfsProc::kSetattr),
+                 enc.Take(), [](Status, const RpcMessageView&) {});
+}
+
+void Uproxy::FlushDirtyAttrs() {
+  for (uint64_t fileid : attr_cache_.DirtyFiles()) {
+    const AttrCache::Entry* entry = attr_cache_.Find(fileid);
+    if (entry != nullptr) {
+      WritebackAttrs(fileid, entry->attr);
+    }
+  }
+  for (const auto& [fileid, attr] : attr_cache_.TakeEvictedDirty()) {
+    WritebackAttrs(fileid, attr);
+  }
+}
+
+void Uproxy::ArmWritebackTimer() {
+  if (writeback_timer_armed_) {
+    return;
+  }
+  writeback_timer_armed_ = true;
+  queue_.ScheduleAfter(config_.attr_writeback_interval, [this, alive = alive_]() {
+    if (!*alive) {
+      return;
+    }
+    writeback_timer_armed_ = false;
+    FlushDirtyAttrs();
+    if (!attr_cache_.DirtyFiles().empty()) {
+      ArmWritebackTimer();
+    }
+  });
+}
+
+}  // namespace slice

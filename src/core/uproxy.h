@@ -1,0 +1,189 @@
+// The Slice µproxy: a request-switching packet filter interposed on a
+// client's network path to the storage service (paper §2.1, §3, §4.1).
+//
+// It intercepts NFS packets addressed to the virtual server endpoint and:
+//   * classifies each request (bulk I/O / small-file I/O / name space),
+//   * selects a physical server via the configured routing policies
+//     (threshold-split I/O, static or mirrored striping, optional
+//     coordinator block maps; mkdir switching or name hashing for names),
+//   * rewrites destination (requests) and source (replies) address/port with
+//     incremental checksum adjustment,
+//   * maintains soft state only: pending-request records, routing tables, a
+//     file-attribute cache patched into every reply and written back to the
+//     directory servers, and
+//   * originates its own packets where an operation spans servers (mirrored
+//     writes, multi-site commit, remove/truncate fan-out under coordinator
+//     intention logging).
+//
+// Everything here may be discarded at any time (DropSoftState); end-to-end
+// RPC retransmission recovers.
+#ifndef SLICE_CORE_UPROXY_H_
+#define SLICE_CORE_UPROXY_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "src/coord/coord_proto.h"
+#include "src/core/attr_cache.h"
+#include "src/core/request_decode.h"
+#include "src/core/routing_table.h"
+#include "src/dir/dir_server.h"
+#include "src/net/host.h"
+#include "src/rpc/rpc_client.h"
+#include "src/sim/stats.h"
+
+namespace slice {
+
+struct UproxyConfig {
+  Endpoint virtual_server;
+  std::vector<Endpoint> dir_servers;         // logical site -> physical
+  std::vector<Endpoint> small_file_servers;  // may be empty
+  std::vector<Endpoint> storage_nodes;
+  std::vector<Endpoint> coordinators;        // may be empty
+
+  NamePolicy name_policy = NamePolicy::kMkdirSwitching;
+  double mkdir_redirect_probability = 0.25;  // p (mkdir switching only)
+  uint32_t threshold = 65536;                // small-file threshold offset
+  uint32_t stripe_unit = 32768;              // bulk striping unit
+  bool use_block_maps = false;               // dynamic placement via coordinator
+
+  size_t logical_name_slots = 64;
+  size_t attr_cache_entries = 65536;
+  SimTime attr_writeback_interval = FromSeconds(1);
+  double per_packet_cpu_us = 10.0;  // client-side interposition cost
+  // Per-byte CPU cost of duplicating a mirrored write's payload for each
+  // extra replica ("the client host writes to both mirrors", §5).
+  double mirror_copy_ns_per_byte = 8.0;
+};
+
+class Uproxy : public PacketTap {
+ public:
+  // Installs itself as the tap on `client_host`'s network path.
+  Uproxy(Network& net, EventQueue& queue, Host& client_host, UproxyConfig config);
+  ~Uproxy() override;
+
+  void HandleOutbound(Packet&& pkt) override;
+  void HandleInbound(Packet&& pkt) override;
+
+  // Discards all soft state (pending records, attribute cache, block-map
+  // cache). Correctness must survive this (paper §2.1).
+  void DropSoftState();
+
+  // Reconfiguration: reload the directory-server routing table.
+  void ReloadDirServers(std::vector<Endpoint> servers) { dir_table_.Reload(std::move(servers)); }
+  RoutingTable& dir_table() { return dir_table_; }
+
+  const OpCounters& counters() const { return counters_; }
+  const AttrCache& attr_cache() const { return attr_cache_; }
+  size_t pending_count() const { return pending_.size(); }
+
+  // --- routing decisions, exposed for tests and the Table 3 bench ---
+
+  // Target server class for one decoded request.
+  enum class RouteClass : uint8_t {
+    kDirServer,      // simple rewrite to a directory server
+    kSmallFile,      // simple rewrite to a small-file server
+    kStorage,        // simple rewrite to one storage node
+    kMirrorWrite,    // absorb + fan out to replicas
+    kMultiCommit,    // absorb + commit fan-out (+ intent)
+    kPassThrough,    // not NFS / not ours
+  };
+
+  struct RouteDecision {
+    RouteClass cls = RouteClass::kPassThrough;
+    Endpoint target;
+    uint32_t storage_index = 0;  // selected node (kStorage)
+  };
+
+  RouteDecision SelectRoute(const DecodedRequest& req);
+
+  // Storage-node index for (file, byte offset) under static striping;
+  // `replica` < fh.replication() selects a mirror.
+  uint32_t StripeSite(const FileHandle& fh, uint64_t offset, uint32_t replica = 0) const;
+
+ private:
+  struct Pending {
+    NfsProc proc = NfsProc::kNull;
+    FileHandle fh;
+    uint64_t offset = 0;
+    uint32_t count = 0;
+    bool absorbed = false;  // fan-out in progress; drop duplicate requests
+  };
+  struct PendingKey {
+    uint32_t port_xid;  // (client port << 32) | xid packed below
+    uint64_t key;
+    bool operator==(const PendingKey&) const = default;
+  };
+
+  static uint64_t KeyOf(NetPort port, uint32_t xid) {
+    return (static_cast<uint64_t>(port) << 32) | xid;
+  }
+
+  NfsTime Now() const;
+  SimTime ChargeCpu();
+
+  // Simple rewrite-and-forward path.
+  void ForwardRequest(Packet&& pkt, const DecodedRequest& req, Endpoint target);
+  void PassThroughOutbound(Packet&& pkt);
+
+  // Absorb paths (the µproxy acts as a client toward the ensemble).
+  void AbsorbMirrorWrite(const DecodedRequest& req, Endpoint client, ByteSpan payload);
+  void AbsorbMultiCommit(const DecodedRequest& req, Endpoint client);
+  // Background fan-outs triggered by observed name-space operations.
+  void ScheduleDataRemove(const FileHandle& fh);
+  void ScheduleDataTruncate(const FileHandle& fh, uint64_t size);
+
+  // Sends a synthesized NFS reply to the local client.
+  void ReplyToClient(Endpoint client, uint32_t xid, const Bytes& result_body);
+
+  // Reply-side attribute patching.
+  void PatchReplyAttrs(Packet& pkt, const Pending& pending, const DecodedReply& reply);
+  // Finds the absolute packet offset of the target file's fattr3 within the
+  // reply, or nullopt. Exposed via FRIEND_TEST-free design: tests go through
+  // public packet behavior instead.
+  std::optional<size_t> LocateTargetAttr(ByteSpan payload, const Pending& pending,
+                                         const DecodedReply& reply) const;
+
+  // Attribute writeback to the directory service.
+  void WritebackAttrs(uint64_t fileid, const Fattr3& attr);
+  void FlushDirtyAttrs();
+  void ArmWritebackTimer();
+
+  // Coordinator helpers.
+  Endpoint CoordinatorFor(const FileHandle& fh) const;
+  void WithIntent(IntentOp op, const FileHandle& fh, uint64_t arg,
+                  std::function<void(std::function<void()> complete)> body);
+
+  // Typed µproxy-originated NFS calls.
+  void OwnWrite(Endpoint server, const FileHandle& fh, uint64_t offset, ByteSpan data,
+                StableHow stable, std::function<void(Status, const WriteRes&)> cb);
+  void OwnCommit(Endpoint server, const FileHandle& fh,
+                 std::function<void(Status, const CommitRes&)> cb);
+  void OwnSetattrSize(Endpoint server, const FileHandle& fh, uint64_t size,
+                      std::function<void(Status)> cb);
+  void OwnRemoveObject(Endpoint server, const FileHandle& fh, std::function<void(Status)> cb);
+  void OwnLookup(Endpoint server, const FileHandle& dir, const std::string& name,
+                 std::function<void(Status, const LookupRes&)> cb);
+
+  Network& net_;
+  EventQueue& queue_;
+  Host& client_host_;
+  UproxyConfig config_;
+  RoutingTable dir_table_;
+  RoutingTable sfs_table_;
+  AttrCache attr_cache_;
+  std::unique_ptr<RpcClient> own_rpc_;  // µproxy-originated traffic
+  BusyResource cpu_;
+  std::unordered_map<uint64_t, Pending> pending_;
+  // Block-map cache (dynamic placement): fileid -> site per block.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> map_cache_;
+  OpCounters counters_;
+  bool writeback_timer_armed_ = false;
+  // Guards event-queue callbacks against running after destruction.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace slice
+
+#endif  // SLICE_CORE_UPROXY_H_

@@ -1,0 +1,920 @@
+#include "src/dir/dir_server.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace slice {
+namespace {
+
+// WAL record opcodes.
+enum class DirLogOp : uint32_t {
+  kInsertEntry = 1,
+  kEraseEntry = 2,
+  kUpsertAttr = 3,
+  kEraseAttr = 4,
+};
+
+void EncodeAttrForLog(XdrEncoder& enc, const Fattr3& attr, const std::string& symlink) {
+  EncodeFattr3(enc, attr);
+  enc.PutString(symlink);
+}
+
+}  // namespace
+
+DirServer::DirServer(Network& net, EventQueue& queue, NetAddr addr, DirServerParams params)
+    : RpcServerNode(net, queue, addr, kNfsPort),
+      params_(params),
+      next_counter_(params.site == 0 ? kRootFileid + 1 : 1) {
+  if (params_.backing_node.addr != 0) {
+    wal_ = std::make_unique<WriteAheadLog>(host(), queue, params_.backing_node,
+                                           params_.backing_object);
+  }
+  if (params_.site == 0) {
+    Fattr3 root = NewAttr(kRootFileid, FileType3::kDir);
+    ApplyUpsertAttr(kRootFileid, root, "", /*log=*/true);
+  }
+}
+
+FileHandle DirServer::RootHandle() const {
+  return FileHandle::Make(params_.volume, kRootFileid, 1, FileType3::kDir, 1,
+                          params_.volume_secret);
+}
+
+NfsTime DirServer::Now() const {
+  return NfsTime{static_cast<uint32_t>(now() / kNanosPerSec),
+                 static_cast<uint32_t>(now() % kNanosPerSec)};
+}
+
+FileHandle DirServer::MintHandle(uint64_t fileid, FileType3 type) const {
+  const uint8_t replication = type == FileType3::kReg ? params_.default_replication : 1;
+  return FileHandle::Make(params_.volume, fileid, 1, type, replication, params_.volume_secret);
+}
+
+Fattr3 DirServer::NewAttr(uint64_t fileid, FileType3 type) const {
+  Fattr3 attr;
+  attr.type = type;
+  attr.mode = type == FileType3::kDir ? 0755 : 0644;
+  attr.nlink = type == FileType3::kDir ? 2 : 1;
+  attr.size = 0;
+  attr.used = 0;
+  attr.fsid = params_.volume;
+  attr.fileid = fileid;
+  attr.atime = attr.mtime = attr.ctime = Now();
+  return attr;
+}
+
+// --- logged primitives ---
+
+void DirServer::ApplyInsertEntry(uint64_t parent, const std::string& name,
+                                 const FileHandle& child, bool log) {
+  (void)store_.InsertEntry(parent, name, child);
+  if (log && wal_) {
+    XdrEncoder rec;
+    rec.PutEnum(static_cast<uint32_t>(DirLogOp::kInsertEntry));
+    rec.PutUint64(parent);
+    rec.PutString(name);
+    rec.PutOpaqueVar(child.bytes());
+    wal_->Append(rec.bytes());
+  }
+}
+
+void DirServer::ApplyEraseEntry(uint64_t parent, const std::string& name, bool log) {
+  (void)store_.EraseEntry(parent, name);
+  if (log && wal_) {
+    XdrEncoder rec;
+    rec.PutEnum(static_cast<uint32_t>(DirLogOp::kEraseEntry));
+    rec.PutUint64(parent);
+    rec.PutString(name);
+    wal_->Append(rec.bytes());
+  }
+}
+
+void DirServer::ApplyUpsertAttr(uint64_t fileid, const Fattr3& attr, const std::string& symlink,
+                                bool log) {
+  AttrCell* cell = store_.FindAttr(fileid);
+  if (cell == nullptr) {
+    (void)store_.InsertAttr(fileid, attr);
+    cell = store_.FindAttr(fileid);
+  } else {
+    cell->attr = attr;
+  }
+  if (!symlink.empty()) {
+    cell->symlink_target = symlink;
+  }
+  if (log && wal_) {
+    XdrEncoder rec;
+    rec.PutEnum(static_cast<uint32_t>(DirLogOp::kUpsertAttr));
+    rec.PutUint64(fileid);
+    EncodeAttrForLog(rec, cell->attr, cell->symlink_target);
+    wal_->Append(rec.bytes());
+  }
+}
+
+void DirServer::ApplyEraseAttr(uint64_t fileid, bool log) {
+  (void)store_.EraseAttr(fileid);
+  if (log && wal_) {
+    XdrEncoder rec;
+    rec.PutEnum(static_cast<uint32_t>(DirLogOp::kEraseAttr));
+    rec.PutUint64(fileid);
+    wal_->Append(rec.bytes());
+  }
+}
+
+void DirServer::ReplayRecord(ByteSpan record) {
+  XdrDecoder dec(record);
+  Result<uint32_t> op = dec.GetUint32();
+  if (!op.ok()) {
+    SLICE_WLOG << "dir: bad log record";
+    return;
+  }
+  switch (static_cast<DirLogOp>(*op)) {
+    case DirLogOp::kInsertEntry: {
+      Result<uint64_t> parent = dec.GetUint64();
+      Result<std::string> name = dec.GetString(255);
+      Result<Bytes> raw = dec.GetOpaqueVar(64);
+      if (parent.ok() && name.ok() && raw.ok() && raw->size() == FileHandle::kSize) {
+        ApplyInsertEntry(*parent, *name, FileHandle::FromBytes(*raw), /*log=*/false);
+      }
+      break;
+    }
+    case DirLogOp::kEraseEntry: {
+      Result<uint64_t> parent = dec.GetUint64();
+      Result<std::string> name = dec.GetString(255);
+      if (parent.ok() && name.ok()) {
+        ApplyEraseEntry(*parent, *name, /*log=*/false);
+      }
+      break;
+    }
+    case DirLogOp::kUpsertAttr: {
+      Result<uint64_t> fileid = dec.GetUint64();
+      Result<Fattr3> attr = DecodeFattr3(dec);
+      Result<std::string> symlink = dec.GetString(1024);
+      if (fileid.ok() && attr.ok() && symlink.ok()) {
+        ApplyUpsertAttr(*fileid, *attr, *symlink, /*log=*/false);
+        if (SiteOfFileid(*fileid) == params_.site) {
+          const uint64_t counter = *fileid & ((1ull << 48) - 1);
+          next_counter_ = std::max(next_counter_, counter + 1);
+        }
+      }
+      break;
+    }
+    case DirLogOp::kEraseAttr: {
+      Result<uint64_t> fileid = dec.GetUint64();
+      if (fileid.ok()) {
+        ApplyEraseAttr(*fileid, /*log=*/false);
+      }
+      break;
+    }
+  }
+}
+
+void DirServer::OnRestart() {
+  if (!wal_) {
+    return;  // nothing to recover from; state is simply lost
+  }
+  // The crash lost in-memory cells and any unflushed log tail.
+  wal_->DiscardBuffered();
+  store_.Clear();
+  recovering_ = true;
+  wal_->Replay([this](ByteSpan record) { ReplayRecord(record); },
+               [this](Status st) {
+                 if (!st.ok()) {
+                   SLICE_ELOG << "dir: recovery replay failed: " << st.ToString();
+                 }
+                 recovering_ = false;
+                 SLICE_ILOG << "dir site " << params_.site << " recovered "
+                            << store_.entry_count() << " entries, " << store_.attr_count()
+                            << " attr cells";
+               });
+}
+
+// --- peer protocol ---
+
+void DirServer::ChargePeer(ServiceCost& cost) {
+  ++cross_site_ops_;
+  cost.AddCpu(FromMicros(params_.peer_cpu_us));
+  cost.MergeCompletion(now() + FromMicros(params_.peer_rtt_us));
+}
+
+Status DirServer::PeerInsertEntry(uint32_t site, uint64_t parent, const std::string& name,
+                                  const FileHandle& child, ServiceCost& cost) {
+  if (IsLocalSite(site)) {
+    if (store_.FindEntry(parent, name).ok()) {
+      return Status(StatusCode::kAlreadyExists, "entry exists");
+    }
+    ApplyInsertEntry(parent, name, child, /*log=*/true);
+    return OkStatus();
+  }
+  ChargePeer(cost);
+  DirServer& peer = Peer(site);
+  if (peer.store_.FindEntry(parent, name).ok()) {
+    return Status(StatusCode::kAlreadyExists, "entry exists");
+  }
+  peer.ApplyInsertEntry(parent, name, child, /*log=*/true);
+  return OkStatus();
+}
+
+Status DirServer::PeerEraseEntry(uint32_t site, uint64_t parent, const std::string& name,
+                                 ServiceCost& cost) {
+  if (IsLocalSite(site)) {
+    if (!store_.FindEntry(parent, name).ok()) {
+      return Status(StatusCode::kNotFound, "no entry");
+    }
+    ApplyEraseEntry(parent, name, /*log=*/true);
+    return OkStatus();
+  }
+  ChargePeer(cost);
+  DirServer& peer = Peer(site);
+  if (!peer.store_.FindEntry(parent, name).ok()) {
+    return Status(StatusCode::kNotFound, "no entry");
+  }
+  peer.ApplyEraseEntry(parent, name, /*log=*/true);
+  return OkStatus();
+}
+
+void DirServer::TouchDirAttr(uint64_t dir_id, int entry_delta, int nlink_delta,
+                             ServiceCost& cost) {
+  const uint32_t site = SiteOfFileid(dir_id);
+  DirServer* owner = this;
+  if (!IsLocalSite(site)) {
+    ChargePeer(cost);
+    owner = &Peer(site);
+  }
+  AttrCell* cell = owner->store_.FindAttr(dir_id);
+  if (cell == nullptr) {
+    return;
+  }
+  cell->attr.mtime = cell->attr.ctime = Now();
+  cell->attr.size =
+      static_cast<uint64_t>(std::max<int64_t>(0, static_cast<int64_t>(cell->attr.size) +
+                                                     entry_delta));
+  cell->attr.nlink =
+      static_cast<uint32_t>(std::max<int64_t>(0, static_cast<int64_t>(cell->attr.nlink) +
+                                                     nlink_delta));
+  owner->ApplyUpsertAttr(dir_id, cell->attr, cell->symlink_target, /*log=*/true);
+}
+
+uint32_t DirServer::AdjustNlink(uint64_t fileid, int delta, ServiceCost& cost) {
+  const uint32_t site = SiteOfFileid(fileid);
+  DirServer* owner = this;
+  if (!IsLocalSite(site)) {
+    ChargePeer(cost);
+    owner = &Peer(site);
+  }
+  AttrCell* cell = owner->store_.FindAttr(fileid);
+  if (cell == nullptr) {
+    return 0;
+  }
+  const int64_t nlink = std::max<int64_t>(0, static_cast<int64_t>(cell->attr.nlink) + delta);
+  cell->attr.nlink = static_cast<uint32_t>(nlink);
+  cell->attr.ctime = Now();
+  if (nlink == 0) {
+    owner->ApplyEraseAttr(fileid, /*log=*/true);
+  } else {
+    owner->ApplyUpsertAttr(fileid, cell->attr, cell->symlink_target, /*log=*/true);
+  }
+  return static_cast<uint32_t>(nlink);
+}
+
+std::optional<Fattr3> DirServer::GetAttrAnywhere(uint64_t fileid, ServiceCost& cost) {
+  const uint32_t site = SiteOfFileid(fileid);
+  const DirServer* owner = this;
+  if (!IsLocalSite(site)) {
+    ChargePeer(cost);
+    owner = &Peer(site);
+  }
+  const AttrCell* cell = owner->store_.FindAttr(fileid);
+  if (cell == nullptr) {
+    return std::nullopt;
+  }
+  return cell->attr;
+}
+
+uint32_t DirServer::EntrySite(const FileHandle& parent, const std::string& name) const {
+  if (params_.policy == NamePolicy::kNameHashing) {
+    return NameHashSite(NameFingerprint(parent, name), params_.num_sites);
+  }
+  return SiteOfFileid(parent.fileid());
+}
+
+// --- NFS handlers ---
+
+void DirServer::HandleGetattr(const GetattrArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  GetattrRes res;
+  const AttrCell* cell = store_.FindAttr(args.object.fileid());
+  if (cell == nullptr) {
+    // Possibly misdirected (stale routing table) or genuinely stale handle.
+    std::optional<Fattr3> remote = GetAttrAnywhere(args.object.fileid(), cost);
+    if (remote.has_value()) {
+      res.attributes = *remote;
+    } else {
+      res.status = Nfsstat3::kErrStale;
+    }
+  } else {
+    res.attributes = cell->attr;
+  }
+  res.Encode(reply);
+}
+
+void DirServer::HandleSetattr(const SetattrArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  SetattrRes res;
+  const uint64_t fileid = args.object.fileid();
+  const uint32_t site = SiteOfFileid(fileid);
+  DirServer* owner = this;
+  if (!IsLocalSite(site)) {
+    ChargePeer(cost);
+    owner = &Peer(site);
+  }
+  AttrCell* cell = owner->store_.FindAttr(fileid);
+  if (cell == nullptr) {
+    res.status = Nfsstat3::kErrStale;
+    res.Encode(reply);
+    return;
+  }
+  if (args.guard_ctime.has_value() && !(*args.guard_ctime == cell->attr.ctime)) {
+    res.status = Nfsstat3::kErrNotSync;
+    res.wcc.after = cell->attr;
+    res.Encode(reply);
+    return;
+  }
+  res.wcc.before = WccAttr{cell->attr.size, cell->attr.mtime, cell->attr.ctime};
+  const Sattr3& set = args.new_attributes;
+  if (set.mode) {
+    cell->attr.mode = *set.mode;
+  }
+  if (set.uid) {
+    cell->attr.uid = *set.uid;
+  }
+  if (set.gid) {
+    cell->attr.gid = *set.gid;
+  }
+  if (set.size) {
+    cell->attr.size = *set.size;
+    cell->attr.used = *set.size;
+  }
+  if (set.atime) {
+    cell->attr.atime = *set.atime;
+  }
+  if (set.mtime) {
+    cell->attr.mtime = *set.mtime;
+  }
+  cell->attr.ctime = Now();
+  owner->ApplyUpsertAttr(fileid, cell->attr, cell->symlink_target, /*log=*/true);
+  res.wcc.after = cell->attr;
+  res.Encode(reply);
+}
+
+void DirServer::HandleLookup(const DirOpArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  LookupRes res;
+  Result<FileHandle> child = store_.FindEntry(args.dir.fileid(), args.name);
+  if (const AttrCell* dir_cell = store_.FindAttr(args.dir.fileid()); dir_cell != nullptr) {
+    res.dir_attributes = dir_cell->attr;
+  }
+  if (!child.ok()) {
+    res.status = Nfsstat3::kErrNoent;
+    res.Encode(reply);
+    return;
+  }
+  res.object = *child;
+  res.obj_attributes = GetAttrAnywhere(child->fileid(), cost);
+  res.Encode(reply);
+}
+
+void DirServer::HandleAccess(const AccessArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  AccessRes res;
+  res.obj_attributes = GetAttrAnywhere(args.object.fileid(), cost);
+  if (!res.obj_attributes.has_value()) {
+    res.status = Nfsstat3::kErrStale;
+  } else {
+    res.access = args.access;  // permissive: no uid/gid enforcement modeled
+  }
+  res.Encode(reply);
+}
+
+void DirServer::HandleReadlink(const GetattrArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  (void)cost;
+  ReadlinkRes res;
+  const AttrCell* cell = store_.FindAttr(args.object.fileid());
+  if (cell == nullptr || cell->attr.type != FileType3::kLnk) {
+    res.status = cell == nullptr ? Nfsstat3::kErrStale : Nfsstat3::kErrInval;
+  } else {
+    res.symlink_attributes = cell->attr;
+    res.target = cell->symlink_target;
+  }
+  res.Encode(reply);
+}
+
+void DirServer::HandleCreate(const CreateArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  CreateRes res;
+  Result<FileHandle> existing = store_.FindEntry(args.dir.fileid(), args.name);
+  if (existing.ok()) {
+    if (args.mode == CreateMode::kUnchecked) {
+      res.object = *existing;
+      res.obj_attributes = GetAttrAnywhere(existing->fileid(), cost);
+    } else {
+      res.status = Nfsstat3::kErrExist;
+    }
+    res.Encode(reply);
+    return;
+  }
+  const uint64_t fileid = MintFileid();
+  const FileHandle fh = MintHandle(fileid, FileType3::kReg);
+  Fattr3 attr = NewAttr(fileid, FileType3::kReg);
+  if (args.attributes.mode) {
+    attr.mode = *args.attributes.mode;
+  }
+  if (args.attributes.size) {
+    attr.size = *args.attributes.size;
+  }
+  ApplyUpsertAttr(fileid, attr, "", /*log=*/true);
+  ApplyInsertEntry(args.dir.fileid(), args.name, fh, /*log=*/true);
+  TouchDirAttr(args.dir.fileid(), +1, 0, cost);
+  res.object = fh;
+  res.obj_attributes = attr;
+  if (const AttrCell* dir_cell = store_.FindAttr(args.dir.fileid()); dir_cell != nullptr) {
+    res.dir_wcc.after = dir_cell->attr;
+  }
+  res.Encode(reply);
+}
+
+void DirServer::HandleMkdir(const MkdirArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  CreateRes res;
+  const uint32_t parent_site = SiteOfFileid(args.dir.fileid());
+
+  // Duplicate check at the entry's owning site (the parent's site for mkdir
+  // switching, ours for name hashing).
+  const uint32_t entry_site =
+      params_.policy == NamePolicy::kNameHashing ? params_.site : parent_site;
+
+  const uint64_t fileid = MintFileid();
+  const FileHandle fh = MintHandle(fileid, FileType3::kDir);
+  Fattr3 attr = NewAttr(fileid, FileType3::kDir);
+  if (args.attributes.mode) {
+    attr.mode = *args.attributes.mode;
+  }
+
+  const Status inserted = PeerInsertEntry(entry_site, args.dir.fileid(), args.name, fh, cost);
+  if (!inserted.ok()) {
+    res.status = Nfsstat3::kErrExist;
+    res.Encode(reply);
+    return;
+  }
+  ApplyUpsertAttr(fileid, attr, "", /*log=*/true);
+  TouchDirAttr(args.dir.fileid(), +1, +1, cost);
+  res.object = fh;
+  res.obj_attributes = attr;
+  res.dir_wcc.after = GetAttrAnywhere(args.dir.fileid(), cost);
+  res.Encode(reply);
+}
+
+void DirServer::HandleSymlink(const SymlinkArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  CreateRes res;
+  if (store_.FindEntry(args.dir.fileid(), args.name).ok()) {
+    res.status = Nfsstat3::kErrExist;
+    res.Encode(reply);
+    return;
+  }
+  const uint64_t fileid = MintFileid();
+  const FileHandle fh = MintHandle(fileid, FileType3::kLnk);
+  Fattr3 attr = NewAttr(fileid, FileType3::kLnk);
+  attr.size = args.target.size();
+  ApplyUpsertAttr(fileid, attr, args.target, /*log=*/true);
+  ApplyInsertEntry(args.dir.fileid(), args.name, fh, /*log=*/true);
+  TouchDirAttr(args.dir.fileid(), +1, 0, cost);
+  res.object = fh;
+  res.obj_attributes = attr;
+  res.Encode(reply);
+}
+
+void DirServer::HandleRemove(const DirOpArgs& args, bool rmdir, XdrEncoder& reply,
+                             ServiceCost& cost) {
+  RemoveRes res;
+  Result<FileHandle> child = store_.FindEntry(args.dir.fileid(), args.name);
+  if (!child.ok()) {
+    res.status = Nfsstat3::kErrNoent;
+    res.Encode(reply);
+    return;
+  }
+  const bool is_dir = child->IsDir();
+  if (rmdir && !is_dir) {
+    res.status = Nfsstat3::kErrNotdir;
+    res.Encode(reply);
+    return;
+  }
+  if (!rmdir && is_dir) {
+    res.status = Nfsstat3::kErrIsdir;
+    res.Encode(reply);
+    return;
+  }
+
+  if (rmdir) {
+    // Empty check: under mkdir switching a directory's entries live at its
+    // own site; under name hashing they are scattered across every site.
+    size_t entries = 0;
+    if (params_.policy == NamePolicy::kNameHashing && !peers_.empty()) {
+      for (DirServer* peer : peers_) {
+        if (peer != this) {
+          ChargePeer(cost);
+        }
+        entries += peer->store_.CountDir(child->fileid());
+      }
+    } else {
+      const uint32_t dir_site = SiteOfFileid(child->fileid());
+      if (IsLocalSite(dir_site)) {
+        entries = store_.CountDir(child->fileid());
+      } else {
+        ChargePeer(cost);
+        entries = Peer(dir_site).store_.CountDir(child->fileid());
+      }
+    }
+    if (entries > 0) {
+      res.status = Nfsstat3::kErrNotempty;
+      res.Encode(reply);
+      return;
+    }
+  }
+
+  ApplyEraseEntry(args.dir.fileid(), args.name, /*log=*/true);
+  if (rmdir) {
+    const uint32_t dir_site = SiteOfFileid(child->fileid());
+    DirServer* owner = this;
+    if (!IsLocalSite(dir_site)) {
+      ChargePeer(cost);
+      owner = &Peer(dir_site);
+    }
+    owner->ApplyEraseAttr(child->fileid(), /*log=*/true);
+    owner->store_.DropDirIndex(child->fileid());
+    TouchDirAttr(args.dir.fileid(), -1, -1, cost);
+  } else {
+    AdjustNlink(child->fileid(), -1, cost);
+    TouchDirAttr(args.dir.fileid(), -1, 0, cost);
+  }
+  if (const AttrCell* dir_cell = store_.FindAttr(args.dir.fileid()); dir_cell != nullptr) {
+    res.dir_wcc.after = dir_cell->attr;
+  }
+  res.Encode(reply);
+}
+
+void DirServer::HandleRename(const RenameArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  RenameRes res;
+  Result<FileHandle> child = store_.FindEntry(args.from_dir.fileid(), args.from_name);
+  if (!child.ok()) {
+    res.status = Nfsstat3::kErrNoent;
+    res.Encode(reply);
+    return;
+  }
+  const bool is_dir = child->IsDir();
+  const uint32_t target_site = EntrySite(args.to_dir, args.to_name);
+
+  // If the target name exists, NFS semantics replace it (rejecting a
+  // non-empty directory target).
+  const DirStore* target_store =
+      IsLocalSite(target_site) ? &store_ : &Peer(target_site).store_;
+  Result<FileHandle> target = target_store->FindEntry(args.to_dir.fileid(), args.to_name);
+  if (target.ok()) {
+    if (target->IsDir()) {
+      const uint32_t tsite = SiteOfFileid(target->fileid());
+      size_t entries = 0;
+      if (IsLocalSite(tsite)) {
+        entries = store_.CountDir(target->fileid());
+      } else {
+        ChargePeer(cost);
+        entries = Peer(tsite).store_.CountDir(target->fileid());
+      }
+      if (entries > 0) {
+        res.status = Nfsstat3::kErrNotempty;
+        res.Encode(reply);
+        return;
+      }
+    }
+    (void)PeerEraseEntry(target_site, args.to_dir.fileid(), args.to_name, cost);
+    if (!target->IsDir()) {
+      AdjustNlink(target->fileid(), -1, cost);
+    }
+  }
+
+  ApplyEraseEntry(args.from_dir.fileid(), args.from_name, /*log=*/true);
+  const Status inserted =
+      PeerInsertEntry(target_site, args.to_dir.fileid(), args.to_name, *child, cost);
+  if (!inserted.ok()) {
+    // Roll back the erase (two-phase commit would prevent this window).
+    ApplyInsertEntry(args.from_dir.fileid(), args.from_name, *child, /*log=*/true);
+    res.status = Nfsstat3::kErrExist;
+    res.Encode(reply);
+    return;
+  }
+
+  const bool same_dir = args.from_dir.fileid() == args.to_dir.fileid();
+  TouchDirAttr(args.from_dir.fileid(), -1, is_dir && !same_dir ? -1 : 0, cost);
+  TouchDirAttr(args.to_dir.fileid(), +1, is_dir && !same_dir ? +1 : 0, cost);
+  res.from_dir_wcc.after = GetAttrAnywhere(args.from_dir.fileid(), cost);
+  res.to_dir_wcc.after = GetAttrAnywhere(args.to_dir.fileid(), cost);
+  res.Encode(reply);
+}
+
+void DirServer::HandleLink(const LinkArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  LinkRes res;
+  const Status inserted =
+      PeerInsertEntry(params_.site, args.dir.fileid(), args.name, args.file, cost);
+  if (!inserted.ok()) {
+    res.status = Nfsstat3::kErrExist;
+    res.Encode(reply);
+    return;
+  }
+  AdjustNlink(args.file.fileid(), +1, cost);
+  TouchDirAttr(args.dir.fileid(), +1, 0, cost);
+  res.file_attributes = GetAttrAnywhere(args.file.fileid(), cost);
+  if (const AttrCell* dir_cell = store_.FindAttr(args.dir.fileid()); dir_cell != nullptr) {
+    res.dir_wcc.after = dir_cell->attr;
+  }
+  res.Encode(reply);
+}
+
+void DirServer::HandleReaddir(const ReaddirArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  ReaddirRes res;
+  res.plus = args.plus;
+  const uint64_t dir_id = args.dir.fileid();
+  if (const AttrCell* cell = store_.FindAttr(dir_id); cell != nullptr) {
+    res.dir_attributes = cell->attr;
+  }
+
+  // Gather entries. Under name hashing a directory's entries are scattered
+  // across every site ("readdir operations span multiple sites", §3.2).
+  std::vector<NameCell> all = store_.ListDir(dir_id);
+  if (params_.policy == NamePolicy::kNameHashing && !peers_.empty()) {
+    for (DirServer* peer : peers_) {
+      if (peer == this) {
+        continue;
+      }
+      ChargePeer(cost);
+      std::vector<NameCell> part = peer->store_.ListDir(dir_id);
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const NameCell& a, const NameCell& b) { return a.name < b.name; });
+  }
+
+  const uint32_t budget = std::max<uint32_t>(args.plus ? args.maxcount : args.count, 512);
+  uint32_t used = 0;
+  uint64_t cookie = 0;
+  res.eof = true;
+  for (size_t i = args.cookie; i < all.size(); ++i) {
+    const NameCell& cell = all[i];
+    const uint32_t entry_size = static_cast<uint32_t>(24 + cell.name.size()) +
+                                (args.plus ? kFattr3WireSize + FileHandle::kSize + 12 : 0);
+    if (used + entry_size > budget) {
+      res.eof = false;
+      break;
+    }
+    used += entry_size;
+    cookie = i + 1;
+    DirEntry entry;
+    entry.fileid = cell.child.fileid();
+    entry.name = cell.name;
+    entry.cookie = cookie;
+    if (args.plus) {
+      entry.handle = cell.child;
+      entry.attr = GetAttrAnywhere(cell.child.fileid(), cost);
+    }
+    res.entries.push_back(std::move(entry));
+  }
+  res.cookieverf = 1;
+  res.Encode(reply);
+}
+
+void DirServer::HandleFsstat(XdrEncoder& reply, ServiceCost& cost) {
+  (void)cost;
+  FsstatRes res;
+  res.tbytes = 1ull << 42;
+  res.fbytes = res.abytes = 1ull << 41;
+  res.tfiles = 1ull << 24;
+  res.ffiles = res.afiles = res.tfiles - store_.attr_count();
+  if (const AttrCell* cell = store_.FindAttr(kRootFileid); cell != nullptr) {
+    res.obj_attributes = cell->attr;
+  }
+  res.Encode(reply);
+}
+
+void DirServer::HandleFsinfo(const GetattrArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  (void)cost;
+  FsinfoRes res;
+  if (const AttrCell* cell = store_.FindAttr(args.object.fileid()); cell != nullptr) {
+    res.obj_attributes = cell->attr;
+  }
+  res.Encode(reply);
+}
+
+namespace {
+
+// Encodes a minimal valid error body for any procedure (used while a server
+// is recovering or when arguments fail to decode at the NFS layer).
+void EncodeErrorFor(NfsProc proc, Nfsstat3 status, XdrEncoder& reply) {
+  switch (proc) {
+    case NfsProc::kGetattr: {
+      GetattrRes res;
+      res.status = status;
+      res.Encode(reply);
+      return;
+    }
+    case NfsProc::kSetattr: {
+      SetattrRes res;
+      res.status = status;
+      res.Encode(reply);
+      return;
+    }
+    case NfsProc::kLookup: {
+      LookupRes res;
+      res.status = status;
+      res.Encode(reply);
+      return;
+    }
+    case NfsProc::kAccess: {
+      AccessRes res;
+      res.status = status;
+      res.Encode(reply);
+      return;
+    }
+    case NfsProc::kReadlink: {
+      ReadlinkRes res;
+      res.status = status;
+      res.Encode(reply);
+      return;
+    }
+    case NfsProc::kCreate:
+    case NfsProc::kMkdir:
+    case NfsProc::kSymlink: {
+      CreateRes res;
+      res.status = status;
+      res.Encode(reply);
+      return;
+    }
+    case NfsProc::kRemove:
+    case NfsProc::kRmdir: {
+      RemoveRes res;
+      res.status = status;
+      res.Encode(reply);
+      return;
+    }
+    case NfsProc::kRename: {
+      RenameRes res;
+      res.status = status;
+      res.Encode(reply);
+      return;
+    }
+    case NfsProc::kLink: {
+      LinkRes res;
+      res.status = status;
+      res.Encode(reply);
+      return;
+    }
+    case NfsProc::kReaddir:
+    case NfsProc::kReaddirplus: {
+      ReaddirRes res;
+      res.status = status;
+      res.Encode(reply);
+      return;
+    }
+    default: {
+      reply.PutEnum(static_cast<uint32_t>(status));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& reply,
+                                    ServiceCost& cost) {
+  if (call.prog != kNfsProgram || call.vers != kNfsVersion) {
+    return RpcAcceptStat::kProgUnavail;
+  }
+  const NfsProc proc = static_cast<NfsProc>(call.proc);
+  cost.AddCpu(FromMicros(params_.op_cpu_us));
+  ++local_ops_;
+
+  if (recovering_) {
+    EncodeErrorFor(proc, Nfsstat3::kErrJukebox, reply);
+    return RpcAcceptStat::kSuccess;
+  }
+
+  XdrDecoder dec(call.body);
+  switch (proc) {
+    case NfsProc::kNull:
+      return RpcAcceptStat::kSuccess;
+    case NfsProc::kGetattr: {
+      Result<GetattrArgs> args = GetattrArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleGetattr(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kSetattr: {
+      Result<SetattrArgs> args = SetattrArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleSetattr(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kLookup: {
+      Result<DirOpArgs> args = DirOpArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleLookup(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kAccess: {
+      Result<AccessArgs> args = AccessArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleAccess(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kReadlink: {
+      Result<GetattrArgs> args = GetattrArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleReadlink(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kCreate: {
+      Result<CreateArgs> args = CreateArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleCreate(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kMkdir: {
+      Result<MkdirArgs> args = MkdirArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleMkdir(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kSymlink: {
+      Result<SymlinkArgs> args = SymlinkArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleSymlink(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kRemove:
+    case NfsProc::kRmdir: {
+      Result<DirOpArgs> args = DirOpArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleRemove(*args, proc == NfsProc::kRmdir, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kRename: {
+      Result<RenameArgs> args = RenameArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleRename(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kLink: {
+      Result<LinkArgs> args = LinkArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleLink(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kReaddir:
+    case NfsProc::kReaddirplus: {
+      Result<ReaddirArgs> args = ReaddirArgs::Decode(dec, proc == NfsProc::kReaddirplus);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleReaddir(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kFsstat: {
+      HandleFsstat(reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kFsinfo: {
+      Result<GetattrArgs> args = GetattrArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleFsinfo(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    default:
+      return RpcAcceptStat::kProcUnavail;
+  }
+}
+
+}  // namespace slice

@@ -1,0 +1,154 @@
+// Directory server: owns name entries and attribute cells with fixed
+// placement, supporting both mkdir switching and name hashing (paper §3.2,
+// §4.3). Cross-site operations (orphan mkdirs, cross-directory renames,
+// link-count updates, scattered readdir) run over a peer-to-peer protocol.
+//
+// Peer calls execute as direct nested calls whose CPU and round-trip cost is
+// charged to the simulation clock (see DESIGN.md, documented simplification);
+// the client-visible path is always real packets.
+//
+// The server journals every mutation to a write-ahead log backed by the
+// network storage array; Restart() recovers the full cell store by replay —
+// the "dataless file manager" property of §2.3 (and goes beyond the paper's
+// prototype, which left the recovery procedure unimplemented).
+#ifndef SLICE_DIR_DIR_SERVER_H_
+#define SLICE_DIR_DIR_SERVER_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/dir/dir_store.h"
+#include "src/dir/wal.h"
+#include "src/nfs/nfs_xdr.h"
+#include "src/rpc/rpc_server.h"
+
+namespace slice {
+
+enum class NamePolicy : uint8_t { kMkdirSwitching = 0, kNameHashing = 1 };
+
+// fileIDs embed the minting site in the top 16 bits — the "key placed in
+// each newly minted file handle" that lets the µproxy and servers locate a
+// cell's fixed placement from the handle alone.
+inline uint32_t SiteOfFileid(uint64_t fileid) { return static_cast<uint32_t>(fileid >> 48); }
+inline uint64_t MakeFileid(uint32_t site, uint64_t counter) {
+  return (static_cast<uint64_t>(site) << 48) | counter;
+}
+constexpr uint64_t kRootFileid = 1;  // minted at site 0
+
+// Logical routing-table size shared by µproxies and directory servers; name
+// hashing maps a fingerprint to a logical slot first, then to a physical
+// site, so both sides must agree on the slot count.
+constexpr uint32_t kDefaultLogicalSlots = 64;
+
+inline uint32_t NameHashSite(uint64_t fingerprint, uint32_t num_sites,
+                             uint32_t logical_slots = kDefaultLogicalSlots) {
+  return static_cast<uint32_t>((fingerprint % logical_slots) % num_sites);
+}
+
+struct DirServerParams {
+  uint32_t site = 0;
+  uint32_t num_sites = 1;
+  uint32_t volume = 1;
+  uint64_t volume_secret = 0;
+  NamePolicy policy = NamePolicy::kMkdirSwitching;
+  uint8_t default_replication = 1;
+  double op_cpu_us = 150.0;   // local name-op CPU (saturation ~6000 ops/s w/ log)
+  double peer_cpu_us = 60.0;  // extra CPU per cross-site leg
+  double peer_rtt_us = 90.0;  // charged latency per peer round trip
+  // WAL backing; if backing_node.addr == 0 logging is disabled.
+  Endpoint backing_node;
+  FileHandle backing_object;
+};
+
+class DirServer : public RpcServerNode {
+ public:
+  DirServer(Network& net, EventQueue& queue, NetAddr addr, DirServerParams params);
+
+  // Wires up the peer-protocol targets; peers[i] owns logical site i.
+  void SetPeers(std::vector<DirServer*> peers) { peers_ = std::move(peers); }
+
+  const DirStore& store() const { return store_; }
+  uint64_t cross_site_ops() const { return cross_site_ops_; }
+  uint64_t local_ops() const { return local_ops_; }
+  bool recovering() const { return recovering_; }
+  uint64_t log_bytes() const { return wal_ ? wal_->bytes_logged() : 0; }
+  FileHandle RootHandle() const;
+
+  // Flushes the WAL immediately (clean shutdown in tests).
+  void FlushLog() {
+    if (wal_) {
+      wal_->Flush();
+    }
+  }
+
+ protected:
+  RpcAcceptStat HandleCall(const RpcMessageView& call, XdrEncoder& reply,
+                           ServiceCost& cost) override;
+  void OnRestart() override;
+
+ private:
+  // --- logged primitive mutations (replayed on recovery) ---
+  void ApplyInsertEntry(uint64_t parent, const std::string& name, const FileHandle& child,
+                        bool log);
+  void ApplyEraseEntry(uint64_t parent, const std::string& name, bool log);
+  void ApplyUpsertAttr(uint64_t fileid, const Fattr3& attr, const std::string& symlink,
+                       bool log);
+  void ApplyEraseAttr(uint64_t fileid, bool log);
+  void ReplayRecord(ByteSpan record);
+
+  // --- peer protocol (direct calls; caller charges PeerCost) ---
+  DirServer& Peer(uint32_t site) { return *peers_[site]; }
+  bool IsLocalSite(uint32_t site) const { return site == params_.site || peers_.empty(); }
+  void ChargePeer(ServiceCost& cost);
+
+  Status PeerInsertEntry(uint32_t site, uint64_t parent, const std::string& name,
+                         const FileHandle& child, ServiceCost& cost);
+  Status PeerEraseEntry(uint32_t site, uint64_t parent, const std::string& name,
+                        ServiceCost& cost);
+  // Adjusts a directory's attrs after adding/removing an entry.
+  void TouchDirAttr(uint64_t dir_id, int entry_delta, int nlink_delta, ServiceCost& cost);
+  // Adjusts a file's link count; erases the cell when it drops to zero.
+  // Returns the resulting nlink.
+  uint32_t AdjustNlink(uint64_t fileid, int delta, ServiceCost& cost);
+  std::optional<Fattr3> GetAttrAnywhere(uint64_t fileid, ServiceCost& cost);
+
+  // Entry-owning site for (parent, name) under the configured policy.
+  uint32_t EntrySite(const FileHandle& parent, const std::string& name) const;
+
+  NfsTime Now() const;
+  uint64_t MintFileid() { return MakeFileid(params_.site, next_counter_++); }
+  FileHandle MintHandle(uint64_t fileid, FileType3 type) const;
+  Fattr3 NewAttr(uint64_t fileid, FileType3 type) const;
+
+  // --- NFS procedure handlers ---
+  void HandleGetattr(const GetattrArgs& args, XdrEncoder& reply, ServiceCost& cost);
+  void HandleSetattr(const SetattrArgs& args, XdrEncoder& reply, ServiceCost& cost);
+  void HandleLookup(const DirOpArgs& args, XdrEncoder& reply, ServiceCost& cost);
+  void HandleAccess(const AccessArgs& args, XdrEncoder& reply, ServiceCost& cost);
+  void HandleReadlink(const GetattrArgs& args, XdrEncoder& reply, ServiceCost& cost);
+  void HandleCreate(const CreateArgs& args, XdrEncoder& reply, ServiceCost& cost);
+  void HandleMkdir(const MkdirArgs& args, XdrEncoder& reply, ServiceCost& cost);
+  void HandleSymlink(const SymlinkArgs& args, XdrEncoder& reply, ServiceCost& cost);
+  void HandleRemove(const DirOpArgs& args, bool rmdir, XdrEncoder& reply, ServiceCost& cost);
+  void HandleRename(const RenameArgs& args, XdrEncoder& reply, ServiceCost& cost);
+  void HandleLink(const LinkArgs& args, XdrEncoder& reply, ServiceCost& cost);
+  void HandleReaddir(const ReaddirArgs& args, XdrEncoder& reply, ServiceCost& cost);
+  void HandleFsstat(XdrEncoder& reply, ServiceCost& cost);
+  void HandleFsinfo(const GetattrArgs& args, XdrEncoder& reply, ServiceCost& cost);
+
+  // Peer-visible internals used by the protocol above.
+  friend class DirServerPeerAccess;
+
+  DirServerParams params_;
+  DirStore store_;
+  std::vector<DirServer*> peers_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  uint64_t next_counter_;
+  bool recovering_ = false;
+  uint64_t cross_site_ops_ = 0;
+  uint64_t local_ops_ = 0;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_DIR_DIR_SERVER_H_

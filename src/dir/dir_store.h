@@ -1,0 +1,81 @@
+// Directory cell store: name entries and attribute cells on MD5-fingerprint
+// hash chains (paper §4.3: "webs of linked fixed-size cells ... indexed by
+// hash chains keyed by an MD5 hash fingerprint on the parent file handle and
+// name").
+//
+// Name entries and attribute cells for a directory may live on different
+// servers (cross-site links); this store only manages one server's resident
+// cells. Placement policy lives in the µproxy and DirServer.
+#ifndef SLICE_DIR_DIR_STORE_H_
+#define SLICE_DIR_DIR_STORE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/md5.h"
+#include "src/common/status.h"
+#include "src/nfs/nfs_types.h"
+
+namespace slice {
+
+// Fingerprint for a (parent directory, name) pair: the hash-chain key and
+// the name-hashing routing key. Shared by µproxy and directory servers.
+uint64_t NameFingerprint(const FileHandle& parent, std::string_view name);
+uint64_t NameFingerprintById(uint64_t parent_fileid, std::string_view name);
+
+struct NameCell {
+  uint64_t parent_id = 0;
+  std::string name;
+  FileHandle child;
+};
+
+struct AttrCell {
+  Fattr3 attr;
+  std::string symlink_target;  // kLnk cells only
+};
+
+class DirStore {
+ public:
+  // --- name entries ---
+  Status InsertEntry(uint64_t parent_id, const std::string& name, const FileHandle& child);
+  Result<FileHandle> FindEntry(uint64_t parent_id, const std::string& name) const;
+  Status EraseEntry(uint64_t parent_id, const std::string& name);
+  // Entries of `dir_id` resident on this server, name-ordered.
+  std::vector<NameCell> ListDir(uint64_t dir_id) const;
+  size_t CountDir(uint64_t dir_id) const;
+  // Removes the per-directory index for an (empty) directory.
+  void DropDirIndex(uint64_t dir_id);
+
+  // --- attribute cells ---
+  Status InsertAttr(uint64_t fileid, const Fattr3& attr);
+  AttrCell* FindAttr(uint64_t fileid);
+  const AttrCell* FindAttr(uint64_t fileid) const;
+  Status EraseAttr(uint64_t fileid);
+
+  size_t entry_count() const { return chains_.size(); }
+  size_t attr_count() const { return attrs_.size(); }
+  void Clear();
+
+ private:
+  struct ChainKey {
+    uint64_t parent_id;
+    std::string name;
+    bool operator==(const ChainKey&) const = default;
+  };
+  struct ChainKeyHash {
+    size_t operator()(const ChainKey& k) const {
+      return static_cast<size_t>(NameFingerprintById(k.parent_id, k.name));
+    }
+  };
+
+  std::unordered_map<ChainKey, NameCell, ChainKeyHash> chains_;
+  std::unordered_map<uint64_t, AttrCell> attrs_;
+  // Per-directory name index for readdir (cookie = rank within this map).
+  std::unordered_map<uint64_t, std::map<std::string, bool>> dir_index_;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_DIR_DIR_STORE_H_

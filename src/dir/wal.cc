@@ -1,0 +1,96 @@
+#include "src/dir/wal.h"
+
+#include "src/common/logging.h"
+
+namespace slice {
+
+WriteAheadLog::WriteAheadLog(Host& host, EventQueue& queue, Endpoint backing_node,
+                             FileHandle backing_object, WalParams params)
+    : queue_(queue), client_(host, queue, backing_node), object_(backing_object),
+      params_(params) {}
+
+void WriteAheadLog::Append(ByteSpan record) {
+  uint8_t len[4];
+  PutU32(len, static_cast<uint32_t>(record.size()));
+  buffer_.insert(buffer_.end(), len, len + 4);
+  buffer_.insert(buffer_.end(), record.begin(), record.end());
+  ++records_;
+  ArmFlushTimer();
+}
+
+void WriteAheadLog::ArmFlushTimer() {
+  if (timer_armed_) {
+    return;
+  }
+  timer_armed_ = true;
+  queue_.ScheduleAfter(params_.flush_interval, [this]() {
+    timer_armed_ = false;
+    Flush();
+  });
+}
+
+void WriteAheadLog::Flush() {
+  if (buffer_.empty()) {
+    return;
+  }
+  Bytes batch = std::move(buffer_);
+  buffer_.clear();
+  const uint64_t offset = log_offset_;
+  log_offset_ += batch.size();
+  ++flushes_;
+  client_.Write(object_, offset, batch, StableHow::kFileSync,
+                [](Status st, const WriteRes& res) {
+                  if (!st.ok() || res.status != Nfsstat3::kOk) {
+                    SLICE_WLOG << "wal: flush failed: " << st.ToString();
+                  }
+                });
+}
+
+void WriteAheadLog::DiscardBuffered() { buffer_.clear(); }
+
+void WriteAheadLog::Replay(std::function<void(ByteSpan)> on_record,
+                           std::function<void(Status)> on_done) {
+  ReplayChunk(0, Bytes{}, std::move(on_record), std::move(on_done));
+}
+
+void WriteAheadLog::ReplayChunk(uint64_t offset, Bytes carry,
+                                std::function<void(ByteSpan)> on_record,
+                                std::function<void(Status)> on_done) {
+  client_.Read(
+      object_, offset, params_.replay_chunk,
+      [this, offset, carry = std::move(carry), on_record = std::move(on_record),
+       on_done = std::move(on_done)](Status st, const ReadRes& res) mutable {
+        if (!st.ok()) {
+          on_done(st);
+          return;
+        }
+        if (res.status != Nfsstat3::kOk) {
+          on_done(Status(StatusCode::kInternal, "wal: replay read failed"));
+          return;
+        }
+        carry.insert(carry.end(), res.data.begin(), res.data.end());
+
+        // Parse complete records out of `carry`.
+        size_t pos = 0;
+        while (pos + 4 <= carry.size()) {
+          const uint32_t len = GetU32(carry.data() + pos);
+          if (pos + 4 + len > carry.size()) {
+            break;
+          }
+          on_record(ByteSpan(carry.data() + pos + 4, len));
+          pos += 4 + len;
+        }
+        carry.erase(carry.begin(), carry.begin() + static_cast<ptrdiff_t>(pos));
+
+        if (res.eof || res.data.empty()) {
+          // Everything stable has been replayed; continue appending after it.
+          log_offset_ = offset + res.data.size();
+          on_done(OkStatus());
+          return;
+        }
+        ReplayChunk(offset + res.data.size(), std::move(carry), std::move(on_record),
+                    std::move(on_done));
+      });
+}
+
+}  // namespace slice

@@ -1,0 +1,68 @@
+// A simulated host: one network address with a port demultiplexer, so
+// multiple sockets (e.g. several client mounts, or a µproxy control port)
+// can share the address.
+#ifndef SLICE_NET_HOST_H_
+#define SLICE_NET_HOST_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "src/net/network.h"
+
+namespace slice {
+
+class Host {
+ public:
+  using SocketHandler = std::function<void(Packet&&)>;
+
+  Host(Network& net, NetAddr addr) : net_(net), addr_(addr) {
+    net_.Attach(addr_, [this](Packet&& pkt) { Dispatch(std::move(pkt)); });
+  }
+  ~Host() { net_.Detach(addr_); }
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  NetAddr addr() const { return addr_; }
+  Network& network() { return net_; }
+
+  // Binds a handler to `port`; port 0 picks an ephemeral port. Returns the
+  // bound port.
+  NetPort Bind(NetPort port, SocketHandler handler) {
+    if (port == 0) {
+      while (sockets_.contains(next_ephemeral_)) {
+        ++next_ephemeral_;
+      }
+      port = next_ephemeral_++;
+    }
+    SLICE_CHECK(!sockets_.contains(port));
+    sockets_[port] = std::move(handler);
+    return port;
+  }
+
+  void Unbind(NetPort port) { sockets_.erase(port); }
+
+  void Send(Packet&& pkt) { net_.Send(std::move(pkt)); }
+
+  uint64_t undeliverable() const { return undeliverable_; }
+
+ private:
+  void Dispatch(Packet&& pkt) {
+    auto it = sockets_.find(pkt.dst_port());
+    if (it == sockets_.end()) {
+      ++undeliverable_;  // no ICMP in this simulation; silently dropped
+      return;
+    }
+    it->second(std::move(pkt));
+  }
+
+  Network& net_;
+  NetAddr addr_;
+  std::unordered_map<NetPort, SocketHandler> sockets_;
+  NetPort next_ephemeral_ = 32768;
+  uint64_t undeliverable_ = 0;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_NET_HOST_H_

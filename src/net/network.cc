@@ -1,0 +1,118 @@
+#include "src/net/network.h"
+
+#include "src/common/logging.h"
+
+namespace slice {
+
+Network::Network(EventQueue& queue, NetworkParams params)
+    : queue_(queue),
+      params_(params),
+      ns_per_byte_(8.0 / params.link_gbit_per_s),
+      loss_rng_(params.loss_seed) {}
+
+void Network::Attach(NetAddr addr, Handler handler) {
+  SLICE_CHECK(!hosts_.contains(addr));
+  hosts_[addr].handler = std::move(handler);
+}
+
+void Network::Detach(NetAddr addr) { hosts_.erase(addr); }
+
+void Network::InstallTap(NetAddr addr, PacketTap* tap) {
+  auto it = hosts_.find(addr);
+  SLICE_CHECK(it != hosts_.end());
+  SLICE_CHECK(it->second.tap == nullptr);
+  it->second.tap = tap;
+}
+
+void Network::RemoveTap(NetAddr addr) {
+  auto it = hosts_.find(addr);
+  if (it != hosts_.end()) {
+    it->second.tap = nullptr;
+  }
+}
+
+void Network::SetHostFailed(NetAddr addr, bool failed) {
+  if (failed) {
+    failed_[addr] = true;
+  } else {
+    failed_.erase(addr);
+  }
+}
+
+void Network::Send(Packet&& pkt) {
+  auto it = hosts_.find(pkt.src_addr());
+  if (it != hosts_.end() && it->second.tap != nullptr) {
+    it->second.tap->HandleOutbound(std::move(pkt));
+    return;
+  }
+  Transmit(std::move(pkt));
+}
+
+void Network::Inject(Packet&& pkt) { Transmit(std::move(pkt)); }
+
+void Network::Transmit(Packet&& pkt) {
+  if (failed_.contains(pkt.src_addr())) {
+    ++packets_dropped_;
+    return;
+  }
+  auto src_it = hosts_.find(pkt.src_addr());
+  if (src_it == hosts_.end()) {
+    ++packets_dropped_;
+    return;
+  }
+
+  ++packets_sent_;
+  bytes_sent_ += pkt.size();
+
+  if (params_.loss_rate > 0 && loss_rng_.NextBool(params_.loss_rate)) {
+    ++packets_dropped_;
+    SLICE_DLOG << "net: dropping packet " << EndpointToString(pkt.src()) << " -> "
+               << EndpointToString(pkt.dst());
+    return;
+  }
+
+  const SimTime wire = static_cast<SimTime>(static_cast<double>(pkt.size()) * ns_per_byte_);
+  const SimTime tx_done = src_it->second.tx.Acquire(queue_.now(), wire);
+  const SimTime arrival = tx_done + FromMicros(params_.switch_latency_us);
+
+  // Receiver-side serialization is applied at arrival time; we capture the
+  // packet by value in the scheduled closure.
+  auto shared = std::make_shared<Packet>(std::move(pkt));
+  queue_.ScheduleAt(arrival, [this, shared, wire]() {
+    const NetAddr dst = shared->dst_addr();
+    if (failed_.contains(dst)) {
+      ++packets_dropped_;
+      return;
+    }
+    auto it = hosts_.find(dst);
+    if (it == hosts_.end()) {
+      ++packets_dropped_;
+      return;
+    }
+    const SimTime rx_done = it->second.rx.Acquire(queue_.now(), wire);
+    queue_.ScheduleAt(rx_done, [this, shared]() {
+      const NetAddr addr = shared->dst_addr();
+      auto host_it = hosts_.find(addr);
+      if (host_it == hosts_.end() || failed_.contains(addr)) {
+        ++packets_dropped_;
+        return;
+      }
+      if (host_it->second.tap != nullptr) {
+        host_it->second.tap->HandleInbound(std::move(*shared));
+      } else {
+        host_it->second.handler(std::move(*shared));
+      }
+    });
+  });
+}
+
+void Network::DeliverLocal(NetAddr addr, Packet&& pkt) {
+  auto it = hosts_.find(addr);
+  if (it == hosts_.end()) {
+    ++packets_dropped_;
+    return;
+  }
+  it->second.handler(std::move(pkt));
+}
+
+}  // namespace slice

@@ -1,0 +1,105 @@
+// Simulated switched LAN. Hosts attach at addresses; each host has NIC
+// transmit/receive serialization at the link rate, packets cross the switch
+// with a fixed store-and-forward latency, and optional loss injection models
+// drops (which end-to-end RPC retransmission must mask, paper §2.1).
+//
+// A PacketTap can be interposed on a host's network path — this is where the
+// Slice µproxy lives. The tap sees every outbound packet before the network
+// and every inbound packet before the host, and may forward, rewrite, absorb,
+// or originate packets, mirroring the paper's "request switching filter
+// interposed along each client's network path".
+#ifndef SLICE_NET_NETWORK_H_
+#define SLICE_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+#include "src/net/packet.h"
+#include "src/sim/event_queue.h"
+
+namespace slice {
+
+struct NetworkParams {
+  double link_gbit_per_s = 1.0;   // per-host NIC rate
+  double switch_latency_us = 30;  // store-and-forward hop
+  double loss_rate = 0.0;         // independent per-packet drop probability
+  uint64_t loss_seed = 42;
+};
+
+// Interposition point on one host's network path.
+class PacketTap {
+ public:
+  virtual ~PacketTap() = default;
+
+  // Called for packets the host is sending. Implementations call
+  // Network::Inject to place (possibly rewritten) packets on the wire.
+  virtual void HandleOutbound(Packet&& pkt) = 0;
+  // Called for packets arriving for the host. Implementations call
+  // Network::DeliverLocal to pass packets up to the host.
+  virtual void HandleInbound(Packet&& pkt) = 0;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(Packet&&)>;
+
+  Network(EventQueue& queue, NetworkParams params);
+
+  // Attaches a host. `handler` receives packets addressed to `addr`.
+  void Attach(NetAddr addr, Handler handler);
+  void Detach(NetAddr addr);
+  bool IsAttached(NetAddr addr) const { return hosts_.contains(addr); }
+
+  // Installs/removes a tap on a host's path. At most one tap per host.
+  void InstallTap(NetAddr addr, PacketTap* tap);
+  void RemoveTap(NetAddr addr);
+
+  // Host send path: applies the outbound tap (if any), then puts the packet
+  // on the wire.
+  void Send(Packet&& pkt);
+
+  // Tap API: places a packet on the wire bypassing the sender-side tap.
+  void Inject(Packet&& pkt);
+  // Tap API: delivers a packet up to the local host, bypassing the inbound
+  // tap. Used by taps to hand accepted packets to their host.
+  void DeliverLocal(NetAddr addr, Packet&& pkt);
+
+  // Marks a host failed: its packets are dropped silently until revived.
+  // Models server crashes for failover experiments.
+  void SetHostFailed(NetAddr addr, bool failed);
+  bool IsHostFailed(NetAddr addr) const { return failed_.contains(addr); }
+
+  void set_loss_rate(double rate) { params_.loss_rate = rate; }
+
+  EventQueue& queue() { return queue_; }
+  uint64_t packets_sent() const { return packets_sent_; }
+  uint64_t packets_dropped() const { return packets_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct Host {
+    Handler handler;
+    PacketTap* tap = nullptr;
+    BusyResource tx;
+    BusyResource rx;
+  };
+
+  void Transmit(Packet&& pkt);
+
+  EventQueue& queue_;
+  NetworkParams params_;
+  double ns_per_byte_;
+  std::unordered_map<NetAddr, Host> hosts_;
+  std::unordered_map<NetAddr, bool> failed_;
+  Rng loss_rng_;
+  uint64_t packets_sent_ = 0;
+  uint64_t packets_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_NET_NETWORK_H_

@@ -1,0 +1,136 @@
+#include "src/net/packet.h"
+
+#include "src/common/inet_checksum.h"
+
+namespace slice {
+
+std::string AddrToString(NetAddr addr) {
+  std::string out;
+  out += std::to_string((addr >> 24) & 0xff);
+  out += '.';
+  out += std::to_string((addr >> 16) & 0xff);
+  out += '.';
+  out += std::to_string((addr >> 8) & 0xff);
+  out += '.';
+  out += std::to_string(addr & 0xff);
+  return out;
+}
+
+std::string EndpointToString(const Endpoint& ep) {
+  return AddrToString(ep.addr) + ":" + std::to_string(ep.port);
+}
+
+Packet Packet::MakeUdp(Endpoint src, Endpoint dst, ByteSpan payload) {
+  Packet pkt;
+  Bytes& b = pkt.data_;
+  b.resize(kPacketHeaderSize + payload.size());
+
+  // IPv4 header.
+  b[0] = 0x45;  // version 4, IHL 5
+  b[1] = 0;     // TOS
+  PutU16(&b[2], static_cast<uint16_t>(b.size()));
+  PutU16(&b[4], 0);  // identification
+  PutU16(&b[6], 0);  // flags/fragment
+  b[8] = 64;         // TTL
+  b[9] = kProtoUdp;
+  PutU16(&b[10], 0);  // checksum placeholder
+  PutU32(&b[12], src.addr);
+  PutU32(&b[16], dst.addr);
+
+  // UDP header.
+  PutU16(&b[kIpHeaderSize], src.port);
+  PutU16(&b[kIpHeaderSize + 2], dst.port);
+  PutU16(&b[kIpHeaderSize + 4], static_cast<uint16_t>(kUdpHeaderSize + payload.size()));
+  PutU16(&b[kIpHeaderSize + 6], 0);  // checksum placeholder
+
+  std::copy(payload.begin(), payload.end(), b.begin() + kPacketHeaderSize);
+  pkt.RecomputeChecksums();
+  return pkt;
+}
+
+bool Packet::IsValidUdp() const {
+  return data_.size() >= kPacketHeaderSize && data_[0] == 0x45 && data_[9] == kProtoUdp &&
+         GetU16(data_.data() + 2) == data_.size();
+}
+
+uint32_t Packet::UdpPseudoHeaderSum() const {
+  // src addr + dst addr + proto + udp length.
+  uint8_t pseudo[12];
+  PutU32(pseudo, src_addr());
+  PutU32(pseudo + 4, dst_addr());
+  pseudo[8] = 0;
+  pseudo[9] = kProtoUdp;
+  PutU16(pseudo + 10, static_cast<uint16_t>(data_.size() - kIpHeaderSize));
+  return OnesComplementSum(ByteSpan(pseudo, sizeof(pseudo)));
+}
+
+void Packet::RecomputeChecksums() {
+  PutU16(&data_[10], 0);
+  PutU16(&data_[kIpHeaderSize + 6], 0);
+
+  const uint16_t ip_sum = InetChecksum(ByteSpan(data_.data(), kIpHeaderSize));
+  PutU16(&data_[10], ip_sum);
+
+  uint16_t udp_sum =
+      InetChecksum(ByteSpan(data_.data() + kIpHeaderSize, data_.size() - kIpHeaderSize),
+                   UdpPseudoHeaderSum());
+  if (udp_sum == 0) {
+    udp_sum = 0xffff;  // RFC 768: transmitted as all-ones if computed zero
+  }
+  PutU16(&data_[kIpHeaderSize + 6], udp_sum);
+}
+
+bool Packet::VerifyChecksums() const {
+  Packet copy(*this);
+  const uint16_t ip_sum = ip_checksum();
+  const uint16_t udp_sum = udp_checksum();
+  copy.RecomputeChecksums();
+  return copy.ip_checksum() == ip_sum && copy.udp_checksum() == udp_sum;
+}
+
+void Packet::RewriteField(size_t offset, ByteSpan new_bytes, bool in_udp_pseudo_header) {
+  ByteSpan old_bytes(data_.data() + offset, new_bytes.size());
+
+  // IP header checksum covers only the IP header.
+  if (offset < kIpHeaderSize) {
+    const uint16_t new_ip =
+        IncrementalChecksumUpdate(ip_checksum(), old_bytes, new_bytes);
+    PutU16(&data_[10], new_ip);
+  }
+  // UDP checksum covers the pseudo-header (addresses) and the UDP segment.
+  if (offset >= kIpHeaderSize || in_udp_pseudo_header) {
+    const uint16_t new_udp =
+        IncrementalChecksumUpdate(udp_checksum(), old_bytes, new_bytes);
+    PutU16(&data_[kIpHeaderSize + 6], new_udp);
+  }
+
+  std::copy(new_bytes.begin(), new_bytes.end(), data_.begin() + static_cast<ptrdiff_t>(offset));
+}
+
+void Packet::RewriteBytes(size_t offset, ByteSpan new_bytes) {
+  SLICE_CHECK(offset >= kPacketHeaderSize);  // headers go through RewriteSrc/Dst
+  SLICE_CHECK(offset % 2 == 0);
+  SLICE_CHECK(new_bytes.size() % 2 == 0);
+  SLICE_CHECK(offset + new_bytes.size() <= data_.size());
+  RewriteField(offset, new_bytes, /*in_udp_pseudo_header=*/false);
+}
+
+void Packet::RewriteSrc(Endpoint new_src) {
+  uint8_t addr[4];
+  PutU32(addr, new_src.addr);
+  RewriteField(12, ByteSpan(addr, 4), /*in_udp_pseudo_header=*/true);
+  uint8_t port[2];
+  PutU16(port, new_src.port);
+  RewriteField(kIpHeaderSize, ByteSpan(port, 2), /*in_udp_pseudo_header=*/false);
+}
+
+void Packet::RewriteDst(Endpoint new_dst) {
+  uint8_t addr[4];
+  PutU32(addr, new_dst.addr);
+  RewriteField(16, ByteSpan(addr, 4), /*in_udp_pseudo_header=*/true);
+  uint8_t port[2];
+  PutU16(port, new_dst.port);
+  RewriteField(kIpHeaderSize + 2, ByteSpan(port, 2), /*in_udp_pseudo_header=*/false);
+}
+
+}  // namespace slice

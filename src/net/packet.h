@@ -1,0 +1,95 @@
+// Wire packets: an IPv4-like header plus a UDP header over a byte payload.
+//
+// The µproxy operates on these real bytes — parsing, rewriting addresses and
+// ports, and fixing checksums incrementally — exactly the work the paper's
+// packet-filter prototype performs below the FreeBSD IP stack.
+//
+// Simplifications vs. real IPv4: no options, no fragmentation (the testbed
+// ran 9KB jumbo frames; we let a datagram ride in one simulated frame).
+#ifndef SLICE_NET_PACKET_H_
+#define SLICE_NET_PACKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace slice {
+
+using NetAddr = uint32_t;  // IPv4-style host address
+using NetPort = uint16_t;
+
+constexpr size_t kIpHeaderSize = 20;
+constexpr size_t kUdpHeaderSize = 8;
+constexpr size_t kPacketHeaderSize = kIpHeaderSize + kUdpHeaderSize;
+constexpr uint8_t kProtoUdp = 17;
+
+// A socket-style endpoint identity.
+struct Endpoint {
+  NetAddr addr = 0;
+  NetPort port = 0;
+
+  bool operator==(const Endpoint&) const = default;
+};
+
+std::string AddrToString(NetAddr addr);
+std::string EndpointToString(const Endpoint& ep);
+
+// Owning packet buffer with typed accessors into the header fields.
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(Bytes data) : data_(std::move(data)) {}
+
+  // Builds a UDP packet with correct lengths and both checksums filled in.
+  static Packet MakeUdp(Endpoint src, Endpoint dst, ByteSpan payload);
+
+  bool IsValidUdp() const;
+
+  NetAddr src_addr() const { return GetU32(data_.data() + 12); }
+  NetAddr dst_addr() const { return GetU32(data_.data() + 16); }
+  NetPort src_port() const { return GetU16(data_.data() + kIpHeaderSize); }
+  NetPort dst_port() const { return GetU16(data_.data() + kIpHeaderSize + 2); }
+  Endpoint src() const { return Endpoint{src_addr(), src_port()}; }
+  Endpoint dst() const { return Endpoint{dst_addr(), dst_port()}; }
+  uint16_t ip_checksum() const { return GetU16(data_.data() + 10); }
+  uint16_t udp_checksum() const { return GetU16(data_.data() + kIpHeaderSize + 6); }
+
+  // Rewrites addressing fields, adjusting the IP and UDP checksums
+  // incrementally (RFC 1624) — cost proportional to bytes changed.
+  void RewriteSrc(Endpoint new_src);
+  void RewriteDst(Endpoint new_dst);
+
+  // Rewrites an arbitrary 16-bit-aligned byte range (header or payload),
+  // patching the covering checksums incrementally. The µproxy uses this to
+  // update file attributes inside NFS reply payloads in place.
+  void RewriteBytes(size_t offset, ByteSpan new_bytes);
+
+  // Verifies the stored checksums against a full recompute.
+  bool VerifyChecksums() const;
+  // Recomputes both checksums from scratch (used by builders and tests).
+  void RecomputeChecksums();
+
+  ByteSpan payload() const {
+    return ByteSpan(data_).subspan(kPacketHeaderSize, data_.size() - kPacketHeaderSize);
+  }
+  MutableByteSpan mutable_payload() {
+    return MutableByteSpan(data_).subspan(kPacketHeaderSize, data_.size() - kPacketHeaderSize);
+  }
+
+  size_t size() const { return data_.size(); }
+  const Bytes& bytes() const { return data_; }
+  Bytes& mutable_bytes() { return data_; }
+
+ private:
+  // Rewrites a 16-bit-aligned region and patches both checksums.
+  void RewriteField(size_t offset, ByteSpan new_bytes, bool in_udp_pseudo_header);
+  uint32_t UdpPseudoHeaderSum() const;
+
+  Bytes data_;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_NET_PACKET_H_

@@ -1,0 +1,113 @@
+#include "src/rpc/rpc_client.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace slice {
+
+RpcClient::RpcClient(Host& host, EventQueue& queue, RpcClientParams params)
+    : host_(host), queue_(queue), params_(params) {
+  port_ = host_.Bind(0, [this](Packet&& pkt) { OnPacket(std::move(pkt)); });
+}
+
+RpcClient::~RpcClient() {
+  *alive_ = false;
+  host_.Unbind(port_);
+}
+
+void RpcClient::Call(Endpoint server, uint32_t prog, uint32_t vers, uint32_t proc, Bytes args,
+                     ResponseHandler handler) {
+  const uint32_t xid = next_xid_++;
+  RpcCall call;
+  call.xid = xid;
+  call.prog = prog;
+  call.vers = vers;
+  call.proc = proc;
+  call.cred.machine_name = "host" + std::to_string(host_.addr() & 0xff);
+  call.cred.gids = {0, 5};
+  call.args = std::move(args);
+
+  PendingCall pending;
+  pending.server = server;
+  pending.wire = call.Encode();
+  pending.handler = std::move(handler);
+  pending.generation = next_generation_++;
+  pending_.emplace(xid, std::move(pending));
+
+  Transmit(xid);
+}
+
+void RpcClient::Transmit(uint32_t xid) {
+  auto it = pending_.find(xid);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingCall& pc = it->second;
+
+  if (pc.transmissions >= params_.max_transmissions) {
+    ResponseHandler handler = std::move(pc.handler);
+    pending_.erase(it);
+    RpcMessageView empty;
+    handler(Status(StatusCode::kTimedOut, "rpc: call timed out"), empty);
+    return;
+  }
+
+  if (pc.transmissions > 0) {
+    ++retransmissions_;
+    SLICE_DLOG << "rpc: retransmit xid=" << xid << " attempt=" << pc.transmissions + 1;
+  }
+  ++pc.transmissions;
+  ++calls_sent_;
+
+  host_.Send(Packet::MakeUdp(local(), pc.server, pc.wire));
+
+  const double scale =
+      pc.transmissions > 1
+          ? std::pow(params_.backoff_factor, static_cast<double>(pc.transmissions - 1))
+          : 1.0;
+  const SimTime timeout =
+      static_cast<SimTime>(static_cast<double>(params_.retransmit_timeout) * scale);
+  ArmTimer(xid, timeout);
+}
+
+void RpcClient::ArmTimer(uint32_t xid, SimTime timeout) {
+  auto it = pending_.find(xid);
+  SLICE_CHECK(it != pending_.end());
+  const uint64_t generation = it->second.generation;
+  queue_.ScheduleAfter(timeout, [this, xid, generation, alive = alive_]() {
+    if (!*alive) {
+      return;
+    }
+    auto timer_it = pending_.find(xid);
+    if (timer_it == pending_.end() || timer_it->second.generation != generation) {
+      return;  // already answered (or replaced)
+    }
+    Transmit(xid);
+  });
+}
+
+void RpcClient::OnPacket(Packet&& pkt) {
+  Result<RpcMessageView> decoded = DecodeRpcMessage(pkt.payload());
+  if (!decoded.ok() || decoded->type != RpcMsgType::kReply) {
+    SLICE_WLOG << "rpc: dropping undecodable packet on client port";
+    return;
+  }
+  auto it = pending_.find(decoded->xid);
+  if (it == pending_.end()) {
+    return;  // duplicate reply after retransmission; ignore
+  }
+  ResponseHandler handler = std::move(it->second.handler);
+  pending_.erase(it);
+
+  if (decoded->accept_stat != RpcAcceptStat::kSuccess) {
+    handler(Status(StatusCode::kInternal,
+                   "rpc: accept_stat=" +
+                       std::to_string(static_cast<uint32_t>(decoded->accept_stat))),
+            *decoded);
+    return;
+  }
+  handler(OkStatus(), *decoded);
+}
+
+}  // namespace slice

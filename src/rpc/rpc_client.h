@@ -1,0 +1,75 @@
+// Asynchronous ONC RPC client over simulated UDP with XID matching and
+// timeout-driven retransmission. End-to-end retransmission is what lets the
+// µproxy "discard its state and/or pending packets without compromising
+// correctness" (paper §2.1) — drops in the network or the µproxy are masked
+// here.
+#ifndef SLICE_RPC_RPC_CLIENT_H_
+#define SLICE_RPC_RPC_CLIENT_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/net/host.h"
+#include "src/rpc/rpc_message.h"
+#include "src/sim/event_queue.h"
+
+namespace slice {
+
+struct RpcClientParams {
+  SimTime retransmit_timeout = FromMillis(400);
+  int max_transmissions = 5;   // initial send + 4 retries
+  double backoff_factor = 2.0;
+};
+
+class RpcClient {
+ public:
+  // `handler(status, reply)`: status is kOk with a decoded reply view, or
+  // kTimedOut / kUnavailable on failure.
+  using ResponseHandler = std::function<void(Status, const RpcMessageView&)>;
+
+  RpcClient(Host& host, EventQueue& queue, RpcClientParams params = {});
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  void Call(Endpoint server, uint32_t prog, uint32_t vers, uint32_t proc, Bytes args,
+            ResponseHandler handler);
+
+  Endpoint local() const { return Endpoint{host_.addr(), port_}; }
+  uint64_t calls_sent() const { return calls_sent_; }
+  uint64_t retransmissions() const { return retransmissions_; }
+  size_t pending() const { return pending_.size(); }
+
+ private:
+  struct PendingCall {
+    Endpoint server;
+    Bytes wire;  // encoded RPC call, kept for retransmission
+    ResponseHandler handler;
+    int transmissions = 0;
+    SimTime next_timeout = 0;
+    uint64_t generation = 0;
+  };
+
+  void OnPacket(Packet&& pkt);
+  void Transmit(uint32_t xid);
+  void ArmTimer(uint32_t xid, SimTime timeout);
+
+  Host& host_;
+  EventQueue& queue_;
+  RpcClientParams params_;
+  NetPort port_;
+  // Guards timer callbacks scheduled into the event queue against running
+  // after this client is destroyed.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  uint32_t next_xid_ = 1;
+  uint64_t next_generation_ = 1;
+  std::unordered_map<uint32_t, PendingCall> pending_;
+  uint64_t calls_sent_ = 0;
+  uint64_t retransmissions_ = 0;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_RPC_RPC_CLIENT_H_

@@ -1,0 +1,170 @@
+#include "src/rpc/rpc_message.h"
+
+namespace slice {
+namespace {
+
+void EncodeAuthSys(XdrEncoder& enc, const AuthSysCred& cred) {
+  enc.PutEnum(static_cast<uint32_t>(RpcAuthFlavor::kSys));
+  XdrEncoder body;
+  body.PutUint32(cred.stamp);
+  body.PutString(cred.machine_name);
+  body.PutUint32(cred.uid);
+  body.PutUint32(cred.gid);
+  body.PutUint32(static_cast<uint32_t>(cred.gids.size()));
+  for (uint32_t g : cred.gids) {
+    body.PutUint32(g);
+  }
+  enc.PutOpaqueVar(body.bytes());
+}
+
+Result<AuthSysCred> DecodeAuthBody(ByteSpan body) {
+  XdrDecoder dec(body);
+  AuthSysCred cred;
+  SLICE_ASSIGN_OR_RETURN(cred.stamp, dec.GetUint32());
+  SLICE_ASSIGN_OR_RETURN(cred.machine_name, dec.GetString(255));
+  SLICE_ASSIGN_OR_RETURN(cred.uid, dec.GetUint32());
+  SLICE_ASSIGN_OR_RETURN(cred.gid, dec.GetUint32());
+  SLICE_ASSIGN_OR_RETURN(uint32_t n, dec.GetUint32());
+  if (n > 16) {
+    return Status(StatusCode::kCorrupt, "rpc: too many gids");
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    SLICE_ASSIGN_OR_RETURN(uint32_t g, dec.GetUint32());
+    cred.gids.push_back(g);
+  }
+  return cred;
+}
+
+void EncodeNullVerifier(XdrEncoder& enc) {
+  enc.PutEnum(static_cast<uint32_t>(RpcAuthFlavor::kNone));
+  enc.PutUint32(0);  // zero-length opaque body
+}
+
+}  // namespace
+
+Bytes RpcCall::Encode() const {
+  XdrEncoder enc;
+  enc.PutUint32(xid);
+  enc.PutEnum(static_cast<uint32_t>(RpcMsgType::kCall));
+  enc.PutUint32(kRpcVersion);
+  enc.PutUint32(prog);
+  enc.PutUint32(vers);
+  enc.PutUint32(proc);
+  EncodeAuthSys(enc, cred);
+  EncodeNullVerifier(enc);
+  enc.PutOpaqueFixed(args);
+  return enc.Take();
+}
+
+Bytes RpcReply::Encode() const {
+  XdrEncoder enc;
+  enc.PutUint32(xid);
+  enc.PutEnum(static_cast<uint32_t>(RpcMsgType::kReply));
+  enc.PutEnum(static_cast<uint32_t>(RpcReplyStat::kAccepted));
+  EncodeNullVerifier(enc);
+  enc.PutEnum(static_cast<uint32_t>(stat));
+  if (stat == RpcAcceptStat::kSuccess) {
+    enc.PutOpaqueFixed(result);
+  }
+  return enc.Take();
+}
+
+Result<RpcMessageView> DecodeRpcMessage(ByteSpan data) {
+  XdrDecoder dec(data);
+  RpcMessageView view;
+  SLICE_ASSIGN_OR_RETURN(view.xid, dec.GetUint32());
+  SLICE_ASSIGN_OR_RETURN(uint32_t type, dec.GetUint32());
+  if (type > 1) {
+    return Status(StatusCode::kCorrupt, "rpc: bad msg type");
+  }
+  view.type = static_cast<RpcMsgType>(type);
+
+  if (view.type == RpcMsgType::kCall) {
+    SLICE_ASSIGN_OR_RETURN(uint32_t rpcvers, dec.GetUint32());
+    if (rpcvers != kRpcVersion) {
+      return Status(StatusCode::kCorrupt, "rpc: bad version");
+    }
+    SLICE_ASSIGN_OR_RETURN(view.prog, dec.GetUint32());
+    SLICE_ASSIGN_OR_RETURN(view.vers, dec.GetUint32());
+    SLICE_ASSIGN_OR_RETURN(view.proc, dec.GetUint32());
+    SLICE_ASSIGN_OR_RETURN(uint32_t cred_flavor, dec.GetUint32());
+    SLICE_ASSIGN_OR_RETURN(Bytes cred_body, dec.GetOpaqueVar(400));
+    if (cred_flavor == static_cast<uint32_t>(RpcAuthFlavor::kSys)) {
+      SLICE_ASSIGN_OR_RETURN(view.cred, DecodeAuthBody(cred_body));
+    }
+    SLICE_ASSIGN_OR_RETURN(uint32_t verf_flavor, dec.GetUint32());
+    (void)verf_flavor;
+    SLICE_ASSIGN_OR_RETURN(Bytes verf_body, dec.GetOpaqueVar(400));
+    (void)verf_body;
+  } else {
+    SLICE_ASSIGN_OR_RETURN(uint32_t reply_stat, dec.GetUint32());
+    if (reply_stat != static_cast<uint32_t>(RpcReplyStat::kAccepted)) {
+      return Status(StatusCode::kCorrupt, "rpc: denied reply");
+    }
+    SLICE_ASSIGN_OR_RETURN(uint32_t verf_flavor, dec.GetUint32());
+    (void)verf_flavor;
+    SLICE_ASSIGN_OR_RETURN(Bytes verf_body, dec.GetOpaqueVar(400));
+    (void)verf_body;
+    SLICE_ASSIGN_OR_RETURN(uint32_t accept, dec.GetUint32());
+    if (accept > static_cast<uint32_t>(RpcAcceptStat::kSystemErr)) {
+      return Status(StatusCode::kCorrupt, "rpc: bad accept stat");
+    }
+    view.accept_stat = static_cast<RpcAcceptStat>(accept);
+  }
+
+  view.body_offset = dec.position();
+  view.body.assign(data.begin() + static_cast<ptrdiff_t>(dec.position()), data.end());
+  return view;
+}
+
+Result<RpcPeek> PeekRpcMessage(ByteSpan data) {
+  XdrDecoder dec(data);
+  RpcPeek peek;
+  SLICE_ASSIGN_OR_RETURN(peek.xid, dec.GetUint32());
+  SLICE_ASSIGN_OR_RETURN(uint32_t type, dec.GetUint32());
+  if (type > 1) {
+    return Status(StatusCode::kCorrupt, "rpc: bad msg type");
+  }
+  peek.type = static_cast<RpcMsgType>(type);
+
+  if (peek.type == RpcMsgType::kCall) {
+    SLICE_ASSIGN_OR_RETURN(uint32_t rpcvers, dec.GetUint32());
+    if (rpcvers != kRpcVersion) {
+      return Status(StatusCode::kCorrupt, "rpc: bad version");
+    }
+    SLICE_ASSIGN_OR_RETURN(peek.prog, dec.GetUint32());
+    SLICE_ASSIGN_OR_RETURN(peek.vers, dec.GetUint32());
+    SLICE_ASSIGN_OR_RETURN(peek.proc, dec.GetUint32());
+    // Skip credential and verifier without decoding their contents.
+    for (int i = 0; i < 2; ++i) {
+      SLICE_ASSIGN_OR_RETURN(uint32_t flavor, dec.GetUint32());
+      (void)flavor;
+      SLICE_ASSIGN_OR_RETURN(uint32_t len, dec.GetUint32());
+      if (len > 400) {
+        return Status(StatusCode::kCorrupt, "rpc: oversized auth");
+      }
+      SLICE_ASSIGN_OR_RETURN(ByteSpan skipped, dec.GetRawView(len + XdrPad(len)));
+      (void)skipped;
+    }
+  } else {
+    SLICE_ASSIGN_OR_RETURN(uint32_t reply_stat, dec.GetUint32());
+    if (reply_stat != static_cast<uint32_t>(RpcReplyStat::kAccepted)) {
+      return Status(StatusCode::kCorrupt, "rpc: denied reply");
+    }
+    SLICE_ASSIGN_OR_RETURN(uint32_t flavor, dec.GetUint32());
+    (void)flavor;
+    SLICE_ASSIGN_OR_RETURN(uint32_t len, dec.GetUint32());
+    if (len > 400) {
+      return Status(StatusCode::kCorrupt, "rpc: oversized verifier");
+    }
+    SLICE_ASSIGN_OR_RETURN(ByteSpan skipped, dec.GetRawView(len + XdrPad(len)));
+    (void)skipped;
+    SLICE_ASSIGN_OR_RETURN(uint32_t accept, dec.GetUint32());
+    peek.accept_stat = static_cast<RpcAcceptStat>(accept);
+  }
+
+  peek.body_offset = dec.position();
+  return peek;
+}
+
+}  // namespace slice

@@ -1,0 +1,90 @@
+#include "src/rpc/rpc_server.h"
+
+#include "src/common/logging.h"
+
+namespace slice {
+
+RpcServerNode::RpcServerNode(Network& net, EventQueue& queue, NetAddr addr, NetPort port,
+                             RpcServerParams params)
+    : net_(net), queue_(queue), host_(std::make_unique<Host>(net, addr)), port_(port),
+      params_(params) {
+  host_->Bind(port_, [this](Packet&& pkt) { OnPacket(std::move(pkt)); });
+}
+
+RpcServerNode::~RpcServerNode() = default;
+
+void RpcServerNode::Fail() {
+  failed_ = true;
+  net_.SetHostFailed(host_->addr(), true);
+}
+
+void RpcServerNode::Restart() {
+  failed_ = false;
+  net_.SetHostFailed(host_->addr(), false);
+  drc_.clear();
+  drc_order_.clear();
+  in_progress_.clear();
+  OnRestart();
+}
+
+void RpcServerNode::DispatchCall(const RpcMessageView& call, const Endpoint& client,
+                                 ReplyFn done) {
+  (void)client;
+  XdrEncoder result;
+  ServiceCost cost;
+  const RpcAcceptStat stat = HandleCall(call, result, cost);
+  done(stat, result.Take(), cost);
+}
+
+void RpcServerNode::OnPacket(Packet&& pkt) {
+  Result<RpcMessageView> decoded = DecodeRpcMessage(pkt.payload());
+  if (!decoded.ok() || decoded->type != RpcMsgType::kCall) {
+    SLICE_WLOG << "rpc-server: undecodable packet from " << EndpointToString(pkt.src());
+    return;
+  }
+
+  const Endpoint client = pkt.src();
+  const DrcKey key{(static_cast<uint64_t>(client.addr) << 16) | client.port, decoded->xid};
+
+  if (auto cached = drc_.find(key); cached != drc_.end()) {
+    ++duplicates_answered_;
+    SendPacket(Packet::MakeUdp(endpoint(), client, cached->second));
+    return;
+  }
+  if (in_progress_.contains(key)) {
+    return;  // async execution already under way; let the DRC answer later
+  }
+  in_progress_.insert(key);
+
+  const uint32_t xid = decoded->xid;
+  DispatchCall(*decoded, client,
+               [this, key, client, xid](RpcAcceptStat stat, Bytes result, ServiceCost cost) {
+                 RpcReply reply;
+                 reply.xid = xid;
+                 reply.stat = stat;
+                 if (stat == RpcAcceptStat::kSuccess) {
+                   reply.result = std::move(result);
+                 }
+                 Bytes wire = reply.Encode();
+
+                 in_progress_.erase(key);
+                 drc_.emplace(key, wire);
+                 drc_order_.push_back(key);
+                 while (drc_order_.size() > params_.duplicate_cache_entries) {
+                   drc_.erase(drc_order_.front());
+                   drc_order_.pop_front();
+                 }
+
+                 ++requests_served_;
+
+                 const SimTime cpu_done = cpu_.Acquire(queue_.now(), cost.cpu());
+                 const SimTime done_at =
+                     cpu_done > cost.completion() ? cpu_done : cost.completion();
+                 const Endpoint self = endpoint();
+                 queue_.ScheduleAt(done_at, [this, self, client, wire = std::move(wire)]() mutable {
+                   SendPacket(Packet::MakeUdp(self, client, wire));
+                 });
+               });
+}
+
+}  // namespace slice

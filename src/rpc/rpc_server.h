@@ -1,0 +1,131 @@
+// Server-node skeleton: receives RPC calls from the simulated network,
+// dispatches to a subclass handler, charges simulated service time (CPU +
+// any disk completions the handler reports), and replies.
+//
+// Includes a duplicate-request cache so retransmitted non-idempotent calls
+// (create, remove, rename...) return the original reply instead of
+// re-executing — standard NFS/UDP server behavior that the loss-injection
+// tests depend on.
+#ifndef SLICE_RPC_RPC_SERVER_H_
+#define SLICE_RPC_RPC_SERVER_H_
+
+#include <deque>
+#include <unordered_set>
+#include <memory>
+#include <unordered_map>
+
+#include "src/net/host.h"
+#include "src/rpc/rpc_message.h"
+#include "src/sim/event_queue.h"
+
+namespace slice {
+
+// Accumulates the simulated cost of servicing one request.
+class ServiceCost {
+ public:
+  void AddCpu(SimTime t) { cpu_ += t; }
+  // Records an asynchronous completion (e.g. a disk I/O finishing at `t`).
+  void MergeCompletion(SimTime t) {
+    if (t > completion_) {
+      completion_ = t;
+    }
+  }
+  SimTime cpu() const { return cpu_; }
+  SimTime completion() const { return completion_; }
+
+ private:
+  SimTime cpu_ = 0;
+  SimTime completion_ = 0;
+};
+
+struct RpcServerParams {
+  size_t duplicate_cache_entries = 4096;
+};
+
+class RpcServerNode {
+ public:
+  RpcServerNode(Network& net, EventQueue& queue, NetAddr addr, NetPort port,
+                RpcServerParams params = {});
+  virtual ~RpcServerNode();
+
+  RpcServerNode(const RpcServerNode&) = delete;
+  RpcServerNode& operator=(const RpcServerNode&) = delete;
+
+  Endpoint endpoint() const { return Endpoint{host_->addr(), port_}; }
+  NetAddr addr() const { return host_->addr(); }
+  Network& network() { return net_; }
+  EventQueue& queue() { return queue_; }
+  SimTime now() const { return queue_.now(); }
+  Host& host() { return *host_; }
+
+  // Crash simulation: a failed node drops all traffic. Restart() clears the
+  // failure and invokes OnRestart() so subclasses can run recovery.
+  void Fail();
+  void Restart();
+  bool failed() const { return failed_; }
+
+  uint64_t requests_served() const { return requests_served_; }
+  uint64_t duplicates_answered() const { return duplicates_answered_; }
+  const BusyResource& cpu() const { return cpu_; }
+
+ protected:
+  // Completion functor for asynchronous dispatch: subclasses call it exactly
+  // once with the accept stat, encoded result body, and accumulated cost.
+  using ReplyFn = std::function<void(RpcAcceptStat, Bytes, ServiceCost)>;
+
+  // Subclass request handler. Decodes args from `call.body`, encodes the
+  // procedure-specific result into `reply`, reports simulated time in
+  // `cost`. Returning a non-success accept stat suppresses `reply`.
+  virtual RpcAcceptStat HandleCall(const RpcMessageView& call, XdrEncoder& reply,
+                                   ServiceCost& cost) = 0;
+
+  // Dispatch hook. The default implementation runs HandleCall synchronously;
+  // servers whose handlers must wait on their own network I/O (e.g. the
+  // small-file server fetching from the storage array) override this and
+  // invoke `done` when the reply is ready.
+  virtual void DispatchCall(const RpcMessageView& call, const Endpoint& client, ReplyFn done);
+
+  // Recovery hook; default does nothing.
+  virtual void OnRestart() {}
+
+  // For subclasses that originate their own traffic (e.g. log writes).
+  void SendPacket(Packet&& pkt) { host_->Send(std::move(pkt)); }
+
+ private:
+  void OnPacket(Packet&& pkt);
+
+  Network& net_;
+  EventQueue& queue_;
+  std::unique_ptr<Host> host_;
+  NetPort port_;
+  RpcServerParams params_;
+  BusyResource cpu_;
+  bool failed_ = false;
+  uint64_t requests_served_ = 0;
+  uint64_t duplicates_answered_ = 0;
+
+  // Duplicate request cache keyed by (client endpoint, xid).
+  struct DrcKey {
+    uint64_t client;
+    uint32_t xid;
+    bool operator==(const DrcKey&) const = default;
+  };
+  struct DrcKeyHash {
+    size_t operator()(const DrcKey& k) const {
+      return std::hash<uint64_t>()(k.client ^ (static_cast<uint64_t>(k.xid) << 32));
+    }
+  };
+  struct DrcKeySetHash {
+    size_t operator()(const DrcKey& k) const { return DrcKeyHash{}(k); }
+  };
+
+  std::unordered_map<DrcKey, Bytes, DrcKeyHash> drc_;
+  std::deque<DrcKey> drc_order_;
+  // Calls whose async dispatch has not completed yet; duplicates of these
+  // are dropped (the client's retransmission will find the DRC entry later).
+  std::unordered_set<DrcKey, DrcKeySetHash> in_progress_;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_RPC_RPC_SERVER_H_

@@ -1,0 +1,52 @@
+#include "src/sfs/fragment_alloc.h"
+
+namespace slice {
+
+uint32_t FragmentSizeFor(uint32_t need) {
+  uint32_t size = kMinFragment;
+  while (size < need && size < kMaxFragment) {
+    size <<= 1;
+  }
+  SLICE_CHECK(need <= kMaxFragment);
+  return size;
+}
+
+size_t FragmentClassOf(uint32_t alloc_size) {
+  size_t cls = 0;
+  uint32_t size = kMinFragment;
+  while (size < alloc_size) {
+    size <<= 1;
+    ++cls;
+  }
+  SLICE_CHECK(size == alloc_size && cls < kFragmentClasses);
+  return cls;
+}
+
+Fragment FragmentAllocator::Allocate(uint32_t need) {
+  const uint32_t size = FragmentSizeFor(need);
+  const size_t cls = FragmentClassOf(size);
+  allocated_bytes_ += size;
+  if (!free_lists_[cls].empty()) {
+    const uint64_t offset = free_lists_[cls].back();
+    free_lists_[cls].pop_back();
+    free_bytes_ -= size;
+    ++reused_;
+    return Fragment{offset, size};
+  }
+  // Fragments are naturally aligned to their size (like FFS fragments), so
+  // a fragment never straddles more backing blocks than necessary.
+  const uint64_t offset = (tail_ + size - 1) / size * size;
+  tail_ = offset + size;
+  return Fragment{offset, size};
+}
+
+void FragmentAllocator::Free(Fragment fragment) {
+  if (!fragment.valid()) {
+    return;
+  }
+  free_lists_[FragmentClassOf(fragment.alloc_size)].push_back(fragment.offset);
+  allocated_bytes_ -= fragment.alloc_size;
+  free_bytes_ += fragment.alloc_size;
+}
+
+}  // namespace slice

@@ -1,0 +1,55 @@
+// Variable-fragment allocator for small-file data (paper §4.4): each 8KB
+// logical block gets physical space rounded up to the next power of two
+// (minimum 128 bytes), allocated best-fit from per-class free lists or
+// carved sequentially from the end of the backing zone — the SquidMLA-style
+// layout that batches newly created files into one stream.
+#ifndef SLICE_SFS_FRAGMENT_ALLOC_H_
+#define SLICE_SFS_FRAGMENT_ALLOC_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace slice {
+
+constexpr uint32_t kMinFragment = 128;
+constexpr uint32_t kMaxFragment = 8192;
+constexpr size_t kFragmentClasses = 7;  // 128, 256, ..., 8192
+
+// Power-of-two size class for a payload of `need` bytes.
+uint32_t FragmentSizeFor(uint32_t need);
+size_t FragmentClassOf(uint32_t alloc_size);
+
+struct Fragment {
+  uint64_t offset = ~0ull;  // within the backing zone
+  uint32_t alloc_size = 0;
+
+  bool valid() const { return alloc_size != 0; }
+};
+
+class FragmentAllocator {
+ public:
+  FragmentAllocator() = default;
+
+  // Allocates a fragment with capacity >= need (rounded to a class size).
+  Fragment Allocate(uint32_t need);
+  void Free(Fragment fragment);
+
+  uint64_t zone_tail() const { return tail_; }
+  uint64_t allocated_bytes() const { return allocated_bytes_; }
+  uint64_t free_bytes() const { return free_bytes_; }
+  uint64_t reused_fragments() const { return reused_; }
+
+ private:
+  uint64_t tail_ = 0;
+  uint64_t allocated_bytes_ = 0;
+  uint64_t free_bytes_ = 0;
+  uint64_t reused_ = 0;
+  std::array<std::vector<uint64_t>, kFragmentClasses> free_lists_;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_SFS_FRAGMENT_ALLOC_H_

@@ -1,0 +1,673 @@
+#include "src/sfs/small_file_server.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace slice {
+namespace {
+
+// Map-record pages live in a sparse high region of the zone so they never
+// collide with data fragments.
+constexpr uint64_t kMapZoneBaseBlock = 1ull << 33;
+constexpr uint32_t kMapRecordSize = 64;
+
+enum class SfsLogOp : uint32_t { kUpsertMap = 1, kRemoveMap = 2 };
+
+uint64_t MapSlotFor(uint64_t fileid) {
+  // Dense per minting site, preserving creation-order locality so records
+  // for files created together share map pages (paper §4.4).
+  return ((fileid >> 48) << 24) | (fileid & 0xffffff);
+}
+
+}  // namespace
+
+SmallFileServer::SmallFileServer(Network& net, EventQueue& queue, NetAddr addr,
+                                 SmallFileServerParams params,
+                                 std::vector<Endpoint> storage_nodes)
+    : RpcServerNode(net, queue, addr, kNfsPort),
+      params_(params),
+      storage_nodes_(std::move(storage_nodes)),
+      zone_handle_(FileHandle::Make(1, (0xfeull << 48) | params.server_index, 1,
+                                    FileType3::kReg, 1, params.volume_secret)),
+      cache_(params.cache_bytes) {
+  SLICE_CHECK(!storage_nodes_.empty());
+  for (const Endpoint& node : storage_nodes_) {
+    node_clients_.push_back(std::make_unique<NfsClient>(host(), queue, node));
+  }
+  cache_.SetEvictionHook([this](PhysBlock block) {
+    if (!dirty_.contains(block)) {
+      pages_.erase(block);
+    }
+  });
+  if (params_.backing_node.addr != 0) {
+    wal_ = std::make_unique<WriteAheadLog>(host(), queue, params_.backing_node,
+                                           params_.backing_object);
+  }
+}
+
+void SmallFileServer::ArmSyncer() {
+  if (syncer_armed_) {
+    return;
+  }
+  syncer_armed_ = true;
+  queue().ScheduleAfter(params_.syncer_interval, [this, alive = alive_]() {
+    if (!*alive) {
+      return;
+    }
+    syncer_armed_ = false;
+    FlushDirty([] {});
+    if (!dirty_.empty()) {
+      ArmSyncer();
+    }
+  });
+}
+
+uint64_t SmallFileServer::LocalSize(uint64_t fileid) const {
+  const auto it = maps_.find(fileid);
+  return it == maps_.end() ? 0 : it->second.size;
+}
+
+bool SmallFileServer::CheckHandle(const FileHandle& fh) const {
+  if (!params_.check_capability) {
+    return true;
+  }
+  return fh.VerifyCapability(params_.volume_secret);
+}
+
+Fattr3 SmallFileServer::MakeAttr(const FileHandle& fh) const {
+  Fattr3 attr;
+  attr.type = FileType3::kReg;
+  attr.fileid = fh.fileid();
+  attr.fsid = fh.volume();
+  attr.size = LocalSize(fh.fileid());
+  const auto it = maps_.find(fh.fileid());
+  if (it != maps_.end()) {
+    uint64_t used = 0;
+    for (const BlockExtent& extent : it->second.blocks) {
+      used += extent.fragment.alloc_size;
+    }
+    attr.used = used;
+  }
+  attr.atime = attr.mtime = attr.ctime =
+      NfsTime{static_cast<uint32_t>(now() / kNanosPerSec),
+              static_cast<uint32_t>(now() % kNanosPerSec)};
+  return attr;
+}
+
+std::vector<uint64_t> SmallFileServer::BlocksForRange(uint64_t offset, uint64_t len) {
+  std::vector<uint64_t> blocks;
+  if (len == 0) {
+    return blocks;
+  }
+  const uint64_t first = offset / kStoreBlockSize;
+  const uint64_t last = (offset + len - 1) / kStoreBlockSize;
+  for (uint64_t b = first; b <= last; ++b) {
+    blocks.push_back(b);
+  }
+  return blocks;
+}
+
+uint64_t SmallFileServer::MapBlockFor(uint64_t fileid) const {
+  return kMapZoneBaseBlock + MapSlotFor(fileid) * kMapRecordSize / kStoreBlockSize;
+}
+
+uint8_t* SmallFileServer::PageFor(uint64_t block) {
+  Bytes& page = pages_[block];
+  if (page.size() != kStoreBlockSize) {
+    page.assign(kStoreBlockSize, 0);
+    cache_.Insert(block);
+  }
+  return page.data();
+}
+
+Bytes SmallFileServer::ReadZone(uint64_t offset, uint32_t len) const {
+  Bytes out(len, 0);
+  uint64_t produced = 0;
+  while (produced < len) {
+    const uint64_t abs = offset + produced;
+    const uint64_t block = abs / kStoreBlockSize;
+    const size_t within = abs % kStoreBlockSize;
+    const size_t take = std::min<uint64_t>(len - produced, kStoreBlockSize - within);
+    const auto it = pages_.find(block);
+    if (it != pages_.end()) {
+      std::memcpy(out.data() + produced, it->second.data() + within, take);
+    }
+    produced += take;
+  }
+  return out;
+}
+
+void SmallFileServer::WriteZone(uint64_t offset, ByteSpan data, uint64_t fileid) {
+  size_t consumed = 0;
+  while (consumed < data.size()) {
+    const uint64_t abs = offset + consumed;
+    const uint64_t block = abs / kStoreBlockSize;
+    const size_t within = abs % kStoreBlockSize;
+    const size_t take = std::min(data.size() - consumed, kStoreBlockSize - within);
+    std::memcpy(PageFor(block) + within, data.data() + consumed, take);
+    dirty_.insert(block);
+    file_dirty_[fileid].push_back(block);
+    cache_.Insert(block);
+    consumed += take;
+  }
+}
+
+void SmallFileServer::EnsureResident(std::vector<uint64_t> blocks, std::function<void()> next) {
+  std::vector<uint64_t> missing;
+  for (uint64_t block : blocks) {
+    if (pages_.contains(block)) {
+      cache_.Access(block);
+    } else {
+      missing.push_back(block);
+    }
+  }
+  if (missing.empty()) {
+    next();
+    return;
+  }
+  auto pending = std::make_shared<size_t>(missing.size());
+  auto after = std::make_shared<std::function<void()>>(std::move(next));
+  for (uint64_t block : missing) {
+    ++backing_fetches_;
+    NfsClient& client = *node_clients_[block % node_clients_.size()];
+    client.Read(zone_handle_, block * kStoreBlockSize, kStoreBlockSize,
+                [this, block, pending, after](Status st, const ReadRes& res) {
+                  uint8_t* page = PageFor(block);
+                  if (st.ok() && res.status == Nfsstat3::kOk && !res.data.empty()) {
+                    std::memcpy(page, res.data.data(),
+                                std::min<size_t>(res.data.size(), kStoreBlockSize));
+                  }
+                  cache_.Access(block);  // count the miss-fill
+                  if (--*pending == 0) {
+                    (*after)();
+                  }
+                });
+  }
+}
+
+void SmallFileServer::FlushDirty(std::function<void()> next) {
+  std::vector<uint64_t> blocks(dirty_.begin(), dirty_.end());
+  file_dirty_.clear();
+  FlushBlocks(std::move(blocks), std::move(next));
+}
+
+void SmallFileServer::FlushFile(uint64_t fileid, std::function<void()> next) {
+  std::vector<uint64_t> blocks;
+  if (auto it = file_dirty_.find(fileid); it != file_dirty_.end()) {
+    blocks = std::move(it->second);
+    file_dirty_.erase(it);
+  }
+  FlushBlocks(std::move(blocks), std::move(next));
+}
+
+void SmallFileServer::FlushBlocks(std::vector<uint64_t> blocks, std::function<void()> next) {
+  std::sort(blocks.begin(), blocks.end());
+  blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+  std::erase_if(blocks, [this](uint64_t block) { return !dirty_.contains(block); });
+  if (blocks.empty()) {
+    next();
+    return;
+  }
+  for (uint64_t block : blocks) {
+    dirty_.erase(block);
+  }
+
+  // Coalesce contiguous zone blocks into single (<=32KB) write RPCs.
+  struct Run {
+    uint64_t start;
+    uint64_t len;
+  };
+  std::vector<Run> runs;
+  for (uint64_t block : blocks) {
+    if (!runs.empty() && runs.back().start + runs.back().len == block &&
+        runs.back().len < 4) {
+      ++runs.back().len;
+    } else {
+      runs.push_back(Run{block, 1});
+    }
+  }
+
+  auto pending = std::make_shared<size_t>(runs.size());
+  auto after = std::make_shared<std::function<void()>>(std::move(next));
+  for (const Run& run : runs) {
+    backing_flushes_ += run.len;
+    Bytes payload;
+    payload.reserve(run.len * kStoreBlockSize);
+    for (uint64_t b = run.start; b < run.start + run.len; ++b) {
+      const auto page_it = pages_.find(b);
+      SLICE_CHECK(page_it != pages_.end());
+      payload.insert(payload.end(), page_it->second.begin(), page_it->second.end());
+    }
+    NfsClient& client = *node_clients_[run.start % node_clients_.size()];
+    client.Write(zone_handle_, run.start * kStoreBlockSize, payload, StableHow::kFileSync,
+                 [this, run, pending, after](Status st, const WriteRes& res) {
+                   if (!st.ok() || res.status != Nfsstat3::kOk) {
+                     SLICE_WLOG << "sfs: backing flush failed";
+                   }
+                   for (uint64_t b = run.start; b < run.start + run.len; ++b) {
+                     if (!cache_.Contains(b) && !dirty_.contains(b)) {
+                       pages_.erase(b);  // was evicted while dirty
+                     }
+                   }
+                   if (--*pending == 0) {
+                     (*after)();
+                   }
+                 });
+  }
+}
+
+void SmallFileServer::LogMapRecord(uint64_t fileid) {
+  // The descriptor page is dirty, but its durability comes from the WAL;
+  // the home location is written back lazily by the syncer, not per commit.
+  const uint64_t map_block = MapBlockFor(fileid);
+  (void)PageFor(map_block);
+  dirty_.insert(map_block);
+  ArmSyncer();
+  if (!wal_) {
+    return;
+  }
+  const MapRecord& record = maps_[fileid];
+  XdrEncoder rec;
+  rec.PutEnum(static_cast<uint32_t>(SfsLogOp::kUpsertMap));
+  rec.PutUint64(fileid);
+  rec.PutUint64(record.size);
+  rec.PutUint32(static_cast<uint32_t>(record.blocks.size()));
+  for (const BlockExtent& extent : record.blocks) {
+    rec.PutUint64(extent.fragment.offset);
+    rec.PutUint32(extent.fragment.alloc_size);
+    rec.PutUint32(extent.length);
+  }
+  wal_->Append(rec.bytes());
+}
+
+void SmallFileServer::LogMapRemove(uint64_t fileid) {
+  const uint64_t map_block = MapBlockFor(fileid);
+  (void)PageFor(map_block);
+  dirty_.insert(map_block);
+  ArmSyncer();
+  if (!wal_) {
+    return;
+  }
+  XdrEncoder rec;
+  rec.PutEnum(static_cast<uint32_t>(SfsLogOp::kRemoveMap));
+  rec.PutUint64(fileid);
+  wal_->Append(rec.bytes());
+}
+
+void SmallFileServer::ReplayRecord(ByteSpan record) {
+  XdrDecoder dec(record);
+  Result<uint32_t> op = dec.GetUint32();
+  if (!op.ok()) {
+    return;
+  }
+  if (static_cast<SfsLogOp>(*op) == SfsLogOp::kRemoveMap) {
+    Result<uint64_t> fileid = dec.GetUint64();
+    if (fileid.ok()) {
+      maps_.erase(*fileid);
+    }
+    return;
+  }
+  Result<uint64_t> fileid = dec.GetUint64();
+  Result<uint64_t> size = dec.GetUint64();
+  Result<uint32_t> nblocks = dec.GetUint32();
+  if (!fileid.ok() || !size.ok() || !nblocks.ok() || *nblocks > 4096) {
+    return;
+  }
+  MapRecord map;
+  map.size = *size;
+  for (uint32_t i = 0; i < *nblocks; ++i) {
+    Result<uint64_t> offset = dec.GetUint64();
+    Result<uint32_t> alloc = dec.GetUint32();
+    Result<uint32_t> length = dec.GetUint32();
+    if (!offset.ok() || !alloc.ok() || !length.ok()) {
+      return;
+    }
+    map.blocks.push_back(BlockExtent{Fragment{*offset, *alloc}, *length});
+  }
+  maps_[*fileid] = std::move(map);
+}
+
+void SmallFileServer::OnRestart() {
+  pages_.clear();
+  dirty_.clear();
+  file_dirty_.clear();
+  cache_.Clear();
+  maps_.clear();
+  if (!wal_) {
+    return;
+  }
+  wal_->DiscardBuffered();
+  recovering_ = true;
+  wal_->Replay([this](ByteSpan record) { ReplayRecord(record); },
+               [this](Status st) {
+                 if (!st.ok()) {
+                   SLICE_ELOG << "sfs: recovery failed: " << st.ToString();
+                 }
+                 // Rebuild the allocator tail past every known fragment (free
+                 // lists are conservatively forgotten).
+                 uint64_t tail = alloc_.zone_tail();
+                 for (const auto& [fileid, map] : maps_) {
+                   (void)fileid;
+                   for (const BlockExtent& extent : map.blocks) {
+                     tail = std::max(tail, extent.fragment.offset + extent.fragment.alloc_size);
+                   }
+                 }
+                 while (alloc_.zone_tail() < tail) {
+                   (void)alloc_.Allocate(kMaxFragment);
+                 }
+                 recovering_ = false;
+                 SLICE_ILOG << "sfs " << params_.server_index << " recovered " << maps_.size()
+                            << " map records";
+               });
+}
+
+void SmallFileServer::DoRead(const ReadArgs& args, Done done) {
+  ServiceCost cost;
+  cost.AddCpu(FromMicros(params_.op_cpu_us));
+  if (!CheckHandle(args.file)) {
+    ReadRes res;
+    res.status = Nfsstat3::kErrBadhandle;
+    XdrEncoder enc;
+    res.Encode(enc);
+    done(RpcAcceptStat::kSuccess, enc.Take(), cost);
+    return;
+  }
+  const uint64_t fileid = args.file.fileid();
+  const auto map_it = maps_.find(fileid);
+
+  // Resident set: the map-descriptor page plus every fragment overlapped by
+  // the request.
+  std::vector<uint64_t> need{MapBlockFor(fileid)};
+  uint64_t size = 0;
+  if (map_it != maps_.end()) {
+    size = map_it->second.size;
+    const uint64_t end = std::min<uint64_t>(size, args.offset + args.count);
+    for (uint64_t abs = args.offset; abs < end;) {
+      const uint64_t lblock = abs / kStoreBlockSize;
+      if (lblock < map_it->second.blocks.size()) {
+        const BlockExtent& extent = map_it->second.blocks[lblock];
+        if (extent.fragment.valid()) {
+          for (uint64_t b : BlocksForRange(extent.fragment.offset, extent.fragment.alloc_size)) {
+            need.push_back(b);
+          }
+        }
+      }
+      abs = (lblock + 1) * kStoreBlockSize;
+    }
+  }
+
+  const FileHandle fh = args.file;
+  const uint64_t offset = args.offset;
+  const uint32_t count = args.count;
+  EnsureResident(std::move(need), [this, fh, fileid, offset, count, cost, size,
+                                   done = std::move(done)]() mutable {
+    ReadRes res;
+    const auto it = maps_.find(fileid);
+    if (it == maps_.end() || offset >= size) {
+      res.eof = true;
+      res.count = 0;
+    } else {
+      const MapRecord& map = it->second;
+      const uint64_t n = std::min<uint64_t>(count, size - offset);
+      res.data.assign(n, 0);
+      uint64_t produced = 0;
+      while (produced < n) {
+        const uint64_t abs = offset + produced;
+        const uint64_t lblock = abs / kStoreBlockSize;
+        const size_t within = abs % kStoreBlockSize;
+        const size_t take = std::min<uint64_t>(n - produced, kStoreBlockSize - within);
+        if (lblock < map.blocks.size() && map.blocks[lblock].fragment.valid() &&
+            within < map.blocks[lblock].length) {
+          const size_t have = std::min<size_t>(take, map.blocks[lblock].length - within);
+          Bytes chunk = ReadZone(map.blocks[lblock].fragment.offset + within,
+                                 static_cast<uint32_t>(have));
+          std::memcpy(res.data.data() + produced, chunk.data(), have);
+        }
+        produced += take;
+      }
+      res.count = static_cast<uint32_t>(n);
+      res.eof = offset + n >= size && size < params_.threshold;
+    }
+    res.file_attributes = MakeAttr(fh);
+    cost.AddCpu(static_cast<SimTime>(static_cast<double>(res.count) * params_.cpu_ns_per_byte));
+    XdrEncoder enc;
+    res.Encode(enc);
+    done(RpcAcceptStat::kSuccess, enc.Take(), cost);
+  });
+}
+
+void SmallFileServer::DoWrite(const WriteArgs& args, Done done) {
+  ServiceCost cost;
+  cost.AddCpu(FromMicros(params_.op_cpu_us) +
+              static_cast<SimTime>(static_cast<double>(args.data.size()) *
+                                   params_.cpu_ns_per_byte));
+  if (!CheckHandle(args.file)) {
+    WriteRes res;
+    res.status = Nfsstat3::kErrBadhandle;
+    XdrEncoder enc;
+    res.Encode(enc);
+    done(RpcAcceptStat::kSuccess, enc.Take(), cost);
+    return;
+  }
+  const uint64_t fileid = args.file.fileid();
+
+  // Residency: the map page plus existing fragments we will partially
+  // overwrite or grow (their live bytes must be copied on reallocation).
+  std::vector<uint64_t> need{MapBlockFor(fileid)};
+  if (const auto it = maps_.find(fileid); it != maps_.end() && !args.data.empty()) {
+    for (uint64_t b : BlocksForRange(args.offset, args.data.size())) {
+      if (b < it->second.blocks.size() && it->second.blocks[b].fragment.valid()) {
+        for (uint64_t zb :
+             BlocksForRange(it->second.blocks[b].fragment.offset, it->second.blocks[b].length)) {
+          need.push_back(zb);
+        }
+      }
+    }
+  }
+
+  EnsureResident(std::move(need), [this, args, cost, done = std::move(done)]() mutable {
+    const uint64_t file_id = args.file.fileid();
+    MapRecord& map = maps_[file_id];
+    size_t consumed = 0;
+    while (consumed < args.data.size()) {
+      const uint64_t abs = args.offset + consumed;
+      const uint64_t lblock = abs / kStoreBlockSize;
+      const size_t within = abs % kStoreBlockSize;
+      const size_t take = std::min(args.data.size() - consumed, kStoreBlockSize - within);
+      if (map.blocks.size() <= lblock) {
+        map.blocks.resize(lblock + 1);
+      }
+      BlockExtent& extent = map.blocks[lblock];
+      const uint32_t new_length =
+          std::max<uint32_t>(extent.length, static_cast<uint32_t>(within + take));
+      if (!extent.fragment.valid() || extent.fragment.alloc_size < new_length) {
+        // Best-fit reallocation, copying live bytes into the new fragment.
+        Fragment bigger = alloc_.Allocate(new_length);
+        if (extent.fragment.valid() && extent.length > 0) {
+          Bytes live = ReadZone(extent.fragment.offset, extent.length);
+          WriteZone(bigger.offset, live, file_id);
+        }
+        alloc_.Free(extent.fragment);
+        extent.fragment = bigger;
+      }
+      WriteZone(extent.fragment.offset + within,
+                ByteSpan(args.data.data() + consumed, take), file_id);
+      extent.length = new_length;
+      consumed += take;
+    }
+    map.size = std::max(map.size, args.offset + args.data.size());
+    LogMapRecord(file_id);
+
+    auto reply = [this, args, cost, done = std::move(done)](StableHow committed) mutable {
+      WriteRes res;
+      res.count = static_cast<uint32_t>(args.data.size());
+      res.committed = committed;
+      res.verf = 0x5f5eull << 32 | params_.server_index;
+      res.wcc.after = MakeAttr(args.file);
+      XdrEncoder enc;
+      res.Encode(enc);
+      done(RpcAcceptStat::kSuccess, enc.Take(), cost);
+    };
+    if (args.stable != StableHow::kUnstable) {
+      FlushFile(file_id, [reply = std::move(reply)]() mutable { reply(StableHow::kFileSync); });
+    } else {
+      reply(StableHow::kUnstable);
+    }
+  });
+}
+
+void SmallFileServer::DoCommit(const CommitArgs& args, Done done) {
+  ServiceCost cost;
+  cost.AddCpu(FromMicros(params_.op_cpu_us));
+  const FileHandle fh = args.file;
+  FlushFile(fh.fileid(), [this, fh, cost, done = std::move(done)]() mutable {
+    if (wal_) {
+      wal_->Flush();
+    }
+    CommitRes res;
+    res.verf = 0x5f5eull << 32 | params_.server_index;
+    res.wcc.after = MakeAttr(fh);
+    XdrEncoder enc;
+    res.Encode(enc);
+    done(RpcAcceptStat::kSuccess, enc.Take(), cost);
+  });
+}
+
+void SmallFileServer::DoRemoveOrTruncate(uint64_t fileid, uint64_t keep_size) {
+  const auto it = maps_.find(fileid);
+  if (it == maps_.end()) {
+    return;
+  }
+  MapRecord& map = it->second;
+  const uint64_t keep_blocks = (keep_size + kStoreBlockSize - 1) / kStoreBlockSize;
+  for (size_t b = keep_blocks; b < map.blocks.size(); ++b) {
+    alloc_.Free(map.blocks[b].fragment);
+    map.blocks[b] = BlockExtent{};
+  }
+  if (keep_size == 0) {
+    maps_.erase(it);
+    LogMapRemove(fileid);
+    return;
+  }
+  map.blocks.resize(keep_blocks);
+  map.size = std::min(map.size, keep_size);
+  if (!map.blocks.empty()) {
+    const size_t last_within = ((keep_size - 1) % kStoreBlockSize) + 1;
+    map.blocks.back().length =
+        std::min<uint32_t>(map.blocks.back().length, static_cast<uint32_t>(last_within));
+  }
+  LogMapRecord(fileid);
+}
+
+void SmallFileServer::DispatchCall(const RpcMessageView& call, const Endpoint& client,
+                                   ReplyFn done) {
+  if (call.prog != kNfsProgram || call.vers != kNfsVersion) {
+    done(RpcAcceptStat::kProgUnavail, Bytes{}, ServiceCost{});
+    return;
+  }
+  const NfsProc proc = static_cast<NfsProc>(call.proc);
+  if (recovering_ &&
+      (proc == NfsProc::kRead || proc == NfsProc::kWrite || proc == NfsProc::kCommit)) {
+    ReadRes res;  // any status-only error body works; read's is the superset
+    res.status = Nfsstat3::kErrJukebox;
+    XdrEncoder enc;
+    enc.PutEnum(static_cast<uint32_t>(Nfsstat3::kErrJukebox));
+    enc.PutBool(false);
+    done(RpcAcceptStat::kSuccess, enc.Take(), ServiceCost{});
+    return;
+  }
+  XdrDecoder dec(call.body);
+  switch (proc) {
+    case NfsProc::kRead: {
+      Result<ReadArgs> args = ReadArgs::Decode(dec);
+      if (!args.ok()) {
+        done(RpcAcceptStat::kGarbageArgs, Bytes{}, ServiceCost{});
+        return;
+      }
+      DoRead(*args, std::move(done));
+      return;
+    }
+    case NfsProc::kWrite: {
+      Result<WriteArgs> args = WriteArgs::Decode(dec);
+      if (!args.ok()) {
+        done(RpcAcceptStat::kGarbageArgs, Bytes{}, ServiceCost{});
+        return;
+      }
+      DoWrite(*args, std::move(done));
+      return;
+    }
+    case NfsProc::kCommit: {
+      Result<CommitArgs> args = CommitArgs::Decode(dec);
+      if (!args.ok()) {
+        done(RpcAcceptStat::kGarbageArgs, Bytes{}, ServiceCost{});
+        return;
+      }
+      DoCommit(*args, std::move(done));
+      return;
+    }
+    default:
+      RpcServerNode::DispatchCall(call, client, std::move(done));
+      return;
+  }
+}
+
+RpcAcceptStat SmallFileServer::HandleCall(const RpcMessageView& call, XdrEncoder& reply,
+                                          ServiceCost& cost) {
+  XdrDecoder dec(call.body);
+  cost.AddCpu(FromMicros(params_.op_cpu_us / 2));
+  switch (static_cast<NfsProc>(call.proc)) {
+    case NfsProc::kNull:
+      return RpcAcceptStat::kSuccess;
+    case NfsProc::kGetattr: {
+      Result<GetattrArgs> args = GetattrArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      GetattrRes res;
+      if (!CheckHandle(args->object)) {
+        res.status = Nfsstat3::kErrBadhandle;
+      } else {
+        res.attributes = MakeAttr(args->object);
+      }
+      res.Encode(reply);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kSetattr: {
+      Result<SetattrArgs> args = SetattrArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      SetattrRes res;
+      if (!CheckHandle(args->object)) {
+        res.status = Nfsstat3::kErrBadhandle;
+      } else if (args->new_attributes.size.has_value()) {
+        DoRemoveOrTruncate(args->object.fileid(), *args->new_attributes.size);
+        res.wcc.after = MakeAttr(args->object);
+      }
+      res.Encode(reply);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kRemove: {
+      Result<DirOpArgs> args = DirOpArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      RemoveRes res;
+      if (!CheckHandle(args->dir)) {
+        res.status = Nfsstat3::kErrBadhandle;
+      } else if (!args->name.empty()) {
+        res.status = Nfsstat3::kErrInval;
+      } else {
+        DoRemoveOrTruncate(args->dir.fileid(), 0);
+      }
+      res.Encode(reply);
+      return RpcAcceptStat::kSuccess;
+    }
+    default:
+      return RpcAcceptStat::kProcUnavail;
+  }
+}
+
+}  // namespace slice

@@ -1,0 +1,36 @@
+#include "src/sim/disk.h"
+
+namespace slice {
+
+SimTime SimDisk::SubmitIo(SimTime now, uint64_t pos, size_t bytes) {
+  const bool sequential = pos == next_sequential_pos_;
+  next_sequential_pos_ = pos + bytes;
+
+  const double position_ms =
+      sequential ? params_.sequential_position_ms : params_.avg_position_ms;
+  const double transfer_ns =
+      static_cast<double>(bytes) / (params_.media_mb_per_s * 1e6) * 1e9;
+  const SimTime service = FromMillis(position_ms) + static_cast<SimTime>(transfer_ns);
+  return arm_.Acquire(now, service);
+}
+
+DiskArray::DiskArray(size_t num_disks, DiskParams params, double channel_mb_per_s)
+    : channel_ns_per_byte_(1e9 / (channel_mb_per_s * 1e6)) {
+  disks_.reserve(num_disks);
+  for (size_t i = 0; i < num_disks; ++i) {
+    disks_.emplace_back(params);
+  }
+}
+
+SimTime DiskArray::SubmitIo(SimTime now, size_t disk_index, uint64_t pos, size_t bytes) {
+  SLICE_CHECK(disk_index < disks_.size());
+  const SimTime arm_done = disks_[disk_index].SubmitIo(now, pos, bytes);
+  // The shared channel serializes the transfer portion of every I/O on this
+  // node; model it as a resource that each I/O occupies for its wire time.
+  const SimTime channel_service =
+      static_cast<SimTime>(static_cast<double>(bytes) * channel_ns_per_byte_);
+  const SimTime channel_done = channel_.Acquire(now, channel_service);
+  return arm_done > channel_done ? arm_done : channel_done;
+}
+
+}  // namespace slice

@@ -1,0 +1,64 @@
+// Disk timing model. Loosely parameterized after the Seagate Cheetah
+// ST318404LC drives in the paper's testbed: each I/O pays an average
+// positioning cost (seek + rotation) unless it is sequential with the
+// previous I/O on the same disk, then transfers at the media rate. Requests
+// queue FIFO at the arm.
+#ifndef SLICE_SIM_DISK_H_
+#define SLICE_SIM_DISK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace slice {
+
+struct DiskParams {
+  double avg_position_ms = 5.0;   // average seek + rotational latency
+  double media_mb_per_s = 33.0;   // sustained transfer rate
+  double sequential_position_ms = 0.15;  // track-to-track when sequential
+};
+
+class SimDisk {
+ public:
+  explicit SimDisk(DiskParams params) : params_(params) {}
+
+  // Submits an I/O of `bytes` at logical position `pos` (byte address within
+  // the disk's flat space; used only for sequentiality detection). Returns
+  // the completion time.
+  SimTime SubmitIo(SimTime now, uint64_t pos, size_t bytes);
+
+  uint64_t io_count() const { return arm_.jobs(); }
+  SimTime total_busy() const { return arm_.total_busy_time(); }
+  double UtilizationUpTo(SimTime horizon) const { return arm_.UtilizationUpTo(horizon); }
+  void ResetStats() { arm_.Reset(); }
+
+ private:
+  DiskParams params_;
+  BusyResource arm_;
+  uint64_t next_sequential_pos_ = ~0ull;
+};
+
+// A storage node's disk complement: N independent arms behind one shared
+// channel (the Dell 4400's single internal SCSI channel, which capped
+// per-node disk bandwidth below the sum of the media rates).
+class DiskArray {
+ public:
+  DiskArray(size_t num_disks, DiskParams params, double channel_mb_per_s);
+
+  // Submits an I/O to disk `disk_index` (callers typically stripe by block).
+  SimTime SubmitIo(SimTime now, size_t disk_index, uint64_t pos, size_t bytes);
+
+  size_t num_disks() const { return disks_.size(); }
+  SimDisk& disk(size_t i) { return disks_[i]; }
+  const SimDisk& disk(size_t i) const { return disks_[i]; }
+
+ private:
+  std::vector<SimDisk> disks_;
+  BusyResource channel_;
+  double channel_ns_per_byte_;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_SIM_DISK_H_

@@ -1,0 +1,42 @@
+#include "src/sim/event_queue.h"
+
+namespace slice {
+
+void EventQueue::ScheduleAt(SimTime when, Action action) {
+  if (when < now_) {
+    when = now_;
+  }
+  heap_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::RunOne() {
+  if (heap_.empty()) {
+    return false;
+  }
+  // priority_queue::top returns const&; move out via const_cast is the
+  // standard idiom but UB-adjacent, so copy the small fields and move the
+  // action through a local pop-then-run.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  SLICE_CHECK(ev.when >= now_);
+  now_ = ev.when;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+void EventQueue::RunUntilIdle() {
+  while (RunOne()) {
+  }
+}
+
+void EventQueue::RunUntil(SimTime deadline) {
+  while (!heap_.empty() && heap_.top().when <= deadline) {
+    RunOne();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace slice

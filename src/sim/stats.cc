@@ -1,0 +1,47 @@
+#include "src/sim/stats.h"
+
+namespace slice {
+
+SimTime LatencyStats::Percentile(double p) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  std::sort(samples_.begin(), samples_.end());
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t idx = static_cast<size_t>(rank);
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+void OpCounters::Add(const std::string& name, uint64_t delta) {
+  for (auto& [key, value] : entries_) {
+    if (key == name) {
+      value += delta;
+      return;
+    }
+  }
+  entries_.emplace_back(name, delta);
+}
+
+uint64_t OpCounters::Get(const std::string& name) const {
+  for (const auto& [key, value] : entries_) {
+    if (key == name) {
+      return value;
+    }
+  }
+  return 0;
+}
+
+std::string OpCounters::ToString() const {
+  std::string out;
+  for (const auto& [key, value] : entries_) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += key;
+    out += "=";
+    out += std::to_string(value);
+  }
+  return out;
+}
+
+}  // namespace slice

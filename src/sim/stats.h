@@ -1,0 +1,69 @@
+// Experiment statistics: counters and latency aggregation with percentiles.
+#ifndef SLICE_SIM_STATS_H_
+#define SLICE_SIM_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace slice {
+
+class LatencyStats {
+ public:
+  void Record(SimTime latency) {
+    ++count_;
+    sum_ += latency;
+    min_ = std::min(min_, latency);
+    max_ = std::max(max_, latency);
+    samples_.push_back(latency);
+  }
+
+  uint64_t count() const { return count_; }
+  SimTime min() const { return count_ ? min_ : 0; }
+  SimTime max() const { return max_; }
+  double MeanMillis() const {
+    if (count_ == 0) {
+      return 0.0;
+    }
+    return ToMillis(sum_) / static_cast<double>(count_);
+  }
+  // p in [0, 100].
+  SimTime Percentile(double p) const;
+
+  void Reset() {
+    count_ = 0;
+    sum_ = 0;
+    min_ = std::numeric_limits<SimTime>::max();
+    max_ = 0;
+    samples_.clear();
+  }
+
+ private:
+  uint64_t count_ = 0;
+  SimTime sum_ = 0;
+  SimTime min_ = std::numeric_limits<SimTime>::max();
+  SimTime max_ = 0;
+  mutable std::vector<SimTime> samples_;
+};
+
+// Per-category operation counters with pretty-printing, used to report
+// request routing distributions (how many ops each server class absorbed).
+class OpCounters {
+ public:
+  void Add(const std::string& name, uint64_t delta = 1);
+  uint64_t Get(const std::string& name) const;
+  std::string ToString() const;
+  void Reset() { entries_.clear(); }
+  const std::vector<std::pair<std::string, uint64_t>>& entries() const { return entries_; }
+
+ private:
+  std::vector<std::pair<std::string, uint64_t>> entries_;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_SIM_STATS_H_

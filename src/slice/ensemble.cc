@@ -1,0 +1,153 @@
+#include "src/slice/ensemble.h"
+
+namespace slice {
+namespace {
+
+constexpr NetAddr kVirtualAddr = 0x0a000064;   // 10.0.0.100
+constexpr NetAddr kDirBase = 0x0a000100;       // 10.0.1.x
+constexpr NetAddr kSfsBase = 0x0a000200;       // 10.0.2.x
+constexpr NetAddr kStorageBase = 0x0a000300;   // 10.0.3.x
+constexpr NetAddr kCoordBase = 0x0a000400;     // 10.0.4.x
+constexpr NetAddr kClientBase = 0x0a000900;    // 10.0.9.x
+
+FileHandle BackingObject(uint8_t kind, uint32_t index, uint32_t volume, uint64_t secret) {
+  return FileHandle::Make(volume, (static_cast<uint64_t>(kind) << 48) | index, 1,
+                          FileType3::kReg, 1, secret);
+}
+
+}  // namespace
+
+Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
+    : queue_(queue), config_(std::move(config)) {
+  SLICE_CHECK(config_.num_dir_servers >= 1);
+  SLICE_CHECK(config_.num_storage_nodes >= 1);
+  SLICE_CHECK(config_.num_clients >= 1);
+
+  virtual_server_ = Endpoint{kVirtualAddr, kNfsPort};
+
+  NetworkParams net_params;
+  net_params.link_gbit_per_s = config_.cal.link_gbit_per_s;
+  net_params.switch_latency_us = config_.cal.switch_latency_us;
+  net_params.loss_rate = config_.loss_rate;
+  network_ = std::make_unique<Network>(queue_, net_params);
+
+  // --- storage nodes ---
+  std::vector<Endpoint> storage_endpoints;
+  for (size_t i = 0; i < config_.num_storage_nodes; ++i) {
+    StorageNodeParams params;
+    params.capacity_bytes = config_.storage_capacity_bytes;
+    params.cache_bytes = static_cast<uint64_t>(config_.cal.storage_cache_mb * (1 << 20));
+    params.num_disks = config_.cal.disks_per_node;
+    params.disk = config_.cal.disk;
+    params.channel_mb_per_s = config_.cal.channel_mb_per_s;
+    params.op_cpu_us = config_.cal.storage_op_cpu_us;
+    params.cpu_ns_per_byte = config_.cal.storage_cpu_ns_per_byte;
+    params.volume_secret = config_.volume_secret;
+    params.extra_meta_ios = config_.storage_extra_meta_ios;
+    storage_nodes_.push_back(std::make_unique<StorageNode>(
+        *network_, queue_, kStorageBase + static_cast<NetAddr>(i), params, /*seed=*/i + 1));
+    storage_endpoints.push_back(storage_nodes_.back()->endpoint());
+  }
+
+  // --- small-file servers ---
+  std::vector<Endpoint> sfs_endpoints;
+  for (size_t i = 0; i < config_.num_small_file_servers; ++i) {
+    SmallFileServerParams params;
+    params.cache_bytes = static_cast<uint64_t>(config_.cal.sfs_cache_mb * (1 << 20));
+    params.op_cpu_us = config_.cal.sfs_op_cpu_us;
+    params.cpu_ns_per_byte = config_.cal.sfs_cpu_ns_per_byte;
+    params.threshold = config_.threshold;
+    params.volume_secret = config_.volume_secret;
+    params.server_index = static_cast<uint32_t>(i);
+    params.backing_node = storage_endpoints[(i + 2) % storage_endpoints.size()];
+    params.backing_object =
+        BackingObject(0xfd, static_cast<uint32_t>(i), 1, config_.volume_secret);
+    small_file_servers_.push_back(std::make_unique<SmallFileServer>(
+        *network_, queue_, kSfsBase + static_cast<NetAddr>(i), params, storage_endpoints));
+    sfs_endpoints.push_back(small_file_servers_.back()->endpoint());
+  }
+
+  // --- coordinators ---
+  std::vector<Endpoint> coord_endpoints;
+  for (size_t i = 0; i < config_.num_coordinators; ++i) {
+    CoordinatorParams params;
+    params.volume_secret = config_.volume_secret;
+    params.num_storage_sites = static_cast<uint32_t>(config_.num_storage_nodes);
+    params.backing_node = storage_endpoints[(i + 1) % storage_endpoints.size()];
+    params.backing_object =
+        BackingObject(0xfc, static_cast<uint32_t>(i), 1, config_.volume_secret);
+    coordinators_.push_back(std::make_unique<Coordinator>(
+        *network_, queue_, kCoordBase + static_cast<NetAddr>(i), params, storage_endpoints,
+        sfs_endpoints));
+    coord_endpoints.push_back(coordinators_.back()->endpoint());
+  }
+
+  // --- directory servers ---
+  std::vector<Endpoint> dir_endpoints;
+  std::vector<DirServer*> dir_peers;
+  for (size_t i = 0; i < config_.num_dir_servers; ++i) {
+    DirServerParams params;
+    params.site = static_cast<uint32_t>(i);
+    params.num_sites = static_cast<uint32_t>(config_.num_dir_servers);
+    params.volume_secret = config_.volume_secret;
+    params.policy = config_.name_policy;
+    params.default_replication = config_.default_replication;
+    params.op_cpu_us = config_.cal.dir_op_cpu_us;
+    params.peer_cpu_us = config_.cal.dir_peer_cpu_us;
+    params.peer_rtt_us = config_.cal.dir_peer_rtt_us;
+    if (config_.dir_wal_enabled) {
+      params.backing_node = storage_endpoints[i % storage_endpoints.size()];
+      params.backing_object =
+          BackingObject(0xff, static_cast<uint32_t>(i), 1, config_.volume_secret);
+    }
+    dir_servers_.push_back(std::make_unique<DirServer>(
+        *network_, queue_, kDirBase + static_cast<NetAddr>(i), params));
+    dir_endpoints.push_back(dir_servers_.back()->endpoint());
+    dir_peers.push_back(dir_servers_.back().get());
+  }
+  for (auto& server : dir_servers_) {
+    server->SetPeers(dir_peers);
+  }
+
+  // --- clients with interposed µproxies ---
+  for (size_t i = 0; i < config_.num_clients; ++i) {
+    client_hosts_.push_back(
+        std::make_unique<Host>(*network_, kClientBase + static_cast<NetAddr>(i)));
+    UproxyConfig up;
+    up.virtual_server = virtual_server_;
+    up.dir_servers = dir_endpoints;
+    up.small_file_servers = sfs_endpoints;
+    up.storage_nodes = storage_endpoints;
+    up.coordinators = coord_endpoints;
+    up.name_policy = config_.name_policy;
+    up.mkdir_redirect_probability = config_.mkdir_redirect_probability;
+    up.threshold = config_.threshold;
+    up.stripe_unit = config_.stripe_unit;
+    up.use_block_maps = config_.use_block_maps;
+    up.per_packet_cpu_us = config_.cal.uproxy_cpu_us;
+    uproxies_.push_back(
+        std::make_unique<Uproxy>(*network_, queue_, *client_hosts_.back(), up));
+  }
+}
+
+Ensemble::~Ensemble() = default;
+
+std::unique_ptr<SyncNfsClient> Ensemble::MakeSyncClient(size_t i) {
+  return std::make_unique<SyncNfsClient>(client_host(i), queue_, virtual_server_);
+}
+
+std::unique_ptr<NfsClient> Ensemble::MakeAsyncClient(size_t i) {
+  return std::make_unique<NfsClient>(client_host(i), queue_, virtual_server_);
+}
+
+OpCounters Ensemble::AggregateCounters() const {
+  OpCounters total;
+  for (const auto& proxy : uproxies_) {
+    for (const auto& [name, value] : proxy->counters().entries()) {
+      total.Add(name, value);
+    }
+  }
+  return total;
+}
+
+}  // namespace slice

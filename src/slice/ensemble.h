@@ -1,0 +1,101 @@
+// Ensemble assembly: constructs a complete Slice deployment on the simulated
+// network — storage nodes, coordinators, directory servers, small-file
+// servers, client hosts each with an interposed µproxy — and presents the
+// whole thing as a single virtual NFS server (paper §2: "To a client, the
+// ensemble appears as a single file server at some virtual network
+// address").
+//
+// This is the top-level public API a downstream user builds against.
+#ifndef SLICE_SLICE_ENSEMBLE_H_
+#define SLICE_SLICE_ENSEMBLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/coord/coordinator.h"
+#include "src/core/uproxy.h"
+#include "src/dir/dir_server.h"
+#include "src/nfs/nfs_client.h"
+#include "src/sfs/small_file_server.h"
+#include "src/slice/calibration.h"
+#include "src/storage/storage_node.h"
+
+namespace slice {
+
+struct EnsembleConfig {
+  size_t num_dir_servers = 1;
+  size_t num_small_file_servers = 2;  // 0 = all I/O goes to storage nodes
+  size_t num_storage_nodes = 4;
+  size_t num_coordinators = 1;        // 0 = no intention logging / block maps
+  size_t num_clients = 1;
+
+  NamePolicy name_policy = NamePolicy::kMkdirSwitching;
+  double mkdir_redirect_probability = 0.25;
+  uint8_t default_replication = 1;  // 2+ = mirrored striping for new files
+  bool use_block_maps = false;
+  uint32_t threshold = 65536;
+  uint32_t stripe_unit = 32768;
+  uint64_t volume_secret = 0x51ce2000;
+  double loss_rate = 0.0;
+  bool dir_wal_enabled = true;
+
+  Calibration cal;
+  uint64_t storage_capacity_bytes = 64ull << 30;
+  // FFS metadata amplification at the storage nodes (see StorageNodeParams).
+  double storage_extra_meta_ios = 0.0;
+};
+
+class Ensemble {
+ public:
+  Ensemble(EventQueue& queue, EnsembleConfig config);
+  ~Ensemble();
+
+  Ensemble(const Ensemble&) = delete;
+  Ensemble& operator=(const Ensemble&) = delete;
+
+  // The virtual NFS service address clients mount.
+  Endpoint virtual_server() const { return virtual_server_; }
+  FileHandle root() const { return dir_servers_[0]->RootHandle(); }
+  uint64_t volume_secret() const { return config_.volume_secret; }
+
+  Network& network() { return *network_; }
+  EventQueue& queue() { return queue_; }
+  const EnsembleConfig& config() const { return config_; }
+
+  size_t num_clients() const { return client_hosts_.size(); }
+  Host& client_host(size_t i) { return *client_hosts_.at(i); }
+  Uproxy& uproxy(size_t i) { return *uproxies_.at(i); }
+
+  DirServer& dir_server(size_t i) { return *dir_servers_.at(i); }
+  size_t num_dir_servers() const { return dir_servers_.size(); }
+  StorageNode& storage_node(size_t i) { return *storage_nodes_.at(i); }
+  size_t num_storage_nodes() const { return storage_nodes_.size(); }
+  SmallFileServer& small_file_server(size_t i) { return *small_file_servers_.at(i); }
+  size_t num_small_file_servers() const { return small_file_servers_.size(); }
+  Coordinator& coordinator(size_t i) { return *coordinators_.at(i); }
+  size_t num_coordinators() const { return coordinators_.size(); }
+
+  // Convenience: a blocking NFS client mounted on client `i` through its
+  // µproxy at the virtual server address.
+  std::unique_ptr<SyncNfsClient> MakeSyncClient(size_t i);
+  std::unique_ptr<NfsClient> MakeAsyncClient(size_t i);
+
+  // Aggregate routing statistics across all µproxies.
+  OpCounters AggregateCounters() const;
+
+ private:
+  EventQueue& queue_;
+  EnsembleConfig config_;
+  Endpoint virtual_server_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<StorageNode>> storage_nodes_;
+  std::vector<std::unique_ptr<Coordinator>> coordinators_;
+  std::vector<std::unique_ptr<DirServer>> dir_servers_;
+  std::vector<std::unique_ptr<SmallFileServer>> small_file_servers_;
+  std::vector<std::unique_ptr<Host>> client_hosts_;
+  std::vector<std::unique_ptr<Uproxy>> uproxies_;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_SLICE_ENSEMBLE_H_

@@ -1,0 +1,163 @@
+#include "src/slice/volume_client.h"
+
+#include <algorithm>
+
+namespace slice {
+namespace {
+
+Status FromNfs(Nfsstat3 status, const std::string& what) {
+  if (status == Nfsstat3::kOk) {
+    return OkStatus();
+  }
+  return Status(StatusCode::kInternal,
+                what + ": nfsstat=" +
+                    std::to_string(static_cast<uint32_t>(status)));
+}
+
+}  // namespace
+
+std::vector<std::string> VolumeClient::SplitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : path) {
+    if (c == '/') {
+      if (!current.empty()) {
+        parts.push_back(std::move(current));
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    parts.push_back(std::move(current));
+  }
+  return parts;
+}
+
+Result<FileHandle> VolumeClient::Resolve(const std::string& path) {
+  FileHandle fh = root_;
+  for (const std::string& part : SplitPath(path)) {
+    SLICE_ASSIGN_OR_RETURN(LookupRes res, client_.Lookup(fh, part));
+    if (res.status != Nfsstat3::kOk) {
+      return Status(StatusCode::kNotFound, "resolve: " + path);
+    }
+    fh = res.object;
+  }
+  return fh;
+}
+
+Result<std::pair<FileHandle, std::string>> VolumeClient::ResolveParent(
+    const std::string& path) {
+  std::vector<std::string> parts = SplitPath(path);
+  if (parts.empty()) {
+    return Status(StatusCode::kInvalidArgument, "path names the root");
+  }
+  const std::string leaf = parts.back();
+  parts.pop_back();
+  FileHandle fh = root_;
+  for (const std::string& part : parts) {
+    SLICE_ASSIGN_OR_RETURN(LookupRes res, client_.Lookup(fh, part));
+    if (res.status != Nfsstat3::kOk) {
+      return Status(StatusCode::kNotFound, "resolve parent: " + path);
+    }
+    fh = res.object;
+  }
+  return std::make_pair(fh, leaf);
+}
+
+Result<FileHandle> VolumeClient::MkdirAll(const std::string& path) {
+  FileHandle fh = root_;
+  for (const std::string& part : SplitPath(path)) {
+    SLICE_ASSIGN_OR_RETURN(LookupRes found, client_.Lookup(fh, part));
+    if (found.status == Nfsstat3::kOk) {
+      fh = found.object;
+      continue;
+    }
+    SLICE_ASSIGN_OR_RETURN(CreateRes made, client_.Mkdir(fh, part));
+    if (made.status != Nfsstat3::kOk || !made.object.has_value()) {
+      return FromNfs(made.status, "mkdir");
+    }
+    fh = *made.object;
+  }
+  return fh;
+}
+
+Status VolumeClient::WriteFile(const std::string& path, ByteSpan content, StableHow stable,
+                               uint32_t io_size) {
+  SLICE_ASSIGN_OR_RETURN(auto parent_leaf, ResolveParent(path));
+  auto& [parent, leaf] = parent_leaf;
+  SLICE_ASSIGN_OR_RETURN(CreateRes created, client_.Create(parent, leaf));
+  if (created.status != Nfsstat3::kOk || !created.object.has_value()) {
+    return FromNfs(created.status, "create " + path);
+  }
+  const FileHandle fh = *created.object;
+  for (size_t off = 0; off < content.size(); off += io_size) {
+    const size_t n = std::min<size_t>(io_size, content.size() - off);
+    SLICE_ASSIGN_OR_RETURN(WriteRes written,
+                           client_.Write(fh, off, content.subspan(off, n), stable));
+    if (written.status != Nfsstat3::kOk) {
+      return FromNfs(written.status, "write " + path);
+    }
+  }
+  if (stable == StableHow::kUnstable && !content.empty()) {
+    SLICE_ASSIGN_OR_RETURN(CommitRes committed, client_.Commit(fh));
+    return FromNfs(committed.status, "commit " + path);
+  }
+  return OkStatus();
+}
+
+Result<Bytes> VolumeClient::ReadFile(const std::string& path, uint32_t io_size) {
+  SLICE_ASSIGN_OR_RETURN(FileHandle fh, Resolve(path));
+  SLICE_ASSIGN_OR_RETURN(Fattr3 attr, client_.Getattr(fh));
+  Bytes out;
+  out.reserve(attr.size);
+  uint64_t off = 0;
+  while (off < attr.size) {
+    SLICE_ASSIGN_OR_RETURN(ReadRes res, client_.Read(fh, off, io_size));
+    if (res.status != Nfsstat3::kOk) {
+      return FromNfs(res.status, "read " + path);
+    }
+    out.insert(out.end(), res.data.begin(), res.data.end());
+    if (res.data.empty()) {
+      break;  // hole/short read safety
+    }
+    off += res.data.size();
+    if (res.eof && off >= attr.size) {
+      break;
+    }
+  }
+  return out;
+}
+
+Status VolumeClient::RemoveFile(const std::string& path) {
+  SLICE_ASSIGN_OR_RETURN(auto parent_leaf, ResolveParent(path));
+  auto& [parent, leaf] = parent_leaf;
+  SLICE_ASSIGN_OR_RETURN(RemoveRes res, client_.Remove(parent, leaf));
+  return FromNfs(res.status, "remove " + path);
+}
+
+Status VolumeClient::RemoveDir(const std::string& path) {
+  SLICE_ASSIGN_OR_RETURN(auto parent_leaf, ResolveParent(path));
+  auto& [parent, leaf] = parent_leaf;
+  SLICE_ASSIGN_OR_RETURN(RemoveRes res, client_.Rmdir(parent, leaf));
+  return FromNfs(res.status, "rmdir " + path);
+}
+
+Result<std::vector<std::string>> VolumeClient::List(const std::string& path) {
+  SLICE_ASSIGN_OR_RETURN(FileHandle fh, Resolve(path));
+  SLICE_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, client_.ReadWholeDir(fh));
+  std::vector<std::string> names;
+  names.reserve(entries.size());
+  for (const DirEntry& entry : entries) {
+    names.push_back(entry.name);
+  }
+  return names;
+}
+
+Result<Fattr3> VolumeClient::Stat(const std::string& path) {
+  SLICE_ASSIGN_OR_RETURN(FileHandle fh, Resolve(path));
+  return client_.Getattr(fh);
+}
+
+}  // namespace slice

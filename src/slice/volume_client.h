@@ -1,0 +1,55 @@
+// Path-based convenience facade over the NFS client: resolves slash paths
+// against the Slice volume, with mkdir -p, whole-file read/write, and
+// recursive listing. Used by the examples and workload generators.
+#ifndef SLICE_SLICE_VOLUME_CLIENT_H_
+#define SLICE_SLICE_VOLUME_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/nfs/nfs_client.h"
+
+namespace slice {
+
+class VolumeClient {
+ public:
+  // `root` is the volume root file handle (Ensemble::root()).
+  VolumeClient(Host& host, EventQueue& queue, Endpoint server, FileHandle root)
+      : client_(host, queue, server), root_(root) {}
+
+  SyncNfsClient& nfs() { return client_; }
+  const FileHandle& root() const { return root_; }
+
+  // Resolves an absolute path ("/a/b/c") to a handle.
+  Result<FileHandle> Resolve(const std::string& path);
+
+  // mkdir -p: creates intermediate directories as needed.
+  Result<FileHandle> MkdirAll(const std::string& path);
+
+  // Creates (or opens) the file at `path`, creating parents, and writes the
+  // whole content with the given stability, then commits.
+  Status WriteFile(const std::string& path, ByteSpan content,
+                   StableHow stable = StableHow::kUnstable, uint32_t io_size = 32768);
+
+  // Reads the whole file at `path`.
+  Result<Bytes> ReadFile(const std::string& path, uint32_t io_size = 32768);
+
+  Status RemoveFile(const std::string& path);
+  Status RemoveDir(const std::string& path);
+
+  // Names of entries in the directory at `path`.
+  Result<std::vector<std::string>> List(const std::string& path);
+
+  Result<Fattr3> Stat(const std::string& path);
+
+ private:
+  static std::vector<std::string> SplitPath(const std::string& path);
+  Result<std::pair<FileHandle, std::string>> ResolveParent(const std::string& path);
+
+  SyncNfsClient client_;
+  FileHandle root_;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_SLICE_VOLUME_CLIENT_H_

@@ -1,0 +1,97 @@
+// LRU buffer cache over physical blocks. Used by storage nodes, small-file
+// servers and the baseline server to decide which reads pay disk time. The
+// small-file-server cache size is what produces the SPECsfs latency knee in
+// Figure 6 ("the ensemble overflows its 1 GB cache on the small-file
+// servers").
+#ifndef SLICE_STORAGE_BLOCK_CACHE_H_
+#define SLICE_STORAGE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "src/storage/object_store.h"
+
+namespace slice {
+
+class BlockCache {
+ public:
+  explicit BlockCache(uint64_t capacity_bytes)
+      : capacity_blocks_(capacity_bytes / kStoreBlockSize) {}
+
+  // Called with each block evicted by capacity pressure. Owners that keep
+  // payload bytes alongside the cache (the small-file server's page pool)
+  // use this to drop them.
+  void SetEvictionHook(std::function<void(PhysBlock)> hook) { eviction_hook_ = std::move(hook); }
+
+  // Returns true on hit. On miss, inserts the block as most-recently used
+  // (evicting the LRU block if full) and returns false.
+  bool Access(PhysBlock block) {
+    auto it = index_.find(block);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      return true;
+    }
+    ++misses_;
+    Insert(block);
+    return false;
+  }
+
+  // Inserts without counting a hit/miss (e.g. blocks entering via writes or
+  // prefetch).
+  void Insert(PhysBlock block) {
+    auto it = index_.find(block);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.push_front(block);
+    index_[block] = lru_.begin();
+    if (index_.size() > capacity_blocks_) {
+      const PhysBlock victim = lru_.back();
+      index_.erase(victim);
+      lru_.pop_back();
+      if (eviction_hook_) {
+        eviction_hook_(victim);
+      }
+    }
+  }
+
+  bool Contains(PhysBlock block) const { return index_.contains(block); }
+
+  void Erase(PhysBlock block) {
+    auto it = index_.find(block);
+    if (it != index_.end()) {
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+  }
+
+  void Clear() {
+    lru_.clear();
+    index_.clear();
+  }
+
+  size_t size_blocks() const { return index_.size(); }
+  uint64_t capacity_blocks() const { return capacity_blocks_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  double HitRate() const {
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+ private:
+  uint64_t capacity_blocks_;
+  std::list<PhysBlock> lru_;
+  std::unordered_map<PhysBlock, std::list<PhysBlock>::iterator> index_;
+  std::function<void(PhysBlock)> eviction_hook_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_STORAGE_BLOCK_CACHE_H_

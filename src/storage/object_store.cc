@@ -1,0 +1,300 @@
+#include "src/storage/object_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace slice {
+
+ObjectStore::ObjectStore(uint64_t capacity_bytes)
+    : capacity_blocks_(capacity_bytes / kStoreBlockSize),
+      allocated_(capacity_blocks_, false) {}
+
+Result<PhysBlock> ObjectStore::AllocBlock(PhysBlock hint) {
+  if (used_blocks_ >= capacity_blocks_) {
+    return Status(StatusCode::kResourceExhausted, "store: out of blocks");
+  }
+  // Try the hint (contiguity), then scan forward from the cursor.
+  if (hint < capacity_blocks_ && !allocated_[hint]) {
+    allocated_[hint] = true;
+    ++used_blocks_;
+    alloc_cursor_ = hint + 1;
+    return hint;
+  }
+  for (uint64_t i = 0; i < capacity_blocks_; ++i) {
+    const PhysBlock candidate = (alloc_cursor_ + i) % capacity_blocks_;
+    if (!allocated_[candidate]) {
+      allocated_[candidate] = true;
+      ++used_blocks_;
+      alloc_cursor_ = candidate + 1;
+      return candidate;
+    }
+  }
+  return Status(StatusCode::kResourceExhausted, "store: out of blocks");
+}
+
+void ObjectStore::FreeBlock(PhysBlock block) {
+  SLICE_CHECK(block < capacity_blocks_ && allocated_[block]);
+  allocated_[block] = false;
+  disk_.erase(block);
+  --used_blocks_;
+}
+
+Result<uint8_t*> ObjectStore::StableBlockData(Object& obj, BlockIndex block, PhysBlock hint,
+                                              std::vector<PhysBlock>* newly_written) {
+  auto it = obj.blocks.find(block);
+  PhysBlock phys;
+  if (it == obj.blocks.end()) {
+    SLICE_ASSIGN_OR_RETURN(phys, AllocBlock(hint));
+    obj.blocks[block] = phys;
+  } else {
+    phys = it->second;
+  }
+  if (newly_written != nullptr) {
+    newly_written->push_back(phys);
+  }
+  Bytes& payload = disk_[phys];
+  if (payload.size() != kStoreBlockSize) {
+    payload.assign(kStoreBlockSize, 0);
+  }
+  return payload.data();
+}
+
+Result<StoreWriteResult> ObjectStore::Write(ObjectId id, uint64_t offset, ByteSpan data,
+                                            bool stable) {
+  Object& obj = objects_[id];
+  StoreWriteResult result;
+
+  size_t consumed = 0;
+  while (consumed < data.size()) {
+    const uint64_t abs = offset + consumed;
+    const BlockIndex block = abs / kStoreBlockSize;
+    const size_t within = abs % kStoreBlockSize;
+    const size_t take = std::min(data.size() - consumed, kStoreBlockSize - within);
+
+    if (stable) {
+      // Contiguity hint: one past the previous logical block's physical slot.
+      PhysBlock hint = alloc_cursor_;
+      if (auto prev = obj.blocks.find(block == 0 ? 0 : block - 1);
+          block > 0 && prev != obj.blocks.end()) {
+        hint = prev->second + 1;
+      }
+      SLICE_ASSIGN_OR_RETURN(uint8_t * dst,
+                             StableBlockData(obj, block, hint, &result.blocks_written));
+      std::memcpy(dst + within, data.data() + consumed, take);
+      // If a dirty overlay exists for this block, the stable write supersedes
+      // the overlapped range; fold the stable bytes into the overlay so reads
+      // stay coherent.
+      if (auto dirty_it = obj.dirty.find(block); dirty_it != obj.dirty.end()) {
+        std::memcpy(dirty_it->second.data() + within, data.data() + consumed, take);
+      }
+    } else {
+      Bytes& overlay = obj.dirty[block];
+      if (overlay.size() != kStoreBlockSize) {
+        overlay.assign(kStoreBlockSize, 0);
+        // Seed the overlay with the stable image so partial dirty writes do
+        // not clobber surrounding stable bytes at commit time.
+        if (auto sit = obj.blocks.find(block); sit != obj.blocks.end()) {
+          const auto disk_it = disk_.find(sit->second);
+          if (disk_it != disk_.end()) {
+            overlay = disk_it->second;
+          }
+        }
+      }
+      std::memcpy(overlay.data() + within, data.data() + consumed, take);
+    }
+    consumed += take;
+  }
+
+  const uint64_t end = offset + data.size();
+  if (stable) {
+    obj.size = std::max(obj.size, end);
+  }
+  obj.unstable_size = std::max({obj.unstable_size, obj.size, end});
+  result.new_size = obj.unstable_size;
+  return result;
+}
+
+Result<StoreReadResult> ObjectStore::Read(ObjectId id, uint64_t offset, uint32_t count) const {
+  StoreReadResult result;
+  const auto obj_it = objects_.find(id);
+  if (obj_it == objects_.end()) {
+    result.eof = true;
+    return result;
+  }
+  const Object& obj = obj_it->second;
+  const uint64_t size = std::max(obj.size, obj.unstable_size);
+  if (offset >= size) {
+    result.eof = true;
+    return result;
+  }
+  const uint64_t n = std::min<uint64_t>(count, size - offset);
+  result.data.resize(n, 0);
+  result.eof = offset + n >= size;
+
+  uint64_t produced = 0;
+  while (produced < n) {
+    const uint64_t abs = offset + produced;
+    const BlockIndex block = abs / kStoreBlockSize;
+    const size_t within = abs % kStoreBlockSize;
+    const size_t take = std::min<uint64_t>(n - produced, kStoreBlockSize - within);
+
+    if (auto dirty_it = obj.dirty.find(block); dirty_it != obj.dirty.end()) {
+      std::memcpy(result.data.data() + produced, dirty_it->second.data() + within, take);
+    } else if (auto sit = obj.blocks.find(block); sit != obj.blocks.end()) {
+      result.blocks_read.push_back(sit->second);
+      const auto disk_it = disk_.find(sit->second);
+      if (disk_it != disk_.end()) {
+        std::memcpy(result.data.data() + produced, disk_it->second.data() + within, take);
+      }
+    }
+    // else: hole — zeros already there.
+    produced += take;
+  }
+  return result;
+}
+
+std::vector<PhysBlock> ObjectStore::Commit(ObjectId id) {
+  std::vector<PhysBlock> written;
+  auto obj_it = objects_.find(id);
+  if (obj_it == objects_.end()) {
+    return written;
+  }
+  Object& obj = obj_it->second;
+  for (auto& [block, payload] : obj.dirty) {
+    PhysBlock hint = alloc_cursor_;
+    if (auto prev = obj.blocks.find(block == 0 ? 0 : block - 1);
+        block > 0 && prev != obj.blocks.end()) {
+      hint = prev->second + 1;
+    }
+    Result<uint8_t*> dst = StableBlockData(obj, block, hint, &written);
+    if (!dst.ok()) {
+      break;  // out of space mid-commit; remaining blocks stay dirty
+    }
+    std::memcpy(*dst, payload.data(), kStoreBlockSize);
+  }
+  obj.dirty.clear();
+  obj.size = std::max(obj.size, obj.unstable_size);
+  return written;
+}
+
+std::vector<PhysBlock> ObjectStore::CommitAll() {
+  std::vector<PhysBlock> written;
+  for (auto& [id, obj] : objects_) {
+    (void)obj;
+    std::vector<PhysBlock> w = Commit(id);
+    written.insert(written.end(), w.begin(), w.end());
+  }
+  return written;
+}
+
+Status ObjectStore::Truncate(ObjectId id, uint64_t size) {
+  auto obj_it = objects_.find(id);
+  if (obj_it == objects_.end()) {
+    if (size == 0) {
+      return OkStatus();
+    }
+    objects_[id].size = size;
+    objects_[id].unstable_size = size;
+    return OkStatus();
+  }
+  Object& obj = obj_it->second;
+  const BlockIndex keep = (size + kStoreBlockSize - 1) / kStoreBlockSize;
+  for (auto it = obj.blocks.begin(); it != obj.blocks.end();) {
+    if (it->first >= keep) {
+      FreeBlock(it->second);
+      it = obj.blocks.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = obj.dirty.begin(); it != obj.dirty.end();) {
+    if (it->first >= keep) {
+      it = obj.dirty.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Zero the tail of the boundary block so a later size extension exposes
+  // zeros, not resurrected bytes (POSIX truncate semantics).
+  const size_t tail = size % kStoreBlockSize;
+  if (tail != 0 && size < std::max(obj.size, obj.unstable_size)) {
+    const BlockIndex boundary = size / kStoreBlockSize;
+    if (auto bit = obj.blocks.find(boundary); bit != obj.blocks.end()) {
+      auto disk_it = disk_.find(bit->second);
+      if (disk_it != disk_.end()) {
+        std::fill(disk_it->second.begin() + static_cast<ptrdiff_t>(tail),
+                  disk_it->second.end(), 0);
+      }
+    }
+    if (auto dit = obj.dirty.find(boundary); dit != obj.dirty.end()) {
+      std::fill(dit->second.begin() + static_cast<ptrdiff_t>(tail), dit->second.end(), 0);
+    }
+  }
+  // setattr(size) is durable metadata: both shrink and extension survive a
+  // crash (matching the implicit-creation path above).
+  obj.size = size;
+  obj.unstable_size = size;
+  return OkStatus();
+}
+
+Status ObjectStore::Remove(ObjectId id) {
+  auto obj_it = objects_.find(id);
+  if (obj_it == objects_.end()) {
+    return Status(StatusCode::kNotFound, "store: no such object");
+  }
+  for (const auto& [block, phys] : obj_it->second.blocks) {
+    (void)block;
+    FreeBlock(phys);
+  }
+  objects_.erase(obj_it);
+  return OkStatus();
+}
+
+void ObjectStore::CrashDiscardDirty() {
+  for (auto& [id, obj] : objects_) {
+    (void)id;
+    obj.dirty.clear();
+    obj.unstable_size = obj.size;
+  }
+}
+
+Result<uint64_t> ObjectStore::Size(ObjectId id) const {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return Status(StatusCode::kNotFound, "store: no such object");
+  }
+  return std::max(it->second.size, it->second.unstable_size);
+}
+
+uint64_t ObjectStore::SizeOrZero(ObjectId id) const {
+  const auto it = objects_.find(id);
+  return it == objects_.end() ? 0 : std::max(it->second.size, it->second.unstable_size);
+}
+
+uint64_t ObjectStore::AllocatedBytes(ObjectId id) const {
+  const auto it = objects_.find(id);
+  return it == objects_.end() ? 0 : it->second.blocks.size() * kStoreBlockSize;
+}
+
+uint64_t ObjectStore::dirty_blocks() const {
+  uint64_t n = 0;
+  for (const auto& [id, obj] : objects_) {
+    (void)id;
+    n += obj.dirty.size();
+  }
+  return n;
+}
+
+std::optional<PhysBlock> ObjectStore::PhysicalFor(ObjectId id, BlockIndex block) const {
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return std::nullopt;
+  }
+  const auto bit = it->second.blocks.find(block);
+  if (bit == it->second.blocks.end()) {
+    return std::nullopt;
+  }
+  return bit->second;
+}
+
+}  // namespace slice

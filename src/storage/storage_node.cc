@@ -1,0 +1,383 @@
+#include "src/storage/storage_node.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace slice {
+namespace {
+
+// Storage objects are keyed by the file's identity; every node addressing
+// the same file uses the same object id ("the storage nodes accept NFS file
+// handles as object identifiers, using an external hash", paper §4.2).
+ObjectId ObjectIdFor(const FileHandle& fh) {
+  return MixU64(fh.fileid() ^ (static_cast<uint64_t>(fh.volume()) << 48));
+}
+
+}  // namespace
+
+StorageNode::StorageNode(Network& net, EventQueue& queue, NetAddr addr,
+                         StorageNodeParams params, uint64_t seed)
+    : RpcServerNode(net, queue, addr, kNfsPort),
+      params_(params),
+      store_(params.capacity_bytes),
+      cache_(params.cache_bytes),
+      disks_(params.num_disks, params.disk, params.channel_mb_per_s),
+      rng_(seed ^ addr),
+      write_verifier_(rng_.NextU64()) {}
+
+bool StorageNode::CheckHandle(const FileHandle& fh) const {
+  if (!params_.check_capability) {
+    return true;
+  }
+  return fh.VerifyCapability(params_.volume_secret);
+}
+
+Fattr3 StorageNode::MakeAttr(const FileHandle& fh) const {
+  Fattr3 attr;
+  attr.type = FileType3::kReg;
+  attr.fileid = fh.fileid();
+  attr.fsid = fh.volume();
+  const ObjectId id = ObjectIdFor(fh);
+  attr.size = store_.SizeOrZero(id);
+  attr.used = store_.AllocatedBytes(id);
+  const uint32_t sec = static_cast<uint32_t>(now() / kNanosPerSec);
+  const uint32_t nsec = static_cast<uint32_t>(now() % kNanosPerSec);
+  attr.atime = attr.mtime = attr.ctime = NfsTime{sec, nsec};
+  return attr;
+}
+
+SimTime StorageNode::SubmitCoalesced(std::vector<PhysBlock> blocks, bool fill_cache) {
+  std::sort(blocks.begin(), blocks.end());
+  SimTime latest = 0;
+  const size_t arms = disks_.num_disks();
+  size_t runs = 0;
+  // Group per arm, then merge runs of consecutive arm-local positions so one
+  // positioning covers a whole track-sized transfer.
+  for (size_t arm = 0; arm < arms; ++arm) {
+    uint64_t run_start = 0;
+    uint64_t run_len = 0;
+    uint64_t prev = 0;
+    auto flush_run = [&]() {
+      if (run_len == 0) {
+        return;
+      }
+      ++runs;
+      latest = std::max(latest, disks_.SubmitIo(now(), arm, run_start * kStoreBlockSize,
+                                                run_len * kStoreBlockSize));
+    };
+    for (PhysBlock block : blocks) {
+      if (block % arms != arm) {
+        continue;
+      }
+      const uint64_t arm_pos = block / arms;
+      if (run_len > 0 && arm_pos == prev + 1) {
+        ++run_len;
+      } else {
+        flush_run();
+        run_start = arm_pos;
+        run_len = 1;
+      }
+      prev = arm_pos;
+      if (fill_cache) {
+        cache_.Insert(block);
+      }
+    }
+    flush_run();
+  }
+  // Metadata I/O (inode/indirect blocks) amortizes over clustered transfers:
+  // charge per run, so random 8KB misses pay full freight while sequential
+  // log appends and track-sized flushes stay cheap.
+  for (size_t r = 0; r < runs; ++r) {
+    latest = std::max(latest, ChargeMetadataIos());
+  }
+  return latest;
+}
+
+SimTime StorageNode::ChargeReads(const std::vector<PhysBlock>& blocks) {
+  std::vector<PhysBlock> misses;
+  SimTime latest = 0;
+  for (PhysBlock block : blocks) {
+    if (cache_.Access(block)) {
+      // A hit on an in-flight prefetch still waits for the disk.
+      const auto it = pending_ready_.find(block);
+      if (it != pending_ready_.end()) {
+        if (it->second > now()) {
+          latest = std::max(latest, it->second);
+        } else {
+          pending_ready_.erase(it);
+        }
+      }
+    } else {
+      misses.push_back(block);
+    }
+  }
+  return std::max(latest, SubmitCoalesced(std::move(misses), /*fill_cache=*/true));
+}
+
+SimTime StorageNode::ChargeMetadataIos() {
+  meta_debt_ += params_.extra_meta_ios;
+  SimTime latest = 0;
+  while (meta_debt_ >= 1.0) {
+    meta_debt_ -= 1.0;
+    const size_t disk = rng_.NextBelow(disks_.num_disks());
+    const uint64_t pos = rng_.NextBelow(store_.capacity_blocks()) * kStoreBlockSize;
+    latest = std::max(latest, disks_.SubmitIo(now(), disk, pos, kStoreBlockSize));
+  }
+  return latest;
+}
+
+SimTime StorageNode::ChargeWrites(const std::vector<PhysBlock>& blocks) {
+  return SubmitCoalesced(blocks, /*fill_cache=*/true);
+}
+
+void StorageNode::MaybePrefetch(ObjectId id, uint64_t offset, uint32_t count) {
+  // Striped files reach each node with large strides between this node's
+  // shares; treat bounded forward progress as sequential so the prefetcher
+  // stays ahead of a striped sequential reader.
+  auto it = next_offset_.find(id);
+  const bool forward = it != next_offset_.end() && offset >= it->second &&
+                       offset - it->second <= (4u << 20);
+  next_offset_[id] = offset + count;
+  if (!forward && offset != 0) {
+    return;
+  }
+  // Fetch up to prefetch_blocks of existing stable blocks past the access;
+  // they go to the cache on the disks' own time, off the reply path. Striped
+  // files leave logical holes on each node, so skip gaps rather than stop —
+  // the node's share of the file is physically contiguous regardless.
+  const BlockIndex first = (offset + count + kStoreBlockSize - 1) / kStoreBlockSize;
+  size_t found = 0;
+  const size_t horizon = params_.prefetch_blocks * 16;
+  std::vector<PhysBlock> batch;
+  for (size_t i = 0; i < horizon && found < params_.prefetch_blocks; ++i) {
+    std::optional<PhysBlock> phys = store_.PhysicalFor(id, first + i);
+    if (!phys.has_value()) {
+      continue;
+    }
+    ++found;
+    if (cache_.Contains(*phys)) {
+      continue;
+    }
+    batch.push_back(*phys);
+  }
+  // Hysteresis: refill in track-sized batches. Dribbling one block per
+  // demand read would cost a full positioning delay per 8KB; waiting until
+  // half the window has drained keeps per-arm runs long (FFS clustering).
+  if (batch.size() < params_.prefetch_blocks / 2) {
+    return;
+  }
+  prefetches_issued_ += batch.size();
+  const SimTime ready = SubmitCoalesced(batch, /*fill_cache=*/true);
+  if (pending_ready_.size() > (1u << 17)) {
+    pending_ready_.clear();  // stale entries; only in-flight ones matter
+  }
+  for (PhysBlock block : batch) {
+    pending_ready_[block] = ready;
+  }
+}
+
+void StorageNode::HandleRead(const ReadArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  ReadRes res;
+  if (!CheckHandle(args.file)) {
+    res.status = Nfsstat3::kErrBadhandle;
+    res.Encode(reply);
+    return;
+  }
+  const ObjectId id = ObjectIdFor(args.file);
+  Result<StoreReadResult> read = store_.Read(id, args.offset, args.count);
+  if (!read.ok()) {
+    res.status = Nfsstat3::kErrIo;
+    res.Encode(reply);
+    return;
+  }
+  cost.MergeCompletion(ChargeReads(read->blocks_read));
+  MaybePrefetch(id, args.offset, args.count);
+  cost.AddCpu(FromMicros(params_.op_cpu_us) +
+              static_cast<SimTime>(static_cast<double>(read->data.size()) *
+                                   params_.cpu_ns_per_byte));
+  res.file_attributes = MakeAttr(args.file);
+  res.count = static_cast<uint32_t>(read->data.size());
+  res.eof = read->eof;
+  res.data = std::move(read->data);
+  res.Encode(reply);
+}
+
+void StorageNode::HandleWrite(const WriteArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  WriteRes res;
+  if (!CheckHandle(args.file)) {
+    res.status = Nfsstat3::kErrBadhandle;
+    res.Encode(reply);
+    return;
+  }
+  const ObjectId id = ObjectIdFor(args.file);
+  const bool stable = args.stable != StableHow::kUnstable;
+  Result<StoreWriteResult> write = store_.Write(id, args.offset, args.data, stable);
+  if (!write.ok()) {
+    res.status = write.status().code() == StatusCode::kResourceExhausted ? Nfsstat3::kErrNospc
+                                                                         : Nfsstat3::kErrIo;
+    res.Encode(reply);
+    return;
+  }
+  if (stable) {
+    cost.MergeCompletion(ChargeWrites(write->blocks_written));
+  }
+  cost.AddCpu(FromMicros(params_.op_cpu_us) +
+              static_cast<SimTime>(static_cast<double>(args.data.size()) *
+                                   params_.cpu_ns_per_byte));
+  res.count = static_cast<uint32_t>(args.data.size());
+  res.committed = stable ? StableHow::kFileSync : StableHow::kUnstable;
+  res.verf = write_verifier_;
+  res.wcc.after = MakeAttr(args.file);
+  res.Encode(reply);
+}
+
+void StorageNode::HandleCommit(const CommitArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  CommitRes res;
+  if (!CheckHandle(args.file)) {
+    res.status = Nfsstat3::kErrBadhandle;
+    res.Encode(reply);
+    return;
+  }
+  const std::vector<PhysBlock> written = store_.Commit(ObjectIdFor(args.file));
+  cost.MergeCompletion(ChargeWrites(written));
+  cost.AddCpu(FromMicros(params_.op_cpu_us));
+  res.verf = write_verifier_;
+  res.wcc.after = MakeAttr(args.file);
+  res.Encode(reply);
+}
+
+void StorageNode::HandleGetattr(const GetattrArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  GetattrRes res;
+  if (!CheckHandle(args.object)) {
+    res.status = Nfsstat3::kErrBadhandle;
+  } else {
+    res.attributes = MakeAttr(args.object);
+  }
+  cost.AddCpu(FromMicros(params_.op_cpu_us / 2));
+  res.Encode(reply);
+}
+
+void StorageNode::HandleSetattr(const SetattrArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  SetattrRes res;
+  if (!CheckHandle(args.object)) {
+    res.status = Nfsstat3::kErrBadhandle;
+  } else if (args.new_attributes.size.has_value()) {
+    const Status st = store_.Truncate(ObjectIdFor(args.object), *args.new_attributes.size);
+    if (!st.ok()) {
+      res.status = Nfsstat3::kErrIo;
+    }
+    res.wcc.after = MakeAttr(args.object);
+  }
+  cost.AddCpu(FromMicros(params_.op_cpu_us));
+  res.Encode(reply);
+}
+
+void StorageNode::HandleRemove(const DirOpArgs& args, XdrEncoder& reply, ServiceCost& cost) {
+  // Convention: REMOVE with an empty name removes the storage object named
+  // by the handle (coordinator-driven object deletion).
+  RemoveRes res;
+  if (!CheckHandle(args.dir)) {
+    res.status = Nfsstat3::kErrBadhandle;
+  } else if (!args.name.empty()) {
+    res.status = Nfsstat3::kErrInval;
+  } else {
+    const Status st = store_.Remove(ObjectIdFor(args.dir));
+    if (!st.ok()) {
+      res.status = Nfsstat3::kErrNoent;
+    }
+  }
+  cost.AddCpu(FromMicros(params_.op_cpu_us));
+  res.Encode(reply);
+}
+
+void StorageNode::HandleFsstat(XdrEncoder& reply, ServiceCost& cost) {
+  FsstatRes res;
+  res.tbytes = store_.capacity_blocks() * kStoreBlockSize;
+  res.fbytes = (store_.capacity_blocks() - store_.used_blocks()) * kStoreBlockSize;
+  res.abytes = res.fbytes;
+  res.tfiles = 1u << 20;
+  res.ffiles = res.tfiles - store_.object_count();
+  res.afiles = res.ffiles;
+  cost.AddCpu(FromMicros(params_.op_cpu_us / 2));
+  res.Encode(reply);
+}
+
+RpcAcceptStat StorageNode::HandleCall(const RpcMessageView& call, XdrEncoder& reply,
+                                      ServiceCost& cost) {
+  if (call.prog != kNfsProgram || call.vers != kNfsVersion) {
+    return RpcAcceptStat::kProgUnavail;
+  }
+  XdrDecoder dec(call.body);
+  switch (static_cast<NfsProc>(call.proc)) {
+    case NfsProc::kNull:
+      return RpcAcceptStat::kSuccess;
+    case NfsProc::kRead: {
+      Result<ReadArgs> args = ReadArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleRead(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kWrite: {
+      Result<WriteArgs> args = WriteArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleWrite(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kCommit: {
+      Result<CommitArgs> args = CommitArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleCommit(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kGetattr: {
+      Result<GetattrArgs> args = GetattrArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleGetattr(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kSetattr: {
+      Result<SetattrArgs> args = SetattrArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleSetattr(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kRemove: {
+      Result<DirOpArgs> args = DirOpArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      HandleRemove(*args, reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    case NfsProc::kFsstat: {
+      HandleFsstat(reply, cost);
+      return RpcAcceptStat::kSuccess;
+    }
+    default:
+      return RpcAcceptStat::kProcUnavail;
+  }
+}
+
+void StorageNode::OnRestart() {
+  // Unstable data did not survive the crash; a new verifier tells clients to
+  // re-send uncommitted writes (NFSv3 commit semantics).
+  store_.CrashDiscardDirty();
+  cache_.Clear();
+  next_offset_.clear();
+  pending_ready_.clear();
+  write_verifier_ = rng_.NextU64();
+  SLICE_ILOG << "storage node " << AddrToString(addr()) << " restarted, new verifier";
+}
+
+}  // namespace slice

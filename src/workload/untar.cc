@@ -1,0 +1,122 @@
+#include "src/workload/untar.h"
+
+#include "src/common/logging.h"
+
+namespace slice {
+
+UntarProcess::UntarProcess(Host& host, EventQueue& queue, Endpoint server, FileHandle root,
+                           UntarParams params, uint64_t seed, std::function<void()> on_done)
+    : client_(host, queue, server),
+      queue_(queue),
+      root_(root),
+      params_(params),
+      rng_(seed),
+      on_done_(std::move(on_done)) {}
+
+void UntarProcess::Start() {
+  started_at_ = queue_.now();
+  CreateTopDir();
+}
+
+void UntarProcess::CreateTopDir() {
+  ++ops_issued_;
+  client_.Mkdir(root_, params_.top_name, [this](Status st, const CreateRes& res) {
+    if (!st.ok() || res.status != Nfsstat3::kOk || !res.object.has_value()) {
+      ++errors_;
+      Finish();
+      return;
+    }
+    dirs_.push_back(*res.object);
+    NextCreation();
+  });
+}
+
+void UntarProcess::NextCreation() {
+  if (completed_ >= params_.total_creations) {
+    Finish();
+    return;
+  }
+  // Every (files_per_dir + 1)-th creation is a directory.
+  if (completed_ % (params_.files_per_dir + 1) == params_.files_per_dir) {
+    DoMkdir();
+  } else {
+    DoFileSequence();
+  }
+}
+
+void UntarProcess::DoMkdir() {
+  // Bias toward recent directories (tar extracts depth-first).
+  const size_t pick = dirs_.size() <= 4
+                          ? rng_.NextBelow(dirs_.size())
+                          : dirs_.size() - 1 - rng_.NextBelow(4);
+  const FileHandle parent = dirs_[pick];
+  const std::string name = "d" + std::to_string(name_counter_++);
+  ++ops_issued_;
+  client_.Mkdir(parent, name, [this](Status st, const CreateRes& res) {
+    if (!st.ok() || res.status != Nfsstat3::kOk || !res.object.has_value()) {
+      ++errors_;
+    } else {
+      dirs_.push_back(*res.object);
+      if (dirs_.size() > 64) {
+        dirs_.erase(dirs_.begin());  // cap the working set like a real untar
+      }
+    }
+    ++completed_;
+    NextCreation();
+  });
+}
+
+void UntarProcess::DoFileSequence() {
+  const FileHandle parent = dirs_.back();
+  const std::string name = "f" + std::to_string(name_counter_++);
+
+  // The seven-op tar sequence: lookup (miss), access, create, getattr,
+  // lookup (hit), setattr, setattr.
+  ++ops_issued_;
+  client_.Lookup(parent, name, [this, parent, name](Status, const LookupRes&) {
+    ++ops_issued_;
+    client_.Access(parent, 0x3f, [this, parent, name](Status, const AccessRes&) {
+      ++ops_issued_;
+      client_.Create(parent, name, [this, parent, name](Status st, const CreateRes& res) {
+        if (!st.ok() || res.status != Nfsstat3::kOk || !res.object.has_value()) {
+          ++errors_;
+          ++completed_;
+          NextCreation();
+          return;
+        }
+        const FileHandle fh = *res.object;
+        ++ops_issued_;
+        client_.Getattr(fh, [this, parent, name, fh](Status, const GetattrRes&) {
+          ++ops_issued_;
+          client_.Lookup(parent, name, [this, fh](Status, const LookupRes&) {
+            SetattrArgs sattr;
+            sattr.object = fh;
+            sattr.new_attributes.mode = 0644;
+            ++ops_issued_;
+            client_.Setattr(sattr, [this, fh](Status, const SetattrRes&) {
+              SetattrArgs times;
+              times.object = fh;
+              times.new_attributes.mtime = NfsTime{1, 0};
+              times.new_attributes.atime = NfsTime{1, 0};
+              ++ops_issued_;
+              client_.Setattr(times, [this](Status, const SetattrRes&) {
+                ++completed_;
+                NextCreation();
+              });
+            });
+          });
+        });
+      });
+    });
+  });
+}
+
+void UntarProcess::Finish() {
+  finished_at_ = queue_.now();
+  done_ = true;
+  if (on_done_) {
+    on_done_();
+  }
+}
+
+}  // namespace slice

@@ -1,0 +1,68 @@
+// The name-intensive "untar" benchmark from the paper's §5: repeatedly
+// unpacks a set of zero-length files into a directory tree that mimics the
+// FreeBSD source distribution. Each file create generates seven NFS
+// operations — lookup, access, create, getattr, lookup, setattr, setattr —
+// and roughly one creation in twelve is a mkdir.
+//
+// Each process is an asynchronous state machine driving its own NfsClient;
+// many processes can share one client host (Fig 3 runs up to 32 processes
+// across five client PCs).
+#ifndef SLICE_WORKLOAD_UNTAR_H_
+#define SLICE_WORKLOAD_UNTAR_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/nfs/nfs_client.h"
+
+namespace slice {
+
+struct UntarParams {
+  int total_creations = 36000;  // files + directories
+  int files_per_dir = 11;       // every 12th creation is a mkdir
+  std::string top_name = "untar";
+};
+
+class UntarProcess {
+ public:
+  // Calls `on_done` once every creation has completed.
+  UntarProcess(Host& host, EventQueue& queue, Endpoint server, FileHandle root,
+               UntarParams params, uint64_t seed, std::function<void()> on_done);
+
+  void Start();
+
+  bool done() const { return done_; }
+  SimTime started_at() const { return started_at_; }
+  SimTime finished_at() const { return finished_at_; }
+  SimTime elapsed() const { return finished_at_ - started_at_; }
+  uint64_t ops_issued() const { return ops_issued_; }
+  uint64_t errors() const { return errors_; }
+
+ private:
+  void CreateTopDir();
+  void NextCreation();
+  void DoMkdir();
+  void DoFileSequence();
+  void Finish();
+
+  NfsClient client_;
+  EventQueue& queue_;
+  FileHandle root_;
+  UntarParams params_;
+  Rng rng_;
+  std::function<void()> on_done_;
+
+  std::vector<FileHandle> dirs_;  // candidate parents (most recent favored)
+  int completed_ = 0;
+  int name_counter_ = 0;
+  uint64_t ops_issued_ = 0;
+  uint64_t errors_ = 0;
+  SimTime started_at_ = 0;
+  SimTime finished_at_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_WORKLOAD_UNTAR_H_

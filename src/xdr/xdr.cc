@@ -1,0 +1,67 @@
+#include "src/xdr/xdr.h"
+
+namespace slice {
+
+void XdrEncoder::PutOpaqueFixed(ByteSpan data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  const size_t pad = XdrPad(data.size());
+  buf_.insert(buf_.end(), pad, 0);
+}
+
+void XdrEncoder::PutOpaqueVar(ByteSpan data) {
+  PutUint32(static_cast<uint32_t>(data.size()));
+  PutOpaqueFixed(data);
+}
+
+Result<uint32_t> XdrDecoder::GetUint32() {
+  SLICE_RETURN_IF_ERROR(Need(4));
+  const uint32_t v = GetU32(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> XdrDecoder::GetUint64() {
+  SLICE_RETURN_IF_ERROR(Need(8));
+  const uint64_t v = GetU64(data_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+Result<bool> XdrDecoder::GetBool() {
+  SLICE_ASSIGN_OR_RETURN(uint32_t v, GetUint32());
+  if (v > 1) {
+    return Status(StatusCode::kCorrupt, "xdr: bad bool");
+  }
+  return v == 1;
+}
+
+Result<Bytes> XdrDecoder::GetOpaqueFixed(size_t len) {
+  const size_t padded = len + XdrPad(len);
+  SLICE_RETURN_IF_ERROR(Need(padded));
+  Bytes out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+            data_.begin() + static_cast<ptrdiff_t>(pos_ + len));
+  pos_ += padded;
+  return out;
+}
+
+Result<Bytes> XdrDecoder::GetOpaqueVar(size_t max_len) {
+  SLICE_ASSIGN_OR_RETURN(uint32_t len, GetUint32());
+  if (len > max_len) {
+    return Status(StatusCode::kCorrupt, "xdr: opaque too long");
+  }
+  return GetOpaqueFixed(len);
+}
+
+Result<std::string> XdrDecoder::GetString(size_t max_len) {
+  SLICE_ASSIGN_OR_RETURN(Bytes raw, GetOpaqueVar(max_len));
+  return std::string(raw.begin(), raw.end());
+}
+
+Result<ByteSpan> XdrDecoder::GetRawView(size_t n) {
+  SLICE_RETURN_IF_ERROR(Need(n));
+  ByteSpan view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+}  // namespace slice

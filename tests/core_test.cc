@@ -1,0 +1,346 @@
+// Unit tests for the µproxy building blocks: routing table, request decode,
+// attribute cache, and route selection on a real µproxy instance.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/attr_cache.h"
+#include "src/core/request_decode.h"
+#include "src/core/routing_table.h"
+#include "src/core/uproxy.h"
+#include "src/slice/ensemble.h"
+
+namespace slice {
+namespace {
+
+constexpr uint64_t kSecret = 0x51ce2000;
+
+FileHandle RegFh(uint64_t fileid, uint8_t replication = 1) {
+  return FileHandle::Make(1, fileid, 1, FileType3::kReg, replication, kSecret);
+}
+FileHandle DirFh(uint64_t fileid) {
+  return FileHandle::Make(1, fileid, 1, FileType3::kDir, 1, kSecret);
+}
+
+TEST(RoutingTableTest, RoundRobinFill) {
+  std::vector<Endpoint> servers{{1, 1}, {2, 1}, {3, 1}};
+  RoutingTable table(9, servers);
+  EXPECT_EQ(table.logical_slots(), 9u);
+  EXPECT_EQ(table.physical_count(), 3u);
+  EXPECT_EQ(table.Lookup(0).addr, 1u);
+  EXPECT_EQ(table.Lookup(1).addr, 2u);
+  EXPECT_EQ(table.Lookup(3).addr, 1u);
+}
+
+TEST(RoutingTableTest, RebindMovesOneSlot) {
+  std::vector<Endpoint> servers{{1, 1}, {2, 1}};
+  RoutingTable table(4, servers);
+  EXPECT_EQ(table.Lookup(0).addr, 1u);
+  table.Rebind(0, 1);
+  EXPECT_EQ(table.Lookup(0).addr, 2u);
+  EXPECT_EQ(table.Lookup(2).addr, 1u);  // others untouched
+}
+
+TEST(RoutingTableTest, ReloadRemaps) {
+  RoutingTable table(8, {{1, 1}});
+  table.Reload({{1, 1}, {2, 1}, {3, 1}, {4, 1}});
+  EXPECT_EQ(table.physical_count(), 4u);
+  std::set<NetAddr> seen;
+  for (uint64_t k = 0; k < 8; ++k) {
+    seen.insert(table.Lookup(k).addr);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+Bytes EncodeCall(NfsProc proc, const std::function<void(XdrEncoder&)>& args) {
+  RpcCall call;
+  call.xid = 42;
+  call.prog = kNfsProgram;
+  call.vers = kNfsVersion;
+  call.proc = static_cast<uint32_t>(proc);
+  XdrEncoder enc;
+  args(enc);
+  call.args = enc.Take();
+  return call.Encode();
+}
+
+TEST(RequestDecodeTest, ReadFields) {
+  const Bytes wire = EncodeCall(NfsProc::kRead, [](XdrEncoder& enc) {
+    ReadArgs{RegFh(7), 65536, 32768}.Encode(enc);
+  });
+  DecodedRequest req;
+  ASSERT_TRUE(DecodeNfsRequest(wire, &req).ok());
+  EXPECT_EQ(req.proc, NfsProc::kRead);
+  EXPECT_EQ(req.fh.fileid(), 7u);
+  EXPECT_EQ(req.offset, 65536u);
+  EXPECT_EQ(req.count, 32768u);
+  EXPECT_EQ(req.xid, 42u);
+}
+
+TEST(RequestDecodeTest, WriteCarriesStability) {
+  const Bytes wire = EncodeCall(NfsProc::kWrite, [](XdrEncoder& enc) {
+    WriteArgs args;
+    args.file = RegFh(9);
+    args.offset = 100;
+    args.count = 3;
+    args.stable = StableHow::kFileSync;
+    args.data = {1, 2, 3};
+    args.Encode(enc);
+  });
+  DecodedRequest req;
+  ASSERT_TRUE(DecodeNfsRequest(wire, &req).ok());
+  EXPECT_EQ(req.stable, StableHow::kFileSync);
+  EXPECT_EQ(req.count, 3u);
+}
+
+TEST(RequestDecodeTest, LookupName) {
+  const Bytes wire = EncodeCall(NfsProc::kLookup, [](XdrEncoder& enc) {
+    DirOpArgs{DirFh(1), "target"}.Encode(enc);
+  });
+  DecodedRequest req;
+  ASSERT_TRUE(DecodeNfsRequest(wire, &req).ok());
+  EXPECT_EQ(req.name, "target");
+  EXPECT_TRUE(req.fh.IsDir());
+}
+
+TEST(RequestDecodeTest, RenameBothPairs) {
+  const Bytes wire = EncodeCall(NfsProc::kRename, [](XdrEncoder& enc) {
+    RenameArgs{DirFh(1), "a", DirFh(2), "b"}.Encode(enc);
+  });
+  DecodedRequest req;
+  ASSERT_TRUE(DecodeNfsRequest(wire, &req).ok());
+  EXPECT_EQ(req.name, "a");
+  EXPECT_EQ(req.name2, "b");
+  EXPECT_EQ(req.fh2.fileid(), 2u);
+}
+
+TEST(RequestDecodeTest, LinkRoutesByDirEntry) {
+  const Bytes wire = EncodeCall(NfsProc::kLink, [](XdrEncoder& enc) {
+    LinkArgs{RegFh(9), DirFh(1), "alias"}.Encode(enc);
+  });
+  DecodedRequest req;
+  ASSERT_TRUE(DecodeNfsRequest(wire, &req).ok());
+  EXPECT_EQ(req.fh.fileid(), 1u);   // the directory
+  EXPECT_EQ(req.fh2.fileid(), 9u);  // the file
+  EXPECT_EQ(req.name, "alias");
+}
+
+TEST(RequestDecodeTest, SetattrSizeExtraction) {
+  const Bytes wire = EncodeCall(NfsProc::kSetattr, [](XdrEncoder& enc) {
+    SetattrArgs args;
+    args.object = RegFh(3);
+    args.new_attributes.size = 777;
+    args.Encode(enc);
+  });
+  DecodedRequest req;
+  ASSERT_TRUE(DecodeNfsRequest(wire, &req).ok());
+  EXPECT_EQ(req.offset, 777u);
+  EXPECT_EQ(req.count, 1u);
+}
+
+TEST(RequestDecodeTest, NonNfsRejected) {
+  RpcCall call;
+  call.prog = 200001;  // not NFS
+  DecodedRequest req;
+  EXPECT_FALSE(DecodeNfsRequest(call.Encode(), &req).ok());
+}
+
+TEST(RequestDecodeTest, ReplyPeek) {
+  RpcReply reply;
+  reply.xid = 77;
+  XdrEncoder enc;
+  enc.PutUint32(0);
+  reply.result = enc.bytes();
+  DecodedReply out;
+  ASSERT_TRUE(DecodeNfsReply(reply.Encode(), &out).ok());
+  EXPECT_EQ(out.xid, 77u);
+  EXPECT_EQ(out.stat, RpcAcceptStat::kSuccess);
+}
+
+TEST(AttrCacheTest, WriteUpdatesSizeAndDirties) {
+  AttrCache cache(16);
+  cache.NoteWrite(5, 1000, NfsTime{10, 0});
+  const AttrCache::Entry* entry = cache.Find(5);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->attr.size, 1000u);
+  EXPECT_TRUE(entry->dirty);
+  EXPECT_EQ(cache.DirtyFiles().size(), 1u);
+}
+
+TEST(AttrCacheTest, MergeKeepsFresherLocalView) {
+  AttrCache cache(16);
+  cache.NoteWrite(5, 9999, NfsTime{100, 0});
+  Fattr3 server_attr;
+  server_attr.fileid = 5;
+  server_attr.size = 100;  // stale
+  server_attr.mtime = NfsTime{1, 0};
+  server_attr.nlink = 3;
+  cache.MergeFromReply(5, server_attr);
+  const AttrCache::Entry* entry = cache.Find(5);
+  EXPECT_EQ(entry->attr.size, 9999u);  // ours wins
+  EXPECT_EQ(entry->attr.mtime.seconds, 100u);
+  EXPECT_EQ(entry->attr.nlink, 3u);  // server fields adopted
+}
+
+TEST(AttrCacheTest, CleanEntryAdoptsServerView) {
+  AttrCache cache(16);
+  Fattr3 attr;
+  attr.fileid = 7;
+  attr.size = 123;
+  cache.MergeFromReply(7, attr);
+  attr.size = 456;
+  cache.MergeFromReply(7, attr);
+  EXPECT_EQ(cache.Find(7)->attr.size, 456u);
+}
+
+TEST(AttrCacheTest, EvictionSurfacesDirtyEntries) {
+  AttrCache cache(2);
+  cache.NoteWrite(1, 100, NfsTime{1, 0});
+  cache.NoteWrite(2, 200, NfsTime{2, 0});
+  cache.NoteWrite(3, 300, NfsTime{3, 0});  // evicts 1
+  auto evicted = cache.TakeEvictedDirty();
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].first, 1u);
+  EXPECT_EQ(evicted[0].second.size, 100u);
+  EXPECT_TRUE(cache.TakeEvictedDirty().empty());
+}
+
+TEST(AttrCacheTest, MarkCleanStopsWriteback) {
+  AttrCache cache(16);
+  cache.NoteWrite(1, 100, NfsTime{1, 0});
+  cache.MarkClean(1);
+  EXPECT_TRUE(cache.DirtyFiles().empty());
+}
+
+TEST(AttrCacheTest, NoteReadOnUncachedIsNoop) {
+  AttrCache cache(16);
+  cache.NoteRead(5, NfsTime{1, 0});
+  EXPECT_EQ(cache.Find(5), nullptr);
+}
+
+// --- route selection through a real µproxy (tiny ensemble) ---
+
+class RouteSelectionTest : public ::testing::Test {
+ protected:
+  RouteSelectionTest() {
+    EnsembleConfig config;
+    config.num_dir_servers = 3;
+    config.num_small_file_servers = 2;
+    config.num_storage_nodes = 4;
+    config.num_coordinators = 1;
+    ensemble_ = std::make_unique<Ensemble>(queue_, config);
+  }
+
+  Uproxy::RouteDecision Route(const DecodedRequest& req) {
+    return ensemble_->uproxy(0).SelectRoute(req);
+  }
+
+  EventQueue queue_;
+  std::unique_ptr<Ensemble> ensemble_;
+};
+
+TEST_F(RouteSelectionTest, SmallIoBelowThreshold) {
+  DecodedRequest req;
+  req.proc = NfsProc::kRead;
+  req.fh = RegFh(MakeFileid(0, 5));
+  req.offset = 0;
+  req.count = 8192;
+  EXPECT_EQ(Route(req).cls, Uproxy::RouteClass::kSmallFile);
+  req.offset = 65535;
+  EXPECT_EQ(Route(req).cls, Uproxy::RouteClass::kSmallFile);
+}
+
+TEST_F(RouteSelectionTest, BulkIoAboveThreshold) {
+  DecodedRequest req;
+  req.proc = NfsProc::kRead;
+  req.fh = RegFh(MakeFileid(0, 5));
+  req.offset = 65536;
+  EXPECT_EQ(Route(req).cls, Uproxy::RouteClass::kStorage);
+}
+
+TEST_F(RouteSelectionTest, StripingSpreadsBlocks) {
+  DecodedRequest req;
+  req.proc = NfsProc::kRead;
+  req.fh = RegFh(MakeFileid(0, 5));
+  std::set<uint32_t> nodes;
+  for (uint64_t off = 65536; off < 65536 + 8ull * 32768; off += 32768) {
+    req.offset = off;
+    nodes.insert(Route(req).storage_index);
+  }
+  EXPECT_EQ(nodes.size(), 4u);  // all four storage nodes hit
+}
+
+TEST_F(RouteSelectionTest, MirroredWritesAbsorb) {
+  DecodedRequest req;
+  req.proc = NfsProc::kWrite;
+  req.fh = RegFh(MakeFileid(0, 5), /*replication=*/2);
+  req.offset = 1 << 20;
+  EXPECT_EQ(Route(req).cls, Uproxy::RouteClass::kMirrorWrite);
+}
+
+TEST_F(RouteSelectionTest, MirroredReadsAlternateReplicas) {
+  DecodedRequest req;
+  req.proc = NfsProc::kRead;
+  req.fh = RegFh(MakeFileid(0, 5), /*replication=*/2);
+  req.offset = 1 << 20;
+  const uint32_t a = Route(req).storage_index;
+  req.offset += 32768;
+  const uint32_t b = Route(req).storage_index;
+  EXPECT_NE(a, b);
+}
+
+TEST_F(RouteSelectionTest, NameOpsFollowParentSite) {
+  DecodedRequest req;
+  req.proc = NfsProc::kLookup;
+  req.fh = DirFh(MakeFileid(2, 9));
+  req.name = "x";
+  EXPECT_TRUE(Route(req).target == ensemble_->dir_server(2).endpoint());
+}
+
+TEST_F(RouteSelectionTest, GetattrFollowsEmbeddedSite) {
+  DecodedRequest req;
+  req.proc = NfsProc::kGetattr;
+  req.fh = RegFh(MakeFileid(1, 3));
+  EXPECT_TRUE(Route(req).target == ensemble_->dir_server(1).endpoint());
+}
+
+TEST_F(RouteSelectionTest, MkdirSwitchingRedirectsSome) {
+  DecodedRequest req;
+  req.proc = NfsProc::kMkdir;
+  req.fh = DirFh(MakeFileid(0, 1));
+  int redirected = 0;
+  constexpr int kTrials = 400;
+  for (int i = 0; i < kTrials; ++i) {
+    req.name = "dir" + std::to_string(i);
+    if (!(Route(req).target == ensemble_->dir_server(0).endpoint())) {
+      ++redirected;
+    }
+  }
+  // p = 0.25, but a redirect can hash back to the parent's own server
+  // (1/3 of the time with 3 servers): expect roughly 0.25 * 2/3 ≈ 17%.
+  EXPECT_GT(redirected, kTrials / 10);
+  EXPECT_LT(redirected, kTrials / 3);
+}
+
+TEST_F(RouteSelectionTest, CommitFansOut) {
+  DecodedRequest req;
+  req.proc = NfsProc::kCommit;
+  req.fh = RegFh(MakeFileid(0, 5));
+  EXPECT_EQ(Route(req).cls, Uproxy::RouteClass::kMultiCommit);
+}
+
+TEST_F(RouteSelectionTest, DeterministicAcrossCalls) {
+  DecodedRequest req;
+  req.proc = NfsProc::kRead;
+  req.fh = RegFh(MakeFileid(0, 123));
+  req.offset = 1 << 20;
+  const auto first = Route(req);
+  for (int i = 0; i < 10; ++i) {
+    const auto again = Route(req);
+    EXPECT_EQ(again.storage_index, first.storage_index);
+    EXPECT_TRUE(again.target == first.target);
+  }
+}
+
+}  // namespace
+}  // namespace slice

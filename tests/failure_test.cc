@@ -1,0 +1,215 @@
+// Cross-module failure injection: crashes and packet loss at the worst
+// moments, combined failures, and recovery interleavings. These go beyond
+// the per-module recovery tests by exercising the interactions.
+#include <gtest/gtest.h>
+
+#include "src/slice/ensemble.h"
+
+namespace slice {
+namespace {
+
+Bytes Pattern(size_t n, uint8_t seed = 1) {
+  Bytes data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<uint8_t>(seed + i * 53);
+  }
+  return data;
+}
+
+class FailureTest : public ::testing::Test {
+ protected:
+  explicit FailureTest(EnsembleConfig config = DefaultConfig()) {
+    ensemble_ = std::make_unique<Ensemble>(queue_, config);
+    client_ = ensemble_->MakeSyncClient(0);
+    root_ = ensemble_->root();
+  }
+
+  static EnsembleConfig DefaultConfig() {
+    EnsembleConfig config;
+    config.num_dir_servers = 2;
+    config.num_small_file_servers = 2;
+    config.num_storage_nodes = 2;
+    return config;
+  }
+
+  EventQueue queue_;
+  std::unique_ptr<Ensemble> ensemble_;
+  std::unique_ptr<SyncNfsClient> client_;
+  FileHandle root_;
+};
+
+TEST_F(FailureTest, SimultaneousManagerCrashes) {
+  // Create state across both manager classes, flush logs, crash everything
+  // at once, recover, verify.
+  CreateRes created = client_->Create(root_, "sturdy").value();
+  ASSERT_EQ(created.status, Nfsstat3::kOk);
+  ASSERT_EQ(client_->Write(*created.object, 0, Pattern(3000), StableHow::kUnstable)
+                .value()
+                .status,
+            Nfsstat3::kOk);
+  ASSERT_EQ(client_->Commit(*created.object).value().status, Nfsstat3::kOk);
+  queue_.RunUntilIdle();
+
+  for (size_t i = 0; i < ensemble_->num_dir_servers(); ++i) {
+    ensemble_->dir_server(i).FlushLog();
+  }
+  for (size_t i = 0; i < ensemble_->num_small_file_servers(); ++i) {
+    ensemble_->small_file_server(i).FlushDirtyForTest();
+  }
+  queue_.RunUntilIdle();
+
+  for (size_t i = 0; i < ensemble_->num_dir_servers(); ++i) {
+    ensemble_->dir_server(i).Fail();
+  }
+  for (size_t i = 0; i < ensemble_->num_small_file_servers(); ++i) {
+    ensemble_->small_file_server(i).Fail();
+  }
+  for (size_t i = 0; i < ensemble_->num_dir_servers(); ++i) {
+    ensemble_->dir_server(i).Restart();
+  }
+  for (size_t i = 0; i < ensemble_->num_small_file_servers(); ++i) {
+    ensemble_->small_file_server(i).Restart();
+  }
+  queue_.RunUntilIdle();
+
+  LookupRes found = client_->Lookup(root_, "sturdy").value();
+  ASSERT_EQ(found.status, Nfsstat3::kOk);
+  ReadRes read = client_->Read(found.object, 0, 3000).value();
+  ASSERT_EQ(read.status, Nfsstat3::kOk);
+  EXPECT_EQ(read.data, Pattern(3000));
+}
+
+TEST_F(FailureTest, LossDuringRecoveryStillConverges) {
+  // WAL replay itself runs over the lossy network; RPC retransmission must
+  // carry it through.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(client_->Create(root_, "pre" + std::to_string(i)).value().status,
+              Nfsstat3::kOk);
+  }
+  ensemble_->dir_server(0).FlushLog();
+  queue_.RunUntilIdle();
+
+  ensemble_->network().set_loss_rate(0.1);
+  ensemble_->dir_server(0).Fail();
+  ensemble_->dir_server(0).Restart();
+  queue_.RunUntilIdle();
+  ensemble_->network().set_loss_rate(0.0);
+
+  ASSERT_FALSE(ensemble_->dir_server(0).recovering());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(client_->Lookup(root_, "pre" + std::to_string(i)).value().status,
+              Nfsstat3::kOk);
+  }
+}
+
+TEST_F(FailureTest, StorageCrashLosesOnlyUncommittedSliceData) {
+  // Unstable writes buffered at the small-file server survive a STORAGE
+  // node crash (they have not been flushed there yet); committed data
+  // survives both crashes.
+  CreateRes committed = client_->Create(root_, "committed").value();
+  ASSERT_EQ(client_->Write(*committed.object, 0, Pattern(2000, 1), StableHow::kUnstable)
+                .value()
+                .status,
+            Nfsstat3::kOk);
+  ASSERT_EQ(client_->Commit(*committed.object).value().status, Nfsstat3::kOk);
+
+  CreateRes buffered = client_->Create(root_, "buffered").value();
+  ASSERT_EQ(client_->Write(*buffered.object, 0, Pattern(2000, 2), StableHow::kUnstable)
+                .value()
+                .status,
+            Nfsstat3::kOk);
+  queue_.RunUntilIdle();
+
+  for (size_t i = 0; i < ensemble_->num_storage_nodes(); ++i) {
+    ensemble_->storage_node(i).Fail();
+    ensemble_->storage_node(i).Restart();
+  }
+  queue_.RunUntilIdle();
+
+  // Both files readable: "committed" from storage-backed pages, "buffered"
+  // straight from the small-file server's RAM.
+  EXPECT_EQ(client_->Read(*committed.object, 0, 2000).value().data, Pattern(2000, 1));
+  EXPECT_EQ(client_->Read(*buffered.object, 0, 2000).value().data, Pattern(2000, 2));
+}
+
+TEST_F(FailureTest, RecoveringDirServerAnswersJukebox) {
+  // While WAL replay is in flight, name ops get NFS3ERR_JUKEBOX (retry
+  // later) rather than wrong answers.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(client_->Create(root_, "j" + std::to_string(i)).value().status, Nfsstat3::kOk);
+  }
+  ensemble_->dir_server(0).FlushLog();
+  queue_.RunUntilIdle();
+  ensemble_->dir_server(0).Fail();
+  ensemble_->dir_server(0).Restart();
+  // Do NOT drain the queue: ask immediately, racing the replay.
+  ASSERT_TRUE(ensemble_->dir_server(0).recovering());
+  LookupRes racing = client_->Lookup(root_, "j0").value();
+  EXPECT_TRUE(racing.status == Nfsstat3::kErrJukebox || racing.status == Nfsstat3::kOk);
+  queue_.RunUntilIdle();
+  EXPECT_EQ(client_->Lookup(root_, "j0").value().status, Nfsstat3::kOk);
+}
+
+TEST_F(FailureTest, CoordinatorCrashDuringFanoutStillCleansUp) {
+  // A remove's data fan-out is in flight when the coordinator crashes; after
+  // its own log-driven recovery, no intent leaks and data is gone.
+  CreateRes doomed = client_->Create(root_, "doomed").value();
+  ASSERT_EQ(client_->Write(*doomed.object, 1 << 20, Pattern(32768), StableHow::kFileSync)
+                .value()
+                .status,
+            Nfsstat3::kOk);
+  ASSERT_EQ(client_->Remove(root_, "doomed").value().status, Nfsstat3::kOk);
+  // Crash the coordinator before the µproxy's completion can land.
+  ensemble_->coordinator(0).Fail();
+  ensemble_->uproxy(0).DropSoftState();  // µproxy forgets the operation too
+  ensemble_->coordinator(0).Restart();
+  queue_.RunUntilIdle();
+
+  EXPECT_EQ(ensemble_->coordinator(0).pending_intents(), 0u);
+  EXPECT_EQ(client_->Read(*doomed.object, 1 << 20, 100).value().count, 0u)
+      << "recovered remove reclaimed the bulk data";
+}
+
+TEST_F(FailureTest, RepeatedCrashRestartCycles) {
+  // Hammer a directory server with crash/recover cycles interleaved with
+  // mutations; the namespace stays exact.
+  std::set<std::string> expected;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    const std::string name = "cycle" + std::to_string(cycle);
+    ASSERT_EQ(client_->Create(root_, name).value().status, Nfsstat3::kOk);
+    expected.insert(name);
+    if (cycle % 2 == 0) {
+      const std::string victim = "cycle" + std::to_string(cycle / 2);
+      if (expected.erase(victim) > 0) {
+        ASSERT_EQ(client_->Remove(root_, victim).value().status, Nfsstat3::kOk);
+      }
+    }
+    ensemble_->dir_server(0).FlushLog();
+    queue_.RunUntilIdle();
+    ensemble_->dir_server(0).Fail();
+    ensemble_->dir_server(0).Restart();
+    queue_.RunUntilIdle();
+  }
+  for (const std::string& name : expected) {
+    EXPECT_EQ(client_->Lookup(root_, name).value().status, Nfsstat3::kOk) << name;
+  }
+  std::vector<DirEntry> listing = client_->ReadWholeDir(root_).value();
+  EXPECT_EQ(listing.size(), expected.size());
+}
+
+TEST_F(FailureTest, CapabilityForgeryBlockedAtStorage) {
+  // A µproxy outside the trust boundary can only touch what its client
+  // could: a handle minted with the wrong secret is refused by every
+  // storage node even when sent directly.
+  FileHandle forged = FileHandle::Make(1, MakeFileid(0, 999), 1, FileType3::kReg, 1,
+                                       /*wrong secret=*/0xbad);
+  for (size_t i = 0; i < ensemble_->num_storage_nodes(); ++i) {
+    SyncNfsClient direct(ensemble_->client_host(0), queue_,
+                         ensemble_->storage_node(i).endpoint());
+    EXPECT_EQ(direct.Write(forged, 0, Pattern(100), StableHow::kFileSync).value().status,
+              Nfsstat3::kErrBadhandle);
+  }
+}
+
+}  // namespace
+}  // namespace slice

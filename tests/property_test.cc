@@ -1,0 +1,342 @@
+// Property-based tests (parameterized gtest): randomized sweeps checking
+// invariants that must hold for every seed, size, policy, and topology —
+// including a model-based end-to-end test that replays random file-system
+// operation sequences against both the Slice ensemble and an in-memory
+// reference model.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/sfs/fragment_alloc.h"
+#include "src/slice/ensemble.h"
+#include "src/storage/object_store.h"
+
+namespace slice {
+namespace {
+
+// --- ObjectStore vs flat-buffer reference model ---
+
+class ObjectStoreModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ObjectStoreModelTest, RandomOpsMatchReferenceModel) {
+  Rng rng(GetParam());
+  ObjectStore store(16 << 20);
+  // Reference: per object, a simple byte vector (stable) + overlay vector.
+  struct Ref {
+    Bytes stable;
+    Bytes view;  // stable with uncommitted overlay applied
+  };
+  std::map<ObjectId, Ref> model;
+
+  for (int step = 0; step < 400; ++step) {
+    const ObjectId id = 1 + rng.NextBelow(4);
+    Ref& ref = model[id];
+    switch (rng.NextBelow(6)) {
+      case 0:
+      case 1: {  // write (stable or unstable)
+        const bool stable = rng.NextBool(0.5);
+        const uint64_t offset = rng.NextBelow(64 << 10);
+        Bytes data(1 + rng.NextBelow(10000));
+        for (auto& b : data) {
+          b = static_cast<uint8_t>(rng.NextU64());
+        }
+        ASSERT_TRUE(store.Write(id, offset, data, stable).ok());
+        if (ref.view.size() < offset + data.size()) {
+          ref.view.resize(offset + data.size(), 0);
+        }
+        std::copy(data.begin(), data.end(), ref.view.begin() + static_cast<ptrdiff_t>(offset));
+        if (stable) {
+          if (ref.stable.size() < offset + data.size()) {
+            ref.stable.resize(offset + data.size(), 0);
+          }
+          std::copy(data.begin(), data.end(),
+                    ref.stable.begin() + static_cast<ptrdiff_t>(offset));
+        }
+        break;
+      }
+      case 2: {  // commit
+        store.Commit(id);
+        ref.stable = ref.view;
+        break;
+      }
+      case 3: {  // crash: uncommitted data lost
+        store.CrashDiscardDirty();
+        for (auto& [oid, r] : model) {
+          (void)oid;
+          r.view = r.stable;
+        }
+        break;
+      }
+      case 4: {  // truncate
+        const uint64_t new_size = rng.NextBelow(48 << 10);
+        ASSERT_TRUE(store.Truncate(id, new_size).ok());
+        // Truncate makes the SIZE durable (both images take it, zero-filled
+        // on extension) but does not commit overlay data within the kept
+        // range — that still dies in a crash.
+        ref.view.resize(new_size, 0);
+        ref.stable.resize(new_size, 0);
+        break;
+      }
+      default: {  // read and compare
+        const uint64_t offset = rng.NextBelow(72 << 10);
+        const uint32_t count = static_cast<uint32_t>(1 + rng.NextBelow(12000));
+        StoreReadResult got = store.Read(id, offset, count).value();
+        Bytes expect;
+        if (offset < ref.view.size()) {
+          const size_t n = std::min<size_t>(count, ref.view.size() - offset);
+          expect.assign(ref.view.begin() + static_cast<ptrdiff_t>(offset),
+                        ref.view.begin() + static_cast<ptrdiff_t>(offset + n));
+        }
+        ASSERT_EQ(got.data, expect) << "step " << step << " id " << id << " off " << offset;
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObjectStoreModelTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- FragmentAllocator invariants ---
+
+class FragmentAllocatorPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FragmentAllocatorPropertyTest, FragmentsNeverOverlapAndStayAligned) {
+  Rng rng(GetParam());
+  FragmentAllocator alloc;
+  std::map<uint64_t, uint32_t> live;  // offset -> alloc size
+
+  for (int step = 0; step < 600; ++step) {
+    if (live.empty() || rng.NextBool(0.6)) {
+      const uint32_t need = static_cast<uint32_t>(1 + rng.NextBelow(kMaxFragment));
+      Fragment fragment = alloc.Allocate(need);
+      ASSERT_GE(fragment.alloc_size, need);
+      ASSERT_EQ(fragment.offset % fragment.alloc_size, 0u) << "natural alignment";
+      // No overlap with any live fragment.
+      auto next = live.lower_bound(fragment.offset);
+      if (next != live.end()) {
+        ASSERT_LE(fragment.offset + fragment.alloc_size, next->first);
+      }
+      if (next != live.begin()) {
+        auto prev = std::prev(next);
+        ASSERT_LE(prev->first + prev->second, fragment.offset);
+      }
+      live[fragment.offset] = fragment.alloc_size;
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<ptrdiff_t>(rng.NextBelow(live.size())));
+      alloc.Free(Fragment{it->first, it->second});
+      live.erase(it);
+    }
+  }
+  // Accounting adds up.
+  uint64_t live_bytes = 0;
+  for (const auto& [offset, size] : live) {
+    (void)offset;
+    live_bytes += size;
+  }
+  EXPECT_EQ(alloc.allocated_bytes(), live_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FragmentAllocatorPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// --- striping invariants across topologies ---
+
+struct StripeCase {
+  size_t nodes;
+  uint8_t replication;
+};
+
+class StripePropertyTest : public ::testing::TestWithParam<StripeCase> {};
+
+TEST_P(StripePropertyTest, ReplicasDistinctDeterministicInRange) {
+  const StripeCase param = GetParam();
+  EventQueue queue;
+  EnsembleConfig config;
+  config.num_storage_nodes = param.nodes;
+  config.num_small_file_servers = 0;
+  config.default_replication = param.replication;
+  Ensemble ensemble(queue, config);
+  Uproxy& proxy = ensemble.uproxy(0);
+
+  Rng rng(0xcafe);
+  for (int trial = 0; trial < 200; ++trial) {
+    const FileHandle fh = FileHandle::Make(1, MakeFileid(0, 2 + rng.NextBelow(1000)), 1,
+                                           FileType3::kReg, param.replication,
+                                           config.volume_secret);
+    const uint64_t offset = rng.NextBelow(1ull << 30);
+    std::set<uint32_t> replicas;
+    for (uint32_t r = 0; r < param.replication; ++r) {
+      const uint32_t site = proxy.StripeSite(fh, offset, r);
+      EXPECT_LT(site, param.nodes);
+      EXPECT_EQ(site, proxy.StripeSite(fh, offset, r)) << "deterministic";
+      replicas.insert(site);
+    }
+    if (param.replication <= param.nodes) {
+      EXPECT_EQ(replicas.size(), param.replication) << "replicas on distinct nodes";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, StripePropertyTest,
+                         ::testing::Values(StripeCase{2, 1}, StripeCase{2, 2},
+                                           StripeCase{4, 2}, StripeCase{8, 2},
+                                           StripeCase{8, 3}, StripeCase{3, 2}),
+                         [](const ::testing::TestParamInfo<StripeCase>& param_info) {
+                           return "n" + std::to_string(param_info.param.nodes) + "r" +
+                                  std::to_string(param_info.param.replication);
+                         });
+
+// --- model-based end-to-end: random namespace + data ops through the
+// ensemble must match an in-memory reference file system ---
+
+struct EndToEndCase {
+  uint64_t seed;
+  NamePolicy policy;
+  size_t dir_servers;
+  uint8_t replication;
+};
+
+class EnsembleModelTest : public ::testing::TestWithParam<EndToEndCase> {};
+
+TEST_P(EnsembleModelTest, RandomOpsMatchReferenceFs) {
+  const EndToEndCase param = GetParam();
+  EventQueue queue;
+  EnsembleConfig config;
+  config.num_dir_servers = param.dir_servers;
+  config.num_storage_nodes = 3;
+  config.name_policy = param.policy;
+  config.default_replication = param.replication;
+  Ensemble ensemble(queue, config);
+  auto client = ensemble.MakeSyncClient(0);
+  const FileHandle root = ensemble.root();
+
+  Rng rng(param.seed);
+  // Reference model: name -> file contents (single flat directory plus one
+  // subdirectory to exercise cross-directory renames).
+  CreateRes sub = client->Mkdir(root, "sub").value();
+  ASSERT_EQ(sub.status, Nfsstat3::kOk);
+  struct Entry {
+    FileHandle fh;
+    Bytes data;
+  };
+  std::map<std::string, Entry> in_root;
+  std::map<std::string, Entry> in_sub;
+  int serial = 0;
+
+  auto dir_of = [&](bool sub_dir) -> FileHandle { return sub_dir ? *sub.object : root; };
+  auto map_of = [&](bool sub_dir) -> std::map<std::string, Entry>& {
+    return sub_dir ? in_sub : in_root;
+  };
+
+  for (int step = 0; step < 120; ++step) {
+    const bool sub_dir = rng.NextBool(0.3);
+    auto& entries = map_of(sub_dir);
+    switch (rng.NextBelow(5)) {
+      case 0: {  // create + write
+        const std::string name = "f" + std::to_string(serial++);
+        CreateRes created = client->Create(dir_of(sub_dir), name).value();
+        ASSERT_EQ(created.status, Nfsstat3::kOk);
+        Bytes data(1 + rng.NextBelow(100000));  // spans both I/O classes
+        for (auto& b : data) {
+          b = static_cast<uint8_t>(rng.NextU64());
+        }
+        for (size_t off = 0; off < data.size(); off += 32768) {
+          const size_t n = std::min<size_t>(32768, data.size() - off);
+          ASSERT_EQ(client
+                        ->Write(*created.object, off, ByteSpan(data.data() + off, n),
+                                StableHow::kUnstable)
+                        .value()
+                        .status,
+                    Nfsstat3::kOk);
+        }
+        ASSERT_EQ(client->Commit(*created.object).value().status, Nfsstat3::kOk);
+        entries[name] = Entry{*created.object, std::move(data)};
+        break;
+      }
+      case 1: {  // remove
+        if (entries.empty()) {
+          break;
+        }
+        auto it = entries.begin();
+        std::advance(it, static_cast<ptrdiff_t>(rng.NextBelow(entries.size())));
+        ASSERT_EQ(client->Remove(dir_of(sub_dir), it->first).value().status, Nfsstat3::kOk);
+        entries.erase(it);
+        break;
+      }
+      case 2: {  // rename (possibly across directories)
+        if (entries.empty()) {
+          break;
+        }
+        auto it = entries.begin();
+        std::advance(it, static_cast<ptrdiff_t>(rng.NextBelow(entries.size())));
+        const bool to_sub = rng.NextBool(0.5);
+        const std::string new_name = "r" + std::to_string(serial++);
+        RenameRes renamed =
+            client->Rename(dir_of(sub_dir), it->first, dir_of(to_sub), new_name).value();
+        ASSERT_EQ(renamed.status, Nfsstat3::kOk);
+        map_of(to_sub)[new_name] = std::move(it->second);
+        entries.erase(it);
+        break;
+      }
+      case 3: {  // read back a random file, compare contents
+        if (entries.empty()) {
+          break;
+        }
+        auto it = entries.begin();
+        std::advance(it, static_cast<ptrdiff_t>(rng.NextBelow(entries.size())));
+        Bytes got;
+        for (size_t off = 0; off < it->second.data.size(); off += 32768) {
+          ReadRes res = client->Read(it->second.fh, off, 32768).value();
+          ASSERT_EQ(res.status, Nfsstat3::kOk);
+          got.insert(got.end(), res.data.begin(), res.data.end());
+        }
+        ASSERT_EQ(got, it->second.data) << "file " << it->first << " step " << step;
+        break;
+      }
+      default: {  // listing matches the model
+        std::vector<DirEntry> listed = client->ReadWholeDir(dir_of(sub_dir)).value();
+        std::set<std::string> names;
+        for (const DirEntry& entry : listed) {
+          names.insert(entry.name);
+        }
+        for (const auto& [name, entry] : entries) {
+          (void)entry;
+          ASSERT_TRUE(names.contains(name)) << "missing " << name;
+        }
+        // The listing may also contain "sub" at root; sizes must match.
+        ASSERT_EQ(names.size(), entries.size() + (sub_dir ? 0 : 1));
+        break;
+      }
+    }
+  }
+
+  // Final sweep: every surviving file readable with exact contents and a
+  // fresh, correct size attribute.
+  for (const auto* entries : {&in_root, &in_sub}) {
+    for (const auto& [name, entry] : *entries) {
+      (void)name;
+      Fattr3 attr = client->Getattr(entry.fh).value();
+      EXPECT_EQ(attr.size, entry.data.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, EnsembleModelTest,
+    ::testing::Values(EndToEndCase{101, NamePolicy::kMkdirSwitching, 1, 1},
+                      EndToEndCase{102, NamePolicy::kMkdirSwitching, 3, 1},
+                      EndToEndCase{103, NamePolicy::kNameHashing, 3, 1},
+                      EndToEndCase{104, NamePolicy::kMkdirSwitching, 2, 2},
+                      EndToEndCase{105, NamePolicy::kNameHashing, 2, 2}),
+    [](const ::testing::TestParamInfo<EndToEndCase>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) +
+             (param_info.param.policy == NamePolicy::kNameHashing ? "_hash" : "_switch") +
+             "_d" + std::to_string(param_info.param.dir_servers) + "_r" +
+             std::to_string(param_info.param.replication);
+    });
+
+}  // namespace
+}  // namespace slice

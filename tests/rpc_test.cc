@@ -1,0 +1,284 @@
+// Unit tests for ONC RPC: message codecs, peek fast path, client
+// retransmission, server dispatch, duplicate request cache, cost charging.
+#include <gtest/gtest.h>
+
+#include "src/rpc/rpc_client.h"
+#include "src/rpc/rpc_message.h"
+#include "src/rpc/rpc_server.h"
+
+namespace slice {
+namespace {
+
+constexpr uint32_t kTestProg = 100003;
+constexpr uint32_t kTestVers = 3;
+constexpr NetAddr kClientAddr = 0x0a000001;
+constexpr NetAddr kServerAddr = 0x0a000010;
+constexpr NetPort kServerPort = 2049;
+
+TEST(RpcMessageTest, CallRoundTrip) {
+  RpcCall call;
+  call.xid = 77;
+  call.prog = kTestProg;
+  call.vers = kTestVers;
+  call.proc = 6;
+  call.cred.machine_name = "testhost";
+  call.cred.uid = 100;
+  call.cred.gids = {1, 2, 3};
+  XdrEncoder args;
+  args.PutUint64(0xfeedface);
+  call.args = args.bytes();
+
+  Result<RpcMessageView> view = DecodeRpcMessage(call.Encode());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->type, RpcMsgType::kCall);
+  EXPECT_EQ(view->xid, 77u);
+  EXPECT_EQ(view->prog, kTestProg);
+  EXPECT_EQ(view->proc, 6u);
+  EXPECT_EQ(view->cred.machine_name, "testhost");
+  EXPECT_EQ(view->cred.uid, 100u);
+  EXPECT_EQ(view->cred.gids.size(), 3u);
+
+  XdrDecoder body(view->body);
+  EXPECT_EQ(body.GetUint64().value(), 0xfeedfaceull);
+}
+
+TEST(RpcMessageTest, ReplyRoundTrip) {
+  RpcReply reply;
+  reply.xid = 88;
+  XdrEncoder result;
+  result.PutUint32(123);
+  reply.result = result.bytes();
+
+  Result<RpcMessageView> view = DecodeRpcMessage(reply.Encode());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->type, RpcMsgType::kReply);
+  EXPECT_EQ(view->xid, 88u);
+  EXPECT_EQ(view->accept_stat, RpcAcceptStat::kSuccess);
+  XdrDecoder body(view->body);
+  EXPECT_EQ(body.GetUint32().value(), 123u);
+}
+
+TEST(RpcMessageTest, ErrorReplyHasNoBody) {
+  RpcReply reply;
+  reply.xid = 9;
+  reply.stat = RpcAcceptStat::kProcUnavail;
+  Result<RpcMessageView> view = DecodeRpcMessage(reply.Encode());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->accept_stat, RpcAcceptStat::kProcUnavail);
+  EXPECT_TRUE(view->body.empty());
+}
+
+TEST(RpcMessageTest, PeekMatchesFullDecode) {
+  RpcCall call;
+  call.xid = 1234;
+  call.prog = kTestProg;
+  call.vers = 3;
+  call.proc = 8;
+  call.cred.machine_name = "some-longer-machine-name";  // variable length
+  call.cred.gids = {10, 20, 30, 40, 50};
+  XdrEncoder args;
+  args.PutUint32(0xabcd);
+  call.args = args.bytes();
+  const Bytes wire = call.Encode();
+
+  Result<RpcPeek> peek = PeekRpcMessage(wire);
+  Result<RpcMessageView> full = DecodeRpcMessage(wire);
+  ASSERT_TRUE(peek.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(peek->xid, full->xid);
+  EXPECT_EQ(peek->proc, full->proc);
+  EXPECT_EQ(peek->body_offset, full->body_offset);
+  EXPECT_EQ(GetU32(wire.data() + peek->body_offset), 0xabcdu);
+}
+
+TEST(RpcMessageTest, PeekVariableCredLengthsShiftBodyOffset) {
+  RpcCall a;
+  a.cred.machine_name = "x";
+  RpcCall b = a;
+  b.cred.machine_name = "a-much-longer-machine-name-here";
+  const size_t off_a = PeekRpcMessage(a.Encode())->body_offset;
+  const size_t off_b = PeekRpcMessage(b.Encode())->body_offset;
+  EXPECT_GT(off_b, off_a);
+}
+
+TEST(RpcMessageTest, TruncatedMessageIsCorrupt) {
+  RpcCall call;
+  Bytes wire = call.Encode();
+  for (size_t keep = 0; keep < wire.size(); keep += 7) {
+    Result<RpcMessageView> view =
+        DecodeRpcMessage(ByteSpan(wire.data(), keep));
+    EXPECT_FALSE(view.ok()) << "keep=" << keep;
+  }
+}
+
+TEST(RpcMessageTest, BadVersionRejected) {
+  RpcCall call;
+  Bytes wire = call.Encode();
+  PutU32(wire.data() + 8, 3);  // rpcvers = 3
+  EXPECT_FALSE(DecodeRpcMessage(wire).ok());
+  EXPECT_FALSE(PeekRpcMessage(wire).ok());
+}
+
+// Echo server: returns its args, charging 10us CPU.
+class EchoServer : public RpcServerNode {
+ public:
+  using RpcServerNode::RpcServerNode;
+
+  int calls = 0;
+
+ protected:
+  RpcAcceptStat HandleCall(const RpcMessageView& call, XdrEncoder& reply,
+                           ServiceCost& cost) override {
+    ++calls;
+    if (call.proc == 999) {
+      return RpcAcceptStat::kProcUnavail;
+    }
+    reply.PutOpaqueFixed(call.body);
+    cost.AddCpu(FromMicros(10));
+    return RpcAcceptStat::kSuccess;
+  }
+};
+
+class RpcEndToEndTest : public ::testing::Test {
+ protected:
+  RpcEndToEndTest()
+      : net_(queue_, NetworkParams{}),
+        server_(net_, queue_, kServerAddr, kServerPort),
+        client_host_(net_, kClientAddr),
+        client_(client_host_, queue_) {}
+
+  EventQueue queue_;
+  Network net_;
+  EchoServer server_;
+  Host client_host_;
+  RpcClient client_;
+};
+
+TEST_F(RpcEndToEndTest, CallAndReply) {
+  XdrEncoder args;
+  args.PutUint32(55);
+  Status got_status(StatusCode::kInternal);
+  uint32_t got_value = 0;
+  client_.Call(server_.endpoint(), kTestProg, kTestVers, 1, args.Take(),
+               [&](Status st, const RpcMessageView& reply) {
+                 got_status = st;
+                 if (st.ok()) {
+                   XdrDecoder dec(reply.body);
+                   got_value = dec.GetUint32().value();
+                 }
+               });
+  queue_.RunUntilIdle();
+  EXPECT_TRUE(got_status.ok()) << got_status.ToString();
+  EXPECT_EQ(got_value, 55u);
+  EXPECT_EQ(server_.calls, 1);
+  EXPECT_EQ(client_.pending(), 0u);
+}
+
+TEST_F(RpcEndToEndTest, ServiceTimeIsCharged) {
+  XdrEncoder args;
+  args.PutUint32(1);
+  SimTime reply_at = 0;
+  client_.Call(server_.endpoint(), kTestProg, kTestVers, 1, args.Take(),
+               [&](Status, const RpcMessageView&) { reply_at = queue_.now(); });
+  queue_.RunUntilIdle();
+  // Two wire crossings (~30us switch each) plus 10us service.
+  EXPECT_GT(reply_at, FromMicros(70));
+  EXPECT_LT(reply_at, FromMillis(2));
+}
+
+TEST_F(RpcEndToEndTest, ProcUnavailSurfacesAsError) {
+  Status got_status;
+  client_.Call(server_.endpoint(), kTestProg, kTestVers, 999, Bytes{},
+               [&](Status st, const RpcMessageView&) { got_status = st; });
+  queue_.RunUntilIdle();
+  EXPECT_EQ(got_status.code(), StatusCode::kInternal);
+}
+
+TEST_F(RpcEndToEndTest, RetransmitsThroughLoss) {
+  net_.set_loss_rate(0.25);  // deterministic seed; 5 transmissions suffice
+  int ok_count = 0;
+  constexpr int kCalls = 50;
+  for (int i = 0; i < kCalls; ++i) {
+    XdrEncoder args;
+    args.PutUint32(static_cast<uint32_t>(i));
+    client_.Call(server_.endpoint(), kTestProg, kTestVers, 1, args.Take(),
+                 [&](Status st, const RpcMessageView&) { ok_count += st.ok() ? 1 : 0; });
+  }
+  queue_.RunUntilIdle();
+  EXPECT_EQ(ok_count, kCalls);  // 5 transmissions beat 40% loss w.h.p.
+  EXPECT_GT(client_.retransmissions(), 0u);
+}
+
+TEST_F(RpcEndToEndTest, DuplicateCacheAnswersRetransmits) {
+  // Drop nothing, but force a retransmission by making the timeout shorter
+  // than the service time.
+  RpcClientParams fast;
+  fast.retransmit_timeout = FromMicros(50);
+  RpcClient impatient(client_host_, queue_, fast);
+  int replies = 0;
+  XdrEncoder args;
+  args.PutUint32(7);
+  impatient.Call(server_.endpoint(), kTestProg, kTestVers, 1, args.Take(),
+                 [&](Status st, const RpcMessageView&) { replies += st.ok() ? 1 : 0; });
+  queue_.RunUntilIdle();
+  EXPECT_EQ(replies, 1);
+  // The server must not have executed the call twice.
+  EXPECT_EQ(server_.calls, 1);
+  EXPECT_GT(server_.duplicates_answered() + impatient.retransmissions(), 0u);
+}
+
+TEST_F(RpcEndToEndTest, TimeoutWhenServerDown) {
+  server_.Fail();
+  Status got_status;
+  client_.Call(server_.endpoint(), kTestProg, kTestVers, 1, Bytes{},
+               [&](Status st, const RpcMessageView&) { got_status = st; });
+  queue_.RunUntilIdle();
+  EXPECT_EQ(got_status.code(), StatusCode::kTimedOut);
+}
+
+TEST_F(RpcEndToEndTest, ServerRestartRecovers) {
+  server_.Fail();
+  server_.Restart();
+  Status got_status(StatusCode::kInternal);
+  XdrEncoder args;
+  args.PutUint32(3);
+  client_.Call(server_.endpoint(), kTestProg, kTestVers, 1, args.Take(),
+               [&](Status st, const RpcMessageView&) { got_status = st; });
+  queue_.RunUntilIdle();
+  EXPECT_TRUE(got_status.ok());
+}
+
+TEST_F(RpcEndToEndTest, ConcurrentCallsMatchByXid) {
+  std::vector<uint32_t> results(20, 0);
+  for (uint32_t i = 0; i < 20; ++i) {
+    XdrEncoder args;
+    args.PutUint32(i * 100);
+    client_.Call(server_.endpoint(), kTestProg, kTestVers, 1, args.Take(),
+                 [&results, i](Status st, const RpcMessageView& reply) {
+                   ASSERT_TRUE(st.ok());
+                   XdrDecoder dec(reply.body);
+                   results[i] = dec.GetUint32().value();
+                 });
+  }
+  queue_.RunUntilIdle();
+  for (uint32_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(results[i], i * 100);
+  }
+}
+
+TEST_F(RpcEndToEndTest, CpuQueueingSerializesRequests) {
+  // 100 requests, 10us CPU each: last reply no earlier than 1ms of service.
+  int done = 0;
+  for (int i = 0; i < 100; ++i) {
+    XdrEncoder args;
+    args.PutUint32(1);
+    client_.Call(server_.endpoint(), kTestProg, kTestVers, 1, args.Take(),
+                 [&](Status, const RpcMessageView&) { ++done; });
+  }
+  queue_.RunUntilIdle();
+  EXPECT_EQ(done, 100);
+  EXPECT_GT(queue_.now(), FromMicros(1000));
+}
+
+}  // namespace
+}  // namespace slice

@@ -1,0 +1,191 @@
+// Unit tests for the discrete-event simulator: event ordering, resources,
+// disk model, stats.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/disk.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/stats.h"
+
+namespace slice {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  q.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueueTest, EqualTimesRunFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  q.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(10, [&] {
+    q.ScheduleAfter(5, [&] { fired = 1; });
+  });
+  q.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 15u);
+}
+
+TEST(EventQueueTest, PastSchedulingClampsToNow) {
+  EventQueue q;
+  SimTime fired_at = 0;
+  q.ScheduleAt(100, [&] {
+    q.ScheduleAt(50, [&] { fired_at = q.now(); });  // in the past
+  });
+  q.RunUntilIdle();
+  EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int count = 0;
+  q.ScheduleAt(10, [&] { ++count; });
+  q.ScheduleAt(20, [&] { ++count; });
+  q.ScheduleAt(30, [&] { ++count; });
+  q.RunUntil(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.now(), 20u);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunOneReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.RunOne());
+}
+
+TEST(BusyResourceTest, IdleResourceStartsImmediately) {
+  BusyResource r;
+  EXPECT_EQ(r.Acquire(100, 50), 150u);
+}
+
+TEST(BusyResourceTest, BusyResourceQueues) {
+  BusyResource r;
+  EXPECT_EQ(r.Acquire(0, 100), 100u);
+  EXPECT_EQ(r.Acquire(10, 100), 200u);  // waits for first job
+  EXPECT_EQ(r.Acquire(500, 100), 600u);  // idle gap
+}
+
+TEST(BusyResourceTest, TracksUtilization) {
+  BusyResource r;
+  r.Acquire(0, 500);
+  EXPECT_DOUBLE_EQ(r.UtilizationUpTo(1000), 0.5);
+  EXPECT_EQ(r.jobs(), 1u);
+}
+
+TEST(SimDiskTest, RandomIoPaysPositioning) {
+  SimDisk disk(DiskParams{.avg_position_ms = 5.0, .media_mb_per_s = 33.0});
+  // 8KB random read: ~5ms position + 8192/33e6 s ≈ 5.25ms total.
+  const SimTime done = disk.SubmitIo(0, /*pos=*/1 << 20, 8192);
+  EXPECT_NEAR(ToMillis(done), 5.25, 0.05);
+}
+
+TEST(SimDiskTest, SequentialIoSkipsPositioning) {
+  SimDisk disk(DiskParams{.avg_position_ms = 5.0, .media_mb_per_s = 33.0});
+  const SimTime first = disk.SubmitIo(0, 0, 65536);
+  // Next I/O continues where the previous one ended: near-zero positioning.
+  const SimTime second = disk.SubmitIo(first, 65536, 65536);
+  const double transfer_ms = 65536.0 / 33e6 * 1e3;
+  EXPECT_NEAR(ToMillis(second - first), transfer_ms + 0.15, 0.05);
+}
+
+TEST(SimDiskTest, QueueingDelaysLaterIos) {
+  SimDisk disk(DiskParams{});
+  const SimTime first = disk.SubmitIo(0, 0, 8192);
+  const SimTime second = disk.SubmitIo(0, 1 << 30, 8192);
+  EXPECT_GT(second, first);
+}
+
+TEST(DiskArrayTest, IndependentArmsOverlap) {
+  DiskArray array(4, DiskParams{}, /*channel_mb_per_s=*/1e9);
+  // Four random I/Os to four different arms complete at (nearly) the same
+  // time since arms work in parallel and the channel is effectively infinite.
+  SimTime dones[4];
+  for (size_t i = 0; i < 4; ++i) {
+    dones[i] = array.SubmitIo(0, i, 1 << 20, 8192);
+  }
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(dones[i], dones[0]);
+  }
+}
+
+TEST(DiskArrayTest, SharedChannelSerializes) {
+  // A very slow channel dominates: completions serialize even across arms.
+  DiskArray array(4, DiskParams{.avg_position_ms = 0.0, .sequential_position_ms = 0.0},
+                  /*channel_mb_per_s=*/1.0);
+  const SimTime a = array.SubmitIo(0, 0, 0, 1 << 20);
+  const SimTime b = array.SubmitIo(0, 1, 0, 1 << 20);
+  EXPECT_GE(b, 2 * a - 1);
+}
+
+TEST(DiskArrayTest, OutOfRangeDiskAborts) {
+  DiskArray array(2, DiskParams{}, 75.0);
+  EXPECT_DEATH(array.SubmitIo(0, 5, 0, 512), "disk_index");
+}
+
+TEST(LatencyStatsTest, Aggregates) {
+  LatencyStats stats;
+  stats.Record(FromMillis(1));
+  stats.Record(FromMillis(3));
+  stats.Record(FromMillis(2));
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.MeanMillis(), 2.0);
+  EXPECT_EQ(stats.min(), FromMillis(1));
+  EXPECT_EQ(stats.max(), FromMillis(3));
+}
+
+TEST(LatencyStatsTest, Percentiles) {
+  LatencyStats stats;
+  for (int i = 1; i <= 100; ++i) {
+    stats.Record(static_cast<SimTime>(i) * 1000);
+  }
+  EXPECT_NEAR(static_cast<double>(stats.Percentile(50)), 50000.0, 2000.0);
+  EXPECT_NEAR(static_cast<double>(stats.Percentile(99)), 99000.0, 2000.0);
+}
+
+TEST(LatencyStatsTest, EmptyIsZero) {
+  LatencyStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.Percentile(50), 0u);
+  EXPECT_DOUBLE_EQ(stats.MeanMillis(), 0.0);
+}
+
+TEST(OpCountersTest, AddAndFormat) {
+  OpCounters c;
+  c.Add("read");
+  c.Add("read", 2);
+  c.Add("write");
+  EXPECT_EQ(c.Get("read"), 3u);
+  EXPECT_EQ(c.Get("write"), 1u);
+  EXPECT_EQ(c.Get("missing"), 0u);
+  EXPECT_EQ(c.ToString(), "read=3, write=1");
+}
+
+TEST(TimeConversionTest, RoundTrips) {
+  EXPECT_EQ(FromMillis(1.5), 1500000u);
+  EXPECT_EQ(FromMicros(2.0), 2000u);
+  EXPECT_EQ(FromSeconds(1.0), kNanosPerSec);
+  EXPECT_DOUBLE_EQ(ToMillis(FromMillis(7.25)), 7.25);
+  EXPECT_DOUBLE_EQ(ToSeconds(FromSeconds(3.0)), 3.0);
+}
+
+}  // namespace
+}  // namespace slice

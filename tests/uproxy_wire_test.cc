@@ -1,0 +1,231 @@
+// Packet-level µproxy tests: everything here asserts on real wire bytes —
+// checksum integrity across rewrites, in-place attribute patching, pass-
+// through of foreign traffic, pending-record hygiene, and writeback timing.
+#include <gtest/gtest.h>
+
+#include "src/slice/ensemble.h"
+
+namespace slice {
+namespace {
+
+Bytes Pattern(size_t n, uint8_t seed = 1) {
+  Bytes data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<uint8_t>(seed + i * 131);
+  }
+  return data;
+}
+
+// A wire sniffer interposed one hop past the µproxy: attaches as the handler
+// of a fake peer host and records all packets it receives.
+class WireTest : public ::testing::Test {
+ protected:
+  WireTest() {
+    EnsembleConfig config;
+    config.num_dir_servers = 2;
+    config.num_small_file_servers = 1;
+    config.num_storage_nodes = 2;
+    ensemble_ = std::make_unique<Ensemble>(queue_, config);
+    client_ = ensemble_->MakeSyncClient(0);
+    root_ = ensemble_->root();
+  }
+
+  EventQueue queue_;
+  std::unique_ptr<Ensemble> ensemble_;
+  std::unique_ptr<SyncNfsClient> client_;
+  FileHandle root_;
+};
+
+TEST_F(WireTest, RewrittenRequestsCarryValidChecksums) {
+  // Tap the dir server's host: every packet arriving must checksum-verify
+  // even though the µproxy rewrote its destination in place.
+  class Sniffer : public PacketTap {
+   public:
+    explicit Sniffer(Network& net) : net_(net) {}
+    void HandleOutbound(Packet&& pkt) override { net_.Inject(std::move(pkt)); }
+    void HandleInbound(Packet&& pkt) override {
+      checked += pkt.VerifyChecksums() ? 1 : 0;
+      seen += 1;
+      net_.DeliverLocal(pkt.dst_addr(), std::move(pkt));
+    }
+    int seen = 0;
+    int checked = 0;
+
+   private:
+    Network& net_;
+  };
+  Sniffer sniffer(ensemble_->network());
+  ensemble_->network().InstallTap(ensemble_->dir_server(0).addr(), &sniffer);
+
+  ASSERT_EQ(client_->Create(root_, "wired").value().status, Nfsstat3::kOk);
+  ASSERT_EQ(client_->Lookup(root_, "wired").value().status, Nfsstat3::kOk);
+  ensemble_->network().RemoveTap(ensemble_->dir_server(0).addr());
+
+  EXPECT_GT(sniffer.seen, 0);
+  EXPECT_EQ(sniffer.seen, sniffer.checked) << "every rewritten packet verified";
+}
+
+TEST_F(WireTest, RepliesArriveFromVirtualServer) {
+  // The client never learns physical addresses: replies must appear to come
+  // from the virtual endpoint (source rewritten + checksums fixed).
+  class Sniffer : public PacketTap {
+   public:
+    explicit Sniffer(Network& net, Endpoint expect) : net_(net), expect_(expect) {}
+    void HandleOutbound(Packet&& pkt) override { net_.Inject(std::move(pkt)); }
+    void HandleInbound(Packet&& pkt) override {
+      // Runs *before* the µproxy? No: taps are exclusive. This sniffer is
+      // never installed on the client (the µproxy owns that slot); instead
+      // we verify at the client socket via the NfsClient result below.
+      net_.DeliverLocal(pkt.dst_addr(), std::move(pkt));
+    }
+
+   private:
+    Network& net_;
+    Endpoint expect_;
+  };
+  // Socket-level check: bind a raw socket on the client host and issue a raw
+  // RPC to the virtual server; the reply's source must be the virtual addr.
+  Host& host = ensemble_->client_host(0);
+  Endpoint reply_src{};
+  const NetPort port = host.Bind(0, [&](Packet&& pkt) { reply_src = pkt.src(); });
+
+  RpcCall call;
+  call.xid = 4242;
+  call.prog = kNfsProgram;
+  call.vers = kNfsVersion;
+  call.proc = static_cast<uint32_t>(NfsProc::kGetattr);
+  XdrEncoder args;
+  GetattrArgs{root_}.Encode(args);
+  call.args = args.Take();
+  host.Send(Packet::MakeUdp(Endpoint{host.addr(), port}, ensemble_->virtual_server(),
+                            call.Encode()));
+  queue_.RunUntilIdle();
+
+  EXPECT_TRUE(reply_src == ensemble_->virtual_server())
+      << "got " << EndpointToString(reply_src);
+  host.Unbind(port);
+}
+
+TEST_F(WireTest, PatchedAttributesSurviveChecksumVerification) {
+  // Write through the small-file path, then getattr via the dir server: the
+  // µproxy patches size/mtime into the reply payload in place. The client's
+  // RPC stack already decoded it — here we assert the patched packet is
+  // byte-consistent by checking the decoded result AND that no checksum
+  // error dropped it (a bad patch would surface as a timeout).
+  CreateRes created = client_->Create(root_, "patched").value();
+  ASSERT_EQ(created.status, Nfsstat3::kOk);
+  ASSERT_EQ(client_->Write(*created.object, 0, Pattern(7777), StableHow::kUnstable)
+                .value()
+                .status,
+            Nfsstat3::kOk);
+  Fattr3 attr = client_->Getattr(*created.object).value();
+  EXPECT_EQ(attr.size, 7777u);
+  EXPECT_GE(ensemble_->AggregateCounters().Get("attrs_patched"), 1u);
+}
+
+TEST_F(WireTest, NonNfsTrafficPassesThrough) {
+  // A UDP datagram to the virtual address that is not a valid NFS call must
+  // be forwarded untouched (and dropped by the network, since the virtual
+  // address is not attached) — not crash the µproxy.
+  Host& host = ensemble_->client_host(0);
+  const NetPort port = host.Bind(0, [](Packet&&) {});
+  Bytes junk(64, 0xee);
+  host.Send(Packet::MakeUdp(Endpoint{host.addr(), port},
+                            Endpoint{ensemble_->virtual_server().addr, 9}, junk));
+  // Garbled "RPC" to the NFS port.
+  host.Send(Packet::MakeUdp(Endpoint{host.addr(), port}, ensemble_->virtual_server(), junk));
+  queue_.RunUntilIdle();
+  EXPECT_GE(ensemble_->AggregateCounters().Get("pass_through"), 1u);
+  // Ensemble still healthy.
+  EXPECT_EQ(client_->Getattr(root_).value().fileid, kRootFileid);
+  host.Unbind(port);
+}
+
+TEST_F(WireTest, PendingRecordsDrainAfterQuiescence) {
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_EQ(client_->Create(root_, "p" + std::to_string(i)).value().status, Nfsstat3::kOk);
+  }
+  queue_.RunUntilIdle();
+  EXPECT_EQ(ensemble_->uproxy(0).pending_count(), 0u)
+      << "soft state must not accumulate";
+}
+
+TEST_F(WireTest, AttrWritebackConvergesWithoutCommit) {
+  // Even with no client commit, the periodic writeback timer pushes dirty
+  // attributes to the directory server within the writeback interval.
+  CreateRes created = client_->Create(root_, "lazy").value();
+  ASSERT_EQ(created.status, Nfsstat3::kOk);
+  ASSERT_EQ(client_->Write(*created.object, 0, Pattern(600), StableHow::kUnstable)
+                .value()
+                .status,
+            Nfsstat3::kOk);
+  const uint64_t fileid = created.object->fileid();
+  // Not yet at the dir server...
+  const AttrCell* cell =
+      ensemble_->dir_server(SiteOfFileid(fileid)).store().FindAttr(fileid);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->attr.size, 0u);
+  // ...but after the timer fires it is.
+  queue_.RunUntil(queue_.now() + FromSeconds(3));
+  queue_.RunUntilIdle();
+  cell = ensemble_->dir_server(SiteOfFileid(fileid)).store().FindAttr(fileid);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->attr.size, 600u);
+}
+
+TEST_F(WireTest, RoutingTableReloadRedistributesNames) {
+  // Reconfiguration: reload the µproxy's directory table so name-hashed
+  // slots spread over both servers; fileID-keyed ops still follow fixed
+  // placement and keep working.
+  CreateRes created = client_->Create(root_, "stable-name").value();
+  ASSERT_EQ(created.status, Nfsstat3::kOk);
+
+  Uproxy& proxy = ensemble_->uproxy(0);
+  std::vector<Endpoint> servers{ensemble_->dir_server(0).endpoint(),
+                                ensemble_->dir_server(1).endpoint()};
+  proxy.ReloadDirServers(servers);
+  // Rebind half the logical slots to server 1 explicitly.
+  for (uint32_t slot = 0; slot < proxy.dir_table().logical_slots(); slot += 2) {
+    proxy.dir_table().Rebind(slot, 1);
+  }
+  // Fixed-placement ops still route by embedded site: lookups and getattrs
+  // keep succeeding after the reload.
+  EXPECT_EQ(client_->Lookup(root_, "stable-name").value().status, Nfsstat3::kOk);
+  EXPECT_EQ(client_->Getattr(*created.object).value().fileid, created.object->fileid());
+}
+
+TEST_F(WireTest, DuplicateClientRequestsAreIdempotent) {
+  // Send the same CREATE call twice, back to back, through the µproxy (as a
+  // retransmitting client would): exactly one file results, and both calls
+  // get answers (the second from the server's duplicate request cache).
+  Host& host = ensemble_->client_host(0);
+  int replies = 0;
+  const NetPort port = host.Bind(0, [&](Packet&&) { ++replies; });
+
+  RpcCall call;
+  call.xid = 777;
+  call.prog = kNfsProgram;
+  call.vers = kNfsVersion;
+  call.proc = static_cast<uint32_t>(NfsProc::kCreate);
+  XdrEncoder args;
+  CreateArgs cargs;
+  cargs.dir = root_;
+  cargs.name = "only-once";
+  cargs.mode = CreateMode::kGuarded;  // second execution would EEXIST
+  cargs.Encode(args);
+  call.args = args.Take();
+  const Bytes wire = call.Encode();
+
+  host.Send(Packet::MakeUdp(Endpoint{host.addr(), port}, ensemble_->virtual_server(), wire));
+  host.Send(Packet::MakeUdp(Endpoint{host.addr(), port}, ensemble_->virtual_server(), wire));
+  queue_.RunUntilIdle();
+
+  EXPECT_GE(replies, 1);
+  // Exactly one entry exists and it was created OK (no EEXIST surfaced to a
+  // decoded retry — check via lookup).
+  EXPECT_EQ(client_->Lookup(root_, "only-once").value().status, Nfsstat3::kOk);
+  host.Unbind(port);
+}
+
+}  // namespace
+}  // namespace slice

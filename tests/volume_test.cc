@@ -1,0 +1,166 @@
+// End-to-end coverage for the remaining NFS surface through the µproxy —
+// symlinks, readdirplus, fsstat/fsinfo, hard links across directories — and
+// for the VolumeClient convenience layer (path resolution, error paths).
+#include <gtest/gtest.h>
+
+#include "src/slice/ensemble.h"
+#include "src/slice/volume_client.h"
+
+namespace slice {
+namespace {
+
+Bytes Pattern(size_t n, uint8_t seed = 9) {
+  Bytes data(n);
+  for (size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<uint8_t>(seed + i * 17);
+  }
+  return data;
+}
+
+class VolumeTest : public ::testing::Test {
+ protected:
+  VolumeTest() {
+    EnsembleConfig config;
+    config.num_dir_servers = 2;
+    ensemble_ = std::make_unique<Ensemble>(queue_, config);
+    client_ = ensemble_->MakeSyncClient(0);
+    volume_ = std::make_unique<VolumeClient>(ensemble_->client_host(0), queue_,
+                                             ensemble_->virtual_server(), ensemble_->root());
+    root_ = ensemble_->root();
+  }
+
+  EventQueue queue_;
+  std::unique_ptr<Ensemble> ensemble_;
+  std::unique_ptr<SyncNfsClient> client_;
+  std::unique_ptr<VolumeClient> volume_;
+  FileHandle root_;
+};
+
+TEST_F(VolumeTest, SymlinkThroughTheEnsemble) {
+  CreateRes made = client_->Symlink(root_, "latest", "releases/v2").value();
+  ASSERT_EQ(made.status, Nfsstat3::kOk);
+  EXPECT_EQ(made.object->type(), FileType3::kLnk);
+  ReadlinkRes read = client_->Readlink(*made.object).value();
+  ASSERT_EQ(read.status, Nfsstat3::kOk);
+  EXPECT_EQ(read.target, "releases/v2");
+  // The symlink's size attribute is the target length.
+  EXPECT_EQ(client_->Getattr(*made.object).value().size, read.target.size());
+}
+
+TEST_F(VolumeTest, ReaddirplusCarriesUsableHandles) {
+  for (int i = 0; i < 8; ++i) {
+    CreateRes created = client_->Create(root_, "rp" + std::to_string(i)).value();
+    ASSERT_EQ(created.status, Nfsstat3::kOk);
+    ASSERT_EQ(client_
+                  ->Write(*created.object, 0, Pattern(100, static_cast<uint8_t>(i)),
+                          StableHow::kFileSync)
+                  .value()
+                  .status,
+              Nfsstat3::kOk);
+  }
+  ReaddirRes res = client_->Readdirplus(root_).value();
+  ASSERT_EQ(res.status, Nfsstat3::kOk);
+  ASSERT_EQ(res.entries.size(), 8u);
+  for (const DirEntry& entry : res.entries) {
+    ASSERT_TRUE(entry.handle.has_value());
+    ASSERT_TRUE(entry.attr.has_value());
+    // The returned handle is live: read through it.
+    ReadRes read = client_->Read(*entry.handle, 0, 100).value();
+    EXPECT_EQ(read.status, Nfsstat3::kOk);
+    EXPECT_EQ(read.count, 100u);
+  }
+}
+
+TEST_F(VolumeTest, FsstatAndFsinfoAnswerThroughProxy) {
+  FsstatRes stat = client_->Fsstat(root_).value();
+  ASSERT_EQ(stat.status, Nfsstat3::kOk);
+  EXPECT_GT(stat.tbytes, 0u);
+  FsinfoRes info = client_->Fsinfo(root_).value();
+  ASSERT_EQ(info.status, Nfsstat3::kOk);
+  EXPECT_GE(info.rtmax, 32768u);
+}
+
+TEST_F(VolumeTest, HardLinksAcrossDirectories) {
+  CreateRes dir = client_->Mkdir(root_, "other").value();
+  ASSERT_EQ(dir.status, Nfsstat3::kOk);
+  CreateRes file = client_->Create(root_, "origin").value();
+  ASSERT_EQ(file.status, Nfsstat3::kOk);
+  ASSERT_EQ(client_->Write(*file.object, 0, Pattern(77), StableHow::kFileSync).value().status,
+            Nfsstat3::kOk);
+
+  // "naming operations such as link and rename cannot cross volume
+  // boundaries" under volume partitioning — here there are none.
+  LinkRes linked = client_->Link(*file.object, *dir.object, "alias").value();
+  ASSERT_EQ(linked.status, Nfsstat3::kOk);
+  EXPECT_EQ(linked.file_attributes->nlink, 2u);
+  // Remove the original name; content still reachable via the alias.
+  ASSERT_EQ(client_->Remove(root_, "origin").value().status, Nfsstat3::kOk);
+  LookupRes via = client_->Lookup(*dir.object, "alias").value();
+  ASSERT_EQ(via.status, Nfsstat3::kOk);
+  EXPECT_EQ(client_->Read(via.object, 0, 77).value().data, Pattern(77));
+}
+
+TEST_F(VolumeTest, RenameAcrossDirectoriesThroughProxy) {
+  CreateRes a = client_->Mkdir(root_, "a").value();
+  CreateRes b = client_->Mkdir(root_, "b").value();
+  CreateRes file = client_->Create(*a.object, "wanderer").value();
+  ASSERT_EQ(file.status, Nfsstat3::kOk);
+  ASSERT_EQ(client_->Rename(*a.object, "wanderer", *b.object, "settled").value().status,
+            Nfsstat3::kOk);
+  EXPECT_EQ(client_->Lookup(*a.object, "wanderer").value().status, Nfsstat3::kErrNoent);
+  EXPECT_EQ(client_->Lookup(*b.object, "settled").value().object, *file.object);
+}
+
+// --- VolumeClient layer ---
+
+TEST_F(VolumeTest, MkdirAllIsIdempotent) {
+  FileHandle first = volume_->MkdirAll("/x/y/z").value();
+  FileHandle again = volume_->MkdirAll("/x/y/z").value();
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(volume_->Resolve("/x/y").value().type(), FileType3::kDir);
+}
+
+TEST_F(VolumeTest, ResolveMissingPathFails) {
+  Result<FileHandle> missing = volume_->Resolve("/no/such/path");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(VolumeTest, WriteFileOverwritesInPlace) {
+  ASSERT_TRUE(volume_->MkdirAll("/docs").ok());
+  ASSERT_TRUE(volume_->WriteFile("/docs/note", Pattern(500, 1)).ok());
+  ASSERT_TRUE(volume_->WriteFile("/docs/note", Pattern(300, 2)).ok());
+  Bytes got = volume_->ReadFile("/docs/note").value();
+  // Overwrite reuses the file (UNCHECKED create) and rewrites the prefix;
+  // the size attribute still reports the largest extent written.
+  EXPECT_EQ(Bytes(got.begin(), got.begin() + 300), Pattern(300, 2));
+}
+
+TEST_F(VolumeTest, RemoveFileAndDirErrors) {
+  ASSERT_TRUE(volume_->MkdirAll("/tmp").ok());
+  ASSERT_TRUE(volume_->WriteFile("/tmp/f", Pattern(10)).ok());
+  EXPECT_FALSE(volume_->RemoveDir("/tmp").ok());  // not empty
+  EXPECT_TRUE(volume_->RemoveFile("/tmp/f").ok());
+  EXPECT_TRUE(volume_->RemoveDir("/tmp").ok());
+  EXPECT_FALSE(volume_->RemoveFile("/tmp/f").ok());  // parent gone
+}
+
+TEST_F(VolumeTest, ListReturnsSortedNames) {
+  ASSERT_TRUE(volume_->MkdirAll("/sorted").ok());
+  for (const char* name : {"charlie", "alpha", "bravo"}) {
+    ASSERT_TRUE(volume_->WriteFile(std::string("/sorted/") + name, Pattern(4)).ok());
+  }
+  std::vector<std::string> names = volume_->List("/sorted").value();
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "bravo", "charlie"}));
+}
+
+TEST_F(VolumeTest, LargeFileRoundTripViaPaths) {
+  ASSERT_TRUE(volume_->MkdirAll("/data").ok());
+  const Bytes big = Pattern(300000, 5);  // spans small + bulk classes
+  ASSERT_TRUE(volume_->WriteFile("/data/big", big).ok());
+  EXPECT_EQ(volume_->ReadFile("/data/big").value(), big);
+  EXPECT_EQ(volume_->Stat("/data/big").value().size, big.size());
+}
+
+}  // namespace
+}  // namespace slice

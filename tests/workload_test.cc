@@ -1,0 +1,205 @@
+// Tests for the workload generators: untar op sequence against the real
+// ensemble, SFS generator mix/file-set properties, sequential I/O pipeline.
+#include <gtest/gtest.h>
+
+#include "src/baseline/baseline_server.h"
+#include "src/slice/ensemble.h"
+#include "src/workload/seqio.h"
+#include "src/workload/sfs_gen.h"
+#include "src/workload/untar.h"
+
+namespace slice {
+namespace {
+
+TEST(UntarTest, CreatesRequestedTreeOnEnsemble) {
+  EventQueue queue;
+  EnsembleConfig config;
+  config.num_dir_servers = 2;
+  Ensemble ensemble(queue, config);
+
+  UntarParams params;
+  params.total_creations = 120;
+  bool finished = false;
+  UntarProcess untar(ensemble.client_host(0), queue, ensemble.virtual_server(),
+                     ensemble.root(), params, /*seed=*/1, [&] { finished = true; });
+  untar.Start();
+  queue.RunUntilIdle();
+
+  ASSERT_TRUE(finished);
+  EXPECT_EQ(untar.errors(), 0u);
+  EXPECT_GT(untar.elapsed(), 0u);
+  // ~7 ops per file creation, fewer for mkdirs; the total must exceed 6x.
+  EXPECT_GT(untar.ops_issued(), 120u * 6);
+
+  // Entries really exist: count attr cells across dir servers (120 creations
+  // + the top dir + root).
+  size_t attr_cells = 0;
+  for (size_t i = 0; i < ensemble.num_dir_servers(); ++i) {
+    attr_cells += ensemble.dir_server(i).store().attr_count();
+  }
+  EXPECT_EQ(attr_cells, 122u);
+}
+
+TEST(UntarTest, RunsAgainstBaselineServer) {
+  EventQueue queue;
+  Network net(queue, NetworkParams{});
+  BaselineServerParams params;
+  params.memory_backed = true;
+  BaselineServer server(net, queue, 0x0a000010, params);
+  Host client_host(net, 0x0a000001);
+
+  UntarParams untar_params;
+  untar_params.total_creations = 60;
+  bool finished = false;
+  UntarProcess untar(client_host, queue, server.endpoint(), server.RootHandle(),
+                     untar_params, /*seed=*/2, [&] { finished = true; });
+  untar.Start();
+  queue.RunUntilIdle();
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(untar.errors(), 0u);
+}
+
+TEST(UntarTest, MultipleProcessesInParallel) {
+  EventQueue queue;
+  EnsembleConfig config;
+  config.num_dir_servers = 2;
+  config.num_clients = 2;
+  Ensemble ensemble(queue, config);
+
+  int finished = 0;
+  std::vector<std::unique_ptr<UntarProcess>> procs;
+  for (int p = 0; p < 4; ++p) {
+    UntarParams params;
+    params.total_creations = 50;
+    params.top_name = "untar_p" + std::to_string(p);
+    procs.push_back(std::make_unique<UntarProcess>(
+        ensemble.client_host(p % 2), queue, ensemble.virtual_server(), ensemble.root(),
+        params, /*seed=*/p + 10, [&] { ++finished; }));
+  }
+  for (auto& proc : procs) {
+    proc->Start();
+  }
+  queue.RunUntilIdle();
+  EXPECT_EQ(finished, 4);
+  for (auto& proc : procs) {
+    EXPECT_EQ(proc->errors(), 0u);
+  }
+}
+
+TEST(SfsGenTest, SetupAndShortRunOnEnsemble) {
+  EventQueue queue;
+  EnsembleConfig config;
+  config.num_storage_nodes = 2;
+  Ensemble ensemble(queue, config);
+
+  SfsParams params;
+  params.num_files = 60;
+  params.num_dirs = 6;
+  params.offered_ops_per_sec = 300;
+  params.num_processes = 4;
+  params.warmup = FromMillis(500);
+  params.duration = FromSeconds(3);
+  SfsBenchmark bench(ensemble.client_host(0), queue, ensemble.virtual_server(),
+                     ensemble.root(), params);
+  ASSERT_TRUE(bench.Setup().ok());
+  SfsReport report = bench.Run();
+
+  EXPECT_GT(report.ops_completed, 300u);  // ~900 offered over 3s
+  EXPECT_NEAR(report.delivered_iops, 300, 120);
+  EXPECT_GT(report.mean_latency_ms, 0.0);
+  EXPECT_EQ(report.errors, 0u);
+}
+
+TEST(SfsGenTest, SaturationCapsDeliveredIops) {
+  EventQueue queue;
+  EnsembleConfig config;
+  config.num_storage_nodes = 1;
+  config.cal.sfs_cache_mb = 1;  // tiny cache: heavy disk traffic
+  Ensemble ensemble(queue, config);
+
+  SfsParams params;
+  params.num_files = 80;
+  params.num_dirs = 4;
+  params.offered_ops_per_sec = 100000;  // absurdly high
+  params.num_processes = 4;
+  params.warmup = FromMillis(200);
+  params.duration = FromSeconds(2);
+  SfsBenchmark bench(ensemble.client_host(0), queue, ensemble.virtual_server(),
+                     ensemble.root(), params);
+  ASSERT_TRUE(bench.Setup().ok());
+  SfsReport report = bench.Run();
+  // Saturation: delivered is far below offered.
+  EXPECT_LT(report.delivered_iops, 50000);
+  EXPECT_GT(report.delivered_iops, 100);
+}
+
+TEST(SeqIoTest, WriteThenReadBandwidth) {
+  EventQueue queue;
+  EnsembleConfig config;
+  config.num_storage_nodes = 4;
+  config.num_small_file_servers = 0;
+  Ensemble ensemble(queue, config);
+  auto client = ensemble.MakeSyncClient(0);
+  CreateRes created = client->Create(ensemble.root(), "dd").value();
+  ASSERT_EQ(created.status, Nfsstat3::kOk);
+
+  SeqIoParams wparams;
+  wparams.file_bytes = 16 << 20;
+  wparams.write = true;
+  bool wdone = false;
+  SeqIoProcess writer(ensemble.client_host(0), queue, ensemble.virtual_server(),
+                      *created.object, wparams, [&] { wdone = true; });
+  writer.Start();
+  queue.RunUntilIdle();
+  ASSERT_TRUE(wdone);
+  EXPECT_EQ(writer.errors(), 0u);
+  const double write_mbps = writer.ThroughputMbPerSec();
+  EXPECT_GT(write_mbps, 5.0);
+  // The client CPU cost bounds the write path near 1/24ns = ~41 MB/s.
+  EXPECT_LT(write_mbps, 45.0);
+
+  SeqIoParams rparams;
+  rparams.file_bytes = 16 << 20;
+  rparams.write = false;
+  rparams.client_ns_per_byte = 14.0;
+  bool rdone = false;
+  SeqIoProcess reader(ensemble.client_host(0), queue, ensemble.virtual_server(),
+                      *created.object, rparams, [&] { rdone = true; });
+  reader.Start();
+  queue.RunUntilIdle();
+  ASSERT_TRUE(rdone);
+  EXPECT_EQ(reader.errors(), 0u);
+  EXPECT_GT(reader.ThroughputMbPerSec(), write_mbps);  // zero-copy read path
+}
+
+TEST(SeqIoTest, MirroredWriteIsSlowerThanPlain) {
+  EventQueue queue;
+
+  auto run = [&](uint8_t replication) {
+    EnsembleConfig config;
+    config.num_storage_nodes = 4;
+    config.num_small_file_servers = 0;
+    config.default_replication = replication;
+    EventQueue q;
+    Ensemble ensemble(q, config);
+    auto client = ensemble.MakeSyncClient(0);
+    CreateRes created = client->Create(ensemble.root(), "dd").value();
+    SeqIoParams params;
+    params.file_bytes = 8 << 20;
+    bool done = false;
+    SeqIoProcess proc(ensemble.client_host(0), q, ensemble.virtual_server(),
+                      *created.object, params, [&] { done = true; });
+    proc.Start();
+    q.RunUntilIdle();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(proc.errors(), 0u);
+    return proc.ThroughputMbPerSec();
+  };
+
+  const double plain = run(1);
+  const double mirrored = run(2);
+  EXPECT_LT(mirrored, plain);
+}
+
+}  // namespace
+}  // namespace slice
