@@ -19,6 +19,7 @@ struct RunResult {
 RunResult RunStream(bool use_block_maps, bool reread) {
   EventQueue queue;
   EnsembleConfig config;
+  config.mgmt.enabled = false;  // static healthy ensemble; no heartbeat traffic
   config.num_storage_nodes = 4;
   config.num_small_file_servers = 0;
   config.num_coordinators = 1;

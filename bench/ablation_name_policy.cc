@@ -72,6 +72,7 @@ struct PolicySetup {
 double RunUntarTree(const PolicySetup& setup) {
   EventQueue queue;
   EnsembleConfig config;
+  config.mgmt.enabled = false;  // static healthy ensemble; no heartbeat traffic
   config.num_dir_servers = kDirServers;
   config.num_small_file_servers = 1;
   config.num_storage_nodes = 2;
@@ -105,6 +106,7 @@ double RunUntarTree(const PolicySetup& setup) {
 double RunHugeDirectory(const PolicySetup& setup) {
   EventQueue queue;
   EnsembleConfig config;
+  config.mgmt.enabled = false;  // static healthy ensemble; no heartbeat traffic
   config.num_dir_servers = kDirServers;
   config.num_small_file_servers = 1;
   config.num_storage_nodes = 2;

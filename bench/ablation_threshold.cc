@@ -13,6 +13,7 @@ namespace {
 SfsPoint RunWithThreshold(uint32_t threshold, double offered) {
   EventQueue queue;
   EnsembleConfig config;
+  config.mgmt.enabled = false;  // static healthy ensemble; no heartbeat traffic
   config.num_storage_nodes = 4;
   config.num_small_file_servers = 2;
   config.num_dir_servers = 1;

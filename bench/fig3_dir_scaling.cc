@@ -61,6 +61,7 @@ double RunUntarProcesses(EventQueue& queue, int num_processes, MakeHost&& host_f
 double RunSlice(int num_dir_servers, int num_processes, NamePolicy policy) {
   EventQueue queue;
   EnsembleConfig config;
+  config.mgmt.enabled = false;  // static healthy ensemble; no heartbeat traffic
   config.num_dir_servers = static_cast<size_t>(num_dir_servers);
   config.num_small_file_servers = 1;
   config.num_storage_nodes = 2;

@@ -30,6 +30,7 @@ constexpr int kDirServers = 4;
 double RunPoint(double affinity, int num_processes) {
   EventQueue queue;
   EnsembleConfig config;
+  config.mgmt.enabled = false;  // static healthy ensemble; no heartbeat traffic
   config.num_dir_servers = kDirServers;
   config.num_small_file_servers = 1;
   config.num_storage_nodes = 2;

@@ -58,6 +58,7 @@ struct SfsPoint {
 inline SfsPoint RunSlicePoint(size_t storage_nodes, double offered) {
   EventQueue queue;
   EnsembleConfig config;
+  config.mgmt.enabled = false;  // static healthy ensemble; no heartbeat traffic
   config.num_storage_nodes = storage_nodes;
   config.num_small_file_servers = 2;
   config.num_dir_servers = 1;

@@ -30,6 +30,7 @@ struct RunResult {
 RunResult RunStreams(bool write, bool mirrored, int num_clients, uint64_t bytes_per_client) {
   EventQueue queue;
   EnsembleConfig config;
+  config.mgmt.enabled = false;  // static healthy ensemble; no heartbeat traffic
   config.num_storage_nodes = 8;
   config.num_small_file_servers = 0;  // pure bulk path, as in the dd test
   config.num_coordinators = 1;

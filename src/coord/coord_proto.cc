@@ -60,6 +60,30 @@ Result<GetMapArgs> GetMapArgs::Decode(XdrDecoder& dec) {
   return args;
 }
 
+void DegradedArgs::Encode(XdrEncoder& enc) const {
+  EncodeFileHandle(enc, file);
+  enc.PutUint64(offset);
+  enc.PutUint32(count);
+  enc.PutUint32(node);
+}
+
+Result<DegradedArgs> DegradedArgs::Decode(XdrDecoder& dec) {
+  DegradedArgs args;
+  SLICE_ASSIGN_OR_RETURN(args.file, DecodeFileHandle(dec));
+  SLICE_ASSIGN_OR_RETURN(args.offset, dec.GetUint64());
+  SLICE_ASSIGN_OR_RETURN(args.count, dec.GetUint32());
+  SLICE_ASSIGN_OR_RETURN(args.node, dec.GetUint32());
+  return args;
+}
+
+void DegradedRes::Encode(XdrEncoder& enc) const { enc.PutBool(acknowledged); }
+
+Result<DegradedRes> DegradedRes::Decode(XdrDecoder& dec) {
+  DegradedRes res;
+  SLICE_ASSIGN_OR_RETURN(res.acknowledged, dec.GetBool());
+  return res;
+}
+
 void GetMapRes::Encode(XdrEncoder& enc) const {
   enc.PutUint64(first_block);
   enc.PutUint32(static_cast<uint32_t>(sites.size()));

@@ -18,6 +18,7 @@ enum class CoordProc : uint32_t {
   kLogIntent = 1,
   kComplete = 2,
   kGetMap = 3,
+  kLogDegraded = 4,
 };
 
 // What the in-flight multi-site operation is; recovery re-executes it
@@ -70,6 +71,24 @@ struct GetMapRes {
   std::vector<uint32_t> sites;
   void Encode(XdrEncoder& enc) const;
   static Result<GetMapRes> Decode(XdrDecoder& dec);
+};
+
+// A mirrored write that could not reach a (dead) replica: the µproxy reports
+// the missing region so the coordinator can resync it from a surviving
+// replica when the node rejoins.
+struct DegradedArgs {
+  FileHandle file;
+  uint64_t offset = 0;
+  uint32_t count = 0;
+  uint32_t node = 0;  // storage node missing the data
+  void Encode(XdrEncoder& enc) const;
+  static Result<DegradedArgs> Decode(XdrDecoder& dec);
+};
+
+struct DegradedRes {
+  bool acknowledged = true;
+  void Encode(XdrEncoder& enc) const;
+  static Result<DegradedRes> Decode(XdrDecoder& dec);
 };
 
 constexpr uint32_t kUnmappedBlock = 0xffffffff;

@@ -9,6 +9,8 @@ enum class CoordLogOp : uint32_t {
   kIntent = 1,
   kComplete = 2,
   kMapAssign = 3,
+  kDegraded = 4,
+  kRepaired = 5,
 };
 
 constexpr NetPort kCoordPort = 3049;
@@ -122,6 +124,103 @@ void Coordinator::RunRecovery(uint64_t intent_id) {
   }
 }
 
+void Coordinator::LogDegraded(const DegradedArgs& args, bool log) {
+  std::vector<DegradedRegion>& regions = degraded_[args.node];
+  // Coalesce exact duplicates (client retransmissions of the same write).
+  for (const DegradedRegion& r : regions) {
+    if (r.file == args.file && r.offset == args.offset && r.count == args.count) {
+      return;
+    }
+  }
+  regions.push_back(DegradedRegion{args.file, args.offset, args.count});
+  if (log && wal_) {
+    XdrEncoder rec;
+    rec.PutEnum(static_cast<uint32_t>(CoordLogOp::kDegraded));
+    rec.PutOpaqueVar(args.file.bytes());
+    rec.PutUint64(args.offset);
+    rec.PutUint32(args.count);
+    rec.PutUint32(args.node);
+    wal_->Append(rec.bytes());
+  }
+}
+
+void Coordinator::LogRepaired(uint32_t node, const DegradedRegion& region) {
+  if (!wal_) {
+    return;
+  }
+  XdrEncoder rec;
+  rec.PutEnum(static_cast<uint32_t>(CoordLogOp::kRepaired));
+  rec.PutOpaqueVar(region.file.bytes());
+  rec.PutUint64(region.offset);
+  rec.PutUint32(region.count);
+  rec.PutUint32(node);
+  wal_->Append(rec.bytes());
+}
+
+void Coordinator::RepairNode(uint32_t node) {
+  const auto it = degraded_.find(node);
+  if (it == degraded_.end() || it->second.empty()) {
+    return;
+  }
+  // Take ownership of the queue; regions that fail to copy are re-logged.
+  std::vector<DegradedRegion> regions = std::move(it->second);
+  degraded_.erase(it);
+  SLICE_ILOG << "coordinator: resyncing " << regions.size()
+             << " degraded regions onto node " << node;
+  for (DegradedRegion& region : regions) {
+    RepairRegion(node, std::move(region));
+  }
+}
+
+void Coordinator::RepairRegion(uint32_t node, DegradedRegion region) {
+  // Find a surviving replica: the mirror whose placement is not this node.
+  const uint32_t num_nodes = static_cast<uint32_t>(storage_nodes_.size());
+  const uint32_t replication =
+      region.file.replication() == 0 ? 1 : region.file.replication();
+  uint32_t source = node;
+  for (uint32_t r = 0; r < replication; ++r) {
+    const uint32_t site = StripeSiteFor(region.file, region.offset,
+                                        params_.stripe_unit, num_nodes, r);
+    if (site != node) {
+      source = site;
+      break;
+    }
+  }
+  if (source == node || node >= node_clients_.size()) {
+    // Unrepairable (no surviving replica) — drop rather than loop forever.
+    LogRepaired(node, region);
+    return;
+  }
+  NfsClient& src_client = *node_clients_[source];
+  src_client.Read(
+      region.file, region.offset, region.count,
+      [this, node, region](Status st, const ReadRes& res) {
+        if (failed()) {
+          return;
+        }
+        if (!st.ok() || res.status != Nfsstat3::kOk) {
+          LogDegraded(DegradedArgs{region.file, region.offset, region.count, node},
+                      /*log=*/true);
+          return;
+        }
+        node_clients_[node]->Write(
+            region.file, region.offset, ByteSpan(res.data), StableHow::kFileSync,
+            [this, node, region](Status wst, const WriteRes& wres) {
+              if (failed()) {
+                return;
+              }
+              if (!wst.ok() || wres.status != Nfsstat3::kOk) {
+                LogDegraded(
+                    DegradedArgs{region.file, region.offset, region.count, node},
+                    /*log=*/true);
+                return;
+              }
+              ++repairs_run_;
+              LogRepaired(node, region);
+            });
+      });
+}
+
 GetMapRes Coordinator::GetOrAssignMap(const GetMapArgs& args) {
   GetMapRes res;
   res.first_block = args.first_block;
@@ -195,6 +294,30 @@ void Coordinator::ReplayRecord(ByteSpan record) {
       }
       break;
     }
+    case CoordLogOp::kDegraded:
+    case CoordLogOp::kRepaired: {
+      Result<Bytes> fh = dec.GetOpaqueVar(64);
+      Result<uint64_t> offset = dec.GetUint64();
+      Result<uint32_t> count = dec.GetUint32();
+      Result<uint32_t> node = dec.GetUint32();
+      if (!fh.ok() || !offset.ok() || !count.ok() || !node.ok() ||
+          fh->size() != FileHandle::kSize) {
+        break;
+      }
+      const FileHandle file = FileHandle::FromBytes(*fh);
+      if (static_cast<CoordLogOp>(*op) == CoordLogOp::kDegraded) {
+        LogDegraded(DegradedArgs{file, *offset, *count, *node}, /*log=*/false);
+      } else {
+        std::vector<DegradedRegion>& regions = degraded_[*node];
+        std::erase_if(regions, [&](const DegradedRegion& r) {
+          return r.file == file && r.offset == *offset && r.count == *count;
+        });
+        if (regions.empty()) {
+          degraded_.erase(*node);
+        }
+      }
+      break;
+    }
   }
 }
 
@@ -205,6 +328,7 @@ void Coordinator::OnRestart() {
   wal_->DiscardBuffered();
   intents_.clear();
   block_maps_.clear();
+  degraded_.clear();
   recovering_ = true;
   wal_->Replay([this](ByteSpan record) { ReplayRecord(record); },
                [this](Status st) {
@@ -264,6 +388,16 @@ RpcAcceptStat Coordinator::HandleCall(const RpcMessageView& call, XdrEncoder& re
         return RpcAcceptStat::kGarbageArgs;
       }
       GetMapRes res = GetOrAssignMap(*args);
+      res.Encode(reply);
+      return RpcAcceptStat::kSuccess;
+    }
+    case CoordProc::kLogDegraded: {
+      Result<DegradedArgs> args = DegradedArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      LogDegraded(*args, /*log=*/true);
+      DegradedRes res;
       res.Encode(reply);
       return RpcAcceptStat::kSuccess;
     }

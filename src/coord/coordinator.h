@@ -13,6 +13,7 @@
 #ifndef SLICE_COORD_COORDINATOR_H_
 #define SLICE_COORD_COORDINATOR_H_
 
+#include <map>
 #include <memory>
 #include <unordered_map>
 
@@ -29,6 +30,9 @@ struct CoordinatorParams {
   SimTime intent_timeout = FromSeconds(2);
   // Dynamic block maps assign this many storage sites round-robin.
   uint32_t num_storage_sites = 1;
+  // Bulk striping unit; must match the µproxies' so degraded-region resync
+  // reads the surviving replica from the right node.
+  uint32_t stripe_unit = 32768;
   // WAL backing (intents + block maps); disabled when addr == 0.
   Endpoint backing_node;
   FileHandle backing_object;
@@ -45,6 +49,18 @@ class Coordinator : public RpcServerNode {
   uint64_t recoveries_run() const { return recoveries_run_; }
   uint64_t maps_assigned() const { return maps_assigned_; }
   bool recovering() const { return recovering_; }
+
+  // Degraded-region resync (mirrored-partner promotion, paper §3.3.1): while
+  // a replica node is down, µproxies log the regions it missed; when the
+  // ensemble manager reports the node back, RepairNode copies each region
+  // from a surviving replica onto the rejoined node.
+  void RepairNode(uint32_t node);
+  size_t degraded_count(uint32_t node) const {
+    const auto it = degraded_.find(node);
+    return it == degraded_.end() ? 0 : it->second.size();
+  }
+  uint64_t repairs_run() const { return repairs_run_; }
+
   void FlushLog() {
     if (wal_) {
       wal_->Flush();
@@ -74,6 +90,15 @@ class Coordinator : public RpcServerNode {
   void LogMapAssignment(uint64_t fileid, uint64_t block, uint32_t site);
   void ReplayRecord(ByteSpan record);
 
+  struct DegradedRegion {
+    FileHandle file;
+    uint64_t offset;
+    uint32_t count;
+  };
+  void LogDegraded(const DegradedArgs& args, bool log);
+  void LogRepaired(uint32_t node, const DegradedRegion& region);
+  void RepairRegion(uint32_t node, DegradedRegion region);
+
   CoordinatorParams params_;
   std::vector<Endpoint> storage_nodes_;
   std::vector<Endpoint> small_file_servers_;
@@ -81,9 +106,13 @@ class Coordinator : public RpcServerNode {
   std::unique_ptr<WriteAheadLog> wal_;
   std::unordered_map<uint64_t, Intent> intents_;
   std::unordered_map<uint64_t, std::vector<uint32_t>> block_maps_;  // fileid -> site per block
+  // Regions a dead replica missed, keyed by storage-node index (std::map for
+  // deterministic repair order).
+  std::map<uint32_t, std::vector<DegradedRegion>> degraded_;
   uint64_t next_intent_id_ = 1;
   uint64_t recoveries_run_ = 0;
   uint64_t maps_assigned_ = 0;
+  uint64_t repairs_run_ = 0;
   bool recovering_ = false;
 };
 

@@ -4,6 +4,10 @@
 // ("the number of logical servers defines ... the minimal granularity for
 // rebalancing"). The table is soft state — an external authority replaces it
 // wholesale; the µproxy never mutates it in place.
+//
+// Tables carry a monotonically increasing epoch stamped by the ensemble
+// manager (src/mgmt): a µproxy holding epoch E learns it is stale when a
+// server's misdirect notice or a pushed table carries an epoch > E.
 #ifndef SLICE_CORE_ROUTING_TABLE_H_
 #define SLICE_CORE_ROUTING_TABLE_H_
 
@@ -32,12 +36,33 @@ class RoutingTable {
   size_t logical_slots() const { return slots_.size(); }
   size_t physical_count() const { return servers_.size(); }
 
-  // Logical slot for a routing key.
-  uint32_t SlotFor(uint64_t key) const { return static_cast<uint32_t>(key % slots_.size()); }
+  uint64_t epoch() const { return epoch_; }
+  void set_epoch(uint64_t epoch) { epoch_ = epoch; }
 
-  Endpoint Lookup(uint64_t key) const { return servers_[slots_[SlotFor(key)]]; }
-  Endpoint ByPhysical(size_t index) const { return servers_[index % servers_.size()]; }
+  // Logical slot for a routing key.
+  uint32_t SlotFor(uint64_t key) const {
+    SLICE_CHECK(!slots_.empty());
+    return static_cast<uint32_t>(key % slots_.size());
+  }
+
+  Endpoint Lookup(uint64_t key) const {
+    SLICE_CHECK(!servers_.empty());
+    return servers_[slots_[SlotFor(key)]];
+  }
+  Endpoint ByPhysical(size_t index) const {
+    SLICE_CHECK(!servers_.empty());
+    return servers_[index % servers_.size()];
+  }
+  // Server currently bound to a logical slot.
+  Endpoint BySlot(uint32_t slot) const {
+    SLICE_CHECK(slot < slots_.size() && !servers_.empty());
+    return servers_[slots_[slot]];
+  }
   uint32_t PhysicalIndexFor(uint64_t key) const { return slots_[SlotFor(key)]; }
+  uint32_t PhysicalIndexOfSlot(uint32_t slot) const {
+    SLICE_CHECK(slot < slots_.size());
+    return slots_[slot];
+  }
 
   // Reconfiguration: rebind one logical slot to another physical server.
   void Rebind(uint32_t slot, uint32_t physical_index) {
@@ -54,11 +79,25 @@ class RoutingTable {
     }
   }
 
+  // Reconfiguration: wholesale install of a manager-computed assignment.
+  void InstallAssignment(uint64_t epoch, std::vector<Endpoint> servers,
+                         std::vector<uint32_t> slots) {
+    SLICE_CHECK(!servers.empty() && !slots.empty());
+    for (uint32_t s : slots) {
+      SLICE_CHECK(s < servers.size());
+    }
+    epoch_ = epoch;
+    servers_ = std::move(servers);
+    slots_ = std::move(slots);
+  }
+
   const std::vector<Endpoint>& servers() const { return servers_; }
+  const std::vector<uint32_t>& slots() const { return slots_; }
 
  private:
   std::vector<Endpoint> servers_;
   std::vector<uint32_t> slots_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace slice

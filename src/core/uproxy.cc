@@ -29,7 +29,7 @@ Uproxy::Uproxy(Network& net, EventQueue& queue, Host& client_host, UproxyConfig 
   if (!config_.small_file_servers.empty()) {
     sfs_table_ = RoutingTable(config_.logical_name_slots, config_.small_file_servers);
   }
-  own_rpc_ = std::make_unique<RpcClient>(client_host_, queue_);
+  own_rpc_ = std::make_unique<RpcClient>(client_host_, queue_, config_.own_rpc_params);
   net_.InstallTap(client_host_.addr(), this);
 }
 
@@ -54,16 +54,14 @@ void Uproxy::DropSoftState() {
   // "It is free to discard its state and/or pending packets without
   // compromising correctness" (§2.1): in-flight µproxy-originated calls die
   // too; coordinators finish any orphaned multi-site operations.
-  own_rpc_ = std::make_unique<RpcClient>(client_host_, queue_);
+  own_rpc_ = std::make_unique<RpcClient>(client_host_, queue_, config_.own_rpc_params);
+  table_fetch_inflight_ = false;
   counters_.Add("soft_state_drops");
 }
 
 uint32_t Uproxy::StripeSite(const FileHandle& fh, uint64_t offset, uint32_t replica) const {
-  const uint32_t n = static_cast<uint32_t>(config_.storage_nodes.size());
-  const uint32_t k = std::max<uint32_t>(1, fh.replication());
-  const uint64_t base = Fnv1a64(fh.bytes());
-  const uint64_t block = offset / config_.stripe_unit;
-  return static_cast<uint32_t>((base + block * k + replica) % n);
+  return StripeSiteFor(fh, offset, config_.stripe_unit,
+                       static_cast<uint32_t>(config_.storage_nodes.size()), replica);
 }
 
 Uproxy::RouteDecision Uproxy::SelectRoute(const DecodedRequest& req) {
@@ -73,7 +71,7 @@ Uproxy::RouteDecision Uproxy::SelectRoute(const DecodedRequest& req) {
     case NfsProc::kFsstat:
     case NfsProc::kFsinfo:
       out.cls = RouteClass::kDirServer;
-      out.target = dir_table_.ByPhysical(0);
+      out.target = DirServerForSite(0);
       return out;
 
     case NfsProc::kGetattr:
@@ -82,9 +80,10 @@ Uproxy::RouteDecision Uproxy::SelectRoute(const DecodedRequest& req) {
     case NfsProc::kReadlink:
     case NfsProc::kReaddir:
     case NfsProc::kReaddirplus:
-      // fhandle-keyed: fixed placement embeds the owning site in the fileID.
+      // fhandle-keyed: fixed placement embeds the owning site in the fileID;
+      // a manager-installed binding rebinds a dead site to its adopter.
       out.cls = RouteClass::kDirServer;
-      out.target = dir_table_.ByPhysical(SiteOfFileid(req.fh.fileid()));
+      out.target = DirServerForSite(SiteOfFileid(req.fh.fileid()));
       return out;
 
     case NfsProc::kLookup:
@@ -98,7 +97,7 @@ Uproxy::RouteDecision Uproxy::SelectRoute(const DecodedRequest& req) {
       if (config_.name_policy == NamePolicy::kNameHashing) {
         out.target = dir_table_.Lookup(NameFingerprint(req.fh, req.name));
       } else {
-        out.target = dir_table_.ByPhysical(SiteOfFileid(req.fh.fileid()));
+        out.target = DirServerForSite(SiteOfFileid(req.fh.fileid()));
       }
       return out;
     }
@@ -113,7 +112,7 @@ Uproxy::RouteDecision Uproxy::SelectRoute(const DecodedRequest& req) {
         // a different site chosen by hash — races involve at most two sites.
         out.target = dir_table_.Lookup(fingerprint);
       } else {
-        out.target = dir_table_.ByPhysical(SiteOfFileid(req.fh.fileid()));
+        out.target = DirServerForSite(SiteOfFileid(req.fh.fileid()));
       }
       return out;
     }
@@ -122,6 +121,15 @@ Uproxy::RouteDecision Uproxy::SelectRoute(const DecodedRequest& req) {
     case NfsProc::kWrite: {
       const bool small = !config_.small_file_servers.empty() && req.offset < config_.threshold;
       if (small) {
+        // Small-file slots are identity-bound (a replacement server would not
+        // have the file data), so a dead SFS fails fast with a retryable
+        // error instead of misrouting.
+        const uint32_t sfs = sfs_table_.PhysicalIndexFor(MixU64(req.fh.fileid()));
+        if (!SfsAlive(sfs)) {
+          out.cls = RouteClass::kUnavailable;
+          out.error = Nfsstat3::kErrJukebox;
+          return out;
+        }
         out.cls = RouteClass::kSmallFile;
         out.target = sfs_table_.Lookup(MixU64(req.fh.fileid()));
         return out;
@@ -131,14 +139,34 @@ Uproxy::RouteDecision Uproxy::SelectRoute(const DecodedRequest& req) {
         out.cls = RouteClass::kMirrorWrite;
         return out;
       }
-      // Mirrored reads alternate between the replicas to balance load.
+      // Mirrored reads alternate between the replicas to balance load; a
+      // replica the manager declared dead is skipped (mirrored-partner
+      // promotion). With every replica dead, fail fast instead of hanging.
       const uint32_t replica =
           replication > 1
               ? static_cast<uint32_t>((req.offset / config_.stripe_unit) % replication)
               : 0;
+      uint32_t node = StripeSite(req.fh, req.offset, replica);
+      if (!StorageAlive(node)) {
+        bool found = false;
+        for (uint32_t step = 1; step < replication && !found; ++step) {
+          const uint32_t alt =
+              StripeSite(req.fh, req.offset, (replica + step) % replication);
+          if (StorageAlive(alt)) {
+            node = alt;
+            found = true;
+          }
+        }
+        if (!found) {
+          out.cls = RouteClass::kUnavailable;
+          out.error = Nfsstat3::kErrIo;
+          return out;
+        }
+        counters_.Add("failover_redirects");
+      }
       out.cls = RouteClass::kStorage;
-      out.storage_index = StripeSite(req.fh, req.offset, replica);
-      out.target = config_.storage_nodes[out.storage_index];
+      out.storage_index = node;
+      out.target = config_.storage_nodes[node];
       return out;
     }
 
@@ -149,6 +177,11 @@ Uproxy::RouteDecision Uproxy::SelectRoute(const DecodedRequest& req) {
       if (config_.storage_nodes.size() > 1 || !config_.small_file_servers.empty() ||
           req.fh.replication() > 1) {
         out.cls = RouteClass::kMultiCommit;
+        return out;
+      }
+      if (!StorageAlive(0)) {
+        out.cls = RouteClass::kUnavailable;
+        out.error = Nfsstat3::kErrIo;
         return out;
       }
       out.cls = RouteClass::kStorage;
@@ -246,6 +279,10 @@ void Uproxy::HandleOutbound(Packet&& pkt) {
     case RouteClass::kPassThrough:
       PassThroughOutbound(std::move(pkt));
       return;
+    case RouteClass::kUnavailable:
+      counters_.Add("unavailable_rejected");
+      SynthesizeErrorReply(req, pkt.src(), route.error);
+      return;
     case RouteClass::kDirServer: {
       counters_.Add("routed_dir");
       // Removes need the victim's identity to reclaim its data afterwards;
@@ -313,6 +350,12 @@ void Uproxy::ForwardRequest(Packet&& pkt, const DecodedRequest& req, Endpoint ta
   auto [it, inserted] = pending_.emplace(KeyOf(pkt.src_port(), req.xid), pending);
   if (!inserted) {
     // Retransmission: keep existing record (it may hold the remove lookup).
+    // Repeated retransmissions of one call suggest the target is dead and
+    // our table is stale — ask the manager for a fresh one (lazy pull; the
+    // re-forward below re-routes with whatever table is current).
+    if (config_.mgmt_enabled && ++it->second.retransmits >= 2) {
+      FetchTables();
+    }
   }
 
   pkt.RewriteDst(target);
@@ -326,6 +369,12 @@ void Uproxy::ForwardRequest(Packet&& pkt, const DecodedRequest& req, Endpoint ta
 }
 
 void Uproxy::HandleInbound(Packet&& pkt) {
+  // Control-plane messages (table pushes from the manager, misdirect notices
+  // from servers) arrive on the dedicated control port and terminate here.
+  if (config_.mgmt_enabled && pkt.dst_port() == config_.control_port) {
+    HandleControl(pkt.payload());
+    return;
+  }
   // The µproxy's own RPC traffic (fan-outs, writebacks, coordinator calls)
   // rides on a separate port; hand it up without interference.
   if (pkt.dst_port() == own_rpc_->local().port) {
@@ -593,6 +642,121 @@ void Uproxy::ReplyToClient(Endpoint client, uint32_t xid, const Bytes& result_bo
   });
 }
 
+void Uproxy::SynthesizeErrorReply(const DecodedRequest& req, Endpoint client,
+                                  Nfsstat3 status) {
+  XdrEncoder enc;
+  switch (req.proc) {
+    case NfsProc::kRead: {
+      ReadRes res;
+      res.status = status;
+      res.Encode(enc);
+      break;
+    }
+    case NfsProc::kWrite: {
+      WriteRes res;
+      res.status = status;
+      res.Encode(enc);
+      break;
+    }
+    case NfsProc::kCommit: {
+      CommitRes res;
+      res.status = status;
+      res.Encode(enc);
+      break;
+    }
+    default:
+      enc.PutEnum(static_cast<uint32_t>(status));
+      break;
+  }
+  ReplyToClient(client, req.xid, enc.bytes());
+}
+
+// --- control-plane integration ---
+
+bool Uproxy::InstallTables(const MgmtTableSet& tables, bool force) {
+  if (!force && tables.epoch <= table_epoch_) {
+    return false;
+  }
+  table_epoch_ = tables.epoch;
+  if (!tables.dir_servers.empty() && !tables.dir_slots.empty()) {
+    dir_table_.InstallAssignment(tables.epoch, tables.dir_servers, tables.dir_slots);
+    // The manager's slot assignment doubles as the fixed-placement binding
+    // for fileID-embedded sites (site -> adopter when the owner is dead).
+    dir_site_binding_ = tables.dir_slots;
+  }
+  if (!config_.small_file_servers.empty() && !tables.sfs_servers.empty() &&
+      !tables.sfs_slots.empty()) {
+    sfs_table_.InstallAssignment(tables.epoch, tables.sfs_servers, tables.sfs_slots);
+  }
+  if (tables.storage_alive.size() == config_.storage_nodes.size()) {
+    storage_alive_ = tables.storage_alive;
+  }
+  if (tables.sfs_alive.size() == config_.small_file_servers.size()) {
+    sfs_alive_ = tables.sfs_alive;
+  }
+  counters_.Add("table_installs");
+  return true;
+}
+
+void Uproxy::HandleControl(ByteSpan payload) {
+  XdrDecoder dec(payload);
+  Result<uint32_t> magic = dec.GetUint32();
+  if (!magic.ok()) {
+    return;
+  }
+  if (*magic == kTablePushMagic) {
+    Result<MgmtTableSet> tables = MgmtTableSet::Decode(dec);
+    if (tables.ok()) {
+      InstallTables(*tables);
+    }
+  } else if (*magic == kMisdirectMagic) {
+    Result<uint64_t> epoch = dec.GetUint64();
+    if (epoch.ok() && *epoch > table_epoch_) {
+      counters_.Add("misdirect_notices");
+      FetchTables();
+    }
+  }
+}
+
+void Uproxy::FetchTables() {
+  if (!config_.mgmt_enabled || table_fetch_inflight_) {
+    return;
+  }
+  table_fetch_inflight_ = true;
+  counters_.Add("table_fetches");
+  own_rpc_->Call(config_.manager, kMgmtProgram, kMgmtVersion,
+                 static_cast<uint32_t>(MgmtProc::kFetchTables), Bytes{},
+                 [this, alive = alive_](Status st, const RpcMessageView& reply) {
+                   if (!*alive) {
+                     return;
+                   }
+                   table_fetch_inflight_ = false;
+                   if (!st.ok()) {
+                     return;
+                   }
+                   XdrDecoder dec(reply.body);
+                   Result<MgmtTableSet> tables = MgmtTableSet::Decode(dec);
+                   if (tables.ok()) {
+                     InstallTables(*tables);
+                   }
+                 });
+}
+
+void Uproxy::LogDegradedWrite(const FileHandle& fh, uint64_t offset, uint32_t count,
+                              uint32_t node, std::function<void(bool)> cb) {
+  DegradedArgs args;
+  args.file = fh;
+  args.offset = offset;
+  args.count = count;
+  args.node = node;
+  XdrEncoder enc;
+  args.Encode(enc);
+  counters_.Add("degraded_writes");
+  own_rpc_->Call(CoordinatorFor(fh), kCoordProgram, kCoordVersion,
+                 static_cast<uint32_t>(CoordProc::kLogDegraded), enc.Take(),
+                 [cb = std::move(cb)](Status st, const RpcMessageView&) { cb(st.ok()); });
+}
+
 Endpoint Uproxy::CoordinatorFor(const FileHandle& fh) const {
   SLICE_CHECK(!config_.coordinators.empty());
   return config_.coordinators[fh.fileid() % config_.coordinators.size()];
@@ -661,49 +825,83 @@ void Uproxy::AbsorbMirrorWrite(const DecodedRequest& req, Endpoint client, ByteS
                static_cast<SimTime>(static_cast<double>(args.data.size()) *
                                     (replication - 1) * config_.mirror_copy_ns_per_byte));
 
+  // Partition the replica set by manager-reported liveness: live replicas
+  // take the write now; dead ones become degraded regions the coordinator
+  // records for resync when the node rejoins (mirrored-partner promotion).
+  std::vector<uint32_t> live_nodes;
+  std::vector<uint32_t> dead_nodes;
+  for (uint32_t r = 0; r < replication; ++r) {
+    const uint32_t node = StripeSite(args.file, args.offset, r);
+    (StorageAlive(node) ? live_nodes : dead_nodes).push_back(node);
+  }
+  if (live_nodes.empty()) {
+    counters_.Add("unavailable_rejected");
+    pending_.erase(KeyOf(client.port, req.xid));
+    SynthesizeErrorReply(req, client, Nfsstat3::kErrIo);
+    return;
+  }
+  const bool log_degraded = !dead_nodes.empty() && !config_.coordinators.empty();
+
   WithIntent(IntentOp::kMirrorWrite, args.file, args.offset,
-             [this, args, client, req, replication](std::function<void()> complete) {
+             [this, args, client, req, live_nodes, dead_nodes,
+              log_degraded](std::function<void()> complete) {
                auto results = std::make_shared<std::vector<WriteRes>>();
                auto failures = std::make_shared<int>(0);
-               auto remaining = std::make_shared<uint32_t>(replication);
-               for (uint32_t r = 0; r < replication; ++r) {
-                 const uint32_t node = StripeSite(args.file, args.offset, r);
+               // The client's reply also waits for the degraded-region acks:
+               // acking a write whose missing replica was never recorded
+               // would silently lose redundancy.
+               auto remaining = std::make_shared<uint32_t>(static_cast<uint32_t>(
+                   live_nodes.size() + (log_degraded ? dead_nodes.size() : 0)));
+               auto finish = [this, results, failures, remaining, client, req, args,
+                              complete]() {
+                 if (--*remaining > 0) {
+                   return;
+                 }
+                 complete();
+                 pending_.erase(KeyOf(client.port, req.xid));
+                 if (*failures > 0 || results->empty()) {
+                   counters_.Add("mirror_write_failures");
+                   return;  // stay silent; client retransmits
+                 }
+                 attr_cache_.NoteWrite(args.file.fileid(), args.offset + args.count,
+                                       Now());
+                 ArmWritebackTimer();
+                 WriteRes merged = results->front();
+                 for (const WriteRes& r2 : *results) {
+                   if (r2.committed == StableHow::kUnstable) {
+                     merged.committed = StableHow::kUnstable;
+                   }
+                   merged.count = std::min(merged.count, r2.count);
+                 }
+                 if (const AttrCache::Entry* e = attr_cache_.Find(args.file.fileid());
+                     e != nullptr) {
+                   merged.wcc.after = e->attr;
+                 }
+                 XdrEncoder enc;
+                 merged.Encode(enc);
+                 ReplyToClient(client, req.xid, enc.bytes());
+               };
+               if (log_degraded) {
+                 for (uint32_t node : dead_nodes) {
+                   LogDegradedWrite(args.file, args.offset, args.count, node,
+                                    [failures, finish](bool ok) {
+                                      if (!ok) {
+                                        ++*failures;
+                                      }
+                                      finish();
+                                    });
+                 }
+               }
+               for (uint32_t node : live_nodes) {
                  OwnWrite(config_.storage_nodes[node], args.file, args.offset, args.data,
                           args.stable,
-                          [this, results, failures, remaining, client, req, args,
-                           complete](Status st, const WriteRes& res) {
+                          [results, failures, finish](Status st, const WriteRes& res) {
                             if (!st.ok() || res.status != Nfsstat3::kOk) {
                               ++*failures;
                             } else {
                               results->push_back(res);
                             }
-                            if (--*remaining > 0) {
-                              return;
-                            }
-                            complete();
-                            pending_.erase(KeyOf(client.port, req.xid));
-                            if (*failures > 0 || results->empty()) {
-                              counters_.Add("mirror_write_failures");
-                              return;  // stay silent; client retransmits
-                            }
-                            attr_cache_.NoteWrite(args.file.fileid(),
-                                                  args.offset + args.count, Now());
-                            ArmWritebackTimer();
-                            WriteRes merged = results->front();
-                            for (const WriteRes& r2 : *results) {
-                              if (r2.committed == StableHow::kUnstable) {
-                                merged.committed = StableHow::kUnstable;
-                              }
-                              merged.count = std::min(merged.count, r2.count);
-                            }
-                            if (const AttrCache::Entry* e =
-                                    attr_cache_.Find(args.file.fileid());
-                                e != nullptr) {
-                              merged.wcc.after = e->attr;
-                            }
-                            XdrEncoder enc;
-                            merged.Encode(enc);
-                            ReplyToClient(client, req.xid, enc.bytes());
+                            finish();
                           });
                }
              });
@@ -722,11 +920,27 @@ void Uproxy::AbsorbMultiCommit(const DecodedRequest& req, Endpoint client) {
     WritebackAttrs(req.fh.fileid(), entry->attr);
   }
 
-  // Targets: every storage node (striping may have touched any of them) and
-  // the file's small-file server.
-  std::vector<Endpoint> targets = config_.storage_nodes;
+  // Targets: every live storage node (striping may have touched any of them)
+  // and the file's small-file server. Dead nodes are skipped — a mirrored
+  // file's surviving replicas carry the data; a dead node's unstable writes
+  // were already re-recorded as degraded regions.
+  std::vector<Endpoint> targets;
+  for (uint32_t i = 0; i < config_.storage_nodes.size(); ++i) {
+    if (StorageAlive(i)) {
+      targets.push_back(config_.storage_nodes[i]);
+    }
+  }
   if (!config_.small_file_servers.empty()) {
-    targets.push_back(sfs_table_.Lookup(MixU64(req.fh.fileid())));
+    const uint32_t sfs = sfs_table_.PhysicalIndexFor(MixU64(req.fh.fileid()));
+    if (SfsAlive(sfs)) {
+      targets.push_back(sfs_table_.Lookup(MixU64(req.fh.fileid())));
+    }
+  }
+  if (targets.empty()) {
+    counters_.Add("unavailable_rejected");
+    pending_.erase(KeyOf(client.port, req.xid));
+    SynthesizeErrorReply(req, client, Nfsstat3::kErrIo);
+    return;
   }
 
   WithIntent(
@@ -769,9 +983,17 @@ void Uproxy::AbsorbMultiCommit(const DecodedRequest& req, Endpoint client) {
 
 void Uproxy::ScheduleDataRemove(const FileHandle& fh) {
   counters_.Add("data_removes");
-  std::vector<Endpoint> targets = config_.storage_nodes;
+  std::vector<Endpoint> targets;
+  for (uint32_t i = 0; i < config_.storage_nodes.size(); ++i) {
+    if (StorageAlive(i)) {
+      targets.push_back(config_.storage_nodes[i]);
+    }
+  }
   if (!config_.small_file_servers.empty()) {
     targets.push_back(sfs_table_.Lookup(MixU64(fh.fileid())));
+  }
+  if (targets.empty()) {
+    return;
   }
   WithIntent(IntentOp::kRemove, fh, 0,
              [this, fh, targets](std::function<void()> complete) {
@@ -788,9 +1010,17 @@ void Uproxy::ScheduleDataRemove(const FileHandle& fh) {
 
 void Uproxy::ScheduleDataTruncate(const FileHandle& fh, uint64_t size) {
   counters_.Add("data_truncates");
-  std::vector<Endpoint> targets = config_.storage_nodes;
+  std::vector<Endpoint> targets;
+  for (uint32_t i = 0; i < config_.storage_nodes.size(); ++i) {
+    if (StorageAlive(i)) {
+      targets.push_back(config_.storage_nodes[i]);
+    }
+  }
   if (!config_.small_file_servers.empty()) {
     targets.push_back(sfs_table_.Lookup(MixU64(fh.fileid())));
+  }
+  if (targets.empty()) {
+    return;
   }
   WithIntent(IntentOp::kTruncate, fh, size,
              [this, fh, size, targets](std::function<void()> complete) {
@@ -819,7 +1049,7 @@ void Uproxy::WritebackAttrs(uint64_t fileid, const Fattr3& attr) {
   args.new_attributes.atime = attr.atime;
   XdrEncoder enc;
   args.Encode(enc);
-  const Endpoint target = dir_table_.ByPhysical(SiteOfFileid(fileid));
+  const Endpoint target = DirServerForSite(SiteOfFileid(fileid));
   counters_.Add("attr_writebacks");
   // Optimistically mark clean at issue so concurrent flush triggers do not
   // duplicate the setattr; a lost writeback re-dirties on the next write.

@@ -29,6 +29,7 @@
 #include "src/core/request_decode.h"
 #include "src/core/routing_table.h"
 #include "src/dir/dir_server.h"
+#include "src/mgmt/mgmt_proto.h"
 #include "src/net/host.h"
 #include "src/rpc/rpc_client.h"
 #include "src/sim/stats.h"
@@ -55,6 +56,20 @@ struct UproxyConfig {
   // Per-byte CPU cost of duplicating a mirrored write's payload for each
   // extra replica ("the client host writes to both mirrors", §5).
   double mirror_copy_ns_per_byte = 8.0;
+
+  // Ensemble control plane (src/mgmt) integration. When enabled the µproxy
+  // accepts epoch-stamped table pushes and misdirect notices on
+  // `control_port`, fetches fresh tables from `manager` on stale-epoch or
+  // repeated-retransmission suspicion, routes around storage/SFS nodes the
+  // manager has declared dead, and reports degraded mirrored writes to the
+  // coordinator for later resync.
+  bool mgmt_enabled = false;
+  Endpoint manager;
+  NetPort control_port = kMgmtClientPort;
+  // Retransmission policy for µproxy-originated calls. The ensemble tightens
+  // this when mgmt is on so fan-outs to a just-died node fail well inside the
+  // client's own retransmission budget.
+  RpcClientParams own_rpc_params;
 };
 
 class Uproxy : public PacketTap {
@@ -74,6 +89,28 @@ class Uproxy : public PacketTap {
   void ReloadDirServers(std::vector<Endpoint> servers) { dir_table_.Reload(std::move(servers)); }
   RoutingTable& dir_table() { return dir_table_; }
 
+  // Directory server owning fileID-embedded site `site`. Fixed placement by
+  // default (site -> site % N); a manager-installed table rebinds dead sites
+  // to their adopters without disturbing the name-hash slot table.
+  Endpoint DirServerForSite(uint64_t site) const {
+    if (!dir_site_binding_.empty()) {
+      return dir_table_.ByPhysical(dir_site_binding_[site % dir_site_binding_.size()]);
+    }
+    return dir_table_.ByPhysical(site);
+  }
+
+  // Installs a manager-computed table set. Stale epochs are ignored unless
+  // `force` (tests use force to simulate a µproxy that missed pushes).
+  // Returns true if the tables were installed.
+  bool InstallTables(const MgmtTableSet& tables, bool force = false);
+  uint64_t table_epoch() const { return table_epoch_; }
+  bool StorageAlive(uint32_t node) const {
+    return storage_alive_.empty() || (node < storage_alive_.size() && storage_alive_[node] != 0);
+  }
+  bool SfsAlive(uint32_t index) const {
+    return sfs_alive_.empty() || (index < sfs_alive_.size() && sfs_alive_[index] != 0);
+  }
+
   const OpCounters& counters() const { return counters_; }
   const AttrCache& attr_cache() const { return attr_cache_; }
   size_t pending_count() const { return pending_.size(); }
@@ -88,12 +125,14 @@ class Uproxy : public PacketTap {
     kMirrorWrite,    // absorb + fan out to replicas
     kMultiCommit,    // absorb + commit fan-out (+ intent)
     kPassThrough,    // not NFS / not ours
+    kUnavailable,    // every server that could answer is dead; fail fast
   };
 
   struct RouteDecision {
     RouteClass cls = RouteClass::kPassThrough;
     Endpoint target;
     uint32_t storage_index = 0;  // selected node (kStorage)
+    Nfsstat3 error = Nfsstat3::kOk;  // synthesized status (kUnavailable)
   };
 
   RouteDecision SelectRoute(const DecodedRequest& req);
@@ -109,6 +148,9 @@ class Uproxy : public PacketTap {
     uint64_t offset = 0;
     uint32_t count = 0;
     bool absorbed = false;  // fan-out in progress; drop duplicate requests
+    // Client retransmissions seen; repeated retransmission of the same call
+    // suggests a stale routing table (the target may be dead).
+    uint8_t retransmits = 0;
   };
   struct PendingKey {
     uint32_t port_xid;  // (client port << 32) | xid packed below
@@ -136,6 +178,14 @@ class Uproxy : public PacketTap {
 
   // Sends a synthesized NFS reply to the local client.
   void ReplyToClient(Endpoint client, uint32_t xid, const Bytes& result_body);
+  // Synthesizes a proc-appropriate error reply (dead-server fail-fast path).
+  void SynthesizeErrorReply(const DecodedRequest& req, Endpoint client, Nfsstat3 status);
+
+  // Control-plane integration.
+  void HandleControl(ByteSpan payload);
+  void FetchTables();
+  void LogDegradedWrite(const FileHandle& fh, uint64_t offset, uint32_t count,
+                        uint32_t node, std::function<void(bool)> cb);
 
   // Reply-side attribute patching.
   void PatchReplyAttrs(Packet& pkt, const Pending& pending, const DecodedReply& reply);
@@ -179,6 +229,14 @@ class Uproxy : public PacketTap {
   // Block-map cache (dynamic placement): fileid -> site per block.
   std::unordered_map<uint64_t, std::vector<uint32_t>> map_cache_;
   OpCounters counters_;
+  // Control-plane view: epoch of the installed tables plus liveness bits for
+  // the identity-bound server classes (empty = everything assumed alive).
+  uint64_t table_epoch_ = 0;
+  // fileID-embedded site -> physical dir index (empty = identity placement).
+  std::vector<uint32_t> dir_site_binding_;
+  std::vector<uint8_t> storage_alive_;
+  std::vector<uint8_t> sfs_alive_;
+  bool table_fetch_inflight_ = false;
   bool writeback_timer_armed_ = false;
   // Guards event-queue callbacks against running after destruction.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/mgmt/mgmt_proto.h"
 
 namespace slice {
 namespace {
@@ -121,7 +122,7 @@ void DirServer::ApplyEraseAttr(uint64_t fileid, bool log) {
   }
 }
 
-void DirServer::ReplayRecord(ByteSpan record) {
+void DirServer::ReplayRecord(ByteSpan record, bool relog) {
   XdrDecoder dec(record);
   Result<uint32_t> op = dec.GetUint32();
   if (!op.ok()) {
@@ -134,7 +135,7 @@ void DirServer::ReplayRecord(ByteSpan record) {
       Result<std::string> name = dec.GetString(255);
       Result<Bytes> raw = dec.GetOpaqueVar(64);
       if (parent.ok() && name.ok() && raw.ok() && raw->size() == FileHandle::kSize) {
-        ApplyInsertEntry(*parent, *name, FileHandle::FromBytes(*raw), /*log=*/false);
+        ApplyInsertEntry(*parent, *name, FileHandle::FromBytes(*raw), /*log=*/relog);
       }
       break;
     }
@@ -142,7 +143,7 @@ void DirServer::ReplayRecord(ByteSpan record) {
       Result<uint64_t> parent = dec.GetUint64();
       Result<std::string> name = dec.GetString(255);
       if (parent.ok() && name.ok()) {
-        ApplyEraseEntry(*parent, *name, /*log=*/false);
+        ApplyEraseEntry(*parent, *name, /*log=*/relog);
       }
       break;
     }
@@ -151,7 +152,7 @@ void DirServer::ReplayRecord(ByteSpan record) {
       Result<Fattr3> attr = DecodeFattr3(dec);
       Result<std::string> symlink = dec.GetString(1024);
       if (fileid.ok() && attr.ok() && symlink.ok()) {
-        ApplyUpsertAttr(*fileid, *attr, *symlink, /*log=*/false);
+        ApplyUpsertAttr(*fileid, *attr, *symlink, /*log=*/relog);
         if (SiteOfFileid(*fileid) == params_.site) {
           const uint64_t counter = *fileid & ((1ull << 48) - 1);
           next_counter_ = std::max(next_counter_, counter + 1);
@@ -162,7 +163,7 @@ void DirServer::ReplayRecord(ByteSpan record) {
     case DirLogOp::kEraseAttr: {
       Result<uint64_t> fileid = dec.GetUint64();
       if (fileid.ok()) {
-        ApplyEraseAttr(*fileid, /*log=*/false);
+        ApplyEraseAttr(*fileid, /*log=*/relog);
       }
       break;
     }
@@ -187,6 +188,130 @@ void DirServer::OnRestart() {
                             << store_.entry_count() << " entries, " << store_.attr_count()
                             << " attr cells";
                });
+}
+
+// --- ensemble control-plane integration ---
+
+void DirServer::SetMgmtView(uint64_t epoch, uint32_t my_physical, std::vector<uint32_t> slots) {
+  if (epoch < mgmt_epoch_) {
+    return;
+  }
+  mgmt_epoch_ = epoch;
+  my_physical_ = my_physical;
+  mgmt_slots_ = std::move(slots);
+  misdirect_notified_.clear();
+}
+
+bool DirServer::MisroutedByFileid(uint64_t fileid) const {
+  if (mgmt_slots_.empty()) {
+    return false;
+  }
+  const uint32_t site = SiteOfFileid(fileid);
+  return mgmt_slots_[site % mgmt_slots_.size()] != my_physical_;
+}
+
+bool DirServer::MisroutedNameOp(const FileHandle& dir, const std::string& name) const {
+  if (mgmt_slots_.empty()) {
+    return false;
+  }
+  if (params_.policy == NamePolicy::kNameHashing) {
+    const uint64_t fp = NameFingerprint(dir, name);
+    return mgmt_slots_[fp % mgmt_slots_.size()] != my_physical_;
+  }
+  return MisroutedByFileid(dir.fileid());
+}
+
+uint32_t DirServer::EntrySiteById(uint64_t parent_id, const std::string& name) const {
+  if (params_.policy == NamePolicy::kNameHashing) {
+    // Reconstruct the parent handle the client would present; directory
+    // handles are deterministic (generation 1, unmirrored).
+    const FileHandle parent = FileHandle::Make(params_.volume, parent_id, 1, FileType3::kDir,
+                                               1, params_.volume_secret);
+    return NameHashSite(NameFingerprint(parent, name), params_.num_sites);
+  }
+  return SiteOfFileid(parent_id);
+}
+
+void DirServer::AdoptSite(uint32_t site, Endpoint wal_node, FileHandle wal_object,
+                          std::function<void(Status)> done) {
+  if (site == params_.site || adopted_sites_.contains(site)) {
+    if (done) {
+      done(OkStatus());
+    }
+    return;
+  }
+  ++adopting_;
+  SLICE_ILOG << "dir site " << params_.site << ": adopting site " << site;
+  // A fresh reader over the dead server's log object; keep it alive until
+  // the replay completes.
+  auto wal = std::make_shared<WriteAheadLog>(host(), queue(), wal_node, wal_object);
+  wal->Replay(
+      [this](ByteSpan record) { ReplayRecord(record, /*relog=*/true); },
+      [this, site, wal, done = std::move(done)](Status st) {
+        --adopting_;
+        if (st.ok()) {
+          adopted_sites_.insert(site);
+          SLICE_ILOG << "dir site " << params_.site << ": adopted site " << site << " ("
+                     << store_.entry_count() << " entries now resident)";
+        } else {
+          SLICE_ELOG << "dir site " << params_.site << ": adoption of site " << site
+                     << " failed: " << st.ToString();
+        }
+        if (done) {
+          done(st);
+        }
+      });
+}
+
+void DirServer::HandoffSite(uint32_t site, DirServer& target) {
+  if (adopted_sites_.erase(site) == 0) {
+    return;
+  }
+  // Drop the target's stale pre-crash copy first: mutations during the
+  // outage — including deletions — exist only in the adopter's store/log,
+  // so anything the rejoined server replayed from its own log is stale.
+  std::vector<NameCell> stale_entries;
+  target.store_.ForEachEntry([&](const NameCell& cell) {
+    if (target.EntrySiteById(cell.parent_id, cell.name) == site) {
+      stale_entries.push_back(cell);
+    }
+  });
+  for (const NameCell& cell : stale_entries) {
+    target.ApplyEraseEntry(cell.parent_id, cell.name, /*log=*/true);
+  }
+  std::vector<uint64_t> stale_attrs;
+  target.store_.ForEachAttr([&](uint64_t fileid, const AttrCell& cell) {
+    (void)cell;
+    if (SiteOfFileid(fileid) == site) {
+      stale_attrs.push_back(fileid);
+    }
+  });
+  for (uint64_t fileid : stale_attrs) {
+    target.ApplyEraseAttr(fileid, /*log=*/true);
+  }
+
+  std::vector<NameCell> entries;
+  store_.ForEachEntry([&](const NameCell& cell) {
+    if (EntrySiteById(cell.parent_id, cell.name) == site) {
+      entries.push_back(cell);
+    }
+  });
+  std::vector<std::pair<uint64_t, AttrCell>> attrs;
+  store_.ForEachAttr([&](uint64_t fileid, const AttrCell& cell) {
+    if (SiteOfFileid(fileid) == site) {
+      attrs.emplace_back(fileid, cell);
+    }
+  });
+  for (const NameCell& cell : entries) {
+    target.ApplyInsertEntry(cell.parent_id, cell.name, cell.child, /*log=*/true);
+    ApplyEraseEntry(cell.parent_id, cell.name, /*log=*/true);
+  }
+  for (const auto& [fileid, cell] : attrs) {
+    target.ApplyUpsertAttr(fileid, cell.attr, cell.symlink_target, /*log=*/true);
+    ApplyEraseAttr(fileid, /*log=*/true);
+  }
+  SLICE_ILOG << "dir site " << params_.site << ": handed " << entries.size() << " entries, "
+             << attrs.size() << " attr cells back to site " << site;
 }
 
 // --- peer protocol ---
@@ -784,6 +909,24 @@ void EncodeErrorFor(NfsProc proc, Nfsstat3 status, XdrEncoder& reply) {
 
 }  // namespace
 
+void DirServer::MisdirectReply(NfsProc proc, XdrEncoder& reply) {
+  ++misdirects_answered_;
+  EncodeErrorFor(proc, Nfsstat3::kErrJukebox, reply);
+  // Lazy table distribution: tell the client's µproxy its table is stale so
+  // it fetches the current epoch from the manager (once per client+epoch).
+  if (current_client_.addr != 0 &&
+      misdirect_notified_.insert({current_client_.addr, mgmt_epoch_}).second) {
+    SendPacket(Packet::MakeUdp(endpoint(), Endpoint{current_client_.addr, kMgmtClientPort},
+                               EncodeMisdirectNotice(mgmt_epoch_)));
+  }
+}
+
+void DirServer::DispatchCall(const RpcMessageView& call, const Endpoint& client,
+                             ReplyFn done) {
+  current_client_ = client;
+  RpcServerNode::DispatchCall(call, client, std::move(done));
+}
+
 RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& reply,
                                     ServiceCost& cost) {
   if (call.prog != kNfsProgram || call.vers != kNfsVersion) {
@@ -793,7 +936,7 @@ RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& repl
   cost.AddCpu(FromMicros(params_.op_cpu_us));
   ++local_ops_;
 
-  if (recovering_) {
+  if (recovering_ || adopting_ > 0) {
     EncodeErrorFor(proc, Nfsstat3::kErrJukebox, reply);
     return RpcAcceptStat::kSuccess;
   }
@@ -807,6 +950,10 @@ RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& repl
       if (!args.ok()) {
         return RpcAcceptStat::kGarbageArgs;
       }
+      if (MisroutedByFileid(args->object.fileid())) {
+        MisdirectReply(proc, reply);
+        return RpcAcceptStat::kSuccess;
+      }
       HandleGetattr(*args, reply, cost);
       return RpcAcceptStat::kSuccess;
     }
@@ -814,6 +961,10 @@ RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& repl
       Result<SetattrArgs> args = SetattrArgs::Decode(dec);
       if (!args.ok()) {
         return RpcAcceptStat::kGarbageArgs;
+      }
+      if (MisroutedByFileid(args->object.fileid())) {
+        MisdirectReply(proc, reply);
+        return RpcAcceptStat::kSuccess;
       }
       HandleSetattr(*args, reply, cost);
       return RpcAcceptStat::kSuccess;
@@ -823,6 +974,10 @@ RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& repl
       if (!args.ok()) {
         return RpcAcceptStat::kGarbageArgs;
       }
+      if (MisroutedNameOp(args->dir, args->name)) {
+        MisdirectReply(proc, reply);
+        return RpcAcceptStat::kSuccess;
+      }
       HandleLookup(*args, reply, cost);
       return RpcAcceptStat::kSuccess;
     }
@@ -830,6 +985,10 @@ RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& repl
       Result<AccessArgs> args = AccessArgs::Decode(dec);
       if (!args.ok()) {
         return RpcAcceptStat::kGarbageArgs;
+      }
+      if (MisroutedByFileid(args->object.fileid())) {
+        MisdirectReply(proc, reply);
+        return RpcAcceptStat::kSuccess;
       }
       HandleAccess(*args, reply, cost);
       return RpcAcceptStat::kSuccess;
@@ -846,6 +1005,10 @@ RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& repl
       Result<CreateArgs> args = CreateArgs::Decode(dec);
       if (!args.ok()) {
         return RpcAcceptStat::kGarbageArgs;
+      }
+      if (MisroutedNameOp(args->dir, args->name)) {
+        MisdirectReply(proc, reply);
+        return RpcAcceptStat::kSuccess;
       }
       HandleCreate(*args, reply, cost);
       return RpcAcceptStat::kSuccess;
@@ -872,6 +1035,10 @@ RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& repl
       if (!args.ok()) {
         return RpcAcceptStat::kGarbageArgs;
       }
+      if (MisroutedNameOp(args->dir, args->name)) {
+        MisdirectReply(proc, reply);
+        return RpcAcceptStat::kSuccess;
+      }
       HandleRemove(*args, proc == NfsProc::kRmdir, reply, cost);
       return RpcAcceptStat::kSuccess;
     }
@@ -896,6 +1063,10 @@ RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& repl
       Result<ReaddirArgs> args = ReaddirArgs::Decode(dec, proc == NfsProc::kReaddirplus);
       if (!args.ok()) {
         return RpcAcceptStat::kGarbageArgs;
+      }
+      if (MisroutedByFileid(args->dir.fileid())) {
+        MisdirectReply(proc, reply);
+        return RpcAcceptStat::kSuccess;
       }
       HandleReaddir(*args, reply, cost);
       return RpcAcceptStat::kSuccess;

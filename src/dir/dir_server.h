@@ -16,6 +16,8 @@
 
 #include <memory>
 #include <optional>
+#include <set>
+#include <utility>
 
 #include "src/dir/dir_store.h"
 #include "src/dir/wal.h"
@@ -81,9 +83,45 @@ class DirServer : public RpcServerNode {
     }
   }
 
+  // --- ensemble control-plane integration (src/mgmt) ---
+
+  // Installs the manager's epoch-stamped view: slots[s] is the physical dir
+  // index serving logical slot/site s, `my_physical` this server's index.
+  // With a view installed, requests the view routes elsewhere are answered
+  // kErrJukebox plus a misdirect notice to the client's µproxy control port
+  // (lazy table distribution, paper §3.1).
+  void SetMgmtView(uint64_t epoch, uint32_t my_physical, std::vector<uint32_t> slots);
+
+  // Failover: replays the dead owner's WAL (an object in the storage array)
+  // into this server's store — re-logging every record so the adopted state
+  // survives this server's own crashes — then serves the site until
+  // HandoffSite. Ops arriving mid-adoption get kErrJukebox; clients retry.
+  void AdoptSite(uint32_t site, Endpoint wal_node, FileHandle wal_object,
+                 std::function<void(Status)> done = nullptr);
+  // Rebalance: moves the adopted site's cells back to the rejoined owner.
+  // Both sides log each move, so the transfer survives either party's crash.
+  void HandoffSite(uint32_t site, DirServer& target);
+
+  // Holds client traffic (kErrJukebox) on a rejoined owner while the handoff
+  // back to it is pending, so a fresh write can't land and then be clobbered
+  // when the transfer drops stale site-owned cells.
+  void BeginHandoffHold() { ++adopting_; }
+  void EndHandoffHold() {
+    if (adopting_ > 0) {
+      --adopting_;
+    }
+  }
+
+  bool adopting() const { return adopting_ > 0; }
+  const std::set<uint32_t>& adopted_sites() const { return adopted_sites_; }
+  uint64_t misdirects_answered() const { return misdirects_answered_; }
+  uint32_t site() const { return params_.site; }
+
  protected:
   RpcAcceptStat HandleCall(const RpcMessageView& call, XdrEncoder& reply,
                            ServiceCost& cost) override;
+  // Stashes the calling client so misdirect notices know where to go.
+  void DispatchCall(const RpcMessageView& call, const Endpoint& client, ReplyFn done) override;
   void OnRestart() override;
 
  private:
@@ -94,11 +132,28 @@ class DirServer : public RpcServerNode {
   void ApplyUpsertAttr(uint64_t fileid, const Fattr3& attr, const std::string& symlink,
                        bool log);
   void ApplyEraseAttr(uint64_t fileid, bool log);
-  void ReplayRecord(ByteSpan record);
+  // `relog` re-journals each replayed record into this server's own WAL
+  // (used when adopting a dead peer's log).
+  void ReplayRecord(ByteSpan record, bool relog = false);
+
+  // --- misdirect detection against the installed mgmt view ---
+  bool MisroutedByFileid(uint64_t fileid) const;
+  bool MisroutedNameOp(const FileHandle& dir, const std::string& name) const;
+  void MisdirectReply(NfsProc proc, XdrEncoder& reply);
+  // Entry-owning site recomputed from stored cell fields (handoff scan).
+  uint32_t EntrySiteById(uint64_t parent_id, const std::string& name) const;
 
   // --- peer protocol (direct calls; caller charges PeerCost) ---
   DirServer& Peer(uint32_t site) { return *peers_[site]; }
-  bool IsLocalSite(uint32_t site) const { return site == params_.site || peers_.empty(); }
+  // A site is local if it is ours, or if failover remapped the (dead) owner
+  // to us — the ensemble points peers_[site] at the adopter.
+  bool IsLocalSite(uint32_t site) const {
+    if (site == params_.site || peers_.empty()) {
+      return true;
+    }
+    const DirServer* owner = peers_[site % peers_.size()];
+    return owner == this || owner == nullptr;
+  }
   void ChargePeer(ServiceCost& cost);
 
   Status PeerInsertEntry(uint32_t site, uint64_t parent, const std::string& name,
@@ -147,6 +202,17 @@ class DirServer : public RpcServerNode {
   bool recovering_ = false;
   uint64_t cross_site_ops_ = 0;
   uint64_t local_ops_ = 0;
+
+  // Control-plane view (empty slots = no manager; checks disabled).
+  uint64_t mgmt_epoch_ = 0;
+  uint32_t my_physical_ = 0;
+  std::vector<uint32_t> mgmt_slots_;
+  std::set<uint32_t> adopted_sites_;
+  int adopting_ = 0;
+  uint64_t misdirects_answered_ = 0;
+  // One notice per (client, epoch) — the µproxy fetch is idempotent anyway.
+  std::set<std::pair<NetAddr, uint64_t>> misdirect_notified_;
+  Endpoint current_client_;
 };
 
 }  // namespace slice

@@ -58,6 +58,20 @@ class DirStore {
   size_t attr_count() const { return attrs_.size(); }
   void Clear();
 
+  // Full scans, used by failover handoff to find cells owned by a site.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const auto& [key, cell] : chains_) {
+      fn(cell);
+    }
+  }
+  template <typename Fn>
+  void ForEachAttr(Fn&& fn) const {
+    for (const auto& [fileid, cell] : attrs_) {
+      fn(fileid, cell);
+    }
+  }
+
  private:
   struct ChainKey {
     uint64_t parent_id;

@@ -1,0 +1,60 @@
+#include "src/mgmt/heartbeat.h"
+
+namespace slice {
+
+namespace {
+RpcClientParams OneShotParams() {
+  RpcClientParams p;
+  // A heartbeat that outlives its interval is worthless; give the reply one
+  // interval's worth of time and never retransmit.
+  p.retransmit_timeout = FromMillis(45);
+  p.max_transmissions = 1;
+  return p;
+}
+}  // namespace
+
+HeartbeatAgent::HeartbeatAgent(Host& host, EventQueue& queue,
+                               HeartbeatAgentParams params)
+    : queue_(queue), params_(params), rpc_(host, queue, OneShotParams()) {}
+
+HeartbeatAgent::~HeartbeatAgent() { *alive_ = false; }
+
+void HeartbeatAgent::Start() {
+  std::shared_ptr<bool> alive = alive_;
+  queue_.ScheduleBackgroundAfter(0, [this, alive] {
+    if (*alive) {
+      Tick();
+    }
+  });
+}
+
+void HeartbeatAgent::Tick() {
+  HeartbeatArgs args;
+  args.node_class = params_.node_class;
+  args.index = params_.index;
+  args.known_epoch = known_epoch_;
+  XdrEncoder enc;
+  args.Encode(enc);
+  ++beats_sent_;
+  std::shared_ptr<bool> alive = alive_;
+  rpc_.Call(params_.manager, kMgmtProgram, kMgmtVersion,
+            static_cast<uint32_t>(MgmtProc::kHeartbeat), enc.Take(),
+            [this, alive](Status status, const RpcMessageView& reply) {
+              if (!*alive || !status.ok()) {
+                return;
+              }
+              XdrDecoder dec(reply.body);
+              auto res = HeartbeatRes::Decode(dec);
+              if (res.ok()) {
+                ++beats_acked_;
+                known_epoch_ = res.value().current_epoch;
+              }
+            });
+  queue_.ScheduleBackgroundAfter(params_.interval, [this, alive] {
+    if (*alive) {
+      Tick();
+    }
+  });
+}
+
+}  // namespace slice

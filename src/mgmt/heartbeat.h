@@ -1,0 +1,55 @@
+// Heartbeat agent: lives on a server's host and sends a periodic one-shot
+// heartbeat RPC to the ensemble manager. Heartbeats are fire-and-forget
+// (max_transmissions = 1) so each tick is an independent liveness sample —
+// retransmitting a stale beat would only mask real silence. When the host is
+// failed (crash simulation) the network drops its packets, so silence at the
+// manager is exactly host death; when the host restarts, beats resume and the
+// manager observes the rejoin with no agent-side logic.
+#ifndef SLICE_MGMT_HEARTBEAT_H_
+#define SLICE_MGMT_HEARTBEAT_H_
+
+#include <memory>
+
+#include "src/mgmt/mgmt_proto.h"
+#include "src/rpc/rpc_client.h"
+
+namespace slice {
+
+struct HeartbeatAgentParams {
+  NodeClass node_class = NodeClass::kStorage;
+  uint32_t index = 0;
+  Endpoint manager;
+  SimTime interval = FromMillis(50);
+};
+
+class HeartbeatAgent {
+ public:
+  HeartbeatAgent(Host& host, EventQueue& queue, HeartbeatAgentParams params);
+  ~HeartbeatAgent();
+
+  HeartbeatAgent(const HeartbeatAgent&) = delete;
+  HeartbeatAgent& operator=(const HeartbeatAgent&) = delete;
+
+  // Sends the first beat immediately and arms the background timer.
+  void Start();
+
+  uint64_t beats_sent() const { return beats_sent_; }
+  uint64_t beats_acked() const { return beats_acked_; }
+  // Last epoch the manager reported in a heartbeat reply.
+  uint64_t known_epoch() const { return known_epoch_; }
+
+ private:
+  void Tick();
+
+  EventQueue& queue_;
+  HeartbeatAgentParams params_;
+  RpcClient rpc_;
+  uint64_t beats_sent_ = 0;
+  uint64_t beats_acked_ = 0;
+  uint64_t known_epoch_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace slice
+
+#endif  // SLICE_MGMT_HEARTBEAT_H_

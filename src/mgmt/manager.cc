@@ -1,0 +1,150 @@
+#include "src/mgmt/manager.h"
+
+#include "src/common/logging.h"
+#include "src/net/network.h"
+
+namespace slice {
+
+EnsembleManager::EnsembleManager(Network& net, EventQueue& queue, NetAddr addr,
+                                 ClusterView view, MgmtParams params)
+    : RpcServerNode(net, queue, addr, kMgmtPort),
+      view_(std::move(view)),
+      params_(params),
+      detector_(FailureDetectorParams{params.failure_timeout}) {}
+
+void EnsembleManager::Start() {
+  SLICE_CHECK(!started_);
+  started_ = true;
+  const SimTime t = now();
+  for (uint32_t i = 0; i < view_.storage_nodes.size(); ++i) {
+    detector_.Register(NodeId(NodeClass::kStorage, i), t);
+  }
+  for (uint32_t i = 0; i < view_.dir_servers.size(); ++i) {
+    detector_.Register(NodeId(NodeClass::kDir, i), t);
+  }
+  for (uint32_t i = 0; i < view_.small_file_servers.size(); ++i) {
+    detector_.Register(NodeId(NodeClass::kSfs, i), t);
+  }
+  for (uint32_t i = 0; i < view_.coordinators.size(); ++i) {
+    detector_.Register(NodeId(NodeClass::kCoord, i), t);
+  }
+  RecomputeTables();
+  std::shared_ptr<bool> alive = alive_;
+  queue().ScheduleBackgroundAfter(params_.sweep_interval, [this, alive] {
+    if (*alive) {
+      Sweep();
+    }
+  });
+}
+
+void EnsembleManager::Sweep() {
+  std::vector<uint64_t> died = detector_.Sweep(now());
+  if (!died.empty()) {
+    OnMembershipChange(std::move(died), {});
+  }
+  std::shared_ptr<bool> alive = alive_;
+  queue().ScheduleBackgroundAfter(params_.sweep_interval, [this, alive] {
+    if (*alive) {
+      Sweep();
+    }
+  });
+}
+
+RpcAcceptStat EnsembleManager::HandleCall(const RpcMessageView& call,
+                                          XdrEncoder& reply,
+                                          ServiceCost& cost) {
+  if (call.prog != kMgmtProgram) {
+    return RpcAcceptStat::kProgUnavail;
+  }
+  cost.AddCpu(FromMicros(params_.op_cpu_us));
+  switch (static_cast<MgmtProc>(call.proc)) {
+    case MgmtProc::kNull:
+      return RpcAcceptStat::kSuccess;
+    case MgmtProc::kHeartbeat: {
+      XdrDecoder dec(call.body);
+      auto args = HeartbeatArgs::Decode(dec);
+      if (!args.ok()) {
+        return RpcAcceptStat::kGarbageArgs;
+      }
+      ++heartbeats_received_;
+      const uint64_t id = NodeId(args.value().node_class, args.value().index);
+      if (detector_.Touch(id, now())) {
+        OnMembershipChange({}, {id});
+      }
+      HeartbeatRes res;
+      res.current_epoch = tables_.epoch;
+      res.Encode(reply);
+      return RpcAcceptStat::kSuccess;
+    }
+    case MgmtProc::kFetchTables:
+      tables_.Encode(reply);
+      return RpcAcceptStat::kSuccess;
+  }
+  return RpcAcceptStat::kProcUnavail;
+}
+
+void EnsembleManager::RecomputeTables() {
+  MgmtTableSet t;
+  t.epoch = tables_.epoch + 1;
+
+  t.dir_servers = view_.dir_servers;
+  const size_t num_dir = view_.dir_servers.size();
+  t.dir_alive.resize(num_dir);
+  for (uint32_t i = 0; i < num_dir; ++i) {
+    t.dir_alive[i] = detector_.alive(NodeId(NodeClass::kDir, i)) ? 1 : 0;
+  }
+  if (num_dir > 0) {
+    t.dir_slots.resize(view_.logical_slots);
+    for (size_t slot = 0; slot < t.dir_slots.size(); ++slot) {
+      // Default round-robin owner; if dead, rebind to the next live server.
+      uint32_t phys = static_cast<uint32_t>(slot % num_dir);
+      for (size_t step = 0; step < num_dir && !t.dir_alive[phys]; ++step) {
+        phys = static_cast<uint32_t>((phys + 1) % num_dir);
+      }
+      t.dir_slots[slot] = phys;
+    }
+  }
+
+  // Small-file slots keep their identity binding: a replacement server would
+  // not have the files. µproxies consult sfs_alive and fail fast instead.
+  t.sfs_servers = view_.small_file_servers;
+  const size_t num_sfs = view_.small_file_servers.size();
+  t.sfs_alive.resize(num_sfs);
+  for (uint32_t i = 0; i < num_sfs; ++i) {
+    t.sfs_alive[i] = detector_.alive(NodeId(NodeClass::kSfs, i)) ? 1 : 0;
+  }
+  if (num_sfs > 0) {
+    t.sfs_slots.resize(view_.logical_slots);
+    for (size_t slot = 0; slot < t.sfs_slots.size(); ++slot) {
+      t.sfs_slots[slot] = static_cast<uint32_t>(slot % num_sfs);
+    }
+  }
+
+  t.storage_alive.resize(view_.storage_nodes.size());
+  for (uint32_t i = 0; i < view_.storage_nodes.size(); ++i) {
+    t.storage_alive[i] = detector_.alive(NodeId(NodeClass::kStorage, i)) ? 1 : 0;
+  }
+
+  tables_ = std::move(t);
+}
+
+void EnsembleManager::OnMembershipChange(std::vector<uint64_t> died,
+                                         std::vector<uint64_t> revived) {
+  RecomputeTables();
+  ++reconfigurations_;
+  SLICE_ILOG << "mgmt: epoch " << tables_.epoch << " (" << died.size()
+             << " died, " << revived.size() << " rejoined)";
+  if (hook_) {
+    hook_(tables_, died, revived);
+  }
+  PushTables();
+}
+
+void EnsembleManager::PushTables() {
+  const Bytes push = EncodeTablePush(tables_);
+  for (const Endpoint& sub : subscribers_) {
+    SendPacket(Packet::MakeUdp(endpoint(), sub, push));
+  }
+}
+
+}  // namespace slice

@@ -1,0 +1,95 @@
+// Ensemble manager: the control plane's single authority (paper §4). Runs as
+// a real RPC endpoint on the simulated network, collects heartbeats from
+// every server, declares nodes dead on heartbeat timeout, recomputes
+// epoch-stamped slot assignments (directory slot rebinding; identity-bound
+// small-file slots with liveness bits; mirrored-partner promotion happens in
+// the µproxy via storage liveness bits), and distributes tables eagerly by
+// pushing to subscribed µproxy control ports. Lazy distribution — misdirect
+// notices and stale-epoch fetches — is driven by the servers and µproxies
+// against this manager's kFetchTables procedure.
+#ifndef SLICE_MGMT_MANAGER_H_
+#define SLICE_MGMT_MANAGER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/mgmt/failure_detector.h"
+#include "src/mgmt/mgmt_proto.h"
+#include "src/rpc/rpc_server.h"
+
+namespace slice {
+
+struct MgmtParams {
+  bool enabled = true;
+  SimTime heartbeat_interval = FromMillis(50);
+  SimTime failure_timeout = FromMillis(500);
+  SimTime sweep_interval = FromMillis(50);
+  double op_cpu_us = 5.0;
+};
+
+// Static membership the manager supervises.
+struct ClusterView {
+  std::vector<Endpoint> dir_servers;
+  std::vector<Endpoint> small_file_servers;
+  std::vector<Endpoint> storage_nodes;
+  std::vector<Endpoint> coordinators;
+  size_t logical_slots = 64;
+};
+
+class EnsembleManager : public RpcServerNode {
+ public:
+  // Invoked after every epoch change, with the new tables and the node ids
+  // that died / rejoined in this reconfiguration. The embedding ensemble uses
+  // it to drive failover orchestration (dir site adoption, peer remapping,
+  // storage resync).
+  using ReconfigureHook =
+      std::function<void(const MgmtTableSet& tables,
+                         const std::vector<uint64_t>& died,
+                         const std::vector<uint64_t>& revived)>;
+
+  EnsembleManager(Network& net, EventQueue& queue, NetAddr addr,
+                  ClusterView view, MgmtParams params = {});
+  ~EnsembleManager() override { *alive_ = false; }
+
+  // Registers all members as alive now and arms the background sweep.
+  void Start();
+
+  void SetReconfigureHook(ReconfigureHook hook) { hook_ = std::move(hook); }
+  // Adds a µproxy control endpoint that receives eager table pushes.
+  void Subscribe(Endpoint proxy_control) { subscribers_.push_back(proxy_control); }
+
+  const MgmtTableSet& tables() const { return tables_; }
+  uint64_t current_epoch() const { return tables_.epoch; }
+  bool NodeAlive(NodeClass cls, uint32_t index) const {
+    return detector_.alive(NodeId(cls, index));
+  }
+  uint64_t reconfigurations() const { return reconfigurations_; }
+  uint64_t heartbeats_received() const { return heartbeats_received_; }
+
+ protected:
+  RpcAcceptStat HandleCall(const RpcMessageView& call, XdrEncoder& reply,
+                           ServiceCost& cost) override;
+
+ private:
+  void Sweep();
+  void RecomputeTables();
+  void OnMembershipChange(std::vector<uint64_t> died,
+                          std::vector<uint64_t> revived);
+  void PushTables();
+
+  ClusterView view_;
+  MgmtParams params_;
+  HeartbeatFailureDetector detector_;
+  MgmtTableSet tables_;
+  ReconfigureHook hook_;
+  std::vector<Endpoint> subscribers_;
+  uint64_t reconfigurations_ = 0;
+  uint64_t heartbeats_received_ = 0;
+  bool started_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace slice
+
+#endif  // SLICE_MGMT_MANAGER_H_

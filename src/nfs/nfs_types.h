@@ -197,6 +197,18 @@ class FileHandle {
   std::array<uint8_t, kSize> bytes_;
 };
 
+// Storage-node index for (file, byte offset) under static mirrored striping:
+// stripe blocks of `stripe_unit` bytes round-robin across `num_nodes` nodes
+// starting at a per-file hash base; `replica` < fh.replication() selects a
+// mirror. Shared by the µproxy's routing path and the coordinator's
+// degraded-region resync so both always agree on placement.
+inline uint32_t StripeSiteFor(const FileHandle& fh, uint64_t offset, uint32_t stripe_unit,
+                              uint32_t num_nodes, uint32_t replica = 0) {
+  const uint32_t k = fh.replication() == 0 ? 1 : fh.replication();
+  const uint64_t block = offset / stripe_unit;
+  return static_cast<uint32_t>((Fnv1a64(fh.bytes()) + block * k + replica) % num_nodes);
+}
+
 // Directory entries (readdir / readdirplus).
 struct DirEntry {
   uint64_t fileid = 0;

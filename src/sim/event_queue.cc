@@ -2,11 +2,22 @@
 
 namespace slice {
 
-void EventQueue::ScheduleAt(SimTime when, Action action) {
+void EventQueue::Push(SimTime when, Action action, bool background) {
   if (when < now_) {
     when = now_;
   }
-  heap_.push(Event{when, next_seq_++, std::move(action)});
+  if (!background) {
+    ++foreground_pending_;
+  }
+  heap_.push(Event{when, next_seq_++, background, std::move(action)});
+}
+
+void EventQueue::ScheduleAt(SimTime when, Action action) {
+  Push(when, std::move(action), in_background_);
+}
+
+void EventQueue::ScheduleBackgroundAt(SimTime when, Action action) {
+  Push(when, std::move(action), true);
 }
 
 bool EventQueue::RunOne() {
@@ -21,12 +32,19 @@ bool EventQueue::RunOne() {
   SLICE_CHECK(ev.when >= now_);
   now_ = ev.when;
   ++executed_;
+  if (!ev.background) {
+    SLICE_CHECK(foreground_pending_ > 0);
+    --foreground_pending_;
+  }
+  const bool prev_background = in_background_;
+  in_background_ = ev.background;
   ev.action();
+  in_background_ = prev_background;
   return true;
 }
 
 void EventQueue::RunUntilIdle() {
-  while (RunOne()) {
+  while (foreground_pending_ > 0 && RunOne()) {
   }
 }
 

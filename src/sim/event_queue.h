@@ -39,16 +39,30 @@ class EventQueue {
   SimTime now() const { return now_; }
   bool empty() const { return heap_.empty(); }
   size_t pending() const { return heap_.size(); }
+  // Queued events that are not background events (see below).
+  size_t foreground_pending() const { return foreground_pending_; }
 
   // Schedules `action` at absolute time `when` (clamped to now if earlier).
   // Events at equal times run in schedule order (FIFO), which keeps
-  // experiments deterministic.
+  // experiments deterministic. Events scheduled while a background event is
+  // executing inherit background status, so the whole causal chain of a
+  // background timer (RPC sends, network hops, replies) stays background.
   void ScheduleAt(SimTime when, Action action);
   void ScheduleAfter(SimTime delay, Action action) { ScheduleAt(now_ + delay, std::move(action)); }
 
+  // Background events model perpetual housekeeping (heartbeats, failure
+  // sweeps). They run normally under RunOne/RunUntil, but RunUntilIdle does
+  // not wait for them — otherwise a self-rearming timer would make it spin
+  // forever.
+  void ScheduleBackgroundAt(SimTime when, Action action);
+  void ScheduleBackgroundAfter(SimTime delay, Action action) {
+    ScheduleBackgroundAt(now_ + delay, std::move(action));
+  }
+
   // Runs the earliest event; returns false if the queue is empty.
   bool RunOne();
-  // Runs until no events remain.
+  // Runs until no foreground events remain (background events interleaved
+  // before the last foreground event still run, in time order).
   void RunUntilIdle();
   // Runs events with time <= deadline; leaves later events queued and
   // advances the clock to `deadline`.
@@ -61,6 +75,7 @@ class EventQueue {
   struct Event {
     SimTime when;
     uint64_t seq;
+    bool background;
     Action action;
   };
   struct Later {
@@ -72,10 +87,14 @@ class EventQueue {
     }
   };
 
+  void Push(SimTime when, Action action, bool background);
+
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
+  size_t foreground_pending_ = 0;
+  bool in_background_ = false;
 };
 
 // A serially reusable resource (a CPU, a disk arm, a link direction): jobs

@@ -1,34 +1,66 @@
 #include "src/sim/stats.h"
 
+#include <bit>
+
 namespace slice {
 
+size_t LatencyStats::BucketIndex(SimTime v) {
+  if (v < kSub) {
+    return static_cast<size_t>(v);
+  }
+  const int msb = 63 - std::countl_zero(v);
+  const uint32_t octave = static_cast<uint32_t>(msb) - kSubBits + 1;
+  const uint64_t sub = (v >> (msb - kSubBits)) & (kSub - 1);
+  return static_cast<size_t>(octave) * kSub + static_cast<size_t>(sub);
+}
+
+std::pair<SimTime, SimTime> LatencyStats::BucketBounds(size_t index) {
+  if (index < kSub) {
+    return {index, index + 1};
+  }
+  const uint64_t octave = index >> kSubBits;
+  const uint64_t sub = index & (kSub - 1);
+  const uint32_t shift = static_cast<uint32_t>(octave) - 1;
+  const SimTime lo = (kSub + sub) << shift;
+  return {lo, lo + (SimTime{1} << shift)};
+}
+
 SimTime LatencyStats::Percentile(double p) const {
-  if (samples_.empty()) {
+  if (count_ == 0) {
     return 0;
   }
-  std::sort(samples_.begin(), samples_.end());
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
-  const size_t idx = static_cast<size_t>(rank);
-  return samples_[std::min(idx, samples_.size() - 1)];
+  // Target the same sample the exact implementation would pick:
+  // the (floor(rank)+1)-th smallest, rank = p/100 * (count-1).
+  const double rank = p / 100.0 * static_cast<double>(count_ - 1);
+  const uint64_t target =
+      std::min<uint64_t>(static_cast<uint64_t>(rank) + 1, count_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t in_bucket = buckets_[i];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (cumulative + in_bucket >= target) {
+      const auto [lo, hi] = BucketBounds(i);
+      const uint64_t before = target - cumulative;  // 1-based within bucket
+      const double frac = (static_cast<double>(before) - 0.5) /
+                          static_cast<double>(in_bucket);
+      const SimTime est =
+          lo + static_cast<SimTime>(frac * static_cast<double>(hi - lo));
+      return std::clamp(est, min_, max_);
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
 }
 
 void OpCounters::Add(const std::string& name, uint64_t delta) {
-  for (auto& [key, value] : entries_) {
-    if (key == name) {
-      value += delta;
-      return;
-    }
-  }
-  entries_.emplace_back(name, delta);
+  entries_[name] += delta;
 }
 
 uint64_t OpCounters::Get(const std::string& name) const {
-  for (const auto& [key, value] : entries_) {
-    if (key == name) {
-      return value;
-    }
-  }
-  return 0;
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second;
 }
 
 std::string OpCounters::ToString() const {

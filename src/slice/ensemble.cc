@@ -8,6 +8,7 @@ constexpr NetAddr kDirBase = 0x0a000100;       // 10.0.1.x
 constexpr NetAddr kSfsBase = 0x0a000200;       // 10.0.2.x
 constexpr NetAddr kStorageBase = 0x0a000300;   // 10.0.3.x
 constexpr NetAddr kCoordBase = 0x0a000400;     // 10.0.4.x
+constexpr NetAddr kMgmtAddr = 0x0a000501;      // 10.0.5.1 (ensemble manager)
 constexpr NetAddr kClientBase = 0x0a000900;    // 10.0.9.x
 
 FileHandle BackingObject(uint8_t kind, uint32_t index, uint32_t volume, uint64_t secret) {
@@ -108,6 +109,46 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
   for (auto& server : dir_servers_) {
     server->SetPeers(dir_peers);
   }
+  storage_endpoints_ = storage_endpoints;
+
+  // --- ensemble manager and heartbeat agents ---
+  if (config_.mgmt.enabled) {
+    ClusterView view;
+    view.dir_servers = dir_endpoints;
+    view.small_file_servers = sfs_endpoints;
+    view.storage_nodes = storage_endpoints;
+    view.coordinators = coord_endpoints;
+    view.logical_slots = kDefaultLogicalSlots;
+    manager_ = std::make_unique<EnsembleManager>(*network_, queue_, kMgmtAddr,
+                                                 std::move(view), config_.mgmt);
+    manager_->SetReconfigureHook(
+        [this](const MgmtTableSet& tables, const std::vector<uint64_t>& died,
+               const std::vector<uint64_t>& revived) { OnReconfigure(tables, died, revived); });
+    auto add_agent = [&](Host& host, NodeClass cls, uint32_t index) {
+      HeartbeatAgentParams hb;
+      hb.node_class = cls;
+      hb.index = index;
+      hb.manager = manager_->endpoint();
+      hb.interval = config_.mgmt.heartbeat_interval;
+      heartbeat_agents_.push_back(std::make_unique<HeartbeatAgent>(host, queue_, hb));
+    };
+    for (size_t i = 0; i < storage_nodes_.size(); ++i) {
+      add_agent(storage_nodes_[i]->host(), NodeClass::kStorage, static_cast<uint32_t>(i));
+    }
+    for (size_t i = 0; i < small_file_servers_.size(); ++i) {
+      add_agent(small_file_servers_[i]->host(), NodeClass::kSfs, static_cast<uint32_t>(i));
+    }
+    for (size_t i = 0; i < coordinators_.size(); ++i) {
+      add_agent(coordinators_[i]->host(), NodeClass::kCoord, static_cast<uint32_t>(i));
+    }
+    for (size_t i = 0; i < dir_servers_.size(); ++i) {
+      add_agent(dir_servers_[i]->host(), NodeClass::kDir, static_cast<uint32_t>(i));
+    }
+    manager_->Start();
+    for (auto& agent : heartbeat_agents_) {
+      agent->Start();
+    }
+  }
 
   // --- clients with interposed µproxies ---
   for (size_t i = 0; i < config_.num_clients; ++i) {
@@ -125,12 +166,108 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
     up.stripe_unit = config_.stripe_unit;
     up.use_block_maps = config_.use_block_maps;
     up.per_packet_cpu_us = config_.cal.uproxy_cpu_us;
+    if (manager_) {
+      up.mgmt_enabled = true;
+      up.manager = manager_->endpoint();
+      // Fan-outs to a just-died node must fail well inside the client's own
+      // retransmission budget so the degraded path kicks in promptly.
+      up.own_rpc_params.retransmit_timeout = FromMillis(150);
+      up.own_rpc_params.max_transmissions = 3;
+    }
     uproxies_.push_back(
         std::make_unique<Uproxy>(*network_, queue_, *client_hosts_.back(), up));
+    if (manager_) {
+      manager_->Subscribe(Endpoint{client_hosts_.back()->addr(), kMgmtClientPort});
+    }
   }
 }
 
-Ensemble::~Ensemble() = default;
+Ensemble::~Ensemble() { *alive_ = false; }
+
+void Ensemble::OnReconfigure(const MgmtTableSet& tables, const std::vector<uint64_t>& died,
+                             const std::vector<uint64_t>& revived) {
+  // Install the epoch-stamped view on every directory server so misrouted
+  // requests draw jukebox + misdirect notices (lazy table distribution).
+  for (size_t i = 0; i < dir_servers_.size(); ++i) {
+    dir_servers_[i]->SetMgmtView(tables.epoch, static_cast<uint32_t>(i), tables.dir_slots);
+  }
+  // Remap the peer-protocol targets: peers[site] is the server the manager
+  // bound that site to (its adopter while the owner is dead).
+  if (!tables.dir_slots.empty()) {
+    std::vector<DirServer*> peers(dir_servers_.size());
+    for (size_t site = 0; site < peers.size(); ++site) {
+      peers[site] = dir_servers_[tables.dir_slots[site % tables.dir_slots.size()]].get();
+    }
+    for (auto& server : dir_servers_) {
+      server->SetPeers(peers);
+    }
+  }
+
+  for (uint64_t id : died) {
+    if (NodeIdClass(id) != NodeClass::kDir) {
+      continue;  // sfs/storage death is handled by µproxy liveness bits
+    }
+    const uint32_t site = NodeIdIndex(id);
+    if (site >= dir_servers_.size() || tables.dir_slots.empty() || !config_.dir_wal_enabled) {
+      continue;
+    }
+    DirServer* adopter = dir_servers_[tables.dir_slots[site]].get();
+    if (adopter == dir_servers_[site].get() || adopter->failed()) {
+      continue;  // no live replacement — the site stays down until rejoin
+    }
+    adopter->AdoptSite(site, storage_endpoints_[site % storage_endpoints_.size()],
+                       BackingObject(0xff, site, 1, config_.volume_secret));
+  }
+
+  for (uint64_t id : revived) {
+    switch (NodeIdClass(id)) {
+      case NodeClass::kDir: {
+        const uint32_t site = NodeIdIndex(id);
+        if (site >= dir_servers_.size()) {
+          break;
+        }
+        DirServer* target = dir_servers_[site].get();
+        for (auto& server : dir_servers_) {
+          if (server->adopted_sites().count(site) != 0) {
+            target->BeginHandoffHold();
+            ScheduleHandoff(server.get(), site, target);
+            break;
+          }
+        }
+        break;
+      }
+      case NodeClass::kStorage: {
+        // Resync the rejoined mirror: replay the degraded regions logged by
+        // µproxies while it was down.
+        const uint32_t node = NodeIdIndex(id);
+        for (auto& coord : coordinators_) {
+          coord->RepairNode(node);
+        }
+        break;
+      }
+      default:
+        break;  // sfs/coordinators recover from their own WALs on restart
+    }
+  }
+}
+
+void Ensemble::ScheduleHandoff(DirServer* adopter, uint32_t site, DirServer* target) {
+  queue_.ScheduleBackgroundAfter(FromMillis(1), [this, alive = alive_, adopter, site, target] {
+    if (!*alive) {
+      return;
+    }
+    if (adopter->failed() || target->failed()) {
+      target->EndHandoffHold();  // abandoned; a later reconfiguration retries
+      return;
+    }
+    if (target->recovering() || adopter->adopting()) {
+      ScheduleHandoff(adopter, site, target);
+      return;
+    }
+    adopter->HandoffSite(site, *target);
+    target->EndHandoffHold();
+  });
+}
 
 std::unique_ptr<SyncNfsClient> Ensemble::MakeSyncClient(size_t i) {
   return std::make_unique<SyncNfsClient>(client_host(i), queue_, virtual_server_);

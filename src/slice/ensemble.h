@@ -15,6 +15,8 @@
 #include "src/coord/coordinator.h"
 #include "src/core/uproxy.h"
 #include "src/dir/dir_server.h"
+#include "src/mgmt/heartbeat.h"
+#include "src/mgmt/manager.h"
 #include "src/nfs/nfs_client.h"
 #include "src/sfs/small_file_server.h"
 #include "src/slice/calibration.h"
@@ -43,6 +45,12 @@ struct EnsembleConfig {
   uint64_t storage_capacity_bytes = 64ull << 30;
   // FFS metadata amplification at the storage nodes (see StorageNodeParams).
   double storage_extra_meta_ios = 0.0;
+
+  // Ensemble control plane (src/mgmt): heartbeat failure detection,
+  // epoch-stamped routing tables, automated failover/rebalance. On by
+  // default; benches that model a static healthy ensemble turn it off to
+  // keep heartbeat traffic out of their measurements.
+  MgmtParams mgmt;
 };
 
 class Ensemble {
@@ -75,6 +83,9 @@ class Ensemble {
   Coordinator& coordinator(size_t i) { return *coordinators_.at(i); }
   size_t num_coordinators() const { return coordinators_.size(); }
 
+  // Ensemble manager; null when config.mgmt.enabled is false.
+  EnsembleManager* manager() { return manager_.get(); }
+
   // Convenience: a blocking NFS client mounted on client `i` through its
   // µproxy at the virtual server address.
   std::unique_ptr<SyncNfsClient> MakeSyncClient(size_t i);
@@ -84,6 +95,15 @@ class Ensemble {
   OpCounters AggregateCounters() const;
 
  private:
+  // Failover orchestration, invoked by the manager on every epoch change:
+  // installs dir-server views, remaps peers to adopters, replays dead sites'
+  // WALs into adopters, hands state back on rejoin, resyncs mirrors.
+  void OnReconfigure(const MgmtTableSet& tables, const std::vector<uint64_t>& died,
+                     const std::vector<uint64_t>& revived);
+  // Defers a handoff until the rejoined owner finishes WAL recovery and the
+  // adopter finishes any in-flight adoption.
+  void ScheduleHandoff(DirServer* adopter, uint32_t site, DirServer* target);
+
   EventQueue& queue_;
   EnsembleConfig config_;
   Endpoint virtual_server_;
@@ -94,6 +114,11 @@ class Ensemble {
   std::vector<std::unique_ptr<SmallFileServer>> small_file_servers_;
   std::vector<std::unique_ptr<Host>> client_hosts_;
   std::vector<std::unique_ptr<Uproxy>> uproxies_;
+  std::vector<Endpoint> storage_endpoints_;
+  std::unique_ptr<EnsembleManager> manager_;
+  std::vector<std::unique_ptr<HeartbeatAgent>> heartbeat_agents_;
+  // Guards deferred-handoff callbacks against outliving the ensemble.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace slice

@@ -52,6 +52,29 @@ TEST(RoutingTableTest, ReloadRemaps) {
   EXPECT_EQ(seen.size(), 4u);
 }
 
+TEST(RoutingTableDeathTest, EmptyTableLookupAborts) {
+  RoutingTable table;
+  ASSERT_TRUE(table.empty());
+  EXPECT_DEATH(table.SlotFor(7), "slots_");
+  EXPECT_DEATH(table.Lookup(7), "servers_");
+  EXPECT_DEATH(table.ByPhysical(0), "servers_");
+}
+
+TEST(RoutingTableTest, EpochStampsAndInstallAssignment) {
+  RoutingTable table(4, {{1, 1}, {2, 1}});
+  EXPECT_EQ(table.epoch(), 0u);
+  table.InstallAssignment(7, {{1, 1}, {2, 1}}, {1, 1, 0, 1});
+  EXPECT_EQ(table.epoch(), 7u);
+  EXPECT_EQ(table.BySlot(0).addr, 2u);
+  EXPECT_EQ(table.BySlot(2).addr, 1u);
+  EXPECT_EQ(table.PhysicalIndexOfSlot(3), 1u);
+}
+
+TEST(RoutingTableDeathTest, InstallAssignmentRejectsOutOfRangeSlot) {
+  RoutingTable table(4, {{1, 1}, {2, 1}});
+  EXPECT_DEATH(table.InstallAssignment(2, {{1, 1}, {2, 1}}, {0, 2}), "servers");
+}
+
 Bytes EncodeCall(NfsProc proc, const std::function<void(XdrEncoder&)>& args) {
   RpcCall call;
   call.xid = 42;

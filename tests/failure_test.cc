@@ -197,6 +197,146 @@ TEST_F(FailureTest, RepeatedCrashRestartCycles) {
   EXPECT_EQ(listing.size(), expected.size());
 }
 
+// End-to-end control-plane scenario: a storage node AND a directory server
+// die mid-workload on a lossy network. The manager must detect both within
+// the heartbeat timeout, install a higher-epoch table in every µproxy, and
+// the workload must complete with zero client-visible errors (kErrJukebox is
+// a retry signal, not an error). On rejoin the slots rebalance under a fresh
+// epoch and the mirrors resync.
+TEST(ControlPlaneE2eTest, WorkloadSurvivesStorageAndDirDeathUnderLoss) {
+  EventQueue queue;
+  EnsembleConfig config;
+  config.num_dir_servers = 2;
+  config.num_small_file_servers = 0;  // all I/O on the mirrored bulk path
+  config.num_storage_nodes = 4;
+  config.num_coordinators = 1;
+  config.name_policy = NamePolicy::kNameHashing;
+  config.default_replication = 2;
+  config.loss_rate = 0.005;
+  Ensemble ensemble(queue, config);
+  auto client = ensemble.MakeSyncClient(0);
+  const FileHandle root = ensemble.root();
+  EnsembleManager& mgr = *ensemble.manager();
+
+  int errors = 0;
+  auto check = [&](Nfsstat3 status, const char* what) {
+    if (status != Nfsstat3::kOk) {
+      ++errors;
+      ADD_FAILURE() << what << " -> " << static_cast<int>(status);
+    }
+  };
+  auto retry = [&](auto op) {
+    for (int attempt = 0;; ++attempt) {
+      auto res = op();
+      if (res.status != Nfsstat3::kErrJukebox || attempt >= 100) {
+        return res;
+      }
+      queue.RunUntil(queue.now() + FromMillis(10));
+    }
+  };
+
+  // Phase 1: healthy workload — 10 mirrored files, 2 x 32KB blocks each.
+  std::vector<std::string> names;
+  std::vector<FileHandle> files;
+  for (int i = 0; i < 10; ++i) {
+    names.push_back("work" + std::to_string(i));
+    CreateRes created = retry([&] { return client->Create(root, names.back()).value(); });
+    check(created.status, "create");
+    files.push_back(*created.object);
+    for (uint64_t b = 0; b < 2; ++b) {
+      check(client->Write(files.back(), b * 32768, Pattern(32768, static_cast<uint8_t>(i)),
+                          StableHow::kFileSync)
+                .value()
+                .status,
+            "write");
+    }
+  }
+  ensemble.dir_server(0).FlushLog();
+  ensemble.dir_server(1).FlushLog();
+  queue.RunUntilIdle();
+
+  // Phase 2: kill one storage node and one directory server mid-workload.
+  // Node 3 backs no WAL (dir0 -> node0, dir1 -> node1, coord -> node1).
+  const uint64_t epoch_before = mgr.current_epoch();
+  ensemble.storage_node(3).Fail();
+  ensemble.dir_server(1).Fail();
+  queue.RunUntil(queue.now() + FromMillis(800));
+  EXPECT_FALSE(mgr.NodeAlive(NodeClass::kStorage, 3));
+  EXPECT_FALSE(mgr.NodeAlive(NodeClass::kDir, 1));
+  EXPECT_GT(mgr.current_epoch(), epoch_before);
+  EXPECT_EQ(ensemble.uproxy(0).table_epoch(), mgr.current_epoch());
+  queue.RunUntil(queue.now() + FromMillis(300));  // adoption replay window
+
+  // Phase 3: the workload continues through the outage. Reads fail over to
+  // mirrors, writes go degraded, names on the dead server come from its
+  // adopter — zero errors end to end.
+  for (size_t i = 0; i < files.size(); ++i) {
+    LookupRes found = retry([&] { return client->Lookup(root, names[i]).value(); });
+    check(found.status, "outage lookup");
+    for (uint64_t b = 0; b < 2; ++b) {
+      ReadRes read =
+          retry([&] { return client->Read(files[i], b * 32768, 32768).value(); });
+      check(read.status, "outage read");
+      EXPECT_EQ(read.data, Pattern(32768, static_cast<uint8_t>(i))) << "file " << i;
+    }
+  }
+  // Overwrite a block guaranteed to have a replica on the dead node, so the
+  // outage leaves a degraded region behind.
+  size_t degraded_file = files.size();
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (ensemble.uproxy(0).StripeSite(files[i], 0, 0) == 3 ||
+        ensemble.uproxy(0).StripeSite(files[i], 0, 1) == 3) {
+      degraded_file = i;
+      break;
+    }
+  }
+  ASSERT_LT(degraded_file, files.size());
+  check(retry([&] {
+          return client->Write(files[degraded_file], 0, Pattern(32768, 0x77),
+                               StableHow::kFileSync)
+              .value();
+        }).status,
+        "degraded write");
+  for (int i = 0; i < 5; ++i) {
+    check(retry([&] { return client->Create(root, "outage" + std::to_string(i)).value(); })
+              .status,
+          "outage create");
+  }
+  queue.RunUntilIdle();
+  EXPECT_GE(ensemble.coordinator(0).degraded_count(3), 1u);
+
+  // Phase 4: both nodes rejoin; fresh epoch, handoff, mirror resync.
+  const uint64_t outage_epoch = mgr.current_epoch();
+  ensemble.network().set_loss_rate(0.0);
+  ensemble.storage_node(3).Restart();
+  ensemble.dir_server(1).Restart();
+  queue.RunUntil(queue.now() + FromMillis(2000));
+  queue.RunUntilIdle();
+  EXPECT_TRUE(mgr.NodeAlive(NodeClass::kStorage, 3));
+  EXPECT_TRUE(mgr.NodeAlive(NodeClass::kDir, 1));
+  EXPECT_GT(mgr.current_epoch(), outage_epoch);
+  EXPECT_EQ(ensemble.uproxy(0).table_epoch(), mgr.current_epoch());
+  EXPECT_TRUE(ensemble.dir_server(0).adopted_sites().empty());
+  EXPECT_EQ(ensemble.coordinator(0).degraded_count(3), 0u);
+  EXPECT_GE(ensemble.coordinator(0).repairs_run(), 1u);
+
+  // Phase 5: full readback — everything written before and during the
+  // outage, including names created while the dir server was down.
+  for (size_t i = 0; i < files.size(); ++i) {
+    const Bytes expect =
+        i == degraded_file ? Pattern(32768, 0x77) : Pattern(32768, static_cast<uint8_t>(i));
+    ReadRes read = retry([&] { return client->Read(files[i], 0, 32768).value(); });
+    check(read.status, "final read");
+    EXPECT_EQ(read.data, expect) << "file " << i;
+  }
+  for (int i = 0; i < 5; ++i) {
+    check(retry([&] { return client->Lookup(root, "outage" + std::to_string(i)).value(); })
+              .status,
+          "final lookup");
+  }
+  EXPECT_EQ(errors, 0) << "client-visible errors during failover";
+}
+
 TEST_F(FailureTest, CapabilityForgeryBlockedAtStorage) {
   // A µproxy outside the trust boundary can only touch what its client
   // could: a handle minted with the wrong secret is refused by every

@@ -2,6 +2,8 @@
 // disk model, stats.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <vector>
 
 #include "src/sim/disk.h"
@@ -70,6 +72,43 @@ TEST(EventQueueTest, RunUntilStopsAtDeadline) {
 TEST(EventQueueTest, RunOneReturnsFalseWhenEmpty) {
   EventQueue q;
   EXPECT_FALSE(q.RunOne());
+}
+
+TEST(EventQueueTest, BackgroundEventsDoNotHoldRunUntilIdle) {
+  EventQueue q;
+  int background_fired = 0;
+  int foreground_fired = 0;
+  // A self-rearming background timer (heartbeat-style) must not keep
+  // RunUntilIdle spinning once all foreground work has drained.
+  std::function<void()> tick = [&] {
+    ++background_fired;
+    if (background_fired < 1000) {
+      q.ScheduleBackgroundAfter(10, tick);
+    }
+  };
+  q.ScheduleBackgroundAfter(10, tick);
+  q.ScheduleAt(25, [&] { ++foreground_fired; });
+  q.RunUntilIdle();
+  EXPECT_EQ(foreground_fired, 1);
+  EXPECT_LT(background_fired, 5);  // stopped as soon as foreground drained
+  EXPECT_GE(q.now(), 25u);
+}
+
+TEST(EventQueueTest, BackgroundChainsInheritBackgroundStatus) {
+  // Events scheduled while a background event executes (RPC sends, network
+  // hops, replies) stay background: the whole causal chain of a heartbeat
+  // must never pin RunUntilIdle.
+  EventQueue q;
+  bool child_ran = false;
+  q.ScheduleBackgroundAt(10, [&] {
+    q.ScheduleAfter(5, [&] { child_ran = true; });  // inherits background
+  });
+  q.ScheduleAt(12, [] {});
+  q.RunUntilIdle();
+  EXPECT_EQ(q.foreground_pending(), 0u);
+  EXPECT_FALSE(child_ran);  // background child at t=15 is past the last foreground event
+  q.RunUntil(20);
+  EXPECT_TRUE(child_ran);  // but RunUntil drives background chains normally
 }
 
 TEST(BusyResourceTest, IdleResourceStartsImmediately) {
@@ -166,6 +205,45 @@ TEST(LatencyStatsTest, EmptyIsZero) {
   EXPECT_EQ(stats.count(), 0u);
   EXPECT_EQ(stats.Percentile(50), 0u);
   EXPECT_DOUBLE_EQ(stats.MeanMillis(), 0.0);
+}
+
+TEST(LatencyStatsTest, HistogramBoundsPercentileError) {
+  // The log-scale histogram guarantees relative error bounded by the
+  // sub-bucket resolution across many decades of latency.
+  LatencyStats stats;
+  std::vector<SimTime> samples;
+  uint64_t v = 130;  // ~1.3x growth per sample, spanning ns to seconds
+  for (int i = 0; i < 60; ++i) {
+    samples.push_back(v);
+    stats.Record(v);
+    v += v / 3 + 1;
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    const size_t rank =
+        std::min(samples.size() - 1, static_cast<size_t>(p / 100.0 * samples.size()));
+    const double exact = static_cast<double>(samples[rank]);
+    const double approx = static_cast<double>(stats.Percentile(p));
+    EXPECT_NEAR(approx, exact, exact * 0.35) << "p" << p;
+  }
+  // Exact aggregates are not approximated.
+  EXPECT_EQ(stats.count(), samples.size());
+  EXPECT_EQ(stats.min(), samples.front());
+  EXPECT_EQ(stats.max(), samples.back());
+}
+
+TEST(LatencyStatsTest, MergeCombinesHistograms) {
+  LatencyStats a;
+  LatencyStats b;
+  for (int i = 1; i <= 50; ++i) {
+    a.Record(static_cast<SimTime>(i) * 1000);
+    b.Record(static_cast<SimTime>(i + 50) * 1000);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_EQ(a.min(), 1000u);
+  EXPECT_EQ(a.max(), 100000u);
+  EXPECT_NEAR(static_cast<double>(a.Percentile(50)), 50000.0, 3000.0);
 }
 
 TEST(OpCountersTest, AddAndFormat) {
