@@ -75,6 +75,38 @@ inline SfsPoint RunSlicePoint(size_t storage_nodes, double offered) {
   return SfsPoint{offered, report.delivered_iops, report.mean_latency_ms};
 }
 
+// Same Slice point with end-to-end tracing enabled (--trace in the benches):
+// returns the delivered numbers plus the critical-path latency breakdown,
+// and optionally the full chrome://tracing JSON.
+inline SfsPoint RunSlicePointTraced(size_t storage_nodes, double offered,
+                                    obs::CriticalPathReport* report_out,
+                                    std::string* json_out = nullptr) {
+  EventQueue queue;
+  EnsembleConfig config;
+  config.mgmt.enabled = false;
+  config.num_storage_nodes = storage_nodes;
+  config.num_small_file_servers = 2;
+  config.num_dir_servers = 1;
+  config.num_clients = 4;
+  config.cal.storage_cache_mb = kSfsStorageCacheMb;
+  config.cal.sfs_cache_mb = kSfsSmallFileCacheMb;
+  config.storage_extra_meta_ios = kSfsMetaIos;
+  config.trace.enabled = true;
+  Ensemble ensemble(queue, config);
+  SfsParams params = ScaledSfsParams(offered);
+  SfsBenchmark bench(ensemble.client_host(0), queue, ensemble.virtual_server(),
+                     ensemble.root(), params);
+  SLICE_CHECK(bench.Setup().ok());
+  const SfsReport report = bench.Run();
+  if (report_out != nullptr) {
+    *report_out = ensemble.AnalyzeCriticalPath();
+  }
+  if (json_out != nullptr) {
+    *json_out = ensemble.ExportTraceJson();
+  }
+  return SfsPoint{offered, report.delivered_iops, report.mean_latency_ms};
+}
+
 inline SfsPoint RunBaselinePoint(double offered) {
   EventQueue queue;
   Network net(queue, NetworkParams{});

@@ -67,6 +67,17 @@ class Coordinator : public RpcServerNode {
     }
   }
 
+  // Intent-log appends and recovery fan-outs join the requesting trace.
+  void set_tracer(obs::Tracer* tracer) override {
+    RpcServerNode::set_tracer(tracer);
+    for (auto& client : node_clients_) {
+      client->set_tracer(tracer);
+    }
+    if (wal_) {
+      wal_->set_tracer(tracer);
+    }
+  }
+
  protected:
   RpcAcceptStat HandleCall(const RpcMessageView& call, XdrEncoder& reply,
                            ServiceCost& cost) override;

@@ -1,6 +1,7 @@
 #include "src/core/uproxy.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/common/logging.h"
 
@@ -47,6 +48,53 @@ SimTime Uproxy::ChargeCpu() {
   return cpu_.Acquire(queue_.now(), FromMicros(config_.per_packet_cpu_us));
 }
 
+SimTime Uproxy::ChargeCpu(const obs::TraceContext& ctx) {
+  const SimTime now = queue_.now();
+  const SimTime start = std::max(cpu_.busy_until(), now);
+  const SimTime done = cpu_.Acquire(now, FromMicros(config_.per_packet_cpu_us));
+  if (tracer_ != nullptr && ctx.valid()) {
+    if (start > now) {
+      tracer_->RecordSpan(client_host_.addr(), ctx, obs::SpanCat::kQueue, "uproxy_cpu_wait",
+                          now, start);
+    }
+    if (done > start) {
+      tracer_->RecordSpan(client_host_.addr(), ctx, obs::SpanCat::kCpu, "uproxy_cpu", start,
+                          done);
+    }
+  }
+  return done;
+}
+
+obs::TraceContext Uproxy::BeginTrace(Pending& pending, const char* route) {
+  if (tracer_ == nullptr || !tracer_->enabled()) {
+    return obs::TraceContext{};
+  }
+  if (pending.trace_id == 0) {
+    pending.trace_id = tracer_->NewTraceId();
+    pending.root_span_id = tracer_->NewSpanId();
+    pending.trace_start = queue_.now();
+    tracer_->RecordInstant(client_host_.addr(),
+                           obs::TraceContext{pending.trace_id, pending.root_span_id}, route,
+                           queue_.now());
+  } else {
+    tracer_->RecordInstant(client_host_.addr(),
+                           obs::TraceContext{pending.trace_id, pending.root_span_id},
+                           "client_retransmit", queue_.now());
+  }
+  return obs::TraceContext{pending.trace_id, pending.root_span_id};
+}
+
+void Uproxy::FinishTrace(const Pending& pending, SimTime end) {
+  if (tracer_ == nullptr || pending.trace_id == 0) {
+    return;
+  }
+  char name[obs::kSpanNameCap];
+  std::snprintf(name, sizeof(name), "op:%s", NfsProcName(pending.proc));
+  tracer_->RecordSpan(client_host_.addr(),
+                      obs::TraceContext{pending.trace_id, pending.root_span_id},
+                      obs::SpanCat::kOther, name, pending.trace_start, end, /*root=*/true);
+}
+
 void Uproxy::DropSoftState() {
   pending_.clear();
   attr_cache_.Clear();
@@ -55,6 +103,7 @@ void Uproxy::DropSoftState() {
   // compromising correctness" (§2.1): in-flight µproxy-originated calls die
   // too; coordinators finish any orphaned multi-site operations.
   own_rpc_ = std::make_unique<RpcClient>(client_host_, queue_, config_.own_rpc_params);
+  own_rpc_->set_tracer(tracer_);
   table_fetch_inflight_ = false;
   counters_.Add("soft_state_drops");
 }
@@ -264,13 +313,13 @@ void Uproxy::HandleOutbound(Packet&& pkt) {
                        } else {
                          target = config_.storage_nodes[StripeSite(req.fh, req.offset)];
                        }
-                       ForwardRequest(std::move(*held), req, target);
+                       ForwardRequest(std::move(*held), req, target, "route:map");
                      });
       return;
     }
     const Endpoint target =
         config_.storage_nodes[map_it->second[block] % config_.storage_nodes.size()];
-    ForwardRequest(std::move(pkt), req, target);
+    ForwardRequest(std::move(pkt), req, target, "route:map");
     return;
   }
 
@@ -302,16 +351,16 @@ void Uproxy::HandleOutbound(Packet&& pkt) {
                     }
                   });
       }
-      ForwardRequest(std::move(pkt), req, route.target);
+      ForwardRequest(std::move(pkt), req, route.target, "route:dir");
       return;
     }
     case RouteClass::kSmallFile:
       counters_.Add("routed_sfs");
-      ForwardRequest(std::move(pkt), req, route.target);
+      ForwardRequest(std::move(pkt), req, route.target, "route:sfs");
       return;
     case RouteClass::kStorage:
       counters_.Add("routed_storage");
-      ForwardRequest(std::move(pkt), req, route.target);
+      ForwardRequest(std::move(pkt), req, route.target, "route:storage");
       return;
     case RouteClass::kMirrorWrite:
       counters_.Add("mirrored_writes");
@@ -325,7 +374,8 @@ void Uproxy::HandleOutbound(Packet&& pkt) {
         const AttrCache::Entry* entry = attr_cache_.Find(req.fh.fileid());
         if (entry != nullptr && entry->attr.size <= config_.threshold) {
           counters_.Add("small_commits");
-          ForwardRequest(std::move(pkt), req, sfs_table_.Lookup(MixU64(req.fh.fileid())));
+          ForwardRequest(std::move(pkt), req, sfs_table_.Lookup(MixU64(req.fh.fileid())),
+                         "route:small_commit");
           return;
         }
       }
@@ -336,7 +386,8 @@ void Uproxy::HandleOutbound(Packet&& pkt) {
   }
 }
 
-void Uproxy::ForwardRequest(Packet&& pkt, const DecodedRequest& req, Endpoint target) {
+void Uproxy::ForwardRequest(Packet&& pkt, const DecodedRequest& req, Endpoint target,
+                            const char* route) {
   if (pending_.size() >= kMaxPending) {
     pending_.clear();  // soft state; clients retransmit
   }
@@ -357,9 +408,13 @@ void Uproxy::ForwardRequest(Packet&& pkt, const DecodedRequest& req, Endpoint ta
       FetchTables();
     }
   }
+  const obs::TraceContext ctx = BeginTrace(it->second, route);
 
   pkt.RewriteDst(target);
-  const SimTime ready = ChargeCpu();
+  if (ctx.valid()) {
+    pkt.AttachTrace(ctx.trace_id, ctx.span_id);
+  }
+  const SimTime ready = ChargeCpu(ctx);
   auto shared = std::make_shared<Packet>(std::move(pkt));
   queue_.ScheduleAt(ready, [this, shared, alive = alive_]() {
     if (*alive) {
@@ -394,6 +449,11 @@ void Uproxy::HandleInbound(Packet&& pkt) {
   }
   Pending pending = it->second;
   pending_.erase(it);
+
+  // Reply-side work (attr writebacks, remove/truncate fan-outs) chains into
+  // the originating trace.
+  const obs::TraceContext ctx{pending.trace_id, pending.root_span_id};
+  obs::ScopedContext scope(tracer_, ctx);
 
   if (reply.stat == RpcAcceptStat::kSuccess) {
     // Track I/O side effects on attributes, then patch a complete, current
@@ -430,7 +490,8 @@ void Uproxy::HandleInbound(Packet&& pkt) {
   }
 
   pkt.RewriteSrc(config_.virtual_server);
-  const SimTime ready = ChargeCpu();
+  const SimTime ready = ChargeCpu(ctx);
+  FinishTrace(pending, ready);
   const NetAddr client_addr = pkt.dst_addr();
   auto shared = std::make_shared<Packet>(std::move(pkt));
   queue_.ScheduleAt(ready, [this, client_addr, shared, alive = alive_]() {
@@ -633,6 +694,22 @@ void Uproxy::ReplyToClient(Endpoint client, uint32_t xid, const Bytes& result_bo
   reply.xid = xid;
   reply.result = result_body;
   Packet pkt = Packet::MakeUdp(config_.virtual_server, client, reply.Encode());
+  // Absorbed operations (and synthesized errors) end here: the pending record
+  // is still present — callers erase it after this — so the root can close at
+  // the moment the reply is handed to the client.
+  obs::TraceContext ctx;
+  if (const auto it = pending_.find(KeyOf(client.port, xid)); it != pending_.end()) {
+    ctx = obs::TraceContext{it->second.trace_id, it->second.root_span_id};
+    const SimTime ready = ChargeCpu(ctx);
+    FinishTrace(it->second, ready);
+    auto shared = std::make_shared<Packet>(std::move(pkt));
+    queue_.ScheduleAt(ready, [this, client, shared, alive = alive_]() {
+      if (*alive) {
+        net_.DeliverLocal(client.addr, std::move(*shared));
+      }
+    });
+    return;
+  }
   const SimTime ready = ChargeCpu();
   auto shared = std::make_shared<Packet>(std::move(pkt));
   queue_.ScheduleAt(ready, [this, client, shared, alive = alive_]() {
@@ -818,12 +895,21 @@ void Uproxy::AbsorbMirrorWrite(const DecodedRequest& req, Endpoint client, ByteS
   pending.offset = args.offset;
   pending.count = args.count;
   pending.absorbed = true;
-  pending_[KeyOf(client.port, req.xid)] = pending;
+  Pending& stored = pending_[KeyOf(client.port, req.xid)];
+  stored = pending;
+  const obs::TraceContext ctx = BeginTrace(stored, "route:mirror_write");
 
   // Duplicating the payload for the extra replicas costs client-host CPU.
-  cpu_.Acquire(queue_.now(),
-               static_cast<SimTime>(static_cast<double>(args.data.size()) *
-                                    (replication - 1) * config_.mirror_copy_ns_per_byte));
+  const SimTime copy_now = queue_.now();
+  const SimTime copy_start = std::max(cpu_.busy_until(), copy_now);
+  const SimTime copy_done =
+      cpu_.Acquire(copy_now,
+                   static_cast<SimTime>(static_cast<double>(args.data.size()) *
+                                        (replication - 1) * config_.mirror_copy_ns_per_byte));
+  if (tracer_ != nullptr && ctx.valid() && copy_done > copy_start) {
+    tracer_->RecordSpan(client_host_.addr(), ctx, obs::SpanCat::kCpu, "mirror_copy",
+                        copy_start, copy_done);
+  }
 
   // Partition the replica set by manager-reported liveness: live replicas
   // take the write now; dead ones become degraded regions the coordinator
@@ -836,12 +922,15 @@ void Uproxy::AbsorbMirrorWrite(const DecodedRequest& req, Endpoint client, ByteS
   }
   if (live_nodes.empty()) {
     counters_.Add("unavailable_rejected");
-    pending_.erase(KeyOf(client.port, req.xid));
     SynthesizeErrorReply(req, client, Nfsstat3::kErrIo);
+    pending_.erase(KeyOf(client.port, req.xid));
     return;
   }
   const bool log_degraded = !dead_nodes.empty() && !config_.coordinators.empty();
 
+  // Fan-out calls issued below (intent log, replica writes, degraded-region
+  // acks) all inherit this context through own_rpc_.
+  obs::ScopedContext scope(tracer_, ctx);
   WithIntent(IntentOp::kMirrorWrite, args.file, args.offset,
              [this, args, client, req, live_nodes, dead_nodes,
               log_degraded](std::function<void()> complete) {
@@ -858,9 +947,9 @@ void Uproxy::AbsorbMirrorWrite(const DecodedRequest& req, Endpoint client, ByteS
                    return;
                  }
                  complete();
-                 pending_.erase(KeyOf(client.port, req.xid));
                  if (*failures > 0 || results->empty()) {
                    counters_.Add("mirror_write_failures");
+                   pending_.erase(KeyOf(client.port, req.xid));
                    return;  // stay silent; client retransmits
                  }
                  attr_cache_.NoteWrite(args.file.fileid(), args.offset + args.count,
@@ -880,6 +969,7 @@ void Uproxy::AbsorbMirrorWrite(const DecodedRequest& req, Endpoint client, ByteS
                  XdrEncoder enc;
                  merged.Encode(enc);
                  ReplyToClient(client, req.xid, enc.bytes());
+                 pending_.erase(KeyOf(client.port, req.xid));
                };
                if (log_degraded) {
                  for (uint32_t node : dead_nodes) {
@@ -912,7 +1002,10 @@ void Uproxy::AbsorbMultiCommit(const DecodedRequest& req, Endpoint client) {
   pending.proc = NfsProc::kCommit;
   pending.fh = req.fh;
   pending.absorbed = true;
-  pending_[KeyOf(client.port, req.xid)] = pending;
+  Pending& stored = pending_[KeyOf(client.port, req.xid)];
+  stored = pending;
+  const obs::TraceContext ctx = BeginTrace(stored, "route:multi_commit");
+  obs::ScopedContext scope(tracer_, ctx);
 
   // Commit pushes the file's attribute view back to the directory service.
   if (const AttrCache::Entry* entry = attr_cache_.Find(req.fh.fileid());
@@ -938,8 +1031,8 @@ void Uproxy::AbsorbMultiCommit(const DecodedRequest& req, Endpoint client) {
   }
   if (targets.empty()) {
     counters_.Add("unavailable_rejected");
-    pending_.erase(KeyOf(client.port, req.xid));
     SynthesizeErrorReply(req, client, Nfsstat3::kErrIo);
+    pending_.erase(KeyOf(client.port, req.xid));
     return;
   }
 
@@ -962,9 +1055,9 @@ void Uproxy::AbsorbMultiCommit(const DecodedRequest& req, Endpoint client) {
                         return;
                       }
                       complete();
-                      pending_.erase(KeyOf(client.port, req.xid));
                       if (*failures > 0) {
                         counters_.Add("commit_failures");
+                        pending_.erase(KeyOf(client.port, req.xid));
                         return;
                       }
                       CommitRes merged;
@@ -976,6 +1069,7 @@ void Uproxy::AbsorbMultiCommit(const DecodedRequest& req, Endpoint client) {
                       XdrEncoder enc;
                       merged.Encode(enc);
                       ReplyToClient(client, req.xid, enc.bytes());
+                      pending_.erase(KeyOf(client.port, req.xid));
                     });
         }
       });

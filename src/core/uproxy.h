@@ -31,6 +31,7 @@
 #include "src/dir/dir_server.h"
 #include "src/mgmt/mgmt_proto.h"
 #include "src/net/host.h"
+#include "src/obs/trace.h"
 #include "src/rpc/rpc_client.h"
 #include "src/sim/stats.h"
 
@@ -115,6 +116,14 @@ class Uproxy : public PacketTap {
   const AttrCache& attr_cache() const { return attr_cache_; }
   size_t pending_count() const { return pending_.size(); }
 
+  // Observability: the µproxy is where traces begin — each intercepted
+  // client request is assigned a trace id, its root span spans intercept to
+  // reply delivery, and the context is attached to every forwarded packet.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    own_rpc_->set_tracer(tracer);
+  }
+
   // --- routing decisions, exposed for tests and the Table 3 bench ---
 
   // Target server class for one decoded request.
@@ -151,6 +160,10 @@ class Uproxy : public PacketTap {
     // Client retransmissions seen; repeated retransmission of the same call
     // suggests a stale routing table (the target may be dead).
     uint8_t retransmits = 0;
+    // Trace root assigned at intercept (0 when tracing is off).
+    uint64_t trace_id = 0;
+    uint64_t root_span_id = 0;
+    SimTime trace_start = 0;
   };
   struct PendingKey {
     uint32_t port_xid;  // (client port << 32) | xid packed below
@@ -164,9 +177,18 @@ class Uproxy : public PacketTap {
 
   NfsTime Now() const;
   SimTime ChargeCpu();
+  // Traced variant: records queue + cpu spans for the charge under `ctx`.
+  SimTime ChargeCpu(const obs::TraceContext& ctx);
+
+  // Trace bookkeeping: mints (or re-uses, on client retransmission) the
+  // trace root for `pending`, recording a `route` marker on first sight.
+  obs::TraceContext BeginTrace(Pending& pending, const char* route);
+  // Records the root span for a completed operation ending at `end`.
+  void FinishTrace(const Pending& pending, SimTime end);
 
   // Simple rewrite-and-forward path.
-  void ForwardRequest(Packet&& pkt, const DecodedRequest& req, Endpoint target);
+  void ForwardRequest(Packet&& pkt, const DecodedRequest& req, Endpoint target,
+                      const char* route);
   void PassThroughOutbound(Packet&& pkt);
 
   // Absorb paths (the µproxy acts as a client toward the ensemble).
@@ -223,6 +245,7 @@ class Uproxy : public PacketTap {
   RoutingTable dir_table_;
   RoutingTable sfs_table_;
   AttrCache attr_cache_;
+  obs::Tracer* tracer_ = nullptr;
   std::unique_ptr<RpcClient> own_rpc_;  // µproxy-originated traffic
   BusyResource cpu_;
   std::unordered_map<uint64_t, Pending> pending_;

@@ -83,6 +83,14 @@ class DirServer : public RpcServerNode {
     }
   }
 
+  // WAL appends issued by a traced mutation join the request's trace.
+  void set_tracer(obs::Tracer* tracer) override {
+    RpcServerNode::set_tracer(tracer);
+    if (wal_) {
+      wal_->set_tracer(tracer);
+    }
+  }
+
   // --- ensemble control-plane integration (src/mgmt) ---
 
   // Installs the manager's epoch-stamped view: slots[s] is the physical dir

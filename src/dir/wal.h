@@ -45,6 +45,9 @@ class WriteAheadLog {
   uint64_t records_logged() const { return records_; }
   uint64_t flushes() const { return flushes_; }
 
+  // Log appends issued while a traced request is in scope join its trace.
+  void set_tracer(obs::Tracer* tracer) { client_.set_tracer(tracer); }
+
  private:
   void ArmFlushTimer();
   void ReplayChunk(uint64_t offset, Bytes carry, std::function<void(ByteSpan)> on_record,

@@ -1,5 +1,7 @@
 #include "src/net/network.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 
 namespace slice {
@@ -51,8 +53,17 @@ void Network::Send(Packet&& pkt) {
 void Network::Inject(Packet&& pkt) { Transmit(std::move(pkt)); }
 
 void Network::Transmit(Packet&& pkt) {
+  // Span context, if the packet carries one and tracing is on.
+  obs::TraceContext ctx;
+  if (tracer_ != nullptr) {
+    pkt.PeekTrace(&ctx.trace_id, &ctx.span_id);
+  }
+
   if (failed_.contains(pkt.src_addr())) {
     ++packets_dropped_;
+    if (tracer_ != nullptr) {
+      tracer_->RecordInstant(pkt.src_addr(), ctx, "drop:src_dead", queue_.now());
+    }
     return;
   }
   auto src_it = hosts_.find(pkt.src_addr());
@@ -66,22 +77,38 @@ void Network::Transmit(Packet&& pkt) {
 
   if (params_.loss_rate > 0 && loss_rng_.NextBool(params_.loss_rate)) {
     ++packets_dropped_;
+    if (tracer_ != nullptr) {
+      tracer_->RecordInstant(pkt.src_addr(), ctx, "drop:loss", queue_.now());
+    }
     SLICE_DLOG << "net: dropping packet " << EndpointToString(pkt.src()) << " -> "
                << EndpointToString(pkt.dst());
     return;
   }
 
   const SimTime wire = static_cast<SimTime>(static_cast<double>(pkt.size()) * ns_per_byte_);
+  const SimTime tx_start = std::max(src_it->second.tx.busy_until(), queue_.now());
   const SimTime tx_done = src_it->second.tx.Acquire(queue_.now(), wire);
   const SimTime arrival = tx_done + FromMicros(params_.switch_latency_us);
+  if (tracer_ != nullptr && ctx.valid()) {
+    const NetAddr src = pkt.src_addr();
+    if (tx_start > queue_.now()) {
+      tracer_->RecordSpan(src, ctx, obs::SpanCat::kQueue, "nic_tx_wait", queue_.now(),
+                          tx_start);
+    }
+    // Transmit serialization plus the store-and-forward switch hop.
+    tracer_->RecordSpan(src, ctx, obs::SpanCat::kWire, "wire_tx", tx_start, arrival);
+  }
 
   // Receiver-side serialization is applied at arrival time; we capture the
   // packet by value in the scheduled closure.
   auto shared = std::make_shared<Packet>(std::move(pkt));
-  queue_.ScheduleAt(arrival, [this, shared, wire]() {
+  queue_.ScheduleAt(arrival, [this, shared, wire, ctx]() {
     const NetAddr dst = shared->dst_addr();
     if (failed_.contains(dst)) {
       ++packets_dropped_;
+      if (tracer_ != nullptr) {
+        tracer_->RecordInstant(dst, ctx, "drop:dst_dead", queue_.now());
+      }
       return;
     }
     auto it = hosts_.find(dst);
@@ -89,12 +116,23 @@ void Network::Transmit(Packet&& pkt) {
       ++packets_dropped_;
       return;
     }
+    const SimTime rx_start = std::max(it->second.rx.busy_until(), queue_.now());
     const SimTime rx_done = it->second.rx.Acquire(queue_.now(), wire);
-    queue_.ScheduleAt(rx_done, [this, shared]() {
+    if (tracer_ != nullptr && ctx.valid()) {
+      if (rx_start > queue_.now()) {
+        tracer_->RecordSpan(dst, ctx, obs::SpanCat::kQueue, "nic_rx_wait", queue_.now(),
+                            rx_start);
+      }
+      tracer_->RecordSpan(dst, ctx, obs::SpanCat::kWire, "wire_rx", rx_start, rx_done);
+    }
+    queue_.ScheduleAt(rx_done, [this, shared, ctx]() {
       const NetAddr addr = shared->dst_addr();
       auto host_it = hosts_.find(addr);
       if (host_it == hosts_.end() || failed_.contains(addr)) {
         ++packets_dropped_;
+        if (tracer_ != nullptr) {
+          tracer_->RecordInstant(addr, ctx, "drop:dst_dead", queue_.now());
+        }
         return;
       }
       if (host_it->second.tap != nullptr) {

@@ -18,6 +18,7 @@
 
 #include "src/common/rng.h"
 #include "src/net/packet.h"
+#include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 
 namespace slice {
@@ -74,6 +75,11 @@ class Network {
 
   void set_loss_rate(double rate) { params_.loss_rate = rate; }
 
+  // Observability: when set, packets carrying a trace trailer get per-hop
+  // wire/queue spans and drop markers recorded (src/obs).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() { return tracer_; }
+
   EventQueue& queue() { return queue_; }
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_dropped() const { return packets_dropped_; }
@@ -91,6 +97,7 @@ class Network {
 
   EventQueue& queue_;
   NetworkParams params_;
+  obs::Tracer* tracer_ = nullptr;
   double ns_per_byte_;
   std::unordered_map<NetAddr, Host> hosts_;
   std::unordered_map<NetAddr, bool> failed_;

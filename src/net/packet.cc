@@ -50,7 +50,56 @@ Packet Packet::MakeUdp(Endpoint src, Endpoint dst, ByteSpan payload) {
 
 bool Packet::IsValidUdp() const {
   return data_.size() >= kPacketHeaderSize && data_[0] == 0x45 && data_[9] == kProtoUdp &&
-         GetU16(data_.data() + 2) == data_.size();
+         GetU16(data_.data() + 2) == DatagramSize();
+}
+
+bool Packet::HasTrace() const {
+  if (data_.size() < kPacketHeaderSize + kTraceTrailerSize) {
+    return false;
+  }
+  const uint8_t* tail = data_.data() + data_.size() - kTraceTrailerSize;
+  // The IP total-length field is 16-bit but the simulator lets jumbo
+  // datagrams (bulk 100KB+ writes) ride in one frame with the field
+  // truncated, so the length relationship is checked modulo 2^16.
+  return GetU32(tail) == kTraceTrailerMagic &&
+         GetU16(data_.data() + 2) ==
+             static_cast<uint16_t>(data_.size() - kTraceTrailerSize);
+}
+
+void Packet::AttachTrace(uint64_t trace_id, uint64_t span_id) {
+  if (HasTrace()) {
+    uint8_t* tail = data_.data() + data_.size() - kTraceTrailerSize;
+    PutU64(tail + 4, trace_id);
+    PutU64(tail + 12, span_id);
+    return;
+  }
+  const size_t at = data_.size();
+  data_.resize(at + kTraceTrailerSize);
+  PutU32(&data_[at], kTraceTrailerMagic);
+  PutU64(&data_[at + 4], trace_id);
+  PutU64(&data_[at + 12], span_id);
+}
+
+bool Packet::PeekTrace(uint64_t* trace_id, uint64_t* span_id) const {
+  if (!HasTrace()) {
+    return false;
+  }
+  const uint8_t* tail = data_.data() + data_.size() - kTraceTrailerSize;
+  if (trace_id != nullptr) {
+    *trace_id = GetU64(tail + 4);
+  }
+  if (span_id != nullptr) {
+    *span_id = GetU64(tail + 12);
+  }
+  return true;
+}
+
+bool Packet::DetachTrace(uint64_t* trace_id, uint64_t* span_id) {
+  if (!PeekTrace(trace_id, span_id)) {
+    return false;
+  }
+  data_.resize(data_.size() - kTraceTrailerSize);
+  return true;
 }
 
 uint32_t Packet::UdpPseudoHeaderSum() const {
@@ -60,7 +109,7 @@ uint32_t Packet::UdpPseudoHeaderSum() const {
   PutU32(pseudo + 4, dst_addr());
   pseudo[8] = 0;
   pseudo[9] = kProtoUdp;
-  PutU16(pseudo + 10, static_cast<uint16_t>(data_.size() - kIpHeaderSize));
+  PutU16(pseudo + 10, static_cast<uint16_t>(DatagramSize() - kIpHeaderSize));
   return OnesComplementSum(ByteSpan(pseudo, sizeof(pseudo)));
 }
 
@@ -72,7 +121,7 @@ void Packet::RecomputeChecksums() {
   PutU16(&data_[10], ip_sum);
 
   uint16_t udp_sum =
-      InetChecksum(ByteSpan(data_.data() + kIpHeaderSize, data_.size() - kIpHeaderSize),
+      InetChecksum(ByteSpan(data_.data() + kIpHeaderSize, DatagramSize() - kIpHeaderSize),
                    UdpPseudoHeaderSum());
   if (udp_sum == 0) {
     udp_sum = 0xffff;  // RFC 768: transmitted as all-ones if computed zero
@@ -111,7 +160,7 @@ void Packet::RewriteBytes(size_t offset, ByteSpan new_bytes) {
   SLICE_CHECK(offset >= kPacketHeaderSize);  // headers go through RewriteSrc/Dst
   SLICE_CHECK(offset % 2 == 0);
   SLICE_CHECK(new_bytes.size() % 2 == 0);
-  SLICE_CHECK(offset + new_bytes.size() <= data_.size());
+  SLICE_CHECK(offset + new_bytes.size() <= DatagramSize());  // trailer is off-limits
   RewriteField(offset, new_bytes, /*in_udp_pseudo_header=*/false);
 }
 

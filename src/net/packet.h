@@ -25,6 +25,16 @@ constexpr size_t kUdpHeaderSize = 8;
 constexpr size_t kPacketHeaderSize = kIpHeaderSize + kUdpHeaderSize;
 constexpr uint8_t kProtoUdp = 17;
 
+// Trace-context trailer (src/obs): magic + trace id + span id appended
+// *after* the IP datagram, like a link-layer FCS — outside the IP total
+// length, outside both checksums, and invisible to payload() parsers. A
+// trailer is recognized only when the magic matches AND the (16-bit,
+// modulo-2^16 for jumbo datagrams) IP length field is exactly trailer-size
+// short of the buffer, so arbitrary fuzzed bytes cannot alias into one
+// without also faking the length relationship.
+constexpr uint32_t kTraceTrailerMagic = 0x7ace51ce;
+constexpr size_t kTraceTrailerSize = 4 + 8 + 8;
+
 // A socket-style endpoint identity.
 struct Endpoint {
   NetAddr addr = 0;
@@ -71,11 +81,26 @@ class Packet {
   // Recomputes both checksums from scratch (used by builders and tests).
   void RecomputeChecksums();
 
+  // --- trace-context trailer (src/obs) ---
+  //
+  // Appends (or rewrites in place) the span-context trailer. Checksum
+  // neutral: the trailer lives beyond the IP total length, so the checksums,
+  // payload() and all rewrite paths are unaffected by its presence.
+  void AttachTrace(uint64_t trace_id, uint64_t span_id);
+  // True when a structurally consistent trailer is present.
+  bool HasTrace() const;
+  // Non-destructive read of the trailer ids; false when absent.
+  bool PeekTrace(uint64_t* trace_id, uint64_t* span_id) const;
+  // Strips the trailer (returning its ids when requested); false when absent.
+  bool DetachTrace(uint64_t* trace_id = nullptr, uint64_t* span_id = nullptr);
+
   ByteSpan payload() const {
-    return ByteSpan(data_).subspan(kPacketHeaderSize, data_.size() - kPacketHeaderSize);
+    return ByteSpan(data_).subspan(kPacketHeaderSize,
+                                   DatagramSize() - kPacketHeaderSize);
   }
   MutableByteSpan mutable_payload() {
-    return MutableByteSpan(data_).subspan(kPacketHeaderSize, data_.size() - kPacketHeaderSize);
+    return MutableByteSpan(data_).subspan(kPacketHeaderSize,
+                                          DatagramSize() - kPacketHeaderSize);
   }
 
   size_t size() const { return data_.size(); }
@@ -86,6 +111,9 @@ class Packet {
   // Rewrites a 16-bit-aligned region and patches both checksums.
   void RewriteField(size_t offset, ByteSpan new_bytes, bool in_udp_pseudo_header);
   uint32_t UdpPseudoHeaderSum() const;
+  // Buffer size minus any trace trailer: the extent of the IP datagram that
+  // length fields, checksums and payload() reason about.
+  size_t DatagramSize() const { return data_.size() - (HasTrace() ? kTraceTrailerSize : 0); }
 
   Bytes data_;
 };

@@ -53,6 +53,7 @@ class NfsClient {
 
   Endpoint server() const { return server_; }
   RpcClient& rpc() { return rpc_; }
+  void set_tracer(obs::Tracer* tracer) { rpc_.set_tracer(tracer); }
 
  private:
   template <typename Res>

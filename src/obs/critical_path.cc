@@ -1,0 +1,149 @@
+#include "src/obs/critical_path.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace slice::obs {
+namespace {
+
+struct Boundary {
+  SimTime at;
+  int priority;
+  SpanCat cat;
+  bool open;
+};
+
+// Attributes the root window of one trace using a boundary sweep over its
+// segment spans (already clipped to the window by the caller).
+void SweepTrace(const Span& root, const std::vector<Span>& segments, CatBreakdown& out) {
+  out.ops += 1;
+  out.total += root.end - root.start;
+
+  std::vector<Boundary> bounds;
+  bounds.reserve(segments.size() * 2);
+  for (const Span& s : segments) {
+    bounds.push_back(Boundary{s.start, SpanCatPriority(s.cat), s.cat, true});
+    bounds.push_back(Boundary{s.end, SpanCatPriority(s.cat), s.cat, false});
+  }
+  std::sort(bounds.begin(), bounds.end(), [](const Boundary& a, const Boundary& b) {
+    if (a.at != b.at) {
+      return a.at < b.at;
+    }
+    return a.open < b.open;  // closes before opens at the same instant
+  });
+
+  // Active span count per category; the attributed category of an interval
+  // is the highest-priority one with a nonzero count.
+  std::array<uint32_t, kNumSpanCats> active{};
+  SimTime cursor = root.start;
+  size_t i = 0;
+  auto attribute = [&](SimTime upto) {
+    if (upto <= cursor) {
+      return;
+    }
+    int best_priority = -1;
+    SpanCat best = SpanCat::kOther;
+    for (size_t c = 0; c < kNumSpanCats; ++c) {
+      if (active[c] > 0 && SpanCatPriority(static_cast<SpanCat>(c)) > best_priority) {
+        best_priority = SpanCatPriority(static_cast<SpanCat>(c));
+        best = static_cast<SpanCat>(c);
+      }
+    }
+    out.by_cat[static_cast<size_t>(best)] += upto - cursor;
+    cursor = upto;
+  };
+
+  // Segments are pre-clipped to [root.start, root.end], so every boundary
+  // falls inside the window.
+  while (i < bounds.size()) {
+    const SimTime at = bounds[i].at;
+    attribute(at);
+    while (i < bounds.size() && bounds[i].at == at) {
+      const size_t c = static_cast<size_t>(bounds[i].cat);
+      if (bounds[i].open) {
+        ++active[c];
+      } else if (active[c] > 0) {
+        --active[c];
+      }
+      ++i;
+    }
+  }
+  attribute(root.end);
+}
+
+}  // namespace
+
+CriticalPathReport CriticalPath::Analyze(const std::vector<Span>& spans) {
+  CriticalPathReport report;
+
+  // Group by trace: find each trace's root and its candidate segments.
+  std::map<uint64_t, const Span*> roots;
+  std::map<uint64_t, std::vector<Span>> segments;
+  for (const Span& s : spans) {
+    if (s.root) {
+      roots[s.trace_id] = &s;
+    } else if (!s.instant && s.end > s.start) {
+      segments[s.trace_id].push_back(s);
+    }
+  }
+
+  for (const auto& [trace_id, root] : roots) {
+    ++report.traces_analyzed;
+    CatBreakdown breakdown;
+    std::vector<Span> clipped;
+    if (auto it = segments.find(trace_id); it != segments.end()) {
+      for (Span s : it->second) {
+        s.start = std::max(s.start, root->start);
+        s.end = std::min(s.end, root->end);
+        if (s.end > s.start) {
+          clipped.push_back(s);
+        }
+      }
+    }
+    SweepTrace(*root, clipped, breakdown);
+    report.per_class[std::string(root->name_view())].Merge(breakdown);
+    report.overall.Merge(breakdown);
+  }
+  for (const auto& [trace_id, segs] : segments) {
+    if (!roots.contains(trace_id)) {
+      ++report.traces_without_root;
+    }
+  }
+  return report;
+}
+
+std::string CriticalPath::Format(const CriticalPathReport& report) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-16s %8s %10s %6s %6s %6s %6s %6s %6s %7s\n",
+                "opclass", "ops", "mean_ms", "wire%", "queue%", "cpu%", "disk%", "svc%",
+                "other%", "covered");
+  out += line;
+  auto emit = [&](const std::string& name, const CatBreakdown& b) {
+    if (b.ops == 0) {
+      return;
+    }
+    const double total = static_cast<double>(b.total);
+    auto pct = [&](SpanCat c) {
+      return total == 0 ? 0.0
+                        : 100.0 * static_cast<double>(b.by_cat[static_cast<size_t>(c)]) / total;
+    };
+    const double other_pct =
+        total == 0 ? 0.0
+                   : 100.0 * static_cast<double>(b.total - b.attributed()) / total;
+    std::snprintf(line, sizeof(line),
+                  "%-16s %8llu %10.3f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f %6.1f%%\n",
+                  name.c_str(), static_cast<unsigned long long>(b.ops),
+                  ToMillis(b.total) / static_cast<double>(b.ops), pct(SpanCat::kWire),
+                  pct(SpanCat::kQueue), pct(SpanCat::kCpu), pct(SpanCat::kDisk),
+                  pct(SpanCat::kService), other_pct, 100.0 * b.coverage());
+    out += line;
+  };
+  for (const auto& [name, breakdown] : report.per_class) {
+    emit(name, breakdown);
+  }
+  emit("TOTAL", report.overall);
+  return out;
+}
+
+}  // namespace slice::obs

@@ -1,0 +1,31 @@
+// Trace export: merges recorded spans into a chrome://tracing-compatible
+// JSON document (load it in Perfetto / chrome://tracing to see one lane per
+// host with every hop of every request), and reduces a trace to a stable
+// content hash — the backbone of the same-seed trace-replay regression test:
+// any behaviour change (extra retransmit, misroute, lost failover hold)
+// shows up as a hash diff.
+#ifndef SLICE_OBS_EXPORT_H_
+#define SLICE_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace slice::obs {
+
+// Spans sorted into the canonical export order: (start, end, host, trace_id,
+// span_id). Span ids are deterministic counters, so this order — and
+// everything derived from it — is stable run-to-run for a given seed.
+std::vector<Span> CanonicalOrder(std::vector<Span> spans);
+
+// Chrome trace event format: complete ("X") events for spans, instant ("i")
+// events for markers; pid = host address, tid = trace id.
+std::string ExportChromeTrace(const std::vector<Span>& spans);
+
+// FNV-1a over every field of every span in canonical order.
+uint64_t TraceContentHash(const std::vector<Span>& spans);
+
+}  // namespace slice::obs
+
+#endif  // SLICE_OBS_EXPORT_H_

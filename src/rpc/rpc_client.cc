@@ -33,6 +33,9 @@ void RpcClient::Call(Endpoint server, uint32_t prog, uint32_t vers, uint32_t pro
   pending.wire = call.Encode();
   pending.handler = std::move(handler);
   pending.generation = next_generation_++;
+  if (tracer_ != nullptr) {
+    pending.trace = tracer_->current();
+  }
   pending_.emplace(xid, std::move(pending));
 
   Transmit(xid);
@@ -47,20 +50,32 @@ void RpcClient::Transmit(uint32_t xid) {
 
   if (pc.transmissions >= params_.max_transmissions) {
     ResponseHandler handler = std::move(pc.handler);
+    const obs::TraceContext trace = pc.trace;
     pending_.erase(it);
+    if (tracer_ != nullptr) {
+      tracer_->RecordInstant(host_.addr(), trace, "rpc_timeout", queue_.now());
+    }
     RpcMessageView empty;
+    obs::ScopedContext scope(tracer_, trace);
     handler(Status(StatusCode::kTimedOut, "rpc: call timed out"), empty);
     return;
   }
 
   if (pc.transmissions > 0) {
     ++retransmissions_;
+    if (tracer_ != nullptr) {
+      tracer_->RecordInstant(host_.addr(), pc.trace, "rpc_retransmit", queue_.now());
+    }
     SLICE_DLOG << "rpc: retransmit xid=" << xid << " attempt=" << pc.transmissions + 1;
   }
   ++pc.transmissions;
   ++calls_sent_;
 
-  host_.Send(Packet::MakeUdp(local(), pc.server, pc.wire));
+  Packet pkt = Packet::MakeUdp(local(), pc.server, pc.wire);
+  if (tracer_ != nullptr && pc.trace.valid()) {
+    pkt.AttachTrace(pc.trace.trace_id, pc.trace.span_id);
+  }
+  host_.Send(std::move(pkt));
 
   const double scale =
       pc.transmissions > 1
@@ -98,8 +113,12 @@ void RpcClient::OnPacket(Packet&& pkt) {
     return;  // duplicate reply after retransmission; ignore
   }
   ResponseHandler handler = std::move(it->second.handler);
+  const obs::TraceContext trace = it->second.trace;
   pending_.erase(it);
 
+  // Restore the originating context so the handler's own nested calls (and
+  // any spans it records) stay in the same trace.
+  obs::ScopedContext scope(tracer_, trace);
   if (decoded->accept_stat != RpcAcceptStat::kSuccess) {
     handler(Status(StatusCode::kInternal,
                    "rpc: accept_stat=" +

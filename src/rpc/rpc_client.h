@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "src/net/host.h"
+#include "src/obs/trace.h"
 #include "src/rpc/rpc_message.h"
 #include "src/sim/event_queue.h"
 
@@ -42,6 +43,11 @@ class RpcClient {
   uint64_t retransmissions() const { return retransmissions_; }
   size_t pending() const { return pending_.size(); }
 
+  // Observability: calls issued while the tracer has a current context carry
+  // that context on every (re)transmission, and response handlers run with
+  // it restored — so nested calls chain into the same trace.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct PendingCall {
     Endpoint server;
@@ -50,6 +56,7 @@ class RpcClient {
     int transmissions = 0;
     SimTime next_timeout = 0;
     uint64_t generation = 0;
+    obs::TraceContext trace;  // context captured at Call() time
   };
 
   void OnPacket(Packet&& pkt);
@@ -59,6 +66,7 @@ class RpcClient {
   Host& host_;
   EventQueue& queue_;
   RpcClientParams params_;
+  obs::Tracer* tracer_ = nullptr;
   NetPort port_;
   // Guards timer callbacks scheduled into the event queue against running
   // after this client is destroyed.

@@ -1,5 +1,7 @@
 #include "src/rpc/rpc_server.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 
 namespace slice {
@@ -37,6 +39,13 @@ void RpcServerNode::DispatchCall(const RpcMessageView& call, const Endpoint& cli
 }
 
 void RpcServerNode::OnPacket(Packet&& pkt) {
+  // Lift the span context off the wire (the trailer sits outside payload(),
+  // so decoding below is oblivious to it either way).
+  obs::TraceContext trace;
+  if (tracer_ != nullptr) {
+    pkt.PeekTrace(&trace.trace_id, &trace.span_id);
+  }
+
   Result<RpcMessageView> decoded = DecodeRpcMessage(pkt.payload());
   if (!decoded.ok() || decoded->type != RpcMsgType::kCall) {
     SLICE_WLOG << "rpc-server: undecodable packet from " << EndpointToString(pkt.src());
@@ -48,7 +57,12 @@ void RpcServerNode::OnPacket(Packet&& pkt) {
 
   if (auto cached = drc_.find(key); cached != drc_.end()) {
     ++duplicates_answered_;
-    SendPacket(Packet::MakeUdp(endpoint(), client, cached->second));
+    Packet out = Packet::MakeUdp(endpoint(), client, cached->second);
+    if (tracer_ != nullptr && trace.valid()) {
+      tracer_->RecordInstant(addr(), trace, "drc_replay", queue_.now());
+      out.AttachTrace(trace.trace_id, trace.span_id);
+    }
+    SendPacket(std::move(out));
     return;
   }
   if (in_progress_.contains(key)) {
@@ -57,34 +71,61 @@ void RpcServerNode::OnPacket(Packet&& pkt) {
   in_progress_.insert(key);
 
   const uint32_t xid = decoded->xid;
-  DispatchCall(*decoded, client,
-               [this, key, client, xid](RpcAcceptStat stat, Bytes result, ServiceCost cost) {
-                 RpcReply reply;
-                 reply.xid = xid;
-                 reply.stat = stat;
-                 if (stat == RpcAcceptStat::kSuccess) {
-                   reply.result = std::move(result);
-                 }
-                 Bytes wire = reply.Encode();
+  auto done = [this, key, client, xid, trace](RpcAcceptStat stat, Bytes result,
+                                              ServiceCost cost) {
+    RpcReply reply;
+    reply.xid = xid;
+    reply.stat = stat;
+    if (stat == RpcAcceptStat::kSuccess) {
+      reply.result = std::move(result);
+    }
+    Bytes wire = reply.Encode();
 
-                 in_progress_.erase(key);
-                 drc_.emplace(key, wire);
-                 drc_order_.push_back(key);
-                 while (drc_order_.size() > params_.duplicate_cache_entries) {
-                   drc_.erase(drc_order_.front());
-                   drc_order_.pop_front();
-                 }
+    in_progress_.erase(key);
+    drc_.emplace(key, wire);
+    drc_order_.push_back(key);
+    while (drc_order_.size() > params_.duplicate_cache_entries) {
+      drc_.erase(drc_order_.front());
+      drc_order_.pop_front();
+    }
 
-                 ++requests_served_;
+    ++requests_served_;
 
-                 const SimTime cpu_done = cpu_.Acquire(queue_.now(), cost.cpu());
-                 const SimTime done_at =
-                     cpu_done > cost.completion() ? cpu_done : cost.completion();
-                 const Endpoint self = endpoint();
-                 queue_.ScheduleAt(done_at, [this, self, client, wire = std::move(wire)]() mutable {
-                   SendPacket(Packet::MakeUdp(self, client, wire));
-                 });
-               });
+    const SimTime ready_at = queue_.now();
+    const SimTime cpu_start = std::max(cpu_.busy_until(), ready_at);
+    const SimTime cpu_done = cpu_.Acquire(ready_at, cost.cpu());
+    const SimTime done_at = cpu_done > cost.completion() ? cpu_done : cost.completion();
+    if (tracer_ != nullptr && trace.valid()) {
+      if (cpu_start > ready_at) {
+        tracer_->RecordSpan(addr(), trace, obs::SpanCat::kQueue, "srv_cpu_wait", ready_at,
+                            cpu_start);
+      }
+      if (cpu_done > cpu_start) {
+        tracer_->RecordSpan(addr(), trace, obs::SpanCat::kCpu, "srv_cpu", cpu_start,
+                            cpu_done);
+      }
+      if (done_at > cpu_done) {
+        // Completion-bound tail (disk I/O finishing after the CPU); storage
+        // nodes record the precise disk spans underneath this window.
+        tracer_->RecordSpan(addr(), trace, obs::SpanCat::kService, "srv_completion",
+                            cpu_done, done_at);
+      }
+    }
+    const Endpoint self = endpoint();
+    queue_.ScheduleAt(done_at, [this, self, client, trace, wire = std::move(wire)]() mutable {
+      Packet out = Packet::MakeUdp(self, client, wire);
+      if (tracer_ != nullptr && trace.valid()) {
+        out.AttachTrace(trace.trace_id, trace.span_id);
+      }
+      SendPacket(std::move(out));
+    });
+  };
+
+  // Run the dispatch under the request's context so handlers that issue
+  // their own network I/O (small-file backing fetches, WAL appends) chain
+  // those calls into this trace.
+  obs::ScopedContext scope(tracer_, trace);
+  DispatchCall(*decoded, client, std::move(done));
 }
 
 }  // namespace slice

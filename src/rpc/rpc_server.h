@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "src/net/host.h"
+#include "src/obs/trace.h"
 #include "src/rpc/rpc_message.h"
 #include "src/sim/event_queue.h"
 
@@ -68,7 +69,14 @@ class RpcServerNode {
   uint64_t duplicates_answered() const { return duplicates_answered_; }
   const BusyResource& cpu() const { return cpu_; }
 
+  // Observability: requests carrying a trace trailer get queue/CPU/service
+  // spans, and their replies carry the context back. Virtual so servers with
+  // internal clients (small-file server, WAL-backed managers) can forward
+  // the tracer to them; overrides must call the base.
+  virtual void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  protected:
+  obs::Tracer* tracer() const { return tracer_; }
   // Completion functor for asynchronous dispatch: subclasses call it exactly
   // once with the accept stat, encoded result body, and accumulated cost.
   using ReplyFn = std::function<void(RpcAcceptStat, Bytes, ServiceCost)>;
@@ -99,6 +107,7 @@ class RpcServerNode {
   std::unique_ptr<Host> host_;
   NetPort port_;
   RpcServerParams params_;
+  obs::Tracer* tracer_ = nullptr;
   BusyResource cpu_;
   bool failed_ = false;
   uint64_t requests_served_ = 0;

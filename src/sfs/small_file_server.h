@@ -62,6 +62,17 @@ class SmallFileServer : public RpcServerNode {
     }
   }
 
+  // Backing fetches/flushes and WAL appends ride the requesting trace.
+  void set_tracer(obs::Tracer* tracer) override {
+    RpcServerNode::set_tracer(tracer);
+    for (auto& client : node_clients_) {
+      client->set_tracer(tracer);
+    }
+    if (wal_) {
+      wal_->set_tracer(tracer);
+    }
+  }
+
  protected:
   void DispatchCall(const RpcMessageView& call, const Endpoint& client, ReplyFn done) override;
   RpcAcceptStat HandleCall(const RpcMessageView& call, XdrEncoder& reply,

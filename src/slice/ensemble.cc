@@ -26,11 +26,16 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
 
   virtual_server_ = Endpoint{kVirtualAddr, kNfsPort};
 
+  if (config_.trace.enabled) {
+    tracer_ = std::make_unique<obs::Tracer>(config_.trace);
+  }
+
   NetworkParams net_params;
   net_params.link_gbit_per_s = config_.cal.link_gbit_per_s;
   net_params.switch_latency_us = config_.cal.switch_latency_us;
   net_params.loss_rate = config_.loss_rate;
   network_ = std::make_unique<Network>(queue_, net_params);
+  network_->set_tracer(tracer_.get());
 
   // --- storage nodes ---
   std::vector<Endpoint> storage_endpoints;
@@ -180,6 +185,24 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
       manager_->Subscribe(Endpoint{client_hosts_.back()->addr(), kMgmtClientPort});
     }
   }
+
+  if (tracer_) {
+    for (auto& node : storage_nodes_) {
+      node->set_tracer(tracer_.get());
+    }
+    for (auto& server : small_file_servers_) {
+      server->set_tracer(tracer_.get());
+    }
+    for (auto& coord : coordinators_) {
+      coord->set_tracer(tracer_.get());
+    }
+    for (auto& server : dir_servers_) {
+      server->set_tracer(tracer_.get());
+    }
+    for (auto& proxy : uproxies_) {
+      proxy->set_tracer(tracer_.get());
+    }
+  }
 }
 
 Ensemble::~Ensemble() { *alive_ = false; }
@@ -275,6 +298,23 @@ std::unique_ptr<SyncNfsClient> Ensemble::MakeSyncClient(size_t i) {
 
 std::unique_ptr<NfsClient> Ensemble::MakeAsyncClient(size_t i) {
   return std::make_unique<NfsClient>(client_host(i), queue_, virtual_server_);
+}
+
+std::vector<obs::Span> Ensemble::CollectSpans() const {
+  if (!tracer_) {
+    return {};
+  }
+  return obs::CanonicalOrder(tracer_->Collect());
+}
+
+std::string Ensemble::ExportTraceJson() const {
+  return obs::ExportChromeTrace(CollectSpans());
+}
+
+uint64_t Ensemble::TraceHash() const { return obs::TraceContentHash(CollectSpans()); }
+
+obs::CriticalPathReport Ensemble::AnalyzeCriticalPath() const {
+  return obs::CriticalPath::Analyze(CollectSpans());
 }
 
 OpCounters Ensemble::AggregateCounters() const {

@@ -18,6 +18,9 @@
 #include "src/mgmt/heartbeat.h"
 #include "src/mgmt/manager.h"
 #include "src/nfs/nfs_client.h"
+#include "src/obs/critical_path.h"
+#include "src/obs/export.h"
+#include "src/obs/trace.h"
 #include "src/sfs/small_file_server.h"
 #include "src/slice/calibration.h"
 #include "src/storage/storage_node.h"
@@ -51,6 +54,11 @@ struct EnsembleConfig {
   // default; benches that model a static healthy ensemble turn it off to
   // keep heartbeat traffic out of their measurements.
   MgmtParams mgmt;
+
+  // End-to-end request tracing (src/obs). Off by default: with
+  // trace.enabled false no Tracer is constructed and every instrumentation
+  // site reduces to a null-pointer check.
+  obs::TracerParams trace{.enabled = false};
 };
 
 class Ensemble {
@@ -86,6 +94,16 @@ class Ensemble {
   // Ensemble manager; null when config.mgmt.enabled is false.
   EnsembleManager* manager() { return manager_.get(); }
 
+  // Tracer; null when config.trace.enabled is false.
+  obs::Tracer* tracer() { return tracer_.get(); }
+  // Collected spans in canonical order (empty when tracing is off).
+  std::vector<obs::Span> CollectSpans() const;
+  // Chrome trace-event JSON / content hash over the collected spans.
+  std::string ExportTraceJson() const;
+  uint64_t TraceHash() const;
+  // Critical-path latency accounting over the collected spans.
+  obs::CriticalPathReport AnalyzeCriticalPath() const;
+
   // Convenience: a blocking NFS client mounted on client `i` through its
   // µproxy at the virtual server address.
   std::unique_ptr<SyncNfsClient> MakeSyncClient(size_t i);
@@ -107,6 +125,7 @@ class Ensemble {
   EventQueue& queue_;
   EnsembleConfig config_;
   Endpoint virtual_server_;
+  std::unique_ptr<obs::Tracer> tracer_;  // before network_: spans outlive taps
   std::unique_ptr<Network> network_;
   std::vector<std::unique_ptr<StorageNode>> storage_nodes_;
   std::vector<std::unique_ptr<Coordinator>> coordinators_;

@@ -94,6 +94,16 @@ SimTime StorageNode::SubmitCoalesced(std::vector<PhysBlock> blocks, bool fill_ca
   return latest;
 }
 
+SimTime StorageNode::RecordDisk(const char* name, SimTime start, SimTime done) {
+  if (tracer() != nullptr && done > start) {
+    const obs::TraceContext ctx = tracer()->current();
+    if (ctx.valid()) {
+      tracer()->RecordSpan(addr(), ctx, obs::SpanCat::kDisk, name, start, done);
+    }
+  }
+  return done;
+}
+
 SimTime StorageNode::ChargeReads(const std::vector<PhysBlock>& blocks) {
   std::vector<PhysBlock> misses;
   SimTime latest = 0;
@@ -112,7 +122,8 @@ SimTime StorageNode::ChargeReads(const std::vector<PhysBlock>& blocks) {
       misses.push_back(block);
     }
   }
-  return std::max(latest, SubmitCoalesced(std::move(misses), /*fill_cache=*/true));
+  return RecordDisk("disk_read", now(),
+                    std::max(latest, SubmitCoalesced(std::move(misses), /*fill_cache=*/true)));
 }
 
 SimTime StorageNode::ChargeMetadataIos() {
@@ -128,7 +139,7 @@ SimTime StorageNode::ChargeMetadataIos() {
 }
 
 SimTime StorageNode::ChargeWrites(const std::vector<PhysBlock>& blocks) {
-  return SubmitCoalesced(blocks, /*fill_cache=*/true);
+  return RecordDisk("disk_write", now(), SubmitCoalesced(blocks, /*fill_cache=*/true));
 }
 
 void StorageNode::MaybePrefetch(ObjectId id, uint64_t offset, uint32_t count) {

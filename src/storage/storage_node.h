@@ -72,6 +72,9 @@ class StorageNode : public RpcServerNode {
   SimTime SubmitCoalesced(std::vector<PhysBlock> blocks, bool fill_cache);
   // Charges accumulated metadata I/O debt (extra_meta_ios per missed block).
   SimTime ChargeMetadataIos();
+  // Records a kDisk span [start, done] against the current trace context
+  // (handlers run under the request's scope); returns `done` for chaining.
+  SimTime RecordDisk(const char* name, SimTime start, SimTime done);
   void MaybePrefetch(ObjectId id, uint64_t offset, uint32_t count);
 
   void HandleRead(const ReadArgs& args, XdrEncoder& reply, ServiceCost& cost);

@@ -5,9 +5,14 @@
 // it cannot have parsed.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 #include "src/common/rng.h"
 #include "src/core/request_decode.h"
+#include "src/net/packet.h"
 #include "src/nfs/nfs_xdr.h"
+#include "src/obs/trace.h"
 #include "src/rpc/rpc_message.h"
 
 namespace slice {
@@ -144,6 +149,139 @@ TEST_P(FuzzSeedTest, TruncationsOfValidMessagesFailCleanly) {
     }
   }
   SUCCEED();
+}
+
+TEST_P(FuzzSeedTest, RandomBytesThroughTraceTrailerDecoders) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    Packet pkt(RandomBytes(rng, rng.NextBelow(200)));
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    (void)pkt.HasTrace();
+    (void)pkt.PeekTrace(&trace_id, &span_id);
+    (void)pkt.PeekTrace(nullptr, nullptr);
+    if (pkt.DetachTrace(&trace_id, &span_id)) {
+      // A detached trailer is gone: a second detach must find nothing.
+      EXPECT_FALSE(pkt.HasTrace());
+      EXPECT_FALSE(pkt.DetachTrace());
+    }
+    if (pkt.IsValidUdp()) {
+      (void)pkt.payload();
+      (void)pkt.VerifyChecksums();
+    }
+  }
+  SUCCEED();
+}
+
+TEST_P(FuzzSeedTest, CorruptedTraceTrailersNeverCrashOrCorruptOtherSpans) {
+  Rng rng(GetParam());
+  // A sentinel span recorded up front; no amount of trailer corruption on
+  // unrelated packets may change it.
+  obs::Tracer tracer;
+  const obs::TraceContext sentinel{42, 4242};
+  tracer.RecordSpan(1, sentinel, obs::SpanCat::kCpu, "sentinel", 100, 200);
+  const std::vector<obs::Span> before = tracer.Collect();
+  ASSERT_EQ(before.size(), 1u);
+
+  const Bytes payload = RandomBytes(rng, 128);
+  const Packet valid = [&] {
+    Packet p = Packet::MakeUdp(Endpoint{0x0a000001, 700}, Endpoint{0x0a000064, 2049}, payload);
+    p.AttachTrace(7, 9);
+    return p;
+  }();
+  ASSERT_TRUE(valid.HasTrace());
+  ASSERT_TRUE(valid.IsValidUdp());
+
+  auto exercise = [&](Packet pkt) {
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    if (pkt.PeekTrace(&trace_id, &span_id)) {
+      // A corrupted trailer may peek as garbage ids; recording under them
+      // must stay confined to the garbage trace, never the sentinel's.
+      tracer.RecordSpan(2, obs::TraceContext{trace_id, span_id}, obs::SpanCat::kWire,
+                        "fuzzed", 0, 1);
+    }
+    if (pkt.IsValidUdp()) {
+      (void)pkt.payload();
+      (void)pkt.VerifyChecksums();
+    }
+    (void)pkt.DetachTrace();
+  };
+
+  // Systematic: every single-bit flip across the whole buffer, trailer
+  // included (magic, ids, and the IP length field that gates recognition).
+  const Bytes& raw = valid.bytes();
+  for (size_t byte = 0; byte < raw.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated = raw;
+      mutated[byte] ^= static_cast<uint8_t>(1u << bit);
+      exercise(Packet(std::move(mutated)));
+    }
+  }
+  // Random: multi-bit corruption.
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes mutated = raw;
+    const int flips = 2 + static_cast<int>(rng.NextBelow(12));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.NextBelow(mutated.size())] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+    }
+    exercise(Packet(std::move(mutated)));
+  }
+
+  // The sentinel span survives, bit for bit.
+  const std::vector<obs::Span> after = tracer.Collect();
+  const obs::Span* survivor = nullptr;
+  for (const obs::Span& span : after) {
+    if (span.trace_id == sentinel.trace_id) {
+      ASSERT_EQ(survivor, nullptr) << "exactly one sentinel span";
+      survivor = &span;
+    }
+  }
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_EQ(std::memcmp(survivor, &before[0], sizeof(obs::Span)), 0)
+      << "corrupted trailers never touch an unrelated span";
+}
+
+TEST_P(FuzzSeedTest, TruncatedTraceTrailersFailCleanly) {
+  Rng rng(GetParam());
+  Packet full = Packet::MakeUdp(Endpoint{0x0a000002, 701}, Endpoint{0x0a000064, 2049},
+                                RandomBytes(rng, 96));
+  full.AttachTrace(1234, 5678);
+  const Bytes valid = full.bytes();
+
+  for (size_t keep = 0; keep < valid.size(); ++keep) {
+    Packet pkt(Bytes(valid.begin(), valid.begin() + static_cast<ptrdiff_t>(keep)));
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    (void)pkt.HasTrace();
+    (void)pkt.PeekTrace(&trace_id, &span_id);
+    if (keep == valid.size() - kTraceTrailerSize) {
+      // Cutting exactly the trailer restores a trace-free, fully valid
+      // datagram — the trailer really is outside the IP length/checksums.
+      EXPECT_FALSE(pkt.HasTrace());
+      EXPECT_TRUE(pkt.IsValidUdp());
+      EXPECT_TRUE(pkt.VerifyChecksums());
+    } else if (keep < valid.size()) {
+      // Any other truncation breaks the length relationship: never
+      // misrecognized as a trailer, and never a valid datagram either.
+      EXPECT_FALSE(pkt.HasTrace());
+      EXPECT_FALSE(pkt.IsValidUdp());
+    }
+    (void)pkt.DetachTrace(&trace_id, &span_id);
+  }
+
+  // Untruncated: the ids round-trip and detaching restores the exact
+  // pre-attach datagram bytes.
+  Packet pkt(valid);
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  ASSERT_TRUE(pkt.PeekTrace(&trace_id, &span_id));
+  EXPECT_EQ(trace_id, 1234u);
+  EXPECT_EQ(span_id, 5678u);
+  ASSERT_TRUE(pkt.DetachTrace());
+  EXPECT_TRUE(pkt.IsValidUdp());
+  EXPECT_TRUE(pkt.VerifyChecksums());
+  EXPECT_EQ(pkt.size(), valid.size() - kTraceTrailerSize);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest,

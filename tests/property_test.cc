@@ -5,6 +5,7 @@
 // reference model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "src/common/rng.h"
@@ -337,6 +338,91 @@ INSTANTIATE_TEST_SUITE_P(
              "_d" + std::to_string(param_info.param.dir_servers) + "_r" +
              std::to_string(param_info.param.replication);
     });
+
+// --- incremental checksum maintenance under µproxy rewrites ---
+//
+// Promoted from bench/micro_checksum.cc: the invariant the bench exercises
+// for speed must hold for correctness on every packet shape. After any
+// sequence of the µproxy's rewrite operations — source/destination NAT and
+// in-payload attribute patches, with or without a trace trailer attached —
+// the incrementally maintained RFC 1624 checksums must equal a from-scratch
+// recomputation, and the packet must verify.
+
+class ChecksumPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChecksumPropertyTest, IncrementalRewritesMatchFullRecompute) {
+  Rng rng(GetParam());
+
+  auto expect_checksums_fresh = [](const Packet& pkt, const char* what) {
+    ASSERT_TRUE(pkt.IsValidUdp()) << what;
+    EXPECT_TRUE(pkt.VerifyChecksums()) << what;
+    // The ground truth: a copy recomputed from scratch stores the same sums.
+    Packet scratch(pkt.bytes());
+    scratch.RecomputeChecksums();
+    EXPECT_EQ(pkt.ip_checksum(), scratch.ip_checksum()) << what;
+    EXPECT_EQ(pkt.udp_checksum(), scratch.udp_checksum()) << what;
+  };
+
+  for (int trial = 0; trial < 200; ++trial) {
+    // Randomized packet: size, contents, addressing.
+    Bytes payload(rng.NextBelow(1200));
+    for (auto& b : payload) {
+      b = static_cast<uint8_t>(rng.NextU64());
+    }
+    const Endpoint src{static_cast<NetAddr>(rng.NextU64()),
+                       static_cast<NetPort>(rng.NextU64())};
+    const Endpoint dst{static_cast<NetAddr>(rng.NextU64()),
+                       static_cast<NetPort>(rng.NextU64())};
+    Packet pkt = Packet::MakeUdp(src, dst, payload);
+    // Half the packets carry a trace trailer, which must be checksum-inert.
+    const bool traced = rng.NextBool(0.5);
+    if (traced) {
+      pkt.AttachTrace(rng.NextU64(), rng.NextU64());
+    }
+    expect_checksums_fresh(pkt, "freshly built");
+
+    // A random sequence of the µproxy's rewrite paths.
+    for (int op = 0; op < 6; ++op) {
+      switch (rng.NextBelow(3)) {
+        case 0:
+          pkt.RewriteSrc(Endpoint{static_cast<NetAddr>(rng.NextU64()),
+                                  static_cast<NetPort>(rng.NextU64())});
+          break;
+        case 1:
+          pkt.RewriteDst(Endpoint{static_cast<NetAddr>(rng.NextU64()),
+                                  static_cast<NetPort>(rng.NextU64())});
+          break;
+        default: {
+          // In-place payload patch (16-bit aligned, as the attribute
+          // rewriter guarantees), like fileid/fsid fixups in replies.
+          if (payload.size() < 2) {
+            continue;
+          }
+          const size_t max_len = std::min<size_t>(payload.size(), 64) & ~size_t{1};
+          const size_t len = 2 + (rng.NextBelow(max_len) & ~size_t{1});
+          if (len > payload.size()) {
+            continue;
+          }
+          const size_t offset =
+              kPacketHeaderSize + (rng.NextBelow(payload.size() - len + 1) & ~size_t{1});
+          Bytes patch(len);
+          for (auto& b : patch) {
+            b = static_cast<uint8_t>(rng.NextU64());
+          }
+          pkt.RewriteBytes(offset, patch);
+          break;
+        }
+      }
+      expect_checksums_fresh(pkt, "after incremental rewrite");
+      if (traced) {
+        EXPECT_TRUE(pkt.HasTrace()) << "rewrites must not eat the trailer";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChecksumPropertyTest,
+                         ::testing::Values(0xc0, 0xc1, 0xc2, 0xc3));
 
 }  // namespace
 }  // namespace slice

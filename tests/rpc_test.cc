@@ -266,6 +266,127 @@ TEST_F(RpcEndToEndTest, ConcurrentCallsMatchByXid) {
   }
 }
 
+// --- duplicate request cache capacity and eviction ---
+//
+// Raw-packet harness: sends RpcCall packets with hand-picked xids from a
+// bound client port, so the test controls exactly which (client, xid) keys
+// the DRC sees and in what order.
+class DrcCapacityTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kDrcEntries = 4;
+
+  DrcCapacityTest()
+      : net_(queue_, NetworkParams{}),
+        server_(net_, queue_, kServerAddr, kServerPort,
+                RpcServerParams{.duplicate_cache_entries = kDrcEntries}),
+        client_host_(net_, kClientAddr) {
+    src_port_ = client_host_.Bind(0, [this](Packet&& pkt) {
+      Result<RpcMessageView> view = DecodeRpcMessage(pkt.payload());
+      ASSERT_TRUE(view.ok());
+      reply_xids_.push_back(view->xid);
+    });
+  }
+
+  // Sends proc 1 (echo) with the given xid and runs the sim to completion.
+  void Call(uint32_t xid) {
+    RpcCall call;
+    call.xid = xid;
+    call.prog = kTestProg;
+    call.vers = kTestVers;
+    call.proc = 1;
+    XdrEncoder args;
+    args.PutUint32(xid * 10);
+    call.args = args.Take();
+    client_host_.Send(Packet::MakeUdp(Endpoint{kClientAddr, src_port_},
+                                      server_.endpoint(), call.Encode()));
+    queue_.RunUntilIdle();
+  }
+
+  EventQueue queue_;
+  Network net_;
+  EchoServer server_;
+  Host client_host_;
+  NetPort src_port_ = 0;
+  std::vector<uint32_t> reply_xids_;
+};
+
+TEST_F(DrcCapacityTest, FillPastCapacityEvictsOldestInOrder) {
+  // Fill past capacity: 6 distinct xids through a 4-entry cache.
+  for (uint32_t xid = 1; xid <= 6; ++xid) {
+    Call(xid);
+  }
+  EXPECT_EQ(server_.calls, 6);
+  EXPECT_EQ(server_.duplicates_answered(), 0u);
+  ASSERT_EQ(reply_xids_.size(), 6u);
+
+  // The newest 4 xids {3,4,5,6} are cached: retransmits replay without
+  // re-execution.
+  Call(5);
+  Call(6);
+  EXPECT_EQ(server_.calls, 6) << "cached retransmits must not re-execute";
+  EXPECT_EQ(server_.duplicates_answered(), 2u);
+
+  // The oldest 2 xids {1,2} were evicted — FIFO, insertion order. Their
+  // retransmits re-execute (the procedure is idempotent) instead of
+  // crashing or replaying a stale entry.
+  Call(1);
+  EXPECT_EQ(server_.calls, 7) << "evicted xid re-executes";
+  // Re-inserting 1 evicted 3 (still FIFO); 2 was already gone.
+  Call(2);
+  EXPECT_EQ(server_.calls, 8);
+  Call(3);
+  EXPECT_EQ(server_.calls, 9) << "xid 3 was pushed out by the re-inserts";
+  // Cache is now {6,1,2,3}: 6 survived all along, and the re-executed xids
+  // are cached like any first execution.
+  Call(6);
+  Call(1);
+  EXPECT_EQ(server_.calls, 9);
+  EXPECT_EQ(server_.duplicates_answered(), 4u);
+
+  // Every send — executed, replayed, or re-executed — produced a reply.
+  EXPECT_EQ(reply_xids_.size(), 13u);
+  EXPECT_EQ(reply_xids_.back(), 1u);
+}
+
+TEST_F(DrcCapacityTest, SameXidDifferentClientPortsAreDistinctEntries) {
+  // The DRC key is (client endpoint, xid), not xid alone: the same xid from
+  // another port is a fresh request, not a replay.
+  Call(42);
+  const NetPort other = client_host_.Bind(0, [](Packet&&) {});
+  RpcCall call;
+  call.xid = 42;
+  call.prog = kTestProg;
+  call.vers = kTestVers;
+  call.proc = 1;
+  XdrEncoder args;
+  args.PutUint32(7);
+  call.args = args.Take();
+  client_host_.Send(Packet::MakeUdp(Endpoint{kClientAddr, other}, server_.endpoint(),
+                                    call.Encode()));
+  queue_.RunUntilIdle();
+  EXPECT_EQ(server_.calls, 2);
+  EXPECT_EQ(server_.duplicates_answered(), 0u);
+}
+
+TEST_F(DrcCapacityTest, SustainedTrafficStaysBounded) {
+  // 100 distinct xids through the 4-entry cache: no blowup, no crash, every
+  // call executed exactly once and replied to.
+  for (uint32_t xid = 100; xid < 200; ++xid) {
+    Call(xid);
+  }
+  EXPECT_EQ(server_.calls, 100);
+  EXPECT_EQ(server_.duplicates_answered(), 0u);
+  EXPECT_EQ(reply_xids_.size(), 100u);
+  // Only the last kDrcEntries are replayable.
+  for (uint32_t xid = 196; xid < 200; ++xid) {
+    Call(xid);
+  }
+  EXPECT_EQ(server_.calls, 100);
+  EXPECT_EQ(server_.duplicates_answered(), 4u);
+  Call(150);  // long evicted -> re-executed
+  EXPECT_EQ(server_.calls, 101);
+}
+
 TEST_F(RpcEndToEndTest, CpuQueueingSerializesRequests) {
   // 100 requests, 10us CPU each: last reply no earlier than 1ms of service.
   int done = 0;
