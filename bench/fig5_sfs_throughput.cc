@@ -8,16 +8,37 @@
 //
 // Scaled-down substitute workload (see DESIGN.md): check the shape — who
 // wins, roughly linear scaling with storage nodes, saturation plateaus.
+//
+// Flags:
+//   --smoke           small sweep (2 loads, NFS + Slice-2) for CI
+//   --metrics <path>  re-run one Slice-2 point with the metrics plane on and
+//                     write the canonical metrics JSON snapshot to <path>
+//
+// Always writes BENCH_fig5.json: per-line points (offered, delivered, mean,
+// p50/p95/p99 ms), the <40ms saturation per line, and — when --metrics ran —
+// ensemble-wide counter totals from the metered run.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/sfs_harness.h"
 
 namespace slice {
 namespace {
 
-void RunFig5() {
+struct BenchLine {
+  const char* name;
+  double saturation = 0;
+  std::vector<SfsPoint> points;
+};
+
+void RunFig5(bool smoke, const char* metrics_path) {
   std::printf("Figure 5: SFS97-like delivered throughput (IOPS) vs offered load\n\n");
-  const double offered_loads[] = {400, 800, 1600, 3200, 6400, 9600, 12800};
+  const std::vector<double> offered_loads =
+      smoke ? std::vector<double>{400, 800}
+            : std::vector<double>{400, 800, 1600, 3200, 6400, 9600, 12800};
 
   std::printf("%-10s", "offered");
   for (double offered : offered_loads) {
@@ -29,39 +50,110 @@ void RunFig5() {
   // bound (40ms in SFS97); delivered IOPS past that point is metadata-only
   // throughput with unusable I/O latency.
   constexpr double kLatencyBoundMs = 40.0;
+  std::vector<BenchLine> lines;
   auto run_line = [&](const char* name, auto&& runner) {
+    BenchLine line;
+    line.name = name;
     std::printf("%-10s", name);
-    double best = 0;
     for (double offered : offered_loads) {
       const SfsPoint point = runner(offered);
       if (point.latency_ms <= kLatencyBoundMs) {
-        best = std::max(best, point.delivered);
+        line.saturation = std::max(line.saturation, point.delivered);
       }
+      line.points.push_back(point);
       std::printf("%8.0f", point.delivered);
       std::fflush(stdout);
     }
-    std::printf("%12.0f\n", best);
-    return best;
+    std::printf("%12.0f\n", line.saturation);
+    lines.push_back(std::move(line));
+    return lines.back().saturation;
   };
 
   const double base = run_line("NFS", [](double o) { return RunBaselinePoint(o); });
-  const double s1 = run_line("Slice-1", [](double o) { return RunSlicePoint(1, o); });
-  const double s2 = run_line("Slice-2", [](double o) { return RunSlicePoint(2, o); });
-  const double s4 = run_line("Slice-4", [](double o) { return RunSlicePoint(4, o); });
-  const double s8 = run_line("Slice-8", [](double o) { return RunSlicePoint(8, o); });
+  double s2 = 0;
+  if (smoke) {
+    s2 = run_line("Slice-2", [](double o) { return RunSlicePoint(2, o); });
+    std::printf("\nsaturation ratio vs baseline: Slice-2 %.1fx\n", s2 / base);
+  } else {
+    const double s1 = run_line("Slice-1", [](double o) { return RunSlicePoint(1, o); });
+    s2 = run_line("Slice-2", [](double o) { return RunSlicePoint(2, o); });
+    const double s4 = run_line("Slice-4", [](double o) { return RunSlicePoint(4, o); });
+    const double s8 = run_line("Slice-8", [](double o) { return RunSlicePoint(8, o); });
+    std::printf("\nsaturation ratios vs baseline (paper: Slice-8/NFS = 6600/850 = 7.8x):\n");
+    std::printf("  Slice-1 %.1fx  Slice-2 %.1fx  Slice-4 %.1fx  Slice-8 %.1fx\n", s1 / base,
+                s2 / base, s4 / base, s8 / base);
+    std::printf(
+        "shape checks: Slice-1 > NFS baseline; saturation grows with storage nodes;\n"
+        "all Slice lines serve a single unified volume (no volume partitioning).\n");
+  }
 
-  std::printf("\nsaturation ratios vs baseline (paper: Slice-8/NFS = 6600/850 = 7.8x):\n");
-  std::printf("  Slice-1 %.1fx  Slice-2 %.1fx  Slice-4 %.1fx  Slice-8 %.1fx\n", s1 / base,
-              s2 / base, s4 / base, s8 / base);
-  std::printf(
-      "shape checks: Slice-1 > NFS baseline; saturation grows with storage nodes;\n"
-      "all Slice lines serve a single unified volume (no volume partitioning).\n");
+  // Optional metered run: one Slice-2 point with the full metrics plane on.
+  std::map<std::string, uint64_t> counter_totals;
+  if (metrics_path != nullptr) {
+    const double offered = smoke ? 800 : 1600;
+    std::printf("\n--metrics: Slice-2 @ %.0f ops/s with the metrics plane enabled\n", offered);
+    std::string metrics_json;
+    RunSlicePointMetered(2, offered, &metrics_json, nullptr, &counter_totals);
+    std::ofstream out(metrics_path, std::ios::binary | std::ios::trunc);
+    out << metrics_json << "\n";
+    std::printf("metrics snapshot written to %s (hash %016llx)\n", metrics_path,
+                static_cast<unsigned long long>(obs::MetricsContentHash(metrics_json)));
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("fig5");
+  w.Key("smoke").Int(smoke ? 1 : 0);
+  w.Key("latency_bound_ms").Fixed(kLatencyBoundMs, 1);
+  w.Key("offered").BeginArray();
+  for (double offered : offered_loads) {
+    w.Fixed(offered, 0);
+  }
+  w.EndArray();
+  w.Key("lines").BeginArray();
+  for (const BenchLine& line : lines) {
+    w.BeginObject();
+    w.Key("name").String(line.name);
+    w.Key("saturation_iops").Fixed(line.saturation, 1);
+    w.Key("points").BeginArray();
+    for (const SfsPoint& point : line.points) {
+      w.BeginObject();
+      w.Key("offered").Fixed(point.offered, 0);
+      w.Key("delivered_iops").Fixed(point.delivered, 1);
+      w.Key("mean_ms").Fixed(point.latency_ms, 3);
+      w.Key("p50_ms").Fixed(point.p50_ms, 3);
+      w.Key("p95_ms").Fixed(point.p95_ms, 3);
+      w.Key("p99_ms").Fixed(point.p99_ms, 3);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  if (!counter_totals.empty()) {
+    w.Key("metrics_counter_totals").BeginObject();
+    for (const auto& [name, value] : counter_totals) {
+      w.Key(name).UInt(value);
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+  WriteBenchFile("fig5", w.str());
 }
 
 }  // namespace
 }  // namespace slice
 
-int main() {
-  slice::RunFig5();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* metrics_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    }
+  }
+  slice::RunFig5(smoke, metrics_path);
   return 0;
 }

@@ -16,7 +16,9 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <vector>
 
+#include "bench/bench_json.h"
 #include "bench/sfs_harness.h"
 
 namespace slice {
@@ -26,14 +28,22 @@ void RunFig6() {
   std::printf("Figure 6: SFS97-like mean latency (ms) vs delivered throughput (IOPS)\n\n");
   const double offered_loads[] = {400, 800, 1600, 3200, 6400, 9600, 12800};
 
+  struct BenchLine {
+    const char* name;
+    std::vector<SfsPoint> points;
+  };
+  std::vector<BenchLine> lines;
   auto run_line = [&](const char* name, auto&& runner) {
+    BenchLine line{name, {}};
     std::printf("%-10s", name);
     for (double offered : offered_loads) {
       const SfsPoint point = runner(offered);
+      line.points.push_back(point);
       std::printf("  (%5.0f, %5.1fms)", point.delivered, point.latency_ms);
       std::fflush(stdout);
     }
     std::printf("\n");
+    lines.push_back(std::move(line));
   };
 
   std::printf("%-10s  (delivered IOPS, mean latency) per offered point %s\n", "line",
@@ -49,6 +59,36 @@ void RunFig6() {
       "saturation point, then climbs steeply; latency jumps appear as the growing\n"
       "file set overflows the small-file-server caches; larger Slice\n"
       "configurations sustain acceptable latency to higher IOPS.\n");
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("fig6");
+  w.Key("offered").BeginArray();
+  for (double offered : offered_loads) {
+    w.Fixed(offered, 0);
+  }
+  w.EndArray();
+  w.Key("lines").BeginArray();
+  for (const BenchLine& line : lines) {
+    w.BeginObject();
+    w.Key("name").String(line.name);
+    w.Key("points").BeginArray();
+    for (const SfsPoint& point : line.points) {
+      w.BeginObject();
+      w.Key("offered").Fixed(point.offered, 0);
+      w.Key("delivered_iops").Fixed(point.delivered, 1);
+      w.Key("mean_ms").Fixed(point.latency_ms, 3);
+      w.Key("p50_ms").Fixed(point.p50_ms, 3);
+      w.Key("p95_ms").Fixed(point.p95_ms, 3);
+      w.Key("p99_ms").Fixed(point.p99_ms, 3);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  WriteBenchFile("fig6", w.str());
 }
 
 void RunFig6Trace() {

@@ -7,7 +7,9 @@
 #define SLICE_BENCH_SFS_HARNESS_H_
 
 #include <cstdlib>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/baseline/baseline_server.h"
@@ -52,8 +54,22 @@ constexpr double kSfsBaselineCacheMb = 3.0;
 struct SfsPoint {
   double offered = 0;
   double delivered = 0;
-  double latency_ms = 0;
+  double latency_ms = 0;  // mean
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
 };
+
+inline SfsPoint PointFromReport(double offered, const SfsReport& report) {
+  SfsPoint point;
+  point.offered = offered;
+  point.delivered = report.delivered_iops;
+  point.latency_ms = report.mean_latency_ms;
+  point.p50_ms = ToMillis(report.p50_latency);
+  point.p95_ms = ToMillis(report.p95_latency);
+  point.p99_ms = ToMillis(report.p99_latency);
+  return point;
+}
 
 inline SfsPoint RunSlicePoint(size_t storage_nodes, double offered) {
   EventQueue queue;
@@ -72,7 +88,49 @@ inline SfsPoint RunSlicePoint(size_t storage_nodes, double offered) {
                      ensemble.root(), params);
   SLICE_CHECK(bench.Setup().ok());
   const SfsReport report = bench.Run();
-  return SfsPoint{offered, report.delivered_iops, report.mean_latency_ms};
+  return PointFromReport(offered, report);
+}
+
+// Same Slice point with the metrics plane on: returns the delivered numbers
+// and optionally the canonical metrics JSON snapshot, the Prometheus text
+// exposition, and ensemble-wide counter totals (summed across hosts)
+// captured at end of run.
+inline SfsPoint RunSlicePointMetered(size_t storage_nodes, double offered,
+                                     std::string* metrics_json_out,
+                                     std::string* prom_out = nullptr,
+                                     std::map<std::string, uint64_t>* counter_totals_out =
+                                         nullptr) {
+  EventQueue queue;
+  EnsembleConfig config;
+  config.mgmt.enabled = false;
+  config.num_storage_nodes = storage_nodes;
+  config.num_small_file_servers = 2;
+  config.num_dir_servers = 1;
+  config.num_clients = 4;
+  config.cal.storage_cache_mb = kSfsStorageCacheMb;
+  config.cal.sfs_cache_mb = kSfsSmallFileCacheMb;
+  config.storage_extra_meta_ios = kSfsMetaIos;
+  config.metrics.enabled = true;
+  Ensemble ensemble(queue, config);
+  SfsParams params = ScaledSfsParams(offered);
+  SfsBenchmark bench(ensemble.client_host(0), queue, ensemble.virtual_server(),
+                     ensemble.root(), params);
+  SLICE_CHECK(bench.Setup().ok());
+  const SfsReport report = bench.Run();
+  if (metrics_json_out != nullptr) {
+    *metrics_json_out = ensemble.ExportMetricsJson();
+  }
+  if (prom_out != nullptr) {
+    *prom_out = ensemble.ExportMetricsText();
+  }
+  if (counter_totals_out != nullptr) {
+    for (const auto& [host, reg] : ensemble.metrics()->registries()) {
+      for (const auto& [name, counter] : reg.counters()) {
+        (*counter_totals_out)[name] += counter->Value();
+      }
+    }
+  }
+  return PointFromReport(offered, report);
 }
 
 // Same Slice point with end-to-end tracing enabled (--trace in the benches):
@@ -104,7 +162,7 @@ inline SfsPoint RunSlicePointTraced(size_t storage_nodes, double offered,
   if (json_out != nullptr) {
     *json_out = ensemble.ExportTraceJson();
   }
-  return SfsPoint{offered, report.delivered_iops, report.mean_latency_ms};
+  return PointFromReport(offered, report);
 }
 
 inline SfsPoint RunBaselinePoint(double offered) {
@@ -121,7 +179,7 @@ inline SfsPoint RunBaselinePoint(double offered) {
   SfsBenchmark bench(client_host, queue, server.endpoint(), server.RootHandle(), params);
   SLICE_CHECK(bench.Setup().ok());
   const SfsReport report = bench.Run();
-  return SfsPoint{offered, report.delivered_iops, report.mean_latency_ms};
+  return PointFromReport(offered, report);
 }
 
 }  // namespace slice

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "src/slice/ensemble.h"
 #include "src/workload/seqio.h"
 
@@ -23,6 +24,8 @@ namespace {
 
 struct RunResult {
   double mb_per_sec = 0;
+  // Per-request (block) latency distribution aggregated across streams.
+  LatencyStats latency;
 };
 
 // Runs `num_clients` sequential streams of `bytes_per_client` each and
@@ -100,6 +103,9 @@ RunResult RunStreams(bool write, bool mirrored, int num_clients, uint64_t bytes_
   RunResult result;
   result.mb_per_sec =
       static_cast<double>(bytes_per_client) * num_clients / 1e6 / seconds;
+  for (auto& proc : procs) {
+    result.latency.Merge(proc->latency());
+  }
   return result;
 }
 
@@ -125,12 +131,28 @@ void RunTable2() {
       {"read-mirror (8)", false, true, 8, 128ull << 20, 222.0},
       {"write-mirror (8)", true, true, 8, 128ull << 20, 251.0},
   };
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("table2");
+  w.Key("rows").BeginArray();
   for (const Row& row : rows) {
     const RunResult result = RunStreams(row.write, row.mirrored, row.clients, row.bytes);
     std::printf("%-18s %14.1f %14.1f %14.2f\n", row.name, row.paper, result.mb_per_sec,
                 result.mb_per_sec / row.paper);
     std::fflush(stdout);
+    w.BeginObject();
+    w.Key("name").String(row.name);
+    w.Key("paper_mb_per_sec").Fixed(row.paper, 1);
+    w.Key("measured_mb_per_sec").Fixed(result.mb_per_sec, 1);
+    w.Key("ratio").Fixed(result.mb_per_sec / row.paper, 3);
+    w.Key("block_p50_ms").Fixed(ToMillis(result.latency.Percentile(50)), 3);
+    w.Key("block_p95_ms").Fixed(ToMillis(result.latency.Percentile(95)), 3);
+    w.Key("block_p99_ms").Fixed(ToMillis(result.latency.Percentile(99)), 3);
+    w.EndObject();
   }
+  w.EndArray();
+  w.EndObject();
+  WriteBenchFile("table2", w.str());
   std::printf(
       "\nshape checks: writes client-CPU-bound near 40 MB/s; saturation >> single\n"
       "client; mirroring roughly halves saturation bandwidth.\n");

@@ -39,19 +39,66 @@ Uproxy::~Uproxy() {
   net_.RemoveTap(client_host_.addr());
 }
 
+void Uproxy::set_metrics(obs::Metrics* metrics) {
+  if (metrics == nullptr || !metrics->enabled()) {
+    return;
+  }
+  obs::MetricsRegistry& reg = metrics->Registry(client_host_.addr());
+  // Hot-path instruments.
+  m_cpu_ = reg.GetHistogram("uproxy_cpu_ns");
+  m_attr_hits_ = reg.GetCounter("uproxy_attr_hits");
+  m_attr_misses_ = reg.GetCounter("uproxy_attr_misses");
+  // Route mix and soft-state counters: providers over the OpCounters the
+  // µproxy already maintains — nothing new on the request path.
+  static constexpr std::pair<const char*, const char*> kFromOpCounters[] = {
+      {"uproxy_intercepted", "intercepted"},
+      {"uproxy_pass_through", "pass_through"},
+      {"uproxy_duplicates_absorbed", "duplicate_absorbed"},
+      {"uproxy_route_dir", "routed_dir"},
+      {"uproxy_route_sfs", "routed_sfs"},
+      {"uproxy_route_storage", "routed_storage"},
+      {"uproxy_mirrored_writes", "mirrored_writes"},
+      {"uproxy_small_commits", "small_commits"},
+      {"uproxy_multi_commits", "multi_commits"},
+      {"uproxy_unavailable_rejected", "unavailable_rejected"},
+      {"uproxy_map_fetches", "map_fetches"},
+      {"uproxy_attrs_patched", "attrs_patched"},
+      {"uproxy_table_installs", "table_installs"},
+      {"uproxy_table_fetches", "table_fetches"},
+      {"uproxy_misdirect_notices", "misdirect_notices"},
+      {"uproxy_soft_state_drops", "soft_state_drops"},
+  };
+  for (const auto& [metric, op] : kFromOpCounters) {
+    reg.GetCounter(metric)->SetProvider(
+        [this, op = std::string_view(op)]() { return counters_.Get(op); });
+  }
+  reg.GetCounter("uproxy_attr_evictions")->SetProvider(
+      [this]() { return attr_cache_.evictions(); });
+  reg.GetCounter("uproxy_own_retransmits")->SetProvider(
+      [this]() { return own_rpc_->retransmissions(); });
+  reg.GetGauge("uproxy_pending")->SetProvider(
+      [this]() { return static_cast<int64_t>(pending_.size()); });
+  reg.GetGauge("uproxy_table_epoch")->SetProvider(
+      [this]() { return static_cast<int64_t>(table_epoch_); });
+}
+
 NfsTime Uproxy::Now() const {
   return NfsTime{static_cast<uint32_t>(queue_.now() / kNanosPerSec),
                  static_cast<uint32_t>(queue_.now() % kNanosPerSec)};
 }
 
 SimTime Uproxy::ChargeCpu() {
-  return cpu_.Acquire(queue_.now(), FromMicros(config_.per_packet_cpu_us));
+  const SimTime now = queue_.now();
+  const SimTime done = cpu_.Acquire(now, FromMicros(config_.per_packet_cpu_us));
+  obs::Observe(m_cpu_, done - now);
+  return done;
 }
 
 SimTime Uproxy::ChargeCpu(const obs::TraceContext& ctx) {
   const SimTime now = queue_.now();
   const SimTime start = std::max(cpu_.busy_until(), now);
   const SimTime done = cpu_.Acquire(now, FromMicros(config_.per_packet_cpu_us));
+  obs::Observe(m_cpu_, done - now);
   if (tracer_ != nullptr && ctx.valid()) {
     if (start > now) {
       tracer_->RecordSpan(client_host_.addr(), ctx, obs::SpanCat::kQueue, "uproxy_cpu_wait",
@@ -586,6 +633,13 @@ void Uproxy::PatchReplyAttrs(Packet& pkt, const Pending& pending, const DecodedR
   Result<Fattr3> server_attr = DecodeFattr3(dec);
   if (!server_attr.ok()) {
     return;
+  }
+  // Hit = the cache already knew this file before the reply merged in
+  // (merge always inserts, so the check must precede it).
+  if (attr_cache_.Find(server_attr->fileid) != nullptr) {
+    obs::Inc(m_attr_hits_);
+  } else {
+    obs::Inc(m_attr_misses_);
   }
   attr_cache_.MergeFromReply(server_attr->fileid, *server_attr);
   const AttrCache::Entry* entry = attr_cache_.Find(server_attr->fileid);

@@ -31,6 +31,7 @@
 #include "src/dir/dir_server.h"
 #include "src/mgmt/mgmt_proto.h"
 #include "src/net/host.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/rpc/rpc_client.h"
 #include "src/sim/stats.h"
@@ -123,6 +124,11 @@ class Uproxy : public PacketTap {
     tracer_ = tracer;
     own_rpc_->set_tracer(tracer);
   }
+
+  // Metrics plane: route-mix and soft-state counters are provider-backed
+  // over the OpCounters the µproxy already maintains; only the per-request
+  // CPU histogram and attr-cache hit/miss counters touch the hot path.
+  void set_metrics(obs::Metrics* metrics);
 
   // --- routing decisions, exposed for tests and the Table 3 bench ---
 
@@ -246,6 +252,10 @@ class Uproxy : public PacketTap {
   RoutingTable sfs_table_;
   AttrCache attr_cache_;
   obs::Tracer* tracer_ = nullptr;
+  // Hot-path instruments (null when metrics are off — see obs::Inc/Observe).
+  obs::Histogram* m_cpu_ = nullptr;
+  obs::Counter* m_attr_hits_ = nullptr;
+  obs::Counter* m_attr_misses_ = nullptr;
   std::unique_ptr<RpcClient> own_rpc_;  // µproxy-originated traffic
   BusyResource cpu_;
   std::unordered_map<uint64_t, Pending> pending_;

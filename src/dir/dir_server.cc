@@ -927,6 +927,31 @@ void DirServer::DispatchCall(const RpcMessageView& call, const Endpoint& client,
   RpcServerNode::DispatchCall(call, client, std::move(done));
 }
 
+void DirServer::set_metrics(obs::Metrics* metrics) {
+  RpcServerNode::set_metrics(metrics);
+  if (metrics == nullptr || !metrics->enabled()) {
+    return;
+  }
+  obs::MetricsRegistry& reg = metrics->Registry(addr());
+  reg.GetCounter("dir_local_ops")->SetProvider([this]() { return local_ops_; });
+  reg.GetCounter("dir_cross_site_ops")->SetProvider([this]() { return cross_site_ops_; });
+  reg.GetCounter("dir_misdirects")->SetProvider([this]() { return misdirects_answered_; });
+  reg.GetGauge("dir_adopted_sites")->SetProvider(
+      [this]() { return static_cast<int64_t>(adopted_sites_.size()); });
+  // Name-space op mix: one counter per NFS procedure actually seen.
+  for (size_t p = 0; p < kNfsProcCount; ++p) {
+    std::string name = "dir_op_";
+    name += NfsProcName(static_cast<NfsProc>(p));
+    reg.GetCounter(name)->SetProvider([this, p]() { return proc_counts_[p]; });
+  }
+  if (wal_) {
+    reg.GetCounter("dir_wal_bytes")->SetProvider([this]() { return wal_->bytes_logged(); });
+    reg.GetCounter("dir_wal_records")->SetProvider(
+        [this]() { return wal_->records_logged(); });
+    reg.GetCounter("dir_wal_flushes")->SetProvider([this]() { return wal_->flushes(); });
+  }
+}
+
 RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& reply,
                                     ServiceCost& cost) {
   if (call.prog != kNfsProgram || call.vers != kNfsVersion) {
@@ -935,6 +960,9 @@ RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& repl
   const NfsProc proc = static_cast<NfsProc>(call.proc);
   cost.AddCpu(FromMicros(params_.op_cpu_us));
   ++local_ops_;
+  if (call.proc < kNfsProcCount) {
+    ++proc_counts_[call.proc];
+  }
 
   if (recovering_ || adopting_ > 0) {
     EncodeErrorFor(proc, Nfsstat3::kErrJukebox, reply);

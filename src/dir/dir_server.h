@@ -91,6 +91,10 @@ class DirServer : public RpcServerNode {
     }
   }
 
+  // Adds name-space op mix (per NFS procedure), misdirect, and WAL
+  // instruments on top of the base server metrics.
+  void set_metrics(obs::Metrics* metrics) override;
+
   // --- ensemble control-plane integration (src/mgmt) ---
 
   // Installs the manager's epoch-stamped view: slots[s] is the physical dir
@@ -210,6 +214,8 @@ class DirServer : public RpcServerNode {
   bool recovering_ = false;
   uint64_t cross_site_ops_ = 0;
   uint64_t local_ops_ = 0;
+  // Op mix indexed by NfsProc (always maintained — one array increment).
+  uint64_t proc_counts_[kNfsProcCount] = {};
 
   // Control-plane view (empty slots = no manager; checks disabled).
   uint64_t mgmt_epoch_ = 0;

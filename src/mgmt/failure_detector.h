@@ -59,6 +59,18 @@ class HeartbeatFailureDetector {
     return it != nodes_.end() && it->second.alive;
   }
   size_t tracked() const { return nodes_.size(); }
+  // Nodes still considered alive but silent for at least `silence` — the
+  // heartbeat-miss watchdog's input: suspicion building before the timeout
+  // declares them dead.
+  size_t SilentCount(SimTime now, SimTime silence) const {
+    size_t n = 0;
+    for (const auto& [id, entry] : nodes_) {
+      if (entry.alive && now > entry.last_heard && now - entry.last_heard >= silence) {
+        ++n;
+      }
+    }
+    return n;
+  }
   size_t dead_count() const {
     size_t n = 0;
     for (const auto& [id, entry] : nodes_) {

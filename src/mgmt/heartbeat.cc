@@ -15,9 +15,20 @@ RpcClientParams OneShotParams() {
 
 HeartbeatAgent::HeartbeatAgent(Host& host, EventQueue& queue,
                                HeartbeatAgentParams params)
-    : queue_(queue), params_(params), rpc_(host, queue, OneShotParams()) {}
+    : queue_(queue), params_(params), addr_(host.addr()), rpc_(host, queue, OneShotParams()) {}
 
 HeartbeatAgent::~HeartbeatAgent() { *alive_ = false; }
+
+void HeartbeatAgent::RegisterMetrics(obs::Metrics* metrics) {
+  if (metrics == nullptr || !metrics->enabled()) {
+    return;
+  }
+  obs::MetricsRegistry& reg = metrics->Registry(addr_);
+  reg.GetCounter("hb_beats_sent")->SetProvider([this]() { return beats_sent_; });
+  reg.GetCounter("hb_beats_acked")->SetProvider([this]() { return beats_acked_; });
+  reg.GetGauge("hb_known_epoch")->SetProvider(
+      [this]() { return static_cast<int64_t>(known_epoch_); });
+}
 
 void HeartbeatAgent::Start() {
   std::shared_ptr<bool> alive = alive_;

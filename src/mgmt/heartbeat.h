@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "src/mgmt/mgmt_proto.h"
+#include "src/obs/metrics.h"
 #include "src/rpc/rpc_client.h"
 
 namespace slice {
@@ -33,6 +34,9 @@ class HeartbeatAgent {
   // Sends the first beat immediately and arms the background timer.
   void Start();
 
+  // Registers this agent's beat counters against its host's registry.
+  void RegisterMetrics(obs::Metrics* metrics);
+
   uint64_t beats_sent() const { return beats_sent_; }
   uint64_t beats_acked() const { return beats_acked_; }
   // Last epoch the manager reported in a heartbeat reply.
@@ -43,6 +47,7 @@ class HeartbeatAgent {
 
   EventQueue& queue_;
   HeartbeatAgentParams params_;
+  NetAddr addr_;
   RpcClient rpc_;
   uint64_t beats_sent_ = 0;
   uint64_t beats_acked_ = 0;

@@ -12,6 +12,26 @@ EnsembleManager::EnsembleManager(Network& net, EventQueue& queue, NetAddr addr,
       params_(params),
       detector_(FailureDetectorParams{params.failure_timeout}) {}
 
+void EnsembleManager::set_metrics(obs::Metrics* metrics) {
+  RpcServerNode::set_metrics(metrics);
+  if (metrics == nullptr || !metrics->enabled()) {
+    return;
+  }
+  obs::MetricsRegistry& reg = metrics->Registry(addr());
+  reg.GetCounter("mgmt_heartbeats_rx")->SetProvider([this]() { return heartbeats_received_; });
+  reg.GetCounter("mgmt_reconfigurations")->SetProvider([this]() { return reconfigurations_; });
+  reg.GetGauge("mgmt_epoch")->SetProvider(
+      [this]() { return static_cast<int64_t>(tables_.epoch); });
+  reg.GetGauge("mgmt_nodes_dead")->SetProvider(
+      [this]() { return static_cast<int64_t>(detector_.dead_count()); });
+  // Suspicion ahead of the timeout: alive nodes silent for two heartbeat
+  // intervals or more (the heartbeat_miss watchdog's input).
+  reg.GetGauge("mgmt_silent_nodes")->SetProvider([this]() {
+    return static_cast<int64_t>(
+        detector_.SilentCount(queue().now(), 2 * params_.heartbeat_interval));
+  });
+}
+
 void EnsembleManager::Start() {
   SLICE_CHECK(!started_);
   started_ = true;

@@ -67,6 +67,11 @@ class EnsembleManager : public RpcServerNode {
   uint64_t reconfigurations() const { return reconfigurations_; }
   uint64_t heartbeats_received() const { return heartbeats_received_; }
 
+  // Adds control-plane instruments on top of the base server metrics:
+  // heartbeat totals, epoch, declared-dead count, and the silent-node gauge
+  // the heartbeat_miss watchdog watches (silence >= 2 heartbeat intervals).
+  void set_metrics(obs::Metrics* metrics) override;
+
  protected:
   RpcAcceptStat HandleCall(const RpcMessageView& call, XdrEncoder& reply,
                            ServiceCost& cost) override;

@@ -1,6 +1,7 @@
 #include "src/net/network.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "src/common/logging.h"
 
@@ -15,6 +16,67 @@ Network::Network(EventQueue& queue, NetworkParams params)
 void Network::Attach(NetAddr addr, Handler handler) {
   SLICE_CHECK(!hosts_.contains(addr));
   hosts_[addr].handler = std::move(handler);
+  RegisterHostMetrics(addr);
+}
+
+void Network::set_metrics(obs::Metrics* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr || !metrics_->enabled()) {
+    return;
+  }
+  // Back-fill hosts attached before the metrics hub arrived, in address
+  // order (registry creation order is irrelevant to the sorted exports, but
+  // deterministic iteration costs nothing).
+  std::vector<NetAddr> addrs;
+  addrs.reserve(hosts_.size());
+  for (const auto& [addr, host] : hosts_) {
+    addrs.push_back(addr);
+  }
+  std::sort(addrs.begin(), addrs.end());
+  for (const NetAddr addr : addrs) {
+    RegisterHostMetrics(addr);
+  }
+}
+
+void Network::RegisterHostMetrics(NetAddr addr) {
+  if (metrics_ == nullptr || !metrics_->enabled()) {
+    return;
+  }
+  auto it = hosts_.find(addr);
+  if (it == hosts_.end()) {
+    return;
+  }
+  obs::MetricsRegistry& reg = metrics_->Registry(addr);
+  Host& host = it->second;
+  host.m_pkts_tx = reg.GetCounter("net_pkts_tx");
+  host.m_bytes_tx = reg.GetCounter("net_bytes_tx");
+  host.m_pkts_rx = reg.GetCounter("net_pkts_rx");
+  host.m_pkts_dropped = reg.GetCounter("net_pkts_dropped");
+  // NIC serialization time and backlog come straight from the BusyResources.
+  // Providers re-find the host by address each poll — the unordered_map may
+  // rehash as hosts attach, so captured element pointers would dangle. A
+  // detached host simply reads 0 from then on.
+  reg.GetCounter("net_nic_tx_busy_ns")->SetProvider([this, addr]() -> uint64_t {
+    const auto host_it = hosts_.find(addr);
+    return host_it == hosts_.end()
+               ? 0
+               : static_cast<uint64_t>(host_it->second.tx.total_busy_time());
+  });
+  reg.GetCounter("net_nic_rx_busy_ns")->SetProvider([this, addr]() -> uint64_t {
+    const auto host_it = hosts_.find(addr);
+    return host_it == hosts_.end()
+               ? 0
+               : static_cast<uint64_t>(host_it->second.rx.total_busy_time());
+  });
+  reg.GetGauge("net_nic_tx_backlog_ns")->SetProvider([this, addr]() -> int64_t {
+    const auto host_it = hosts_.find(addr);
+    if (host_it == hosts_.end()) {
+      return 0;
+    }
+    const auto backlog = static_cast<int64_t>(host_it->second.tx.busy_until()) -
+                         static_cast<int64_t>(queue_.now());
+    return backlog > 0 ? backlog : 0;
+  });
 }
 
 void Network::Detach(NetAddr addr) { hosts_.erase(addr); }
@@ -74,9 +136,12 @@ void Network::Transmit(Packet&& pkt) {
 
   ++packets_sent_;
   bytes_sent_ += pkt.size();
+  obs::Inc(src_it->second.m_pkts_tx);
+  obs::Inc(src_it->second.m_bytes_tx, pkt.size());
 
   if (params_.loss_rate > 0 && loss_rng_.NextBool(params_.loss_rate)) {
     ++packets_dropped_;
+    obs::Inc(src_it->second.m_pkts_dropped);
     if (tracer_ != nullptr) {
       tracer_->RecordInstant(pkt.src_addr(), ctx, "drop:loss", queue_.now());
     }
@@ -135,6 +200,7 @@ void Network::Transmit(Packet&& pkt) {
         }
         return;
       }
+      obs::Inc(host_it->second.m_pkts_rx);
       if (host_it->second.tap != nullptr) {
         host_it->second.tap->HandleInbound(std::move(*shared));
       } else {

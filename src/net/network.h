@@ -18,6 +18,7 @@
 
 #include "src/common/rng.h"
 #include "src/net/packet.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 
@@ -80,6 +81,12 @@ class Network {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
   obs::Tracer* tracer() { return tracer_; }
 
+  // Metrics plane: registers per-host NIC instruments (packet/byte counters
+  // on the hot path, busy-time and backlog providers polled at scrape time)
+  // for every currently attached host and every host attached afterwards.
+  void set_metrics(obs::Metrics* metrics);
+  obs::Metrics* metrics() { return metrics_; }
+
   EventQueue& queue() { return queue_; }
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_dropped() const { return packets_dropped_; }
@@ -91,13 +98,21 @@ class Network {
     PacketTap* tap = nullptr;
     BusyResource tx;
     BusyResource rx;
+    // Registry-owned instruments (stable heap slots); null when metrics are
+    // off, so the hot path pays one branch and nothing else.
+    obs::Counter* m_pkts_tx = nullptr;
+    obs::Counter* m_bytes_tx = nullptr;
+    obs::Counter* m_pkts_rx = nullptr;
+    obs::Counter* m_pkts_dropped = nullptr;
   };
 
   void Transmit(Packet&& pkt);
+  void RegisterHostMetrics(NetAddr addr);
 
   EventQueue& queue_;
   NetworkParams params_;
   obs::Tracer* tracer_ = nullptr;
+  obs::Metrics* metrics_ = nullptr;
   double ns_per_byte_;
   std::unordered_map<NetAddr, Host> hosts_;
   std::unordered_map<NetAddr, bool> failed_;

@@ -47,6 +47,9 @@ enum class NfsProc : uint32_t {
   kCommit = 21,
 };
 
+// Number of procedures in the NfsProc enum (contiguous from kNull).
+inline constexpr size_t kNfsProcCount = 22;
+
 const char* NfsProcName(NfsProc proc);
 
 enum class Nfsstat3 : uint32_t {

@@ -1,0 +1,97 @@
+#include "src/obs/metrics.h"
+
+namespace slice::obs {
+namespace {
+
+template <typename T>
+T* GetOrCreate(std::map<std::string, std::unique_ptr<T>, std::less<>>& slots,
+               std::string_view name) {
+  auto it = slots.find(name);
+  if (it == slots.end()) {
+    it = slots.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  return GetOrCreate(counters_, name);
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) { return GetOrCreate(gauges_, name); }
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetOrCreate(histograms_, name);
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+std::vector<WatchdogRule> DefaultWatchdogRules(SimTime scrape_interval) {
+  std::vector<WatchdogRule> rules;
+
+  // Disk arm backlog watermark: more than ~25ms of queued positioning +
+  // transfer work on a storage node's busiest arm, sustained for two
+  // scrapes, means the arms are the bottleneck (paper §5's saturation mode).
+  rules.push_back(WatchdogRule{.name = "disk_backlog",
+                               .metric = "storage_disk_backlog_ns",
+                               .mode = WatchdogMode::kValue,
+                               .raise_threshold = static_cast<int64_t>(FromMillis(25)),
+                               .clear_threshold = static_cast<int64_t>(FromMillis(5)),
+                               .raise_streak = 2,
+                               .clear_streak = 2});
+
+  // NIC transmit link >90% utilized across a scrape window (busy-ns delta
+  // against the window length).
+  rules.push_back(
+      WatchdogRule{.name = "link_saturation",
+                   .metric = "net_nic_tx_busy_ns",
+                   .mode = WatchdogMode::kDelta,
+                   .raise_threshold = static_cast<int64_t>(scrape_interval * 9 / 10),
+                   .clear_threshold = static_cast<int64_t>(scrape_interval / 2),
+                   .raise_streak = 2,
+                   .clear_streak = 2});
+
+  // Heartbeat-miss streak: nodes the manager still considers alive but that
+  // have been silent past two heartbeat intervals, for two scrapes running.
+  // Clears when the silence ends — or when the failure detector gives up and
+  // declares the node dead (node_dead below takes over).
+  rules.push_back(WatchdogRule{.name = "heartbeat_miss",
+                               .metric = "mgmt_silent_nodes",
+                               .mode = WatchdogMode::kValue,
+                               .raise_threshold = 1,
+                               .clear_threshold = 0,
+                               .raise_streak = 2,
+                               .clear_streak = 1});
+
+  // Membership loss: the failure detector has declared at least one node
+  // dead.
+  rules.push_back(WatchdogRule{.name = "node_dead",
+                               .metric = "mgmt_nodes_dead",
+                               .mode = WatchdogMode::kValue,
+                               .raise_threshold = 1,
+                               .clear_threshold = 0,
+                               .raise_streak = 1,
+                               .clear_streak = 1});
+
+  // Server CPU backlog: requests queued behind a busy service CPU.
+  rules.push_back(WatchdogRule{.name = "srv_cpu_backlog",
+                               .metric = "srv_cpu_backlog_ns",
+                               .mode = WatchdogMode::kValue,
+                               .raise_threshold = static_cast<int64_t>(FromMillis(20)),
+                               .clear_threshold = static_cast<int64_t>(FromMillis(2)),
+                               .raise_streak = 2,
+                               .clear_streak = 2});
+
+  return rules;
+}
+
+}  // namespace slice::obs

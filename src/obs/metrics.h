@@ -1,0 +1,191 @@
+// Ensemble-wide metrics plane (observability subsystem).
+//
+// Every host in the simulated ensemble owns a MetricsRegistry of typed
+// instruments: monotonic Counters, Gauges, and Histograms backed by the
+// log-scale LatencyStats buckets. Instruments are either pushed from hot
+// paths through the null-safe Inc/Set/Observe helpers, or pulled at sample
+// time through a provider callback — the Prometheus CounterFunc idiom —
+// which lets components expose the accessor counters they already keep
+// (requests served, cache hits, disk busy time) with zero hot-path cost.
+//
+// The registries feed two consumers: the sim-time Scraper (obs/timeseries.h)
+// which snapshots every instrument into fixed-interval time-series rings and
+// evaluates saturation watchdogs, and the exporters (obs/metrics_export.h)
+// which produce Prometheus text exposition and a canonical JSON snapshot.
+//
+// Design constraints mirror the tracer's:
+//  * Near-zero cost when disabled: components hold null instrument pointers
+//    and every instrumentation site reduces to one null check — no lookup,
+//    no allocation.
+//  * Deterministic: registries are keyed by host address and instruments by
+//    name in ordered maps, so iteration order — and every export derived
+//    from it — is stable run-to-run for a given seed.
+#ifndef SLICE_OBS_METRICS_H_
+#define SLICE_OBS_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/stats.h"
+
+namespace slice::obs {
+
+// Monotonically non-decreasing event count. Either accumulated with Add()
+// from instrumentation sites, or backed by a provider polled at sample time
+// (the provider's value replaces the accumulated one).
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_ += delta; }
+  void SetProvider(std::function<uint64_t()> provider) { provider_ = std::move(provider); }
+  uint64_t Value() const { return provider_ ? provider_() : value_; }
+  bool has_provider() const { return static_cast<bool>(provider_); }
+
+ private:
+  uint64_t value_ = 0;
+  std::function<uint64_t()> provider_;
+};
+
+// Point-in-time level (queue depth, backlog nanoseconds, resident entries).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_ = value; }
+  void Add(int64_t delta) { value_ += delta; }
+  void SetProvider(std::function<int64_t()> provider) { provider_ = std::move(provider); }
+  int64_t Value() const { return provider_ ? provider_() : value_; }
+
+ private:
+  int64_t value_ = 0;
+  std::function<int64_t()> provider_;
+};
+
+// Distribution instrument backed by the fixed-memory log-scale LatencyStats
+// histogram (count/sum/min/max exact, ~3% bounded quantile error).
+class Histogram {
+ public:
+  void Observe(SimTime value) { stats_.Record(value); }
+  void Merge(const Histogram& other) { stats_.Merge(other.stats_); }
+  const LatencyStats& stats() const { return stats_; }
+
+ private:
+  LatencyStats stats_;
+};
+
+// Null-safe hot-path helpers: components hold plain instrument pointers that
+// stay null when metrics are disabled, so the disabled path is one branch.
+inline void Inc(Counter* counter, uint64_t delta = 1) {
+  if (counter != nullptr) {
+    counter->Add(delta);
+  }
+}
+inline void Set(Gauge* gauge, int64_t value) {
+  if (gauge != nullptr) {
+    gauge->Set(value);
+  }
+}
+inline void Observe(Histogram* histogram, SimTime value) {
+  if (histogram != nullptr) {
+    histogram->Observe(value);
+  }
+}
+
+// One host's instruments, keyed by metric name in sorted order. Get* returns
+// a stable pointer (instruments are heap-slotted), creating on first use.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  // Read-side lookups; null when the instrument was never registered.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+
+  const std::map<std::string, std::unique_ptr<Counter>, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>, std::less<>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+struct MetricsParams {
+  bool enabled = true;
+  // Scraper cadence: samples land at exact multiples of this interval.
+  SimTime scrape_interval = FromMillis(100);
+  // Bounded samples kept per (host, metric) time series; oldest dropped.
+  size_t series_capacity = 4096;
+};
+
+// The per-ensemble metrics hub: one registry per host address, in address
+// order. Components receive a Metrics* via set_metrics() and register their
+// instruments/providers against their own host's registry.
+class Metrics {
+ public:
+  explicit Metrics(MetricsParams params = {}) : params_(params) {}
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  bool enabled() const { return params_.enabled; }
+  const MetricsParams& params() const { return params_; }
+
+  MetricsRegistry& Registry(uint32_t host) { return registries_[host]; }
+  const std::map<uint32_t, MetricsRegistry>& registries() const { return registries_; }
+
+ private:
+  MetricsParams params_;
+  std::map<uint32_t, MetricsRegistry> registries_;  // ordered => deterministic
+};
+
+// --- saturation watchdogs -------------------------------------------------
+
+// How a rule reads its metric each scrape: the sampled value itself, or the
+// per-window delta against the previous scrape (for monotonic counters —
+// e.g. busy-nanoseconds per window is a utilization measure).
+enum class WatchdogMode : uint8_t { kValue = 0, kDelta = 1 };
+
+// Threshold rule with hysteresis, evaluated per host each scrape. Raises
+// after `raise_streak` consecutive samples >= raise_threshold; clears after
+// `clear_streak` consecutive samples <= clear_threshold.
+struct WatchdogRule {
+  std::string name;    // alert name, e.g. "disk_backlog"
+  std::string metric;  // instrument watched (counter or gauge)
+  WatchdogMode mode = WatchdogMode::kValue;
+  int64_t raise_threshold = 0;
+  int64_t clear_threshold = 0;
+  uint32_t raise_streak = 1;
+  uint32_t clear_streak = 1;
+};
+
+// Structured alert record emitted on every raise/clear edge, consumable by
+// tests and serialized into the JSON snapshot.
+struct Alert {
+  SimTime at = 0;
+  std::string rule;
+  uint32_t host = 0;
+  int64_t value = 0;   // the sample that crossed the edge
+  bool raise = true;   // false = cleared
+};
+
+// The stock rule set the ensemble installs: disk queue-depth watermark, NIC
+// transmit >90% utilization per window, heartbeat-miss streak, declared-dead
+// membership, and server CPU backlog.
+std::vector<WatchdogRule> DefaultWatchdogRules(SimTime scrape_interval);
+
+}  // namespace slice::obs
+
+#endif  // SLICE_OBS_METRICS_H_

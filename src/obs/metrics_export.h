@@ -1,0 +1,41 @@
+// Metrics exporters: Prometheus-style text exposition for eyeballs and
+// scrape-shaped tooling, and a canonical JSON snapshot whose byte content is
+// deterministic for a given seed — sorted host/metric iteration, integer
+// values only (times in nanoseconds), no locale- or platform-dependent
+// float formatting anywhere. MetricsContentHash over the JSON is the
+// metrics-plane analogue of the trace content hash: any behaviour change
+// (extra request, different cache mix, late failover) shows up as a diff.
+#ifndef SLICE_OBS_METRICS_EXPORT_H_
+#define SLICE_OBS_METRICS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
+
+namespace slice::obs {
+
+// Dotted-quad rendering of a host address ("10.0.3.0") — stable labels for
+// both exposition formats.
+std::string FormatHostAddr(uint32_t addr);
+
+// Locale-independent fixed-point decimal append (integer math only).
+// Shared by the bench JSON baseline writer.
+void AppendFixed(std::string& out, double value, int decimals);
+
+// Prometheus text exposition: one family per metric name (slice_ prefix),
+// one sample per host, histograms as summaries with p50/p95/p99 quantiles.
+std::string ExportPrometheus(const Metrics& metrics);
+
+// Canonical JSON snapshot: every instrument's current value per host, plus
+// (when a scraper is supplied) the time-series rings and alert log.
+// Stable key order; byte-identical across same-seed runs.
+std::string ExportMetricsJson(const Metrics& metrics, const Scraper* scraper = nullptr);
+
+// FNV-1a over the canonical JSON bytes.
+uint64_t MetricsContentHash(std::string_view canonical_json);
+
+}  // namespace slice::obs
+
+#endif  // SLICE_OBS_METRICS_EXPORT_H_

@@ -1,0 +1,123 @@
+#include "src/obs/timeseries.h"
+
+namespace slice::obs {
+
+void Scraper::Start() {
+  if (started_ || !metrics_.enabled()) {
+    return;
+  }
+  started_ = true;
+  ScheduleNext();
+}
+
+void Scraper::ScheduleNext() {
+  const SimTime interval = metrics_.params().scrape_interval;
+  // Next exact multiple of the interval strictly after now: scrapes are
+  // window-aligned regardless of when the scraper was started.
+  const SimTime next = (queue_.now() / interval + 1) * interval;
+  queue_.ScheduleBackgroundAt(next, [this, alive = alive_]() {
+    if (!*alive) {
+      return;
+    }
+    ScrapeOnce();
+    ScheduleNext();
+  });
+}
+
+void Scraper::ScrapeOnce() {
+  const SimTime now = queue_.now();
+  const size_t capacity = metrics_.params().series_capacity;
+  for (const auto& [host, reg] : metrics_.registries()) {
+    auto& host_series = series_[host];
+    auto push = [&](const std::string& name, int64_t value) {
+      auto it = host_series.find(name);
+      if (it == host_series.end()) {
+        it = host_series.emplace(name, TimeSeries(capacity)).first;
+      }
+      it->second.Push(now, value);
+    };
+    for (const auto& [name, counter] : reg.counters()) {
+      push(name, static_cast<int64_t>(counter->Value()));
+    }
+    for (const auto& [name, gauge] : reg.gauges()) {
+      push(name, gauge->Value());
+    }
+    for (const auto& [name, histogram] : reg.histograms()) {
+      push(name, static_cast<int64_t>(histogram->stats().count()));
+    }
+  }
+  ++scrapes_;
+  EvaluateRules(now);
+}
+
+int64_t Scraper::SampleMetric(const MetricsRegistry& reg, std::string_view name,
+                              bool* found) const {
+  if (const Counter* counter = reg.FindCounter(name); counter != nullptr) {
+    *found = true;
+    return static_cast<int64_t>(counter->Value());
+  }
+  if (const Gauge* gauge = reg.FindGauge(name); gauge != nullptr) {
+    *found = true;
+    return gauge->Value();
+  }
+  *found = false;
+  return 0;
+}
+
+void Scraper::EvaluateRules(SimTime now) {
+  for (size_t r = 0; r < rules_.size(); ++r) {
+    const WatchdogRule& rule = rules_[r];
+    for (const auto& [host, reg] : metrics_.registries()) {
+      bool found = false;
+      const int64_t value = SampleMetric(reg, rule.metric, &found);
+      if (!found) {
+        continue;
+      }
+      RuleState& st = state_[{r, host}];
+      int64_t sample = value;
+      if (rule.mode == WatchdogMode::kDelta) {
+        if (!st.has_prev) {
+          // First observation establishes the window baseline.
+          st.prev = value;
+          st.has_prev = true;
+          continue;
+        }
+        sample = value - st.prev;
+        st.prev = value;
+      }
+      if (!st.raised) {
+        if (sample >= rule.raise_threshold) {
+          if (++st.above >= rule.raise_streak) {
+            st.raised = true;
+            st.above = 0;
+            st.below = 0;
+            alerts_.push_back(Alert{now, rule.name, host, sample, /*raise=*/true});
+          }
+        } else {
+          st.above = 0;
+        }
+      } else {
+        if (sample <= rule.clear_threshold) {
+          if (++st.below >= rule.clear_streak) {
+            st.raised = false;
+            st.above = 0;
+            st.below = 0;
+            alerts_.push_back(Alert{now, rule.name, host, sample, /*raise=*/false});
+          }
+        } else {
+          st.below = 0;
+        }
+      }
+    }
+  }
+}
+
+size_t Scraper::active_alerts() const {
+  size_t n = 0;
+  for (const auto& [key, st] : state_) {
+    n += st.raised ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace slice::obs

@@ -1,0 +1,116 @@
+// Sim-time metrics scraping: a periodic DES background event that snapshots
+// every registered instrument into fixed-interval, bounded time-series rings
+// and evaluates the saturation watchdog rules with hysteresis.
+//
+// Scrapes land at exact multiples of the scrape interval (window-aligned),
+// so two same-seed runs sample identical sim-times and produce identical
+// series — the scraper introduces no nondeterminism of its own.
+#ifndef SLICE_OBS_TIMESERIES_H_
+#define SLICE_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/sim/event_queue.h"
+
+namespace slice::obs {
+
+struct Sample {
+  SimTime at = 0;
+  int64_t value = 0;
+};
+
+// Bounded fixed-interval sample ring: oldest samples are dropped on
+// overflow (soft state, like the span rings).
+class TimeSeries {
+ public:
+  explicit TimeSeries(size_t capacity) : slots_(capacity > 0 ? capacity : 1) {}
+
+  void Push(SimTime at, int64_t value) {
+    if (size_ == slots_.size()) {
+      slots_[head_] = Sample{at, value};
+      head_ = (head_ + 1) % slots_.size();
+      ++dropped_;
+    } else {
+      slots_[(head_ + size_) % slots_.size()] = Sample{at, value};
+      ++size_;
+    }
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return slots_.size(); }
+  uint64_t dropped() const { return dropped_; }
+  // i-th sample, oldest first.
+  const Sample& at(size_t i) const { return slots_[(head_ + i) % slots_.size()]; }
+  const Sample& back() const { return at(size_ - 1); }
+
+ private:
+  std::vector<Sample> slots_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+class Scraper {
+ public:
+  Scraper(EventQueue& queue, Metrics& metrics) : queue_(queue), metrics_(metrics) {}
+  ~Scraper() { *alive_ = false; }
+
+  Scraper(const Scraper&) = delete;
+  Scraper& operator=(const Scraper&) = delete;
+
+  void AddRule(WatchdogRule rule) { rules_.push_back(std::move(rule)); }
+  const std::vector<WatchdogRule>& rules() const { return rules_; }
+
+  // Arms the background scrape timer; the first scrape fires at the next
+  // exact multiple of the scrape interval. No-op when metrics are disabled.
+  void Start();
+
+  // One scrape right now: samples every instrument into its series, then
+  // evaluates the watchdog rules. Exposed for tests; Start() drives this.
+  void ScrapeOnce();
+
+  // host -> metric name -> series. Histograms contribute their sample count.
+  const std::map<uint32_t, std::map<std::string, TimeSeries, std::less<>>>& series() const {
+    return series_;
+  }
+  // Raise/clear edges in emission order (scrape time, then rule order, then
+  // host order — deterministic).
+  const std::vector<Alert>& alerts() const { return alerts_; }
+  // Watchdogs currently in the raised state.
+  size_t active_alerts() const;
+  uint64_t scrapes() const { return scrapes_; }
+
+ private:
+  struct RuleState {
+    int64_t prev = 0;
+    bool has_prev = false;
+    uint32_t above = 0;
+    uint32_t below = 0;
+    bool raised = false;
+  };
+
+  void ScheduleNext();
+  void EvaluateRules(SimTime now);
+  int64_t SampleMetric(const MetricsRegistry& reg, std::string_view name, bool* found) const;
+
+  EventQueue& queue_;
+  Metrics& metrics_;
+  std::vector<WatchdogRule> rules_;
+  std::map<uint32_t, std::map<std::string, TimeSeries, std::less<>>> series_;
+  // (rule index, host) -> hysteresis state.
+  std::map<std::pair<size_t, uint32_t>, RuleState> state_;
+  std::vector<Alert> alerts_;
+  uint64_t scrapes_ = 0;
+  bool started_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace slice::obs
+
+#endif  // SLICE_OBS_TIMESERIES_H_

@@ -15,6 +15,24 @@ RpcServerNode::RpcServerNode(Network& net, EventQueue& queue, NetAddr addr, NetP
 
 RpcServerNode::~RpcServerNode() = default;
 
+void RpcServerNode::set_metrics(obs::Metrics* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr || !metrics_->enabled()) {
+    return;
+  }
+  obs::MetricsRegistry& reg = metrics_->Registry(addr());
+  reg.GetCounter("srv_requests")->SetProvider([this]() { return requests_served_; });
+  reg.GetCounter("srv_drc_replays")->SetProvider([this]() { return duplicates_answered_; });
+  reg.GetCounter("srv_cpu_busy_ns")->SetProvider([this]() {
+    return static_cast<uint64_t>(cpu_.total_busy_time());
+  });
+  reg.GetGauge("srv_cpu_backlog_ns")->SetProvider([this]() -> int64_t {
+    const auto backlog =
+        static_cast<int64_t>(cpu_.busy_until()) - static_cast<int64_t>(queue_.now());
+    return backlog > 0 ? backlog : 0;
+  });
+}
+
 void RpcServerNode::Fail() {
   failed_ = true;
   net_.SetHostFailed(host_->addr(), true);

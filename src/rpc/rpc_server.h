@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "src/net/host.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/rpc/rpc_message.h"
 #include "src/sim/event_queue.h"
@@ -75,8 +76,15 @@ class RpcServerNode {
   // the tracer to them; overrides must call the base.
   virtual void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  // Metrics plane: registers this node's request/DRC/CPU instruments against
+  // its host registry, all provider-backed (nothing added to the request hot
+  // path). Virtual so subclasses can register their own instruments on top;
+  // overrides must call the base.
+  virtual void set_metrics(obs::Metrics* metrics);
+
  protected:
   obs::Tracer* tracer() const { return tracer_; }
+  obs::Metrics* metrics() const { return metrics_; }
   // Completion functor for asynchronous dispatch: subclasses call it exactly
   // once with the accept stat, encoded result body, and accumulated cost.
   using ReplyFn = std::function<void(RpcAcceptStat, Bytes, ServiceCost)>;
@@ -108,6 +116,7 @@ class RpcServerNode {
   NetPort port_;
   RpcServerParams params_;
   obs::Tracer* tracer_ = nullptr;
+  obs::Metrics* metrics_ = nullptr;
   BusyResource cpu_;
   bool failed_ = false;
   uint64_t requests_served_ = 0;

@@ -73,6 +73,28 @@ class SmallFileServer : public RpcServerNode {
     }
   }
 
+  // Adds file-cache, backing-store traffic, and WAL instruments on top of
+  // the base server metrics.
+  void set_metrics(obs::Metrics* metrics) override {
+    RpcServerNode::set_metrics(metrics);
+    if (metrics == nullptr || !metrics->enabled()) {
+      return;
+    }
+    obs::MetricsRegistry& reg = metrics->Registry(addr());
+    reg.GetCounter("sfs_backing_fetches")->SetProvider([this]() { return backing_fetches_; });
+    reg.GetCounter("sfs_backing_flushes")->SetProvider([this]() { return backing_flushes_; });
+    reg.GetCounter("sfs_cache_hits")->SetProvider([this]() { return cache_.hits(); });
+    reg.GetCounter("sfs_cache_misses")->SetProvider([this]() { return cache_.misses(); });
+    reg.GetGauge("sfs_files")->SetProvider(
+        [this]() { return static_cast<int64_t>(maps_.size()); });
+    if (wal_) {
+      reg.GetCounter("sfs_wal_bytes")->SetProvider([this]() { return wal_->bytes_logged(); });
+      reg.GetCounter("sfs_wal_records")->SetProvider(
+          [this]() { return wal_->records_logged(); });
+      reg.GetCounter("sfs_wal_flushes")->SetProvider([this]() { return wal_->flushes(); });
+    }
+  }
+
  protected:
   void DispatchCall(const RpcMessageView& call, const Endpoint& client, ReplyFn done) override;
   RpcAcceptStat HandleCall(const RpcMessageView& call, XdrEncoder& reply,

@@ -10,6 +10,8 @@ SimTime SimDisk::SubmitIo(SimTime now, uint64_t pos, size_t bytes) {
       sequential ? params_.sequential_position_ms : params_.avg_position_ms;
   const double transfer_ns =
       static_cast<double>(bytes) / (params_.media_mb_per_s * 1e6) * 1e9;
+  position_ns_ += FromMillis(position_ms);
+  transfer_ns_ += static_cast<SimTime>(transfer_ns);
   const SimTime service = FromMillis(position_ms) + static_cast<SimTime>(transfer_ns);
   return arm_.Acquire(now, service);
 }
@@ -31,6 +33,48 @@ SimTime DiskArray::SubmitIo(SimTime now, size_t disk_index, uint64_t pos, size_t
       static_cast<SimTime>(static_cast<double>(bytes) * channel_ns_per_byte_);
   const SimTime channel_done = channel_.Acquire(now, channel_service);
   return arm_done > channel_done ? arm_done : channel_done;
+}
+
+SimTime DiskArray::TotalBusy() const {
+  SimTime total = 0;
+  for (const SimDisk& disk : disks_) {
+    total += disk.total_busy();
+  }
+  return total;
+}
+
+SimTime DiskArray::TotalPosition() const {
+  SimTime total = 0;
+  for (const SimDisk& disk : disks_) {
+    total += disk.total_position();
+  }
+  return total;
+}
+
+SimTime DiskArray::TotalTransfer() const {
+  SimTime total = 0;
+  for (const SimDisk& disk : disks_) {
+    total += disk.total_transfer();
+  }
+  return total;
+}
+
+uint64_t DiskArray::TotalIos() const {
+  uint64_t total = 0;
+  for (const SimDisk& disk : disks_) {
+    total += disk.io_count();
+  }
+  return total;
+}
+
+SimTime DiskArray::MaxBusyUntil() const {
+  SimTime max = 0;
+  for (const SimDisk& disk : disks_) {
+    if (disk.busy_until() > max) {
+      max = disk.busy_until();
+    }
+  }
+  return max;
 }
 
 }  // namespace slice

@@ -30,13 +30,25 @@ class SimDisk {
 
   uint64_t io_count() const { return arm_.jobs(); }
   SimTime total_busy() const { return arm_.total_busy_time(); }
+  // Busy-time split: positioning (seek + rotation) vs media transfer. The
+  // ratio distinguishes an arm thrashing on seeks from one streaming.
+  SimTime total_position() const { return position_ns_; }
+  SimTime total_transfer() const { return transfer_ns_; }
+  // Time at which the arm drains its current FIFO backlog.
+  SimTime busy_until() const { return arm_.busy_until(); }
   double UtilizationUpTo(SimTime horizon) const { return arm_.UtilizationUpTo(horizon); }
-  void ResetStats() { arm_.Reset(); }
+  void ResetStats() {
+    arm_.Reset();
+    position_ns_ = 0;
+    transfer_ns_ = 0;
+  }
 
  private:
   DiskParams params_;
   BusyResource arm_;
   uint64_t next_sequential_pos_ = ~0ull;
+  SimTime position_ns_ = 0;
+  SimTime transfer_ns_ = 0;
 };
 
 // A storage node's disk complement: N independent arms behind one shared
@@ -52,6 +64,15 @@ class DiskArray {
   size_t num_disks() const { return disks_.size(); }
   SimDisk& disk(size_t i) { return disks_[i]; }
   const SimDisk& disk(size_t i) const { return disks_[i]; }
+  const BusyResource& channel() const { return channel_; }
+
+  // Node-level aggregates across all arms, for the metrics providers.
+  SimTime TotalBusy() const;
+  SimTime TotalPosition() const;
+  SimTime TotalTransfer() const;
+  uint64_t TotalIos() const;
+  // The furthest-out arm completion: how deep the worst FIFO backlog runs.
+  SimTime MaxBusyUntil() const;
 
  private:
   std::vector<SimDisk> disks_;

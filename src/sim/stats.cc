@@ -54,11 +54,16 @@ SimTime LatencyStats::Percentile(double p) const {
   return max_;
 }
 
-void OpCounters::Add(const std::string& name, uint64_t delta) {
-  entries_[name] += delta;
+void OpCounters::Add(std::string_view name, uint64_t delta) {
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    it->second += delta;
+  } else {
+    entries_.emplace(std::string(name), delta);
+  }
 }
 
-uint64_t OpCounters::Get(const std::string& name) const {
+uint64_t OpCounters::Get(std::string_view name) const {
   const auto it = entries_.find(name);
   return it == entries_.end() ? 0 : it->second;
 }

@@ -8,6 +8,7 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "src/sim/event_queue.h"
@@ -30,6 +31,7 @@ class LatencyStats {
   }
 
   uint64_t count() const { return count_; }
+  SimTime sum() const { return sum_; }
   SimTime min() const { return count_ ? min_ : 0; }
   SimTime max() const { return max_; }
   double MeanMillis() const {
@@ -85,17 +87,19 @@ class LatencyStats {
 // Per-category operation counters with pretty-printing, used to report
 // request routing distributions (how many ops each server class absorbed).
 // Backed by an ordered map: O(log n) Add/Get and naturally deterministic
-// (lexicographic) ToString() ordering.
+// (lexicographic) ToString() ordering. Heterogeneous (string_view) lookup
+// means Add/Get on an existing key never allocates — metrics providers poll
+// Get() at scrape time at zero amortized cost.
 class OpCounters {
  public:
-  void Add(const std::string& name, uint64_t delta = 1);
-  uint64_t Get(const std::string& name) const;
+  void Add(std::string_view name, uint64_t delta = 1);
+  uint64_t Get(std::string_view name) const;
   std::string ToString() const;
   void Reset() { entries_.clear(); }
-  const std::map<std::string, uint64_t>& entries() const { return entries_; }
+  const std::map<std::string, uint64_t, std::less<>>& entries() const { return entries_; }
 
  private:
-  std::map<std::string, uint64_t> entries_;
+  std::map<std::string, uint64_t, std::less<>> entries_;
 };
 
 }  // namespace slice

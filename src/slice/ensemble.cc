@@ -29,6 +29,13 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
   if (config_.trace.enabled) {
     tracer_ = std::make_unique<obs::Tracer>(config_.trace);
   }
+  if (config_.metrics.enabled) {
+    metrics_ = std::make_unique<obs::Metrics>(config_.metrics);
+    scraper_ = std::make_unique<obs::Scraper>(queue_, *metrics_);
+    for (obs::WatchdogRule& rule : obs::DefaultWatchdogRules(config_.metrics.scrape_interval)) {
+      scraper_->AddRule(std::move(rule));
+    }
+  }
 
   NetworkParams net_params;
   net_params.link_gbit_per_s = config_.cal.link_gbit_per_s;
@@ -36,6 +43,7 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
   net_params.loss_rate = config_.loss_rate;
   network_ = std::make_unique<Network>(queue_, net_params);
   network_->set_tracer(tracer_.get());
+  network_->set_metrics(metrics_.get());
 
   // --- storage nodes ---
   std::vector<Endpoint> storage_endpoints;
@@ -203,6 +211,31 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
       proxy->set_tracer(tracer_.get());
     }
   }
+
+  if (metrics_) {
+    for (auto& node : storage_nodes_) {
+      node->set_metrics(metrics_.get());
+    }
+    for (auto& server : small_file_servers_) {
+      server->set_metrics(metrics_.get());
+    }
+    for (auto& coord : coordinators_) {
+      coord->set_metrics(metrics_.get());
+    }
+    for (auto& server : dir_servers_) {
+      server->set_metrics(metrics_.get());
+    }
+    if (manager_) {
+      manager_->set_metrics(metrics_.get());
+    }
+    for (auto& agent : heartbeat_agents_) {
+      agent->RegisterMetrics(metrics_.get());
+    }
+    for (auto& proxy : uproxies_) {
+      proxy->set_metrics(metrics_.get());
+    }
+    scraper_->Start();
+  }
 }
 
 Ensemble::~Ensemble() { *alive_ = false; }
@@ -312,6 +345,34 @@ std::string Ensemble::ExportTraceJson() const {
 }
 
 uint64_t Ensemble::TraceHash() const { return obs::TraceContentHash(CollectSpans()); }
+
+std::string Ensemble::ExportMetricsJson() const {
+  if (!metrics_) {
+    return {};
+  }
+  return obs::ExportMetricsJson(*metrics_, scraper_.get());
+}
+
+uint64_t Ensemble::MetricsHash() const {
+  if (!metrics_) {
+    return 0;
+  }
+  return obs::MetricsContentHash(ExportMetricsJson());
+}
+
+std::string Ensemble::ExportMetricsText() const {
+  if (!metrics_) {
+    return {};
+  }
+  return obs::ExportPrometheus(*metrics_);
+}
+
+std::vector<obs::Alert> Ensemble::alerts() const {
+  if (!scraper_) {
+    return {};
+  }
+  return scraper_->alerts();
+}
 
 obs::CriticalPathReport Ensemble::AnalyzeCriticalPath() const {
   return obs::CriticalPath::Analyze(CollectSpans());

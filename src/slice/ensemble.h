@@ -20,6 +20,9 @@
 #include "src/nfs/nfs_client.h"
 #include "src/obs/critical_path.h"
 #include "src/obs/export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/metrics_export.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 #include "src/sfs/small_file_server.h"
 #include "src/slice/calibration.h"
@@ -59,6 +62,13 @@ struct EnsembleConfig {
   // trace.enabled false no Tracer is constructed and every instrumentation
   // site reduces to a null-pointer check.
   obs::TracerParams trace{.enabled = false};
+
+  // Ensemble-wide metrics plane (src/obs): typed instruments on every host,
+  // a sim-time scraper sampling them into time series, and the stock
+  // saturation watchdogs. Off by default for the same reason as tracing —
+  // disabled means no hub is constructed, components keep null instrument
+  // pointers, and hot paths pay one branch.
+  obs::MetricsParams metrics{.enabled = false};
 };
 
 class Ensemble {
@@ -94,6 +104,18 @@ class Ensemble {
   // Ensemble manager; null when config.mgmt.enabled is false.
   EnsembleManager* manager() { return manager_.get(); }
 
+  // Metrics hub / scraper; null when config.metrics.enabled is false.
+  obs::Metrics* metrics() { return metrics_.get(); }
+  obs::Scraper* scraper() { return scraper_.get(); }
+  // Canonical JSON snapshot (instruments + series + alerts) and its FNV-1a
+  // content hash; empty/0 when metrics are off.
+  std::string ExportMetricsJson() const;
+  uint64_t MetricsHash() const;
+  // Prometheus text exposition; empty when metrics are off.
+  std::string ExportMetricsText() const;
+  // Watchdog raise/clear edges so far (empty when metrics are off).
+  std::vector<obs::Alert> alerts() const;
+
   // Tracer; null when config.trace.enabled is false.
   obs::Tracer* tracer() { return tracer_.get(); }
   // Collected spans in canonical order (empty when tracing is off).
@@ -126,6 +148,11 @@ class Ensemble {
   EnsembleConfig config_;
   Endpoint virtual_server_;
   std::unique_ptr<obs::Tracer> tracer_;  // before network_: spans outlive taps
+  // Hub before network_/components: providers registered by components are
+  // destroyed with their registries only after every pollster is gone. The
+  // scraper's queued events are guarded by its own alive flag.
+  std::unique_ptr<obs::Metrics> metrics_;
+  std::unique_ptr<obs::Scraper> scraper_;
   std::unique_ptr<Network> network_;
   std::vector<std::unique_ptr<StorageNode>> storage_nodes_;
   std::vector<std::unique_ptr<Coordinator>> coordinators_;

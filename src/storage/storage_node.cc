@@ -26,6 +26,33 @@ StorageNode::StorageNode(Network& net, EventQueue& queue, NetAddr addr,
       rng_(seed ^ addr),
       write_verifier_(rng_.NextU64()) {}
 
+void StorageNode::set_metrics(obs::Metrics* metrics) {
+  RpcServerNode::set_metrics(metrics);
+  if (metrics == nullptr || !metrics->enabled()) {
+    return;
+  }
+  obs::MetricsRegistry& reg = metrics->Registry(addr());
+  reg.GetCounter("storage_disk_ios")->SetProvider([this]() { return disks_.TotalIos(); });
+  reg.GetCounter("storage_disk_busy_ns")->SetProvider([this]() {
+    return static_cast<uint64_t>(disks_.TotalBusy());
+  });
+  reg.GetCounter("storage_disk_position_ns")->SetProvider([this]() {
+    return static_cast<uint64_t>(disks_.TotalPosition());
+  });
+  reg.GetCounter("storage_disk_transfer_ns")->SetProvider([this]() {
+    return static_cast<uint64_t>(disks_.TotalTransfer());
+  });
+  // Worst-arm backlog: the gauge the disk_backlog watchdog watches.
+  reg.GetGauge("storage_disk_backlog_ns")->SetProvider([this]() -> int64_t {
+    const auto backlog =
+        static_cast<int64_t>(disks_.MaxBusyUntil()) - static_cast<int64_t>(now());
+    return backlog > 0 ? backlog : 0;
+  });
+  reg.GetCounter("storage_cache_hits")->SetProvider([this]() { return cache_.hits(); });
+  reg.GetCounter("storage_cache_misses")->SetProvider([this]() { return cache_.misses(); });
+  reg.GetCounter("storage_prefetches")->SetProvider([this]() { return prefetches_issued_; });
+}
+
 bool StorageNode::CheckHandle(const FileHandle& fh) const {
   if (!params_.check_capability) {
     return true;

@@ -54,6 +54,10 @@ class StorageNode : public RpcServerNode {
   uint64_t write_verifier() const { return write_verifier_; }
   uint64_t prefetches_issued() const { return prefetches_issued_; }
 
+  // Adds disk-array and block-cache instruments on top of the base server
+  // metrics (all provider-backed).
+  void set_metrics(obs::Metrics* metrics) override;
+
  protected:
   RpcAcceptStat HandleCall(const RpcMessageView& call, XdrEncoder& reply,
                            ServiceCost& cost) override;

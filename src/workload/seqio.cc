@@ -34,10 +34,12 @@ void SeqIoProcess::IssueNext() {
       static_cast<SimTime>(static_cast<double>(n) * params_.client_ns_per_byte));
 
   queue_.ScheduleAt(cpu_done, [this, offset, n]() {
+    const SimTime issued = queue_.now();
     if (params_.write) {
       Bytes data(n, static_cast<uint8_t>(offset >> 15));
       client_.Write(file_, offset, data, params_.stable,
-                    [this, n](Status st, const WriteRes& res) {
+                    [this, n, issued](Status st, const WriteRes& res) {
+                      latency_.Record(queue_.now() - issued);
                       OnComplete(n, st.ok() && res.status == Nfsstat3::kOk);
                     });
       // Periodic commits let the servers flush while the stream continues
@@ -47,7 +49,8 @@ void SeqIoProcess::IssueNext() {
         client_.Commit(file_, 0, 0, [](Status, const CommitRes&) {});
       }
     } else {
-      client_.Read(file_, offset, n, [this, n](Status st, const ReadRes& res) {
+      client_.Read(file_, offset, n, [this, n, issued](Status st, const ReadRes& res) {
+        latency_.Record(queue_.now() - issued);
         OnComplete(n, st.ok() && res.status == Nfsstat3::kOk && res.count == n);
       });
     }

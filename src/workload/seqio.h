@@ -10,6 +10,7 @@
 
 #include "src/nfs/nfs_client.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/stats.h"
 
 namespace slice {
 
@@ -39,6 +40,8 @@ class SeqIoProcess {
     return static_cast<double>(params_.file_bytes) / 1e6 / ToSeconds(elapsed());
   }
   uint64_t errors() const { return errors_; }
+  // Per-request issue-to-completion latency distribution.
+  const LatencyStats& latency() const { return latency_; }
 
  private:
   void Pump();
@@ -57,6 +60,7 @@ class SeqIoProcess {
   uint64_t completed_bytes_ = 0;
   int outstanding_ = 0;
   uint64_t errors_ = 0;
+  LatencyStats latency_;
   SimTime started_at_ = 0;
   SimTime finished_at_ = 0;
   bool done_ = false;

@@ -336,7 +336,9 @@ SfsReport SfsBenchmark::Run() {
   report.delivered_iops =
       static_cast<double>(completed_) / ToSeconds(params_.duration);
   report.mean_latency_ms = latency_.MeanMillis();
+  report.p50_latency = latency_.Percentile(50);
   report.p95_latency = latency_.Percentile(95);
+  report.p99_latency = latency_.Percentile(99);
   return report;
 }
 

@@ -51,7 +51,9 @@ struct SfsReport {
   double offered_ops_per_sec = 0;
   double delivered_iops = 0;
   double mean_latency_ms = 0;
+  SimTime p50_latency = 0;
   SimTime p95_latency = 0;
+  SimTime p99_latency = 0;
   uint64_t ops_completed = 0;
   uint64_t errors = 0;
 };

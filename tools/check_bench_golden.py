@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Diffs a BENCH_<name>.json bench baseline against a checked-in golden.
+
+The golden file is a JSON object:
+
+    {
+      "tolerance": 0.05,
+      "expect": { ...subset of the bench JSON... }
+    }
+
+Every leaf in `expect` must exist at the same path in the bench file.
+Numeric leaves must match within the relative tolerance (absolute for
+values whose expectation is 0); strings must match exactly. Keys present
+in the bench file but absent from `expect` are ignored, so goldens pin
+only the stable quantities (saturation throughput, who-beats-whom) and
+not host-speed-dependent ones.
+
+Usage: check_bench_golden.py <golden.json> <bench.json>
+Exit status 0 = within tolerance, 1 = mismatch, 2 = usage/IO error.
+"""
+
+import json
+import sys
+
+
+def compare(expect, actual, tolerance, path, errors):
+    if isinstance(expect, dict):
+        if not isinstance(actual, dict):
+            errors.append("%s: expected object, got %s" % (path, type(actual).__name__))
+            return
+        for key, sub in sorted(expect.items()):
+            if key not in actual:
+                errors.append("%s.%s: missing from bench output" % (path, key))
+            else:
+                compare(sub, actual[key], tolerance, "%s.%s" % (path, key), errors)
+    elif isinstance(expect, list):
+        if not isinstance(actual, list):
+            errors.append("%s: expected array, got %s" % (path, type(actual).__name__))
+            return
+        if len(actual) < len(expect):
+            errors.append("%s: expected >=%d entries, got %d" % (path, len(expect), len(actual)))
+            return
+        for i, sub in enumerate(expect):
+            compare(sub, actual[i], tolerance, "%s[%d]" % (path, i), errors)
+    elif isinstance(expect, bool) or not isinstance(expect, (int, float)):
+        if expect != actual:
+            errors.append("%s: expected %r, got %r" % (path, expect, actual))
+    else:
+        if not isinstance(actual, (int, float)) or isinstance(actual, bool):
+            errors.append("%s: expected number, got %r" % (path, actual))
+            return
+        if expect == 0:
+            ok = abs(actual) <= tolerance
+        else:
+            ok = abs(actual - expect) <= tolerance * abs(expect)
+        if not ok:
+            errors.append("%s: expected %g +/- %g%%, got %g" %
+                          (path, expect, tolerance * 100, actual))
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    try:
+        with open(argv[1]) as f:
+            golden = json.load(f)
+        with open(argv[2]) as f:
+            bench = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.stderr.write("check_bench_golden: %s\n" % err)
+        return 2
+
+    tolerance = float(golden.get("tolerance", 0.05))
+    errors = []
+    compare(golden.get("expect", {}), bench, tolerance, "$", errors)
+    if errors:
+        sys.stderr.write("golden mismatch (%s vs %s, tolerance %g%%):\n" %
+                         (argv[1], argv[2], tolerance * 100))
+        for err in errors:
+            sys.stderr.write("  %s\n" % err)
+        return 1
+    print("%s: within %g%% of golden" % (argv[2], tolerance * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
