@@ -13,6 +13,9 @@
 //   --smoke           small sweep (2 loads, NFS + Slice-2) for CI
 //   --metrics <path>  re-run one Slice-2 point with the metrics plane on and
 //                     write the canonical metrics JSON snapshot to <path>
+//   --flight-dump <path>  re-run one Slice-2 point with the event log on and
+//                     write the flight-recorder dump (tail of routing
+//                     decisions + metrics snapshot) to <path>
 //
 // Always writes BENCH_fig5.json: per-line points (offered, delivered, mean,
 // p50/p95/p99 ms), the <40ms saturation per line, and — when --metrics ran —
@@ -34,7 +37,7 @@ struct BenchLine {
   std::vector<SfsPoint> points;
 };
 
-void RunFig5(bool smoke, const char* metrics_path) {
+void RunFig5(bool smoke, const char* metrics_path, const char* flight_path) {
   std::printf("Figure 5: SFS97-like delivered throughput (IOPS) vs offered load\n\n");
   const std::vector<double> offered_loads =
       smoke ? std::vector<double>{400, 800}
@@ -100,6 +103,17 @@ void RunFig5(bool smoke, const char* metrics_path) {
                 static_cast<unsigned long long>(obs::MetricsContentHash(metrics_json)));
   }
 
+  // Optional flight-recorded run: one Slice-2 point with the event log on.
+  if (flight_path != nullptr) {
+    const double offered = smoke ? 800 : 1600;
+    std::printf("\n--flight-dump: Slice-2 @ %.0f ops/s with the event log enabled\n", offered);
+    std::string flight_json;
+    RunSlicePointFlight(2, offered, &flight_json);
+    obs::WriteFlightDump(flight_path, flight_json);
+    std::printf("flight dump written to %s (hash %016llx)\n", flight_path,
+                static_cast<unsigned long long>(obs::FlightContentHash(flight_json)));
+  }
+
   JsonWriter w;
   w.BeginObject();
   w.Key("bench").String("fig5");
@@ -147,13 +161,16 @@ void RunFig5(bool smoke, const char* metrics_path) {
 int main(int argc, char** argv) {
   bool smoke = false;
   const char* metrics_path = nullptr;
+  const char* flight_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--flight-dump") == 0 && i + 1 < argc) {
+      flight_path = argv[++i];
     }
   }
-  slice::RunFig5(smoke, metrics_path);
+  slice::RunFig5(smoke, metrics_path, flight_path);
   return 0;
 }

@@ -9,10 +9,18 @@
 //
 // We sweep offered load (the file set grows with it, like SPECsfs) and print
 // (delivered IOPS, mean ms) series for the baseline and Slice-N.
-// With --trace, one representative Slice point re-runs with end-to-end
-// tracing enabled and prints the critical-path breakdown behind its mean
-// latency (wire vs queue vs cpu vs disk per opclass), and the full
-// chrome://tracing JSON is written to fig6_trace.json.
+//
+// Flags:
+//   --smoke           small sweep (2 loads, NFS + Slice-2) for CI; the
+//                     resulting BENCH_fig6.json is checked against
+//                     bench/golden/fig6_smoke_golden.json
+//   --trace           re-run one representative Slice point with end-to-end
+//                     tracing enabled, print the critical-path breakdown
+//                     behind its mean latency (wire vs queue vs cpu vs disk
+//                     per opclass), and write the chrome://tracing JSON to
+//                     fig6_trace.json
+//   --flight-dump <path>  re-run one Slice point with the event log on and
+//                     write the flight-recorder dump to <path>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,9 +32,11 @@
 namespace slice {
 namespace {
 
-void RunFig6() {
+void RunFig6(bool smoke) {
   std::printf("Figure 6: SFS97-like mean latency (ms) vs delivered throughput (IOPS)\n\n");
-  const double offered_loads[] = {400, 800, 1600, 3200, 6400, 9600, 12800};
+  const std::vector<double> offered_loads =
+      smoke ? std::vector<double>{400, 800}
+            : std::vector<double>{400, 800, 1600, 3200, 6400, 9600, 12800};
 
   struct BenchLine {
     const char* name;
@@ -47,12 +57,16 @@ void RunFig6() {
   };
 
   std::printf("%-10s  (delivered IOPS, mean latency) per offered point %s\n", "line",
-              "[400..9600]");
+              smoke ? "[400, 800]" : "[400..9600]");
   run_line("NFS", [](double o) { return RunBaselinePoint(o); });
-  run_line("Slice-1", [](double o) { return RunSlicePoint(1, o); });
-  run_line("Slice-2", [](double o) { return RunSlicePoint(2, o); });
-  run_line("Slice-4", [](double o) { return RunSlicePoint(4, o); });
-  run_line("Slice-8", [](double o) { return RunSlicePoint(8, o); });
+  if (smoke) {
+    run_line("Slice-2", [](double o) { return RunSlicePoint(2, o); });
+  } else {
+    run_line("Slice-1", [](double o) { return RunSlicePoint(1, o); });
+    run_line("Slice-2", [](double o) { return RunSlicePoint(2, o); });
+    run_line("Slice-4", [](double o) { return RunSlicePoint(4, o); });
+    run_line("Slice-8", [](double o) { return RunSlicePoint(8, o); });
+  }
 
   std::printf(
       "\nshape checks (paper): latency low and flat until each line approaches its\n"
@@ -63,6 +77,7 @@ void RunFig6() {
   JsonWriter w;
   w.BeginObject();
   w.Key("bench").String("fig6");
+  w.Key("smoke").Int(smoke ? 1 : 0);
   w.Key("offered").BeginArray();
   for (double offered : offered_loads) {
     w.Fixed(offered, 0);
@@ -104,19 +119,40 @@ void RunFig6Trace() {
   std::printf("\nfull trace written to fig6_trace.json (load in chrome://tracing)\n");
 }
 
+void RunFig6Flight(bool smoke, const char* path) {
+  const size_t nodes = smoke ? 2 : 4;
+  const double offered = smoke ? 800 : 1600;
+  std::printf("\n--flight-dump: Slice-%zu @ %.0f ops/s with the event log enabled\n", nodes,
+              offered);
+  std::string flight_json;
+  RunSlicePointFlight(nodes, offered, &flight_json);
+  obs::WriteFlightDump(path, flight_json);
+  std::printf("flight dump written to %s (hash %016llx)\n", path,
+              static_cast<unsigned long long>(obs::FlightContentHash(flight_json)));
+}
+
 }  // namespace
 }  // namespace slice
 
 int main(int argc, char** argv) {
   bool trace = false;
+  bool smoke = false;
+  const char* flight_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
       trace = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--flight-dump") == 0 && i + 1 < argc) {
+      flight_path = argv[++i];
     }
   }
-  slice::RunFig6();
+  slice::RunFig6(smoke);
   if (trace) {
     slice::RunFig6Trace();
+  }
+  if (flight_path != nullptr) {
+    slice::RunFig6Flight(smoke, flight_path);
   }
   return 0;
 }

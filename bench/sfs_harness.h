@@ -133,6 +133,37 @@ inline SfsPoint RunSlicePointMetered(size_t storage_nodes, double offered,
   return PointFromReport(offered, report);
 }
 
+// Same Slice point with the event log (plus the metrics plane, for the
+// embedded snapshot) enabled — the benches' --flight-dump flag. Returns the
+// delivered numbers and the canonical flight-recorder dump: the bounded
+// per-host rings keep the tail of the run's routing decisions, exactly what
+// a black-box recorder should retain.
+inline SfsPoint RunSlicePointFlight(size_t storage_nodes, double offered,
+                                    std::string* flight_json_out) {
+  EventQueue queue;
+  EnsembleConfig config;
+  config.mgmt.enabled = false;
+  config.num_storage_nodes = storage_nodes;
+  config.num_small_file_servers = 2;
+  config.num_dir_servers = 1;
+  config.num_clients = 4;
+  config.cal.storage_cache_mb = kSfsStorageCacheMb;
+  config.cal.sfs_cache_mb = kSfsSmallFileCacheMb;
+  config.storage_extra_meta_ios = kSfsMetaIos;
+  config.metrics.enabled = true;
+  config.eventlog.enabled = true;
+  Ensemble ensemble(queue, config);
+  SfsParams params = ScaledSfsParams(offered);
+  SfsBenchmark bench(ensemble.client_host(0), queue, ensemble.virtual_server(),
+                     ensemble.root(), params);
+  SLICE_CHECK(bench.Setup().ok());
+  const SfsReport report = bench.Run();
+  if (flight_json_out != nullptr) {
+    *flight_json_out = ensemble.ExportFlightJson("bench");
+  }
+  return PointFromReport(offered, report);
+}
+
 // Same Slice point with end-to-end tracing enabled (--trace in the benches):
 // returns the delivered numbers plus the critical-path latency breakdown,
 // and optionally the full chrome://tracing JSON.

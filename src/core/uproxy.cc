@@ -151,8 +151,11 @@ void Uproxy::DropSoftState() {
   // too; coordinators finish any orphaned multi-site operations.
   own_rpc_ = std::make_unique<RpcClient>(client_host_, queue_, config_.own_rpc_params);
   own_rpc_->set_tracer(tracer_);
+  own_rpc_->set_eventlog(eventlog_);
   table_fetch_inflight_ = false;
   counters_.Add("soft_state_drops");
+  obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kWarn,
+                obs::EventCat::kCache, obs::EventCode::kSoftStateDrop);
 }
 
 uint32_t Uproxy::StripeSite(const FileHandle& fh, uint64_t offset, uint32_t replica) const {
@@ -259,6 +262,9 @@ Uproxy::RouteDecision Uproxy::SelectRoute(const DecodedRequest& req) {
           return out;
         }
         counters_.Add("failover_redirects");
+        obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kWarn,
+                      obs::EventCat::kRoute, obs::EventCode::kRouteFailoverRedirect,
+                      /*trace_id=*/0, nullptr, {{"node", node}});
       }
       out.cls = RouteClass::kStorage;
       out.storage_index = node;
@@ -377,6 +383,9 @@ void Uproxy::HandleOutbound(Packet&& pkt) {
       return;
     case RouteClass::kUnavailable:
       counters_.Add("unavailable_rejected");
+      obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kError,
+                    obs::EventCat::kRoute, obs::EventCode::kRouteUnavailable, /*trace_id=*/0,
+                    NfsProcName(req.proc), {{"xid", req.xid}});
       SynthesizeErrorReply(req, pkt.src(), route.error);
       return;
     case RouteClass::kDirServer: {
@@ -456,6 +465,9 @@ void Uproxy::ForwardRequest(Packet&& pkt, const DecodedRequest& req, Endpoint ta
     }
   }
   const obs::TraceContext ctx = BeginTrace(it->second, route);
+  obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kDebug,
+                obs::EventCat::kRoute, obs::EventCode::kRouteDecision, ctx.trace_id, route,
+                {{"dst", target.addr}, {"xid", req.xid}});
 
   pkt.RewriteDst(target);
   if (ctx.valid()) {
@@ -826,6 +838,9 @@ bool Uproxy::InstallTables(const MgmtTableSet& tables, bool force) {
     sfs_alive_ = tables.sfs_alive;
   }
   counters_.Add("table_installs");
+  obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kInfo,
+                obs::EventCat::kMgmt, obs::EventCode::kTableInstall, /*trace_id=*/0, nullptr,
+                {{"epoch", static_cast<int64_t>(tables.epoch)}});
   return true;
 }
 
@@ -844,6 +859,11 @@ void Uproxy::HandleControl(ByteSpan payload) {
     Result<uint64_t> epoch = dec.GetUint64();
     if (epoch.ok() && *epoch > table_epoch_) {
       counters_.Add("misdirect_notices");
+      obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kWarn,
+                    obs::EventCat::kRoute, obs::EventCode::kMisdirectNotice, /*trace_id=*/0,
+                    nullptr,
+                    {{"epoch", static_cast<int64_t>(*epoch)},
+                     {"have", static_cast<int64_t>(table_epoch_)}});
       FetchTables();
     }
   }
@@ -855,6 +875,9 @@ void Uproxy::FetchTables() {
   }
   table_fetch_inflight_ = true;
   counters_.Add("table_fetches");
+  obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kInfo,
+                obs::EventCat::kMgmt, obs::EventCode::kTableFetch, /*trace_id=*/0, nullptr,
+                {{"epoch", static_cast<int64_t>(table_epoch_)}});
   own_rpc_->Call(config_.manager, kMgmtProgram, kMgmtVersion,
                  static_cast<uint32_t>(MgmtProc::kFetchTables), Bytes{},
                  [this, alive = alive_](Status st, const RpcMessageView& reply) {
@@ -952,6 +975,9 @@ void Uproxy::AbsorbMirrorWrite(const DecodedRequest& req, Endpoint client, ByteS
   Pending& stored = pending_[KeyOf(client.port, req.xid)];
   stored = pending;
   const obs::TraceContext ctx = BeginTrace(stored, "route:mirror_write");
+  obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kDebug,
+                obs::EventCat::kRoute, obs::EventCode::kRouteDecision, ctx.trace_id,
+                "route:mirror_write", {{"xid", req.xid}});
 
   // Duplicating the payload for the extra replicas costs client-host CPU.
   const SimTime copy_now = queue_.now();
@@ -1059,6 +1085,9 @@ void Uproxy::AbsorbMultiCommit(const DecodedRequest& req, Endpoint client) {
   Pending& stored = pending_[KeyOf(client.port, req.xid)];
   stored = pending;
   const obs::TraceContext ctx = BeginTrace(stored, "route:multi_commit");
+  obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kDebug,
+                obs::EventCat::kRoute, obs::EventCode::kRouteDecision, ctx.trace_id,
+                "route:multi_commit", {{"xid", req.xid}});
   obs::ScopedContext scope(tracer_, ctx);
 
   // Commit pushes the file's attribute view back to the directory service.
@@ -1186,6 +1215,10 @@ void Uproxy::ScheduleDataTruncate(const FileHandle& fh, uint64_t size) {
 // --- attribute writeback ---
 
 void Uproxy::WritebackAttrs(uint64_t fileid, const Fattr3& attr) {
+  obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kDebug,
+                obs::EventCat::kCache, obs::EventCode::kAttrWriteback, /*trace_id=*/0, nullptr,
+                {{"fileid", static_cast<int64_t>(fileid)},
+                 {"size", static_cast<int64_t>(attr.size)}});
   SetattrArgs args;
   args.object =
       FileHandle::Make(static_cast<uint32_t>(attr.fsid), fileid, 1, attr.type, 1, 0);

@@ -31,6 +31,7 @@
 #include "src/dir/dir_server.h"
 #include "src/mgmt/mgmt_proto.h"
 #include "src/net/host.h"
+#include "src/obs/eventlog.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/rpc/rpc_client.h"
@@ -123,6 +124,25 @@ class Uproxy : public PacketTap {
   void set_tracer(obs::Tracer* tracer) {
     tracer_ = tracer;
     own_rpc_->set_tracer(tracer);
+  }
+
+  // Event log: routing decisions, misdirect-driven reloads, table installs
+  // and soft-state drops are recorded with the request's trace id — the
+  // audit trail for the interposed decision points.
+  void set_eventlog(obs::EventLog* log) {
+    eventlog_ = log;
+    own_rpc_->set_eventlog(log);
+  }
+
+  // Appends the trace ids of requests currently pending at this proxy
+  // (deduped and sorted by the caller); the flight recorder snapshots these
+  // so a dump names the requests that never completed.
+  void CollectInflightTraceIds(std::vector<uint64_t>& out) const {
+    for (const auto& [key, pending] : pending_) {
+      if (pending.trace_id != 0) {
+        out.push_back(pending.trace_id);
+      }
+    }
   }
 
   // Metrics plane: route-mix and soft-state counters are provider-backed
@@ -252,6 +272,7 @@ class Uproxy : public PacketTap {
   RoutingTable sfs_table_;
   AttrCache attr_cache_;
   obs::Tracer* tracer_ = nullptr;
+  obs::EventLog* eventlog_ = nullptr;
   // Hot-path instruments (null when metrics are off — see obs::Inc/Observe).
   obs::Histogram* m_cpu_ = nullptr;
   obs::Counter* m_attr_hits_ = nullptr;

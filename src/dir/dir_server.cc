@@ -187,6 +187,12 @@ void DirServer::OnRestart() {
                  SLICE_ILOG << "dir site " << params_.site << " recovered "
                             << store_.entry_count() << " entries, " << store_.attr_count()
                             << " attr cells";
+                 obs::LogEvent(eventlog(), addr(), queue().now(), obs::EventSev::kInfo,
+                               obs::EventCat::kFailover, obs::EventCode::kWalReplay,
+                               /*trace_id=*/0, st.ok() ? "recovered" : "failed",
+                               {{"site", params_.site},
+                                {"entries", static_cast<int64_t>(store_.entry_count())},
+                                {"attrs", static_cast<int64_t>(store_.attr_count())}});
                });
 }
 
@@ -257,6 +263,11 @@ void DirServer::AdoptSite(uint32_t site, Endpoint wal_node, FileHandle wal_objec
           SLICE_ELOG << "dir site " << params_.site << ": adoption of site " << site
                      << " failed: " << st.ToString();
         }
+        obs::LogEvent(eventlog(), addr(), queue().now(),
+                      st.ok() ? obs::EventSev::kInfo : obs::EventSev::kError,
+                      obs::EventCat::kFailover, obs::EventCode::kAdoptDone, /*trace_id=*/0,
+                      st.ok() ? "adopted" : "failed",
+                      {{"site", site}, {"entries", static_cast<int64_t>(store_.entry_count())}});
         if (done) {
           done(st);
         }
@@ -267,6 +278,9 @@ void DirServer::HandoffSite(uint32_t site, DirServer& target) {
   if (adopted_sites_.erase(site) == 0) {
     return;
   }
+  obs::LogEvent(eventlog(), addr(), queue().now(), obs::EventSev::kInfo,
+                obs::EventCat::kFailover, obs::EventCode::kHandoff, /*trace_id=*/0, nullptr,
+                {{"site", site}, {"to", target.addr()}});
   // Drop the target's stale pre-crash copy first: mutations during the
   // outage — including deletions — exist only in the adopter's store/log,
   // so anything the rejoined server replayed from its own log is stale.

@@ -71,6 +71,18 @@ class HeartbeatFailureDetector {
     }
     return n;
   }
+  // Ids behind SilentCount, ascending — the manager logs a heartbeat_miss
+  // event (and opens a failure-episode trace) the first time a node shows
+  // up here.
+  std::vector<uint64_t> SilentNodes(SimTime now, SimTime silence) const {
+    std::vector<uint64_t> out;
+    for (const auto& [id, entry] : nodes_) {
+      if (entry.alive && now > entry.last_heard && now - entry.last_heard >= silence) {
+        out.push_back(id);
+      }
+    }
+    return out;
+  }
   size_t dead_count() const {
     size_t n = 0;
     for (const auto& [id, entry] : nodes_) {

@@ -4,6 +4,23 @@
 #include "src/net/network.h"
 
 namespace slice {
+namespace {
+
+const char* NodeClassName(NodeClass cls) {
+  switch (cls) {
+    case NodeClass::kStorage:
+      return "storage";
+    case NodeClass::kDir:
+      return "dir";
+    case NodeClass::kSfs:
+      return "sfs";
+    case NodeClass::kCoord:
+      return "coord";
+  }
+  return "?";
+}
+
+}  // namespace
 
 EnsembleManager::EnsembleManager(Network& net, EventQueue& queue, NetAddr addr,
                                  ClusterView view, MgmtParams params)
@@ -57,9 +74,44 @@ void EnsembleManager::Start() {
   });
 }
 
+obs::TraceContext EnsembleManager::OpenEpisode(uint64_t id, const char* marker) {
+  auto it = episodes_.find(id);
+  if (it == episodes_.end()) {
+    obs::TraceContext ctx;
+    if (tracer() != nullptr && tracer()->enabled()) {
+      ctx.trace_id = tracer()->NewTraceId();
+      ctx.span_id = tracer()->NewSpanId();
+    }
+    it = episodes_.emplace(id, ctx).first;
+  }
+  if (tracer() != nullptr && it->second.valid()) {
+    tracer()->RecordInstant(addr(), it->second, marker, now());
+  }
+  return it->second;
+}
+
+void EnsembleManager::NoteSilentNodes() {
+  for (uint64_t id : detector_.SilentNodes(now(), 2 * params_.heartbeat_interval)) {
+    if (!suspected_.insert(id).second) {
+      continue;  // already reported this episode
+    }
+    const obs::TraceContext ctx = OpenEpisode(id, "hb_miss");
+    obs::LogEvent(eventlog(), addr(), now(), obs::EventSev::kWarn, obs::EventCat::kMgmt,
+                  obs::EventCode::kHeartbeatMiss, ctx.trace_id, NodeClassName(NodeIdClass(id)),
+                  {{"node", NodeIdIndex(id)}});
+  }
+}
+
 void EnsembleManager::Sweep() {
+  NoteSilentNodes();
   std::vector<uint64_t> died = detector_.Sweep(now());
   if (!died.empty()) {
+    for (uint64_t id : died) {
+      const obs::TraceContext ctx = OpenEpisode(id, "node_dead");
+      obs::LogEvent(eventlog(), addr(), now(), obs::EventSev::kError, obs::EventCat::kMgmt,
+                    obs::EventCode::kNodeDead, ctx.trace_id, NodeClassName(NodeIdClass(id)),
+                    {{"node", NodeIdIndex(id)}});
+    }
     OnMembershipChange(std::move(died), {});
   }
   std::shared_ptr<bool> alive = alive_;
@@ -89,7 +141,20 @@ RpcAcceptStat EnsembleManager::HandleCall(const RpcMessageView& call,
       ++heartbeats_received_;
       const uint64_t id = NodeId(args.value().node_class, args.value().index);
       if (detector_.Touch(id, now())) {
+        const obs::TraceContext ctx = OpenEpisode(id, "node_rejoin");
+        obs::LogEvent(eventlog(), addr(), now(), obs::EventSev::kInfo, obs::EventCat::kMgmt,
+                      obs::EventCode::kNodeRejoin, ctx.trace_id,
+                      NodeClassName(NodeIdClass(id)), {{"node", NodeIdIndex(id)}});
         OnMembershipChange({}, {id});
+        CloseEpisode(id);
+      } else if (suspected_.erase(id) > 0) {
+        // Suspicion was a false alarm (lost heartbeats, not a crash).
+        const auto ep = episodes_.find(id);
+        obs::LogEvent(eventlog(), addr(), now(), obs::EventSev::kInfo, obs::EventCat::kMgmt,
+                      obs::EventCode::kHeartbeatResume,
+                      ep != episodes_.end() ? ep->second.trace_id : 0,
+                      NodeClassName(NodeIdClass(id)), {{"node", NodeIdIndex(id)}});
+        episodes_.erase(id);
       }
       HeartbeatRes res;
       res.current_epoch = tables_.epoch;
@@ -154,6 +219,21 @@ void EnsembleManager::OnMembershipChange(std::vector<uint64_t> died,
   ++reconfigurations_;
   SLICE_ILOG << "mgmt: epoch " << tables_.epoch << " (" << died.size()
              << " died, " << revived.size() << " rejoined)";
+  // The epoch bump belongs to the episode that caused it; pick the first
+  // affected node's trace (reconfigurations are single-cause in practice).
+  uint64_t episode_trace = 0;
+  for (const auto& ids : {died, revived}) {
+    for (uint64_t id : ids) {
+      if (episode_trace == 0) {
+        episode_trace = EpisodeContext(id).trace_id;
+      }
+    }
+  }
+  obs::LogEvent(eventlog(), addr(), now(), obs::EventSev::kInfo, obs::EventCat::kMgmt,
+                obs::EventCode::kEpochBump, episode_trace, nullptr,
+                {{"epoch", static_cast<int64_t>(tables_.epoch)},
+                 {"died", static_cast<int64_t>(died.size())},
+                 {"rejoined", static_cast<int64_t>(revived.size())}});
   if (hook_) {
     hook_(tables_, died, revived);
   }

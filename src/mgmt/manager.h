@@ -11,7 +11,9 @@
 #define SLICE_MGMT_MANAGER_H_
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "src/mgmt/failure_detector.h"
@@ -72,6 +74,18 @@ class EnsembleManager : public RpcServerNode {
   // the heartbeat_miss watchdog watches (silence >= 2 heartbeat intervals).
   void set_metrics(obs::Metrics* metrics) override;
 
+  // Cross-pillar correlation: the first heartbeat miss for a node opens a
+  // "failure episode" — a trace context whose instants (hb_miss, node_dead,
+  // node_rejoin) land in the PR 2 trace export, and whose trace id stamps
+  // every eventlog record of that episode (death, epoch bump, adoption,
+  // handoff, resync). The embedding ensemble reads it in its reconfigure
+  // hook to tag its own failover events. Returns an invalid context if no
+  // episode is open for `node_id`.
+  obs::TraceContext EpisodeContext(uint64_t node_id) const {
+    const auto it = episodes_.find(node_id);
+    return it != episodes_.end() ? it->second : obs::TraceContext{};
+  }
+
  protected:
   RpcAcceptStat HandleCall(const RpcMessageView& call, XdrEncoder& reply,
                            ServiceCost& cost) override;
@@ -82,6 +96,16 @@ class EnsembleManager : public RpcServerNode {
   void OnMembershipChange(std::vector<uint64_t> died,
                           std::vector<uint64_t> revived);
   void PushTables();
+  // Marks newly-silent nodes (the suspicion window is two heartbeat
+  // intervals), opening an episode trace + heartbeat_miss event for each.
+  void NoteSilentNodes();
+  // Opens (or returns) the failure episode for `id`, recording `marker` as
+  // a trace instant at the manager.
+  obs::TraceContext OpenEpisode(uint64_t id, const char* marker);
+  void CloseEpisode(uint64_t id) {
+    episodes_.erase(id);
+    suspected_.erase(id);
+  }
 
   ClusterView view_;
   MgmtParams params_;
@@ -91,6 +115,10 @@ class EnsembleManager : public RpcServerNode {
   std::vector<Endpoint> subscribers_;
   uint64_t reconfigurations_ = 0;
   uint64_t heartbeats_received_ = 0;
+  // Open failure episodes (node id -> trace context) and the nodes already
+  // flagged silent, so each miss is reported once per episode.
+  std::map<uint64_t, obs::TraceContext> episodes_;
+  std::set<uint64_t> suspected_;
   bool started_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

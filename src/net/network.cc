@@ -115,9 +115,9 @@ void Network::Send(Packet&& pkt) {
 void Network::Inject(Packet&& pkt) { Transmit(std::move(pkt)); }
 
 void Network::Transmit(Packet&& pkt) {
-  // Span context, if the packet carries one and tracing is on.
+  // Span context, if the packet carries one and an observer wants it.
   obs::TraceContext ctx;
-  if (tracer_ != nullptr) {
+  if (tracer_ != nullptr || eventlog_ != nullptr) {
     pkt.PeekTrace(&ctx.trace_id, &ctx.span_id);
   }
 
@@ -126,6 +126,9 @@ void Network::Transmit(Packet&& pkt) {
     if (tracer_ != nullptr) {
       tracer_->RecordInstant(pkt.src_addr(), ctx, "drop:src_dead", queue_.now());
     }
+    obs::LogEvent(eventlog_, pkt.src_addr(), queue_.now(), obs::EventSev::kWarn,
+                  obs::EventCat::kNet, obs::EventCode::kPacketDrop, ctx.trace_id, "src_dead",
+                  {{"dst", pkt.dst_addr()}, {"bytes", static_cast<int64_t>(pkt.size())}});
     return;
   }
   auto src_it = hosts_.find(pkt.src_addr());
@@ -145,6 +148,9 @@ void Network::Transmit(Packet&& pkt) {
     if (tracer_ != nullptr) {
       tracer_->RecordInstant(pkt.src_addr(), ctx, "drop:loss", queue_.now());
     }
+    obs::LogEvent(eventlog_, pkt.src_addr(), queue_.now(), obs::EventSev::kWarn,
+                  obs::EventCat::kNet, obs::EventCode::kPacketDrop, ctx.trace_id, "loss",
+                  {{"dst", pkt.dst_addr()}, {"bytes", static_cast<int64_t>(pkt.size())}});
     SLICE_DLOG << "net: dropping packet " << EndpointToString(pkt.src()) << " -> "
                << EndpointToString(pkt.dst());
     return;
@@ -174,6 +180,9 @@ void Network::Transmit(Packet&& pkt) {
       if (tracer_ != nullptr) {
         tracer_->RecordInstant(dst, ctx, "drop:dst_dead", queue_.now());
       }
+      obs::LogEvent(eventlog_, dst, queue_.now(), obs::EventSev::kWarn, obs::EventCat::kNet,
+                    obs::EventCode::kPacketDrop, ctx.trace_id, "dst_dead",
+                    {{"src", shared->src_addr()}, {"bytes", static_cast<int64_t>(shared->size())}});
       return;
     }
     auto it = hosts_.find(dst);
@@ -198,6 +207,10 @@ void Network::Transmit(Packet&& pkt) {
         if (tracer_ != nullptr) {
           tracer_->RecordInstant(addr, ctx, "drop:dst_dead", queue_.now());
         }
+        obs::LogEvent(eventlog_, addr, queue_.now(), obs::EventSev::kWarn, obs::EventCat::kNet,
+                      obs::EventCode::kPacketDrop, ctx.trace_id, "dst_dead",
+                      {{"src", shared->src_addr()},
+                       {"bytes", static_cast<int64_t>(shared->size())}});
         return;
       }
       obs::Inc(host_it->second.m_pkts_rx);

@@ -18,6 +18,7 @@
 
 #include "src/common/rng.h"
 #include "src/net/packet.h"
+#include "src/obs/eventlog.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
@@ -87,6 +88,12 @@ class Network {
   void set_metrics(obs::Metrics* metrics);
   obs::Metrics* metrics() { return metrics_; }
 
+  // Event log: every dropped packet (loss model or dead endpoint) is
+  // recorded with its trace id, so the flight recorder can explain lost
+  // requests.
+  void set_eventlog(obs::EventLog* log) { eventlog_ = log; }
+  obs::EventLog* eventlog() { return eventlog_; }
+
   EventQueue& queue() { return queue_; }
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_dropped() const { return packets_dropped_; }
@@ -113,6 +120,7 @@ class Network {
   NetworkParams params_;
   obs::Tracer* tracer_ = nullptr;
   obs::Metrics* metrics_ = nullptr;
+  obs::EventLog* eventlog_ = nullptr;
   double ns_per_byte_;
   std::unordered_map<NetAddr, Host> hosts_;
   std::unordered_map<NetAddr, bool> failed_;

@@ -1,0 +1,234 @@
+// Structured event log (third observability pillar, next to tracing and
+// metrics).
+//
+// Spans (obs/trace.h) say *where time went*; instruments (obs/metrics.h) say
+// *how much*; neither says *why* — which route class the µproxy picked, why a
+// request was rejected, when the manager first flagged a node silent, which
+// dir server adopted an orphaned site. The event log records those discrete
+// decisions as small, trivially-copyable records in bounded per-host rings,
+// so every Alert and every failed request has a causal trail that survives
+// to the flight-recorder dump (obs/flight_recorder.h).
+//
+// Design constraints (shared with the other pillars):
+//  * Near-zero cost when disabled: instrumentation sites go through the
+//    null-safe LogEvent() helper (one branch), and a disabled or
+//    severity-filtered EventLog::Record is an early-out that allocates
+//    nothing. Payloads are fixed-capacity so recording never allocates
+//    beyond the preallocated ring slots.
+//  * Deterministic: events carry sim-time plus a global monotonic sequence
+//    number minted in event-execution order; rings are keyed by host address
+//    in an ordered map. Same seed => byte-identical dump.
+//  * Stable schema: EventCode values are append-only and grouped by
+//    category, so dumps from different builds stay comparable and
+//    tools/slice_inspect.py can filter by code.
+#ifndef SLICE_OBS_EVENTLOG_H_
+#define SLICE_OBS_EVENTLOG_H_
+
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace slice::obs {
+
+enum class EventSev : uint8_t {
+  kDebug = 0,  // per-request decisions (route class, attr writeback)
+  kInfo = 1,   // state transitions in the normal course (epoch bump, rejoin)
+  kWarn = 2,   // suspicious but recoverable (retransmit, drop, hb miss)
+  kError = 3,  // declared failures (node dead, request rejected)
+};
+constexpr size_t kNumEventSevs = 4;
+
+enum class EventCat : uint8_t {
+  kRoute = 0,     // µproxy request routing + rewrite decisions
+  kCache = 1,     // µproxy soft state (attr cache, table cache)
+  kMgmt = 2,      // heartbeats, membership, epochs, table distribution
+  kFailover = 3,  // kill/recover, adoption/handoff, resync, WAL replay
+  kRpc = 4,       // retransmit / timeout / DRC replay
+  kNet = 5,       // packet drops
+  kAlert = 6,     // watchdog alert raise/clear
+};
+constexpr size_t kNumEventCats = 7;
+
+// Stable, append-only event codes, grouped by category in blocks of 100.
+// Never renumber: dumps are compared across builds and the inspector keys
+// off these values.
+enum class EventCode : uint16_t {
+  kNone = 0,
+  // -- route (µproxy request path) --
+  kRouteDecision = 100,          // request functionally switched to a target
+  kRouteUnavailable = 101,       // no live target; rejected back to client
+  kRouteFailoverRedirect = 102,  // preferred target dead, rerouted by epoch table
+  kMisdirectNotice = 110,        // server told us our table is stale
+  kTableInstall = 111,           // new epoch-stamped table set installed
+  kTableFetch = 112,             // lazy table fetch issued to the manager
+  kSoftStateDrop = 113,          // proxy soft state dropped (restart)
+  // -- cache (µproxy soft state) --
+  kAttrWriteback = 120,          // cached attributes applied to a reply
+  // -- mgmt (membership + tables) --
+  kHeartbeatMiss = 200,    // node newly silent past the suspicion window
+  kNodeDead = 201,         // failure detector declared the node dead
+  kNodeRejoin = 202,       // heartbeat from a previously-dead node
+  kEpochBump = 203,        // routing tables recomputed under a new epoch
+  kHeartbeatResume = 204,  // suspected-silent node heartbeated again
+  // -- failover (recovery machinery) --
+  kAdoptBegin = 210,   // surviving dir server starts adopting a dead site
+  kAdoptDone = 211,    // adoption WAL replay finished
+  kHandoff = 212,      // adopted site handed back to its rejoined owner
+  kResync = 213,       // mirror resync scheduled for a revived storage node
+  kWalReplay = 214,    // WAL replayed on restart (dir recovery)
+  kNodeKill = 215,     // simulated crash: host stops responding
+  kNodeRecover = 216,  // host restarted with volatile state cleared
+  // -- rpc --
+  kRpcRetransmit = 300,  // client retransmitted an unanswered call
+  kRpcTimeout = 301,     // client gave up on a call
+  kDrcReplay = 302,      // server answered a duplicate from its DRC
+  // -- net --
+  kPacketDrop = 400,  // packet lost (loss model or dead endpoint)
+  // -- alert --
+  kAlertRaise = 500,
+  kAlertClear = 501,
+};
+
+const char* EventSevName(EventSev sev);
+const char* EventCatName(EventCat cat);
+const char* EventCodeName(EventCode code);
+
+// Fixed capacities keep Event trivially copyable and recording
+// allocation-free. Details are short tags ("loss", "small_commit", rule
+// names — longest stock rule is "srv_cpu_backlog", 15 chars).
+constexpr size_t kEventDetailCap = 20;
+constexpr size_t kEventArgKeyCap = 12;
+constexpr size_t kEventMaxArgs = 3;
+
+struct EventArg {
+  char key[kEventArgKeyCap] = {};
+  int64_t value = 0;
+};
+
+struct Event {
+  SimTime at = 0;
+  uint64_t seq = 0;       // global mint order; tie-breaker for same-time events
+  uint64_t trace_id = 0;  // 0 = not correlated with a PR 2 trace
+  uint32_t host = 0;      // NetAddr of the recording host
+  EventSev sev = EventSev::kInfo;
+  EventCat cat = EventCat::kRoute;
+  EventCode code = EventCode::kNone;
+  uint8_t nargs = 0;
+  char detail[kEventDetailCap] = {};
+  EventArg args[kEventMaxArgs] = {};
+
+  void set_detail(const char* d) {
+    if (d == nullptr) {
+      detail[0] = '\0';
+      return;
+    }
+    std::strncpy(detail, d, kEventDetailCap - 1);
+    detail[kEventDetailCap - 1] = '\0';
+  }
+  std::string_view detail_view() const { return std::string_view(detail); }
+};
+
+// Bounded per-host event storage; oldest entries overwritten on overflow
+// (same soft-state discipline as SpanRing / TimeSeries).
+class EventRing {
+ public:
+  explicit EventRing(size_t capacity) : slots_(capacity > 0 ? capacity : 1) {}
+
+  void Push(const Event& event) {
+    if (size_ == slots_.size()) {
+      slots_[head_] = event;
+      head_ = (head_ + 1) % slots_.size();
+      ++evicted_;
+    } else {
+      slots_[(head_ + size_) % slots_.size()] = event;
+      ++size_;
+    }
+  }
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return slots_.size(); }
+  uint64_t evicted() const { return evicted_; }
+
+  // Appends the ring's events, oldest first, to `out`.
+  void CopyTo(std::vector<Event>& out) const {
+    for (size_t i = 0; i < size_; ++i) {
+      out.push_back(slots_[(head_ + i) % slots_.size()]);
+    }
+  }
+
+ private:
+  std::vector<Event> slots_;
+  size_t head_ = 0;
+  size_t size_ = 0;
+  uint64_t evicted_ = 0;
+};
+
+struct EventLogParams {
+  bool enabled = true;
+  size_t ring_capacity = 1 << 13;      // events per host
+  EventSev min_severity = EventSev::kDebug;
+};
+
+// Named key/value argument at a call site. Passing these by initializer_list
+// keeps Record() allocation-free (the list lives on the caller's stack).
+struct Kv {
+  const char* key;
+  int64_t value;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(EventLogParams params = {}) : params_(params) {}
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  bool enabled() const { return params_.enabled; }
+  EventSev min_severity() const { return params_.min_severity; }
+
+  // Records one event on `host`'s ring. Early-out (no allocation, no ring
+  // creation) when disabled or below the severity floor. Args beyond
+  // kEventMaxArgs are dropped.
+  void Record(uint32_t host, SimTime at, EventSev sev, EventCat cat, EventCode code,
+              uint64_t trace_id = 0, const char* detail = nullptr,
+              std::initializer_list<Kv> args = {});
+
+  // Merged view of every ring ordered by (at, seq): hosts in address order,
+  // oldest-first per host, then a stable merge on the global sequence.
+  std::vector<Event> Collect() const;
+
+  uint64_t total_recorded() const { return recorded_; }
+  uint64_t total_evicted() const;
+  size_t num_rings() const { return rings_.size(); }
+  const std::map<uint32_t, EventRing>& rings() const { return rings_; }
+
+  void Clear() {
+    rings_.clear();
+    recorded_ = 0;
+  }
+
+ private:
+  EventLogParams params_;
+  uint64_t next_seq_ = 0;
+  uint64_t recorded_ = 0;
+  std::map<uint32_t, EventRing> rings_;  // ordered => deterministic dump
+};
+
+// Null-safe instrumentation helper: the single branch components pay when
+// event logging is not wired up.
+inline void LogEvent(EventLog* log, uint32_t host, SimTime at, EventSev sev, EventCat cat,
+                     EventCode code, uint64_t trace_id = 0, const char* detail = nullptr,
+                     std::initializer_list<Kv> args = {}) {
+  if (log != nullptr) {
+    log->Record(host, at, sev, cat, code, trace_id, detail, args);
+  }
+}
+
+}  // namespace slice::obs
+
+#endif  // SLICE_OBS_EVENTLOG_H_

@@ -91,7 +91,7 @@ void Scraper::EvaluateRules(SimTime now) {
             st.raised = true;
             st.above = 0;
             st.below = 0;
-            alerts_.push_back(Alert{now, rule.name, host, sample, /*raise=*/true});
+            EmitAlert(Alert{now, rule.name, host, sample, /*raise=*/true});
           }
         } else {
           st.above = 0;
@@ -102,13 +102,23 @@ void Scraper::EvaluateRules(SimTime now) {
             st.raised = false;
             st.above = 0;
             st.below = 0;
-            alerts_.push_back(Alert{now, rule.name, host, sample, /*raise=*/false});
+            EmitAlert(Alert{now, rule.name, host, sample, /*raise=*/false});
           }
         } else {
           st.below = 0;
         }
       }
     }
+  }
+}
+
+void Scraper::EmitAlert(const Alert& alert) {
+  alerts_.push_back(alert);
+  LogEvent(eventlog_, alert.host, alert.at, alert.raise ? EventSev::kError : EventSev::kInfo,
+           EventCat::kAlert, alert.raise ? EventCode::kAlertRaise : EventCode::kAlertClear,
+           /*trace_id=*/0, alert.rule.c_str(), {{"value", alert.value}});
+  if (alert_hook_) {
+    alert_hook_(alert);
   }
 }
 

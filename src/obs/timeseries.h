@@ -9,12 +9,14 @@
 #define SLICE_OBS_TIMESERIES_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/obs/eventlog.h"
 #include "src/obs/metrics.h"
 #include "src/sim/event_queue.h"
 
@@ -67,6 +69,14 @@ class Scraper {
   void AddRule(WatchdogRule rule) { rules_.push_back(std::move(rule)); }
   const std::vector<WatchdogRule>& rules() const { return rules_; }
 
+  // Every Alert edge is mirrored into the event log (kAlertRaise /
+  // kAlertClear with the rule name and triggering value), so dumps and
+  // alerts can never disagree.
+  void set_eventlog(EventLog* log) { eventlog_ = log; }
+  // Called on every Alert edge after it is recorded; the ensemble uses this
+  // to cut a flight-recorder dump the moment a watchdog fires.
+  void SetAlertHook(std::function<void(const Alert&)> hook) { alert_hook_ = std::move(hook); }
+
   // Arms the background scrape timer; the first scrape fires at the next
   // exact multiple of the scrape interval. No-op when metrics are disabled.
   void Start();
@@ -99,8 +109,12 @@ class Scraper {
   void EvaluateRules(SimTime now);
   int64_t SampleMetric(const MetricsRegistry& reg, std::string_view name, bool* found) const;
 
+  void EmitAlert(const Alert& alert);
+
   EventQueue& queue_;
   Metrics& metrics_;
+  EventLog* eventlog_ = nullptr;
+  std::function<void(const Alert&)> alert_hook_;
   std::vector<WatchdogRule> rules_;
   std::map<uint32_t, std::map<std::string, TimeSeries, std::less<>>> series_;
   // (rule index, host) -> hysteresis state.

@@ -55,6 +55,9 @@ void RpcClient::Transmit(uint32_t xid) {
     if (tracer_ != nullptr) {
       tracer_->RecordInstant(host_.addr(), trace, "rpc_timeout", queue_.now());
     }
+    obs::LogEvent(eventlog_, host_.addr(), queue_.now(), obs::EventSev::kError,
+                  obs::EventCat::kRpc, obs::EventCode::kRpcTimeout, trace.trace_id, nullptr,
+                  {{"xid", xid}, {"tries", params_.max_transmissions}});
     RpcMessageView empty;
     obs::ScopedContext scope(tracer_, trace);
     handler(Status(StatusCode::kTimedOut, "rpc: call timed out"), empty);
@@ -66,6 +69,9 @@ void RpcClient::Transmit(uint32_t xid) {
     if (tracer_ != nullptr) {
       tracer_->RecordInstant(host_.addr(), pc.trace, "rpc_retransmit", queue_.now());
     }
+    obs::LogEvent(eventlog_, host_.addr(), queue_.now(), obs::EventSev::kWarn,
+                  obs::EventCat::kRpc, obs::EventCode::kRpcRetransmit, pc.trace.trace_id,
+                  nullptr, {{"xid", xid}, {"attempt", pc.transmissions + 1}});
     SLICE_DLOG << "rpc: retransmit xid=" << xid << " attempt=" << pc.transmissions + 1;
   }
   ++pc.transmissions;

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "src/net/host.h"
+#include "src/obs/eventlog.h"
 #include "src/obs/trace.h"
 #include "src/rpc/rpc_message.h"
 #include "src/sim/event_queue.h"
@@ -48,6 +49,10 @@ class RpcClient {
   // it restored — so nested calls chain into the same trace.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  // Event log: retransmissions and give-ups are recorded with the call's
+  // trace id so a timed-out request explains itself in the flight dump.
+  void set_eventlog(obs::EventLog* log) { eventlog_ = log; }
+
  private:
   struct PendingCall {
     Endpoint server;
@@ -67,6 +72,7 @@ class RpcClient {
   EventQueue& queue_;
   RpcClientParams params_;
   obs::Tracer* tracer_ = nullptr;
+  obs::EventLog* eventlog_ = nullptr;
   NetPort port_;
   // Guards timer callbacks scheduled into the event queue against running
   // after this client is destroyed.

@@ -36,6 +36,8 @@ void RpcServerNode::set_metrics(obs::Metrics* metrics) {
 void RpcServerNode::Fail() {
   failed_ = true;
   net_.SetHostFailed(host_->addr(), true);
+  obs::LogEvent(eventlog_, addr(), queue_.now(), obs::EventSev::kError, obs::EventCat::kFailover,
+                obs::EventCode::kNodeKill);
 }
 
 void RpcServerNode::Restart() {
@@ -44,6 +46,8 @@ void RpcServerNode::Restart() {
   drc_.clear();
   drc_order_.clear();
   in_progress_.clear();
+  obs::LogEvent(eventlog_, addr(), queue_.now(), obs::EventSev::kInfo, obs::EventCat::kFailover,
+                obs::EventCode::kNodeRecover);
   OnRestart();
 }
 
@@ -60,7 +64,7 @@ void RpcServerNode::OnPacket(Packet&& pkt) {
   // Lift the span context off the wire (the trailer sits outside payload(),
   // so decoding below is oblivious to it either way).
   obs::TraceContext trace;
-  if (tracer_ != nullptr) {
+  if (tracer_ != nullptr || eventlog_ != nullptr) {
     pkt.PeekTrace(&trace.trace_id, &trace.span_id);
   }
 
@@ -80,6 +84,9 @@ void RpcServerNode::OnPacket(Packet&& pkt) {
       tracer_->RecordInstant(addr(), trace, "drc_replay", queue_.now());
       out.AttachTrace(trace.trace_id, trace.span_id);
     }
+    obs::LogEvent(eventlog_, addr(), queue_.now(), obs::EventSev::kInfo, obs::EventCat::kRpc,
+                  obs::EventCode::kDrcReplay, trace.trace_id, nullptr,
+                  {{"xid", decoded->xid}});
     SendPacket(std::move(out));
     return;
   }

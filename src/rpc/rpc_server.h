@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "src/net/host.h"
+#include "src/obs/eventlog.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/rpc/rpc_message.h"
@@ -82,9 +83,15 @@ class RpcServerNode {
   // overrides must call the base.
   virtual void set_metrics(obs::Metrics* metrics);
 
+  // Event log: node kill/recover and DRC duplicate replays are recorded so
+  // crash-driven failovers have a causal trail. Subclasses may override to
+  // wire nested components (e.g. the dir WAL).
+  virtual void set_eventlog(obs::EventLog* log) { eventlog_ = log; }
+
  protected:
   obs::Tracer* tracer() const { return tracer_; }
   obs::Metrics* metrics() const { return metrics_; }
+  obs::EventLog* eventlog() const { return eventlog_; }
   // Completion functor for asynchronous dispatch: subclasses call it exactly
   // once with the accept stat, encoded result body, and accumulated cost.
   using ReplyFn = std::function<void(RpcAcceptStat, Bytes, ServiceCost)>;
@@ -117,6 +124,7 @@ class RpcServerNode {
   RpcServerParams params_;
   obs::Tracer* tracer_ = nullptr;
   obs::Metrics* metrics_ = nullptr;
+  obs::EventLog* eventlog_ = nullptr;
   BusyResource cpu_;
   bool failed_ = false;
   uint64_t requests_served_ = 0;

@@ -360,6 +360,11 @@ void SmallFileServer::OnRestart() {
                  recovering_ = false;
                  SLICE_ILOG << "sfs " << params_.server_index << " recovered " << maps_.size()
                             << " map records";
+                 obs::LogEvent(eventlog(), addr(), queue().now(), obs::EventSev::kInfo,
+                               obs::EventCat::kFailover, obs::EventCode::kWalReplay,
+                               /*trace_id=*/0, st.ok() ? "recovered" : "failed",
+                               {{"sfs", params_.server_index},
+                                {"maps", static_cast<int64_t>(maps_.size())}});
                });
 }
 

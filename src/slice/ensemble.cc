@@ -1,5 +1,7 @@
 #include "src/slice/ensemble.h"
 
+#include <algorithm>
+
 namespace slice {
 namespace {
 
@@ -29,11 +31,24 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
   if (config_.trace.enabled) {
     tracer_ = std::make_unique<obs::Tracer>(config_.trace);
   }
+  if (config_.eventlog.enabled) {
+    eventlog_ = std::make_unique<obs::EventLog>(config_.eventlog);
+  }
   if (config_.metrics.enabled) {
     metrics_ = std::make_unique<obs::Metrics>(config_.metrics);
     scraper_ = std::make_unique<obs::Scraper>(queue_, *metrics_);
     for (obs::WatchdogRule& rule : obs::DefaultWatchdogRules(config_.metrics.scrape_interval)) {
       scraper_->AddRule(std::move(rule));
+    }
+    scraper_->set_eventlog(eventlog_.get());
+    if (eventlog_ && !config_.flight_dump_path.empty()) {
+      // Black-box semantics: the first watchdog raise cuts a dump at the
+      // moment things went wrong (teardown rewrites it with the full run).
+      scraper_->SetAlertHook([this](const obs::Alert& alert) {
+        if (alert.raise) {
+          DumpFlightRecorder(config_.flight_dump_path, ("alert:" + alert.rule).c_str());
+        }
+      });
     }
   }
 
@@ -44,6 +59,7 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
   network_ = std::make_unique<Network>(queue_, net_params);
   network_->set_tracer(tracer_.get());
   network_->set_metrics(metrics_.get());
+  network_->set_eventlog(eventlog_.get());
 
   // --- storage nodes ---
   std::vector<Endpoint> storage_endpoints;
@@ -207,8 +223,35 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
     for (auto& server : dir_servers_) {
       server->set_tracer(tracer_.get());
     }
+    if (manager_) {
+      // The manager mints failure-episode traces (hb_miss / node_dead /
+      // node_rejoin instants) so eventlog records resolve in the trace
+      // export.
+      manager_->set_tracer(tracer_.get());
+    }
     for (auto& proxy : uproxies_) {
       proxy->set_tracer(tracer_.get());
+    }
+  }
+
+  if (eventlog_) {
+    for (auto& node : storage_nodes_) {
+      node->set_eventlog(eventlog_.get());
+    }
+    for (auto& server : small_file_servers_) {
+      server->set_eventlog(eventlog_.get());
+    }
+    for (auto& coord : coordinators_) {
+      coord->set_eventlog(eventlog_.get());
+    }
+    for (auto& server : dir_servers_) {
+      server->set_eventlog(eventlog_.get());
+    }
+    if (manager_) {
+      manager_->set_eventlog(eventlog_.get());
+    }
+    for (auto& proxy : uproxies_) {
+      proxy->set_eventlog(eventlog_.get());
     }
   }
 
@@ -238,7 +281,12 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
   }
 }
 
-Ensemble::~Ensemble() { *alive_ = false; }
+Ensemble::~Ensemble() {
+  if (eventlog_ && !config_.flight_dump_path.empty()) {
+    DumpFlightRecorder(config_.flight_dump_path, "teardown");
+  }
+  *alive_ = false;
+}
 
 void Ensemble::OnReconfigure(const MgmtTableSet& tables, const std::vector<uint64_t>& died,
                              const std::vector<uint64_t>& revived) {
@@ -271,6 +319,16 @@ void Ensemble::OnReconfigure(const MgmtTableSet& tables, const std::vector<uint6
     if (adopter == dir_servers_[site].get() || adopter->failed()) {
       continue;  // no live replacement — the site stays down until rejoin
     }
+    // Stamp the adoption with the failure episode the manager opened at the
+    // first heartbeat miss, completing the hb_miss -> node_dead -> adopt
+    // causal chain under one trace id.
+    const obs::TraceContext episode = manager_->EpisodeContext(id);
+    if (tracer_ && episode.valid()) {
+      tracer_->RecordInstant(adopter->addr(), episode, "adopt_site", queue_.now());
+    }
+    obs::LogEvent(eventlog_.get(), adopter->addr(), queue_.now(), obs::EventSev::kWarn,
+                  obs::EventCat::kFailover, obs::EventCode::kAdoptBegin, episode.trace_id,
+                  nullptr, {{"site", site}, {"epoch", static_cast<int64_t>(tables.epoch)}});
     adopter->AdoptSite(site, storage_endpoints_[site % storage_endpoints_.size()],
                        BackingObject(0xff, site, 1, config_.volume_secret));
   }
@@ -285,6 +343,13 @@ void Ensemble::OnReconfigure(const MgmtTableSet& tables, const std::vector<uint6
         DirServer* target = dir_servers_[site].get();
         for (auto& server : dir_servers_) {
           if (server->adopted_sites().count(site) != 0) {
+            const obs::TraceContext episode = manager_->EpisodeContext(id);
+            if (tracer_ && episode.valid()) {
+              tracer_->RecordInstant(server->addr(), episode, "handoff_site", queue_.now());
+            }
+            obs::LogEvent(eventlog_.get(), server->addr(), queue_.now(), obs::EventSev::kInfo,
+                          obs::EventCat::kFailover, obs::EventCode::kHandoff, episode.trace_id,
+                          "scheduled", {{"site", site}, {"to", target->addr()}});
             target->BeginHandoffHold();
             ScheduleHandoff(server.get(), site, target);
             break;
@@ -296,7 +361,14 @@ void Ensemble::OnReconfigure(const MgmtTableSet& tables, const std::vector<uint6
         // Resync the rejoined mirror: replay the degraded regions logged by
         // µproxies while it was down.
         const uint32_t node = NodeIdIndex(id);
+        const obs::TraceContext episode = manager_->EpisodeContext(id);
         for (auto& coord : coordinators_) {
+          if (tracer_ && episode.valid()) {
+            tracer_->RecordInstant(coord->addr(), episode, "mirror_resync", queue_.now());
+          }
+          obs::LogEvent(eventlog_.get(), coord->addr(), queue_.now(), obs::EventSev::kInfo,
+                        obs::EventCat::kFailover, obs::EventCode::kResync, episode.trace_id,
+                        nullptr, {{"node", node}});
           coord->RepairNode(node);
         }
         break;
@@ -372,6 +444,38 @@ std::vector<obs::Alert> Ensemble::alerts() const {
     return {};
   }
   return scraper_->alerts();
+}
+
+std::vector<uint64_t> Ensemble::InflightTraceIds() const {
+  std::vector<uint64_t> out;
+  for (const auto& proxy : uproxies_) {
+    proxy->CollectInflightTraceIds(out);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string Ensemble::ExportFlightJson(const char* reason) const {
+  if (!eventlog_) {
+    return {};
+  }
+  return obs::ExportFlightJson(*eventlog_, queue_.now(), reason, InflightTraceIds(),
+                               metrics_.get(), scraper_.get());
+}
+
+uint64_t Ensemble::FlightHash() const {
+  if (!eventlog_) {
+    return 0;
+  }
+  return obs::FlightContentHash(ExportFlightJson());
+}
+
+bool Ensemble::DumpFlightRecorder(const std::string& path, const char* reason) const {
+  if (!eventlog_) {
+    return false;
+  }
+  return obs::WriteFlightDump(path, ExportFlightJson(reason));
 }
 
 obs::CriticalPathReport Ensemble::AnalyzeCriticalPath() const {

@@ -10,6 +10,7 @@
 #define SLICE_SLICE_ENSEMBLE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/coord/coordinator.h"
@@ -19,7 +20,9 @@
 #include "src/mgmt/manager.h"
 #include "src/nfs/nfs_client.h"
 #include "src/obs/critical_path.h"
+#include "src/obs/eventlog.h"
 #include "src/obs/export.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/metrics_export.h"
 #include "src/obs/timeseries.h"
@@ -69,6 +72,16 @@ struct EnsembleConfig {
   // disabled means no hub is constructed, components keep null instrument
   // pointers, and hot paths pay one branch.
   obs::MetricsParams metrics{.enabled = false};
+
+  // Structured event log + flight recorder (src/obs): per-host rings of
+  // routing / failover / retransmit decision records, dumped as canonical
+  // JSON. Off by default like the other pillars: disabled means no EventLog
+  // is constructed and every LogEvent site is a null-pointer check.
+  obs::EventLogParams eventlog{.enabled = false};
+  // When non-empty (and the event log is on), the flight recorder dump is
+  // written here automatically — on the first watchdog alert raise and again
+  // at ensemble teardown (the later dump supersedes the earlier one).
+  std::string flight_dump_path;
 };
 
 class Ensemble {
@@ -116,6 +129,19 @@ class Ensemble {
   // Watchdog raise/clear edges so far (empty when metrics are off).
   std::vector<obs::Alert> alerts() const;
 
+  // Event log; null when config.eventlog.enabled is false.
+  obs::EventLog* eventlog() { return eventlog_.get(); }
+  // Canonical flight-recorder dump (merged events + metrics snapshot +
+  // in-flight trace ids) and its FNV-1a content hash; empty/0 when the
+  // event log is off.
+  std::string ExportFlightJson(const char* reason = "manual") const;
+  uint64_t FlightHash() const;
+  // Writes the dump to `path`; returns false when the event log is off or
+  // the write failed.
+  bool DumpFlightRecorder(const std::string& path, const char* reason = "manual") const;
+  // Trace ids of requests still pending at any µproxy, sorted and deduped.
+  std::vector<uint64_t> InflightTraceIds() const;
+
   // Tracer; null when config.trace.enabled is false.
   obs::Tracer* tracer() { return tracer_.get(); }
   // Collected spans in canonical order (empty when tracing is off).
@@ -148,6 +174,9 @@ class Ensemble {
   EnsembleConfig config_;
   Endpoint virtual_server_;
   std::unique_ptr<obs::Tracer> tracer_;  // before network_: spans outlive taps
+  // Like the tracer: events recorded during component teardown must land in
+  // a still-live log, so the log outlives everything below.
+  std::unique_ptr<obs::EventLog> eventlog_;
   // Hub before network_/components: providers registered by components are
   // destroyed with their registries only after every pollster is gone. The
   // scraper's queued events are guarded by its own alive flag.

@@ -416,6 +416,11 @@ void StorageNode::OnRestart() {
   pending_ready_.clear();
   write_verifier_ = rng_.NextU64();
   SLICE_ILOG << "storage node " << AddrToString(addr()) << " restarted, new verifier";
+  // Committed objects survive on disk; clients learn from the fresh
+  // verifier that unstable writes must be re-sent.
+  obs::LogEvent(eventlog(), addr(), queue().now(), obs::EventSev::kInfo,
+                obs::EventCat::kFailover, obs::EventCode::kNodeRecover, /*trace_id=*/0,
+                "verifier_reset", {{"objects", static_cast<int64_t>(store_.object_count())}});
 }
 
 }  // namespace slice

@@ -15,8 +15,10 @@ in the bench file but absent from `expect` are ignored, so goldens pin
 only the stable quantities (saturation throughput, who-beats-whom) and
 not host-speed-dependent ones.
 
-Usage: check_bench_golden.py <golden.json> <bench.json>
-Exit status 0 = within tolerance, 1 = mismatch, 2 = usage/IO error.
+Usage: check_bench_golden.py <golden.json> <bench.json> [<golden> <bench> ...]
+Multiple golden/bench pairs are checked in one invocation (CI checks fig5
+throughput and fig6 latency together); each pair carries its own tolerance.
+Exit status 0 = all within tolerance, 1 = any mismatch, 2 = usage/IO error.
 """
 
 import json
@@ -58,14 +60,12 @@ def compare(expect, actual, tolerance, path, errors):
                           (path, expect, tolerance * 100, actual))
 
 
-def main(argv):
-    if len(argv) != 3:
-        sys.stderr.write(__doc__)
-        return 2
+def check_pair(golden_path, bench_path):
+    """Returns 0 on match, 1 on mismatch, 2 on IO/parse error."""
     try:
-        with open(argv[1]) as f:
+        with open(golden_path) as f:
             golden = json.load(f)
-        with open(argv[2]) as f:
+        with open(bench_path) as f:
             bench = json.load(f)
     except (OSError, ValueError) as err:
         sys.stderr.write("check_bench_golden: %s\n" % err)
@@ -76,12 +76,22 @@ def main(argv):
     compare(golden.get("expect", {}), bench, tolerance, "$", errors)
     if errors:
         sys.stderr.write("golden mismatch (%s vs %s, tolerance %g%%):\n" %
-                         (argv[1], argv[2], tolerance * 100))
+                         (golden_path, bench_path, tolerance * 100))
         for err in errors:
             sys.stderr.write("  %s\n" % err)
         return 1
-    print("%s: within %g%% of golden" % (argv[2], tolerance * 100))
+    print("%s: within %g%% of golden" % (bench_path, tolerance * 100))
     return 0
+
+
+def main(argv):
+    if len(argv) < 3 or len(argv) % 2 != 1:
+        sys.stderr.write(__doc__)
+        return 2
+    status = 0
+    for i in range(1, len(argv), 2):
+        status = max(status, check_pair(argv[i], argv[i + 1]))
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Offline inspector for Slice flight-recorder dumps.
+
+A flight dump (Ensemble::DumpFlightRecorder, bench --flight-dump, or the
+automatic dump on watchdog alert / teardown) is canonical JSON:
+
+    {"flight": {"reason", "at", "recorded", "evicted", "events": [...]},
+     "inflight_traces": [...],
+     "metrics": {...}}            # present when the metrics plane was on
+
+Each event carries sim-time ns ("at"), a global sequence number, the
+recording host (dotted quad), severity, category, a stable numeric code
+plus symbolic name, an optional short detail tag, an optional trace id
+("trace") correlating it with the end-to-end tracing pillar, and optional
+small integer args.
+
+This tool filters and pretty-prints the merged sim-time-ordered event
+stream, and can join a chrome://tracing export (fig6_trace.json,
+e2e_failover_trace.json) into the same timeline: spans whose "tid" matches
+a selected trace id appear inline, so one invocation shows WHY (events)
+and WHERE TIME WENT (spans) for the same request or failure episode.
+
+Examples:
+    slice_inspect.py dump.json                        # everything
+    slice_inspect.py dump.json --sev warn             # warn and above
+    slice_inspect.py dump.json --cat mgmt,failover    # categories
+    slice_inspect.py dump.json --host 10.0.0.3        # one host
+    slice_inspect.py dump.json --since 1.2s --until 1.8s
+    slice_inspect.py dump.json --trace-id 1234        # one causal trail
+    slice_inspect.py dump.json --trace-id 1234 --join-trace trace.json
+    slice_inspect.py dump.json --summary              # counts only
+
+Exit status 0 = printed something, 1 = no events matched, 2 = usage error.
+"""
+
+import argparse
+import json
+import sys
+
+SEV_ORDER = {"debug": 0, "info": 1, "warn": 2, "error": 3}
+
+
+def parse_time(text):
+    """'1.5s', '200ms', '3us' or raw nanoseconds -> ns int."""
+    text = text.strip()
+    for suffix, mult in (("ms", 10**6), ("us", 10**3), ("ns", 1), ("s", 10**9)):
+        if text.endswith(suffix):
+            return int(float(text[: -len(suffix)]) * mult)
+    return int(text)
+
+
+def fmt_time(ns):
+    return "%.6fs" % (ns / 1e9)
+
+
+def load_dump(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "flight" not in doc or "events" not in doc.get("flight", {}):
+        raise ValueError("%s: not a flight-recorder dump (no flight.events)" % path)
+    return doc
+
+
+def load_trace_spans(path, trace_ids):
+    """Chrome trace-event JSON -> rows shaped like events for the merge.
+
+    Only spans whose tid is in `trace_ids` are joined (joining a full bench
+    trace would drown the events); pass trace_ids=None to join everything.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    rows = []
+    for ev in doc.get("traceEvents", []):
+        tid = ev.get("tid", 0)
+        if trace_ids is not None and tid not in trace_ids:
+            continue
+        start_ns = int(float(ev.get("ts", 0)) * 1000)
+        dur_us = ev.get("dur")
+        # pid is the host's NetAddr; render it dotted-quad like event hosts.
+        pid = ev.get("pid")
+        host = ("%d.%d.%d.%d" % ((pid >> 24) & 0xFF, (pid >> 16) & 0xFF,
+                                 (pid >> 8) & 0xFF, pid & 0xFF)
+                if isinstance(pid, int) else str(pid))
+        rows.append({
+            "at": start_ns,
+            "kind": "span" if ev.get("ph") == "X" else "mark",
+            "host": host,
+            "name": ev.get("name", "?"),
+            "cat": ev.get("cat", "?"),
+            "trace": tid,
+            "dur_ns": int(float(dur_us) * 1000) if dur_us is not None else None,
+        })
+    return rows
+
+
+def event_matches(ev, opts):
+    if opts.host and ev.get("host") != opts.host:
+        return False
+    if opts.min_sev is not None and SEV_ORDER.get(ev.get("sev", "info"), 1) < opts.min_sev:
+        return False
+    if opts.cats and ev.get("cat") not in opts.cats:
+        return False
+    if opts.codes and ev.get("code") not in opts.codes:
+        return False
+    if opts.since is not None and ev.get("at", 0) < opts.since:
+        return False
+    if opts.until is not None and ev.get("at", 0) > opts.until:
+        return False
+    if opts.trace_ids is not None and ev.get("trace", 0) not in opts.trace_ids:
+        return False
+    return True
+
+
+def fmt_event(ev):
+    args = ev.get("args", {})
+    argstr = " ".join("%s=%s" % (k, v) for k, v in args.items())
+    parts = [
+        "%-12s" % fmt_time(ev.get("at", 0)),
+        "%-11s" % ev.get("host", "?"),
+        "%-5s" % ev.get("sev", "?"),
+        "%-8s" % ev.get("cat", "?"),
+        "%-22s" % ev.get("name", ev.get("code", "?")),
+    ]
+    tail = []
+    if ev.get("detail"):
+        tail.append(ev["detail"])
+    if argstr:
+        tail.append(argstr)
+    if ev.get("trace"):
+        tail.append("trace=%d" % ev["trace"])
+    return "  ".join(parts) + ("  " + "  ".join(tail) if tail else "")
+
+
+def fmt_span(row):
+    parts = [
+        "%-12s" % fmt_time(row["at"]),
+        "%-11s" % row["host"],
+        "%-5s" % ("span" if row["kind"] == "span" else "mark"),
+        "%-8s" % row["cat"],
+        "%-22s" % row["name"],
+    ]
+    tail = ["trace=%d" % row["trace"]]
+    if row["dur_ns"] is not None:
+        tail.append("dur=%.3fms" % (row["dur_ns"] / 1e6))
+    return "  ".join(parts) + "  " + "  ".join(tail)
+
+
+def print_summary(events, flight):
+    by_sev, by_cat, by_code = {}, {}, {}
+    for ev in events:
+        by_sev[ev.get("sev", "?")] = by_sev.get(ev.get("sev", "?"), 0) + 1
+        by_cat[ev.get("cat", "?")] = by_cat.get(ev.get("cat", "?"), 0) + 1
+        name = ev.get("name", str(ev.get("code", "?")))
+        by_code[name] = by_code.get(name, 0) + 1
+    print("reason=%s  at=%s  recorded=%d  evicted=%d  shown=%d" % (
+        flight.get("reason", "?"), fmt_time(flight.get("at", 0)),
+        flight.get("recorded", 0), flight.get("evicted", 0), len(events)))
+    print("by severity: " + "  ".join(
+        "%s=%d" % (s, by_sev[s]) for s in ("debug", "info", "warn", "error") if s in by_sev))
+    print("by category: " + "  ".join(
+        "%s=%d" % (c, n) for c, n in sorted(by_cat.items())))
+    print("by code:")
+    for name, n in sorted(by_code.items(), key=lambda kv: -kv[1]):
+        print("  %6d  %s" % (n, name))
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Filter and pretty-print Slice flight-recorder dumps.")
+    parser.add_argument("dump", help="flight dump JSON (e.g. e2e_failover_flight.json)")
+    parser.add_argument("--host", help="only events recorded on this host (dotted quad)")
+    parser.add_argument("--sev", help="minimum severity: debug|info|warn|error")
+    parser.add_argument("--cat", help="comma-separated categories (route,mgmt,failover,...)")
+    parser.add_argument("--code", help="comma-separated numeric event codes")
+    parser.add_argument("--since", help="window start (e.g. 1.5s, 200ms, or raw ns)")
+    parser.add_argument("--until", help="window end")
+    parser.add_argument("--trace-id", help="comma-separated trace ids: print those causal trails")
+    parser.add_argument("--join-trace", metavar="TRACE_JSON",
+                        help="chrome://tracing export to merge into the timeline "
+                             "(spans matching --trace-id, or all spans without it)")
+    parser.add_argument("--summary", action="store_true",
+                        help="print counts by severity/category/code instead of rows")
+    args = parser.parse_args(argv[1:])
+
+    try:
+        doc = load_dump(args.dump)
+    except (OSError, ValueError) as err:
+        sys.stderr.write("slice_inspect: %s\n" % err)
+        return 2
+
+    class Opts(object):
+        pass
+
+    opts = Opts()
+    opts.host = args.host
+    opts.min_sev = None
+    if args.sev:
+        if args.sev not in SEV_ORDER:
+            sys.stderr.write("slice_inspect: unknown severity %r\n" % args.sev)
+            return 2
+        opts.min_sev = SEV_ORDER[args.sev]
+    opts.cats = set(args.cat.split(",")) if args.cat else None
+    opts.codes = set(int(c) for c in args.code.split(",")) if args.code else None
+    try:
+        opts.since = parse_time(args.since) if args.since else None
+        opts.until = parse_time(args.until) if args.until else None
+    except ValueError as err:
+        sys.stderr.write("slice_inspect: bad time: %s\n" % err)
+        return 2
+    opts.trace_ids = (set(int(t) for t in args.trace_id.split(","))
+                      if args.trace_id else None)
+
+    flight = doc["flight"]
+    events = [ev for ev in flight["events"] if event_matches(ev, opts)]
+
+    if args.summary:
+        print_summary(events, flight)
+        return 0 if events else 1
+
+    rows = [("e", ev["at"], ev.get("seq", 0), ev) for ev in events]
+    if args.join_trace:
+        try:
+            spans = load_trace_spans(args.join_trace, opts.trace_ids)
+        except (OSError, ValueError) as err:
+            sys.stderr.write("slice_inspect: %s\n" % err)
+            return 2
+        rows.extend(("s", row["at"], -1, row) for row in spans)
+    rows.sort(key=lambda r: (r[1], r[0], r[2]))
+
+    print("flight: reason=%s at=%s recorded=%d evicted=%d" % (
+        flight.get("reason", "?"), fmt_time(flight.get("at", 0)),
+        flight.get("recorded", 0), flight.get("evicted", 0)))
+    inflight = doc.get("inflight_traces", [])
+    if inflight:
+        print("in-flight traces at dump: %s" % ", ".join(str(t) for t in inflight))
+    print()
+    for kind, _, _, row in rows:
+        print(fmt_event(row) if kind == "e" else fmt_span(row))
+    if not rows:
+        print("(no events matched)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
