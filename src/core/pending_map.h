@@ -1,0 +1,154 @@
+// Open-addressing hash map from uint64 keys to a trivially-copyable value.
+//
+// The µproxy's pending-request table sees one insert and one erase per
+// forwarded request; std::unordered_map pays a node allocation for each.
+// This map keeps everything in one flat slot array — linear probing on a
+// power-of-two capacity, backward-shift (Knuth) deletion instead of
+// tombstones — so once the array has grown to the working-set size,
+// steady-state insert/find/erase never touch the heap.
+#ifndef SLICE_CORE_PENDING_MAP_H_
+#define SLICE_CORE_PENDING_MAP_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/status.h"
+
+namespace slice {
+
+template <typename V>
+class FlatU64Map {
+  static_assert(std::is_trivially_copyable_v<V>,
+                "backward-shift deletion relocates values by assignment");
+
+ public:
+  explicit FlatU64Map(size_t initial_capacity = 64) {
+    size_t cap = 16;
+    while (cap < initial_capacity) {
+      cap <<= 1;
+    }
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  V* Find(uint64_t key) {
+    size_t i = IndexFor(key);
+    while (slots_[i].full) {
+      if (slots_[i].key == key) {
+        return &slots_[i].value;
+      }
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+  const V* Find(uint64_t key) const { return const_cast<FlatU64Map*>(this)->Find(key); }
+
+  // Returns (value slot, inserted). A fresh slot holds a value-initialized V.
+  // The pointer is valid until the next Insert (growth) or Erase (shift).
+  std::pair<V*, bool> Insert(uint64_t key) {
+    if ((size_ + 1) * 2 > slots_.size()) {
+      Grow();
+    }
+    size_t i = IndexFor(key);
+    while (slots_[i].full) {
+      if (slots_[i].key == key) {
+        return {&slots_[i].value, false};
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[i].key = key;
+    slots_[i].value = V{};
+    slots_[i].full = true;
+    ++size_;
+    return {&slots_[i].value, true};
+  }
+
+  bool Erase(uint64_t key) {
+    size_t i = IndexFor(key);
+    while (true) {
+      if (!slots_[i].full) {
+        return false;
+      }
+      if (slots_[i].key == key) {
+        break;
+      }
+      i = (i + 1) & mask_;
+    }
+    --size_;
+    // Backward-shift deletion (Knuth 6.4 Algorithm R): pull each following
+    // cluster member whose probe path crosses the hole back into it, so no
+    // tombstones accumulate and probe lengths stay tight.
+    size_t j = i;
+    while (true) {
+      slots_[i].full = false;
+      while (true) {
+        j = (j + 1) & mask_;
+        if (!slots_[j].full) {
+          return true;
+        }
+        const size_t home = IndexFor(slots_[j].key);
+        // Slot j may stay iff its home lies cyclically within (i, j].
+        const bool stays = i <= j ? (i < home && home <= j) : (i < home || home <= j);
+        if (!stays) {
+          break;
+        }
+      }
+      slots_[i].key = slots_[j].key;
+      slots_[i].value = slots_[j].value;
+      slots_[i].full = true;
+      i = j;
+    }
+  }
+
+  void Clear() {
+    for (Slot& s : slots_) {
+      s.full = false;
+    }
+    size_ = 0;
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.full) {
+        fn(s.key, s.value);
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    V value{};
+    bool full = false;
+  };
+
+  size_t IndexFor(uint64_t key) const { return static_cast<size_t>(MixU64(key)) & mask_; }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.clear();
+    slots_.resize(old.size() * 2);
+    mask_ = slots_.size() - 1;
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (s.full) {
+        *Insert(s.key).first = s.value;
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace slice
+
+#endif  // SLICE_CORE_PENDING_MAP_H_

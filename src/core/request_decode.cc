@@ -1,8 +1,17 @@
 #include "src/core/request_decode.h"
 
 namespace slice {
+namespace {
 
-Status DecodeNfsRequest(ByteSpan payload, DecodedRequest* out) {
+// Records where a zero-copy string view lives relative to the payload start.
+void NoteName(ByteSpan payload, std::string_view sv, uint32_t* off, uint32_t* len) {
+  *off = static_cast<uint32_t>(reinterpret_cast<const uint8_t*>(sv.data()) - payload.data());
+  *len = static_cast<uint32_t>(sv.size());
+}
+
+}  // namespace
+
+Status DecodeNfsRequestView(ByteSpan payload, DecodedView* out) {
   Result<RpcPeek> peek = PeekRpcMessage(payload);
   if (!peek.ok()) {
     return peek.status();
@@ -13,7 +22,7 @@ Status DecodeNfsRequest(ByteSpan payload, DecodedRequest* out) {
   }
   out->xid = peek->xid;
   out->proc = static_cast<NfsProc>(peek->proc);
-  out->body_offset = peek->body_offset;
+  out->body_offset = static_cast<uint32_t>(peek->body_offset);
 
   XdrDecoder dec(payload.subspan(peek->body_offset));
   switch (out->proc) {
@@ -29,7 +38,7 @@ Status DecodeNfsRequest(ByteSpan payload, DecodedRequest* out) {
     case NfsProc::kAccess:
     case NfsProc::kSetattr: {
       SLICE_ASSIGN_OR_RETURN(out->fh, DecodeFileHandle(dec));
-      out->has_fh = true;
+      out->has_fh = 1;
       if (out->proc == NfsProc::kSetattr) {
         // Pull the size field (if being set) so truncates can fan out.
         Result<Sattr3> sattr = DecodeSattr3(dec);
@@ -48,17 +57,20 @@ Status DecodeNfsRequest(ByteSpan payload, DecodedRequest* out) {
     case NfsProc::kMkdir:
     case NfsProc::kSymlink: {
       SLICE_ASSIGN_OR_RETURN(out->fh, DecodeFileHandle(dec));
-      out->has_fh = true;
-      SLICE_ASSIGN_OR_RETURN(out->name, dec.GetString(255));
+      out->has_fh = 1;
+      SLICE_ASSIGN_OR_RETURN(std::string_view name, dec.GetStringView(255));
+      NoteName(payload, name, &out->name_off, &out->name_len);
       return OkStatus();
     }
 
     case NfsProc::kRename: {
       SLICE_ASSIGN_OR_RETURN(out->fh, DecodeFileHandle(dec));
-      out->has_fh = true;
-      SLICE_ASSIGN_OR_RETURN(out->name, dec.GetString(255));
+      out->has_fh = 1;
+      SLICE_ASSIGN_OR_RETURN(std::string_view name, dec.GetStringView(255));
+      NoteName(payload, name, &out->name_off, &out->name_len);
       SLICE_ASSIGN_OR_RETURN(out->fh2, DecodeFileHandle(dec));
-      SLICE_ASSIGN_OR_RETURN(out->name2, dec.GetString(255));
+      SLICE_ASSIGN_OR_RETURN(std::string_view name2, dec.GetStringView(255));
+      NoteName(payload, name2, &out->name2_off, &out->name2_len);
       return OkStatus();
     }
 
@@ -66,15 +78,16 @@ Status DecodeNfsRequest(ByteSpan payload, DecodedRequest* out) {
       // link(file, dir, name): route by the (dir, name) entry placement.
       SLICE_ASSIGN_OR_RETURN(out->fh2, DecodeFileHandle(dec));  // file
       SLICE_ASSIGN_OR_RETURN(out->fh, DecodeFileHandle(dec));   // dir
-      out->has_fh = true;
-      SLICE_ASSIGN_OR_RETURN(out->name, dec.GetString(255));
+      out->has_fh = 1;
+      SLICE_ASSIGN_OR_RETURN(std::string_view name, dec.GetStringView(255));
+      NoteName(payload, name, &out->name_off, &out->name_len);
       return OkStatus();
     }
 
     case NfsProc::kRead:
     case NfsProc::kCommit: {
       SLICE_ASSIGN_OR_RETURN(out->fh, DecodeFileHandle(dec));
-      out->has_fh = true;
+      out->has_fh = 1;
       SLICE_ASSIGN_OR_RETURN(out->offset, dec.GetUint64());
       SLICE_ASSIGN_OR_RETURN(out->count, dec.GetUint32());
       return OkStatus();
@@ -82,7 +95,7 @@ Status DecodeNfsRequest(ByteSpan payload, DecodedRequest* out) {
 
     case NfsProc::kWrite: {
       SLICE_ASSIGN_OR_RETURN(out->fh, DecodeFileHandle(dec));
-      out->has_fh = true;
+      out->has_fh = 1;
       SLICE_ASSIGN_OR_RETURN(out->offset, dec.GetUint64());
       SLICE_ASSIGN_OR_RETURN(out->count, dec.GetUint32());
       SLICE_ASSIGN_OR_RETURN(uint32_t stable, dec.GetUint32());
@@ -96,11 +109,28 @@ Status DecodeNfsRequest(ByteSpan payload, DecodedRequest* out) {
     case NfsProc::kReaddir:
     case NfsProc::kReaddirplus: {
       SLICE_ASSIGN_OR_RETURN(out->fh, DecodeFileHandle(dec));
-      out->has_fh = true;
+      out->has_fh = 1;
       return OkStatus();
     }
   }
   return Status(StatusCode::kCorrupt, "uproxy: unknown procedure");
+}
+
+Status DecodeNfsRequest(ByteSpan payload, DecodedRequest* out) {
+  DecodedView view;
+  SLICE_RETURN_IF_ERROR(DecodeNfsRequestView(payload, &view));
+  out->xid = view.xid;
+  out->proc = view.proc;
+  out->fh = view.fh;
+  out->has_fh = view.has_fh != 0;
+  out->name.assign(view.name(payload));
+  out->fh2 = view.fh2;
+  out->name2.assign(view.name2(payload));
+  out->offset = view.offset;
+  out->count = view.count;
+  out->stable = view.stable;
+  out->body_offset = view.body_offset;
+  return OkStatus();
 }
 
 Status DecodeNfsReply(ByteSpan payload, DecodedReply* out) {

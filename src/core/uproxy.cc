@@ -143,7 +143,7 @@ void Uproxy::FinishTrace(const Pending& pending, SimTime end) {
 }
 
 void Uproxy::DropSoftState() {
-  pending_.clear();
+  pending_.Clear();
   attr_cache_.Clear();
   map_cache_.clear();
   // "It is free to discard its state and/or pending packets without
@@ -164,8 +164,17 @@ uint32_t Uproxy::StripeSite(const FileHandle& fh, uint64_t offset, uint32_t repl
 }
 
 Uproxy::RouteDecision Uproxy::SelectRoute(const DecodedRequest& req) {
+  return SelectRouteImpl(req.proc, req.fh, req.name, req.offset);
+}
+
+Uproxy::RouteDecision Uproxy::SelectRoute(const DecodedView& req, ByteSpan payload) {
+  return SelectRouteImpl(req.proc, req.fh, req.name(payload), req.offset);
+}
+
+Uproxy::RouteDecision Uproxy::SelectRouteImpl(NfsProc proc, const FileHandle& fh,
+                                              std::string_view name, uint64_t offset) {
   RouteDecision out;
-  switch (req.proc) {
+  switch (proc) {
     case NfsProc::kNull:
     case NfsProc::kFsstat:
     case NfsProc::kFsinfo:
@@ -182,7 +191,7 @@ Uproxy::RouteDecision Uproxy::SelectRoute(const DecodedRequest& req) {
       // fhandle-keyed: fixed placement embeds the owning site in the fileID;
       // a manager-installed binding rebinds a dead site to its adopter.
       out.cls = RouteClass::kDirServer;
-      out.target = DirServerForSite(SiteOfFileid(req.fh.fileid()));
+      out.target = DirServerForSite(SiteOfFileid(fh.fileid()));
       return out;
 
     case NfsProc::kLookup:
@@ -194,16 +203,16 @@ Uproxy::RouteDecision Uproxy::SelectRoute(const DecodedRequest& req) {
     case NfsProc::kRename: {
       out.cls = RouteClass::kDirServer;
       if (config_.name_policy == NamePolicy::kNameHashing) {
-        out.target = dir_table_.Lookup(NameFingerprint(req.fh, req.name));
+        out.target = dir_table_.Lookup(NameFingerprint(fh, name));
       } else {
-        out.target = DirServerForSite(SiteOfFileid(req.fh.fileid()));
+        out.target = DirServerForSite(SiteOfFileid(fh.fileid()));
       }
       return out;
     }
 
     case NfsProc::kMkdir: {
       out.cls = RouteClass::kDirServer;
-      const uint64_t fingerprint = NameFingerprint(req.fh, req.name);
+      const uint64_t fingerprint = NameFingerprint(fh, name);
       if (config_.name_policy == NamePolicy::kNameHashing) {
         out.target = dir_table_.Lookup(fingerprint);
       } else if (RedirectCoin(fingerprint) < config_.mkdir_redirect_probability) {
@@ -211,30 +220,30 @@ Uproxy::RouteDecision Uproxy::SelectRoute(const DecodedRequest& req) {
         // a different site chosen by hash — races involve at most two sites.
         out.target = dir_table_.Lookup(fingerprint);
       } else {
-        out.target = DirServerForSite(SiteOfFileid(req.fh.fileid()));
+        out.target = DirServerForSite(SiteOfFileid(fh.fileid()));
       }
       return out;
     }
 
     case NfsProc::kRead:
     case NfsProc::kWrite: {
-      const bool small = !config_.small_file_servers.empty() && req.offset < config_.threshold;
+      const bool small = !config_.small_file_servers.empty() && offset < config_.threshold;
       if (small) {
         // Small-file slots are identity-bound (a replacement server would not
         // have the file data), so a dead SFS fails fast with a retryable
         // error instead of misrouting.
-        const uint32_t sfs = sfs_table_.PhysicalIndexFor(MixU64(req.fh.fileid()));
+        const uint32_t sfs = sfs_table_.PhysicalIndexFor(MixU64(fh.fileid()));
         if (!SfsAlive(sfs)) {
           out.cls = RouteClass::kUnavailable;
           out.error = Nfsstat3::kErrJukebox;
           return out;
         }
         out.cls = RouteClass::kSmallFile;
-        out.target = sfs_table_.Lookup(MixU64(req.fh.fileid()));
+        out.target = sfs_table_.Lookup(MixU64(fh.fileid()));
         return out;
       }
-      const uint32_t replication = std::max<uint32_t>(1, req.fh.replication());
-      if (req.proc == NfsProc::kWrite && replication > 1) {
+      const uint32_t replication = std::max<uint32_t>(1, fh.replication());
+      if (proc == NfsProc::kWrite && replication > 1) {
         out.cls = RouteClass::kMirrorWrite;
         return out;
       }
@@ -243,14 +252,13 @@ Uproxy::RouteDecision Uproxy::SelectRoute(const DecodedRequest& req) {
       // promotion). With every replica dead, fail fast instead of hanging.
       const uint32_t replica =
           replication > 1
-              ? static_cast<uint32_t>((req.offset / config_.stripe_unit) % replication)
+              ? static_cast<uint32_t>((offset / config_.stripe_unit) % replication)
               : 0;
-      uint32_t node = StripeSite(req.fh, req.offset, replica);
+      uint32_t node = StripeSite(fh, offset, replica);
       if (!StorageAlive(node)) {
         bool found = false;
         for (uint32_t step = 1; step < replication && !found; ++step) {
-          const uint32_t alt =
-              StripeSite(req.fh, req.offset, (replica + step) % replication);
+          const uint32_t alt = StripeSite(fh, offset, (replica + step) % replication);
           if (StorageAlive(alt)) {
             node = alt;
             found = true;
@@ -277,7 +285,7 @@ Uproxy::RouteDecision Uproxy::SelectRoute(const DecodedRequest& req) {
       // the small-file portion); fan out unless one storage node holds
       // everything.
       if (config_.storage_nodes.size() > 1 || !config_.small_file_servers.empty() ||
-          req.fh.replication() > 1) {
+          fh.replication() > 1) {
         out.cls = RouteClass::kMultiCommit;
         return out;
       }
@@ -308,15 +316,20 @@ void Uproxy::HandleOutbound(Packet&& pkt) {
     net_.Inject(std::move(pkt));
     return;
   }
-  DecodedRequest req;
-  if (!DecodeNfsRequest(pkt.payload(), &req).ok()) {
-    PassThroughOutbound(std::move(pkt));
-    return;
+  // First sight decodes once; a retransmission that already carries the
+  // cached view (e.g. re-forwarded by the RPC layer) skips the parse.
+  DecodedView req;
+  if (!pkt.get_view(kDecodedViewTag, &req)) {
+    if (!DecodeNfsRequestView(pkt.payload(), &req).ok()) {
+      PassThroughOutbound(std::move(pkt));
+      return;
+    }
+    pkt.set_view(kDecodedViewTag, req);
   }
   counters_.Add("intercepted");
 
   const uint64_t key = KeyOf(pkt.src_port(), req.xid);
-  if (const auto it = pending_.find(key); it != pending_.end() && it->second.absorbed) {
+  if (const Pending* dup = pending_.Find(key); dup != nullptr && dup->absorbed) {
     counters_.Add("duplicate_absorbed");
     return;  // fan-out already in flight; our own RPC layer retransmits
   }
@@ -376,7 +389,7 @@ void Uproxy::HandleOutbound(Packet&& pkt) {
     return;
   }
 
-  const RouteDecision route = SelectRoute(req);
+  const RouteDecision route = SelectRoute(req, pkt.payload());
   switch (route.cls) {
     case RouteClass::kPassThrough:
       PassThroughOutbound(std::move(pkt));
@@ -386,24 +399,24 @@ void Uproxy::HandleOutbound(Packet&& pkt) {
       obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kError,
                     obs::EventCat::kRoute, obs::EventCode::kRouteUnavailable, /*trace_id=*/0,
                     NfsProcName(req.proc), {{"xid", req.xid}});
-      SynthesizeErrorReply(req, pkt.src(), route.error);
+      SynthesizeErrorReply(req.proc, req.xid, pkt.src(), route.error);
       return;
     case RouteClass::kDirServer: {
       counters_.Add("routed_dir");
       // Removes need the victim's identity to reclaim its data afterwards;
       // ask ahead (FIFO ordering guarantees the lookup is served first).
       if (req.proc == NfsProc::kRemove) {
-        OwnLookup(route.target, req.fh, req.name,
+        OwnLookup(route.target, req.fh, std::string(req.name(pkt.payload())),
                   [this, key](Status st, const LookupRes& res) {
-                    auto it = pending_.find(key);
-                    if (!st.ok() || it == pending_.end() || res.status != Nfsstat3::kOk) {
+                    Pending* p = pending_.Find(key);
+                    if (!st.ok() || p == nullptr || res.status != Nfsstat3::kOk) {
                       return;
                     }
                     // Only reclaim data when the last link goes away.
                     if (res.object.type() == FileType3::kReg && res.obj_attributes &&
                         res.obj_attributes->nlink <= 1) {
-                      it->second.fh = res.object;
-                      it->second.count = 1;  // marks "data removal armed"
+                      p->fh = res.object;
+                      p->count = 1;  // marks "data removal armed"
                     }
                   });
       }
@@ -442,29 +455,29 @@ void Uproxy::HandleOutbound(Packet&& pkt) {
   }
 }
 
-void Uproxy::ForwardRequest(Packet&& pkt, const DecodedRequest& req, Endpoint target,
+void Uproxy::ForwardRequest(Packet&& pkt, const DecodedView& req, Endpoint target,
                             const char* route) {
   if (pending_.size() >= kMaxPending) {
-    pending_.clear();  // soft state; clients retransmit
+    pending_.Clear();  // soft state; clients retransmit
   }
-  Pending pending;
-  pending.proc = req.proc;
-  pending.fh = req.fh;
-  pending.offset = req.offset;
-  if (req.proc != NfsProc::kRemove) {
-    pending.count = req.count;
-  }
-  auto [it, inserted] = pending_.emplace(KeyOf(pkt.src_port(), req.xid), pending);
-  if (!inserted) {
+  auto [p, inserted] = pending_.Insert(KeyOf(pkt.src_port(), req.xid));
+  if (inserted) {
+    p->proc = req.proc;
+    p->fh = req.fh;
+    p->offset = req.offset;
+    if (req.proc != NfsProc::kRemove) {
+      p->count = req.count;
+    }
+  } else {
     // Retransmission: keep existing record (it may hold the remove lookup).
     // Repeated retransmissions of one call suggest the target is dead and
     // our table is stale — ask the manager for a fresh one (lazy pull; the
     // re-forward below re-routes with whatever table is current).
-    if (config_.mgmt_enabled && ++it->second.retransmits >= 2) {
+    if (config_.mgmt_enabled && ++p->retransmits >= 2) {
       FetchTables();
     }
   }
-  const obs::TraceContext ctx = BeginTrace(it->second, route);
+  const obs::TraceContext ctx = BeginTrace(*p, route);
   obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kDebug,
                 obs::EventCat::kRoute, obs::EventCode::kRouteDecision, ctx.trace_id, route,
                 {{"dst", target.addr}, {"xid", req.xid}});
@@ -473,13 +486,10 @@ void Uproxy::ForwardRequest(Packet&& pkt, const DecodedRequest& req, Endpoint ta
   if (ctx.valid()) {
     pkt.AttachTrace(ctx.trace_id, ctx.span_id);
   }
+  // Hand the rewritten packet straight to the network's flight queue at the
+  // CPU-done instant — no closure, no shared_ptr, no per-packet allocation.
   const SimTime ready = ChargeCpu(ctx);
-  auto shared = std::make_shared<Packet>(std::move(pkt));
-  queue_.ScheduleAt(ready, [this, shared, alive = alive_]() {
-    if (*alive) {
-      net_.Inject(std::move(*shared));
-    }
-  });
+  net_.InjectAt(std::move(pkt), ready, alive_);
 }
 
 void Uproxy::HandleInbound(Packet&& pkt) {
@@ -501,13 +511,13 @@ void Uproxy::HandleInbound(Packet&& pkt) {
     return;
   }
   const uint64_t key = KeyOf(pkt.dst_port(), reply.xid);
-  auto it = pending_.find(key);
-  if (it == pending_.end()) {
+  const Pending* found = pending_.Find(key);
+  if (found == nullptr) {
     net_.DeliverLocal(pkt.dst_addr(), std::move(pkt));
     return;
   }
-  Pending pending = it->second;
-  pending_.erase(it);
+  Pending pending = *found;
+  pending_.Erase(key);
 
   // Reply-side work (attr writebacks, remove/truncate fan-outs) chains into
   // the originating trace.
@@ -552,12 +562,7 @@ void Uproxy::HandleInbound(Packet&& pkt) {
   const SimTime ready = ChargeCpu(ctx);
   FinishTrace(pending, ready);
   const NetAddr client_addr = pkt.dst_addr();
-  auto shared = std::make_shared<Packet>(std::move(pkt));
-  queue_.ScheduleAt(ready, [this, client_addr, shared, alive = alive_]() {
-    if (*alive) {
-      net_.DeliverLocal(client_addr, std::move(*shared));
-    }
-  });
+  net_.DeliverLocalAt(client_addr, std::move(pkt), ready, alive_);
 }
 
 std::optional<size_t> Uproxy::LocateTargetAttr(ByteSpan payload, const Pending& pending,
@@ -658,9 +663,9 @@ void Uproxy::PatchReplyAttrs(Packet& pkt, const Pending& pending, const DecodedR
   if (entry == nullptr || entry->attr == *server_attr) {
     return;  // nothing to patch
   }
-  XdrEncoder enc;
-  EncodeFattr3(enc, entry->attr);
-  pkt.RewriteBytes(kPacketHeaderSize + *attr_offset, enc.bytes());
+  patch_enc_.Clear();
+  EncodeFattr3(patch_enc_, entry->attr);
+  pkt.RewriteBytes(kPacketHeaderSize + *attr_offset, patch_enc_.bytes());
   counters_.Add("attrs_patched");
 }
 
@@ -763,32 +768,21 @@ void Uproxy::ReplyToClient(Endpoint client, uint32_t xid, const Bytes& result_bo
   // Absorbed operations (and synthesized errors) end here: the pending record
   // is still present — callers erase it after this — so the root can close at
   // the moment the reply is handed to the client.
-  obs::TraceContext ctx;
-  if (const auto it = pending_.find(KeyOf(client.port, xid)); it != pending_.end()) {
-    ctx = obs::TraceContext{it->second.trace_id, it->second.root_span_id};
+  if (const Pending* p = pending_.Find(KeyOf(client.port, xid)); p != nullptr) {
+    const obs::TraceContext ctx{p->trace_id, p->root_span_id};
     const SimTime ready = ChargeCpu(ctx);
-    FinishTrace(it->second, ready);
-    auto shared = std::make_shared<Packet>(std::move(pkt));
-    queue_.ScheduleAt(ready, [this, client, shared, alive = alive_]() {
-      if (*alive) {
-        net_.DeliverLocal(client.addr, std::move(*shared));
-      }
-    });
+    FinishTrace(*p, ready);
+    net_.DeliverLocalAt(client.addr, std::move(pkt), ready, alive_);
     return;
   }
   const SimTime ready = ChargeCpu();
-  auto shared = std::make_shared<Packet>(std::move(pkt));
-  queue_.ScheduleAt(ready, [this, client, shared, alive = alive_]() {
-    if (*alive) {
-      net_.DeliverLocal(client.addr, std::move(*shared));
-    }
-  });
+  net_.DeliverLocalAt(client.addr, std::move(pkt), ready, alive_);
 }
 
-void Uproxy::SynthesizeErrorReply(const DecodedRequest& req, Endpoint client,
+void Uproxy::SynthesizeErrorReply(NfsProc proc, uint32_t xid, Endpoint client,
                                   Nfsstat3 status) {
   XdrEncoder enc;
-  switch (req.proc) {
+  switch (proc) {
     case NfsProc::kRead: {
       ReadRes res;
       res.status = status;
@@ -811,7 +805,7 @@ void Uproxy::SynthesizeErrorReply(const DecodedRequest& req, Endpoint client,
       enc.PutEnum(static_cast<uint32_t>(status));
       break;
   }
-  ReplyToClient(client, req.xid, enc.bytes());
+  ReplyToClient(client, xid, enc.bytes());
 }
 
 // --- control-plane integration ---
@@ -957,7 +951,7 @@ void Uproxy::WithIntent(IntentOp op, const FileHandle& fh, uint64_t arg,
       });
 }
 
-void Uproxy::AbsorbMirrorWrite(const DecodedRequest& req, Endpoint client, ByteSpan payload) {
+void Uproxy::AbsorbMirrorWrite(const DecodedView& req, Endpoint client, ByteSpan payload) {
   XdrDecoder dec(payload.subspan(req.body_offset));
   Result<WriteArgs> decoded = WriteArgs::Decode(dec);
   if (!decoded.ok()) {
@@ -972,9 +966,9 @@ void Uproxy::AbsorbMirrorWrite(const DecodedRequest& req, Endpoint client, ByteS
   pending.offset = args.offset;
   pending.count = args.count;
   pending.absorbed = true;
-  Pending& stored = pending_[KeyOf(client.port, req.xid)];
-  stored = pending;
-  const obs::TraceContext ctx = BeginTrace(stored, "route:mirror_write");
+  Pending* stored = pending_.Insert(KeyOf(client.port, req.xid)).first;
+  *stored = pending;
+  const obs::TraceContext ctx = BeginTrace(*stored, "route:mirror_write");
   obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kDebug,
                 obs::EventCat::kRoute, obs::EventCode::kRouteDecision, ctx.trace_id,
                 "route:mirror_write", {{"xid", req.xid}});
@@ -1002,8 +996,8 @@ void Uproxy::AbsorbMirrorWrite(const DecodedRequest& req, Endpoint client, ByteS
   }
   if (live_nodes.empty()) {
     counters_.Add("unavailable_rejected");
-    SynthesizeErrorReply(req, client, Nfsstat3::kErrIo);
-    pending_.erase(KeyOf(client.port, req.xid));
+    SynthesizeErrorReply(req.proc, req.xid, client, Nfsstat3::kErrIo);
+    pending_.Erase(KeyOf(client.port, req.xid));
     return;
   }
   const bool log_degraded = !dead_nodes.empty() && !config_.coordinators.empty();
@@ -1029,7 +1023,7 @@ void Uproxy::AbsorbMirrorWrite(const DecodedRequest& req, Endpoint client, ByteS
                  complete();
                  if (*failures > 0 || results->empty()) {
                    counters_.Add("mirror_write_failures");
-                   pending_.erase(KeyOf(client.port, req.xid));
+                   pending_.Erase(KeyOf(client.port, req.xid));
                    return;  // stay silent; client retransmits
                  }
                  attr_cache_.NoteWrite(args.file.fileid(), args.offset + args.count,
@@ -1049,7 +1043,7 @@ void Uproxy::AbsorbMirrorWrite(const DecodedRequest& req, Endpoint client, ByteS
                  XdrEncoder enc;
                  merged.Encode(enc);
                  ReplyToClient(client, req.xid, enc.bytes());
-                 pending_.erase(KeyOf(client.port, req.xid));
+                 pending_.Erase(KeyOf(client.port, req.xid));
                };
                if (log_degraded) {
                  for (uint32_t node : dead_nodes) {
@@ -1077,14 +1071,14 @@ void Uproxy::AbsorbMirrorWrite(const DecodedRequest& req, Endpoint client, ByteS
              });
 }
 
-void Uproxy::AbsorbMultiCommit(const DecodedRequest& req, Endpoint client) {
+void Uproxy::AbsorbMultiCommit(const DecodedView& req, Endpoint client) {
   Pending pending;
   pending.proc = NfsProc::kCommit;
   pending.fh = req.fh;
   pending.absorbed = true;
-  Pending& stored = pending_[KeyOf(client.port, req.xid)];
-  stored = pending;
-  const obs::TraceContext ctx = BeginTrace(stored, "route:multi_commit");
+  Pending* stored = pending_.Insert(KeyOf(client.port, req.xid)).first;
+  *stored = pending;
+  const obs::TraceContext ctx = BeginTrace(*stored, "route:multi_commit");
   obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kDebug,
                 obs::EventCat::kRoute, obs::EventCode::kRouteDecision, ctx.trace_id,
                 "route:multi_commit", {{"xid", req.xid}});
@@ -1114,8 +1108,8 @@ void Uproxy::AbsorbMultiCommit(const DecodedRequest& req, Endpoint client) {
   }
   if (targets.empty()) {
     counters_.Add("unavailable_rejected");
-    SynthesizeErrorReply(req, client, Nfsstat3::kErrIo);
-    pending_.erase(KeyOf(client.port, req.xid));
+    SynthesizeErrorReply(req.proc, req.xid, client, Nfsstat3::kErrIo);
+    pending_.Erase(KeyOf(client.port, req.xid));
     return;
   }
 
@@ -1140,7 +1134,7 @@ void Uproxy::AbsorbMultiCommit(const DecodedRequest& req, Endpoint client) {
                       complete();
                       if (*failures > 0) {
                         counters_.Add("commit_failures");
-                        pending_.erase(KeyOf(client.port, req.xid));
+                        pending_.Erase(KeyOf(client.port, req.xid));
                         return;
                       }
                       CommitRes merged;
@@ -1152,7 +1146,7 @@ void Uproxy::AbsorbMultiCommit(const DecodedRequest& req, Endpoint client) {
                       XdrEncoder enc;
                       merged.Encode(enc);
                       ReplyToClient(client, req.xid, enc.bytes());
-                      pending_.erase(KeyOf(client.port, req.xid));
+                      pending_.Erase(KeyOf(client.port, req.xid));
                     });
         }
       });

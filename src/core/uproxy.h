@@ -26,6 +26,7 @@
 
 #include "src/coord/coord_proto.h"
 #include "src/core/attr_cache.h"
+#include "src/core/pending_map.h"
 #include "src/core/request_decode.h"
 #include "src/core/routing_table.h"
 #include "src/dir/dir_server.h"
@@ -138,11 +139,11 @@ class Uproxy : public PacketTap {
   // (deduped and sorted by the caller); the flight recorder snapshots these
   // so a dump names the requests that never completed.
   void CollectInflightTraceIds(std::vector<uint64_t>& out) const {
-    for (const auto& [key, pending] : pending_) {
+    pending_.ForEach([&out](uint64_t, const Pending& pending) {
       if (pending.trace_id != 0) {
         out.push_back(pending.trace_id);
       }
-    }
+    });
   }
 
   // Metrics plane: route-mix and soft-state counters are provider-backed
@@ -171,6 +172,9 @@ class Uproxy : public PacketTap {
   };
 
   RouteDecision SelectRoute(const DecodedRequest& req);
+  // Fast-path variant over the cached single-pass view: `payload` is the UDP
+  // payload the view was decoded from (names are payload offsets).
+  RouteDecision SelectRoute(const DecodedView& req, ByteSpan payload);
 
   // Storage-node index for (file, byte offset) under static striping;
   // `replica` < fh.replication() selects a mirror.
@@ -191,12 +195,6 @@ class Uproxy : public PacketTap {
     uint64_t root_span_id = 0;
     SimTime trace_start = 0;
   };
-  struct PendingKey {
-    uint32_t port_xid;  // (client port << 32) | xid packed below
-    uint64_t key;
-    bool operator==(const PendingKey&) const = default;
-  };
-
   static uint64_t KeyOf(NetPort port, uint32_t xid) {
     return (static_cast<uint64_t>(port) << 32) | xid;
   }
@@ -212,14 +210,19 @@ class Uproxy : public PacketTap {
   // Records the root span for a completed operation ending at `end`.
   void FinishTrace(const Pending& pending, SimTime end);
 
-  // Simple rewrite-and-forward path.
-  void ForwardRequest(Packet&& pkt, const DecodedRequest& req, Endpoint target,
+  // Routing core shared by both SelectRoute overloads; `name` views into
+  // whichever representation the caller holds.
+  RouteDecision SelectRouteImpl(NfsProc proc, const FileHandle& fh, std::string_view name,
+                                uint64_t offset);
+
+  // Simple rewrite-and-forward path (allocation-free in steady state).
+  void ForwardRequest(Packet&& pkt, const DecodedView& req, Endpoint target,
                       const char* route);
   void PassThroughOutbound(Packet&& pkt);
 
   // Absorb paths (the µproxy acts as a client toward the ensemble).
-  void AbsorbMirrorWrite(const DecodedRequest& req, Endpoint client, ByteSpan payload);
-  void AbsorbMultiCommit(const DecodedRequest& req, Endpoint client);
+  void AbsorbMirrorWrite(const DecodedView& req, Endpoint client, ByteSpan payload);
+  void AbsorbMultiCommit(const DecodedView& req, Endpoint client);
   // Background fan-outs triggered by observed name-space operations.
   void ScheduleDataRemove(const FileHandle& fh);
   void ScheduleDataTruncate(const FileHandle& fh, uint64_t size);
@@ -227,7 +230,7 @@ class Uproxy : public PacketTap {
   // Sends a synthesized NFS reply to the local client.
   void ReplyToClient(Endpoint client, uint32_t xid, const Bytes& result_body);
   // Synthesizes a proc-appropriate error reply (dead-server fail-fast path).
-  void SynthesizeErrorReply(const DecodedRequest& req, Endpoint client, Nfsstat3 status);
+  void SynthesizeErrorReply(NfsProc proc, uint32_t xid, Endpoint client, Nfsstat3 status);
 
   // Control-plane integration.
   void HandleControl(ByteSpan payload);
@@ -279,7 +282,11 @@ class Uproxy : public PacketTap {
   obs::Counter* m_attr_misses_ = nullptr;
   std::unique_ptr<RpcClient> own_rpc_;  // µproxy-originated traffic
   BusyResource cpu_;
-  std::unordered_map<uint64_t, Pending> pending_;
+  // Flat open-addressing table: pending insert/erase is once per forwarded
+  // request and must not allocate in steady state.
+  FlatU64Map<Pending> pending_;
+  // Scratch encoder for reply attribute patching (capacity reused).
+  XdrEncoder patch_enc_;
   // Block-map cache (dynamic placement): fileid -> site per block.
   std::unordered_map<uint64_t, std::vector<uint32_t>> map_cache_;
   OpCounters counters_;

@@ -170,57 +170,129 @@ void Network::Transmit(Packet&& pkt) {
     tracer_->RecordSpan(src, ctx, obs::SpanCat::kWire, "wire_tx", tx_start, arrival);
   }
 
-  // Receiver-side serialization is applied at arrival time; we capture the
-  // packet by value in the scheduled closure.
-  auto shared = std::make_shared<Packet>(std::move(pkt));
-  queue_.ScheduleAt(arrival, [this, shared, wire, ctx]() {
-    const NetAddr dst = shared->dst_addr();
-    if (failed_.contains(dst)) {
-      ++packets_dropped_;
-      if (tracer_ != nullptr) {
-        tracer_->RecordInstant(dst, ctx, "drop:dst_dead", queue_.now());
+  // Receiver-side serialization is applied at arrival time; the packet rides
+  // the flight heap instead of a heap-allocated closure capture.
+  Flight f;
+  f.due = arrival;
+  f.stage = FlightStage::kArrive;
+  f.wire = wire;
+  f.ctx = ctx;
+  f.pkt = std::move(pkt);
+  PushFlight(std::move(f));
+}
+
+void Network::PushFlight(Flight&& f) {
+  if (f.due < queue_.now()) {
+    f.due = queue_.now();  // mirror the queue's clamp so pairing stays exact
+  }
+  f.seq = flight_seq_++;
+  queue_.ScheduleDrainAt(f.due, &Network::DrainThunk, this);
+  flights_.push(std::move(f));
+}
+
+void Network::DrainThunk(void* sink) { static_cast<Network*>(sink)->DrainFlights(); }
+
+void Network::DrainFlights() {
+  // One flight per paired drain; absorbing consumes further same-instant
+  // drains for this network so a burst of simultaneous arrivals costs one
+  // event dispatch instead of one each.
+  do {
+    ProcessOneFlight();
+  } while (queue_.AbsorbNextDrain(this));
+}
+
+void Network::ProcessOneFlight() {
+  SLICE_CHECK(!flights_.empty());
+  Flight f = std::move(const_cast<Flight&>(flights_.top()));
+  flights_.pop();
+  SLICE_CHECK(f.due == queue_.now());
+
+  switch (f.stage) {
+    case FlightStage::kArrive: {
+      const NetAddr dst = f.pkt.dst_addr();
+      if (failed_.contains(dst)) {
+        ++packets_dropped_;
+        if (tracer_ != nullptr) {
+          tracer_->RecordInstant(dst, f.ctx, "drop:dst_dead", queue_.now());
+        }
+        obs::LogEvent(eventlog_, dst, queue_.now(), obs::EventSev::kWarn, obs::EventCat::kNet,
+                      obs::EventCode::kPacketDrop, f.ctx.trace_id, "dst_dead",
+                      {{"src", f.pkt.src_addr()}, {"bytes", static_cast<int64_t>(f.pkt.size())}});
+        return;
       }
-      obs::LogEvent(eventlog_, dst, queue_.now(), obs::EventSev::kWarn, obs::EventCat::kNet,
-                    obs::EventCode::kPacketDrop, ctx.trace_id, "dst_dead",
-                    {{"src", shared->src_addr()}, {"bytes", static_cast<int64_t>(shared->size())}});
+      auto it = hosts_.find(dst);
+      if (it == hosts_.end()) {
+        ++packets_dropped_;
+        return;
+      }
+      const SimTime rx_start = std::max(it->second.rx.busy_until(), queue_.now());
+      const SimTime rx_done = it->second.rx.Acquire(queue_.now(), f.wire);
+      if (tracer_ != nullptr && f.ctx.valid()) {
+        if (rx_start > queue_.now()) {
+          tracer_->RecordSpan(dst, f.ctx, obs::SpanCat::kQueue, "nic_rx_wait", queue_.now(),
+                              rx_start);
+        }
+        tracer_->RecordSpan(dst, f.ctx, obs::SpanCat::kWire, "wire_rx", rx_start, rx_done);
+      }
+      f.due = rx_done;
+      f.stage = FlightStage::kDeliver;
+      PushFlight(std::move(f));
       return;
     }
-    auto it = hosts_.find(dst);
-    if (it == hosts_.end()) {
-      ++packets_dropped_;
-      return;
-    }
-    const SimTime rx_start = std::max(it->second.rx.busy_until(), queue_.now());
-    const SimTime rx_done = it->second.rx.Acquire(queue_.now(), wire);
-    if (tracer_ != nullptr && ctx.valid()) {
-      if (rx_start > queue_.now()) {
-        tracer_->RecordSpan(dst, ctx, obs::SpanCat::kQueue, "nic_rx_wait", queue_.now(),
-                            rx_start);
-      }
-      tracer_->RecordSpan(dst, ctx, obs::SpanCat::kWire, "wire_rx", rx_start, rx_done);
-    }
-    queue_.ScheduleAt(rx_done, [this, shared, ctx]() {
-      const NetAddr addr = shared->dst_addr();
+    case FlightStage::kDeliver: {
+      const NetAddr addr = f.pkt.dst_addr();
       auto host_it = hosts_.find(addr);
       if (host_it == hosts_.end() || failed_.contains(addr)) {
         ++packets_dropped_;
         if (tracer_ != nullptr) {
-          tracer_->RecordInstant(addr, ctx, "drop:dst_dead", queue_.now());
+          tracer_->RecordInstant(addr, f.ctx, "drop:dst_dead", queue_.now());
         }
         obs::LogEvent(eventlog_, addr, queue_.now(), obs::EventSev::kWarn, obs::EventCat::kNet,
-                      obs::EventCode::kPacketDrop, ctx.trace_id, "dst_dead",
-                      {{"src", shared->src_addr()},
-                       {"bytes", static_cast<int64_t>(shared->size())}});
+                      obs::EventCode::kPacketDrop, f.ctx.trace_id, "dst_dead",
+                      {{"src", f.pkt.src_addr()}, {"bytes", static_cast<int64_t>(f.pkt.size())}});
         return;
       }
       obs::Inc(host_it->second.m_pkts_rx);
       if (host_it->second.tap != nullptr) {
-        host_it->second.tap->HandleInbound(std::move(*shared));
+        host_it->second.tap->HandleInbound(std::move(f.pkt));
       } else {
-        host_it->second.handler(std::move(*shared));
+        host_it->second.handler(std::move(f.pkt));
       }
-    });
-  });
+      return;
+    }
+    case FlightStage::kInject: {
+      if (f.guard == nullptr || *f.guard) {
+        Transmit(std::move(f.pkt));
+      }
+      return;
+    }
+    case FlightStage::kLocal: {
+      if (f.guard == nullptr || *f.guard) {
+        DeliverLocal(f.local_addr, std::move(f.pkt));
+      }
+      return;
+    }
+  }
+}
+
+void Network::InjectAt(Packet&& pkt, SimTime ready, std::shared_ptr<const bool> guard) {
+  Flight f;
+  f.due = ready;
+  f.stage = FlightStage::kInject;
+  f.guard = std::move(guard);
+  f.pkt = std::move(pkt);
+  PushFlight(std::move(f));
+}
+
+void Network::DeliverLocalAt(NetAddr addr, Packet&& pkt, SimTime ready,
+                             std::shared_ptr<const bool> guard) {
+  Flight f;
+  f.due = ready;
+  f.stage = FlightStage::kLocal;
+  f.local_addr = addr;
+  f.guard = std::move(guard);
+  f.pkt = std::move(pkt);
+  PushFlight(std::move(f));
 }
 
 void Network::DeliverLocal(NetAddr addr, Packet&& pkt) {

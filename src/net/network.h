@@ -14,7 +14,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <queue>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/net/packet.h"
@@ -70,6 +72,15 @@ class Network {
   // tap. Used by taps to hand accepted packets to their host.
   void DeliverLocal(NetAddr addr, Packet&& pkt);
 
+  // Deferred tap API (allocation-free): the packet rides the flight heap
+  // until `ready` (e.g. the µproxy's CPU-done time) and then enters the wire
+  // / the local host, replacing the make_shared<Packet>+closure idiom. A
+  // `guard` that reads false at dispatch drops the packet silently — the
+  // originating tap died in the meantime.
+  void InjectAt(Packet&& pkt, SimTime ready, std::shared_ptr<const bool> guard = nullptr);
+  void DeliverLocalAt(NetAddr addr, Packet&& pkt, SimTime ready,
+                      std::shared_ptr<const bool> guard = nullptr);
+
   // Marks a host failed: its packets are dropped silently until revived.
   // Models server crashes for failover experiments.
   void SetHostFailed(NetAddr addr, bool failed);
@@ -113,6 +124,45 @@ class Network {
     obs::Counter* m_pkts_dropped = nullptr;
   };
 
+  // In-flight packets, ordered exactly like the event queue orders their
+  // paired drain events. Every PushFlight schedules one drain for this
+  // network at the flight's due time; every drain dispatch (or absorption)
+  // processes exactly one flight. The two sequences are order-isomorphic —
+  // (due, seq) here, (when, seq) in the queue, both seq counters assigned at
+  // the same call site — so the k-th drain always finds its own flight on
+  // top of this heap. Same-instant arrivals therefore coalesce into one
+  // event dispatch (AbsorbNextDrain) without any observable reordering.
+  enum class FlightStage : uint8_t {
+    kArrive,   // switch hop done; acquire receiver NIC
+    kDeliver,  // receiver serialization done; hand to tap/handler
+    kInject,   // tap-deferred wire entry (InjectAt)
+    kLocal,    // tap-deferred local delivery (DeliverLocalAt)
+  };
+  struct Flight {
+    SimTime due = 0;
+    uint64_t seq = 0;
+    FlightStage stage = FlightStage::kArrive;
+    SimTime wire = 0;        // serialization time, reused for the rx side
+    NetAddr local_addr = 0;  // kLocal destination
+    obs::TraceContext ctx;
+    std::shared_ptr<const bool> guard;  // kInject/kLocal liveness
+    Packet pkt;
+  };
+  struct FlightLater {
+    bool operator()(const Flight& a, const Flight& b) const {
+      if (a.due != b.due) {
+        return a.due > b.due;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  static void DrainThunk(void* sink);
+  void DrainFlights();
+  void ProcessOneFlight();
+  // Assigns the flight's seq, schedules its paired drain, and enqueues it.
+  void PushFlight(Flight&& f);
+
   void Transmit(Packet&& pkt);
   void RegisterHostMetrics(NetAddr addr);
 
@@ -124,6 +174,8 @@ class Network {
   double ns_per_byte_;
   std::unordered_map<NetAddr, Host> hosts_;
   std::unordered_map<NetAddr, bool> failed_;
+  std::priority_queue<Flight, std::vector<Flight>, FlightLater> flights_;
+  uint64_t flight_seq_ = 0;
   Rng loss_rng_;
   uint64_t packets_sent_ = 0;
   uint64_t packets_dropped_ = 0;

@@ -22,8 +22,9 @@ std::string EndpointToString(const Endpoint& ep) {
 
 Packet Packet::MakeUdp(Endpoint src, Endpoint dst, ByteSpan payload) {
   Packet pkt;
+  pkt.data_ = PacketPool::Default().Acquire(kPacketHeaderSize + payload.size());
+  pkt.trace_state_ = kTraceAbsent;  // freshly built: no trailer yet
   Bytes& b = pkt.data_;
-  b.resize(kPacketHeaderSize + payload.size());
 
   // IPv4 header.
   b[0] = 0x45;  // version 4, IHL 5
@@ -53,7 +54,7 @@ bool Packet::IsValidUdp() const {
          GetU16(data_.data() + 2) == DatagramSize();
 }
 
-bool Packet::HasTrace() const {
+bool Packet::ComputeHasTrace() const {
   if (data_.size() < kPacketHeaderSize + kTraceTrailerSize) {
     return false;
   }
@@ -78,6 +79,7 @@ void Packet::AttachTrace(uint64_t trace_id, uint64_t span_id) {
   PutU32(&data_[at], kTraceTrailerMagic);
   PutU64(&data_[at + 4], trace_id);
   PutU64(&data_[at + 12], span_id);
+  trace_state_ = kTracePresent;
 }
 
 bool Packet::PeekTrace(uint64_t* trace_id, uint64_t* span_id) const {
@@ -99,6 +101,7 @@ bool Packet::DetachTrace(uint64_t* trace_id, uint64_t* span_id) {
     return false;
   }
   data_.resize(data_.size() - kTraceTrailerSize);
+  trace_state_ = kTraceAbsent;
   return true;
 }
 
@@ -130,11 +133,30 @@ void Packet::RecomputeChecksums() {
 }
 
 bool Packet::VerifyChecksums() const {
-  Packet copy(*this);
-  const uint16_t ip_sum = ip_checksum();
-  const uint16_t udp_sum = udp_checksum();
-  copy.RecomputeChecksums();
-  return copy.ip_checksum() == ip_sum && copy.udp_checksum() == udp_sum;
+  // Recompute both sums in place by chaining spans around the stored checksum
+  // fields (each field is one aligned 16-bit word, so pairing is preserved).
+  const uint32_t ip_partial =
+      OnesComplementSum(ByteSpan(data_.data(), 10),
+                        OnesComplementSum(ByteSpan(data_.data() + 12, kIpHeaderSize - 12)));
+  const uint16_t want_ip = static_cast<uint16_t>(~FoldSum(ip_partial));
+  if (ip_checksum() != want_ip) {
+    return false;
+  }
+
+  const uint16_t stored_udp = udp_checksum();
+  if (stored_udp == 0) {
+    return true;  // RFC 768: zero means the sender supplied no UDP checksum
+  }
+  const uint32_t udp_partial = OnesComplementSum(
+      ByteSpan(data_.data() + kIpHeaderSize, 6),
+      OnesComplementSum(
+          ByteSpan(data_.data() + kIpHeaderSize + 8, DatagramSize() - kIpHeaderSize - 8),
+          UdpPseudoHeaderSum()));
+  uint16_t want_udp = static_cast<uint16_t>(~FoldSum(udp_partial));
+  if (want_udp == 0) {
+    want_udp = 0xffff;  // transmit form of computed zero
+  }
+  return stored_udp == want_udp;
 }
 
 void Packet::RewriteField(size_t offset, ByteSpan new_bytes, bool in_udp_pseudo_header) {
@@ -147,10 +169,18 @@ void Packet::RewriteField(size_t offset, ByteSpan new_bytes, bool in_udp_pseudo_
     PutU16(&data_[10], new_ip);
   }
   // UDP checksum covers the pseudo-header (addresses) and the UDP segment.
+  // A stored zero means "no checksum" (RFC 768) — nothing to maintain — and
+  // an incremental result of zero must be written in its 0xFFFF transmit
+  // form, or the packet would claim to carry no checksum at all.
   if (offset >= kIpHeaderSize || in_udp_pseudo_header) {
-    const uint16_t new_udp =
-        IncrementalChecksumUpdate(udp_checksum(), old_bytes, new_bytes);
-    PutU16(&data_[kIpHeaderSize + 6], new_udp);
+    const uint16_t stored_udp = udp_checksum();
+    if (stored_udp != 0) {
+      uint16_t new_udp = IncrementalChecksumUpdate(stored_udp, old_bytes, new_bytes);
+      if (new_udp == 0) {
+        new_udp = 0xffff;
+      }
+      PutU16(&data_[kIpHeaderSize + 6], new_udp);
+    }
   }
 
   std::copy(new_bytes.begin(), new_bytes.end(), data_.begin() + static_cast<ptrdiff_t>(offset));

@@ -6,14 +6,27 @@
 //
 // Simplifications vs. real IPv4: no options, no fragmentation (the testbed
 // ran 9KB jumbo frames; we let a datagram ride in one simulated frame).
+//
+// Fast-path design (DESIGN.md §7): buffers come from PacketPool and return to
+// it when a packet dies, so steady-state forwarding never heap-allocates. Two
+// derived facts are cached on the packet and kept coherent by the mutators
+// below: whether a trace trailer is present (HasTrace used to re-scan the
+// tail on every payload() call) and one decoded "view" of the payload, an
+// opaque trivially-copyable struct a higher layer (the µproxy's DecodedView)
+// stashes after its single pass over the RPC/NFS headers. Address, port and
+// equal-size payload rewrites preserve both caches; only mutable_bytes()
+// (arbitrary external mutation) invalidates them.
 #ifndef SLICE_NET_PACKET_H_
 #define SLICE_NET_PACKET_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
+#include <type_traits>
 
 #include "src/common/bytes.h"
 #include "src/common/status.h"
+#include "src/net/packet_pool.h"
 
 namespace slice {
 
@@ -52,7 +65,22 @@ class Packet {
   Packet() = default;
   explicit Packet(Bytes data) : data_(std::move(data)) {}
 
+  // Value semantics: copies are deep (slow paths and tests only); moves
+  // transfer the pooled buffer and the cached decode state.
+  Packet(const Packet&) = default;
+  Packet& operator=(const Packet&) = default;
+  Packet(Packet&&) noexcept = default;
+  Packet& operator=(Packet&&) noexcept = default;
+  ~Packet() {
+    // Capacity gate up front so moved-from and external-buffer packets skip
+    // the call entirely; the pool re-checks before recycling.
+    if (data_.capacity() >= PacketPool::kBufferCapacity) {
+      PacketPool::Default().Release(std::move(data_));
+    }
+  }
+
   // Builds a UDP packet with correct lengths and both checksums filled in.
+  // The buffer comes from PacketPool::Default().
   static Packet MakeUdp(Endpoint src, Endpoint dst, ByteSpan payload);
 
   bool IsValidUdp() const;
@@ -67,16 +95,20 @@ class Packet {
   uint16_t udp_checksum() const { return GetU16(data_.data() + kIpHeaderSize + 6); }
 
   // Rewrites addressing fields, adjusting the IP and UDP checksums
-  // incrementally (RFC 1624) — cost proportional to bytes changed.
+  // incrementally (RFC 1624) — cost proportional to bytes changed. Cached
+  // views survive: addressing rewrites cannot move payload offsets.
   void RewriteSrc(Endpoint new_src);
   void RewriteDst(Endpoint new_dst);
 
   // Rewrites an arbitrary 16-bit-aligned byte range (header or payload),
   // patching the covering checksums incrementally. The µproxy uses this to
-  // update file attributes inside NFS reply payloads in place.
+  // update file attributes inside NFS reply payloads in place. Equal-size
+  // in-place rewrites preserve XDR framing, so cached views survive; a
+  // caller that rewrites a field a view caches must clear_view() itself.
   void RewriteBytes(size_t offset, ByteSpan new_bytes);
 
-  // Verifies the stored checksums against a full recompute.
+  // Verifies the stored checksums against a full recompute (allocation-free).
+  // A zero UDP checksum means "no checksum" (RFC 768) and verifies as valid.
   bool VerifyChecksums() const;
   // Recomputes both checksums from scratch (used by builders and tests).
   void RecomputeChecksums();
@@ -87,35 +119,80 @@ class Packet {
   // neutral: the trailer lives beyond the IP total length, so the checksums,
   // payload() and all rewrite paths are unaffected by its presence.
   void AttachTrace(uint64_t trace_id, uint64_t span_id);
-  // True when a structurally consistent trailer is present.
-  bool HasTrace() const;
+  // True when a structurally consistent trailer is present (cached after the
+  // first tail scan; builders and Attach/DetachTrace keep it coherent).
+  bool HasTrace() const {
+    if (trace_state_ == kTraceUnknown) {
+      trace_state_ = ComputeHasTrace() ? kTracePresent : kTraceAbsent;
+    }
+    return trace_state_ == kTracePresent;
+  }
   // Non-destructive read of the trailer ids; false when absent.
   bool PeekTrace(uint64_t* trace_id, uint64_t* span_id) const;
   // Strips the trailer (returning its ids when requested); false when absent.
   bool DetachTrace(uint64_t* trace_id = nullptr, uint64_t* span_id = nullptr);
 
+  // --- cached decoded view ---
+  //
+  // One trivially-copyable decode result can ride on the packet, keyed by a
+  // caller-chosen tag (the µproxy caches its DecodedView after the first
+  // header walk so later stages reuse offsets instead of re-parsing). The
+  // packet layer treats the bytes as opaque, which keeps net below core.
+  static constexpr size_t kViewSlotCap = 152;
+  template <typename T>
+  bool get_view(uint32_t tag, T* out) const {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= kViewSlotCap);
+    if (view_tag_ != tag) {
+      return false;
+    }
+    std::memcpy(out, view_storage_, sizeof(T));
+    return true;
+  }
+  template <typename T>
+  void set_view(uint32_t tag, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= kViewSlotCap);
+    std::memcpy(view_storage_, &v, sizeof(T));
+    view_tag_ = tag;
+  }
+  void clear_view() { view_tag_ = 0; }
+  bool has_view(uint32_t tag) const { return view_tag_ == tag; }
+
   ByteSpan payload() const {
     return ByteSpan(data_).subspan(kPacketHeaderSize,
                                    DatagramSize() - kPacketHeaderSize);
   }
+  // Payload bytes may change under a cached view; structure (and the trailer
+  // length relationship) cannot, so only the view cache is dropped.
   MutableByteSpan mutable_payload() {
+    clear_view();
     return MutableByteSpan(data_).subspan(kPacketHeaderSize,
                                           DatagramSize() - kPacketHeaderSize);
   }
 
   size_t size() const { return data_.size(); }
   const Bytes& bytes() const { return data_; }
-  Bytes& mutable_bytes() { return data_; }
+  // Arbitrary external mutation: every cached fact is invalidated.
+  Bytes& mutable_bytes() {
+    trace_state_ = kTraceUnknown;
+    view_tag_ = 0;
+    return data_;
+  }
 
  private:
+  enum : uint8_t { kTraceUnknown = 0, kTraceAbsent = 1, kTracePresent = 2 };
+
   // Rewrites a 16-bit-aligned region and patches both checksums.
   void RewriteField(size_t offset, ByteSpan new_bytes, bool in_udp_pseudo_header);
   uint32_t UdpPseudoHeaderSum() const;
+  bool ComputeHasTrace() const;
   // Buffer size minus any trace trailer: the extent of the IP datagram that
   // length fields, checksums and payload() reason about.
   size_t DatagramSize() const { return data_.size() - (HasTrace() ? kTraceTrailerSize : 0); }
 
   Bytes data_;
+  mutable uint8_t trace_state_ = kTraceUnknown;
+  uint32_t view_tag_ = 0;
+  alignas(8) unsigned char view_storage_[kViewSlotCap];
 };
 
 }  // namespace slice

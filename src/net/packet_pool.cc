@@ -1,0 +1,50 @@
+#include "src/net/packet_pool.h"
+
+namespace slice {
+namespace {
+
+bool g_pool_enabled = true;
+
+}  // namespace
+
+Bytes PacketPool::Acquire(size_t size) {
+  ++acquires_;
+  if (g_pool_enabled && !free_.empty()) {
+    Bytes buf = std::move(free_.back());
+    free_.pop_back();
+    if (buf.capacity() >= size) {
+      ++recycle_hits_;
+      buf.clear();
+      buf.resize(size);
+      return buf;
+    }
+    // Rare: a recycled buffer too small for a jumbo datagram; fall through to
+    // a fresh allocation and let the undersized buffer die here.
+  }
+  Bytes buf;
+  // 64 bytes of slack keeps AttachTrace realloc-free even on jumbo datagrams
+  // that exceed the pooled capacity.
+  buf.reserve(size + 64 > kBufferCapacity ? size + 64 : kBufferCapacity);
+  buf.resize(size);
+  return buf;
+}
+
+void PacketPool::Release(Bytes&& buf) {
+  ++releases_;
+  if (!g_pool_enabled || buf.capacity() < kBufferCapacity ||
+      buf.capacity() > kMaxRecycleCapacity || free_.size() >= kMaxFreeBuffers) {
+    return;  // Bytes destructor frees it
+  }
+  free_.push_back(std::move(buf));
+}
+
+PacketPool& PacketPool::Default() {
+  static PacketPool pool;
+  return pool;
+}
+
+void PacketPool::SetEnabled(bool enabled) { g_pool_enabled = enabled; }
+
+bool PacketPool::Enabled() { return g_pool_enabled; }
+
+}  // namespace slice

@@ -41,11 +41,14 @@ void EncodeFileHandle(XdrEncoder& enc, const FileHandle& fh) {
 }
 
 Result<FileHandle> DecodeFileHandle(XdrDecoder& dec) {
-  SLICE_ASSIGN_OR_RETURN(Bytes raw, dec.GetOpaqueVar(64));
-  if (raw.size() != FileHandle::kSize) {
+  // Allocation-free: length check first, then a raw view straight into the
+  // packet buffer — fhandles are decoded on every hot-path request.
+  SLICE_ASSIGN_OR_RETURN(uint32_t len, dec.GetUint32());
+  if (len != FileHandle::kSize) {
     return Status(StatusCode::kCorrupt, "nfs: bad fhandle size");
   }
-  return FileHandle::FromBytes(raw);
+  SLICE_ASSIGN_OR_RETURN(ByteSpan raw, dec.GetRawView(len + XdrPad(len)));
+  return FileHandle::FromBytes(raw.subspan(0, len));
 }
 
 void EncodeFattr3(XdrEncoder& enc, const Fattr3& attr) {

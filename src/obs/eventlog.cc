@@ -88,6 +88,8 @@ const char* EventCodeName(EventCode code) {
       return "rpc_timeout";
     case EventCode::kDrcReplay:
       return "drc_replay";
+    case EventCode::kRpcGiveUp:
+      return "rpc_give_up";
     case EventCode::kPacketDrop:
       return "packet_drop";
     case EventCode::kAlertRaise:

@@ -87,6 +87,7 @@ enum class EventCode : uint16_t {
   kRpcRetransmit = 300,  // client retransmitted an unanswered call
   kRpcTimeout = 301,     // client gave up on a call
   kDrcReplay = 302,      // server answered a duplicate from its DRC
+  kRpcGiveUp = 303,      // transmission budget exhausted; call abandoned
   // -- net --
   kPacketDrop = 400,  // packet lost (loss model or dead endpoint)
   // -- alert --

@@ -53,10 +53,10 @@ void RpcClient::Transmit(uint32_t xid) {
     const obs::TraceContext trace = pc.trace;
     pending_.erase(it);
     if (tracer_ != nullptr) {
-      tracer_->RecordInstant(host_.addr(), trace, "rpc_timeout", queue_.now());
+      tracer_->RecordInstant(host_.addr(), trace, "rpc_give_up", queue_.now());
     }
     obs::LogEvent(eventlog_, host_.addr(), queue_.now(), obs::EventSev::kError,
-                  obs::EventCat::kRpc, obs::EventCode::kRpcTimeout, trace.trace_id, nullptr,
+                  obs::EventCat::kRpc, obs::EventCode::kRpcGiveUp, trace.trace_id, nullptr,
                   {{"xid", xid}, {"tries", params_.max_transmissions}});
     RpcMessageView empty;
     obs::ScopedContext scope(tracer_, trace);
@@ -83,12 +83,15 @@ void RpcClient::Transmit(uint32_t xid) {
   }
   host_.Send(std::move(pkt));
 
+  // Clamp in double space: pow() runs away long before the cast back to
+  // SimTime would saturate, so the comparison must happen before the cast.
   const double scale =
       pc.transmissions > 1
           ? std::pow(params_.backoff_factor, static_cast<double>(pc.transmissions - 1))
           : 1.0;
-  const SimTime timeout =
-      static_cast<SimTime>(static_cast<double>(params_.retransmit_timeout) * scale);
+  const double scaled = static_cast<double>(params_.retransmit_timeout) * scale;
+  const double ceiling = static_cast<double>(params_.max_retransmit_timeout);
+  const SimTime timeout = static_cast<SimTime>(scaled < ceiling ? scaled : ceiling);
   ArmTimer(xid, timeout);
 }
 

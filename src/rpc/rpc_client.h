@@ -22,6 +22,11 @@ struct RpcClientParams {
   SimTime retransmit_timeout = FromMillis(400);
   int max_transmissions = 5;   // initial send + 4 retries
   double backoff_factor = 2.0;
+  // Ceiling on the exponentially scaled timeout. Without it the pow()-scaled
+  // interval grows without bound (and overflows SimTime once the double
+  // exceeds 2^63), so a generous max_transmissions could park a call for
+  // centuries of sim-time instead of giving up.
+  SimTime max_retransmit_timeout = FromSeconds(10);
 };
 
 class RpcClient {

@@ -11,14 +11,20 @@
 #include <list>
 #include <unordered_map>
 
+#include "src/common/status.h"
 #include "src/storage/object_store.h"
 
 namespace slice {
 
 class BlockCache {
  public:
+  // Sub-block capacities used to truncate to zero blocks, which turned every
+  // insert into an immediate self-eviction (cache thrash with a 100% miss
+  // rate). Round up instead, and reject a zero-byte cache outright.
   explicit BlockCache(uint64_t capacity_bytes)
-      : capacity_blocks_(capacity_bytes / kStoreBlockSize) {}
+      : capacity_blocks_((capacity_bytes + kStoreBlockSize - 1) / kStoreBlockSize) {
+    SLICE_CHECK(capacity_bytes > 0);
+  }
 
   // Called with each block evicted by capacity pressure. Owners that keep
   // payload bytes alongside the cache (the small-file server's page pool)

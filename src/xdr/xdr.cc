@@ -57,6 +57,18 @@ Result<std::string> XdrDecoder::GetString(size_t max_len) {
   return std::string(raw.begin(), raw.end());
 }
 
+Result<std::string_view> XdrDecoder::GetStringView(size_t max_len) {
+  SLICE_ASSIGN_OR_RETURN(uint32_t len, GetUint32());
+  if (len > max_len) {
+    return Status(StatusCode::kCorrupt, "xdr: string too long");
+  }
+  const size_t padded = len + XdrPad(len);
+  SLICE_RETURN_IF_ERROR(Need(padded));
+  std::string_view view(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += padded;
+  return view;
+}
+
 Result<ByteSpan> XdrDecoder::GetRawView(size_t n) {
   SLICE_RETURN_IF_ERROR(Need(n));
   ByteSpan view = data_.subspan(pos_, n);

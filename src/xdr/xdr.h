@@ -36,6 +36,10 @@ class XdrEncoder {
   Bytes Take() { return std::move(buf_); }
   size_t size() const { return buf_.size(); }
 
+  // Empties the buffer but keeps its capacity, so a long-lived encoder (the
+  // µproxy's attr-patch scratch) reaches a steady state with no allocations.
+  void Clear() { buf_.clear(); }
+
  private:
   Bytes buf_;
 };
@@ -61,6 +65,10 @@ class XdrDecoder {
   // Variable-length opaque with a sanity cap on the length word.
   Result<Bytes> GetOpaqueVar(size_t max_len = 1 << 22);
   Result<std::string> GetString(size_t max_len = 4096);
+  // Zero-copy string read: a view into the underlying buffer, valid only
+  // while that buffer lives. The single-pass decode path uses this to avoid
+  // materializing file names it may never route on.
+  Result<std::string_view> GetStringView(size_t max_len = 4096);
 
   // Consumes `n` raw (already padded) bytes without copying, returning a view
   // into the underlying buffer. Used by zero-copy READ/WRITE paths.

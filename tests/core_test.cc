@@ -4,7 +4,11 @@
 
 #include <set>
 
+#include <unordered_map>
+
+#include "src/common/rng.h"
 #include "src/core/attr_cache.h"
+#include "src/core/pending_map.h"
 #include "src/core/request_decode.h"
 #include "src/core/routing_table.h"
 #include "src/core/uproxy.h"
@@ -362,6 +366,66 @@ TEST_F(RouteSelectionTest, DeterministicAcrossCalls) {
     const auto again = Route(req);
     EXPECT_EQ(again.storage_index, first.storage_index);
     EXPECT_TRUE(again.target == first.target);
+  }
+}
+
+// --- FlatU64Map (the pending-request table) vs. a reference map ---
+//
+// Backward-shift deletion is the delicate part: a wrong "stays" predicate
+// corrupts probe chains only when clusters wrap the table edge or collide
+// densely, so the keys here are drawn from a small range to force both.
+
+TEST(FlatU64MapTest, RandomizedOpsMatchUnorderedMap) {
+  Rng rng(0xf1a7);
+  FlatU64Map<uint64_t> map(16);
+  std::unordered_map<uint64_t, uint64_t> ref;
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t key = rng.NextBelow(97);  // dense: forces clusters + wrap
+    switch (rng.NextBelow(4)) {
+      case 0:
+      case 1: {  // insert / overwrite
+        const uint64_t value = rng.NextU64();
+        auto [slot, inserted] = map.Insert(key);
+        EXPECT_EQ(inserted, ref.find(key) == ref.end());
+        *slot = value;
+        ref[key] = value;
+        break;
+      }
+      case 2: {  // erase
+        EXPECT_EQ(map.Erase(key), ref.erase(key) > 0);
+        break;
+      }
+      default: {  // find
+        uint64_t* found = map.Find(key);
+        auto it = ref.find(key);
+        ASSERT_EQ(found != nullptr, it != ref.end());
+        if (found != nullptr) {
+          EXPECT_EQ(*found, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), ref.size());
+  }
+  // Full-content check via ForEach, then Clear.
+  std::unordered_map<uint64_t, uint64_t> walked;
+  map.ForEach([&](uint64_t k, const uint64_t& v) { walked.emplace(k, v); });
+  EXPECT_EQ(walked, ref);
+  map.Clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(1), nullptr);
+}
+
+TEST(FlatU64MapTest, GrowthPreservesEntriesAndPointersStayValidUntilMutation) {
+  FlatU64Map<uint32_t> map(16);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    *map.Insert(k * 0x9e3779b97f4a7c15ull).first = static_cast<uint32_t>(k);
+  }
+  EXPECT_EQ(map.size(), 1000u);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    uint32_t* v = map.Find(k * 0x9e3779b97f4a7c15ull);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, k);
   }
 }
 

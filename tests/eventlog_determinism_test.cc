@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "src/net/packet_pool.h"
 #include "src/slice/ensemble.h"
 
 namespace slice {
@@ -160,6 +161,20 @@ TEST(EventLogDeterminismTest, FivePercentLossSameSeedSameDump) {
   EXPECT_NE(FindEvent(a.events, EventCode::kPacketDrop), nullptr);
   EXPECT_NE(FindEvent(a.events, EventCode::kRpcRetransmit), nullptr);
   EXPECT_NE(a.hash, RunLoggedWorkload(0.0, false).hash);
+}
+
+TEST(EventLogDeterminismTest, PacketPoolingDoesNotChangeTheFlightDump) {
+  // Pooled buffers must be semantically invisible: the flight-recorder dump
+  // (events + spans + counters) of a seeded lossy run is byte-identical with
+  // the pool off (pre-pooling allocation behaviour) and on.
+  PacketPool::SetEnabled(false);
+  const RunResult unpooled = RunLoggedWorkload(/*loss_rate=*/0.05, /*kill_nodes=*/false);
+  PacketPool::SetEnabled(true);
+  const RunResult pooled = RunLoggedWorkload(/*loss_rate=*/0.05, /*kill_nodes=*/false);
+  EXPECT_GT(unpooled.recorded, 50u);
+  EXPECT_EQ(unpooled.hash, pooled.hash);
+  EXPECT_EQ(unpooled.json, pooled.json);
+  EXPECT_EQ(unpooled.trace_json, pooled.trace_json);
 }
 
 TEST(EventLogDeterminismTest, NodeKillsUnderLossSameSeedSameDump) {

@@ -424,5 +424,57 @@ TEST_P(ChecksumPropertyTest, IncrementalRewritesMatchFullRecompute) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ChecksumPropertyTest,
                          ::testing::Values(0xc0, 0xc1, 0xc2, 0xc3));
 
+// RFC 768 boundary: a UDP checksum that *computes* to zero is transmitted as
+// 0xFFFF, because a *stored* zero means "sender supplied no checksum". Sweep
+// one payload word through all 2^16 values so the computed sum crosses the
+// 0/0xFFFF collapse, and check the incremental path agrees with a recompute
+// on every step — the old code let an incremental update land on zero, which
+// silently converted a checksummed packet into an unchecksummed one.
+TEST(ChecksumRfc768Test, ComputedZeroTransmitsAsAllOnesAcrossFullSweep) {
+  Bytes payload(8, 0);
+  Packet pkt = Packet::MakeUdp(Endpoint{0x0a000001, 1000}, Endpoint{0x0a000002, 2049},
+                               payload);
+  int all_ones_seen = 0;
+  for (uint32_t w = 0; w <= 0xffff; ++w) {
+    uint8_t patch[2];
+    PutU16(patch, static_cast<uint16_t>(w));
+    pkt.RewriteBytes(kPacketHeaderSize + 4, ByteSpan(patch, 2));
+    const uint16_t stored = pkt.udp_checksum();
+    ASSERT_NE(stored, 0u) << "incremental update produced the no-checksum form, w=" << w;
+    ASSERT_TRUE(pkt.VerifyChecksums()) << "w=" << w;
+    Packet scratch(pkt.bytes());
+    scratch.RecomputeChecksums();
+    ASSERT_EQ(stored, scratch.udp_checksum()) << "w=" << w;
+    if (stored == 0xffff) {
+      ++all_ones_seen;
+    }
+  }
+  // The sweep must actually cross the boundary for the test to mean anything.
+  EXPECT_GT(all_ones_seen, 0);
+}
+
+TEST(ChecksumRfc768Test, StoredZeroMeansNoChecksumAndStaysZeroThroughRewrites) {
+  Bytes payload(16, 0xab);
+  Packet pkt = Packet::MakeUdp(Endpoint{0x0a000001, 1000}, Endpoint{0x0a000002, 2049},
+                               payload);
+  // A sender that opted out of UDP checksumming stores zero. That must
+  // verify (there is nothing to check) and rewrites must not "maintain" the
+  // absent checksum into a bogus nonzero value.
+  PutU16(pkt.mutable_bytes().data() + kIpHeaderSize + 6, 0);
+  ASSERT_TRUE(pkt.VerifyChecksums());
+
+  pkt.RewriteDst(Endpoint{0x0a0000ff, 7777});
+  pkt.RewriteSrc(Endpoint{0x0a0000fe, 8888});
+  uint8_t patch[4] = {1, 2, 3, 4};
+  pkt.RewriteBytes(kPacketHeaderSize + 8, ByteSpan(patch, 4));
+
+  EXPECT_EQ(pkt.udp_checksum(), 0u) << "rewrites resurrected an absent checksum";
+  EXPECT_TRUE(pkt.VerifyChecksums());
+  // The IP header checksum is always present and must still track rewrites.
+  Packet scratch(pkt.bytes());
+  scratch.RecomputeChecksums();
+  EXPECT_EQ(pkt.ip_checksum(), scratch.ip_checksum());
+}
+
 }  // namespace
 }  // namespace slice

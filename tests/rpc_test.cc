@@ -236,6 +236,29 @@ TEST_F(RpcEndToEndTest, TimeoutWhenServerDown) {
   EXPECT_EQ(got_status.code(), StatusCode::kTimedOut);
 }
 
+TEST_F(RpcEndToEndTest, TotalLossGivesUpInBoundedTime) {
+  // Regression: the exponential backoff used to scale without bound, so a
+  // generous retry budget against a black-holed server pushed the next
+  // timeout out by pow(backoff, tries) — the call effectively never gave up.
+  // With the per-try ceiling the worst case is max_transmissions * ceiling.
+  net_.set_loss_rate(1.0);
+  RpcClientParams params;
+  params.retransmit_timeout = FromMillis(100);
+  params.backoff_factor = 4.0;
+  params.max_transmissions = 20;
+  params.max_retransmit_timeout = FromSeconds(1);
+  RpcClient stubborn(client_host_, queue_, params);
+  Status got_status;
+  stubborn.Call(server_.endpoint(), kTestProg, kTestVers, 1, Bytes{},
+                [&](Status st, const RpcMessageView&) { got_status = st; });
+  queue_.RunUntilIdle();
+  EXPECT_EQ(got_status.code(), StatusCode::kTimedOut);
+  EXPECT_EQ(stubborn.pending(), 0u);
+  // Unclamped, transmission 20 alone would wait 100ms * 4^19 ≈ 870 years.
+  EXPECT_LT(queue_.now(), FromSeconds(21));
+  EXPECT_EQ(stubborn.retransmissions(), 19u);
+}
+
 TEST_F(RpcEndToEndTest, ServerRestartRecovers) {
   server_.Fail();
   server_.Restart();

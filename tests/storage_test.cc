@@ -196,6 +196,31 @@ TEST(BlockCacheTest, EvictsLru) {
   EXPECT_TRUE(cache.Contains(4));
 }
 
+TEST(BlockCacheTest, SubBlockCapacityRoundsUpToOneBlock) {
+  // Regression: a capacity below one block used to truncate to zero blocks,
+  // so every insert immediately evicted itself — a permanent 100% miss rate
+  // that silently defeated the cache. Sub-block capacities now hold a block.
+  BlockCache cache(kStoreBlockSize / 2);
+  EXPECT_EQ(cache.capacity_blocks(), 1u);
+  EXPECT_FALSE(cache.Access(1));
+  EXPECT_TRUE(cache.Access(1)) << "sole block must survive its own insert";
+
+  // Unaligned capacities round up, not down.
+  BlockCache unaligned(3 * kStoreBlockSize + 1);
+  EXPECT_EQ(unaligned.capacity_blocks(), 4u);
+
+  // An eviction storm through the minimal cache still behaves: exactly one
+  // resident block, every new block displacing the previous one.
+  int evictions = 0;
+  cache.SetEvictionHook([&](PhysBlock) { ++evictions; });
+  for (PhysBlock b = 10; b < 40; ++b) {
+    cache.Insert(b);
+    EXPECT_EQ(cache.size_blocks(), 1u);
+  }
+  EXPECT_EQ(evictions, 30);
+  EXPECT_TRUE(cache.Contains(39));
+}
+
 TEST(BlockCacheTest, EraseAndClear) {
   BlockCache cache(10 * kStoreBlockSize);
   cache.Insert(5);

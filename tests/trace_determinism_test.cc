@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/net/packet_pool.h"
 #include "src/slice/ensemble.h"
 
 namespace slice {
@@ -131,6 +132,22 @@ TEST(TraceDeterminismTest, FivePercentLossSameSeedSameHash) {
   EXPECT_EQ(a.json, b.json);
   // Loss changes behaviour, so it must change the trace.
   EXPECT_NE(a.hash, RunTracedWorkload(0.0, false).hash);
+}
+
+TEST(TraceDeterminismTest, PacketPoolingDoesNotChangeTheTrace) {
+  // Buffer pooling is a pure allocation-strategy change: recycling a packet
+  // buffer instead of mallocing one must not move a single event in time or
+  // alter a single traced byte. Run the identical seeded workload with the
+  // pool disabled (pre-pooling allocation behaviour) and enabled, and require
+  // byte-identical exports.
+  PacketPool::SetEnabled(false);
+  const RunResult unpooled = RunTracedWorkload(/*loss_rate=*/0.05, /*kill_storage=*/false);
+  PacketPool::SetEnabled(true);
+  const RunResult pooled = RunTracedWorkload(/*loss_rate=*/0.05, /*kill_storage=*/false);
+  EXPECT_GT(unpooled.spans, 100u);
+  EXPECT_EQ(unpooled.spans, pooled.spans);
+  EXPECT_EQ(unpooled.hash, pooled.hash);
+  EXPECT_EQ(unpooled.json, pooled.json);
 }
 
 TEST(TraceDeterminismTest, StorageKillUnderLossSameSeedSameHash) {
