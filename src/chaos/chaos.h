@@ -1,0 +1,96 @@
+// Deterministic chaos engine: primitive fault descriptions.
+//
+// A chaos run is a *plan*, not a random walk: every fault is a FaultSpec with
+// an explicit injection time, duration, and target list, and the whole plan is
+// scheduled up front as DES events (ChaosEngine::Arm). The only randomness is
+// inside the primitives themselves (per-packet loss draws, Gilbert-Elliott
+// state transitions) and it comes from dedicated seeded RNG streams, so the
+// same ChaosConfig against the same workload seed replays byte-identically —
+// including the flight-recorder dump, which is what the scenario matrix pins
+// golden hashes against (src/chaos/scenario.h).
+//
+// Primitives compose: a scenario is just a list of FaultSpecs whose windows
+// overlap however it likes (partition a dir server while a storage node's
+// disks go gray, then crash the coordinator mid-heal).
+#ifndef SLICE_CHAOS_CHAOS_H_
+#define SLICE_CHAOS_CHAOS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mgmt/mgmt_proto.h"
+#include "src/sim/event_queue.h"
+
+namespace slice::chaos {
+
+// NetAddr the engine records its fault_inject/fault_clear events against
+// (10.0.5.254 — the chaos controller "host"; nothing is attached there).
+constexpr uint32_t kChaosControllerAddr = 0x0a0005fe;
+
+enum class FaultKind : uint8_t {
+  // Link partition between `targets` and every other host (clients, manager
+  // and all servers). Symmetric by default; `asymmetric` blocks only traffic
+  // *toward* the targets, leaving their outbound path (heartbeats!) intact.
+  kPartition = 0,
+  // I.i.d. packet loss at `rate` on every link between `targets` and the
+  // rest (both directions unless `asymmetric`, which shapes only toward the
+  // targets). End-to-end RPC retransmission must mask it (paper §2.1).
+  kLoss = 1,
+  // Correlated (bursty) loss on the same link set: a per-packet
+  // Gilbert-Elliott chain enters a bad state with `p_enter`, leaves with
+  // `p_exit`, and drops at `rate` while bad. Empty `targets` = every link
+  // in the ensemble.
+  kBurstLoss = 2,
+  // Gray disk: the targets' disk arrays serve every I/O `multiplier`×
+  // slower. Slow-but-alive — heartbeats keep flowing, so the detector must
+  // not fire; requests just back up behind the arms.
+  kGrayDisk = 3,
+  // Gray NIC: every packet to or from the targets pays `extra_latency`.
+  kGrayNic = 4,
+  // Crash the targets at `at` (host drops off the network, volatile state
+  // lost) and restart them `duration` later. duration == 0 = no restart.
+  kCrash = 5,
+  // Clock skew: the targets' heartbeat agents tick `multiplier`× slower.
+  // Past the detector timeout an alive node is declared dead; milder skews
+  // keep it flapping through the suspicion window.
+  kClockSkew = 6,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+// A node in ensemble coordinates (class + index), mirroring mgmt NodeIds.
+struct NodeRef {
+  NodeClass cls = NodeClass::kStorage;
+  uint32_t index = 0;
+};
+
+inline NodeRef Storage(uint32_t i) { return {NodeClass::kStorage, i}; }
+inline NodeRef Dir(uint32_t i) { return {NodeClass::kDir, i}; }
+inline NodeRef Sfs(uint32_t i) { return {NodeClass::kSfs, i}; }
+inline NodeRef Coord(uint32_t i) { return {NodeClass::kCoord, i}; }
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kPartition;
+  SimTime at = 0;        // injection time
+  SimTime duration = 0;  // healed at `at + duration`; 0 = never healed
+  std::vector<NodeRef> targets;
+  bool asymmetric = false;    // kPartition / kLoss: shape only toward targets
+  double rate = 0.0;          // kLoss / kBurstLoss drop probability
+  double p_enter = 0.02;      // kBurstLoss: good→bad per packet
+  double p_exit = 0.25;       // kBurstLoss: bad→good per packet
+  double multiplier = 1.0;    // kGrayDisk / kClockSkew
+  SimTime extra_latency = 0;  // kGrayNic
+};
+
+struct ChaosConfig {
+  bool enabled = false;
+  // Seeds the network's chaos RNG stream indirectly via the ensemble's
+  // loss_seed; kept here so scenarios can vary stochastic faults without
+  // touching the workload seed.
+  uint64_t seed = 0x51ce0c4a05;
+  std::vector<FaultSpec> faults;
+};
+
+}  // namespace slice::chaos
+
+#endif  // SLICE_CHAOS_CHAOS_H_

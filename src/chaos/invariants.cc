@@ -1,0 +1,319 @@
+#include "src/chaos/invariants.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+
+namespace slice::chaos {
+namespace {
+
+std::optional<int64_t> Arg(const obs::Event& ev, const char* key) {
+  for (uint8_t i = 0; i < ev.nargs; ++i) {
+    if (std::strncmp(ev.args[i].key, key, obs::kEventArgKeyCap) == 0) {
+      return ev.args[i].value;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string TimeStr(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", static_cast<double>(t) / 1e9);
+  return buf;
+}
+
+// (class-detail, node-index) identity of a mgmt membership event.
+std::string NodeKey(const obs::Event& ev) {
+  const auto node = Arg(ev, "node");
+  return std::string(ev.detail_view()) + "/" + std::to_string(node.value_or(-1));
+}
+
+}  // namespace
+
+InvariantReport CheckInvariants(const std::vector<obs::Event>& events,
+                                const InvariantBounds& bounds) {
+  InvariantReport rep;
+
+  struct WriteState {
+    int64_t sum = 0;
+    SimTime acked_at = 0;
+    bool verified = false;
+  };
+  std::map<int64_t, WriteState> writes;  // journal key → latest acked state
+
+  struct DeathState {
+    SimTime dead_at = 0;
+    bool rejoined = false;
+  };
+  std::map<std::string, DeathState> deaths;  // open (unrejoined) episodes
+
+  struct SiteState {
+    bool adopted = false;     // adopt_done observed, not yet handed off
+    bool adopting = false;    // adopt_begin observed, adopt_done pending
+    SimTime begun_at = 0;
+  };
+  std::map<int64_t, SiteState> sites;
+  std::map<int64_t, SimTime> dir_dead_at;  // dir index → node_dead time (open)
+
+  std::map<uint32_t, uint64_t> install_epochs;  // per-host last table epoch
+  uint64_t last_bump_epoch = 0;
+  bool saw_bump = false;
+
+  std::map<int64_t, SimTime> open_faults;  // fault index → inject time
+
+  for (const obs::Event& ev : events) {
+    switch (ev.code) {
+      case obs::EventCode::kChaosWriteAcked: {
+        const auto key = Arg(ev, "key");
+        const auto sum = Arg(ev, "sum");
+        if (key && sum) {
+          ++rep.acked_writes;
+          writes[*key] = WriteState{*sum, ev.at, false};
+        }
+        break;
+      }
+      case obs::EventCode::kChaosReadOk: {
+        const auto key = Arg(ev, "key");
+        const auto sum = Arg(ev, "sum");
+        if (!key || !sum) {
+          break;
+        }
+        ++rep.verified_ok;
+        auto it = writes.find(*key);
+        if (it == writes.end()) {
+          break;  // read of an unjournaled key; not a durability claim
+        }
+        it->second.verified = true;
+        if (it->second.sum != *sum) {
+          rep.violations.push_back("acked write torn: key=" + std::to_string(*key) +
+                                   " acked sum=" + std::to_string(it->second.sum) +
+                                   " read sum=" + std::to_string(*sum) + " at " +
+                                   TimeStr(ev.at));
+        }
+        break;
+      }
+      case obs::EventCode::kChaosReadLost: {
+        const auto key = Arg(ev, "key");
+        ++rep.verified_lost;
+        if (key) {
+          auto it = writes.find(*key);
+          if (it != writes.end()) {
+            it->second.verified = true;
+          }
+        }
+        rep.violations.push_back(
+            "acked write lost: key=" + std::to_string(key.value_or(-1)) + " (acked at " +
+            (key && writes.count(*key) ? TimeStr(writes[*key].acked_at) : "?") +
+            ", lost at " + TimeStr(ev.at) + ")");
+        break;
+      }
+      case obs::EventCode::kNodeDead: {
+        ++rep.deaths;
+        const std::string key = NodeKey(ev);
+        if (bounds.expect_no_deaths) {
+          rep.violations.push_back("unexpected node_dead for " + key + " at " + TimeStr(ev.at) +
+                                   " (scenario only degrades; detector false positive)");
+        }
+        deaths[key] = DeathState{ev.at, false};
+        if (ev.detail_view() == "dir") {
+          if (const auto node = Arg(ev, "node")) {
+            dir_dead_at[*node] = ev.at;
+          }
+        }
+        break;
+      }
+      case obs::EventCode::kNodeRejoin: {
+        ++rep.rejoins;
+        const std::string key = NodeKey(ev);
+        auto it = deaths.find(key);
+        if (it != deaths.end()) {
+          const SimTime outage = ev.at - it->second.dead_at;
+          if (outage > rep.worst_outage) {
+            rep.worst_outage = outage;
+          }
+          if (bounds.max_outage > 0 && outage > bounds.max_outage) {
+            rep.violations.push_back("unavailability bound blown for " + key + ": dead " +
+                                     TimeStr(outage) + " > max " +
+                                     TimeStr(bounds.max_outage));
+          }
+          deaths.erase(it);
+        }
+        if (ev.detail_view() == "dir") {
+          if (const auto node = Arg(ev, "node")) {
+            dir_dead_at.erase(*node);
+          }
+        }
+        break;
+      }
+      case obs::EventCode::kAdoptBegin: {
+        ++rep.adoptions_begun;
+        const auto site = Arg(ev, "site");
+        if (!site) {
+          break;
+        }
+        SiteState& st = sites[*site];
+        if (st.adopted || st.adopting) {
+          rep.violations.push_back("double adoption of site " + std::to_string(*site) +
+                                   " at " + TimeStr(ev.at) +
+                                   " (previous adoption not handed off)");
+        }
+        st.adopting = true;
+        st.begun_at = ev.at;
+        break;
+      }
+      case obs::EventCode::kAdoptDone: {
+        ++rep.adoptions_done;
+        const auto site = Arg(ev, "site");
+        if (!site) {
+          break;
+        }
+        SiteState& st = sites[*site];
+        st.adopting = false;
+        if (ev.detail_view() == "adopted") {
+          st.adopted = true;
+          // Service-restoration bound: the site was unavailable from its
+          // owner's death until the adopter finished the WAL replay.
+          auto dead_it = dir_dead_at.find(*site);
+          if (dead_it != dir_dead_at.end() && bounds.max_adopt_delay > 0 &&
+              ev.at - dead_it->second > bounds.max_adopt_delay) {
+            rep.violations.push_back(
+                "adoption of site " + std::to_string(*site) + " took " +
+                TimeStr(ev.at - dead_it->second) + " > max " +
+                TimeStr(bounds.max_adopt_delay));
+          }
+        } else {
+          rep.violations.push_back("adoption of site " + std::to_string(*site) +
+                                   " failed at " + TimeStr(ev.at));
+        }
+        break;
+      }
+      case obs::EventCode::kHandoff: {
+        // Both the "scheduled" (ensemble) and completion (dir server)
+        // records pass through here; only the completion flips state, and
+        // it is the one emitted by the adopter that still holds the site.
+        if (ev.detail_view() == "scheduled") {
+          break;
+        }
+        ++rep.handoffs;
+        const auto site = Arg(ev, "site");
+        if (site) {
+          sites[*site] = SiteState{};
+        }
+        break;
+      }
+      case obs::EventCode::kResync:
+        ++rep.resyncs;
+        break;
+      case obs::EventCode::kEpochBump: {
+        ++rep.epoch_bumps;
+        const auto epoch = Arg(ev, "epoch");
+        if (!epoch) {
+          break;
+        }
+        if (saw_bump && static_cast<uint64_t>(*epoch) <= last_bump_epoch) {
+          rep.violations.push_back("epoch not monotone: bump to " + std::to_string(*epoch) +
+                                   " after " + std::to_string(last_bump_epoch) + " at " +
+                                   TimeStr(ev.at));
+        }
+        saw_bump = true;
+        last_bump_epoch = static_cast<uint64_t>(*epoch);
+        if (last_bump_epoch > rep.max_epoch) {
+          rep.max_epoch = last_bump_epoch;
+        }
+        break;
+      }
+      case obs::EventCode::kTableInstall: {
+        const auto epoch = Arg(ev, "epoch");
+        if (!epoch) {
+          break;
+        }
+        uint64_t& have = install_epochs[ev.host];
+        if (static_cast<uint64_t>(*epoch) < have) {
+          rep.violations.push_back("table epoch regressed on host " +
+                                   std::to_string(ev.host) + ": " + std::to_string(*epoch) +
+                                   " after " + std::to_string(have) + " at " + TimeStr(ev.at));
+        }
+        have = static_cast<uint64_t>(*epoch);
+        break;
+      }
+      case obs::EventCode::kFaultInject: {
+        ++rep.faults_injected;
+        if (const auto fault = Arg(ev, "fault")) {
+          open_faults[*fault] = ev.at;
+        }
+        break;
+      }
+      case obs::EventCode::kFaultClear: {
+        ++rep.faults_cleared;
+        if (const auto fault = Arg(ev, "fault")) {
+          open_faults.erase(*fault);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // End-of-stream closure checks.
+  if (bounds.require_verified) {
+    for (const auto& [key, st] : writes) {
+      if (!st.verified) {
+        rep.violations.push_back("acked write never verified: key=" + std::to_string(key) +
+                                 " (acked at " + TimeStr(st.acked_at) + ")");
+      }
+    }
+  }
+  if (bounds.expect_all_recover) {
+    for (const auto& [key, st] : deaths) {
+      rep.violations.push_back("failure episode never closed: " + key + " dead at " +
+                               TimeStr(st.dead_at) + " with no rejoin");
+    }
+  }
+  for (const auto& [site, st] : sites) {
+    if (st.adopting) {
+      rep.violations.push_back("adoption of site " + std::to_string(site) +
+                               " begun at " + TimeStr(st.begun_at) + " never completed");
+    }
+  }
+  if (bounds.expect_adoption && rep.adoptions_done == 0 && rep.deaths > 0) {
+    rep.violations.push_back("expected at least one completed adoption; saw none");
+  }
+  if (bounds.expect_faults_heal) {
+    for (const auto& [fault, at] : open_faults) {
+      rep.violations.push_back("fault " + std::to_string(fault) + " injected at " +
+                               TimeStr(at) + " never cleared");
+    }
+  }
+
+  return rep;
+}
+
+std::string InvariantReport::Summary() const {
+  std::string out = "invariants: ";
+  out += violations.empty() ? "OK" : (std::to_string(violations.size()) + " violation(s)");
+  out += "; writes acked=" + std::to_string(acked_writes) +
+         " verified_ok=" + std::to_string(verified_ok) +
+         " lost=" + std::to_string(verified_lost);
+  out += "; deaths=" + std::to_string(deaths) + " rejoins=" + std::to_string(rejoins);
+  out += "; adoptions=" + std::to_string(adoptions_begun) + "/" +
+         std::to_string(adoptions_done) + " handoffs=" + std::to_string(handoffs) +
+         " resyncs=" + std::to_string(resyncs);
+  out += "; epoch_bumps=" + std::to_string(epoch_bumps) +
+         " max_epoch=" + std::to_string(max_epoch);
+  out += "; faults=" + std::to_string(faults_injected) + "/" +
+         std::to_string(faults_cleared);
+  if (worst_outage > 0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(worst_outage) / 1e9);
+    out += "; worst_outage=";
+    out += buf;
+  }
+  for (const std::string& v : violations) {
+    out += "\n  VIOLATION: " + v;
+  }
+  return out;
+}
+
+}  // namespace slice::chaos

@@ -1,0 +1,87 @@
+// Invariant checker: replays a collected event stream (EventLog::Collect or
+// the events of a flight dump — same records) and asserts the recovery
+// properties the paper's robustness story rests on:
+//
+//  1. No acked write lost. Every chaos_write_acked journal entry must be
+//     matched by a chaos_read_ok with the same checksum after the faults
+//     heal; a chaos_read_lost (or a checksum mismatch, i.e. torn data) is a
+//     durability violation. The chaos workloads (src/chaos/workload.h) emit
+//     these records only for mutations the server *acknowledged*.
+//  2. Failure episodes close. Every node_dead is followed by a node_rejoin
+//     (when the scenario heals its faults), every adopt_begin by an
+//     adopt_done, and a site is never adopted twice without an intervening
+//     handoff (no double-adopt / split brain).
+//  3. Unavailability is bounded. dead→rejoin and dead→adopt_done gaps must
+//     fit the scenario's declared windows — recovery that technically
+//     happens but takes forever is a failure.
+//  4. Routing epochs are monotone. epoch_bump values at the manager
+//     strictly increase; table_install epochs per µproxy never go
+//     backwards.
+//  5. Gray means alive. Scenarios that only degrade (slow disks, mild
+//     skew, asymmetric loss toward a node) declare expect_no_deaths: a
+//     node_dead under such a fault is a false positive of the detector.
+//  6. Faults heal. Every fault_inject with a finite duration has its
+//     fault_clear.
+//
+// The checker is pure: events in, violation strings out. Tests assert
+// report.ok() and print report.Summary() on failure.
+#ifndef SLICE_CHAOS_INVARIANTS_H_
+#define SLICE_CHAOS_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/eventlog.h"
+
+namespace slice::chaos {
+
+struct InvariantBounds {
+  // Max sim-time from node_dead to node_rejoin (0 = unbounded).
+  SimTime max_outage = 0;
+  // Max sim-time from a dir node_dead to the matching adopt_done.
+  SimTime max_adopt_delay = FromSeconds(2);
+  // Every dead node rejoins (scenario heals all its crash faults).
+  bool expect_all_recover = true;
+  // Every dead dir site gets adopted (a live replacement existed).
+  bool expect_adoption = false;
+  // No node may be declared dead at all (gray / degraded-only scenarios).
+  bool expect_no_deaths = false;
+  // Every acked write must be explicitly verified (a read_ok per key);
+  // read_lost and checksum mismatches are violations regardless.
+  bool require_verified = true;
+  // Every fault_inject has a matching fault_clear by end of stream. Turn
+  // off for plans that deliberately leave a fault live (duration 0).
+  bool expect_faults_heal = true;
+};
+
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  // Stream statistics, for test assertions and the scenario-matrix table.
+  size_t acked_writes = 0;
+  size_t verified_ok = 0;
+  size_t verified_lost = 0;
+  size_t deaths = 0;
+  size_t rejoins = 0;
+  size_t adoptions_begun = 0;
+  size_t adoptions_done = 0;
+  size_t handoffs = 0;
+  size_t resyncs = 0;
+  size_t epoch_bumps = 0;
+  size_t faults_injected = 0;
+  size_t faults_cleared = 0;
+  uint64_t max_epoch = 0;
+  SimTime worst_outage = 0;  // longest dead→rejoin gap observed
+
+  bool ok() const { return violations.empty(); }
+  std::string Summary() const;
+};
+
+// Replays `events` (must be in Collect() order: sorted by (at, seq)).
+InvariantReport CheckInvariants(const std::vector<obs::Event>& events,
+                                const InvariantBounds& bounds);
+
+}  // namespace slice::chaos
+
+#endif  // SLICE_CHAOS_INVARIANTS_H_

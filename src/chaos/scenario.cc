@@ -1,0 +1,248 @@
+#include "src/chaos/scenario.h"
+
+#include <algorithm>
+
+namespace slice::chaos {
+namespace {
+
+// Common substrate for every scenario: 2 dir servers (so one can adopt the
+// other), mirrored striping across 4 storage nodes, name-hashed namespace
+// (every dir site owns live state worth failing over), event log on, metrics
+// and tracing off so the flight dump stays integer-only and its content hash
+// is portable across libm implementations.
+// No small-file servers: every byte of file data takes the mirrored-striping
+// path across the storage nodes, which is what the fault plans target.
+EnsembleConfig BaseConfig() {
+  EnsembleConfig config;
+  config.num_dir_servers = 2;
+  config.num_small_file_servers = 0;
+  config.num_storage_nodes = 4;
+  config.num_coordinators = 1;
+  config.num_clients = 1;
+  config.name_policy = NamePolicy::kNameHashing;
+  config.default_replication = 2;
+  config.eventlog = {.enabled = true};
+  config.chaos.enabled = true;
+  return config;
+}
+
+}  // namespace
+
+std::vector<Scenario> ScenarioMatrix() {
+  std::vector<Scenario> matrix;
+
+  {  // Full partition of dir 1 + storage 3; heal and watch every chain close.
+    Scenario s;
+    s.name = "partition_heal";
+    s.description =
+        "dir1+storage3 partitioned for 900ms mid-workload; adoption, handoff "
+        "and mirror resync must all complete after the heal";
+    s.config = BaseConfig();
+    s.config.chaos.faults = {
+        {.kind = FaultKind::kPartition,
+         .at = FromMillis(600),
+         .duration = FromMillis(900),
+         .targets = {Dir(1), Storage(3)}},
+    };
+    s.workload.shape = WorkloadShape::kWriteVerify;
+    s.bounds.expect_adoption = true;
+    s.bounds.max_outage = FromSeconds(3);
+    matrix.push_back(std::move(s));
+  }
+
+  {  // Heavy one-directional loss toward a storage node. Its own outbound
+     // packets (heartbeats, replies) still flow, so the detector must stay
+     // quiet and RPC retransmission must absorb the rest.
+    Scenario s;
+    s.name = "asymmetric_loss";
+    s.description =
+        "45% loss toward storage2 only; heartbeats keep flowing, so no node "
+        "may be declared dead";
+    s.config = BaseConfig();
+    s.config.chaos.faults = {
+        {.kind = FaultKind::kLoss,
+         .at = FromMillis(500),
+         .duration = FromMillis(900),
+         .targets = {Storage(2)},
+         .asymmetric = true,
+         .rate = 0.45},
+    };
+    s.workload.shape = WorkloadShape::kZipfHotspot;
+    s.bounds.expect_no_deaths = true;
+    matrix.push_back(std::move(s));
+  }
+
+  {  // Gilbert-Elliott burst loss on every link in the ensemble.
+    Scenario s;
+    s.name = "burst_loss";
+    s.description =
+        "correlated burst loss (85% while bad) on all links; false suspicions "
+        "are allowed but every failure episode must close";
+    s.config = BaseConfig();
+    s.config.chaos.faults = {
+        {.kind = FaultKind::kBurstLoss,
+         .at = FromMillis(500),
+         .duration = FromMillis(1000),
+         .targets = {},  // empty = every link in the ensemble
+         .rate = 0.85,
+         .p_enter = 0.03,
+         .p_exit = 0.30},
+    };
+    s.workload.shape = WorkloadShape::kWriteVerify;
+    s.bounds.max_outage = FromSeconds(3);
+    matrix.push_back(std::move(s));
+  }
+
+  {  // Gray failure: storage1 gets 20x-slow disks and a laggy NIC, but stays
+     // alive. Slow-but-alive must not trip the failure detector.
+    Scenario s;
+    s.name = "gray_disk";
+    s.description =
+        "storage1 disks 20x slower plus 300us NIC lag for 1.2s; "
+        "slow-but-alive must not be declared dead";
+    s.config = BaseConfig();
+    s.config.chaos.faults = {
+        {.kind = FaultKind::kGrayDisk,
+         .at = FromMillis(500),
+         .duration = FromMillis(1200),
+         .targets = {Storage(1)},
+         .multiplier = 20.0},
+        {.kind = FaultKind::kGrayNic,
+         .at = FromMillis(500),
+         .duration = FromMillis(1200),
+         .targets = {Storage(1)},
+         .extra_latency = FromMicros(300)},
+    };
+    s.workload.shape = WorkloadShape::kZipfHotspot;
+    s.bounds.expect_no_deaths = true;
+    matrix.push_back(std::move(s));
+  }
+
+  {  // Correlated crashes: two storage nodes and the coordinator die in one
+     // window. Acked mirrored writes must survive the double failure.
+    Scenario s;
+    s.name = "correlated_crash";
+    s.description =
+        "storage1+storage2 crash together (coordinator too); all restart and "
+        "resync; every acked write must survive";
+    s.config = BaseConfig();
+    s.config.chaos.faults = {
+        {.kind = FaultKind::kCrash,
+         .at = FromMillis(700),
+         .duration = FromMillis(900),
+         .targets = {Storage(1), Storage(2)}},
+        {.kind = FaultKind::kCrash,
+         .at = FromMillis(800),
+         .duration = FromMillis(500),
+         .targets = {Coord(0)}},
+    };
+    s.workload.shape = WorkloadShape::kWriteVerify;
+    s.bounds.max_outage = FromSeconds(3);
+    matrix.push_back(std::move(s));
+  }
+
+  {  // Clock skew: storage3's heartbeat clock runs 14x slow — past the
+     // detector timeout, so an alive node flaps dead/rejoined. Dir1 gets a
+     // milder 4x skew that only grazes the suspicion window.
+    Scenario s;
+    s.name = "skewed_heartbeats";
+    s.description =
+        "storage3 heartbeats 14x slow (declared dead while alive, then "
+        "flaps); dir1 4x slow (suspicion only); epochs must stay monotone";
+    s.config = BaseConfig();
+    s.config.chaos.faults = {
+        {.kind = FaultKind::kClockSkew,
+         .at = FromMillis(600),
+         .duration = FromMillis(1200),
+         .targets = {Storage(3)},
+         .multiplier = 14.0},
+        {.kind = FaultKind::kClockSkew,
+         .at = FromMillis(600),
+         .duration = FromMillis(1200),
+         .targets = {Dir(1)},
+         .multiplier = 4.0},
+    };
+    s.workload.shape = WorkloadShape::kWriteVerify;
+    s.bounds.max_outage = FromSeconds(3);
+    s.settle = FromMillis(2500);  // last slow beat can land ~700ms post-heal
+    matrix.push_back(std::move(s));
+  }
+
+  {  // A dir server crash/restart cycle, twice, under metadata churn: two
+     // full dead → adopt → rejoin → handoff rounds with no double-adopt.
+    Scenario s;
+    s.name = "flapping_node";
+    s.description =
+        "dir1 crashes and restarts twice under create/rename/remove churn; "
+        "two adoption+handoff rounds, names must land correctly";
+    s.config = BaseConfig();
+    s.config.chaos.faults = {
+        {.kind = FaultKind::kCrash,
+         .at = FromMillis(600),
+         .duration = FromMillis(700),
+         .targets = {Dir(1)}},
+        {.kind = FaultKind::kCrash,
+         .at = FromMillis(2400),
+         .duration = FromMillis(700),
+         .targets = {Dir(1)}},
+    };
+    s.workload.shape = WorkloadShape::kMetadataStorm;
+    s.workload.ops = 320;  // churn long enough to straddle both crash windows
+    s.bounds.expect_adoption = true;
+    s.bounds.max_outage = FromSeconds(3);
+    matrix.push_back(std::move(s));
+  }
+
+  return matrix;
+}
+
+const Scenario* FindScenario(const std::vector<Scenario>& matrix, const std::string& name) {
+  for (const Scenario& s : matrix) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+ScenarioResult RunScenario(const Scenario& scenario) {
+  EventQueue queue;
+  Ensemble ensemble(queue, scenario.config);
+  obs::LogEvent(ensemble.eventlog(), kChaosControllerAddr, queue.now(), obs::EventSev::kInfo,
+                obs::EventCat::kChaos, obs::EventCode::kScenarioStart, /*trace_id=*/0,
+                scenario.name.c_str(),
+                {{"faults", static_cast<int64_t>(scenario.config.chaos.faults.size())},
+                 {"ops", static_cast<int64_t>(scenario.workload.ops)}});
+
+  ChaosWorkload workload(ensemble, scenario.workload);
+  workload.Setup();
+  workload.Run();
+
+  // Run past the last heal plus the settle margin so rejoin sweeps, deferred
+  // handoffs and mirror resyncs complete before verification. Faults with
+  // duration 0 never heal and contribute only their injection time.
+  SimTime horizon = queue.now();
+  for (const FaultSpec& fault : scenario.config.chaos.faults) {
+    horizon = std::max(horizon, fault.at + fault.duration);
+  }
+  queue.RunUntil(horizon + scenario.settle);
+  queue.RunUntilIdle();
+
+  workload.Verify();
+  queue.RunUntilIdle();
+
+  obs::LogEvent(ensemble.eventlog(), kChaosControllerAddr, queue.now(), obs::EventSev::kInfo,
+                obs::EventCat::kChaos, obs::EventCode::kScenarioEnd, /*trace_id=*/0,
+                scenario.name.c_str(),
+                {{"ok", static_cast<int64_t>(workload.stats().verified_lost == 0 ? 1 : 0)}});
+
+  ScenarioResult result;
+  result.stats = workload.stats();
+  result.report = CheckInvariants(ensemble.eventlog()->Collect(), scenario.bounds);
+  result.flight_json = ensemble.ExportFlightJson(("scenario:" + scenario.name).c_str());
+  result.flight_hash = obs::FlightContentHash(result.flight_json);
+  result.finished_at = queue.now();
+  return result;
+}
+
+}  // namespace slice::chaos

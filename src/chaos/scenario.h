@@ -1,0 +1,66 @@
+// Named chaos scenarios: reusable (ensemble config, fault plan, workload,
+// invariant bounds) bundles, each fully deterministic — the same scenario
+// always produces the same event stream and hence the same flight-dump
+// content hash, which tests/chaos_matrix_test.cc pins as a golden.
+//
+// The matrix (paper robustness claims → scenarios):
+//  * partition_heal     — full partition of a dir server + a storage node;
+//                         heal ⇒ adoption, handoff, mirror resync all close.
+//  * asymmetric_loss    — heavy one-directional loss toward a storage node;
+//                         heartbeats (outbound) keep flowing ⇒ no deaths,
+//                         RPC retransmission masks the rest.
+//  * burst_loss         — Gilbert-Elliott burst loss on every link; false
+//                         suspicions allowed but every episode must close.
+//  * gray_disk          — one node's disks 20× slower + a laggy NIC;
+//                         slow-but-alive must NOT be declared dead.
+//  * correlated_crash   — two storage nodes and the coordinator crash in one
+//                         window; acked writes survive the double failure.
+//  * skewed_heartbeats  — clock skew past the detector timeout ⇒ an alive
+//                         node flaps dead/rejoined; epochs stay monotone.
+//  * flapping_node      — a dir server crash/restart cycle, twice, under
+//                         metadata churn; no double-adopt, all chains close.
+#ifndef SLICE_CHAOS_SCENARIO_H_
+#define SLICE_CHAOS_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/chaos/invariants.h"
+#include "src/chaos/workload.h"
+#include "src/slice/ensemble.h"
+
+namespace slice::chaos {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  EnsembleConfig config;          // chaos plan rides in config.chaos
+  ChaosWorkloadParams workload;
+  InvariantBounds bounds;
+  // Sim-time margin run after the workload and the last fault heal, so
+  // rejoin sweeps, handoffs and resyncs finish before verification.
+  SimTime settle = FromMillis(1500);
+};
+
+struct ScenarioResult {
+  InvariantReport report;
+  ChaosWorkloadStats stats;
+  std::string flight_json;
+  uint64_t flight_hash = 0;
+  SimTime finished_at = 0;
+};
+
+// The named matrix, in a stable order.
+std::vector<Scenario> ScenarioMatrix();
+
+// nullptr when `name` is not in the matrix.
+const Scenario* FindScenario(const std::vector<Scenario>& matrix, const std::string& name);
+
+// Builds a fresh ensemble, arms the plan, runs the workload through the
+// fault windows, settles, verifies, and replays the event log through the
+// invariant checker.
+ScenarioResult RunScenario(const Scenario& scenario);
+
+}  // namespace slice::chaos
+
+#endif  // SLICE_CHAOS_SCENARIO_H_

@@ -1,0 +1,294 @@
+#include "src/chaos/workload.h"
+
+#include <cmath>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+
+namespace slice::chaos {
+namespace {
+
+// Journal keys: data claims are (file index, block slot); name claims are a
+// hash of the entry name. The two shapes never mix in one workload.
+constexpr int64_t kSlotBytes = 8192;
+
+int64_t DataKey(uint32_t file, uint64_t offset) {
+  return (static_cast<int64_t>(file) << 8) | static_cast<int64_t>(offset / kSlotBytes);
+}
+
+int64_t NameKey(const std::string& name) {
+  // Positive and stable; the low 62 bits of FNV-1a over the name.
+  return static_cast<int64_t>(Fnv1a64(std::string_view(name)) & 0x3fffffffffffffffull);
+}
+
+int64_t Checksum(ByteSpan data) {
+  return static_cast<int64_t>(Fnv1a64(data) & 0x3fffffffffffffffull);
+}
+
+}  // namespace
+
+const char* WorkloadShapeName(WorkloadShape shape) {
+  switch (shape) {
+    case WorkloadShape::kWriteVerify:
+      return "write_verify";
+    case WorkloadShape::kZipfHotspot:
+      return "zipf_hotspot";
+    case WorkloadShape::kMetadataStorm:
+      return "metadata_storm";
+  }
+  return "?";
+}
+
+ChaosWorkload::ChaosWorkload(Ensemble& ensemble, ChaosWorkloadParams params)
+    : ensemble_(ensemble),
+      params_(params),
+      queue_(ensemble.queue()),
+      client_(ensemble.MakeSyncClient(0)),
+      root_(ensemble.root()),
+      rng_(params.seed) {
+  if (params_.shape == WorkloadShape::kZipfHotspot) {
+    zipf_cdf_.reserve(params_.num_files);
+    double total = 0;
+    for (size_t i = 0; i < params_.num_files; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), params_.zipf_s);
+      zipf_cdf_.push_back(total);
+    }
+    for (double& w : zipf_cdf_) {
+      w /= total;
+    }
+  }
+}
+
+template <typename Fn>
+auto ChaosWorkload::RetryJukebox(Fn&& op) {
+  for (int attempt = 0;; ++attempt) {
+    auto res = op();
+    if (res.status != Nfsstat3::kErrJukebox || attempt >= 60) {
+      return res;
+    }
+    queue_.RunUntil(queue_.now() + FromMillis(10));
+  }
+}
+
+void ChaosWorkload::Emit(obs::EventCode code, int64_t key, int64_t sum) {
+  obs::LogEvent(ensemble_.eventlog(), ensemble_.client_host(0).addr(), queue_.now(),
+                code == obs::EventCode::kChaosReadLost ? obs::EventSev::kError
+                                                       : obs::EventSev::kInfo,
+                obs::EventCat::kChaos, code, /*trace_id=*/0,
+                WorkloadShapeName(params_.shape), {{"key", key}, {"sum", sum}});
+}
+
+void ChaosWorkload::Journal(int64_t key, const Claim& claim) {
+  journal_[key] = claim;
+  stats_.journal_size = journal_.size();
+  Emit(obs::EventCode::kChaosWriteAcked, key, claim.sum);
+}
+
+Bytes ChaosWorkload::Payload(int64_t key, uint32_t version) const {
+  Bytes data(params_.write_bytes);
+  uint64_t x = MixU64(static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ull + version);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (i % 8 == 0) {
+      x = MixU64(x);
+    }
+    data[i] = static_cast<uint8_t>(x >> ((i % 8) * 8));
+  }
+  return data;
+}
+
+size_t ChaosWorkload::ZipfPick() {
+  const double u = rng_.NextDouble();
+  for (size_t i = 0; i < zipf_cdf_.size(); ++i) {
+    if (u <= zipf_cdf_[i]) {
+      return i;
+    }
+  }
+  return zipf_cdf_.empty() ? 0 : zipf_cdf_.size() - 1;
+}
+
+void ChaosWorkload::Setup() {
+  if (params_.shape == WorkloadShape::kMetadataStorm) {
+    return;  // the storm mints its own namespace as it runs
+  }
+  files_.reserve(params_.num_files);
+  for (size_t i = 0; i < params_.num_files; ++i) {
+    const std::string name = "chaos" + std::to_string(i);
+    CreateRes created =
+        RetryJukebox([&] { return client_->Create(root_, name).value(); });
+    SLICE_CHECK(created.status == Nfsstat3::kOk);
+    files_.push_back(*created.object);
+    // Seed every file's slot 0 so early hot reads have something to hit.
+    const int64_t key = DataKey(static_cast<uint32_t>(i), 0);
+    const Bytes data = Payload(key, version_);
+    WriteRes wrote = RetryJukebox(
+        [&] { return client_->Write(files_[i], 0, data, StableHow::kFileSync).value(); });
+    if (wrote.status == Nfsstat3::kOk) {
+      Journal(key, Claim{Checksum(data), static_cast<uint32_t>(i), 0, {}});
+    }
+  }
+  ++version_;
+}
+
+void ChaosWorkload::Run() {
+  for (size_t op = 0; op < params_.ops; ++op) {
+    queue_.RunUntil(queue_.now() + params_.op_interval);
+    if (params_.shape == WorkloadShape::kMetadataStorm) {
+      RunMetadataOp(op);
+    } else {
+      RunDataOp();
+    }
+  }
+  queue_.RunUntilIdle();
+}
+
+void ChaosWorkload::RunDataOp() {
+  ++stats_.ops_issued;
+  const size_t file = params_.shape == WorkloadShape::kZipfHotspot
+                          ? ZipfPick()
+                          : static_cast<size_t>(rng_.NextBelow(files_.size()));
+  if (rng_.NextDouble() < params_.write_fraction) {
+    const uint64_t offset = rng_.NextBelow(4) * static_cast<uint64_t>(kSlotBytes);
+    const int64_t key = DataKey(static_cast<uint32_t>(file), offset);
+    const Bytes data = Payload(key, version_++);
+    WriteRes wrote = RetryJukebox([&] {
+      return client_->Write(files_[file], offset, data, StableHow::kFileSync).value();
+    });
+    if (wrote.status == Nfsstat3::kOk) {
+      ++stats_.ops_ok;
+      Journal(key, Claim{Checksum(data), static_cast<uint32_t>(file), offset, {}});
+    } else {
+      ++stats_.ops_failed;  // the fault window ate it: no durability claim
+    }
+  } else {
+    const uint64_t offset = rng_.NextBelow(4) * static_cast<uint64_t>(kSlotBytes);
+    ReadRes read = RetryJukebox(
+        [&] { return client_->Read(files_[file], offset, params_.write_bytes).value(); });
+    if (read.status == Nfsstat3::kOk) {
+      ++stats_.ops_ok;
+    } else {
+      ++stats_.ops_failed;
+    }
+  }
+}
+
+void ChaosWorkload::RunMetadataOp(size_t op_index) {
+  ++stats_.ops_issued;
+  // Cycle create → mkdir → rename → remove → lookup so the namespace keeps
+  // churning across all name-hashed dir sites.
+  switch (op_index % 5) {
+    case 0: {  // create a file
+      const std::string name = "storm_f" + std::to_string(op_index);
+      CreateRes res = RetryJukebox([&] { return client_->Create(root_, name).value(); });
+      if (res.status == Nfsstat3::kOk) {
+        ++stats_.ops_ok;
+        storm_names_.push_back(name);
+        Journal(NameKey(name), Claim{1, 0, 0, name});
+      } else {
+        ++stats_.ops_failed;
+      }
+      return;
+    }
+    case 1: {  // create a directory
+      const std::string name = "storm_d" + std::to_string(op_index);
+      CreateRes res = RetryJukebox([&] { return client_->Mkdir(root_, name).value(); });
+      if (res.status == Nfsstat3::kOk) {
+        ++stats_.ops_ok;
+        storm_names_.push_back(name);
+        Journal(NameKey(name), Claim{1, 0, 0, name});
+      } else {
+        ++stats_.ops_failed;
+      }
+      return;
+    }
+    case 2: {  // rename the oldest live name
+      if (storm_names_.empty()) {
+        return;
+      }
+      const std::string from = storm_names_.front();
+      const std::string to = from + "_r";
+      RenameRes res =
+          RetryJukebox([&] { return client_->Rename(root_, from, root_, to).value(); });
+      if (res.status == Nfsstat3::kOk) {
+        ++stats_.ops_ok;
+        storm_names_.erase(storm_names_.begin());
+        storm_names_.push_back(to);
+        Journal(NameKey(from), Claim{0, 0, 0, from});  // old name must be gone
+        Journal(NameKey(to), Claim{1, 0, 0, to});
+      } else {
+        ++stats_.ops_failed;
+      }
+      return;
+    }
+    case 3: {  // remove a mid-age name
+      if (storm_names_.size() < 4) {
+        return;
+      }
+      const std::string name = storm_names_[storm_names_.size() / 2];
+      RemoveRes res = RetryJukebox([&] { return client_->Remove(root_, name).value(); });
+      if (res.status == Nfsstat3::kOk) {
+        ++stats_.ops_ok;
+        storm_names_.erase(storm_names_.begin() +
+                           static_cast<ptrdiff_t>(storm_names_.size() / 2));
+        Journal(NameKey(name), Claim{0, 0, 0, name});
+      } else {
+        ++stats_.ops_failed;
+      }
+      return;
+    }
+    default: {  // lookup a random live name (read pressure on the dirs)
+      if (storm_names_.empty()) {
+        return;
+      }
+      const std::string& name = storm_names_[rng_.NextBelow(storm_names_.size())];
+      LookupRes res = RetryJukebox([&] { return client_->Lookup(root_, name).value(); });
+      if (res.status == Nfsstat3::kOk) {
+        ++stats_.ops_ok;
+      } else {
+        ++stats_.ops_failed;
+      }
+      return;
+    }
+  }
+}
+
+void ChaosWorkload::Verify() {
+  if (params_.shape == WorkloadShape::kMetadataStorm) {
+    VerifyNames();
+  } else {
+    VerifyData();
+  }
+}
+
+void ChaosWorkload::VerifyData() {
+  for (const auto& [key, claim] : journal_) {
+    ReadRes read = RetryJukebox([&] {
+      return client_->Read(files_[claim.file], claim.offset, params_.write_bytes).value();
+    });
+    if (read.status != Nfsstat3::kOk || read.data.size() != params_.write_bytes) {
+      ++stats_.verified_lost;
+      Emit(obs::EventCode::kChaosReadLost, key, 0);
+      continue;
+    }
+    const int64_t sum = Checksum(read.data);
+    ++stats_.verified_ok;
+    Emit(obs::EventCode::kChaosReadOk, key, sum);  // checker flags mismatches
+  }
+}
+
+void ChaosWorkload::VerifyNames() {
+  for (const auto& [key, claim] : journal_) {
+    LookupRes res = RetryJukebox([&] { return client_->Lookup(root_, claim.name).value(); });
+    if (res.status == Nfsstat3::kOk) {
+      ++stats_.verified_ok;
+      Emit(obs::EventCode::kChaosReadOk, key, 1);  // present
+    } else if (res.status == Nfsstat3::kErrNoent) {
+      ++stats_.verified_ok;
+      Emit(obs::EventCode::kChaosReadOk, key, 0);  // absent
+    } else {
+      ++stats_.verified_lost;
+      Emit(obs::EventCode::kChaosReadLost, key, 0);
+    }
+  }
+}
+
+}  // namespace slice::chaos

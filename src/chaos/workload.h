@@ -1,0 +1,115 @@
+// Chaos workloads: paced, journaling clients that run *through* the fault
+// windows and then prove what survived.
+//
+// Every mutation the server acknowledges is journaled (key → checksum) and
+// recorded as a chaos_write_acked event; after the scenario heals, Verify()
+// reads every journaled key back and records chaos_read_ok / chaos_read_lost
+// with the observed checksum. The invariant checker
+// (src/chaos/invariants.h) then has exactly the evidence it needs for the
+// "no acked write lost" property — un-acked mutations (the fault window ate
+// them) make no durability claim and are simply counted as errors.
+//
+// Three shapes:
+//  * kWriteVerify   — mixed FileSync writes + reads over a small file set;
+//                     the bread-and-butter durability workload.
+//  * kZipfHotspot   — Zipf-distributed reads (s≈1.1) with a thin write
+//                     stream, so one hot file dominates while faults land.
+//  * kMetadataStorm — create / mkdir / rename / remove churn across
+//                     name-hashed dir sites; journals *name presence*
+//                     (checksum 1 = must exist, 0 = must not), verified by
+//                     lookups — mutations must survive adoption + handoff.
+#ifndef SLICE_CHAOS_WORKLOAD_H_
+#define SLICE_CHAOS_WORKLOAD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/slice/ensemble.h"
+
+namespace slice::chaos {
+
+enum class WorkloadShape : uint8_t {
+  kWriteVerify = 0,
+  kZipfHotspot = 1,
+  kMetadataStorm = 2,
+};
+
+const char* WorkloadShapeName(WorkloadShape shape);
+
+struct ChaosWorkloadParams {
+  WorkloadShape shape = WorkloadShape::kWriteVerify;
+  uint64_t seed = 0x10ad;
+  size_t num_files = 12;   // file population (kWriteVerify / kZipfHotspot)
+  size_t ops = 200;        // paced operations in Run()
+  SimTime op_interval = FromMillis(8);
+  uint32_t write_bytes = 8192;
+  double zipf_s = 1.1;     // kZipfHotspot skew exponent
+  double write_fraction = 0.35;  // non-metadata shapes: P(op is a write)
+};
+
+struct ChaosWorkloadStats {
+  size_t ops_issued = 0;
+  size_t ops_ok = 0;
+  size_t ops_failed = 0;    // kErrIo / jukebox-exhausted during the faults
+  size_t journal_size = 0;  // distinct durability claims to verify
+  size_t verified_ok = 0;
+  size_t verified_lost = 0;
+};
+
+class ChaosWorkload {
+ public:
+  ChaosWorkload(Ensemble& ensemble, ChaosWorkloadParams params);
+
+  // Creates the file population (before any fault fires).
+  void Setup();
+  // Issues params.ops paced operations; faults fire on their own schedule
+  // while this advances sim time.
+  void Run();
+  // Reads back every journaled claim, emitting chaos_read_ok / _lost.
+  void Verify();
+
+  const ChaosWorkloadStats& stats() const { return stats_; }
+
+ private:
+  struct Claim {
+    int64_t sum = 0;         // expected checksum (presence bit for names)
+    uint32_t file = 0;       // file index (data shapes)
+    uint64_t offset = 0;     // byte offset (data shapes)
+    std::string name;        // directory entry (kMetadataStorm)
+  };
+
+  void RunDataOp();
+  void RunMetadataOp(size_t op_index);
+  void VerifyData();
+  void VerifyNames();
+  // Deterministic payload for (key, version); its FNV hash is the journal
+  // checksum.
+  Bytes Payload(int64_t key, uint32_t version) const;
+  size_t ZipfPick();
+  void Journal(int64_t key, const Claim& claim);
+  void Emit(obs::EventCode code, int64_t key, int64_t sum);
+  // Retries through transient jukebox answers (adoption, resync, reload),
+  // advancing sim time between attempts.
+  template <typename Fn>
+  auto RetryJukebox(Fn&& op);
+
+  Ensemble& ensemble_;
+  ChaosWorkloadParams params_;
+  EventQueue& queue_;
+  std::unique_ptr<SyncNfsClient> client_;
+  FileHandle root_;
+  Rng rng_;
+  std::vector<FileHandle> files_;
+  std::vector<double> zipf_cdf_;
+  std::map<int64_t, Claim> journal_;
+  std::vector<std::string> storm_names_;  // live names minted by the storm
+  uint32_t version_ = 0;
+  ChaosWorkloadStats stats_;
+};
+
+}  // namespace slice::chaos
+
+#endif  // SLICE_CHAOS_WORKLOAD_H_

@@ -61,7 +61,9 @@ void HeartbeatAgent::Tick() {
                 known_epoch_ = res.value().current_epoch;
               }
             });
-  queue_.ScheduleBackgroundAfter(params_.interval, [this, alive] {
+  const auto interval = static_cast<SimTime>(
+      static_cast<double>(params_.interval) * interval_scale_);
+  queue_.ScheduleBackgroundAfter(interval, [this, alive] {
     if (*alive) {
       Tick();
     }

@@ -42,6 +42,17 @@ class HeartbeatAgent {
   // Last epoch the manager reported in a heartbeat reply.
   uint64_t known_epoch() const { return known_epoch_; }
 
+  NodeClass node_class() const { return params_.node_class; }
+  uint32_t index() const { return params_.index; }
+
+  // Clock-skew fault (src/chaos): scales the beat interval. The node is
+  // healthy — its clock just runs slow — so a scale that pushes the
+  // effective interval past the detector timeout makes an alive node look
+  // dead; a milder one keeps it flapping in and out of suspicion. Takes
+  // effect from the next tick; 1.0 restores nominal pacing.
+  void set_interval_scale(double scale) { interval_scale_ = scale > 0 ? scale : 1.0; }
+  double interval_scale() const { return interval_scale_; }
+
  private:
   void Tick();
 
@@ -49,6 +60,7 @@ class HeartbeatAgent {
   HeartbeatAgentParams params_;
   NetAddr addr_;
   RpcClient rpc_;
+  double interval_scale_ = 1.0;
   uint64_t beats_sent_ = 0;
   uint64_t beats_acked_ = 0;
   uint64_t known_epoch_ = 0;

@@ -1,6 +1,7 @@
 #include "src/net/network.h"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "src/common/logging.h"
@@ -11,7 +12,63 @@ Network::Network(EventQueue& queue, NetworkParams params)
     : queue_(queue),
       params_(params),
       ns_per_byte_(8.0 / params.link_gbit_per_s),
-      loss_rng_(params.loss_seed) {}
+      loss_rng_(params.loss_seed),
+      // Dedicated stream: chaos draws must not advance the base loss model's
+      // sequence (same seed with chaos off stays byte-identical).
+      chaos_rng_(params.loss_seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+void Network::SetLinkShape(NetAddr src, NetAddr dst, const LinkShape& shape) {
+  link_shapes_[LinkKey(src, dst)] = shape;
+}
+
+void Network::ClearLinkShape(NetAddr src, NetAddr dst) {
+  link_shapes_.erase(LinkKey(src, dst));
+}
+
+void Network::SetHostExtraDelay(NetAddr addr, SimTime delay) {
+  if (delay == 0) {
+    host_extra_delay_.erase(addr);
+  } else {
+    host_extra_delay_[addr] = delay;
+  }
+}
+
+const char* Network::ApplyChaosShaping(NetAddr src, NetAddr dst, SimTime* extra) {
+  if (!host_extra_delay_.empty()) {
+    if (auto it = host_extra_delay_.find(src); it != host_extra_delay_.end()) {
+      *extra += it->second;
+    }
+    if (auto it = host_extra_delay_.find(dst); it != host_extra_delay_.end()) {
+      *extra += it->second;
+    }
+  }
+  if (link_shapes_.empty()) {
+    return nullptr;
+  }
+  auto it = link_shapes_.find(LinkKey(src, dst));
+  if (it == link_shapes_.end()) {
+    return nullptr;
+  }
+  LinkShape& shape = it->second;
+  if (shape.blocked) {
+    return "partition";
+  }
+  if (shape.p_enter > 0) {  // advance the Gilbert-Elliott state per packet
+    if (shape.bad) {
+      if (chaos_rng_.NextBool(shape.p_exit)) {
+        shape.bad = false;
+      }
+    } else if (chaos_rng_.NextBool(shape.p_enter)) {
+      shape.bad = true;
+    }
+  }
+  const double p = shape.loss + (shape.bad ? shape.burst_loss : 0.0);
+  if (p > 0 && chaos_rng_.NextBool(p < 1.0 ? p : 1.0)) {
+    return "chaos_loss";
+  }
+  *extra += shape.extra_latency;
+  return nullptr;
+}
 
 void Network::Attach(NetAddr addr, Handler handler) {
   SLICE_CHECK(!hosts_.contains(addr));
@@ -156,10 +213,29 @@ void Network::Transmit(Packet&& pkt) {
     return;
   }
 
+  // Chaos shaping (partitions, shaped loss, gray links) sits after the base
+  // loss model and draws from its own RNG stream.
+  SimTime chaos_latency = 0;
+  if (const char* why = ApplyChaosShaping(pkt.src_addr(), pkt.dst_addr(), &chaos_latency);
+      why != nullptr) {
+    ++packets_dropped_;
+    obs::Inc(src_it->second.m_pkts_dropped);
+    if (tracer_ != nullptr) {
+      tracer_->RecordInstant(pkt.src_addr(), ctx,
+                             std::strcmp(why, "partition") == 0 ? "drop:partition"
+                                                                : "drop:chaos_loss",
+                             queue_.now());
+    }
+    obs::LogEvent(eventlog_, pkt.src_addr(), queue_.now(), obs::EventSev::kWarn,
+                  obs::EventCat::kNet, obs::EventCode::kPacketDrop, ctx.trace_id, why,
+                  {{"dst", pkt.dst_addr()}, {"bytes", static_cast<int64_t>(pkt.size())}});
+    return;
+  }
+
   const SimTime wire = static_cast<SimTime>(static_cast<double>(pkt.size()) * ns_per_byte_);
   const SimTime tx_start = std::max(src_it->second.tx.busy_until(), queue_.now());
   const SimTime tx_done = src_it->second.tx.Acquire(queue_.now(), wire);
-  const SimTime arrival = tx_done + FromMicros(params_.switch_latency_us);
+  const SimTime arrival = tx_done + FromMicros(params_.switch_latency_us) + chaos_latency;
   if (tracer_ != nullptr && ctx.valid()) {
     const NetAddr src = pkt.src_addr();
     if (tx_start > queue_.now()) {

@@ -34,6 +34,22 @@ struct NetworkParams {
   uint64_t loss_seed = 42;
 };
 
+// Directional (src→dst) fault shaping on one link, installed by the chaos
+// engine (src/chaos). A shaped link can be blocked outright (partition),
+// lose packets i.i.d. or in Gilbert-Elliott bursts, and/or add latency
+// (gray link). Directionality is the point: an asymmetric partition blocks
+// src→dst while dst→src still flows, which is the case that confuses
+// heartbeat-based failure detectors the most.
+struct LinkShape {
+  bool blocked = false;       // full partition: every packet dropped
+  double loss = 0.0;          // i.i.d. drop probability
+  double burst_loss = 0.0;    // drop probability while in the bad burst state
+  double p_enter = 0.0;       // per-packet good→bad transition probability
+  double p_exit = 1.0;        // per-packet bad→good transition probability
+  SimTime extra_latency = 0;  // added on top of the switch hop
+  bool bad = false;           // current Gilbert-Elliott state (engine-owned)
+};
+
 // Interposition point on one host's network path.
 class PacketTap {
  public:
@@ -87,6 +103,19 @@ class Network {
   bool IsHostFailed(NetAddr addr) const { return failed_.contains(addr); }
 
   void set_loss_rate(double rate) { params_.loss_rate = rate; }
+
+  // Chaos shaping (src/chaos): installs/clears a directional src→dst fault
+  // shape. Shaped drops are logged as kPacketDrop with detail "partition"
+  // or "chaos_loss" and consume a dedicated RNG stream, so enabling chaos
+  // never perturbs the base loss model's draw sequence.
+  void SetLinkShape(NetAddr src, NetAddr dst, const LinkShape& shape);
+  void ClearLinkShape(NetAddr src, NetAddr dst);
+  void ClearAllLinkShapes() { link_shapes_.clear(); }
+  size_t num_shaped_links() const { return link_shapes_.size(); }
+
+  // Gray NIC: every packet to or from `addr` pays `delay` extra wire
+  // latency (slow-but-alive NIC). delay == 0 clears.
+  void SetHostExtraDelay(NetAddr addr, SimTime delay);
 
   // Observability: when set, packets carrying a trace trailer get per-hop
   // wire/queue spans and drop markers recorded (src/obs).
@@ -166,6 +195,13 @@ class Network {
   void Transmit(Packet&& pkt);
   void RegisterHostMetrics(NetAddr addr);
 
+  static uint64_t LinkKey(NetAddr src, NetAddr dst) {
+    return (static_cast<uint64_t>(src) << 32) | dst;
+  }
+  // Returns the drop reason ("partition"/"chaos_loss") for this packet, or
+  // nullptr to let it pass; accumulates chaos latency into `extra`.
+  const char* ApplyChaosShaping(NetAddr src, NetAddr dst, SimTime* extra);
+
   EventQueue& queue_;
   NetworkParams params_;
   obs::Tracer* tracer_ = nullptr;
@@ -174,9 +210,12 @@ class Network {
   double ns_per_byte_;
   std::unordered_map<NetAddr, Host> hosts_;
   std::unordered_map<NetAddr, bool> failed_;
+  std::unordered_map<uint64_t, LinkShape> link_shapes_;  // LinkKey(src,dst)
+  std::unordered_map<NetAddr, SimTime> host_extra_delay_;
   std::priority_queue<Flight, std::vector<Flight>, FlightLater> flights_;
   uint64_t flight_seq_ = 0;
   Rng loss_rng_;
+  Rng chaos_rng_;
   uint64_t packets_sent_ = 0;
   uint64_t packets_dropped_ = 0;
   uint64_t bytes_sent_ = 0;

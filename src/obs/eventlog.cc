@@ -34,70 +34,36 @@ const char* EventCatName(EventCat cat) {
       return "net";
     case EventCat::kAlert:
       return "alert";
+    case EventCat::kChaos:
+      return "chaos";
   }
   return "?";
 }
 
 const char* EventCodeName(EventCode code) {
   switch (code) {
-    case EventCode::kNone:
-      return "none";
-    case EventCode::kRouteDecision:
-      return "route_decision";
-    case EventCode::kRouteUnavailable:
-      return "route_unavailable";
-    case EventCode::kRouteFailoverRedirect:
-      return "route_failover_redirect";
-    case EventCode::kMisdirectNotice:
-      return "misdirect_notice";
-    case EventCode::kTableInstall:
-      return "table_install";
-    case EventCode::kTableFetch:
-      return "table_fetch";
-    case EventCode::kSoftStateDrop:
-      return "soft_state_drop";
-    case EventCode::kAttrWriteback:
-      return "attr_writeback";
-    case EventCode::kHeartbeatMiss:
-      return "heartbeat_miss";
-    case EventCode::kNodeDead:
-      return "node_dead";
-    case EventCode::kNodeRejoin:
-      return "node_rejoin";
-    case EventCode::kEpochBump:
-      return "epoch_bump";
-    case EventCode::kHeartbeatResume:
-      return "heartbeat_resume";
-    case EventCode::kAdoptBegin:
-      return "adopt_begin";
-    case EventCode::kAdoptDone:
-      return "adopt_done";
-    case EventCode::kHandoff:
-      return "handoff";
-    case EventCode::kResync:
-      return "resync";
-    case EventCode::kWalReplay:
-      return "wal_replay";
-    case EventCode::kNodeKill:
-      return "node_kill";
-    case EventCode::kNodeRecover:
-      return "node_recover";
-    case EventCode::kRpcRetransmit:
-      return "rpc_retransmit";
-    case EventCode::kRpcTimeout:
-      return "rpc_timeout";
-    case EventCode::kDrcReplay:
-      return "drc_replay";
-    case EventCode::kRpcGiveUp:
-      return "rpc_give_up";
-    case EventCode::kPacketDrop:
-      return "packet_drop";
-    case EventCode::kAlertRaise:
-      return "alert_raise";
-    case EventCode::kAlertClear:
-      return "alert_clear";
+#define SLICE_EVENT_CODE_NAME(sym, value, name) \
+  case EventCode::sym:                          \
+    return name;
+    SLICE_EVENT_CODES(SLICE_EVENT_CODE_NAME)
+#undef SLICE_EVENT_CODE_NAME
   }
   return "?";
+}
+
+std::string EventCodeTableJson() {
+  std::string out = "{\"event_codes\":[";
+  bool first = true;
+#define SLICE_EVENT_CODE_JSON(sym, value, name)              \
+  if (!first) {                                              \
+    out += ",";                                              \
+  }                                                          \
+  first = false;                                             \
+  out += "{\"code\":" + std::to_string(value) + ",\"name\":\"" + name + "\"}";
+  SLICE_EVENT_CODES(SLICE_EVENT_CODE_JSON)
+#undef SLICE_EVENT_CODE_JSON
+  out += "]}\n";
+  return out;
 }
 
 void EventLog::Record(uint32_t host, SimTime at, EventSev sev, EventCat cat, EventCode code,

@@ -28,6 +28,7 @@
 #include <cstring>
 #include <initializer_list>
 #include <map>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -51,53 +52,80 @@ enum class EventCat : uint8_t {
   kRpc = 4,       // retransmit / timeout / DRC replay
   kNet = 5,       // packet drops
   kAlert = 6,     // watchdog alert raise/clear
+  kChaos = 7,     // chaos engine: fault injection + workload verification
 };
-constexpr size_t kNumEventCats = 7;
+constexpr size_t kNumEventCats = 8;
 
 // Stable, append-only event codes, grouped by category in blocks of 100.
 // Never renumber: dumps are compared across builds and the inspector keys
 // off these values.
+//
+// This X-macro list is the single source of truth for the numeric value,
+// the symbolic name, and the wire name of every code: the enum,
+// EventCodeName(), and the generated code→name table that
+// tools/slice_inspect.py consumes (tools/dump_event_codes →
+// event_codes.json) are all expanded from it, so a code added here shows
+// up named in the inspector with no further edits.
+#define SLICE_EVENT_CODES(X)                                                     \
+  X(kNone, 0, "none")                                                            \
+  /* -- route (µproxy request path) -- */                                        \
+  X(kRouteDecision, 100, "route_decision")           /* switched to a target */  \
+  X(kRouteUnavailable, 101, "route_unavailable")     /* no live target */        \
+  X(kRouteFailoverRedirect, 102, "route_failover_redirect")                      \
+  X(kMisdirectNotice, 110, "misdirect_notice")       /* stale-table notice */    \
+  X(kTableInstall, 111, "table_install")             /* epoch table installed */ \
+  X(kTableFetch, 112, "table_fetch")                 /* lazy fetch issued */     \
+  X(kSoftStateDrop, 113, "soft_state_drop")          /* proxy state dropped */   \
+  /* -- cache (µproxy soft state) -- */                                          \
+  X(kAttrWriteback, 120, "attr_writeback")                                       \
+  /* -- mgmt (membership + tables) -- */                                         \
+  X(kHeartbeatMiss, 200, "heartbeat_miss")     /* newly silent */                \
+  X(kNodeDead, 201, "node_dead")               /* declared dead */               \
+  X(kNodeRejoin, 202, "node_rejoin")           /* heartbeat after death */       \
+  X(kEpochBump, 203, "epoch_bump")             /* tables recomputed */           \
+  X(kHeartbeatResume, 204, "heartbeat_resume") /* silent node beat again */      \
+  /* -- failover (recovery machinery) -- */                                      \
+  X(kAdoptBegin, 210, "adopt_begin")   /* dir starts adopting a dead site */     \
+  X(kAdoptDone, 211, "adopt_done")     /* adoption WAL replay finished */        \
+  X(kHandoff, 212, "handoff")          /* site handed back to owner */           \
+  X(kResync, 213, "resync")            /* mirror resync scheduled */             \
+  X(kWalReplay, 214, "wal_replay")     /* WAL replayed on restart */             \
+  X(kNodeKill, 215, "node_kill")       /* simulated crash */                     \
+  X(kNodeRecover, 216, "node_recover") /* restart, volatile state cleared */     \
+  /* -- rpc -- */                                                                \
+  X(kRpcRetransmit, 300, "rpc_retransmit")                                       \
+  X(kRpcTimeout, 301, "rpc_timeout")                                             \
+  X(kDrcReplay, 302, "drc_replay")                                               \
+  X(kRpcGiveUp, 303, "rpc_give_up")                                              \
+  /* -- net -- */                                                                \
+  X(kPacketDrop, 400, "packet_drop") /* loss model, chaos, or dead endpoint */   \
+  /* -- alert -- */                                                              \
+  X(kAlertRaise, 500, "alert_raise")                                             \
+  X(kAlertClear, 501, "alert_clear")                                             \
+  /* -- chaos (fault injection + invariant workload) -- */                       \
+  X(kScenarioStart, 600, "scenario_start") /* named scenario armed */            \
+  X(kScenarioEnd, 601, "scenario_end")     /* scenario workload drained */       \
+  X(kFaultInject, 602, "fault_inject")     /* a primitive fault applied */       \
+  X(kFaultClear, 603, "fault_clear")       /* a primitive fault healed */        \
+  X(kChaosWriteAcked, 610, "chaos_write_acked") /* durable-claim journaled */    \
+  X(kChaosReadOk, 611, "chaos_read_ok")         /* verify read matched */        \
+  X(kChaosReadLost, 612, "chaos_read_lost")     /* acked data missing/torn */
+
 enum class EventCode : uint16_t {
-  kNone = 0,
-  // -- route (µproxy request path) --
-  kRouteDecision = 100,          // request functionally switched to a target
-  kRouteUnavailable = 101,       // no live target; rejected back to client
-  kRouteFailoverRedirect = 102,  // preferred target dead, rerouted by epoch table
-  kMisdirectNotice = 110,        // server told us our table is stale
-  kTableInstall = 111,           // new epoch-stamped table set installed
-  kTableFetch = 112,             // lazy table fetch issued to the manager
-  kSoftStateDrop = 113,          // proxy soft state dropped (restart)
-  // -- cache (µproxy soft state) --
-  kAttrWriteback = 120,          // cached attributes applied to a reply
-  // -- mgmt (membership + tables) --
-  kHeartbeatMiss = 200,    // node newly silent past the suspicion window
-  kNodeDead = 201,         // failure detector declared the node dead
-  kNodeRejoin = 202,       // heartbeat from a previously-dead node
-  kEpochBump = 203,        // routing tables recomputed under a new epoch
-  kHeartbeatResume = 204,  // suspected-silent node heartbeated again
-  // -- failover (recovery machinery) --
-  kAdoptBegin = 210,   // surviving dir server starts adopting a dead site
-  kAdoptDone = 211,    // adoption WAL replay finished
-  kHandoff = 212,      // adopted site handed back to its rejoined owner
-  kResync = 213,       // mirror resync scheduled for a revived storage node
-  kWalReplay = 214,    // WAL replayed on restart (dir recovery)
-  kNodeKill = 215,     // simulated crash: host stops responding
-  kNodeRecover = 216,  // host restarted with volatile state cleared
-  // -- rpc --
-  kRpcRetransmit = 300,  // client retransmitted an unanswered call
-  kRpcTimeout = 301,     // client gave up on a call
-  kDrcReplay = 302,      // server answered a duplicate from its DRC
-  kRpcGiveUp = 303,      // transmission budget exhausted; call abandoned
-  // -- net --
-  kPacketDrop = 400,  // packet lost (loss model or dead endpoint)
-  // -- alert --
-  kAlertRaise = 500,
-  kAlertClear = 501,
+#define SLICE_EVENT_CODE_ENUM(sym, value, name) sym = value,
+  SLICE_EVENT_CODES(SLICE_EVENT_CODE_ENUM)
+#undef SLICE_EVENT_CODE_ENUM
 };
 
 const char* EventSevName(EventSev sev);
 const char* EventCatName(EventCat cat);
 const char* EventCodeName(EventCode code);
+
+// The full code table as canonical JSON, for tools that want the mapping
+// without parsing C++ (tools/dump_event_codes writes this to
+// event_codes.json; tools/slice_inspect.py resolves symbolic --code names
+// from it): {"event_codes":[{"code":100,"name":"route_decision"},...]}.
+std::string EventCodeTableJson();
 
 // Fixed capacities keep Event trivially copyable and recording
 // allocation-free. Details are short tags ("loss", "small_commit", rule

@@ -7,9 +7,10 @@ SimTime SimDisk::SubmitIo(SimTime now, uint64_t pos, size_t bytes) {
   next_sequential_pos_ = pos + bytes;
 
   const double position_ms =
-      sequential ? params_.sequential_position_ms : params_.avg_position_ms;
-  const double transfer_ns =
-      static_cast<double>(bytes) / (params_.media_mb_per_s * 1e6) * 1e9;
+      (sequential ? params_.sequential_position_ms : params_.avg_position_ms) *
+      latency_multiplier_;
+  const double transfer_ns = static_cast<double>(bytes) / (params_.media_mb_per_s * 1e6) *
+                             1e9 * latency_multiplier_;
   position_ns_ += FromMillis(position_ms);
   transfer_ns_ += static_cast<SimTime>(transfer_ns);
   const SimTime service = FromMillis(position_ms) + static_cast<SimTime>(transfer_ns);
@@ -65,6 +66,12 @@ uint64_t DiskArray::TotalIos() const {
     total += disk.io_count();
   }
   return total;
+}
+
+void DiskArray::SetLatencyMultiplier(double multiplier) {
+  for (SimDisk& disk : disks_) {
+    disk.SetLatencyMultiplier(multiplier);
+  }
 }
 
 SimTime DiskArray::MaxBusyUntil() const {

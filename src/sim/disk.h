@@ -43,12 +43,22 @@ class SimDisk {
     transfer_ns_ = 0;
   }
 
+  // Gray-failure hook (src/chaos): scales both the positioning and transfer
+  // time of every subsequent I/O. A multiplier of ~20 models a disk that is
+  // slow-but-alive — it still answers, so the heartbeat detector must not
+  // declare its node dead. 1.0 restores nominal service times.
+  void SetLatencyMultiplier(double multiplier) {
+    latency_multiplier_ = multiplier > 0 ? multiplier : 1.0;
+  }
+  double latency_multiplier() const { return latency_multiplier_; }
+
  private:
   DiskParams params_;
   BusyResource arm_;
   uint64_t next_sequential_pos_ = ~0ull;
   SimTime position_ns_ = 0;
   SimTime transfer_ns_ = 0;
+  double latency_multiplier_ = 1.0;
 };
 
 // A storage node's disk complement: N independent arms behind one shared
@@ -73,6 +83,9 @@ class DiskArray {
   uint64_t TotalIos() const;
   // The furthest-out arm completion: how deep the worst FIFO backlog runs.
   SimTime MaxBusyUntil() const;
+
+  // Gray-failure hook: applies the multiplier to every arm in the array.
+  void SetLatencyMultiplier(double multiplier);
 
  private:
   std::vector<SimDisk> disks_;

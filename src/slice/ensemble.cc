@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/hash.h"
+
 namespace slice {
 namespace {
 
@@ -56,6 +58,12 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
   net_params.link_gbit_per_s = config_.cal.link_gbit_per_s;
   net_params.switch_latency_us = config_.cal.switch_latency_us;
   net_params.loss_rate = config_.loss_rate;
+  if (config_.chaos.enabled) {
+    // Folds the chaos seed into the network's RNG seeding so scenarios can
+    // vary their stochastic faults (loss draws, Gilbert chains) without
+    // touching the workload seed. Chaos-off ensembles are bit-unchanged.
+    net_params.loss_seed ^= MixU64(config_.chaos.seed);
+  }
   network_ = std::make_unique<Network>(queue_, net_params);
   network_->set_tracer(tracer_.get());
   network_->set_metrics(metrics_.get());
@@ -279,6 +287,76 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
     }
     scraper_->Start();
   }
+
+  // --- chaos engine (src/chaos) ---
+  if (config_.chaos.enabled) {
+    chaos::ChaosHooks hooks;
+    hooks.queue = &queue_;
+    hooks.net = network_.get();
+    hooks.log = eventlog_.get();
+    hooks.fail_node = [this](NodeClass cls, uint32_t index) {
+      if (RpcServerNode* n = node(cls, index)) {
+        n->Fail();
+      }
+    };
+    hooks.restart_node = [this](NodeClass cls, uint32_t index) {
+      if (RpcServerNode* n = node(cls, index)) {
+        n->Restart();
+      }
+    };
+    hooks.set_storage_disk_multiplier = [this](uint32_t index, double multiplier) {
+      if (index < storage_nodes_.size()) {
+        storage_nodes_[index]->SetDiskLatencyMultiplier(multiplier);
+      }
+    };
+    hooks.set_heartbeat_scale = [this](NodeClass cls, uint32_t index, double scale) {
+      for (auto& agent : heartbeat_agents_) {
+        if (agent->node_class() == cls && agent->index() == index) {
+          agent->set_interval_scale(scale);
+        }
+      }
+    };
+    hooks.addr_of = [this](NodeClass cls, uint32_t index) -> uint32_t {
+      RpcServerNode* n = node(cls, index);
+      return n != nullptr ? n->addr() : 0;
+    };
+    // The "rest of the world" a partition severs a target from: every
+    // server, the manager, and every client host.
+    for (auto& n : storage_nodes_) {
+      hooks.all_hosts.push_back(n->addr());
+    }
+    for (auto& s : small_file_servers_) {
+      hooks.all_hosts.push_back(s->addr());
+    }
+    for (auto& c : coordinators_) {
+      hooks.all_hosts.push_back(c->addr());
+    }
+    for (auto& d : dir_servers_) {
+      hooks.all_hosts.push_back(d->addr());
+    }
+    if (manager_) {
+      hooks.all_hosts.push_back(manager_->addr());
+    }
+    for (auto& h : client_hosts_) {
+      hooks.all_hosts.push_back(h->addr());
+    }
+    chaos_engine_ = std::make_unique<chaos::ChaosEngine>(std::move(hooks), config_.chaos);
+    chaos_engine_->Arm();
+  }
+}
+
+RpcServerNode* Ensemble::node(NodeClass cls, uint32_t index) {
+  switch (cls) {
+    case NodeClass::kStorage:
+      return index < storage_nodes_.size() ? storage_nodes_[index].get() : nullptr;
+    case NodeClass::kDir:
+      return index < dir_servers_.size() ? dir_servers_[index].get() : nullptr;
+    case NodeClass::kSfs:
+      return index < small_file_servers_.size() ? small_file_servers_[index].get() : nullptr;
+    case NodeClass::kCoord:
+      return index < coordinators_.size() ? coordinators_[index].get() : nullptr;
+  }
+  return nullptr;
 }
 
 Ensemble::~Ensemble() {

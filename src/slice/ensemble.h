@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "src/chaos/chaos.h"
+#include "src/chaos/chaos_engine.h"
 #include "src/coord/coordinator.h"
 #include "src/core/uproxy.h"
 #include "src/dir/dir_server.h"
@@ -82,6 +84,13 @@ struct EnsembleConfig {
   // written here automatically — on the first watchdog alert raise and again
   // at ensemble teardown (the later dump supersedes the earlier one).
   std::string flight_dump_path;
+
+  // Deterministic chaos plan (src/chaos): when enabled, a ChaosEngine is
+  // constructed with hooks into this ensemble's network, nodes, disks and
+  // heartbeat agents, and every FaultSpec is armed as a background DES
+  // event. Off by default — disabled means no engine exists and no layer
+  // pays anything.
+  chaos::ChaosConfig chaos;
 };
 
 class Ensemble {
@@ -116,6 +125,11 @@ class Ensemble {
 
   // Ensemble manager; null when config.mgmt.enabled is false.
   EnsembleManager* manager() { return manager_.get(); }
+
+  // Chaos engine; null when config.chaos.enabled is false.
+  chaos::ChaosEngine* chaos_engine() { return chaos_engine_.get(); }
+  // The node in ensemble coordinates, or null when out of range.
+  RpcServerNode* node(NodeClass cls, uint32_t index);
 
   // Metrics hub / scraper; null when config.metrics.enabled is false.
   obs::Metrics* metrics() { return metrics_.get(); }
@@ -192,6 +206,10 @@ class Ensemble {
   std::vector<Endpoint> storage_endpoints_;
   std::unique_ptr<EnsembleManager> manager_;
   std::vector<std::unique_ptr<HeartbeatAgent>> heartbeat_agents_;
+  // Last member: destroyed first, so the engine's hooks never observe a
+  // partially-torn-down ensemble (its own alive flag also guards the
+  // scheduled fault events).
+  std::unique_ptr<chaos::ChaosEngine> chaos_engine_;
   // Guards deferred-handoff callbacks against outliving the ensemble.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

@@ -51,6 +51,11 @@ class StorageNode : public RpcServerNode {
   ObjectStore& mutable_store() { return store_; }
   const BlockCache& cache() const { return cache_; }
   const DiskArray& disks() const { return disks_; }
+
+  // Gray-disk fault (src/chaos): every arm in this node's array serves I/O
+  // `multiplier`× slower. The node stays up and keeps heartbeating — the
+  // failure detector must NOT declare it dead; requests just crawl.
+  void SetDiskLatencyMultiplier(double multiplier) { disks_.SetLatencyMultiplier(multiplier); }
   uint64_t write_verifier() const { return write_verifier_; }
   uint64_t prefetches_issued() const { return prefetches_issued_; }
 

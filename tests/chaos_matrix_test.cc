@@ -1,0 +1,117 @@
+// The named scenario matrix as ctests: every scenario must satisfy its
+// invariant bounds AND reproduce its golden flight-dump content hash. A
+// golden mismatch means the simulation's event stream changed — intentional
+// changes update the constant below with the hash printed in the failure
+// message; unintentional ones are regressions in determinism or behavior.
+//
+// Each run also writes <scenario>_flight.json next to the test binary so CI
+// can upload the full evidence on failure.
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "src/chaos/scenario.h"
+
+namespace slice {
+namespace {
+
+using chaos::FindScenario;
+using chaos::RunScenario;
+using chaos::Scenario;
+using chaos::ScenarioMatrix;
+using chaos::ScenarioResult;
+
+struct Golden {
+  const char* name;
+  uint64_t flight_hash;
+};
+
+// Regenerate by running this suite and copying the printed hashes.
+constexpr Golden kGoldens[] = {
+    {"partition_heal", 0xa3cc3089ef2c41feull},
+    {"asymmetric_loss", 0x404b7dc0de367e23ull},
+    {"burst_loss", 0x4fa38d7ff3129586ull},
+    {"gray_disk", 0xbb3a6d1fc4551b12ull},
+    {"correlated_crash", 0xdabbb5a64254242eull},
+    {"skewed_heartbeats", 0x227fdcd7d45b5eaaull},
+    {"flapping_node", 0xc543e7041ec7701eull},
+};
+
+uint64_t GoldenFor(const std::string& name) {
+  for (const Golden& g : kGoldens) {
+    if (name == g.name) {
+      return g.flight_hash;
+    }
+  }
+  ADD_FAILURE() << "no golden registered for scenario " << name;
+  return 0;
+}
+
+ScenarioResult RunByName(const std::string& name) {
+  const std::vector<Scenario> matrix = ScenarioMatrix();
+  const Scenario* scenario = FindScenario(matrix, name);
+  EXPECT_NE(scenario, nullptr) << name << " missing from ScenarioMatrix()";
+  ScenarioResult result = RunScenario(*scenario);
+  // Evidence for humans and for CI's artifact upload.
+  std::ofstream out(name + "_flight.json", std::ios::binary);
+  out << result.flight_json;
+  return result;
+}
+
+void CheckScenario(const std::string& name) {
+  ScenarioResult result = RunByName(name);
+  // One machine-greppable stats line per scenario; EXPERIMENTS.md's
+  // scenario-matrix table is regenerated from these.
+  const chaos::InvariantReport& r = result.report;
+  std::printf(
+      "MATRIX %s acked=%zu verified=%zu/%zu deaths=%zu rejoins=%zu "
+      "adoptions=%zu/%zu handoffs=%zu resyncs=%zu epochs=%zu max_epoch=%" PRIu64
+      " faults=%zu/%zu worst_outage_ns=%" PRIu64 " hash=0x%016" PRIx64 "\n",
+      name.c_str(), r.acked_writes, r.verified_ok,
+      r.verified_ok + r.verified_lost, r.deaths, r.rejoins, r.adoptions_begun,
+      r.adoptions_done, r.handoffs, r.resyncs, r.epoch_bumps, r.max_epoch,
+      r.faults_injected, r.faults_cleared, static_cast<uint64_t>(r.worst_outage),
+      result.flight_hash);
+  EXPECT_TRUE(result.report.ok()) << name << ": " << result.report.Summary();
+  EXPECT_GT(result.stats.journal_size, 0u) << name << " made no durability claims";
+  char actual[32];
+  std::snprintf(actual, sizeof(actual), "0x%016" PRIx64, result.flight_hash);
+  EXPECT_EQ(result.flight_hash, GoldenFor(name))
+      << name << " flight hash changed; new hash " << actual << " ("
+      << result.report.Summary() << ")";
+}
+
+TEST(ChaosMatrixTest, PartitionHeal) { CheckScenario("partition_heal"); }
+TEST(ChaosMatrixTest, AsymmetricLoss) { CheckScenario("asymmetric_loss"); }
+TEST(ChaosMatrixTest, BurstLoss) { CheckScenario("burst_loss"); }
+TEST(ChaosMatrixTest, GrayDisk) { CheckScenario("gray_disk"); }
+TEST(ChaosMatrixTest, CorrelatedCrash) { CheckScenario("correlated_crash"); }
+TEST(ChaosMatrixTest, SkewedHeartbeats) { CheckScenario("skewed_heartbeats"); }
+TEST(ChaosMatrixTest, FlappingNode) { CheckScenario("flapping_node"); }
+
+TEST(ChaosMatrixTest, MatrixCoversEveryGolden) {
+  const std::vector<Scenario> matrix = ScenarioMatrix();
+  EXPECT_GE(matrix.size(), 6u);
+  for (const Golden& g : kGoldens) {
+    EXPECT_NE(FindScenario(matrix, g.name), nullptr) << g.name;
+  }
+  EXPECT_EQ(FindScenario(matrix, "no_such_scenario"), nullptr);
+}
+
+// Same seed ⇒ byte-identical flight dumps, run-to-run, for scenarios from
+// both the stochastic (burst loss draws) and deterministic (crash plan)
+// families. This is the property the golden hashes stand on.
+TEST(ChaosDeterminismTest, SameSeedSameFlightDump) {
+  for (const char* name : {"partition_heal", "burst_loss"}) {
+    ScenarioResult first = RunByName(name);
+    ScenarioResult second = RunByName(name);
+    EXPECT_EQ(first.flight_hash, second.flight_hash) << name;
+    EXPECT_EQ(first.flight_json, second.flight_json) << name;
+    EXPECT_EQ(first.finished_at, second.finished_at) << name;
+  }
+}
+
+}  // namespace
+}  // namespace slice

@@ -1,0 +1,466 @@
+// Chaos subsystem unit tests: the engine applying primitives through its
+// hooks on a bare network, link shaping behavior, the invariant checker on
+// synthetic event streams, and the negative integration test proving the
+// checker catches a deliberately injected acked-write loss.
+#include <gtest/gtest.h>
+
+#include "src/chaos/chaos_engine.h"
+#include "src/chaos/invariants.h"
+#include "src/chaos/scenario.h"
+#include "src/chaos/workload.h"
+#include "src/slice/ensemble.h"
+
+namespace slice {
+namespace {
+
+using chaos::ChaosConfig;
+using chaos::ChaosEngine;
+using chaos::ChaosHooks;
+using chaos::CheckInvariants;
+using chaos::FaultKind;
+using chaos::FaultSpec;
+using chaos::InvariantBounds;
+using chaos::InvariantReport;
+
+constexpr NetAddr kHostA = 0x0a000001;
+constexpr NetAddr kHostB = 0x0a000002;
+
+Packet ABPacket(size_t payload_size = 100) {
+  Bytes payload(payload_size, 0x5a);
+  return Packet::MakeUdp(Endpoint{kHostA, 1000}, Endpoint{kHostB, 2049}, payload);
+}
+
+Packet BAPacket(size_t payload_size = 100) {
+  Bytes payload(payload_size, 0xa5);
+  return Packet::MakeUdp(Endpoint{kHostB, 2049}, Endpoint{kHostA, 1000}, payload);
+}
+
+// Two bare hosts; the engine's addr_of maps Storage(0)→A, Storage(1)→B so
+// fault specs can target them without an ensemble.
+class ChaosEngineTest : public ::testing::Test {
+ protected:
+  ChaosEngineTest() : net_(queue_, NetworkParams{}) {
+    net_.Attach(kHostA, [this](Packet&& pkt) { a_inbox_.push_back(std::move(pkt)); });
+    net_.Attach(kHostB, [this](Packet&& pkt) { b_inbox_.push_back(std::move(pkt)); });
+  }
+
+  ChaosHooks Hooks() {
+    ChaosHooks hooks;
+    hooks.queue = &queue_;
+    hooks.net = &net_;
+    hooks.log = &log_;
+    hooks.addr_of = [](NodeClass cls, uint32_t index) -> uint32_t {
+      if (cls != NodeClass::kStorage || index > 1) {
+        return 0;
+      }
+      return index == 0 ? kHostA : kHostB;
+    };
+    hooks.all_hosts = {kHostA, kHostB};
+    return hooks;
+  }
+
+  EventQueue queue_;
+  Network net_;
+  obs::EventLog log_;
+  std::vector<Packet> a_inbox_;
+  std::vector<Packet> b_inbox_;
+};
+
+TEST_F(ChaosEngineTest, PartitionBlocksBothDirectionsThenHeals) {
+  ChaosConfig config;
+  config.enabled = true;
+  config.faults = {{.kind = FaultKind::kPartition,
+                    .at = FromMillis(5),
+                    .duration = FromMillis(10),
+                    .targets = {chaos::Storage(1)}}};
+  ChaosEngine engine(Hooks(), config);
+  engine.Arm();
+  EXPECT_EQ(engine.faults_armed(), 1u);
+
+  net_.Send(ABPacket());  // before injection: flows
+  queue_.RunUntilIdle();
+  ASSERT_EQ(b_inbox_.size(), 1u);
+
+  queue_.RunUntil(FromMillis(6));  // fault live
+  EXPECT_EQ(engine.injections(), 1u);
+  net_.Send(ABPacket());
+  net_.Send(BAPacket());
+  queue_.RunUntilIdle();
+  EXPECT_EQ(b_inbox_.size(), 1u);  // both directions dead
+  EXPECT_EQ(a_inbox_.size(), 0u);
+  EXPECT_EQ(net_.num_shaped_links(), 2u);
+
+  queue_.RunUntil(FromMillis(16));  // healed
+  EXPECT_EQ(engine.clears(), 1u);
+  EXPECT_EQ(net_.num_shaped_links(), 0u);
+  net_.Send(ABPacket());
+  queue_.RunUntilIdle();
+  EXPECT_EQ(b_inbox_.size(), 2u);
+}
+
+TEST_F(ChaosEngineTest, AsymmetricPartitionLeavesOutboundPathAlive) {
+  ChaosConfig config;
+  config.enabled = true;
+  config.faults = {{.kind = FaultKind::kPartition,
+                    .at = FromMillis(5),
+                    .duration = FromMillis(10),
+                    .targets = {chaos::Storage(1)},
+                    .asymmetric = true}};
+  ChaosEngine engine(Hooks(), config);
+  engine.Arm();
+
+  queue_.RunUntil(FromMillis(6));
+  net_.Send(ABPacket());  // toward the target: blocked
+  net_.Send(BAPacket());  // from the target: still flows (heartbeat path)
+  queue_.RunUntilIdle();
+  EXPECT_EQ(b_inbox_.size(), 0u);
+  EXPECT_EQ(a_inbox_.size(), 1u);
+}
+
+TEST_F(ChaosEngineTest, FullRateLossDropsEverythingOnShapedLink) {
+  ChaosConfig config;
+  config.enabled = true;
+  config.faults = {{.kind = FaultKind::kLoss,
+                    .at = FromMillis(5),
+                    .duration = FromMillis(10),
+                    .targets = {chaos::Storage(1)},
+                    .asymmetric = true,
+                    .rate = 1.0}};
+  ChaosEngine engine(Hooks(), config);
+  engine.Arm();
+
+  queue_.RunUntil(FromMillis(6));
+  for (int i = 0; i < 20; ++i) {
+    net_.Send(ABPacket(10));
+  }
+  queue_.RunUntilIdle();
+  EXPECT_EQ(b_inbox_.size(), 0u);
+
+  queue_.RunUntil(FromMillis(16));
+  net_.Send(ABPacket(10));
+  queue_.RunUntilIdle();
+  EXPECT_EQ(b_inbox_.size(), 1u);
+}
+
+TEST_F(ChaosEngineTest, GrayNicAddsLatencyWithoutDropping) {
+  ChaosConfig config;
+  config.enabled = true;
+  config.faults = {{.kind = FaultKind::kGrayNic,
+                    .at = 0,
+                    .duration = FromMillis(10),
+                    .targets = {chaos::Storage(1)},
+                    .extra_latency = FromMicros(500)}};
+  ChaosEngine engine(Hooks(), config);
+  engine.Arm();
+  queue_.RunUntil(FromMicros(1));  // apply the fault
+
+  const SimTime start = queue_.now();
+  net_.Send(ABPacket(100));
+  queue_.RunUntilIdle();
+  ASSERT_EQ(b_inbox_.size(), 1u);
+  const SimTime gray = queue_.now() - start;
+  EXPECT_GT(gray, FromMicros(500));  // the extra delay dominates a 100B packet
+
+  queue_.RunUntil(FromMillis(11));  // healed: latency gone
+  const SimTime start2 = queue_.now();
+  net_.Send(ABPacket(100));
+  queue_.RunUntilIdle();
+  EXPECT_LT(queue_.now() - start2, FromMicros(500));
+}
+
+TEST_F(ChaosEngineTest, CrashSkewAndDiskHooksFireWithHealValues) {
+  struct Call {
+    std::string what;
+    uint32_t index;
+    double value;
+  };
+  std::vector<Call> calls;
+  ChaosHooks hooks = Hooks();
+  hooks.fail_node = [&](NodeClass, uint32_t i) { calls.push_back({"fail", i, 0}); };
+  hooks.restart_node = [&](NodeClass, uint32_t i) { calls.push_back({"restart", i, 0}); };
+  hooks.set_storage_disk_multiplier = [&](uint32_t i, double m) {
+    calls.push_back({"disk", i, m});
+  };
+  hooks.set_heartbeat_scale = [&](NodeClass, uint32_t i, double m) {
+    calls.push_back({"skew", i, m});
+  };
+
+  ChaosConfig config;
+  config.enabled = true;
+  config.faults = {
+      {.kind = FaultKind::kCrash,
+       .at = FromMillis(1),
+       .duration = FromMillis(10),
+       .targets = {chaos::Storage(0)}},
+      {.kind = FaultKind::kGrayDisk,
+       .at = FromMillis(2),
+       .duration = FromMillis(10),
+       .targets = {chaos::Storage(1)},
+       .multiplier = 25.0},
+      {.kind = FaultKind::kClockSkew,
+       .at = FromMillis(3),
+       .duration = FromMillis(10),
+       .targets = {chaos::Storage(1)},
+       .multiplier = 14.0},
+  };
+  ChaosEngine wired(std::move(hooks), config);
+  wired.Arm();
+  queue_.RunUntil(FromMillis(20));
+
+  ASSERT_EQ(calls.size(), 6u);
+  EXPECT_EQ(calls[0].what, "fail");
+  EXPECT_EQ(calls[1].what, "disk");
+  EXPECT_EQ(calls[1].value, 25.0);
+  EXPECT_EQ(calls[2].what, "skew");
+  EXPECT_EQ(calls[2].value, 14.0);
+  EXPECT_EQ(calls[3].what, "restart");
+  EXPECT_EQ(calls[4].what, "disk");
+  EXPECT_EQ(calls[4].value, 1.0);  // heal restores the multiplier
+  EXPECT_EQ(calls[5].what, "skew");
+  EXPECT_EQ(calls[5].value, 1.0);
+}
+
+TEST_F(ChaosEngineTest, FaultEventsLandOnControllerHost) {
+  ChaosConfig config;
+  config.enabled = true;
+  config.faults = {{.kind = FaultKind::kPartition,
+                    .at = FromMillis(5),
+                    .duration = FromMillis(5),
+                    .targets = {chaos::Storage(1)}}};
+  ChaosEngine engine(Hooks(), config);
+  engine.Arm();
+  queue_.RunUntil(FromMillis(20));
+
+  size_t injects = 0;
+  size_t clears = 0;
+  for (const obs::Event& ev : log_.Collect()) {
+    if (ev.code == obs::EventCode::kFaultInject) {
+      ++injects;
+      EXPECT_EQ(ev.host, chaos::kChaosControllerAddr);
+      EXPECT_EQ(ev.detail_view(), "partition");
+    }
+    if (ev.code == obs::EventCode::kFaultClear) {
+      ++clears;
+    }
+  }
+  EXPECT_EQ(injects, 1u);
+  EXPECT_EQ(clears, 1u);
+}
+
+// ---- invariant checker on synthetic streams ----
+
+class ChaosCheckerTest : public ::testing::Test {
+ protected:
+  void Add(SimTime at, obs::EventCode code, const char* detail,
+           std::initializer_list<obs::Kv> args, uint32_t host = 1) {
+    obs::Event ev;
+    ev.at = at;
+    ev.seq = seq_++;
+    ev.host = host;
+    ev.code = code;
+    ev.set_detail(detail);
+    for (const obs::Kv& kv : args) {
+      std::strncpy(ev.args[ev.nargs].key, kv.key, obs::kEventArgKeyCap - 1);
+      ev.args[ev.nargs].value = kv.value;
+      ++ev.nargs;
+    }
+    events_.push_back(ev);
+  }
+
+  uint64_t seq_ = 0;
+  std::vector<obs::Event> events_;
+};
+
+TEST_F(ChaosCheckerTest, CleanStreamPasses) {
+  Add(FromMillis(1), obs::EventCode::kChaosWriteAcked, "wv", {{"key", 7}, {"sum", 42}});
+  Add(FromMillis(2), obs::EventCode::kEpochBump, nullptr, {{"epoch", 1}});
+  Add(FromMillis(3), obs::EventCode::kChaosReadOk, "wv", {{"key", 7}, {"sum", 42}});
+  InvariantReport rep = CheckInvariants(events_, InvariantBounds{});
+  EXPECT_TRUE(rep.ok()) << rep.Summary();
+  EXPECT_EQ(rep.acked_writes, 1u);
+  EXPECT_EQ(rep.verified_ok, 1u);
+  EXPECT_EQ(rep.max_epoch, 1u);
+}
+
+TEST_F(ChaosCheckerTest, LostAckedWriteFlagged) {
+  Add(FromMillis(1), obs::EventCode::kChaosWriteAcked, "wv", {{"key", 7}, {"sum", 42}});
+  Add(FromMillis(3), obs::EventCode::kChaosReadLost, "wv", {{"key", 7}, {"sum", 0}});
+  InvariantReport rep = CheckInvariants(events_, InvariantBounds{});
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_NE(rep.violations[0].find("acked write lost"), std::string::npos);
+}
+
+TEST_F(ChaosCheckerTest, TornAckedWriteFlagged) {
+  Add(FromMillis(1), obs::EventCode::kChaosWriteAcked, "wv", {{"key", 7}, {"sum", 42}});
+  Add(FromMillis(3), obs::EventCode::kChaosReadOk, "wv", {{"key", 7}, {"sum", 43}});
+  InvariantReport rep = CheckInvariants(events_, InvariantBounds{});
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_NE(rep.violations[0].find("torn"), std::string::npos);
+}
+
+TEST_F(ChaosCheckerTest, UnverifiedAckedWriteFlagged) {
+  Add(FromMillis(1), obs::EventCode::kChaosWriteAcked, "wv", {{"key", 7}, {"sum", 42}});
+  InvariantReport rep = CheckInvariants(events_, InvariantBounds{});
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_NE(rep.violations[0].find("never verified"), std::string::npos);
+
+  InvariantBounds relaxed;
+  relaxed.require_verified = false;
+  EXPECT_TRUE(CheckInvariants(events_, relaxed).ok());
+}
+
+TEST_F(ChaosCheckerTest, DeathWithoutRejoinFlagged) {
+  Add(FromMillis(1), obs::EventCode::kNodeDead, "storage", {{"node", 3}});
+  InvariantReport rep = CheckInvariants(events_, InvariantBounds{});
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_NE(rep.violations[0].find("never closed"), std::string::npos);
+
+  Add(FromMillis(900), obs::EventCode::kNodeRejoin, "storage", {{"node", 3}});
+  rep = CheckInvariants(events_, InvariantBounds{});
+  EXPECT_TRUE(rep.ok()) << rep.Summary();
+  EXPECT_EQ(rep.worst_outage, FromMillis(899));
+}
+
+TEST_F(ChaosCheckerTest, OutageBoundEnforced) {
+  Add(FromMillis(1), obs::EventCode::kNodeDead, "storage", {{"node", 3}});
+  Add(FromMillis(901), obs::EventCode::kNodeRejoin, "storage", {{"node", 3}});
+  InvariantBounds bounds;
+  bounds.max_outage = FromMillis(500);
+  InvariantReport rep = CheckInvariants(events_, bounds);
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_NE(rep.violations[0].find("unavailability bound blown"), std::string::npos);
+}
+
+TEST_F(ChaosCheckerTest, NoDeathsExpectationFlagged) {
+  Add(FromMillis(1), obs::EventCode::kNodeDead, "storage", {{"node", 1}});
+  Add(FromMillis(50), obs::EventCode::kNodeRejoin, "storage", {{"node", 1}});
+  InvariantBounds bounds;
+  bounds.expect_no_deaths = true;
+  InvariantReport rep = CheckInvariants(events_, bounds);
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_NE(rep.violations[0].find("unexpected node_dead"), std::string::npos);
+}
+
+TEST_F(ChaosCheckerTest, EpochRegressionFlagged) {
+  Add(FromMillis(1), obs::EventCode::kEpochBump, nullptr, {{"epoch", 5}});
+  Add(FromMillis(2), obs::EventCode::kEpochBump, nullptr, {{"epoch", 5}});
+  InvariantReport rep = CheckInvariants(events_, InvariantBounds{});
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_NE(rep.violations[0].find("epoch not monotone"), std::string::npos);
+}
+
+TEST_F(ChaosCheckerTest, TableInstallRegressionFlagged) {
+  Add(FromMillis(1), obs::EventCode::kTableInstall, nullptr, {{"epoch", 5}}, /*host=*/9);
+  Add(FromMillis(2), obs::EventCode::kTableInstall, nullptr, {{"epoch", 4}}, /*host=*/9);
+  InvariantReport rep = CheckInvariants(events_, InvariantBounds{});
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_NE(rep.violations[0].find("table epoch regressed"), std::string::npos);
+}
+
+TEST_F(ChaosCheckerTest, DoubleAdoptionFlagged) {
+  Add(FromMillis(1), obs::EventCode::kAdoptBegin, nullptr, {{"site", 1}, {"epoch", 2}});
+  Add(FromMillis(2), obs::EventCode::kAdoptDone, "adopted", {{"site", 1}, {"entries", 3}});
+  Add(FromMillis(3), obs::EventCode::kAdoptBegin, nullptr, {{"site", 1}, {"epoch", 3}});
+  Add(FromMillis(4), obs::EventCode::kAdoptDone, "adopted", {{"site", 1}, {"entries", 3}});
+  InvariantReport rep = CheckInvariants(events_, InvariantBounds{});
+  ASSERT_GE(rep.violations.size(), 1u);
+  EXPECT_NE(rep.violations[0].find("double adoption"), std::string::npos);
+
+  // With an intervening handoff the second adoption is legal.
+  events_.clear();
+  Add(FromMillis(1), obs::EventCode::kAdoptBegin, nullptr, {{"site", 1}, {"epoch", 2}});
+  Add(FromMillis(2), obs::EventCode::kAdoptDone, "adopted", {{"site", 1}, {"entries", 3}});
+  Add(FromMillis(3), obs::EventCode::kHandoff, nullptr, {{"site", 1}, {"to", 1}});
+  Add(FromMillis(4), obs::EventCode::kAdoptBegin, nullptr, {{"site", 1}, {"epoch", 3}});
+  Add(FromMillis(5), obs::EventCode::kAdoptDone, "adopted", {{"site", 1}, {"entries", 3}});
+  Add(FromMillis(6), obs::EventCode::kHandoff, nullptr, {{"site", 1}, {"to", 1}});
+  EXPECT_TRUE(CheckInvariants(events_, InvariantBounds{}).ok());
+}
+
+TEST_F(ChaosCheckerTest, AdoptionNeverCompletedFlagged) {
+  Add(FromMillis(1), obs::EventCode::kAdoptBegin, nullptr, {{"site", 1}, {"epoch", 2}});
+  InvariantReport rep = CheckInvariants(events_, InvariantBounds{});
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_NE(rep.violations[0].find("never completed"), std::string::npos);
+}
+
+TEST_F(ChaosCheckerTest, AdoptDelayBoundEnforced) {
+  Add(FromMillis(1), obs::EventCode::kNodeDead, "dir", {{"node", 1}});
+  Add(FromMillis(2), obs::EventCode::kAdoptBegin, nullptr, {{"site", 1}, {"epoch", 2}});
+  Add(FromSeconds(5), obs::EventCode::kAdoptDone, "adopted", {{"site", 1}, {"entries", 3}});
+  Add(FromSeconds(6), obs::EventCode::kNodeRejoin, "dir", {{"node", 1}});
+  Add(FromSeconds(6), obs::EventCode::kHandoff, nullptr, {{"site", 1}, {"to", 1}});
+  InvariantBounds bounds;  // default max_adopt_delay = 2s
+  InvariantReport rep = CheckInvariants(events_, bounds);
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_NE(rep.violations[0].find("took"), std::string::npos);
+}
+
+TEST_F(ChaosCheckerTest, UnhealedFaultFlagged) {
+  Add(FromMillis(1), obs::EventCode::kFaultInject, "partition",
+      {{"fault", 0}, {"targets", 1}, {"target0", 3}});
+  InvariantReport rep = CheckInvariants(events_, InvariantBounds{});
+  ASSERT_EQ(rep.violations.size(), 1u);
+  EXPECT_NE(rep.violations[0].find("never cleared"), std::string::npos);
+
+  Add(FromMillis(5), obs::EventCode::kFaultClear, "partition",
+      {{"fault", 0}, {"targets", 1}, {"target0", 3}});
+  EXPECT_TRUE(CheckInvariants(events_, InvariantBounds{}).ok());
+}
+
+// ---- negative integration test: the checker must catch real data loss ----
+
+// Runs the write/verify workload on a healthy ensemble, then sabotages
+// acked state behind the workload's back (a rogue overwrite and a removal).
+// Verify() records the damage and CheckInvariants must report both a torn
+// and a lost acked write — proof the whole evidence chain actually trips.
+TEST(ChaosNegativeTest, InjectedAckedWriteLossIsCaught) {
+  EventQueue queue;
+  EnsembleConfig config;
+  config.num_dir_servers = 2;
+  config.num_small_file_servers = 0;
+  config.num_storage_nodes = 4;
+  config.default_replication = 2;
+  config.name_policy = NamePolicy::kNameHashing;
+  config.eventlog = {.enabled = true};
+  Ensemble ensemble(queue, config);
+
+  chaos::ChaosWorkloadParams params;
+  params.shape = chaos::WorkloadShape::kWriteVerify;
+  params.num_files = 4;
+  params.ops = 20;
+  chaos::ChaosWorkload workload(ensemble, params);
+  workload.Setup();
+  workload.Run();
+
+  // Sabotage through a second client: overwrite one journaled slot with
+  // different bytes and remove another file entirely. Both mutations are
+  // "acked" server-side but invisible to the workload's journal.
+  auto rogue = ensemble.MakeSyncClient(0);
+  LookupRes victim = rogue->Lookup(ensemble.root(), "chaos0").value();
+  ASSERT_EQ(victim.status, Nfsstat3::kOk);
+  Bytes garbage(params.write_bytes, 0xee);
+  ASSERT_EQ(rogue->Write(victim.object, 0, garbage, StableHow::kFileSync).value().status,
+            Nfsstat3::kOk);
+  ASSERT_EQ(rogue->Remove(ensemble.root(), "chaos1").value().status, Nfsstat3::kOk);
+  queue.RunUntilIdle();
+
+  workload.Verify();
+  queue.RunUntilIdle();
+
+  EXPECT_GT(workload.stats().verified_lost, 0u);
+  chaos::InvariantReport rep =
+      CheckInvariants(ensemble.eventlog()->Collect(), chaos::InvariantBounds{});
+  ASSERT_FALSE(rep.ok());
+  bool saw_torn = false;
+  bool saw_lost = false;
+  for (const std::string& v : rep.violations) {
+    saw_torn = saw_torn || v.find("torn") != std::string::npos;
+    saw_lost = saw_lost || v.find("lost") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_torn) << rep.Summary();
+  EXPECT_TRUE(saw_lost) << rep.Summary();
+}
+
+}  // namespace
+}  // namespace slice

@@ -3,6 +3,7 @@
 // scenarios on a full simulated ensemble.
 #include <gtest/gtest.h>
 
+#include "src/chaos/invariants.h"
 #include "src/mgmt/failure_detector.h"
 #include "src/mgmt/mgmt_proto.h"
 #include "src/slice/ensemble.h"
@@ -335,6 +336,65 @@ TEST_F(MgmtTest, StaleEpochMisdirectTriggersTableReload) {
   EXPECT_GT(ensemble_->dir_server(0).misdirects_answered(), misdirects_before);
   EXPECT_EQ(ensemble_->uproxy(0).table_epoch(), fresh_epoch);
   EXPECT_GT(ensemble_->uproxy(0).counters().Get("table_fetches"), 0u);
+}
+
+TEST_F(MgmtTest, FlappingDirRejoinMidAdoptionKeepsEpochsSane) {
+  // Regression: a node that rejoins while its site is still being adopted
+  // must not corrupt the epoch sequence or get its site adopted twice. The
+  // restart lands within one sweep of the death declaration, so the
+  // adopter's WAL replay and the rejoin race — the deferred-handoff path.
+  EnsembleConfig config;
+  config.num_dir_servers = 2;
+  config.num_storage_nodes = 4;
+  config.num_small_file_servers = 1;
+  config.name_policy = NamePolicy::kNameHashing;
+  config.eventlog = {.enabled = true};
+  Build(config);
+
+  std::vector<std::string> names;
+  for (int i = 0; i < 12; ++i) {
+    names.push_back("flap" + std::to_string(i));
+    ASSERT_EQ(client_->Create(root_, names.back()).value().status, Nfsstat3::kOk);
+  }
+  ensemble_->dir_server(1).FlushLog();
+  queue_.RunUntilIdle();
+
+  EnsembleManager& mgr = *ensemble_->manager();
+  uint64_t last_epoch = mgr.current_epoch();
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    ensemble_->dir_server(1).Fail();
+    // Restart as soon as the manager declares the node dead: the adoption
+    // kicked off by that very sweep is still replaying the WAL.
+    for (int i = 0; i < 400 && mgr.NodeAlive(NodeClass::kDir, 1); ++i) {
+      RunFor(FromMillis(5));
+    }
+    ASSERT_FALSE(mgr.NodeAlive(NodeClass::kDir, 1)) << "cycle " << cycle;
+    const uint64_t dead_epoch = mgr.current_epoch();
+    EXPECT_GT(dead_epoch, last_epoch) << "cycle " << cycle;
+    ensemble_->dir_server(1).Restart();
+
+    RunFor(FromMillis(1500));  // rejoin, finish adoption, hand the site back
+    EXPECT_TRUE(mgr.NodeAlive(NodeClass::kDir, 1)) << "cycle " << cycle;
+    EXPECT_GT(mgr.current_epoch(), dead_epoch) << "cycle " << cycle;
+    EXPECT_TRUE(ensemble_->dir_server(0).adopted_sites().empty()) << "cycle " << cycle;
+    EXPECT_FALSE(ensemble_->dir_server(0).adopting()) << "cycle " << cycle;
+    last_epoch = mgr.current_epoch();
+
+    // The namespace survived the flap intact.
+    for (const std::string& name : names) {
+      LookupRes found = RetryJukebox([&] { return client_->Lookup(root_, name).value(); });
+      EXPECT_EQ(found.status, Nfsstat3::kOk) << name << " cycle " << cycle;
+    }
+  }
+
+  // Replay the event log through the chaos invariant checker: epochs
+  // monotone, no double adoption, every failure episode closed.
+  chaos::InvariantBounds bounds;
+  bounds.expect_adoption = true;
+  chaos::InvariantReport report =
+      chaos::CheckInvariants(ensemble_->eventlog()->Collect(), bounds);
+  EXPECT_TRUE(report.ok()) << report.Summary();
+  EXPECT_GE(report.epoch_bumps, 4u);  // two deaths + two rejoins
 }
 
 TEST_F(MgmtTest, DisabledMgmtRunsNoManager) {

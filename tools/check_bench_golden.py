@@ -60,20 +60,42 @@ def compare(expect, actual, tolerance, path, errors):
                           (path, expect, tolerance * 100, actual))
 
 
-def check_pair(golden_path, bench_path):
-    """Returns 0 on match, 1 on mismatch, 2 on IO/parse error."""
+def load_json(path, role):
+    """Loads one side of a pair; raises ValueError with a role-tagged message.
+
+    A bench file that is missing or unparseable usually means the bench
+    binary crashed or was never run — that must fail the check loudly, not
+    slip through as a skipped comparison.
+    """
     try:
-        with open(golden_path) as f:
-            golden = json.load(f)
-        with open(bench_path) as f:
-            bench = json.load(f)
-    except (OSError, ValueError) as err:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as err:
+        raise ValueError("%s file %s: %s (was the bench run?)" % (role, path, err))
+    except ValueError as err:
+        raise ValueError("%s file %s: unparseable JSON: %s" % (role, path, err))
+
+
+def check_pair(golden_path, bench_path):
+    """Returns 0 on match, 1 on mismatch, 2 on IO/parse/structure error."""
+    try:
+        golden = load_json(golden_path, "golden")
+        bench = load_json(bench_path, "bench")
+    except ValueError as err:
         sys.stderr.write("check_bench_golden: %s\n" % err)
+        return 2
+
+    expect = golden.get("expect") if isinstance(golden, dict) else None
+    if not isinstance(expect, dict) or not expect:
+        # A golden that pins nothing would vacuously "pass" — treat a
+        # missing/empty expect block as a broken golden, not a success.
+        sys.stderr.write("check_bench_golden: golden file %s has no non-empty "
+                         "'expect' object\n" % golden_path)
         return 2
 
     tolerance = float(golden.get("tolerance", 0.05))
     errors = []
-    compare(golden.get("expect", {}), bench, tolerance, "$", errors)
+    compare(expect, bench, tolerance, "$", errors)
     if errors:
         sys.stderr.write("golden mismatch (%s vs %s, tolerance %g%%):\n" %
                          (golden_path, bench_path, tolerance * 100))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Regression tests for check_bench_golden.py exit-status semantics.
+
+Run as a ctest: check_bench_golden_test.py <path-to-check_bench_golden.py>.
+Pins the contract CI relies on: 0 = within tolerance, 1 = mismatch, and —
+the case that must never regress — 2 for a missing or unparseable
+BENCH_*.json and for a golden with no non-empty expect block.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(script, *args):
+    proc = subprocess.run([sys.executable, script] + list(args),
+                          stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    return proc.returncode, proc.stderr.decode()
+
+
+def write(path, doc):
+    with open(path, "w") as f:
+        if isinstance(doc, str):
+            f.write(doc)
+        else:
+            json.dump(doc, f)
+    return path
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.stderr.write("usage: check_bench_golden_test.py <check_bench_golden.py>\n")
+        return 2
+    script = sys.argv[1]
+    failures = []
+
+    def expect(case, got, want, stderr_has=None, stderr=""):
+        if got != want:
+            failures.append("%s: exit %d, want %d" % (case, got, want))
+        elif stderr_has is not None and stderr_has not in stderr:
+            failures.append("%s: stderr missing %r (got: %s)" % (case, stderr_has, stderr))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        golden = write(os.path.join(tmp, "golden.json"),
+                       {"tolerance": 0.05, "expect": {"ops": 100}})
+        bench_ok = write(os.path.join(tmp, "bench_ok.json"), {"ops": 102})
+        bench_off = write(os.path.join(tmp, "bench_off.json"), {"ops": 180})
+        bench_bad = write(os.path.join(tmp, "bench_bad.json"), "{truncated")
+        golden_empty = write(os.path.join(tmp, "golden_empty.json"), {"tolerance": 0.05})
+
+        code, err = run(script, golden, bench_ok)
+        expect("within tolerance", code, 0)
+
+        code, err = run(script, golden, bench_off)
+        expect("out of tolerance", code, 1)
+
+        code, err = run(script, golden, os.path.join(tmp, "BENCH_missing.json"))
+        expect("missing bench", code, 2, "was the bench run?", err)
+
+        code, err = run(script, golden, bench_bad)
+        expect("unparseable bench", code, 2, "unparseable JSON", err)
+
+        code, err = run(script, os.path.join(tmp, "no_golden.json"), bench_ok)
+        expect("missing golden", code, 2)
+
+        code, err = run(script, golden_empty, bench_ok)
+        expect("golden with no expect", code, 2, "expect", err)
+
+        # Multi-pair: the worst status wins even when a later pair is clean.
+        code, err = run(script, golden, bench_bad, golden, bench_ok)
+        expect("bad pair poisons multi-pair run", code, 2)
+
+        code, err = run(script, golden)
+        expect("odd argument count", code, 2)
+
+    if failures:
+        for f in failures:
+            sys.stderr.write("FAIL %s\n" % f)
+        return 1
+    print("check_bench_golden_test: all exit-status cases pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,9 +35,66 @@ Exit status 0 = printed something, 1 = no events matched, 2 = usage error.
 
 import argparse
 import json
+import os
 import sys
 
 SEV_ORDER = {"debug": 0, "info": 1, "warn": 2, "error": 3}
+
+
+def load_code_table(explicit_path, dump_path):
+    """name -> numeric code mapping from event_codes.json.
+
+    The table is generated at build time (tools/dump_event_codes, expanded
+    from the SLICE_EVENT_CODES X-macro, so it cannot drift from the C++
+    enum). Search order: --codes-file, $SLICE_EVENT_CODES, next to the
+    dump, next to this script, ./event_codes.json. Returns {} when no table
+    is found — numeric codes keep working without one.
+    """
+    candidates = []
+    if explicit_path:
+        candidates.append(explicit_path)
+    env = os.environ.get("SLICE_EVENT_CODES")
+    if env:
+        candidates.append(env)
+    if dump_path:
+        candidates.append(os.path.join(os.path.dirname(os.path.abspath(dump_path)),
+                                       "event_codes.json"))
+    candidates.append(os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                   "event_codes.json"))
+    candidates.append("event_codes.json")
+    for path in candidates:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError):
+            if path == explicit_path:
+                raise
+            continue
+        return {row["name"]: int(row["code"]) for row in doc.get("event_codes", [])}
+    return {}
+
+
+def parse_codes(text, table):
+    """Comma-separated numeric codes and/or symbolic names -> set of ints."""
+    codes = set()
+    unknown = []
+    for tok in text.split(","):
+        tok = tok.strip()
+        if not tok:
+            continue
+        try:
+            codes.add(int(tok))
+        except ValueError:
+            if tok in table:
+                codes.add(table[tok])
+            else:
+                unknown.append(tok)
+    if unknown:
+        hint = ("no event_codes.json found; symbolic names need the table "
+                "(build tools/dump_event_codes or pass --codes-file)"
+                if not table else "known names: " + ", ".join(sorted(table)))
+        raise ValueError("unknown event code(s) %s: %s" % (",".join(unknown), hint))
+    return codes
 
 
 def parse_time(text):
@@ -167,11 +224,18 @@ def print_summary(events, flight):
 def main(argv):
     parser = argparse.ArgumentParser(
         description="Filter and pretty-print Slice flight-recorder dumps.")
-    parser.add_argument("dump", help="flight dump JSON (e.g. e2e_failover_flight.json)")
+    parser.add_argument("dump", nargs="?",
+                        help="flight dump JSON (e.g. e2e_failover_flight.json)")
     parser.add_argument("--host", help="only events recorded on this host (dotted quad)")
     parser.add_argument("--sev", help="minimum severity: debug|info|warn|error")
     parser.add_argument("--cat", help="comma-separated categories (route,mgmt,failover,...)")
-    parser.add_argument("--code", help="comma-separated numeric event codes")
+    parser.add_argument("--code", help="comma-separated event codes, numeric or "
+                                       "symbolic (e.g. node_dead,211)")
+    parser.add_argument("--codes-file", metavar="JSON",
+                        help="event_codes.json path (default: $SLICE_EVENT_CODES, "
+                             "next to the dump, next to this script)")
+    parser.add_argument("--list-codes", action="store_true",
+                        help="print the known code table and exit")
     parser.add_argument("--since", help="window start (e.g. 1.5s, 200ms, or raw ns)")
     parser.add_argument("--until", help="window end")
     parser.add_argument("--trace-id", help="comma-separated trace ids: print those causal trails")
@@ -181,6 +245,25 @@ def main(argv):
     parser.add_argument("--summary", action="store_true",
                         help="print counts by severity/category/code instead of rows")
     args = parser.parse_args(argv[1:])
+
+    try:
+        code_table = load_code_table(args.codes_file, args.dump)
+    except (OSError, ValueError) as err:
+        sys.stderr.write("slice_inspect: %s\n" % err)
+        return 2
+
+    if args.list_codes:
+        if not code_table:
+            sys.stderr.write("slice_inspect: no event_codes.json found "
+                             "(build tools/dump_event_codes or pass --codes-file)\n")
+            return 2
+        for name, code in sorted(code_table.items(), key=lambda kv: kv[1]):
+            print("%5d  %s" % (code, name))
+        return 0
+
+    if not args.dump:
+        sys.stderr.write("slice_inspect: a flight dump path is required\n")
+        return 2
 
     try:
         doc = load_dump(args.dump)
@@ -200,7 +283,13 @@ def main(argv):
             return 2
         opts.min_sev = SEV_ORDER[args.sev]
     opts.cats = set(args.cat.split(",")) if args.cat else None
-    opts.codes = set(int(c) for c in args.code.split(",")) if args.code else None
+    opts.codes = None
+    if args.code:
+        try:
+            opts.codes = parse_codes(args.code, code_table)
+        except ValueError as err:
+            sys.stderr.write("slice_inspect: %s\n" % err)
+            return 2
     try:
         opts.since = parse_time(args.since) if args.since else None
         opts.until = parse_time(args.until) if args.until else None

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Regression tests for slice_inspect.py's symbolic event-code support.
+
+Run as a ctest: slice_inspect_test.py <slice_inspect.py> <event_codes.json>.
+The table is the build-generated one (tools/dump_event_codes), so this also
+proves the X-macro → JSON → inspector chain end to end: a code added to
+SLICE_EVENT_CODES in src/obs/eventlog.h resolves by name here with no
+further edits.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(script, *args, env=None):
+    proc = subprocess.run([sys.executable, script] + list(args),
+                          stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env)
+    return proc.returncode, proc.stdout.decode(), proc.stderr.decode()
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write("usage: slice_inspect_test.py <slice_inspect.py> <event_codes.json>\n")
+        return 2
+    script, codes = sys.argv[1], sys.argv[2]
+    failures = []
+
+    def check(case, ok, extra=""):
+        if not ok:
+            failures.append("%s %s" % (case, extra))
+
+    with open(codes) as f:
+        table = {row["name"]: row["code"] for row in json.load(f)["event_codes"]}
+    check("table has chaos codes", "fault_inject" in table and "node_dead" in table)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        dump = os.path.join(tmp, "dump.json")
+        with open(dump, "w") as f:
+            json.dump({"flight": {"reason": "test", "at": 0, "recorded": 2, "evicted": 0,
+                                  "events": [
+                                      {"at": 1000, "seq": 0, "host": "10.0.0.1",
+                                       "sev": "error", "cat": "mgmt",
+                                       "code": table["node_dead"], "name": "node_dead",
+                                       "detail": "storage", "args": {"node": 3}},
+                                      {"at": 2000, "seq": 1, "host": "10.0.0.1",
+                                       "sev": "info", "cat": "route",
+                                       "code": table["route_decision"],
+                                       "name": "route_decision"},
+                                  ]}}, f)
+
+        code, out, err = run(script, "--list-codes", "--codes-file", codes)
+        check("--list-codes exits 0", code == 0, err)
+        check("--list-codes prints node_dead", "node_dead" in out)
+
+        code, out, err = run(script, dump, "--code", "node_dead", "--codes-file", codes)
+        check("symbolic --code exits 0", code == 0, err)
+        check("symbolic --code filters", "node_dead" in out and "route_decision" not in out)
+
+        numeric = str(table["route_decision"])
+        code, out, err = run(script, dump, "--code", "node_dead," + numeric,
+                             "--codes-file", codes)
+        check("mixed symbolic+numeric", code == 0 and "route_decision" in out, err)
+
+        code, out, err = run(script, dump, "--code", "no_such_code", "--codes-file", codes)
+        check("unknown name exits 2", code == 2, "exit=%d" % code)
+        check("unknown name explains", "unknown event code" in err, err)
+
+        code, out, err = run(script, dump, "--code", "fault_inject", "--codes-file", codes)
+        check("no matches exits 1", code == 1, "exit=%d" % code)
+
+        # Table discovery next to the dump (no --codes-file).
+        with open(codes) as src, open(os.path.join(tmp, "event_codes.json"), "w") as dst:
+            dst.write(src.read())
+        env = {k: v for k, v in os.environ.items() if k != "SLICE_EVENT_CODES"}
+        code, out, err = run(script, dump, "--code", "node_dead", env=env)
+        check("table found next to dump", code == 0 and "node_dead" in out, err)
+
+    if failures:
+        for f in failures:
+            sys.stderr.write("FAIL %s\n" % f)
+        return 1
+    print("slice_inspect_test: symbolic code resolution passes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
