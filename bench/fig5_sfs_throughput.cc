@@ -11,15 +11,22 @@
 //
 // Flags:
 //   --smoke           small sweep (2 loads, NFS + Slice-2) for CI
+//   --proxy-cache     run the Slice lines with the in-proxy metadata cache
+//                     (lookup + attribute) enabled; the bench renames itself
+//                     fig5_cache so the A/B artifacts get their own golden
+//   --no-pool         disable the packet pool (A/B determinism check: same
+//                     seed must produce byte-identical artifacts either way)
 //   --metrics <path>  re-run one Slice-2 point with the metrics plane on and
 //                     write the canonical metrics JSON snapshot to <path>
 //   --flight-dump <path>  re-run one Slice-2 point with the event log on and
 //                     write the flight-recorder dump (tail of routing
 //                     decisions + metrics snapshot) to <path>
 //
-// Always writes BENCH_fig5.json: per-line points (offered, delivered, mean,
-// p50/p95/p99 ms), the <40ms saturation per line, and — when --metrics ran —
-// ensemble-wide counter totals from the metered run.
+// Always writes BENCH_fig5.json (BENCH_fig5_cache.json under --proxy-cache):
+// per-line points (offered, delivered, mean, p50/p95/p99 ms), the <40ms
+// saturation per line, and — when --metrics ran — ensemble-wide counter
+// totals from the metered run (under --proxy-cache these include the
+// in-proxy cache hit counters and the reduced dir-tier op counts).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +34,7 @@
 
 #include "bench/bench_json.h"
 #include "bench/sfs_harness.h"
+#include "src/net/packet_pool.h"
 
 namespace slice {
 namespace {
@@ -37,8 +45,9 @@ struct BenchLine {
   std::vector<SfsPoint> points;
 };
 
-void RunFig5(bool smoke, const char* metrics_path, const char* flight_path) {
-  std::printf("Figure 5: SFS97-like delivered throughput (IOPS) vs offered load\n\n");
+void RunFig5(bool smoke, bool proxy_cache, const char* metrics_path, const char* flight_path) {
+  std::printf("Figure 5: SFS97-like delivered throughput (IOPS) vs offered load%s\n\n",
+              proxy_cache ? " [in-proxy metadata cache ON]" : "");
   const std::vector<double> offered_loads =
       smoke ? std::vector<double>{400, 800}
             : std::vector<double>{400, 800, 1600, 3200, 6400, 9600, 12800};
@@ -75,13 +84,13 @@ void RunFig5(bool smoke, const char* metrics_path, const char* flight_path) {
   const double base = run_line("NFS", [](double o) { return RunBaselinePoint(o); });
   double s2 = 0;
   if (smoke) {
-    s2 = run_line("Slice-2", [](double o) { return RunSlicePoint(2, o); });
+    s2 = run_line("Slice-2", [&](double o) { return RunSlicePoint(2, o, proxy_cache); });
     std::printf("\nsaturation ratio vs baseline: Slice-2 %.1fx\n", s2 / base);
   } else {
-    const double s1 = run_line("Slice-1", [](double o) { return RunSlicePoint(1, o); });
-    s2 = run_line("Slice-2", [](double o) { return RunSlicePoint(2, o); });
-    const double s4 = run_line("Slice-4", [](double o) { return RunSlicePoint(4, o); });
-    const double s8 = run_line("Slice-8", [](double o) { return RunSlicePoint(8, o); });
+    const double s1 = run_line("Slice-1", [&](double o) { return RunSlicePoint(1, o, proxy_cache); });
+    s2 = run_line("Slice-2", [&](double o) { return RunSlicePoint(2, o, proxy_cache); });
+    const double s4 = run_line("Slice-4", [&](double o) { return RunSlicePoint(4, o, proxy_cache); });
+    const double s8 = run_line("Slice-8", [&](double o) { return RunSlicePoint(8, o, proxy_cache); });
     std::printf("\nsaturation ratios vs baseline (paper: Slice-8/NFS = 6600/850 = 7.8x):\n");
     std::printf("  Slice-1 %.1fx  Slice-2 %.1fx  Slice-4 %.1fx  Slice-8 %.1fx\n", s1 / base,
                 s2 / base, s4 / base, s8 / base);
@@ -96,11 +105,22 @@ void RunFig5(bool smoke, const char* metrics_path, const char* flight_path) {
     const double offered = smoke ? 800 : 1600;
     std::printf("\n--metrics: Slice-2 @ %.0f ops/s with the metrics plane enabled\n", offered);
     std::string metrics_json;
-    RunSlicePointMetered(2, offered, &metrics_json, nullptr, &counter_totals);
+    RunSlicePointMetered(2, offered, &metrics_json, nullptr, &counter_totals, proxy_cache);
     std::ofstream out(metrics_path, std::ios::binary | std::ios::trunc);
     out << metrics_json << "\n";
     std::printf("metrics snapshot written to %s (hash %016llx)\n", metrics_path,
                 static_cast<unsigned long long>(obs::MetricsContentHash(metrics_json)));
+    if (proxy_cache) {
+      // The acceptance evidence: lookups/getattrs absorbed at the µproxy
+      // never become dir-tier RPCs, so dir_op_lookup/dir_op_getattr shrink
+      // by exactly the cache hit counts (pinned in the fig5_cache golden).
+      std::printf("in-proxy cache: lookup hits %llu, getattr hits %llu; "
+                  "dir-tier lookup RPCs %llu, getattr RPCs %llu\n",
+                  static_cast<unsigned long long>(counter_totals["uproxy_cache_lookup_hits"]),
+                  static_cast<unsigned long long>(counter_totals["uproxy_cache_getattr_hits"]),
+                  static_cast<unsigned long long>(counter_totals["dir_op_lookup"]),
+                  static_cast<unsigned long long>(counter_totals["dir_op_getattr"]));
+    }
   }
 
   // Optional flight-recorded run: one Slice-2 point with the event log on.
@@ -108,16 +128,18 @@ void RunFig5(bool smoke, const char* metrics_path, const char* flight_path) {
     const double offered = smoke ? 800 : 1600;
     std::printf("\n--flight-dump: Slice-2 @ %.0f ops/s with the event log enabled\n", offered);
     std::string flight_json;
-    RunSlicePointFlight(2, offered, &flight_json);
+    RunSlicePointFlight(2, offered, &flight_json, proxy_cache);
     obs::WriteFlightDump(flight_path, flight_json);
     std::printf("flight dump written to %s (hash %016llx)\n", flight_path,
                 static_cast<unsigned long long>(obs::FlightContentHash(flight_json)));
   }
 
+  const char* bench_name = proxy_cache ? "fig5_cache" : "fig5";
   JsonWriter w;
   w.BeginObject();
-  w.Key("bench").String("fig5");
+  w.Key("bench").String(bench_name);
   w.Key("smoke").Int(smoke ? 1 : 0);
+  w.Key("proxy_cache").Int(proxy_cache ? 1 : 0);
   w.Key("latency_bound_ms").Fixed(kLatencyBoundMs, 1);
   w.Key("offered").BeginArray();
   for (double offered : offered_loads) {
@@ -152,7 +174,7 @@ void RunFig5(bool smoke, const char* metrics_path, const char* flight_path) {
     w.EndObject();
   }
   w.EndObject();
-  WriteBenchFile("fig5", w.str());
+  WriteBenchFile(bench_name, w.str());
 }
 
 }  // namespace
@@ -160,17 +182,22 @@ void RunFig5(bool smoke, const char* metrics_path, const char* flight_path) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool proxy_cache = false;
   const char* metrics_path = nullptr;
   const char* flight_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--proxy-cache") == 0) {
+      proxy_cache = true;
+    } else if (std::strcmp(argv[i], "--no-pool") == 0) {
+      slice::PacketPool::SetEnabled(false);
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--flight-dump") == 0 && i + 1 < argc) {
       flight_path = argv[++i];
     }
   }
-  slice::RunFig5(smoke, metrics_path, flight_path);
+  slice::RunFig5(smoke, proxy_cache, metrics_path, flight_path);
   return 0;
 }

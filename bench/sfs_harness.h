@@ -71,7 +71,7 @@ inline SfsPoint PointFromReport(double offered, const SfsReport& report) {
   return point;
 }
 
-inline SfsPoint RunSlicePoint(size_t storage_nodes, double offered) {
+inline SfsPoint RunSlicePoint(size_t storage_nodes, double offered, bool proxy_cache = false) {
   EventQueue queue;
   EnsembleConfig config;
   config.mgmt.enabled = false;  // static healthy ensemble; no heartbeat traffic
@@ -82,6 +82,7 @@ inline SfsPoint RunSlicePoint(size_t storage_nodes, double offered) {
   config.cal.storage_cache_mb = kSfsStorageCacheMb;
   config.cal.sfs_cache_mb = kSfsSmallFileCacheMb;
   config.storage_extra_meta_ios = kSfsMetaIos;
+  config.proxy_cache = proxy_cache;
   Ensemble ensemble(queue, config);
   SfsParams params = ScaledSfsParams(offered);
   SfsBenchmark bench(ensemble.client_host(0), queue, ensemble.virtual_server(),
@@ -99,7 +100,8 @@ inline SfsPoint RunSlicePointMetered(size_t storage_nodes, double offered,
                                      std::string* metrics_json_out,
                                      std::string* prom_out = nullptr,
                                      std::map<std::string, uint64_t>* counter_totals_out =
-                                         nullptr) {
+                                         nullptr,
+                                     bool proxy_cache = false) {
   EventQueue queue;
   EnsembleConfig config;
   config.mgmt.enabled = false;
@@ -110,6 +112,7 @@ inline SfsPoint RunSlicePointMetered(size_t storage_nodes, double offered,
   config.cal.storage_cache_mb = kSfsStorageCacheMb;
   config.cal.sfs_cache_mb = kSfsSmallFileCacheMb;
   config.storage_extra_meta_ios = kSfsMetaIos;
+  config.proxy_cache = proxy_cache;
   config.metrics.enabled = true;
   Ensemble ensemble(queue, config);
   SfsParams params = ScaledSfsParams(offered);
@@ -139,7 +142,7 @@ inline SfsPoint RunSlicePointMetered(size_t storage_nodes, double offered,
 // per-host rings keep the tail of the run's routing decisions, exactly what
 // a black-box recorder should retain.
 inline SfsPoint RunSlicePointFlight(size_t storage_nodes, double offered,
-                                    std::string* flight_json_out) {
+                                    std::string* flight_json_out, bool proxy_cache = false) {
   EventQueue queue;
   EnsembleConfig config;
   config.mgmt.enabled = false;
@@ -150,6 +153,7 @@ inline SfsPoint RunSlicePointFlight(size_t storage_nodes, double offered,
   config.cal.storage_cache_mb = kSfsStorageCacheMb;
   config.cal.sfs_cache_mb = kSfsSmallFileCacheMb;
   config.storage_extra_meta_ios = kSfsMetaIos;
+  config.proxy_cache = proxy_cache;
   config.metrics.enabled = true;
   config.eventlog.enabled = true;
   Ensemble ensemble(queue, config);

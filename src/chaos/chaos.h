@@ -68,6 +68,7 @@ inline NodeRef Storage(uint32_t i) { return {NodeClass::kStorage, i}; }
 inline NodeRef Dir(uint32_t i) { return {NodeClass::kDir, i}; }
 inline NodeRef Sfs(uint32_t i) { return {NodeClass::kSfs, i}; }
 inline NodeRef Coord(uint32_t i) { return {NodeClass::kCoord, i}; }
+inline NodeRef Client(uint32_t i) { return {NodeClass::kClient, i}; }
 
 struct FaultSpec {
   FaultKind kind = FaultKind::kPartition;

@@ -62,6 +62,8 @@ InvariantReport CheckInvariants(const std::vector<obs::Event>& events,
 
   std::map<int64_t, SimTime> open_faults;  // fault index → inject time
 
+  std::map<uint64_t, SimTime> open_rebalances;  // episode trace id → begin time
+
   for (const obs::Event& ev : events) {
     switch (ev.code) {
       case obs::EventCode::kChaosWriteAcked: {
@@ -237,6 +239,37 @@ InvariantReport CheckInvariants(const std::vector<obs::Event>& events,
         have = static_cast<uint64_t>(*epoch);
         break;
       }
+      case obs::EventCode::kRebalanceBegin: {
+        ++rep.rebalances_begun;
+        open_rebalances[ev.trace_id] = ev.at;
+        break;
+      }
+      case obs::EventCode::kRebalanceCommit: {
+        ++rep.rebalances_committed;
+        if (open_rebalances.erase(ev.trace_id) == 0) {
+          rep.violations.push_back("rebalance commit without matching begin (trace " +
+                                   std::to_string(ev.trace_id) + ") at " + TimeStr(ev.at));
+        }
+        break;
+      }
+      case obs::EventCode::kCacheHit: {
+        ++rep.cache_hits;
+        // A µproxy must never answer from a mapping older than the tables it
+        // has installed: the hit's stamped epoch is compared against the last
+        // table_install recorded for the same host.
+        const auto epoch = Arg(ev, "epoch");
+        const auto have = install_epochs.find(ev.host);
+        if (epoch && have != install_epochs.end() &&
+            static_cast<uint64_t>(*epoch) != have->second) {
+          rep.violations.push_back("cache hit from stale epoch " + std::to_string(*epoch) +
+                                   " (host " + std::to_string(ev.host) + " installed " +
+                                   std::to_string(have->second) + ") at " + TimeStr(ev.at));
+        }
+        break;
+      }
+      case obs::EventCode::kCacheFlush:
+        ++rep.cache_flushes;
+        break;
       case obs::EventCode::kFaultInject: {
         ++rep.faults_injected;
         if (const auto fault = Arg(ev, "fault")) {
@@ -286,6 +319,13 @@ InvariantReport CheckInvariants(const std::vector<obs::Event>& events,
                                TimeStr(at) + " never cleared");
     }
   }
+  for (const auto& [trace, at] : open_rebalances) {
+    rep.violations.push_back("rebalance episode (trace " + std::to_string(trace) +
+                             ") begun at " + TimeStr(at) + " never committed");
+  }
+  if (bounds.expect_rebalance && rep.rebalances_committed == 0) {
+    rep.violations.push_back("expected at least one committed rebalance; saw none");
+  }
 
   return rep;
 }
@@ -302,6 +342,12 @@ std::string InvariantReport::Summary() const {
          " resyncs=" + std::to_string(resyncs);
   out += "; epoch_bumps=" + std::to_string(epoch_bumps) +
          " max_epoch=" + std::to_string(max_epoch);
+  if (rebalances_begun > 0 || cache_hits > 0 || cache_flushes > 0) {
+    out += "; rebalances=" + std::to_string(rebalances_begun) + "/" +
+           std::to_string(rebalances_committed) +
+           " cache_hits=" + std::to_string(cache_hits) +
+           " cache_flushes=" + std::to_string(cache_flushes);
+  }
   out += "; faults=" + std::to_string(faults_injected) + "/" +
          std::to_string(faults_cleared);
   if (worst_outage > 0) {

@@ -53,6 +53,9 @@ struct InvariantBounds {
   // Every fault_inject has a matching fault_clear by end of stream. Turn
   // off for plans that deliberately leave a fault live (duration 0).
   bool expect_faults_heal = true;
+  // At least one hotspot rebalance episode commits (scenario drives a
+  // deliberate directory-load imbalance at the manager).
+  bool expect_rebalance = false;
 };
 
 struct InvariantReport {
@@ -69,6 +72,10 @@ struct InvariantReport {
   size_t handoffs = 0;
   size_t resyncs = 0;
   size_t epoch_bumps = 0;
+  size_t rebalances_begun = 0;
+  size_t rebalances_committed = 0;
+  size_t cache_hits = 0;
+  size_t cache_flushes = 0;
   size_t faults_injected = 0;
   size_t faults_cleared = 0;
   uint64_t max_epoch = 0;

@@ -193,6 +193,47 @@ std::vector<Scenario> ScenarioMatrix() {
     matrix.push_back(std::move(s));
   }
 
+  {  // In-proxy cache coherence under partition + a hotspot re-stripe: the
+     // only client is cut off across an epoch change (its µproxy keeps
+     // serving cached lookups at its installed epoch), dir1 dies and its
+     // slots dead-walk onto dir2, so once the client heals and churn
+     // resumes, the manager's hotspot detector must re-stripe dir2's load
+     // away — and every cache hit must carry the host's installed epoch.
+    Scenario s;
+    s.name = "stale_cache_partition";
+    s.description =
+        "client0 partitioned across an epoch bump while dir1 is down; "
+        "post-heal churn must trigger a hotspot re-stripe and no op may be "
+        "served from a stale cached mapping";
+    s.config = BaseConfig();
+    s.config.num_dir_servers = 3;  // dir1's slots walk onto dir2: imbalance
+    s.config.proxy_cache = true;
+    s.config.rendezvous_routing = true;
+    s.config.metrics = {.enabled = true};  // hotspot detector's input plane
+    s.config.mgmt.hotspot_enabled = true;
+    s.config.mgmt.hotspot_interval = FromMillis(250);
+    s.config.mgmt.hotspot_min_ops = 8;
+    s.config.mgmt.hotspot_imbalance = 1.5;
+    s.config.mgmt.hotspot_max_slots = 4;
+    s.config.mgmt.hotspot_max_episodes = 2;
+    s.config.chaos.faults = {
+        {.kind = FaultKind::kCrash,
+         .at = FromMillis(360),
+         .duration = FromMillis(1640),
+         .targets = {Dir(1)}},
+        {.kind = FaultKind::kPartition,
+         .at = FromMillis(600),
+         .duration = FromMillis(900),
+         .targets = {Client(0)}},
+    };
+    s.workload.shape = WorkloadShape::kMetadataStorm;
+    s.workload.ops = 320;  // enough post-heal churn to trip the detector
+    s.bounds.expect_adoption = true;
+    s.bounds.expect_rebalance = true;
+    s.bounds.max_outage = FromSeconds(3);
+    matrix.push_back(std::move(s));
+  }
+
   return matrix;
 }
 

@@ -19,6 +19,10 @@
 //                         node flaps dead/rejoined; epochs stay monotone.
 //  * flapping_node      — a dir server crash/restart cycle, twice, under
 //                         metadata churn; no double-adopt, all chains close.
+//  * stale_cache_partition — the only client partitioned across an epoch
+//                         bump with the proxy cache on; post-heal churn
+//                         triggers a hotspot re-stripe and no op may be
+//                         served from a stale cached mapping.
 #ifndef SLICE_CHAOS_SCENARIO_H_
 #define SLICE_CHAOS_SCENARIO_H_
 

@@ -37,6 +37,7 @@ void AttrCache::TouchLru(uint64_t fileid) {
 
 void AttrCache::MergeFromReply(uint64_t fileid, const Fattr3& attr) {
   Entry& entry = GetOrInsert(fileid);
+  entry.complete = true;  // a reply carries the full attribute set
   if (entry.dirty) {
     // Keep our fresher I/O-derived size/times; adopt the rest.
     const uint64_t size = std::max(entry.attr.size, attr.size);
@@ -109,6 +110,99 @@ std::vector<uint64_t> AttrCache::DirtyFiles() const {
 
 std::vector<std::pair<uint64_t, Fattr3>> AttrCache::TakeEvictedDirty() {
   return std::exchange(evicted_dirty_, {});
+}
+
+const LookupCache::Entry* LookupCache::Find(uint64_t dir_id, uint64_t name_fp,
+                                            uint64_t now_ns,
+                                            uint64_t ttl_ns) {
+  const uint64_t key = KeyOf(dir_id, name_fp);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return nullptr;
+  }
+  const Entry& e = it->second;
+  if (e.dir_id != dir_id || e.name_fp != name_fp) {
+    return nullptr;  // key-fold collision; treat as a miss, do not evict
+  }
+  if (ttl_ns != 0 && now_ns >= e.filled_at + ttl_ns) {
+    EraseKey(key);
+    return nullptr;
+  }
+  TouchLru(key);
+  return &it->second;
+}
+
+void LookupCache::Insert(uint64_t dir_id, uint64_t name_fp,
+                         const FileHandle& fh, const Fattr3& attr,
+                         uint32_t slot, uint64_t now_ns) {
+  const uint64_t key = KeyOf(dir_id, name_fp);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (entries_.size() >= capacity_ && !lru_.empty()) {
+      const uint64_t victim = lru_.back();
+      lru_.pop_back();
+      lru_index_.erase(victim);
+      entries_.erase(victim);
+      ++evictions_;
+    }
+    lru_.push_front(key);
+    lru_index_[key] = lru_.begin();
+    it = entries_.emplace(key, Entry{}).first;
+  } else {
+    TouchLru(key);
+  }
+  Entry& e = it->second;
+  e.dir_id = dir_id;
+  e.name_fp = name_fp;
+  e.fh = fh;
+  e.attr = attr;
+  e.slot = slot;
+  e.filled_at = now_ns;
+}
+
+void LookupCache::Erase(uint64_t dir_id, uint64_t name_fp) {
+  EraseKey(KeyOf(dir_id, name_fp));
+}
+
+size_t LookupCache::InvalidateSlots(const std::vector<uint8_t>& changed) {
+  size_t flushed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const uint32_t slot = it->second.slot;
+    if (slot < changed.size() && changed[slot]) {
+      auto lru_it = lru_index_.find(it->first);
+      if (lru_it != lru_index_.end()) {
+        lru_.erase(lru_it->second);
+        lru_index_.erase(lru_it);
+      }
+      it = entries_.erase(it);
+      ++flushed;
+    } else {
+      ++it;
+    }
+  }
+  return flushed;
+}
+
+void LookupCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+  lru_index_.clear();
+}
+
+void LookupCache::TouchLru(uint64_t key) {
+  auto it = lru_index_.find(key);
+  if (it != lru_index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+  }
+}
+
+void LookupCache::EraseKey(uint64_t key) {
+  auto it = lru_index_.find(key);
+  if (it != lru_index_.end()) {
+    lru_.erase(it->second);
+    lru_index_.erase(it);
+  }
+  entries_.erase(key);
 }
 
 }  // namespace slice

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/hash.h"
 #include "src/nfs/nfs_types.h"
 #include "src/sim/event_queue.h"
 
@@ -23,6 +24,10 @@ class AttrCache {
   struct Entry {
     Fattr3 attr;
     bool dirty = false;  // size/mtime modified locally, not yet written back
+    // True once a full attribute set from a server reply has been merged.
+    // NoteWrite-only entries are partial (size/times only) and must not be
+    // served as a complete getattr answer.
+    bool complete = false;
   };
 
   // Merges attributes seen in a server reply. Locally cached size/times win
@@ -46,6 +51,29 @@ class AttrCache {
   // policy (we simply return all dirty entries — the caller owns cadence).
   std::vector<uint64_t> DirtyFiles() const;
 
+  // Epoch invalidation: drops every *clean* entry matching `pred(fileid)`
+  // and returns how many were dropped. Dirty entries survive — the µproxy is
+  // authoritative for them until writeback, and writeback re-resolves the
+  // directory server from the current table at send time.
+  template <typename Pred>
+  size_t FlushWhere(Pred pred) {
+    size_t flushed = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (!it->second.dirty && pred(it->first)) {
+        auto lru_it = lru_index_.find(it->first);
+        if (lru_it != lru_index_.end()) {
+          lru_.erase(lru_it->second);
+          lru_index_.erase(lru_it);
+        }
+        it = entries_.erase(it);
+        ++flushed;
+      } else {
+        ++it;
+      }
+    }
+    return flushed;
+  }
+
   size_t size() const { return entries_.size(); }
   uint64_t evictions() const { return evictions_; }
   // Dirty entries that were evicted by capacity pressure since the last
@@ -61,6 +89,60 @@ class AttrCache {
   std::list<uint64_t> lru_;
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> lru_index_;
   std::vector<std::pair<uint64_t, Fattr3>> evicted_dirty_;
+  uint64_t evictions_ = 0;
+};
+
+// In-proxy directory-lookup cache (Fletch-style: metadata resolution at the
+// interposition point). Keyed by (directory fileid, name fingerprint); an
+// entry memoizes the LOOKUP result — child handle + attributes — plus the
+// logical name slot it was resolved under, so an epoch bump that rebinds a
+// slot can flush exactly the entries resolved through the stale binding.
+// Bounded, LRU-evicted, optional TTL. The probe path (Find) performs no
+// allocation: a hash lookup plus a list splice.
+class LookupCache {
+ public:
+  explicit LookupCache(size_t capacity) : capacity_(capacity) {}
+
+  struct Entry {
+    uint64_t dir_id = 0;  // verified on hit: the map key is a folded hash
+    uint64_t name_fp = 0;
+    FileHandle fh;
+    Fattr3 attr;
+    uint32_t slot = 0;       // logical name slot at fill time
+    uint64_t filled_at = 0;  // sim-time ns, for the optional TTL
+  };
+
+  // nullptr on miss, mismatch (key-fold collision), or TTL expiry
+  // (ttl_ns == 0 disables expiry). Touches LRU on hit.
+  const Entry* Find(uint64_t dir_id, uint64_t name_fp, uint64_t now_ns,
+                    uint64_t ttl_ns);
+
+  void Insert(uint64_t dir_id, uint64_t name_fp, const FileHandle& fh,
+              const Fattr3& attr, uint32_t slot, uint64_t now_ns);
+
+  void Erase(uint64_t dir_id, uint64_t name_fp);
+
+  // Epoch invalidation: drops entries whose fill-time slot is marked in
+  // `changed` (indexed by slot). Returns the number dropped.
+  size_t InvalidateSlots(const std::vector<uint8_t>& changed);
+
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  uint64_t evictions() const { return evictions_; }
+
+  static uint64_t KeyOf(uint64_t dir_id, uint64_t name_fp) {
+    return MixU64(dir_id ^ MixU64(name_fp));
+  }
+
+ private:
+  void TouchLru(uint64_t key);
+  void EraseKey(uint64_t key);
+
+  size_t capacity_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> lru_index_;
   uint64_t evictions_ = 0;
 };
 

@@ -90,6 +90,29 @@ struct DecodedReply {
 
 Status DecodeNfsReply(ByteSpan payload, DecodedReply* out);
 
+// Cache-fill peek at a successful LOOKUP reply: the child handle plus its
+// post-op attributes when the server included them. Allocation-free and
+// trivially copyable, like DecodedView. `nfs_status` is the raw nfsstat3;
+// fh/attr are only meaningful when it is 0 (NFS3_OK).
+struct LookupReplyView {
+  uint32_t xid = 0;
+  uint32_t nfs_status = 0;
+  FileHandle fh;
+  uint8_t has_attr = 0;
+  Fattr3 attr;
+};
+
+Status DecodeLookupReplyView(ByteSpan payload, LookupReplyView* out);
+
+// Cache-fill peek at a GETATTR reply (status + full attribute set).
+struct GetattrReplyView {
+  uint32_t xid = 0;
+  uint32_t nfs_status = 0;
+  Fattr3 attr;
+};
+
+Status DecodeGetattrReplyView(ByteSpan payload, GetattrReplyView* out);
+
 }  // namespace slice
 
 #endif  // SLICE_CORE_REQUEST_DECODE_H_

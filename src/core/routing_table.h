@@ -11,12 +11,117 @@
 #ifndef SLICE_CORE_ROUTING_TABLE_H_
 #define SLICE_CORE_ROUTING_TABLE_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "src/common/hash.h"
 #include "src/common/status.h"
 #include "src/net/packet.h"
 
 namespace slice {
+
+// --- Rendezvous (highest-random-weight) hashing -----------------------------
+//
+// HRW scores every (key, node) pair independently and routes the key to the
+// highest-scoring node. Because scores do not depend on the member list —
+// only on the node's own identity — removing a node moves exactly the keys
+// that node owned, and adding one moves only the keys the newcomer wins:
+// the minimal-movement property the modular `key % n` choice lacks (there a
+// membership change reshuffles nearly every key).
+
+// Deterministic weight of `node` for `key`. Pure function of the pair; no
+// dependence on membership, ordering, or history.
+inline uint64_t RendezvousWeight(uint64_t key, uint32_t node) {
+  return MixU64(key ^ MixU64(0x9e3779b97f4a7c15ull + node));
+}
+
+// Node index in [0, n) with the rank-th highest weight for `key` (rank 0 =
+// winner, rank 1 = runner-up for the first mirror copy, ...). Ties break
+// toward the lower node index so the pick is a strict total order. O(n·rank)
+// selection — n is a handful of physical servers, rank a replica count.
+inline uint32_t RendezvousPick(uint64_t key, size_t n, uint32_t rank = 0) {
+  SLICE_CHECK(n > 0 && rank < n && n <= 64);
+  uint64_t taken = 0;  // bitmask of nodes chosen for lower ranks
+  for (uint32_t r = 0;; ++r) {
+    bool found = false;
+    uint64_t best_w = 0;
+    uint32_t best_n = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      if ((taken >> i) & 1) {
+        continue;
+      }
+      const uint64_t w = RendezvousWeight(key, i);
+      if (!found || w > best_w || (w == best_w && i < best_n)) {
+        found = true;
+        best_w = w;
+        best_n = i;
+      }
+    }
+    SLICE_CHECK(found);
+    if (r == rank) {
+      return best_n;
+    }
+    taken |= uint64_t{1} << best_n;
+  }
+}
+
+// Winner among live nodes only: argmax of RendezvousWeight over indices with
+// alive[i] != 0. `alive` empty means everyone is alive. Returns true and sets
+// *out when at least one node is live.
+inline bool RendezvousPickAlive(uint64_t key, size_t n,
+                                const std::vector<uint8_t>& alive,
+                                uint32_t* out) {
+  SLICE_CHECK(n > 0);
+  bool found = false;
+  uint64_t best_w = 0;
+  uint32_t best_n = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!alive.empty() && (i >= alive.size() || !alive[i])) {
+      continue;
+    }
+    const uint64_t w = RendezvousWeight(key, i);
+    if (!found || w > best_w || (w == best_w && i < best_n)) {
+      found = true;
+      best_w = w;
+      best_n = i;
+    }
+  }
+  if (found && out != nullptr) {
+    *out = best_n;
+  }
+  return found;
+}
+
+// Slot table driven by HRW: slot s binds to the live node with the highest
+// weight for key MixU64(s). Dead nodes simply drop out of the argmax, so a
+// death rebinds exactly the dead node's slots and a rejoin restores exactly
+// the slots it wins back — no other slot moves.
+inline std::vector<uint32_t> RendezvousAssignment(
+    size_t logical_slots, size_t n, const std::vector<uint8_t>& alive = {}) {
+  SLICE_CHECK(logical_slots > 0 && n > 0);
+  std::vector<uint32_t> slots(logical_slots);
+  for (size_t s = 0; s < logical_slots; ++s) {
+    uint32_t owner = 0;
+    if (!RendezvousPickAlive(MixU64(static_cast<uint64_t>(s)), n, alive,
+                             &owner)) {
+      owner = static_cast<uint32_t>(s % n);  // all dead: placeholder binding
+    }
+    slots[s] = owner;
+  }
+  return slots;
+}
+
+// HRW storage striping: the key folds the file identity (a precomputed hash
+// of the file handle bytes) with the stripe block so consecutive blocks
+// spread across nodes; `replica` asks for the rank-th mirror target.
+inline uint32_t RendezvousStripeSite(uint64_t fh_key, uint64_t offset,
+                                     uint32_t stripe_unit, size_t num_nodes,
+                                     uint32_t replica = 0) {
+  SLICE_CHECK(stripe_unit > 0 && num_nodes > 0);
+  const uint64_t block = offset / stripe_unit;
+  return RendezvousPick(fh_key ^ MixU64(block + 1), num_nodes,
+                        replica % static_cast<uint32_t>(num_nodes));
+}
 
 class RoutingTable {
  public:

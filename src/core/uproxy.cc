@@ -23,12 +23,21 @@ Uproxy::Uproxy(Network& net, EventQueue& queue, Host& client_host, UproxyConfig 
       queue_(queue),
       client_host_(client_host),
       config_(std::move(config)),
-      attr_cache_(config_.attr_cache_entries) {
+      attr_cache_(config_.attr_cache_entries),
+      lookup_cache_(config_.lookup_cache_entries) {
   SLICE_CHECK(!config_.dir_servers.empty());
   SLICE_CHECK(!config_.storage_nodes.empty());
   dir_table_ = RoutingTable(config_.logical_name_slots, config_.dir_servers);
   if (!config_.small_file_servers.empty()) {
     sfs_table_ = RoutingTable(config_.logical_name_slots, config_.small_file_servers);
+    if (config_.rendezvous_routing) {
+      // HRW slot fill: a small-file server's death (manager-installed
+      // assignment) or addition rebinds only the slots it owns/wins.
+      sfs_table_.InstallAssignment(
+          0, config_.small_file_servers,
+          RendezvousAssignment(config_.logical_name_slots,
+                               config_.small_file_servers.size()));
+    }
   }
   own_rpc_ = std::make_unique<RpcClient>(client_host_, queue_, config_.own_rpc_params);
   net_.InstallTap(client_host_.addr(), this);
@@ -71,6 +80,21 @@ void Uproxy::set_metrics(obs::Metrics* metrics) {
   for (const auto& [metric, op] : kFromOpCounters) {
     reg.GetCounter(metric)->SetProvider(
         [this, op = std::string_view(op)]() { return counters_.Get(op); });
+  }
+  if (config_.proxy_cache) {
+    // Registered only when the proxy cache is on so metrics snapshots of
+    // cache-off runs stay byte-identical to earlier builds.
+    m_lookup_hits_ = reg.GetCounter("uproxy_cache_lookup_hits");
+    m_lookup_misses_ = reg.GetCounter("uproxy_cache_lookup_misses");
+    reg.GetCounter("uproxy_cache_getattr_hits")
+        ->SetProvider([this]() { return counters_.Get("cache_getattr_hits"); });
+    reg.GetCounter("uproxy_cache_flushed_entries")
+        ->SetProvider([this]() { return counters_.Get("cache_flushed_entries"); });
+    reg.GetCounter("uproxy_lookup_cache_evictions")
+        ->SetProvider([this]() { return lookup_cache_.evictions(); });
+    reg.GetGauge("uproxy_lookup_cache_size")->SetProvider([this]() {
+      return static_cast<int64_t>(lookup_cache_.size());
+    });
   }
   reg.GetCounter("uproxy_attr_evictions")->SetProvider(
       [this]() { return attr_cache_.evictions(); });
@@ -145,6 +169,7 @@ void Uproxy::FinishTrace(const Pending& pending, SimTime end) {
 void Uproxy::DropSoftState() {
   pending_.Clear();
   attr_cache_.Clear();
+  lookup_cache_.Clear();
   map_cache_.clear();
   // "It is free to discard its state and/or pending packets without
   // compromising correctness" (§2.1): in-flight µproxy-originated calls die
@@ -159,6 +184,10 @@ void Uproxy::DropSoftState() {
 }
 
 uint32_t Uproxy::StripeSite(const FileHandle& fh, uint64_t offset, uint32_t replica) const {
+  if (config_.rendezvous_routing) {
+    return RendezvousStripeSite(Fnv1a64(fh.bytes()), offset, config_.stripe_unit,
+                                config_.storage_nodes.size(), replica);
+  }
   return StripeSiteFor(fh, offset, config_.stripe_unit,
                        static_cast<uint32_t>(config_.storage_nodes.size()), replica);
 }
@@ -402,6 +431,22 @@ void Uproxy::HandleOutbound(Packet&& pkt) {
       SynthesizeErrorReply(req.proc, req.xid, pkt.src(), route.error);
       return;
     case RouteClass::kDirServer: {
+      if (config_.proxy_cache) {
+        if (req.proc == NfsProc::kLookup) {
+          if (TryServeLookup(pkt, req,
+                             NameFingerprint(req.fh, req.name(pkt.payload())))) {
+            return;
+          }
+        } else if (req.proc == NfsProc::kGetattr) {
+          if (TryServeGetattr(pkt, req)) {
+            return;
+          }
+        } else {
+          // Name-mutating ops invalidate at request time: conservative (the
+          // op may yet fail) but never serves a name past its removal.
+          InvalidateOnNameOp(req, pkt.payload());
+        }
+      }
       counters_.Add("routed_dir");
       // Removes need the victim's identity to reclaim its data afterwards;
       // ask ahead (FIFO ordering guarantees the lookup is served first).
@@ -467,6 +512,10 @@ void Uproxy::ForwardRequest(Packet&& pkt, const DecodedView& req, Endpoint targe
     p->offset = req.offset;
     if (req.proc != NfsProc::kRemove) {
       p->count = req.count;
+    }
+    if (config_.proxy_cache && req.proc == NfsProc::kLookup) {
+      // Arm the reply-side cache fill with the (dir, name) key.
+      p->name_fp = NameFingerprint(req.fh, req.name(pkt.payload()));
     }
   } else {
     // Retransmission: keep existing record (it may hold the remove lookup).
@@ -556,6 +605,12 @@ void Uproxy::HandleInbound(Packet&& pkt) {
       }
     }
     PatchReplyAttrs(pkt, pending, reply);
+    if (config_.proxy_cache && pending.proc == NfsProc::kLookup &&
+        pending.name_fp != 0) {
+      // Fill after patching so the cached attributes match what the client
+      // sees in this reply.
+      FillLookupCache(pkt, pending);
+    }
   }
 
   pkt.RewriteSrc(config_.virtual_server);
@@ -667,6 +722,125 @@ void Uproxy::PatchReplyAttrs(Packet& pkt, const Pending& pending, const DecodedR
   EncodeFattr3(patch_enc_, entry->attr);
   pkt.RewriteBytes(kPacketHeaderSize + *attr_offset, patch_enc_.bytes());
   counters_.Add("attrs_patched");
+}
+
+// --- in-proxy metadata cache (proxy_cache) ---
+
+namespace {
+
+// Accepted-success RPC reply header, hand-encoded to keep the cache-served
+// path on the reused encoder (RpcReply::Encode allocates a fresh Bytes).
+// Layout mirrors RpcReply::Encode exactly.
+void EncodeReplyHeader(XdrEncoder& enc, uint32_t xid) {
+  enc.PutUint32(xid);
+  enc.PutEnum(static_cast<uint32_t>(RpcMsgType::kReply));
+  enc.PutEnum(static_cast<uint32_t>(RpcReplyStat::kAccepted));
+  enc.PutEnum(static_cast<uint32_t>(RpcAuthFlavor::kNone));  // null verifier
+  enc.PutUint32(0);                                          //   (empty body)
+  enc.PutEnum(static_cast<uint32_t>(RpcAcceptStat::kSuccess));
+}
+
+}  // namespace
+
+bool Uproxy::TryServeLookup(const Packet& pkt, const DecodedView& req, uint64_t name_fp) {
+  const LookupCache::Entry* e = lookup_cache_.Find(
+      req.fh.fileid(), name_fp, static_cast<uint64_t>(queue_.now()),
+      static_cast<uint64_t>(config_.proxy_cache_ttl));
+  if (e == nullptr) {
+    counters_.Add("cache_lookup_misses");
+    obs::Inc(m_lookup_misses_);
+    return false;
+  }
+  counters_.Add("cache_lookup_hits");
+  obs::Inc(m_lookup_hits_);
+  obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kDebug,
+                obs::EventCat::kCache, obs::EventCode::kCacheHit, /*trace_id=*/0,
+                "lookup",
+                {{"epoch", static_cast<int64_t>(table_epoch_)}, {"xid", req.xid}});
+  LookupRes res;
+  res.status = Nfsstat3::kOk;
+  res.object = e->fh;
+  res.obj_attributes = e->attr;
+  // Serve the freshest attribute view held: the attr cache may have absorbed
+  // I/O since the lookup was cached (same merge the patch stage applies).
+  if (const AttrCache::Entry* a = attr_cache_.Find(e->fh.fileid());
+      a != nullptr && a->complete) {
+    res.obj_attributes = a->attr;
+  }
+  reply_enc_.Clear();
+  EncodeReplyHeader(reply_enc_, req.xid);
+  res.Encode(reply_enc_);
+  SendCachedReply(pkt.src());
+  return true;
+}
+
+bool Uproxy::TryServeGetattr(const Packet& pkt, const DecodedView& req) {
+  const AttrCache::Entry* a = attr_cache_.Find(req.fh.fileid());
+  if (a == nullptr || !a->complete) {
+    return false;  // partial (write-only) entries go to the directory server
+  }
+  counters_.Add("cache_getattr_hits");
+  obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kDebug,
+                obs::EventCat::kCache, obs::EventCode::kCacheHit, /*trace_id=*/0,
+                "getattr",
+                {{"epoch", static_cast<int64_t>(table_epoch_)}, {"xid", req.xid}});
+  GetattrRes res;
+  res.status = Nfsstat3::kOk;
+  res.attributes = a->attr;
+  reply_enc_.Clear();
+  EncodeReplyHeader(reply_enc_, req.xid);
+  res.Encode(reply_enc_);
+  SendCachedReply(pkt.src());
+  return true;
+}
+
+void Uproxy::SendCachedReply(Endpoint client) {
+  Packet out = Packet::MakeUdp(config_.virtual_server, client, reply_enc_.bytes());
+  const SimTime ready = ChargeCpu();
+  net_.DeliverLocalAt(client.addr, std::move(out), ready, alive_);
+}
+
+void Uproxy::InvalidateOnNameOp(const DecodedView& req, ByteSpan payload) {
+  switch (req.proc) {
+    case NfsProc::kCreate:
+    case NfsProc::kMkdir:
+    case NfsProc::kSymlink:
+    case NfsProc::kLink:
+    case NfsProc::kRemove:
+    case NfsProc::kRmdir: {
+      const uint64_t fp = NameFingerprint(req.fh, req.name(payload));
+      if (req.proc == NfsProc::kRemove || req.proc == NfsProc::kRmdir) {
+        // The victim's attributes must not outlive its name: a later getattr
+        // on the stale handle has to reach the authoritative server.
+        if (const LookupCache::Entry* e = lookup_cache_.Find(
+                req.fh.fileid(), fp, static_cast<uint64_t>(queue_.now()),
+                static_cast<uint64_t>(config_.proxy_cache_ttl));
+            e != nullptr) {
+          attr_cache_.Erase(e->fh.fileid());
+        }
+      }
+      lookup_cache_.Erase(req.fh.fileid(), fp);
+      return;
+    }
+    case NfsProc::kRename:
+      lookup_cache_.Erase(req.fh.fileid(), NameFingerprint(req.fh, req.name(payload)));
+      lookup_cache_.Erase(req.fh2.fileid(),
+                          NameFingerprint(req.fh2, req.name2(payload)));
+      return;
+    default:
+      return;
+  }
+}
+
+void Uproxy::FillLookupCache(const Packet& pkt, const Pending& pending) {
+  LookupReplyView view;
+  if (!DecodeLookupReplyView(pkt.payload(), &view).ok() || view.nfs_status != 0 ||
+      !view.has_attr) {
+    return;
+  }
+  lookup_cache_.Insert(pending.fh.fileid(), pending.name_fp, view.fh, view.attr,
+                       dir_table_.SlotFor(pending.name_fp),
+                       static_cast<uint64_t>(queue_.now()));
 }
 
 // --- µproxy-originated calls ---
@@ -816,6 +990,40 @@ bool Uproxy::InstallTables(const MgmtTableSet& tables, bool force) {
   }
   table_epoch_ = tables.epoch;
   if (!tables.dir_servers.empty() && !tables.dir_slots.empty()) {
+    if (config_.proxy_cache) {
+      // Epoch invalidation, slot-granular: diff the old slot binding against
+      // the incoming one and flush exactly the entries resolved through a
+      // rebound slot. Everything else survives the epoch bump.
+      const std::vector<uint32_t>& old_slots = dir_table_.slots();
+      const size_t n = std::max(old_slots.size(), tables.dir_slots.size());
+      changed_slots_.assign(n, 0);
+      size_t slots_changed = 0;
+      for (size_t s = 0; s < n; ++s) {
+        const bool same = s < old_slots.size() && s < tables.dir_slots.size() &&
+                          old_slots[s] == tables.dir_slots[s];
+        if (!same) {
+          changed_slots_[s] = 1;
+          ++slots_changed;
+        }
+      }
+      if (slots_changed > 0) {
+        size_t flushed = lookup_cache_.InvalidateSlots(changed_slots_);
+        // Clean attr entries route by fileID-embedded site through the same
+        // binding; dirty ones stay (the µproxy is authoritative until
+        // writeback, which re-resolves the target at send time).
+        flushed += attr_cache_.FlushWhere([this](uint64_t fileid) {
+          return changed_slots_[SiteOfFileid(fileid) % changed_slots_.size()] != 0;
+        });
+        counters_.Add("cache_flushes");
+        counters_.Add("cache_flushed_entries", flushed);
+        obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(),
+                      obs::EventSev::kInfo, obs::EventCat::kCache,
+                      obs::EventCode::kCacheFlush, /*trace_id=*/0, nullptr,
+                      {{"epoch", static_cast<int64_t>(tables.epoch)},
+                       {"slots", static_cast<int64_t>(slots_changed)},
+                       {"entries", static_cast<int64_t>(flushed)}});
+      }
+    }
     dir_table_.InstallAssignment(tables.epoch, tables.dir_servers, tables.dir_slots);
     // The manager's slot assignment doubles as the fixed-placement binding
     // for fileID-embedded sites (site -> adopter when the owner is dead).

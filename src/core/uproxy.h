@@ -56,6 +56,17 @@ struct UproxyConfig {
   size_t logical_name_slots = 64;
   size_t attr_cache_entries = 65536;
   SimTime attr_writeback_interval = FromSeconds(1);
+
+  // Fleet routing (PR 7): rendezvous (HRW) hashing for storage striping and
+  // small-file selection, so node add/remove moves only the minimal key
+  // range instead of reshuffling nearly everything (modular placement).
+  bool rendezvous_routing = false;
+  // In-proxy metadata cache: serve LOOKUP (and complete GETATTR) replies
+  // from the interposition point; entries are invalidated per logical name
+  // slot when an epoch-stamped table push rebinds their slot.
+  bool proxy_cache = false;
+  size_t lookup_cache_entries = 4096;
+  SimTime proxy_cache_ttl = 0;  // 0 = entries live until invalidated
   double per_packet_cpu_us = 10.0;  // client-side interposition cost
   // Per-byte CPU cost of duplicating a mirrored write's payload for each
   // extra replica ("the client host writes to both mirrors", §5).
@@ -117,6 +128,7 @@ class Uproxy : public PacketTap {
 
   const OpCounters& counters() const { return counters_; }
   const AttrCache& attr_cache() const { return attr_cache_; }
+  const LookupCache& lookup_cache() const { return lookup_cache_; }
   size_t pending_count() const { return pending_.size(); }
 
   // Observability: the µproxy is where traces begin — each intercepted
@@ -194,6 +206,9 @@ class Uproxy : public PacketTap {
     uint64_t trace_id = 0;
     uint64_t root_span_id = 0;
     SimTime trace_start = 0;
+    // Name fingerprint of an in-flight LOOKUP (proxy cache fill key; 0 when
+    // the proxy cache is off or the op is not a lookup).
+    uint64_t name_fp = 0;
   };
   static uint64_t KeyOf(NetPort port, uint32_t xid) {
     return (static_cast<uint64_t>(port) << 32) | xid;
@@ -238,6 +253,19 @@ class Uproxy : public PacketTap {
   void LogDegradedWrite(const FileHandle& fh, uint64_t offset, uint32_t count,
                         uint32_t node, std::function<void(bool)> cb);
 
+  // In-proxy metadata cache (proxy_cache). The serve paths are zero-alloc in
+  // steady state: probe is a hash find + LRU splice, the reply is encoded
+  // into the reused `reply_enc_` and carried by a pool-backed packet.
+  // Each returns true when the request was answered from the cache.
+  bool TryServeLookup(const Packet& pkt, const DecodedView& req, uint64_t name_fp);
+  bool TryServeGetattr(const Packet& pkt, const DecodedView& req);
+  // Delivers `reply_enc_`'s current contents to the local client.
+  void SendCachedReply(Endpoint client);
+  // Conservative request-time invalidation for name-mutating operations.
+  void InvalidateOnNameOp(const DecodedView& req, ByteSpan payload);
+  // Reply-side cache fill from a successful LOOKUP.
+  void FillLookupCache(const Packet& pkt, const Pending& pending);
+
   // Reply-side attribute patching.
   void PatchReplyAttrs(Packet& pkt, const Pending& pending, const DecodedReply& reply);
   // Finds the absolute packet offset of the target file's fattr3 within the
@@ -274,12 +302,15 @@ class Uproxy : public PacketTap {
   RoutingTable dir_table_;
   RoutingTable sfs_table_;
   AttrCache attr_cache_;
+  LookupCache lookup_cache_;
   obs::Tracer* tracer_ = nullptr;
   obs::EventLog* eventlog_ = nullptr;
   // Hot-path instruments (null when metrics are off — see obs::Inc/Observe).
   obs::Histogram* m_cpu_ = nullptr;
   obs::Counter* m_attr_hits_ = nullptr;
   obs::Counter* m_attr_misses_ = nullptr;
+  obs::Counter* m_lookup_hits_ = nullptr;
+  obs::Counter* m_lookup_misses_ = nullptr;
   std::unique_ptr<RpcClient> own_rpc_;  // µproxy-originated traffic
   BusyResource cpu_;
   // Flat open-addressing table: pending insert/erase is once per forwarded
@@ -287,6 +318,10 @@ class Uproxy : public PacketTap {
   FlatU64Map<Pending> pending_;
   // Scratch encoder for reply attribute patching (capacity reused).
   XdrEncoder patch_enc_;
+  // Scratch encoder for cache-served replies (capacity reused).
+  XdrEncoder reply_enc_;
+  // Scratch slot-changed bitmap for epoch invalidation (capacity reused).
+  std::vector<uint8_t> changed_slots_;
   // Block-map cache (dynamic placement): fileid -> site per block.
   std::unordered_map<uint64_t, std::vector<uint32_t>> map_cache_;
   OpCounters counters_;

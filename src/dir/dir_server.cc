@@ -328,6 +328,26 @@ void DirServer::HandoffSite(uint32_t site, DirServer& target) {
              << attrs.size() << " attr cells back to site " << site;
 }
 
+void DirServer::MigrateSlot(uint32_t slot, uint32_t num_slots, DirServer& target) {
+  if (params_.policy != NamePolicy::kNameHashing || num_slots == 0 || &target == this) {
+    return;
+  }
+  std::vector<NameCell> moved;
+  store_.ForEachEntry([&](const NameCell& cell) {
+    const FileHandle parent = FileHandle::Make(params_.volume, cell.parent_id, 1,
+                                               FileType3::kDir, 1, params_.volume_secret);
+    if (NameFingerprint(parent, cell.name) % num_slots == slot) {
+      moved.push_back(cell);
+    }
+  });
+  for (const NameCell& cell : moved) {
+    target.ApplyInsertEntry(cell.parent_id, cell.name, cell.child, /*log=*/true);
+    ApplyEraseEntry(cell.parent_id, cell.name, /*log=*/true);
+  }
+  SLICE_ILOG << "dir site " << params_.site << ": migrated slot " << slot << " ("
+             << moved.size() << " entries) to site " << target.params_.site;
+}
+
 // --- peer protocol ---
 
 void DirServer::ChargePeer(ServiceCost& cost) {
@@ -435,6 +455,24 @@ uint32_t DirServer::EntrySite(const FileHandle& parent, const std::string& name)
     return NameHashSite(NameFingerprint(parent, name), params_.num_sites);
   }
   return SiteOfFileid(parent.fileid());
+}
+
+uint32_t DirServer::OwnerSiteForEntry(const FileHandle& parent, const std::string& name) const {
+  const uint32_t site = EntrySite(parent, name);
+  if (params_.policy != NamePolicy::kNameHashing || mgmt_slots_.empty() || peers_.empty()) {
+    return site;
+  }
+  // A hotspot re-stripe can bind this name's logical slot to a different
+  // physical server than the static fold; secondary names (a rename target)
+  // must follow the installed view or the entry lands where lookups will
+  // never route. When both mappings resolve to the same server, keep the
+  // static site so the peer-charge accounting is unchanged.
+  const uint64_t fp = NameFingerprint(parent, name);
+  const uint32_t phys = mgmt_slots_[fp % mgmt_slots_.size()];
+  if (phys < peers_.size() && peers_[phys] != peers_[site % peers_.size()]) {
+    return phys;
+  }
+  return site;
 }
 
 // --- NFS handlers ---
@@ -704,7 +742,7 @@ void DirServer::HandleRename(const RenameArgs& args, XdrEncoder& reply, ServiceC
     return;
   }
   const bool is_dir = child->IsDir();
-  const uint32_t target_site = EntrySite(args.to_dir, args.to_name);
+  const uint32_t target_site = OwnerSiteForEntry(args.to_dir, args.to_name);
 
   // If the target name exists, NFS semantics replace it (rejecting a
   // non-empty directory target).

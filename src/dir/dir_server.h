@@ -114,6 +114,14 @@ class DirServer : public RpcServerNode {
   // Both sides log each move, so the transfer survives either party's crash.
   void HandoffSite(uint32_t site, DirServer& target);
 
+  // Hotspot re-stripe (name hashing only): moves the name entries of one
+  // logical slot (fingerprint % num_slots == slot) to `target`, both sides
+  // logged. Runs synchronously in the same sim instant as the table install
+  // that rebinds the slot, so no request can observe the half-moved state.
+  // Attribute cells stay put: they route by the creating site's low slots,
+  // which a re-stripe never touches.
+  void MigrateSlot(uint32_t slot, uint32_t num_slots, DirServer& target);
+
   // Holds client traffic (kErrJukebox) on a rejoined owner while the handoff
   // back to it is pending, so a fresh write can't land and then be clobbered
   // when the transfer drops stale site-owned cells.
@@ -181,6 +189,10 @@ class DirServer : public RpcServerNode {
 
   // Entry-owning site for (parent, name) under the configured policy.
   uint32_t EntrySite(const FileHandle& parent, const std::string& name) const;
+  // Request-time owner for a secondary name (rename target): the static
+  // EntrySite unless the installed mgmt view re-bound the name's slot to a
+  // different server (hotspot override).
+  uint32_t OwnerSiteForEntry(const FileHandle& parent, const std::string& name) const;
 
   NfsTime Now() const;
   uint64_t MintFileid() { return MakeFileid(params_.site, next_counter_++); }

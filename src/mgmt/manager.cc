@@ -1,6 +1,9 @@
 #include "src/mgmt/manager.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
+#include "src/core/routing_table.h"
 #include "src/net/network.h"
 
 namespace slice {
@@ -16,6 +19,8 @@ const char* NodeClassName(NodeClass cls) {
       return "sfs";
     case NodeClass::kCoord:
       return "coord";
+    case NodeClass::kClient:
+      return "client";
   }
   return "?";
 }
@@ -37,6 +42,7 @@ void EnsembleManager::set_metrics(obs::Metrics* metrics) {
   obs::MetricsRegistry& reg = metrics->Registry(addr());
   reg.GetCounter("mgmt_heartbeats_rx")->SetProvider([this]() { return heartbeats_received_; });
   reg.GetCounter("mgmt_reconfigurations")->SetProvider([this]() { return reconfigurations_; });
+  reg.GetCounter("mgmt_rebalances")->SetProvider([this]() { return rebalances_; });
   reg.GetGauge("mgmt_epoch")->SetProvider(
       [this]() { return static_cast<int64_t>(tables_.epoch); });
   reg.GetGauge("mgmt_nodes_dead")->SetProvider(
@@ -72,6 +78,116 @@ void EnsembleManager::Start() {
       Sweep();
     }
   });
+  if (params_.hotspot_enabled && view_.dir_servers.size() >= 2) {
+    hotspot_last_ops_.assign(view_.dir_servers.size(), 0);
+    ArmHotspotCheck();
+  }
+}
+
+void EnsembleManager::ArmHotspotCheck() {
+  std::shared_ptr<bool> alive = alive_;
+  queue().ScheduleBackgroundAfter(params_.hotspot_interval, [this, alive] {
+    if (*alive) {
+      CheckHotspots();
+      ArmHotspotCheck();
+    }
+  });
+}
+
+void EnsembleManager::CheckHotspots() {
+  if (metrics() == nullptr || !metrics()->enabled()) {
+    return;  // detector needs the metrics plane
+  }
+  const size_t num_dir = view_.dir_servers.size();
+  // Sample per-dir local-op deltas since the previous pass. A restarted
+  // server's counter may be below our last sample; clamp to zero.
+  std::vector<uint64_t> delta(num_dir, 0);
+  for (uint32_t i = 0; i < num_dir; ++i) {
+    const obs::Counter* c =
+        metrics()->Registry(view_.dir_servers[i].addr).FindCounter("dir_local_ops");
+    const uint64_t total = c != nullptr ? c->Value() : 0;
+    delta[i] = total - std::min(total, hotspot_last_ops_[i]);
+    hotspot_last_ops_[i] = total;
+  }
+  if (hotspot_episodes_ >= params_.hotspot_max_episodes) {
+    return;  // budget spent; keep sampling so deltas stay current
+  }
+  // Hottest and coldest among live servers only: moving load onto a dead
+  // server is pointless, and a dead server's zero delta is not "cold".
+  bool have_hot = false, have_cold = false;
+  uint32_t hot = 0, cold = 0;
+  for (uint32_t i = 0; i < num_dir; ++i) {
+    if (!detector_.alive(NodeId(NodeClass::kDir, i))) {
+      continue;
+    }
+    if (!have_hot || delta[i] > delta[hot]) {
+      hot = i;
+      have_hot = true;
+    }
+    if (!have_cold || delta[i] < delta[cold]) {
+      cold = i;
+      have_cold = true;
+    }
+  }
+  if (!have_hot || hot == cold) {
+    return;
+  }
+  const uint64_t hot_delta = delta[hot];
+  const uint64_t cold_delta = delta[cold];
+  if (hot_delta < params_.hotspot_min_ops ||
+      static_cast<double>(hot_delta) <
+          params_.hotspot_imbalance * static_cast<double>(std::max<uint64_t>(cold_delta, 1))) {
+    return;
+  }
+  // Re-bind up to max_slots of the hot server's name slots to the cold one.
+  // Only slots >= num_dir are movable: the low slots double as the dir
+  // peer-protocol's static cell ownership (ensemble SetPeers), which a
+  // fronting change must not disturb.
+  std::vector<uint32_t> moved;
+  for (uint32_t slot = static_cast<uint32_t>(num_dir);
+       slot < tables_.dir_slots.size() && moved.size() < params_.hotspot_max_slots; ++slot) {
+    if (tables_.dir_slots[slot] == hot) {
+      moved.push_back(slot);
+      slot_overrides_[slot] = cold;
+    }
+  }
+  if (moved.empty()) {
+    return;
+  }
+  ++hotspot_episodes_;
+  ++rebalances_;
+  // Each rebalance episode gets its own trace id so begin/commit (and any
+  // downstream cache flushes) correlate in the flight recorder.
+  obs::TraceContext ctx;
+  if (tracer() != nullptr && tracer()->enabled()) {
+    ctx.trace_id = tracer()->NewTraceId();
+    ctx.span_id = tracer()->NewSpanId();
+    tracer()->RecordInstant(addr(), ctx, "rebalance", now());
+  }
+  obs::LogEvent(eventlog(), addr(), now(), obs::EventSev::kInfo, obs::EventCat::kMgmt,
+                obs::EventCode::kRebalanceBegin, ctx.trace_id, "dir",
+                {{"from", static_cast<int64_t>(hot)},
+                 {"to", static_cast<int64_t>(cold)},
+                 {"slots", static_cast<int64_t>(moved.size())}});
+  SLICE_ILOG << "mgmt: rebalance dir " << hot << " -> " << cold << " ("
+             << moved.size() << " slots)";
+  // Move the slots' directory entries before anyone sees the new binding:
+  // the migrate + table install happen in one sim instant, so a lookup
+  // routed by the new tables always finds its names on the new owner.
+  if (rebalance_hook_) {
+    for (uint32_t slot : moved) {
+      rebalance_hook_(slot, static_cast<uint32_t>(tables_.dir_slots.size()), hot, cold);
+    }
+  }
+  RecomputeTables();
+  ++reconfigurations_;
+  if (hook_) {
+    hook_(tables_, {}, {});
+  }
+  PushTables();
+  obs::LogEvent(eventlog(), addr(), now(), obs::EventSev::kInfo, obs::EventCat::kMgmt,
+                obs::EventCode::kRebalanceCommit, ctx.trace_id, "dir",
+                {{"epoch", static_cast<int64_t>(tables_.epoch)}});
 }
 
 obs::TraceContext EnsembleManager::OpenEpisode(uint64_t id, const char* marker) {
@@ -188,6 +304,13 @@ void EnsembleManager::RecomputeTables() {
       }
       t.dir_slots[slot] = phys;
     }
+    // Hotspot re-striping decisions ride on top of the default walk; an
+    // override only holds while its target is alive.
+    for (const auto& [slot, phys] : slot_overrides_) {
+      if (slot < t.dir_slots.size() && phys < num_dir && t.dir_alive[phys]) {
+        t.dir_slots[slot] = phys;
+      }
+    }
   }
 
   // Small-file slots keep their identity binding: a replacement server would
@@ -199,9 +322,15 @@ void EnsembleManager::RecomputeTables() {
     t.sfs_alive[i] = detector_.alive(NodeId(NodeClass::kSfs, i)) ? 1 : 0;
   }
   if (num_sfs > 0) {
-    t.sfs_slots.resize(view_.logical_slots);
-    for (size_t slot = 0; slot < t.sfs_slots.size(); ++slot) {
-      t.sfs_slots[slot] = static_cast<uint32_t>(slot % num_sfs);
+    if (params_.rendezvous_sfs_slots) {
+      // Rendezvous-filled slots: adding/removing a server perturbs only the
+      // minimal slot set, so most of the fleet's cached mappings survive.
+      t.sfs_slots = RendezvousAssignment(view_.logical_slots, num_sfs);
+    } else {
+      t.sfs_slots.resize(view_.logical_slots);
+      for (size_t slot = 0; slot < t.sfs_slots.size(); ++slot) {
+        t.sfs_slots[slot] = static_cast<uint32_t>(slot % num_sfs);
+      }
     }
   }
 

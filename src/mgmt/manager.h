@@ -28,6 +28,23 @@ struct MgmtParams {
   SimTime failure_timeout = FromMillis(500);
   SimTime sweep_interval = FromMillis(50);
   double op_cpu_us = 5.0;
+
+  // Fleet routing: fill small-file slots by rendezvous (HRW) hashing instead
+  // of round-robin, so a membership change moves only the minimal slot set.
+  bool rendezvous_sfs_slots = false;
+
+  // Hotspot detector: periodically sample each directory server's local-op
+  // counter from the metrics plane; when the hottest live server's
+  // per-interval delta exceeds `hotspot_imbalance` × the coldest's, re-bind
+  // up to `hotspot_max_slots` of its name slots to the coldest server and
+  // push the re-striped tables (a "rebalance episode", bounded by
+  // `hotspot_max_episodes` per run). Requires metrics to be enabled.
+  bool hotspot_enabled = false;
+  SimTime hotspot_interval = FromMillis(250);
+  uint64_t hotspot_min_ops = 64;   // hot server's delta must reach this
+  double hotspot_imbalance = 2.0;  // hottest/coldest delta ratio trigger
+  uint32_t hotspot_max_slots = 4;  // slots re-bound per episode
+  uint32_t hotspot_max_episodes = 4;
 };
 
 // Static membership the manager supervises.
@@ -50,6 +67,13 @@ class EnsembleManager : public RpcServerNode {
                          const std::vector<uint64_t>& died,
                          const std::vector<uint64_t>& revived)>;
 
+  // Invoked once per slot a hotspot episode moves, before the new tables are
+  // installed anywhere: (slot, num_slots, from_phys, to_phys). The ensemble
+  // uses it to migrate the slot's directory entries to the new owner in the
+  // same sim instant, so a rebound lookup never sees a nameless server.
+  using RebalanceHook =
+      std::function<void(uint32_t slot, uint32_t num_slots, uint32_t from, uint32_t to)>;
+
   EnsembleManager(Network& net, EventQueue& queue, NetAddr addr,
                   ClusterView view, MgmtParams params = {});
   ~EnsembleManager() override { *alive_ = false; }
@@ -58,6 +82,7 @@ class EnsembleManager : public RpcServerNode {
   void Start();
 
   void SetReconfigureHook(ReconfigureHook hook) { hook_ = std::move(hook); }
+  void SetRebalanceHook(RebalanceHook hook) { rebalance_hook_ = std::move(hook); }
   // Adds a µproxy control endpoint that receives eager table pushes.
   void Subscribe(Endpoint proxy_control) { subscribers_.push_back(proxy_control); }
 
@@ -68,6 +93,11 @@ class EnsembleManager : public RpcServerNode {
   }
   uint64_t reconfigurations() const { return reconfigurations_; }
   uint64_t heartbeats_received() const { return heartbeats_received_; }
+  uint64_t rebalances() const { return rebalances_; }
+  // Hotspot re-striping decisions currently in force (slot -> physical dir).
+  const std::map<uint32_t, uint32_t>& slot_overrides() const {
+    return slot_overrides_;
+  }
 
   // Adds control-plane instruments on top of the base server metrics:
   // heartbeat totals, epoch, declared-dead count, and the silent-node gauge
@@ -93,6 +123,10 @@ class EnsembleManager : public RpcServerNode {
  private:
   void Sweep();
   void RecomputeTables();
+  // Hotspot detector (hotspot_enabled): one sampling pass, possibly opening
+  // a rebalance episode; re-arms itself every hotspot_interval.
+  void CheckHotspots();
+  void ArmHotspotCheck();
   void OnMembershipChange(std::vector<uint64_t> died,
                           std::vector<uint64_t> revived);
   void PushTables();
@@ -112,6 +146,7 @@ class EnsembleManager : public RpcServerNode {
   HeartbeatFailureDetector detector_;
   MgmtTableSet tables_;
   ReconfigureHook hook_;
+  RebalanceHook rebalance_hook_;
   std::vector<Endpoint> subscribers_;
   uint64_t reconfigurations_ = 0;
   uint64_t heartbeats_received_ = 0;
@@ -119,6 +154,12 @@ class EnsembleManager : public RpcServerNode {
   // flagged silent, so each miss is reported once per episode.
   std::map<uint64_t, obs::TraceContext> episodes_;
   std::set<uint64_t> suspected_;
+  // Hotspot detector state: last-sampled per-dir op totals, re-striping
+  // overrides applied on top of the default slot walk, episode budget.
+  std::vector<uint64_t> hotspot_last_ops_;
+  std::map<uint32_t, uint32_t> slot_overrides_;
+  uint32_t hotspot_episodes_ = 0;
+  uint64_t rebalances_ = 0;
   bool started_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

@@ -31,6 +31,9 @@ enum class NodeClass : uint32_t {
   kDir = 1,
   kSfs = 2,
   kCoord = 3,
+  // Client hosts are not supervised (no heartbeats, no tables) but chaos
+  // scenarios address them through the same (class, index) coordinates.
+  kClient = 4,
 };
 
 // Stable identity of a supervised node: (class, index within class).

@@ -78,12 +78,16 @@ constexpr size_t kNumEventCats = 8;
   X(kSoftStateDrop, 113, "soft_state_drop")          /* proxy state dropped */   \
   /* -- cache (µproxy soft state) -- */                                          \
   X(kAttrWriteback, 120, "attr_writeback")                                       \
+  X(kCacheHit, 121, "cache_hit")     /* reply served from proxy cache */         \
+  X(kCacheFlush, 122, "cache_flush") /* epoch bump flushed entries */            \
   /* -- mgmt (membership + tables) -- */                                         \
   X(kHeartbeatMiss, 200, "heartbeat_miss")     /* newly silent */                \
   X(kNodeDead, 201, "node_dead")               /* declared dead */               \
   X(kNodeRejoin, 202, "node_rejoin")           /* heartbeat after death */       \
   X(kEpochBump, 203, "epoch_bump")             /* tables recomputed */           \
   X(kHeartbeatResume, 204, "heartbeat_resume") /* silent node beat again */      \
+  X(kRebalanceBegin, 205, "rebalance_begin")   /* hotspot episode opened */      \
+  X(kRebalanceCommit, 206, "rebalance_commit") /* re-striped tables pushed */    \
   /* -- failover (recovery machinery) -- */                                      \
   X(kAdoptBegin, 210, "adopt_begin")   /* dir starts adopting a dead site */     \
   X(kAdoptDone, 211, "adopt_done")     /* adoption WAL replay finished */        \

@@ -161,6 +161,18 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
     manager_->SetReconfigureHook(
         [this](const MgmtTableSet& tables, const std::vector<uint64_t>& died,
                const std::vector<uint64_t>& revived) { OnReconfigure(tables, died, revived); });
+    manager_->SetRebalanceHook(
+        [this](uint32_t slot, uint32_t num_slots, uint32_t from, uint32_t to) {
+          if (from >= dir_servers_.size() || to >= dir_servers_.size()) {
+            return;
+          }
+          DirServer* src = dir_servers_[from].get();
+          DirServer* dst = dir_servers_[to].get();
+          if (src->failed() || dst->failed()) {
+            return;
+          }
+          src->MigrateSlot(slot, num_slots, *dst);
+        });
     auto add_agent = [&](Host& host, NodeClass cls, uint32_t index) {
       HeartbeatAgentParams hb;
       hb.node_class = cls;
@@ -203,6 +215,10 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
     up.stripe_unit = config_.stripe_unit;
     up.use_block_maps = config_.use_block_maps;
     up.per_packet_cpu_us = config_.cal.uproxy_cpu_us;
+    up.rendezvous_routing = config_.rendezvous_routing;
+    up.proxy_cache = config_.proxy_cache;
+    up.lookup_cache_entries = config_.lookup_cache_entries;
+    up.proxy_cache_ttl = config_.proxy_cache_ttl;
     if (manager_) {
       up.mgmt_enabled = true;
       up.manager = manager_->endpoint();
@@ -317,6 +333,9 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
       }
     };
     hooks.addr_of = [this](NodeClass cls, uint32_t index) -> uint32_t {
+      if (cls == NodeClass::kClient) {
+        return index < client_hosts_.size() ? client_hosts_[index]->addr() : 0;
+      }
       RpcServerNode* n = node(cls, index);
       return n != nullptr ? n->addr() : 0;
     };
@@ -355,6 +374,8 @@ RpcServerNode* Ensemble::node(NodeClass cls, uint32_t index) {
       return index < small_file_servers_.size() ? small_file_servers_[index].get() : nullptr;
     case NodeClass::kCoord:
       return index < coordinators_.size() ? coordinators_[index].get() : nullptr;
+    case NodeClass::kClient:
+      return nullptr;  // client hosts are not RPC servers
   }
   return nullptr;
 }

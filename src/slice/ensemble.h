@@ -52,6 +52,19 @@ struct EnsembleConfig {
   double loss_rate = 0.0;
   bool dir_wal_enabled = true;
 
+  // Fleet routing by rendezvous (HRW) hashing in every µproxy: storage
+  // striping and locally-built small-file tables pick sites by highest
+  // random weight, so membership changes move the minimal key set.
+  bool rendezvous_routing = false;
+
+  // In-proxy metadata cache: each µproxy answers repeated LOOKUPs (and
+  // GETATTRs with complete cached attributes) from a bounded LRU, with
+  // epoch-based invalidation riding the mgmt table push. Off by default —
+  // the cache changes observable RPC flows, so benches opt in explicitly.
+  bool proxy_cache = false;
+  size_t lookup_cache_entries = 4096;
+  SimTime proxy_cache_ttl = 0;  // 0 = entries live until invalidated
+
   Calibration cal;
   uint64_t storage_capacity_bytes = 64ull << 30;
   // FFS metadata amplification at the storage nodes (see StorageNodeParams).

@@ -37,6 +37,7 @@ constexpr Golden kGoldens[] = {
     {"correlated_crash", 0xdabbb5a64254242eull},
     {"skewed_heartbeats", 0x227fdcd7d45b5eaaull},
     {"flapping_node", 0xc543e7041ec7701eull},
+    {"stale_cache_partition", 0x49f8ce5cd9db2dfdull},
 };
 
 uint64_t GoldenFor(const std::string& name) {
@@ -68,11 +69,13 @@ void CheckScenario(const std::string& name) {
   std::printf(
       "MATRIX %s acked=%zu verified=%zu/%zu deaths=%zu rejoins=%zu "
       "adoptions=%zu/%zu handoffs=%zu resyncs=%zu epochs=%zu max_epoch=%" PRIu64
-      " faults=%zu/%zu worst_outage_ns=%" PRIu64 " hash=0x%016" PRIx64 "\n",
+      " faults=%zu/%zu worst_outage_ns=%" PRIu64
+      " rebalances=%zu/%zu cache_hits=%zu cache_flushes=%zu hash=0x%016" PRIx64 "\n",
       name.c_str(), r.acked_writes, r.verified_ok,
       r.verified_ok + r.verified_lost, r.deaths, r.rejoins, r.adoptions_begun,
       r.adoptions_done, r.handoffs, r.resyncs, r.epoch_bumps, r.max_epoch,
       r.faults_injected, r.faults_cleared, static_cast<uint64_t>(r.worst_outage),
+      r.rebalances_begun, r.rebalances_committed, r.cache_hits, r.cache_flushes,
       result.flight_hash);
   EXPECT_TRUE(result.report.ok()) << name << ": " << result.report.Summary();
   EXPECT_GT(result.stats.journal_size, 0u) << name << " made no durability claims";
@@ -90,6 +93,7 @@ TEST(ChaosMatrixTest, GrayDisk) { CheckScenario("gray_disk"); }
 TEST(ChaosMatrixTest, CorrelatedCrash) { CheckScenario("correlated_crash"); }
 TEST(ChaosMatrixTest, SkewedHeartbeats) { CheckScenario("skewed_heartbeats"); }
 TEST(ChaosMatrixTest, FlappingNode) { CheckScenario("flapping_node"); }
+TEST(ChaosMatrixTest, StaleCachePartition) { CheckScenario("stale_cache_partition"); }
 
 TEST(ChaosMatrixTest, MatrixCoversEveryGolden) {
   const std::vector<Scenario> matrix = ScenarioMatrix();
@@ -104,7 +108,7 @@ TEST(ChaosMatrixTest, MatrixCoversEveryGolden) {
 // both the stochastic (burst loss draws) and deterministic (crash plan)
 // families. This is the property the golden hashes stand on.
 TEST(ChaosDeterminismTest, SameSeedSameFlightDump) {
-  for (const char* name : {"partition_heal", "burst_loss"}) {
+  for (const char* name : {"partition_heal", "burst_loss", "stale_cache_partition"}) {
     ScenarioResult first = RunByName(name);
     ScenarioResult second = RunByName(name);
     EXPECT_EQ(first.flight_hash, second.flight_hash) << name;

@@ -43,6 +43,12 @@ TEST_P(FuzzSeedTest, RandomBytesThroughEveryDecoder) {
     DecodedReply rep;
     (void)DecodeNfsReply(data, &rep);
 
+    // Cache-fill reply peeks (in-proxy lookup/attribute cache).
+    LookupReplyView lview;
+    (void)DecodeLookupReplyView(data, &lview);
+    GetattrReplyView gview;
+    (void)DecodeGetattrReplyView(data, &gview);
+
     // NFS procedure codecs.
     {
       XdrDecoder dec(data);
@@ -121,6 +127,109 @@ TEST_P(FuzzSeedTest, BitFlippedValidCallsNeverCrashTheDecoder) {
       EXPECT_LE(static_cast<uint32_t>(req.proc), 21u);
     }
   }
+}
+
+TEST_P(FuzzSeedTest, BitFlippedCacheFillRepliesNeverCrashTheViewDecoders) {
+  Rng rng(GetParam());
+  // Valid LOOKUP reply: child handle plus post-op attributes, the exact
+  // shape the µproxy's cache-fill path peeks at.
+  const FileHandle child = FileHandle::Make(2, 7, 3, FileType3::kReg, 2, 0);
+  Bytes valid_lookup;
+  {
+    RpcReply reply;
+    reply.xid = 77;
+    LookupRes res;
+    res.status = Nfsstat3::kOk;
+    res.object = child;
+    Fattr3 attr;
+    attr.type = FileType3::kReg;
+    attr.fileid = child.fileid();
+    attr.size = 4096;
+    res.obj_attributes = attr;
+    XdrEncoder enc;
+    res.Encode(enc);
+    reply.result = enc.Take();
+    valid_lookup = reply.Encode();
+  }
+  // Valid GETATTR reply.
+  Bytes valid_getattr;
+  {
+    RpcReply reply;
+    reply.xid = 78;
+    GetattrRes res;
+    res.status = Nfsstat3::kOk;
+    res.attributes.type = FileType3::kDir;
+    res.attributes.fileid = 42;
+    XdrEncoder enc;
+    res.Encode(enc);
+    reply.result = enc.Take();
+    valid_getattr = reply.Encode();
+  }
+
+  for (int trial = 0; trial < 400; ++trial) {
+    Bytes lm = valid_lookup;
+    Bytes gm = valid_getattr;
+    const int flips = 1 + static_cast<int>(rng.NextBelow(8));
+    for (int f = 0; f < flips; ++f) {
+      lm[rng.NextBelow(lm.size())] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+      gm[rng.NextBelow(gm.size())] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+    }
+    LookupReplyView lview;
+    if (DecodeLookupReplyView(lm, &lview).ok()) {
+      // If it still parses, the view must be internally sane: the attribute
+      // flag is a bool, and a non-OK status never claims attributes (the
+      // cache-fill path trusts exactly these two invariants).
+      EXPECT_LE(lview.has_attr, 1u);
+      if (lview.nfs_status != 0) {
+        EXPECT_EQ(lview.has_attr, 0u);
+      }
+    }
+    GetattrReplyView gview;
+    (void)DecodeGetattrReplyView(gm, &gview);
+  }
+}
+
+TEST_P(FuzzSeedTest, TruncatedCacheFillRepliesFailCleanly) {
+  // Every strict prefix of a valid LOOKUP/GETATTR reply must be rejected or
+  // parse without over-reading; the untruncated bytes must round-trip the
+  // fields the cache-fill path consumes.
+  const FileHandle child = FileHandle::Make(1, 9, 2, FileType3::kReg, 4, 0);
+  RpcReply reply;
+  reply.xid = 501;
+  LookupRes res;
+  res.status = Nfsstat3::kOk;
+  res.object = child;
+  Fattr3 attr;
+  attr.type = FileType3::kReg;
+  attr.fileid = child.fileid();
+  res.obj_attributes = attr;
+  XdrEncoder enc;
+  res.Encode(enc);
+  reply.result = enc.Take();
+  const Bytes valid = reply.Encode();
+
+  // The view decoder never reads past the object attributes (the trailing
+  // dir_attributes post-op flag is dead weight to the cache), so only
+  // prefixes that keep everything up to that flag may parse with
+  // attributes — and then the fields must round-trip, never over-read.
+  const size_t attrs_end = valid.size() - 4;  // 4 = absent dir_attributes flag
+  for (size_t keep = 0; keep < valid.size(); ++keep) {
+    LookupReplyView view;
+    const Status st =
+        DecodeLookupReplyView(ByteSpan(valid.data(), keep), &view);
+    if (st.ok() && view.nfs_status == 0 && view.has_attr) {
+      EXPECT_GE(keep, attrs_end) << "keep=" << keep;
+      EXPECT_EQ(view.fh.fileid(), child.fileid());
+      EXPECT_EQ(view.attr.fileid, child.fileid());
+    }
+  }
+  LookupReplyView view;
+  ASSERT_TRUE(DecodeLookupReplyView(valid, &view).ok());
+  EXPECT_EQ(view.xid, 501u);
+  EXPECT_EQ(view.nfs_status, 0u);
+  EXPECT_EQ(view.fh.fileid(), child.fileid());
+  EXPECT_EQ(view.has_attr, 1u);
+  EXPECT_EQ(view.attr.fileid, child.fileid());
 }
 
 TEST_P(FuzzSeedTest, TruncationsOfValidMessagesFailCleanly) {

@@ -1,0 +1,247 @@
+// Property tests for the rendezvous (HRW) hashing primitives the µproxy
+// fleet routes by (src/core/routing_table.h).
+//
+// The load-bearing claim is *minimal disruption*: when the membership set
+// changes by one node, only the keys that touched that node move — removal
+// moves exactly the removed node's keys, addition moves only keys the
+// newcomer wins (≈ K/(n+1) of them), and everything else stays put. Modular
+// placement, by contrast, reshuffles more than half the key space on the
+// same change; the contrast test pins the gap the design paid for.
+//
+// The rank-k selector is checked differentially against a brute-force
+// sort-everything oracle, and a handful of literal picks are pinned so an
+// accidental change to the weight function (which would silently invalidate
+// every chaos-matrix golden) fails loudly here first.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/routing_table.h"
+
+namespace slice {
+namespace {
+
+// Brute-force oracle: node indices sorted by (weight desc, index asc).
+std::vector<uint32_t> SortedByWeight(uint64_t key, size_t n) {
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [key](uint32_t a, uint32_t b) {
+    const uint64_t wa = RendezvousWeight(key, a);
+    const uint64_t wb = RendezvousWeight(key, b);
+    return wa != wb ? wa > wb : a < b;
+  });
+  return order;
+}
+
+TEST(HashingPropertyTest, RankSelectionMatchesSortOracle) {
+  Rng rng(0x4157);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 1 + rng.NextBelow(64);
+    const uint64_t key = rng.NextU64();
+    const std::vector<uint32_t> oracle = SortedByWeight(key, n);
+    for (uint32_t rank = 0; rank < n; ++rank) {
+      ASSERT_EQ(RendezvousPick(key, n, rank), oracle[rank])
+          << "key=" << key << " n=" << n << " rank=" << rank;
+    }
+  }
+}
+
+TEST(HashingPropertyTest, PickAliveMatchesArgmaxOverLiveSet) {
+  Rng rng(0xa11e);
+  for (int trial = 0; trial < 500; ++trial) {
+    const size_t n = 1 + rng.NextBelow(48);
+    const uint64_t key = rng.NextU64();
+    std::vector<uint8_t> alive(n);
+    for (auto& a : alive) {
+      a = rng.NextBelow(4) != 0 ? 1 : 0;  // ~25% dead
+    }
+    // Oracle: max weight over live indices only.
+    bool any = false;
+    uint32_t best = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (alive[i] &&
+          (!any || RendezvousWeight(key, i) > RendezvousWeight(key, best))) {
+        best = i;
+        any = true;
+      }
+    }
+    uint32_t got = 0;
+    ASSERT_EQ(RendezvousPickAlive(key, n, alive, &got), any);
+    if (any) {
+      ASSERT_EQ(got, best);
+    }
+  }
+}
+
+TEST(HashingPropertyTest, RemovalMovesExactlyTheRemovedNodesKeys) {
+  Rng rng(0xdead);
+  constexpr size_t kKeys = 4096;
+  for (size_t n : {3u, 8u, 17u}) {
+    const uint32_t victim = static_cast<uint32_t>(rng.NextBelow(n));
+    std::vector<uint8_t> all(n, 1);
+    std::vector<uint8_t> without = all;
+    without[victim] = 0;
+
+    size_t owned_by_victim = 0;
+    size_t moved = 0;
+    for (size_t k = 0; k < kKeys; ++k) {
+      const uint64_t key = rng.NextU64();
+      uint32_t before = 0, after = 0;
+      ASSERT_TRUE(RendezvousPickAlive(key, n, all, &before));
+      ASSERT_TRUE(RendezvousPickAlive(key, n, without, &after));
+      if (before == victim) {
+        ++owned_by_victim;
+        EXPECT_NE(after, victim);
+      } else {
+        // Zero slack: a key that never touched the victim must not move.
+        ASSERT_EQ(after, before) << "n=" << n << " key=" << key;
+      }
+      if (before != after) {
+        ++moved;
+      }
+    }
+    EXPECT_EQ(moved, owned_by_victim);
+    // The victim owned roughly K/n keys; allow 2x statistical headroom.
+    EXPECT_LE(moved, 2 * kKeys / n);
+    EXPECT_GT(moved, 0u);
+  }
+}
+
+TEST(HashingPropertyTest, AdditionMovesOnlyKeysTheNewcomerWins) {
+  Rng rng(0xadd1);
+  constexpr size_t kKeys = 4096;
+  for (size_t n : {2u, 7u, 31u}) {
+    size_t moved = 0;
+    for (size_t k = 0; k < kKeys; ++k) {
+      const uint64_t key = rng.NextU64();
+      const uint32_t before = RendezvousPick(key, n);
+      const uint32_t after = RendezvousPick(key, n + 1);
+      if (before != after) {
+        ++moved;
+        // A moved key may only have moved TO the new node.
+        ASSERT_EQ(after, n) << "n=" << n << " key=" << key;
+      }
+    }
+    EXPECT_GT(moved, 0u);
+    EXPECT_LE(moved, 2 * kKeys / (n + 1));
+  }
+}
+
+TEST(HashingPropertyTest, ModularPlacementContrastMovesMostKeys) {
+  Rng rng(0x0ddc);
+  constexpr size_t kKeys = 4096;
+  constexpr size_t n = 8;
+  size_t modular_moved = 0;
+  size_t hrw_moved = 0;
+  for (size_t k = 0; k < kKeys; ++k) {
+    const uint64_t key = rng.NextU64();
+    if (key % n != key % (n + 1)) {
+      ++modular_moved;
+    }
+    if (RendezvousPick(key, n) != RendezvousPick(key, n + 1)) {
+      ++hrw_moved;
+    }
+  }
+  // Modular reshuffles the bulk of the key space; HRW only ~K/(n+1).
+  EXPECT_GT(modular_moved, kKeys / 2);
+  EXPECT_LE(hrw_moved, 2 * kKeys / (n + 1));
+  EXPECT_LT(4 * hrw_moved, modular_moved);
+}
+
+TEST(HashingPropertyTest, AssignmentIsHistoryIndependent) {
+  // The slot table for a membership state must depend only on that state,
+  // never on the kill/revive path that led there — otherwise two µproxies
+  // that saw different epoch sequences would route the same key apart.
+  Rng rng(0x4157021);
+  constexpr size_t kSlots = 64;
+  constexpr size_t n = 6;
+  std::vector<uint8_t> alive(n, 1);
+  for (int step = 0; step < 40; ++step) {
+    alive[rng.NextBelow(n)] ^= 1;
+    if (std::find(alive.begin(), alive.end(), 1) == alive.end()) {
+      alive[rng.NextBelow(n)] = 1;  // keep at least one live node
+    }
+    const std::vector<uint32_t> via_history = RendezvousAssignment(kSlots, n, alive);
+    const std::vector<uint32_t> direct = RendezvousAssignment(kSlots, n, alive);
+    ASSERT_EQ(via_history, direct);
+    for (size_t s = 0; s < kSlots; ++s) {
+      ASSERT_TRUE(alive[via_history[s]]) << "slot " << s << " bound to a dead node";
+    }
+  }
+}
+
+TEST(HashingPropertyTest, AssignmentMinimalSlotMovementOnDeath) {
+  constexpr size_t kSlots = 64;
+  for (size_t n : {3u, 5u, 9u}) {
+    const std::vector<uint32_t> before = RendezvousAssignment(kSlots, n);
+    for (uint32_t victim = 0; victim < n; ++victim) {
+      std::vector<uint8_t> alive(n, 1);
+      alive[victim] = 0;
+      const std::vector<uint32_t> after = RendezvousAssignment(kSlots, n, alive);
+      for (size_t s = 0; s < kSlots; ++s) {
+        if (before[s] == victim) {
+          EXPECT_NE(after[s], victim);
+        } else {
+          EXPECT_EQ(after[s], before[s]) << "n=" << n << " victim=" << victim
+                                         << " slot=" << s;
+        }
+      }
+    }
+  }
+}
+
+TEST(HashingPropertyTest, ReplicaRanksAreDistinct) {
+  Rng rng(0x5e7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 2 + rng.NextBelow(15);
+    const uint64_t key = rng.NextU64();
+    const size_t replicas = std::min<size_t>(n, 4);
+    std::vector<uint32_t> picks;
+    for (uint32_t r = 0; r < replicas; ++r) {
+      picks.push_back(RendezvousPick(key, n, r));
+    }
+    std::sort(picks.begin(), picks.end());
+    ASSERT_EQ(std::unique(picks.begin(), picks.end()), picks.end())
+        << "replica ranks collided for key " << key << " n=" << n;
+  }
+}
+
+TEST(HashingPropertyTest, StripeSiteStableWithinBlockAndSpread) {
+  constexpr uint32_t kUnit = 32768;
+  constexpr size_t kNodes = 4;
+  const uint64_t fh_key = 0x5eedf00d;
+  // Offsets within one stripe unit land on one site.
+  const uint32_t site0 = RendezvousStripeSite(fh_key, 0, kUnit, kNodes);
+  EXPECT_EQ(RendezvousStripeSite(fh_key, kUnit - 1, kUnit, kNodes), site0);
+  EXPECT_EQ(RendezvousStripeSite(fh_key, kUnit / 2, kUnit, kNodes), site0);
+  // Mirror replica of any block lands on a different site.
+  std::vector<size_t> per_site(kNodes, 0);
+  for (uint64_t block = 0; block < 4096; ++block) {
+    const uint64_t off = block * kUnit;
+    const uint32_t primary = RendezvousStripeSite(fh_key, off, kUnit, kNodes, 0);
+    const uint32_t mirror = RendezvousStripeSite(fh_key, off, kUnit, kNodes, 1);
+    ASSERT_NE(primary, mirror) << "block " << block;
+    ++per_site[primary];
+  }
+  // Blocks spread across every site (each gets at least 10% of 4096).
+  for (size_t s = 0; s < kNodes; ++s) {
+    EXPECT_GT(per_site[s], 4096u / 10) << "site " << s << " starved";
+  }
+}
+
+TEST(HashingPropertyTest, PinnedPicksGuardTheWeightFunction) {
+  // Literal picks: a change to RendezvousWeight re-striped every deployment
+  // and invalidates the chaos-matrix goldens — make it fail here by name.
+  EXPECT_EQ(RendezvousPick(0, 8, 0), 4u);
+  EXPECT_EQ(RendezvousPick(1, 8, 0), 5u);
+  EXPECT_EQ(RendezvousPick(0x51ce, 16, 0), 13u);
+  EXPECT_EQ(RendezvousPick(0x51ce, 16, 1), 6u);
+  EXPECT_EQ(RendezvousAssignment(8, 3),
+            (std::vector<uint32_t>{0, 1, 2, 0, 2, 2, 2, 2}));
+}
+
+}  // namespace
+}  // namespace slice
