@@ -16,6 +16,10 @@
 //                     fig5_cache so the A/B artifacts get their own golden
 //   --no-pool         disable the packet pool (A/B determinism check: same
 //                     seed must produce byte-identical artifacts either way)
+//   --tenants N       run the metered Slice-2 point with N tenants (AUTH_SYS
+//                     tagged generator processes) and the SLO engine on; the
+//                     bench renames itself fig5_tenants and the baseline
+//                     gains per-tenant op/bad-op totals for its own golden
 //   --metrics <path>  re-run one Slice-2 point with the metrics plane on and
 //                     write the canonical metrics JSON snapshot to <path>
 //   --flight-dump <path>  re-run one Slice-2 point with the event log on and
@@ -28,6 +32,7 @@
 // totals from the metered run (under --proxy-cache these include the
 // in-proxy cache hit counters and the reduced dir-tier op counts).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <vector>
@@ -45,9 +50,11 @@ struct BenchLine {
   std::vector<SfsPoint> points;
 };
 
-void RunFig5(bool smoke, bool proxy_cache, const char* metrics_path, const char* flight_path) {
-  std::printf("Figure 5: SFS97-like delivered throughput (IOPS) vs offered load%s\n\n",
-              proxy_cache ? " [in-proxy metadata cache ON]" : "");
+void RunFig5(bool smoke, bool proxy_cache, const char* metrics_path, const char* flight_path,
+             uint32_t tenants) {
+  std::printf("Figure 5: SFS97-like delivered throughput (IOPS) vs offered load%s%s\n\n",
+              proxy_cache ? " [in-proxy metadata cache ON]" : "",
+              tenants > 0 ? " [tenant/SLO plane ON]" : "");
   const std::vector<double> offered_loads =
       smoke ? std::vector<double>{400, 800}
             : std::vector<double>{400, 800, 1600, 3200, 6400, 9600, 12800};
@@ -99,13 +106,17 @@ void RunFig5(bool smoke, bool proxy_cache, const char* metrics_path, const char*
         "all Slice lines serve a single unified volume (no volume partitioning).\n");
   }
 
-  // Optional metered run: one Slice-2 point with the full metrics plane on.
+  // Optional metered run: one Slice-2 point with the full metrics plane on
+  // (plus the tenant/SLO plane under --tenants).
   std::map<std::string, uint64_t> counter_totals;
+  std::map<std::string, uint64_t> tenant_totals;
   if (metrics_path != nullptr) {
     const double offered = smoke ? 800 : 1600;
-    std::printf("\n--metrics: Slice-2 @ %.0f ops/s with the metrics plane enabled\n", offered);
+    std::printf("\n--metrics: Slice-2 @ %.0f ops/s with the metrics plane enabled%s\n", offered,
+                tenants > 0 ? " + tenant/SLO plane" : "");
     std::string metrics_json;
-    RunSlicePointMetered(2, offered, &metrics_json, nullptr, &counter_totals, proxy_cache);
+    RunSlicePointMetered(2, offered, &metrics_json, nullptr, &counter_totals, proxy_cache,
+                         tenants, tenants > 0 ? &tenant_totals : nullptr);
     std::ofstream out(metrics_path, std::ios::binary | std::ios::trunc);
     out << metrics_json << "\n";
     std::printf("metrics snapshot written to %s (hash %016llx)\n", metrics_path,
@@ -134,12 +145,29 @@ void RunFig5(bool smoke, bool proxy_cache, const char* metrics_path, const char*
                 static_cast<unsigned long long>(obs::FlightContentHash(flight_json)));
   }
 
-  const char* bench_name = proxy_cache ? "fig5_cache" : "fig5";
+  if (tenants > 0 && !tenant_totals.empty()) {
+    std::printf("per-tenant attribution (metered Slice-2 point):\n");
+    for (uint32_t t = 1; t <= tenants; ++t) {
+      const std::string prefix = "tenant" + std::to_string(t) + "_";
+      uint64_t total = 0;
+      for (const auto& [name, value] : tenant_totals) {
+        if (name.rfind(prefix + "ops_", 0) == 0) {
+          total += value;
+        }
+      }
+      std::printf("  tenant %u: %llu ops, %llu bad\n", t,
+                  static_cast<unsigned long long>(total),
+                  static_cast<unsigned long long>(tenant_totals[prefix + "bad_ops"]));
+    }
+  }
+
+  const char* bench_name = tenants > 0 ? "fig5_tenants" : (proxy_cache ? "fig5_cache" : "fig5");
   JsonWriter w;
   w.BeginObject();
   w.Key("bench").String(bench_name);
   w.Key("smoke").Int(smoke ? 1 : 0);
   w.Key("proxy_cache").Int(proxy_cache ? 1 : 0);
+  w.Key("tenants").Int(static_cast<int64_t>(tenants));
   w.Key("latency_bound_ms").Fixed(kLatencyBoundMs, 1);
   w.Key("offered").BeginArray();
   for (double offered : offered_loads) {
@@ -173,6 +201,13 @@ void RunFig5(bool smoke, bool proxy_cache, const char* metrics_path, const char*
     }
     w.EndObject();
   }
+  if (!tenant_totals.empty()) {
+    w.Key("tenant_totals").BeginObject();
+    for (const auto& [name, value] : tenant_totals) {
+      w.Key(name).UInt(value);
+    }
+    w.EndObject();
+  }
   w.EndObject();
   WriteBenchFile(bench_name, w.str());
 }
@@ -185,6 +220,7 @@ int main(int argc, char** argv) {
   bool proxy_cache = false;
   const char* metrics_path = nullptr;
   const char* flight_path = nullptr;
+  uint32_t tenants = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -196,8 +232,10 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--flight-dump") == 0 && i + 1 < argc) {
       flight_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      tenants = static_cast<uint32_t>(std::atoi(argv[++i]));
     }
   }
-  slice::RunFig5(smoke, proxy_cache, metrics_path, flight_path);
+  slice::RunFig5(smoke, proxy_cache, metrics_path, flight_path, tenants);
   return 0;
 }

@@ -101,7 +101,9 @@ inline SfsPoint RunSlicePointMetered(size_t storage_nodes, double offered,
                                      std::string* prom_out = nullptr,
                                      std::map<std::string, uint64_t>* counter_totals_out =
                                          nullptr,
-                                     bool proxy_cache = false) {
+                                     bool proxy_cache = false, uint32_t tenants = 0,
+                                     std::map<std::string, uint64_t>* tenant_totals_out =
+                                         nullptr) {
   EventQueue queue;
   EnsembleConfig config;
   config.mgmt.enabled = false;
@@ -114,8 +116,15 @@ inline SfsPoint RunSlicePointMetered(size_t storage_nodes, double offered,
   config.storage_extra_meta_ios = kSfsMetaIos;
   config.proxy_cache = proxy_cache;
   config.metrics.enabled = true;
+  if (tenants > 0) {
+    // Tenant/QoS plane on: generator processes split round-robin across
+    // `tenants` AUTH_SYS identities, and the SLO engine rides the scraper.
+    config.num_tenants = tenants;
+    config.slo.enabled = true;
+  }
   Ensemble ensemble(queue, config);
   SfsParams params = ScaledSfsParams(offered);
+  params.num_tenants = tenants;
   SfsBenchmark bench(ensemble.client_host(0), queue, ensemble.virtual_server(),
                      ensemble.root(), params);
   SLICE_CHECK(bench.Setup().ok());
@@ -131,6 +140,20 @@ inline SfsPoint RunSlicePointMetered(size_t storage_nodes, double offered,
       for (const auto& [name, counter] : reg.counters()) {
         (*counter_totals_out)[name] += counter->Value();
       }
+    }
+  }
+  if (tenant_totals_out != nullptr) {
+    // Flat integer totals per tenant — deterministic, so the fig5_tenants
+    // golden can pin the attribution split exactly.
+    for (const obs::TenantInstruments& ti : ensemble.metrics()->tenants()) {
+      const std::string prefix = "tenant" + std::to_string(ti.tenant) + "_";
+      for (size_t c = 0; c < obs::kTenantOpClassCount; ++c) {
+        (*tenant_totals_out)[prefix + "ops_" +
+                             obs::TenantOpClassName(static_cast<obs::TenantOpClass>(c))] =
+            ti.ops[c].Value();
+      }
+      (*tenant_totals_out)[prefix + "bad_ops"] = ti.bad_ops.Value();
+      (*tenant_totals_out)[prefix + "errors"] = ti.errors.Value();
     }
   }
   return PointFromReport(offered, report);

@@ -1,9 +1,74 @@
 #include "src/chaos/scenario.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace slice::chaos {
 namespace {
+
+// noisy_neighbor's aggressor: a second-client tenant hammering Zipf-skewed
+// lookups of the victim's file names, so one tenant's demand concentrates on
+// a few dir slots while the victim's writes fight the gray disks. Paced by a
+// background timer (the scenario's RunUntilIdle must still drain) until
+// `stop_at`; the shared_ptr returned by Arm keeps it alive for the run.
+class Aggressor {
+ public:
+  Aggressor(Ensemble& ensemble, size_t client_index, uint32_t tenant, size_t num_names,
+            double zipf_s, SimTime interval, SimTime stop_at, uint64_t seed)
+      : queue_(ensemble.queue()),
+        client_(ensemble.client_host(client_index), ensemble.queue(),
+                ensemble.virtual_server()),
+        root_(ensemble.root()),
+        rng_(seed),
+        interval_(interval),
+        stop_at_(stop_at) {
+    client_.rpc().set_tenant(tenant);
+    double total = 0;
+    cdf_.reserve(num_names);
+    for (size_t i = 0; i < num_names; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), zipf_s);
+      cdf_.push_back(total);
+    }
+    for (double& w : cdf_) {
+      w /= total;
+    }
+  }
+
+  static std::shared_ptr<void> Arm(std::shared_ptr<Aggressor> self) {
+    Schedule(self);
+    return self;
+  }
+
+ private:
+  static void Schedule(const std::shared_ptr<Aggressor>& self) {
+    self->queue_.ScheduleBackgroundAfter(self->interval_, [self] {
+      if (self->queue_.now() >= self->stop_at_) {
+        return;
+      }
+      const std::string name = "chaos" + std::to_string(self->Pick());
+      self->client_.Lookup(self->root_, name, [](Status, const LookupRes&) {});
+      Schedule(self);
+    });
+  }
+
+  size_t Pick() {
+    const double u = rng_.NextDouble();
+    for (size_t i = 0; i < cdf_.size(); ++i) {
+      if (u <= cdf_[i]) {
+        return i;
+      }
+    }
+    return cdf_.empty() ? 0 : cdf_.size() - 1;
+  }
+
+  EventQueue& queue_;
+  NfsClient client_;
+  FileHandle root_;
+  Rng rng_;
+  std::vector<double> cdf_;
+  SimTime interval_;
+  SimTime stop_at_;
+};
 
 // Common substrate for every scenario: 2 dir servers (so one can adopt the
 // other), mirrored striping across 4 storage nodes, name-hashed namespace
@@ -234,6 +299,57 @@ std::vector<Scenario> ScenarioMatrix() {
     matrix.push_back(std::move(s));
   }
 
+  {  // Multi-tenant QoS: a noisy tenant plus gray disks. Tenant 2 (client 1)
+     // hammers Zipf-skewed lookups of the victim's files while storage 0+1
+     // run 30x-slow disks, so tenant 1's FileSync writes blow the 25ms
+     // objective. Tenant 1's slo_burn must fire while the disks are gray,
+     // carry a resolvable worst-tail exemplar trace id, and clear after the
+     // heal. Per-slot dir metrics + the per-slot hotspot mode are on, so the
+     // flight dump also records which tenant heated which slot.
+    Scenario s;
+    s.name = "noisy_neighbor";
+    s.description =
+        "tenant2 Zipf-lookup storm + storage0/1 disks 30x slower for 600ms; "
+        "tenant1's slo_burn must fire with a resolvable exemplar trace and "
+        "clear after the heal";
+    s.config = BaseConfig();
+    s.config.num_dir_servers = 3;
+    s.config.num_clients = 2;
+    s.config.trace = {.enabled = true};  // exemplars must resolve to traces
+    s.config.metrics = {.enabled = true};
+    s.config.num_tenants = 2;
+    s.config.slo.enabled = true;
+    s.config.slo.latency_threshold = FromMillis(25);
+    s.config.slo.error_budget_ppm = 50000;  // 5%: chaos-scaled objective
+    s.config.slo.fast_windows = 3;          // 300ms / 800ms on the 100ms scrape
+    s.config.slo.slow_windows = 8;
+    s.config.slo.min_ops = 4;
+    s.config.dir_slot_metrics = true;
+    s.config.mgmt.hotspot_enabled = true;
+    s.config.mgmt.hotspot_per_slot = true;
+    s.config.mgmt.hotspot_interval = FromMillis(250);
+    s.config.mgmt.hotspot_min_ops = 32;
+    s.config.mgmt.hotspot_imbalance = 1.5;
+    s.config.chaos.faults = {
+        {.kind = FaultKind::kGrayDisk,
+         .at = FromMillis(400),
+         .duration = FromMillis(600),
+         .targets = {Storage(0), Storage(1)},
+         .multiplier = 30.0},
+    };
+    s.workload.shape = WorkloadShape::kWriteVerify;
+    s.workload.tenant = 1;
+    s.workload.ops = 260;  // 8ms pace: runs ~1.1s past the heal for the clear
+    s.workload.write_fraction = 0.6;
+    s.bounds.expect_no_deaths = true;
+    s.background = [](Ensemble& ensemble) {
+      return Aggressor::Arm(std::make_shared<Aggressor>(
+          ensemble, /*client_index=*/1, /*tenant=*/2, /*num_names=*/12, /*zipf_s=*/1.3,
+          /*interval=*/FromMillis(2), /*stop_at=*/FromMillis(2200), /*seed=*/0xa66));
+    };
+    matrix.push_back(std::move(s));
+  }
+
   return matrix;
 }
 
@@ -257,6 +373,10 @@ ScenarioResult RunScenario(const Scenario& scenario) {
 
   ChaosWorkload workload(ensemble, scenario.workload);
   workload.Setup();
+  std::shared_ptr<void> background;
+  if (scenario.background) {
+    background = scenario.background(ensemble);
+  }
   workload.Run();
 
   // Run past the last heal plus the settle margin so rejoin sweeps, deferred

@@ -23,9 +23,15 @@
 //                         bump with the proxy cache on; post-heal churn
 //                         triggers a hotspot re-stripe and no op may be
 //                         served from a stale cached mapping.
+//  * noisy_neighbor     — tenant 2 hammers Zipf-skewed lookups while gray
+//                         disks slow tenant 1's FileSync writes; tenant 1's
+//                         slo_burn must fire with a resolvable exemplar
+//                         trace and clear after the heal.
 #ifndef SLICE_CHAOS_SCENARIO_H_
 #define SLICE_CHAOS_SCENARIO_H_
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,6 +50,10 @@ struct Scenario {
   // Sim-time margin run after the workload and the last fault heal, so
   // rejoin sweeps, handoffs and resyncs finish before verification.
   SimTime settle = FromMillis(1500);
+  // Optional background traffic armed after workload Setup(), before Run()
+  // (e.g. noisy_neighbor's aggressor tenant). The returned handle keeps the
+  // traffic source alive for the scenario's duration.
+  std::function<std::shared_ptr<void>(Ensemble&)> background;
 };
 
 struct ScenarioResult {

@@ -43,9 +43,12 @@ ChaosWorkload::ChaosWorkload(Ensemble& ensemble, ChaosWorkloadParams params)
     : ensemble_(ensemble),
       params_(params),
       queue_(ensemble.queue()),
-      client_(ensemble.MakeSyncClient(0)),
+      client_(ensemble.MakeSyncClient(params.client_index)),
       root_(ensemble.root()),
       rng_(params.seed) {
+  if (params_.tenant != 0) {
+    client_->async().rpc().set_tenant(params_.tenant);
+  }
   if (params_.shape == WorkloadShape::kZipfHotspot) {
     zipf_cdf_.reserve(params_.num_files);
     double total = 0;
@@ -71,7 +74,8 @@ auto ChaosWorkload::RetryJukebox(Fn&& op) {
 }
 
 void ChaosWorkload::Emit(obs::EventCode code, int64_t key, int64_t sum) {
-  obs::LogEvent(ensemble_.eventlog(), ensemble_.client_host(0).addr(), queue_.now(),
+  obs::LogEvent(ensemble_.eventlog(), ensemble_.client_host(params_.client_index).addr(),
+                queue_.now(),
                 code == obs::EventCode::kChaosReadLost ? obs::EventSev::kError
                                                        : obs::EventSev::kInfo,
                 obs::EventCat::kChaos, code, /*trace_id=*/0,

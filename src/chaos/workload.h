@@ -48,6 +48,11 @@ struct ChaosWorkloadParams {
   uint32_t write_bytes = 8192;
   double zipf_s = 1.1;     // kZipfHotspot skew exponent
   double write_fraction = 0.35;  // non-metadata shapes: P(op is a write)
+  // Tenant/QoS plane: non-zero stamps every request's AUTH_SYS cred so the
+  // µproxies attribute this workload's ops (noisy_neighbor's victim runs as
+  // tenant 1). 0 = untenanted, byte-identical wire traffic.
+  uint32_t tenant = 0;
+  size_t client_index = 0;  // which ensemble client host to run on
 };
 
 struct ChaosWorkloadStats {

@@ -23,6 +23,7 @@ Status DecodeNfsRequestView(ByteSpan payload, DecodedView* out) {
   out->xid = peek->xid;
   out->proc = static_cast<NfsProc>(peek->proc);
   out->body_offset = static_cast<uint32_t>(peek->body_offset);
+  out->tenant = peek->tenant;
 
   XdrDecoder dec(payload.subspan(peek->body_offset));
   switch (out->proc) {

@@ -40,6 +40,8 @@ struct DecodedView {
   uint64_t offset = 0;
   uint32_t count = 0;
   uint32_t body_offset = 0;  // procedure body within the RPC payload
+  // Tenant tag lifted from the AUTH_SYS uid (0 = untenanted).
+  uint32_t tenant = 0;
 
   std::string_view name(ByteSpan payload) const {
     return std::string_view(reinterpret_cast<const char*>(payload.data()) + name_off, name_len);

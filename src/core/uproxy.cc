@@ -16,6 +16,34 @@ double RedirectCoin(uint64_t fingerprint) {
   return static_cast<double>(MixU64(fingerprint) >> 11) * 0x1.0p-53;
 }
 
+// NFS procedure -> coarse tenant op class (per-tenant accounting buckets).
+obs::TenantOpClass ClassOfProc(NfsProc proc) {
+  switch (proc) {
+    case NfsProc::kRead:
+      return obs::TenantOpClass::kRead;
+    case NfsProc::kWrite:
+    case NfsProc::kCommit:
+      return obs::TenantOpClass::kWrite;
+    case NfsProc::kLookup:
+    case NfsProc::kCreate:
+    case NfsProc::kMkdir:
+    case NfsProc::kSymlink:
+    case NfsProc::kRemove:
+    case NfsProc::kRmdir:
+    case NfsProc::kRename:
+    case NfsProc::kLink:
+    case NfsProc::kReaddir:
+    case NfsProc::kReaddirplus:
+      return obs::TenantOpClass::kName;
+    case NfsProc::kGetattr:
+    case NfsProc::kSetattr:
+    case NfsProc::kAccess:
+      return obs::TenantOpClass::kAttr;
+    default:
+      return obs::TenantOpClass::kOther;
+  }
+}
+
 }  // namespace
 
 Uproxy::Uproxy(Network& net, EventQueue& queue, Host& client_host, UproxyConfig config)
@@ -104,6 +132,19 @@ void Uproxy::set_metrics(obs::Metrics* metrics) {
       [this]() { return static_cast<int64_t>(pending_.size()); });
   reg.GetGauge("uproxy_table_epoch")->SetProvider(
       [this]() { return static_cast<int64_t>(table_epoch_); });
+  // Tenant plane: cache the hub's preallocated instrument array so the hot
+  // path is one bounds check and an array index (no map, no allocation).
+  tenant_data_ = metrics->TenantData();
+  tenant_count_ = metrics->num_tenants();
+}
+
+void Uproxy::AccountTenant(uint32_t tenant, NfsProc proc, uint32_t nbytes, SimTime latency,
+                           uint64_t trace_id, bool error) {
+  if (tenant == 0 || tenant > tenant_count_) {
+    return;  // untenanted/system traffic, or a tag we were not configured for
+  }
+  tenant_data_[tenant - 1].Account(ClassOfProc(proc), nbytes, latency, trace_id,
+                                   queue_.now(), error);
 }
 
 NfsTime Uproxy::Now() const {
@@ -428,7 +469,7 @@ void Uproxy::HandleOutbound(Packet&& pkt) {
       obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kError,
                     obs::EventCat::kRoute, obs::EventCode::kRouteUnavailable, /*trace_id=*/0,
                     NfsProcName(req.proc), {{"xid", req.xid}});
-      SynthesizeErrorReply(req.proc, req.xid, pkt.src(), route.error);
+      SynthesizeErrorReply(req.proc, req.xid, pkt.src(), route.error, req.tenant);
       return;
     case RouteClass::kDirServer: {
       if (config_.proxy_cache) {
@@ -510,6 +551,8 @@ void Uproxy::ForwardRequest(Packet&& pkt, const DecodedView& req, Endpoint targe
     p->proc = req.proc;
     p->fh = req.fh;
     p->offset = req.offset;
+    p->tenant = req.tenant;
+    p->issued_at = queue_.now();
     if (req.proc != NfsProc::kRemove) {
       p->count = req.count;
     }
@@ -616,6 +659,20 @@ void Uproxy::HandleInbound(Packet&& pkt) {
   pkt.RewriteSrc(config_.virtual_server);
   const SimTime ready = ChargeCpu(ctx);
   FinishTrace(pending, ready);
+  if (pending.tenant != 0 && pending.tenant <= tenant_count_) {
+    // Error = RPC-level rejection or a nonzero nfsstat3 (always the first
+    // word of the result body). Read in place; nothing allocates.
+    bool error = reply.stat != RpcAcceptStat::kSuccess;
+    const ByteSpan payload = pkt.payload();
+    if (!error && payload.size() >= reply.body_offset + 4) {
+      error = GetU32(payload.data() + reply.body_offset) != 0;
+    }
+    const uint32_t nbytes =
+        (pending.proc == NfsProc::kRead || pending.proc == NfsProc::kWrite) ? pending.count
+                                                                            : 0;
+    AccountTenant(pending.tenant, pending.proc, nbytes, ready - pending.issued_at,
+                  pending.trace_id, error);
+  }
   const NetAddr client_addr = pkt.dst_addr();
   net_.DeliverLocalAt(client_addr, std::move(pkt), ready, alive_);
 }
@@ -770,7 +827,9 @@ bool Uproxy::TryServeLookup(const Packet& pkt, const DecodedView& req, uint64_t 
   reply_enc_.Clear();
   EncodeReplyHeader(reply_enc_, req.xid);
   res.Encode(reply_enc_);
-  SendCachedReply(pkt.src());
+  const SimTime ready = SendCachedReply(pkt.src());
+  AccountTenant(req.tenant, req.proc, 0, ready - queue_.now(), /*trace_id=*/0,
+                /*error=*/false);
   return true;
 }
 
@@ -790,14 +849,17 @@ bool Uproxy::TryServeGetattr(const Packet& pkt, const DecodedView& req) {
   reply_enc_.Clear();
   EncodeReplyHeader(reply_enc_, req.xid);
   res.Encode(reply_enc_);
-  SendCachedReply(pkt.src());
+  const SimTime ready = SendCachedReply(pkt.src());
+  AccountTenant(req.tenant, req.proc, 0, ready - queue_.now(), /*trace_id=*/0,
+                /*error=*/false);
   return true;
 }
 
-void Uproxy::SendCachedReply(Endpoint client) {
+SimTime Uproxy::SendCachedReply(Endpoint client) {
   Packet out = Packet::MakeUdp(config_.virtual_server, client, reply_enc_.bytes());
   const SimTime ready = ChargeCpu();
   net_.DeliverLocalAt(client.addr, std::move(out), ready, alive_);
+  return ready;
 }
 
 void Uproxy::InvalidateOnNameOp(const DecodedView& req, ByteSpan payload) {
@@ -946,6 +1008,13 @@ void Uproxy::ReplyToClient(Endpoint client, uint32_t xid, const Bytes& result_bo
     const obs::TraceContext ctx{p->trace_id, p->root_span_id};
     const SimTime ready = ChargeCpu(ctx);
     FinishTrace(*p, ready);
+    // Absorbed operations complete here: account against the tenant carried
+    // on the pending record. The result body leads with nfsstat3.
+    const bool error =
+        result_body.size() >= 4 && GetU32(result_body.data()) != 0;
+    const uint32_t nbytes =
+        (p->proc == NfsProc::kRead || p->proc == NfsProc::kWrite) ? p->count : 0;
+    AccountTenant(p->tenant, p->proc, nbytes, ready - p->issued_at, p->trace_id, error);
     net_.DeliverLocalAt(client.addr, std::move(pkt), ready, alive_);
     return;
   }
@@ -954,7 +1023,12 @@ void Uproxy::ReplyToClient(Endpoint client, uint32_t xid, const Bytes& result_bo
 }
 
 void Uproxy::SynthesizeErrorReply(NfsProc proc, uint32_t xid, Endpoint client,
-                                  Nfsstat3 status) {
+                                  Nfsstat3 status, uint32_t tenant) {
+  // Fail-fast rejections with no pending record still charge the tenant's
+  // error budget (ReplyToClient accounts the pending-backed cases).
+  if (tenant != 0 && pending_.Find(KeyOf(client.port, xid)) == nullptr) {
+    AccountTenant(tenant, proc, 0, /*latency=*/0, /*trace_id=*/0, /*error=*/true);
+  }
   XdrEncoder enc;
   switch (proc) {
     case NfsProc::kRead: {
@@ -1174,6 +1248,8 @@ void Uproxy::AbsorbMirrorWrite(const DecodedView& req, Endpoint client, ByteSpan
   pending.offset = args.offset;
   pending.count = args.count;
   pending.absorbed = true;
+  pending.tenant = req.tenant;
+  pending.issued_at = queue_.now();
   Pending* stored = pending_.Insert(KeyOf(client.port, req.xid)).first;
   *stored = pending;
   const obs::TraceContext ctx = BeginTrace(*stored, "route:mirror_write");
@@ -1204,7 +1280,7 @@ void Uproxy::AbsorbMirrorWrite(const DecodedView& req, Endpoint client, ByteSpan
   }
   if (live_nodes.empty()) {
     counters_.Add("unavailable_rejected");
-    SynthesizeErrorReply(req.proc, req.xid, client, Nfsstat3::kErrIo);
+    SynthesizeErrorReply(req.proc, req.xid, client, Nfsstat3::kErrIo, req.tenant);
     pending_.Erase(KeyOf(client.port, req.xid));
     return;
   }
@@ -1284,6 +1360,8 @@ void Uproxy::AbsorbMultiCommit(const DecodedView& req, Endpoint client) {
   pending.proc = NfsProc::kCommit;
   pending.fh = req.fh;
   pending.absorbed = true;
+  pending.tenant = req.tenant;
+  pending.issued_at = queue_.now();
   Pending* stored = pending_.Insert(KeyOf(client.port, req.xid)).first;
   *stored = pending;
   const obs::TraceContext ctx = BeginTrace(*stored, "route:multi_commit");
@@ -1316,7 +1394,7 @@ void Uproxy::AbsorbMultiCommit(const DecodedView& req, Endpoint client) {
   }
   if (targets.empty()) {
     counters_.Add("unavailable_rejected");
-    SynthesizeErrorReply(req.proc, req.xid, client, Nfsstat3::kErrIo);
+    SynthesizeErrorReply(req.proc, req.xid, client, Nfsstat3::kErrIo, req.tenant);
     pending_.Erase(KeyOf(client.port, req.xid));
     return;
   }

@@ -209,6 +209,12 @@ class Uproxy : public PacketTap {
     // Name fingerprint of an in-flight LOOKUP (proxy cache fill key; 0 when
     // the proxy cache is off or the op is not a lookup).
     uint64_t name_fp = 0;
+    // Tenant tag (AUTH_SYS uid) and first-forward time: the µproxy is the
+    // end-to-end QoS observation point, so per-tenant latency is measured
+    // from first forward to reply delivery (client retransmissions keep the
+    // original issue time).
+    uint32_t tenant = 0;
+    SimTime issued_at = 0;
   };
   static uint64_t KeyOf(NetPort port, uint32_t xid) {
     return (static_cast<uint64_t>(port) << 32) | xid;
@@ -245,7 +251,15 @@ class Uproxy : public PacketTap {
   // Sends a synthesized NFS reply to the local client.
   void ReplyToClient(Endpoint client, uint32_t xid, const Bytes& result_body);
   // Synthesizes a proc-appropriate error reply (dead-server fail-fast path).
-  void SynthesizeErrorReply(NfsProc proc, uint32_t xid, Endpoint client, Nfsstat3 status);
+  // `tenant` attributes the failure when no pending record exists to carry it.
+  void SynthesizeErrorReply(NfsProc proc, uint32_t xid, Endpoint client, Nfsstat3 status,
+                            uint32_t tenant = 0);
+
+  // Per-tenant QoS accounting against the hub-owned tenant instruments:
+  // O(1) array index, Counter::Add / LatencyStats::Record only — nothing on
+  // this path allocates (fastpath_alloc_test holds with tenants on).
+  void AccountTenant(uint32_t tenant, NfsProc proc, uint32_t nbytes, SimTime latency,
+                     uint64_t trace_id, bool error);
 
   // Control-plane integration.
   void HandleControl(ByteSpan payload);
@@ -259,8 +273,9 @@ class Uproxy : public PacketTap {
   // Each returns true when the request was answered from the cache.
   bool TryServeLookup(const Packet& pkt, const DecodedView& req, uint64_t name_fp);
   bool TryServeGetattr(const Packet& pkt, const DecodedView& req);
-  // Delivers `reply_enc_`'s current contents to the local client.
-  void SendCachedReply(Endpoint client);
+  // Delivers `reply_enc_`'s current contents to the local client; returns
+  // the CPU-done delivery instant (cache-hit latency for QoS accounting).
+  SimTime SendCachedReply(Endpoint client);
   // Conservative request-time invalidation for name-mutating operations.
   void InvalidateOnNameOp(const DecodedView& req, ByteSpan payload);
   // Reply-side cache fill from a successful LOOKUP.
@@ -311,6 +326,9 @@ class Uproxy : public PacketTap {
   obs::Counter* m_attr_misses_ = nullptr;
   obs::Counter* m_lookup_hits_ = nullptr;
   obs::Counter* m_lookup_misses_ = nullptr;
+  // Tenant instrument LUT (hub-owned, stable storage; index j = tenant j+1).
+  obs::TenantInstruments* tenant_data_ = nullptr;
+  uint32_t tenant_count_ = 0;
   std::unique_ptr<RpcClient> own_rpc_;  // µproxy-originated traffic
   BusyResource cpu_;
   // Flat open-addressing table: pending insert/erase is once per forwarded

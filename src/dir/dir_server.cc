@@ -1,6 +1,7 @@
 #include "src/dir/dir_server.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/common/logging.h"
 #include "src/mgmt/mgmt_proto.h"
@@ -979,6 +980,15 @@ void DirServer::DispatchCall(const RpcMessageView& call, const Endpoint& client,
   RpcServerNode::DispatchCall(call, client, std::move(done));
 }
 
+void DirServer::NoteSlotOp(const FileHandle& dir, std::string_view name, uint32_t tenant) {
+  const uint32_t slot =
+      static_cast<uint32_t>(NameFingerprint(dir, name) % kDefaultLogicalSlots);
+  ++slot_ops_[slot];
+  if (!slot_tenant_ops_.empty() && tenant >= 1 && tenant <= slot_tenants_) {
+    ++slot_tenant_ops_[slot * slot_tenants_ + tenant - 1];
+  }
+}
+
 void DirServer::set_metrics(obs::Metrics* metrics) {
   RpcServerNode::set_metrics(metrics);
   if (metrics == nullptr || !metrics->enabled()) {
@@ -1001,6 +1011,28 @@ void DirServer::set_metrics(obs::Metrics* metrics) {
     reg.GetCounter("dir_wal_records")->SetProvider(
         [this]() { return wal_->records_logged(); });
     reg.GetCounter("dir_wal_flushes")->SetProvider([this]() { return wal_->flushes(); });
+  }
+  // Per-slot heat map (opt-in; pinned goldens sum every registered counter).
+  // The joint slot×tenant counters tell the tenant report which tenant heats
+  // which slot, and give the manager's hotspot detector slot-grained demand.
+  if (params_.slot_metrics) {
+    for (uint32_t s = 0; s < kDefaultLogicalSlots; ++s) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "dir_slot%02u_ops", s);
+      reg.GetCounter(name)->SetProvider([this, s]() { return slot_ops_[s]; });
+    }
+    if (const uint32_t tenants = metrics->num_tenants(); tenants > 0) {
+      slot_tenants_ = tenants;
+      slot_tenant_ops_.assign(static_cast<size_t>(kDefaultLogicalSlots) * tenants, 0);
+      for (uint32_t s = 0; s < kDefaultLogicalSlots; ++s) {
+        for (uint32_t j = 0; j < tenants; ++j) {
+          char name[40];
+          std::snprintf(name, sizeof(name), "dir_slot%02u_tenant%u_ops", s, j + 1);
+          reg.GetCounter(name)->SetProvider(
+              [this, s, j]() { return slot_tenant_ops_[s * slot_tenants_ + j]; });
+        }
+      }
+    }
   }
 }
 
@@ -1058,6 +1090,7 @@ RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& repl
         MisdirectReply(proc, reply);
         return RpcAcceptStat::kSuccess;
       }
+      NoteSlotOp(args->dir, args->name, call.cred.uid);
       HandleLookup(*args, reply, cost);
       return RpcAcceptStat::kSuccess;
     }
@@ -1090,6 +1123,7 @@ RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& repl
         MisdirectReply(proc, reply);
         return RpcAcceptStat::kSuccess;
       }
+      NoteSlotOp(args->dir, args->name, call.cred.uid);
       HandleCreate(*args, reply, cost);
       return RpcAcceptStat::kSuccess;
     }
@@ -1098,6 +1132,7 @@ RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& repl
       if (!args.ok()) {
         return RpcAcceptStat::kGarbageArgs;
       }
+      NoteSlotOp(args->dir, args->name, call.cred.uid);
       HandleMkdir(*args, reply, cost);
       return RpcAcceptStat::kSuccess;
     }
@@ -1106,6 +1141,7 @@ RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& repl
       if (!args.ok()) {
         return RpcAcceptStat::kGarbageArgs;
       }
+      NoteSlotOp(args->dir, args->name, call.cred.uid);
       HandleSymlink(*args, reply, cost);
       return RpcAcceptStat::kSuccess;
     }
@@ -1119,6 +1155,7 @@ RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& repl
         MisdirectReply(proc, reply);
         return RpcAcceptStat::kSuccess;
       }
+      NoteSlotOp(args->dir, args->name, call.cred.uid);
       HandleRemove(*args, proc == NfsProc::kRmdir, reply, cost);
       return RpcAcceptStat::kSuccess;
     }
@@ -1127,6 +1164,10 @@ RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& repl
       if (!args.ok()) {
         return RpcAcceptStat::kGarbageArgs;
       }
+      // A rename heats both name slots: the source entry is erased and the
+      // target inserted, each on its fingerprint's owner.
+      NoteSlotOp(args->from_dir, args->from_name, call.cred.uid);
+      NoteSlotOp(args->to_dir, args->to_name, call.cred.uid);
       HandleRename(*args, reply, cost);
       return RpcAcceptStat::kSuccess;
     }
@@ -1135,6 +1176,7 @@ RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& repl
       if (!args.ok()) {
         return RpcAcceptStat::kGarbageArgs;
       }
+      NoteSlotOp(args->dir, args->name, call.cred.uid);
       HandleLink(*args, reply, cost);
       return RpcAcceptStat::kSuccess;
     }

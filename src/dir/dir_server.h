@@ -60,6 +60,11 @@ struct DirServerParams {
   // WAL backing; if backing_node.addr == 0 logging is disabled.
   Endpoint backing_node;
   FileHandle backing_object;
+  // Per-logical-slot op providers ("dir_slot07_ops", plus slot×tenant joint
+  // counters when the metrics hub has tenants configured). Off by default:
+  // pinned metrics goldens sum every registered counter, so the extra
+  // providers must stay opt-in.
+  bool slot_metrics = false;
 };
 
 class DirServer : public RpcServerNode {
@@ -136,6 +141,9 @@ class DirServer : public RpcServerNode {
   const std::set<uint32_t>& adopted_sites() const { return adopted_sites_; }
   uint64_t misdirects_answered() const { return misdirects_answered_; }
   uint32_t site() const { return params_.site; }
+  uint64_t slot_ops(uint32_t slot) const {
+    return slot < kDefaultLogicalSlots ? slot_ops_[slot] : 0;
+  }
 
  protected:
   RpcAcceptStat HandleCall(const RpcMessageView& call, XdrEncoder& reply,
@@ -228,6 +236,14 @@ class DirServer : public RpcServerNode {
   uint64_t local_ops_ = 0;
   // Op mix indexed by NfsProc (always maintained — one array increment).
   uint64_t proc_counts_[kNfsProcCount] = {};
+  // Per-logical-slot name-op counts (always maintained — one array add) and
+  // the slot×tenant joint counts. The joint vector is sized by set_metrics
+  // only when params_.slot_metrics is on and the hub has tenants; empty
+  // otherwise, so the common path pays one empty() check.
+  uint64_t slot_ops_[kDefaultLogicalSlots] = {};
+  uint32_t slot_tenants_ = 0;
+  std::vector<uint64_t> slot_tenant_ops_;  // index = slot * slot_tenants_ + tenant - 1
+  void NoteSlotOp(const FileHandle& dir, std::string_view name, uint32_t tenant);
 
   // Control-plane view (empty slots = no manager; checks disabled).
   uint64_t mgmt_epoch_ = 0;

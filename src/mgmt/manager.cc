@@ -1,6 +1,7 @@
 #include "src/mgmt/manager.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/common/logging.h"
 #include "src/core/routing_table.h"
@@ -80,6 +81,9 @@ void EnsembleManager::Start() {
   });
   if (params_.hotspot_enabled && view_.dir_servers.size() >= 2) {
     hotspot_last_ops_.assign(view_.dir_servers.size(), 0);
+    if (params_.hotspot_per_slot) {
+      hotspot_last_slot_ops_.assign(view_.dir_servers.size() * view_.logical_slots, 0);
+    }
     ArmHotspotCheck();
   }
 }
@@ -108,6 +112,24 @@ void EnsembleManager::CheckHotspots() {
     const uint64_t total = c != nullptr ? c->Value() : 0;
     delta[i] = total - std::min(total, hotspot_last_ops_[i]);
     hotspot_last_ops_[i] = total;
+  }
+  // Per-slot deltas (hotspot_per_slot), sampled every pass — even when the
+  // episode budget is spent — so they stay current for the slot ranking.
+  std::vector<uint64_t> slot_delta;
+  if (params_.hotspot_per_slot) {
+    slot_delta.assign(num_dir * view_.logical_slots, 0);
+    for (uint32_t i = 0; i < num_dir; ++i) {
+      obs::MetricsRegistry& reg = metrics()->Registry(view_.dir_servers[i].addr);
+      for (uint32_t s = 0; s < view_.logical_slots; ++s) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "dir_slot%02u_ops", s);
+        const obs::Counter* c = reg.FindCounter(name);
+        const uint64_t total = c != nullptr ? c->Value() : 0;
+        const size_t idx = i * view_.logical_slots + s;
+        slot_delta[idx] = total - std::min(total, hotspot_last_slot_ops_[idx]);
+        hotspot_last_slot_ops_[idx] = total;
+      }
+    }
   }
   if (hotspot_episodes_ >= params_.hotspot_max_episodes) {
     return;  // budget spent; keep sampling so deltas stay current
@@ -144,11 +166,35 @@ void EnsembleManager::CheckHotspots() {
   // peer-protocol's static cell ownership (ensemble SetPeers), which a
   // fronting change must not disturb.
   std::vector<uint32_t> moved;
-  for (uint32_t slot = static_cast<uint32_t>(num_dir);
-       slot < tables_.dir_slots.size() && moved.size() < params_.hotspot_max_slots; ++slot) {
-    if (tables_.dir_slots[slot] == hot) {
+  if (params_.hotspot_per_slot) {
+    // Rank the hot server's movable slots by their own measured heat and move
+    // the hottest ones. Stable sort keeps the pick deterministic on ties
+    // (lower slot index wins); slots with zero delta are never moved.
+    std::vector<uint32_t> candidates;
+    for (uint32_t slot = static_cast<uint32_t>(num_dir); slot < tables_.dir_slots.size();
+         ++slot) {
+      if (tables_.dir_slots[slot] == hot) {
+        candidates.push_back(slot);
+      }
+    }
+    const size_t base = static_cast<size_t>(hot) * view_.logical_slots;
+    std::stable_sort(candidates.begin(), candidates.end(), [&](uint32_t a, uint32_t b) {
+      return slot_delta[base + a] > slot_delta[base + b];
+    });
+    for (uint32_t slot : candidates) {
+      if (moved.size() >= params_.hotspot_max_slots || slot_delta[base + slot] == 0) {
+        break;
+      }
       moved.push_back(slot);
       slot_overrides_[slot] = cold;
+    }
+  } else {
+    for (uint32_t slot = static_cast<uint32_t>(num_dir);
+         slot < tables_.dir_slots.size() && moved.size() < params_.hotspot_max_slots; ++slot) {
+      if (tables_.dir_slots[slot] == hot) {
+        moved.push_back(slot);
+        slot_overrides_[slot] = cold;
+      }
     }
   }
   if (moved.empty()) {

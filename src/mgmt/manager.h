@@ -45,6 +45,11 @@ struct MgmtParams {
   double hotspot_imbalance = 2.0;  // hottest/coldest delta ratio trigger
   uint32_t hotspot_max_slots = 4;  // slots re-bound per episode
   uint32_t hotspot_max_episodes = 4;
+  // Finer signal: also sample each dir server's per-slot op counters
+  // ("dir_slotNN_ops", requires DirServerParams::slot_metrics) and move the
+  // hot server's *hottest* movable slots, instead of the first ones found in
+  // slot order. Slots with no measured heat are never moved.
+  bool hotspot_per_slot = false;
 };
 
 // Static membership the manager supervises.
@@ -157,6 +162,9 @@ class EnsembleManager : public RpcServerNode {
   // Hotspot detector state: last-sampled per-dir op totals, re-striping
   // overrides applied on top of the default slot walk, episode budget.
   std::vector<uint64_t> hotspot_last_ops_;
+  // Per-slot sampling state (hotspot_per_slot): flat dir×slot op totals,
+  // index = dir * logical_slots + slot.
+  std::vector<uint64_t> hotspot_last_slot_ops_;
   std::map<uint32_t, uint32_t> slot_overrides_;
   uint32_t hotspot_episodes_ = 0;
   uint64_t rebalances_ = 0;

@@ -106,6 +106,8 @@ constexpr size_t kNumEventCats = 8;
   /* -- alert -- */                                                              \
   X(kAlertRaise, 500, "alert_raise")                                             \
   X(kAlertClear, 501, "alert_clear")                                             \
+  X(kSloBurn, 510, "slo_burn") /* tenant burn-rate over budget */                \
+  X(kSloOk, 511, "slo_ok")     /* tenant burn-rate recovered */                  \
   /* -- chaos (fault injection + invariant workload) -- */                       \
   X(kScenarioStart, 600, "scenario_start") /* named scenario armed */            \
   X(kScenarioEnd, 601, "scenario_end")     /* scenario workload drained */       \

@@ -83,7 +83,7 @@ void AppendEvent(std::string& out, const Event& event) {
 
 std::string ExportFlightJson(const EventLog& log, SimTime at, const char* reason,
                              const std::vector<uint64_t>& inflight_traces, const Metrics* metrics,
-                             const Scraper* scraper) {
+                             const Scraper* scraper, const SloEngine* slo) {
   std::string out;
   out.reserve(1 << 16);
   out += "{\"flight\":{\"reason\":\"";
@@ -115,7 +115,7 @@ std::string ExportFlightJson(const EventLog& log, SimTime at, const char* reason
   out += ']';
   if (metrics != nullptr) {
     out += ",\"metrics\":";
-    out += ExportMetricsJson(*metrics, scraper);
+    out += ExportMetricsJson(*metrics, scraper, slo);
   }
   out += '}';
   return out;

@@ -17,17 +17,19 @@
 
 #include "src/obs/eventlog.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/obs/timeseries.h"
 
 namespace slice::obs {
 
-// Renders the flight dump. `metrics`/`scraper`/`inflight` are optional
+// Renders the flight dump. `metrics`/`scraper`/`slo`/`inflight` are optional
 // (null / empty => the corresponding section is omitted or empty). `reason`
 // tags why the dump was cut ("teardown", "alert:<rule>", "manual", ...);
 // `at` is the sim time of the dump.
 std::string ExportFlightJson(const EventLog& log, SimTime at, const char* reason,
                              const std::vector<uint64_t>& inflight_traces = {},
-                             const Metrics* metrics = nullptr, const Scraper* scraper = nullptr);
+                             const Metrics* metrics = nullptr, const Scraper* scraper = nullptr,
+                             const SloEngine* slo = nullptr);
 
 // FNV-1a over the canonical dump bytes (same convention as the trace and
 // metrics content hashes).

@@ -25,6 +25,22 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
   return GetOrCreate(histograms_, name);
 }
 
+const char* TenantOpClassName(TenantOpClass oc) {
+  switch (oc) {
+    case TenantOpClass::kRead:
+      return "read";
+    case TenantOpClass::kWrite:
+      return "write";
+    case TenantOpClass::kName:
+      return "name";
+    case TenantOpClass::kAttr:
+      return "attr";
+    case TenantOpClass::kOther:
+      return "other";
+  }
+  return "other";
+}
+
 const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();

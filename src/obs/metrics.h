@@ -130,6 +130,115 @@ struct MetricsParams {
   size_t series_capacity = 4096;
 };
 
+// --- tenant plane ---------------------------------------------------------
+
+// Coarse op classes for per-tenant accounting: every NFS procedure maps to
+// one of these, so a tenant's instruments stay a fixed-size array the µproxy
+// indexes allocation-free on the fast path.
+enum class TenantOpClass : uint8_t { kRead = 0, kWrite = 1, kName = 2, kAttr = 3, kOther = 4 };
+inline constexpr size_t kTenantOpClassCount = 5;
+const char* TenantOpClassName(TenantOpClass oc);
+
+// One tail observation: a request slow enough to rank among the tenant's
+// worst, carrying the trace id that resolves it in the chrome export and the
+// flight recorder (0 when tracing is off).
+struct TenantExemplar {
+  SimTime at = 0;       // completion time
+  SimTime latency = 0;  // end-to-end latency as observed at the µproxy
+  uint64_t trace_id = 0;
+  uint8_t opclass = 0;  // TenantOpClass
+};
+
+// Fixed-capacity worst-latency ring: every observation is offered; only the
+// kCapacity slowest survive. Replacement is deterministic (the strictly
+// smallest resident latency goes first; first index wins ties), so two
+// same-seed runs keep identical exemplar sets.
+class ExemplarRing {
+ public:
+  static constexpr size_t kCapacity = 4;
+
+  void Observe(SimTime at, SimTime latency, uint64_t trace_id, TenantOpClass oc) {
+    size_t victim;
+    if (size_ < kCapacity) {
+      victim = size_++;
+    } else {
+      victim = kCapacity;
+      SimTime min_latency = latency;
+      for (size_t i = 0; i < kCapacity; ++i) {
+        if (slots_[i].latency < min_latency) {
+          min_latency = slots_[i].latency;
+          victim = i;
+        }
+      }
+      if (victim == kCapacity) {
+        return;  // not slower than any resident exemplar
+      }
+    }
+    slots_[victim] = TenantExemplar{at, latency, trace_id, static_cast<uint8_t>(oc)};
+  }
+
+  size_t size() const { return size_; }
+  const TenantExemplar& at(size_t i) const { return slots_[i]; }
+
+  // The slowest resident observation (zeroed exemplar when empty).
+  TenantExemplar Worst() const {
+    TenantExemplar worst;
+    for (size_t i = 0; i < size_; ++i) {
+      if (slots_[i].latency > worst.latency) {
+        worst = slots_[i];
+      }
+    }
+    return worst;
+  }
+
+ private:
+  TenantExemplar slots_[kCapacity] = {};
+  size_t size_ = 0;
+};
+
+// Per-tenant instruments: per-opclass ops/bytes/latency plus the SLO inputs
+// (errors, "bad" ops = errors + over-threshold latencies) and the tail
+// exemplar ring. Preallocated once by Metrics::ConfigureTenants so hot paths
+// never create instruments; Account() is the single zero-allocation
+// instrumentation point.
+struct TenantInstruments {
+  uint32_t tenant = 0;
+  // Latency above this counts against the tenant's error budget.
+  SimTime slow_threshold = 0;
+  Counter ops[kTenantOpClassCount];
+  Counter bytes[kTenantOpClassCount];
+  Histogram latency[kTenantOpClassCount];
+  Counter errors;
+  Counter bad_ops;
+
+  ExemplarRing exemplars;
+
+  void Account(TenantOpClass oc, uint32_t nbytes, SimTime lat, uint64_t trace_id, SimTime now,
+               bool error) {
+    const auto i = static_cast<size_t>(oc);
+    ops[i].Add();
+    if (nbytes != 0) {
+      bytes[i].Add(nbytes);
+    }
+    latency[i].Observe(lat);
+    if (error) {
+      errors.Add();
+    }
+    if (error || (slow_threshold != 0 && lat > slow_threshold)) {
+      bad_ops.Add();
+    }
+    exemplars.Observe(now, lat, trace_id, oc);
+  }
+
+  uint64_t TotalOps() const {
+    uint64_t total = 0;
+    for (const Counter& c : ops) {
+      total += c.Value();
+    }
+    return total;
+  }
+};
+
 // The per-ensemble metrics hub: one registry per host address, in address
 // order. Components receive a Metrics* via set_metrics() and register their
 // instruments/providers against their own host's registry.
@@ -146,9 +255,31 @@ class Metrics {
   MetricsRegistry& Registry(uint32_t host) { return registries_[host]; }
   const std::map<uint32_t, MetricsRegistry>& registries() const { return registries_; }
 
+  // Tenant plane: preallocate instruments for tenants 1..count (tenant 0 is
+  // untenanted/system traffic and is never accounted). Call once at ensemble
+  // construction, before traffic starts; the arrays never move afterwards so
+  // hot paths may cache the TenantData() pointer.
+  void ConfigureTenants(uint32_t count, SimTime slow_threshold) {
+    tenants_.assign(count, TenantInstruments{});
+    for (uint32_t j = 0; j < count; ++j) {
+      tenants_[j].tenant = j + 1;
+      tenants_[j].slow_threshold = slow_threshold;
+    }
+  }
+  uint32_t num_tenants() const { return static_cast<uint32_t>(tenants_.size()); }
+  // O(1) lookup; null for tenant 0 or out-of-range tags.
+  TenantInstruments* Tenant(uint32_t tenant) {
+    return (tenant >= 1 && tenant <= tenants_.size()) ? &tenants_[tenant - 1] : nullptr;
+  }
+  // Raw base pointer for the µproxy's allocation-free fast path (index j =
+  // tenant j+1); pair with num_tenants() for the bound.
+  TenantInstruments* TenantData() { return tenants_.data(); }
+  const std::vector<TenantInstruments>& tenants() const { return tenants_; }
+
  private:
   MetricsParams params_;
   std::map<uint32_t, MetricsRegistry> registries_;  // ordered => deterministic
+  std::vector<TenantInstruments> tenants_;          // index j => tenant j+1
 };
 
 // --- saturation watchdogs -------------------------------------------------

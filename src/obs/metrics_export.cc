@@ -160,7 +160,8 @@ std::string ExportPrometheus(const Metrics& metrics) {
   return out;
 }
 
-std::string ExportMetricsJson(const Metrics& metrics, const Scraper* scraper) {
+std::string ExportMetricsJson(const Metrics& metrics, const Scraper* scraper,
+                              const SloEngine* slo) {
   std::string out;
   out.reserve(8192);
   out += "{\"hosts\":{";
@@ -268,6 +269,146 @@ std::string ExportMetricsJson(const Metrics& metrics, const Scraper* scraper) {
       out += '}';
     }
     out += '}';
+  }
+  // Tenant plane: strictly opt-in sections, so untenanted runs stay
+  // byte-identical with pre-tenant exports (pinned goldens).
+  if (metrics.num_tenants() > 0) {
+    out += ",\"tenants\":{";
+    bool first_tenant = true;
+    for (const TenantInstruments& ti : metrics.tenants()) {
+      if (!first_tenant) {
+        out += ',';
+      }
+      first_tenant = false;
+      out += '"';
+      out += std::to_string(ti.tenant);
+      out += "\":{\"ops\":{";
+      for (size_t i = 0; i < kTenantOpClassCount; ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        out += '"';
+        out += TenantOpClassName(static_cast<TenantOpClass>(i));
+        out += "\":";
+        out += std::to_string(ti.ops[i].Value());
+      }
+      out += "},\"bytes\":{";
+      for (size_t i = 0; i < kTenantOpClassCount; ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        out += '"';
+        out += TenantOpClassName(static_cast<TenantOpClass>(i));
+        out += "\":";
+        out += std::to_string(ti.bytes[i].Value());
+      }
+      out += "},\"latency\":{";
+      for (size_t i = 0; i < kTenantOpClassCount; ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        out += '"';
+        out += TenantOpClassName(static_cast<TenantOpClass>(i));
+        out += "\":{";
+        AppendHistogramQuantiles(out, ti.latency[i].stats());
+        out += '}';
+      }
+      out += "},\"errors\":";
+      out += std::to_string(ti.errors.Value());
+      out += ",\"bad_ops\":";
+      out += std::to_string(ti.bad_ops.Value());
+      out += ",\"slow_threshold\":";
+      out += std::to_string(ti.slow_threshold);
+      out += ",\"exemplars\":[";
+      for (size_t i = 0; i < ti.exemplars.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        const TenantExemplar& ex = ti.exemplars.at(i);
+        out += "{\"at\":";
+        out += std::to_string(ex.at);
+        out += ",\"latency\":";
+        out += std::to_string(ex.latency);
+        out += ",\"trace_id\":";
+        out += std::to_string(ex.trace_id);
+        out += ",\"class\":\"";
+        out += TenantOpClassName(static_cast<TenantOpClass>(ex.opclass));
+        out += "\"}";
+      }
+      out += "]}";
+    }
+    out += '}';
+    if (scraper != nullptr) {
+      out += ",\"tenant_series\":{";
+      bool first_ts_tenant = true;
+      for (const auto& [tenant, by_metric] : scraper->tenant_series()) {
+        if (!first_ts_tenant) {
+          out += ',';
+        }
+        first_ts_tenant = false;
+        out += '"';
+        out += std::to_string(tenant);
+        out += "\":{";
+        bool first_metric = true;
+        for (const auto& [name, series] : by_metric) {
+          if (!first_metric) {
+            out += ',';
+          }
+          first_metric = false;
+          out += '"';
+          out += name;
+          out += "\":[";
+          for (size_t i = 0; i < series.size(); ++i) {
+            if (i > 0) {
+              out += ',';
+            }
+            out += '[';
+            out += std::to_string(series.at(i).at);
+            out += ',';
+            out += std::to_string(series.at(i).value);
+            out += ']';
+          }
+          out += ']';
+        }
+        out += '}';
+      }
+      out += '}';
+    }
+    if (slo != nullptr && slo->params().enabled) {
+      const SloParams& sp = slo->params();
+      out += ",\"slo\":{\"budget_ppm\":";
+      out += std::to_string(sp.error_budget_ppm);
+      out += ",\"latency_threshold\":";
+      out += std::to_string(sp.latency_threshold);
+      out += ",\"burn_threshold_milli\":";
+      out += std::to_string(sp.burn_threshold_milli);
+      out += ",\"fast_windows\":";
+      out += std::to_string(sp.fast_windows);
+      out += ",\"slow_windows\":";
+      out += std::to_string(sp.slow_windows);
+      out += ",\"alerts\":[";
+      bool first_alert = true;
+      for (const SloAlert& alert : slo->alerts()) {
+        if (!first_alert) {
+          out += ',';
+        }
+        first_alert = false;
+        out += "{\"at\":";
+        out += std::to_string(alert.at);
+        out += ",\"tenant\":";
+        out += std::to_string(alert.tenant);
+        out += ",\"raise\":";
+        out += alert.raise ? '1' : '0';
+        out += ",\"fast\":";
+        out += std::to_string(alert.fast_milli);
+        out += ",\"slow\":";
+        out += std::to_string(alert.slow_milli);
+        out += ",\"trace_id\":";
+        out += std::to_string(alert.trace_id);
+        out += '}';
+      }
+      out += "]}";
+    }
   }
   out += '}';
   return out;

@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/obs/timeseries.h"
 
 namespace slice::obs {
@@ -31,7 +32,14 @@ std::string ExportPrometheus(const Metrics& metrics);
 // Canonical JSON snapshot: every instrument's current value per host, plus
 // (when a scraper is supplied) the time-series rings and alert log.
 // Stable key order; byte-identical across same-seed runs.
-std::string ExportMetricsJson(const Metrics& metrics, const Scraper* scraper = nullptr);
+//
+// When tenants are configured (Metrics::ConfigureTenants) the snapshot
+// grows strictly-appended opt-in sections — "tenants" (per-tenant ×
+// per-opclass instruments and tail exemplars), "tenant_series" (scrape
+// rings) and "slo" (objective + burn alert stream) — so untenanted runs
+// export byte-identical JSON to older builds and every pinned golden holds.
+std::string ExportMetricsJson(const Metrics& metrics, const Scraper* scraper = nullptr,
+                              const SloEngine* slo = nullptr);
 
 // FNV-1a over the canonical JSON bytes.
 uint64_t MetricsContentHash(std::string_view canonical_json);

@@ -46,8 +46,28 @@ void Scraper::ScrapeOnce() {
       push(name, static_cast<int64_t>(histogram->stats().count()));
     }
   }
+  for (const TenantInstruments& ti : metrics_.tenants()) {
+    auto& ts = tenant_series_[ti.tenant];
+    auto push = [&](const std::string& name, int64_t value) {
+      auto it = ts.find(name);
+      if (it == ts.end()) {
+        it = ts.emplace(name, TimeSeries(capacity)).first;
+      }
+      it->second.Push(now, value);
+    };
+    for (size_t i = 0; i < kTenantOpClassCount; ++i) {
+      const std::string cls = TenantOpClassName(static_cast<TenantOpClass>(i));
+      push("ops_" + cls, static_cast<int64_t>(ti.ops[i].Value()));
+      push("bytes_" + cls, static_cast<int64_t>(ti.bytes[i].Value()));
+    }
+    push("errors", static_cast<int64_t>(ti.errors.Value()));
+    push("bad_ops", static_cast<int64_t>(ti.bad_ops.Value()));
+  }
   ++scrapes_;
   EvaluateRules(now);
+  if (scrape_hook_) {
+    scrape_hook_(now);
+  }
 }
 
 int64_t Scraper::SampleMetric(const MetricsRegistry& reg, std::string_view name,

@@ -76,6 +76,11 @@ class Scraper {
   // Called on every Alert edge after it is recorded; the ensemble uses this
   // to cut a flight-recorder dump the moment a watchdog fires.
   void SetAlertHook(std::function<void(const Alert&)> hook) { alert_hook_ = std::move(hook); }
+  // Called at the end of every scrape, after instruments are sampled and
+  // watchdogs evaluated. The SLO engine rides this: burn rates are a pure
+  // function of the scrape-time tenant snapshots, so same-seed runs evaluate
+  // identical windows.
+  void SetScrapeHook(std::function<void(SimTime)> hook) { scrape_hook_ = std::move(hook); }
 
   // Arms the background scrape timer; the first scrape fires at the next
   // exact multiple of the scrape interval. No-op when metrics are disabled.
@@ -88,6 +93,12 @@ class Scraper {
   // host -> metric name -> series. Histograms contribute their sample count.
   const std::map<uint32_t, std::map<std::string, TimeSeries, std::less<>>>& series() const {
     return series_;
+  }
+  // tenant -> metric name -> series (empty unless Metrics::ConfigureTenants
+  // was called). Sampled each scrape: per-opclass ops/bytes, errors, bad_ops.
+  const std::map<uint32_t, std::map<std::string, TimeSeries, std::less<>>>& tenant_series()
+      const {
+    return tenant_series_;
   }
   // Raise/clear edges in emission order (scrape time, then rule order, then
   // host order — deterministic).
@@ -115,8 +126,10 @@ class Scraper {
   Metrics& metrics_;
   EventLog* eventlog_ = nullptr;
   std::function<void(const Alert&)> alert_hook_;
+  std::function<void(SimTime)> scrape_hook_;
   std::vector<WatchdogRule> rules_;
   std::map<uint32_t, std::map<std::string, TimeSeries, std::less<>>> series_;
+  std::map<uint32_t, std::map<std::string, TimeSeries, std::less<>>> tenant_series_;
   // (rule index, host) -> hysteresis state.
   std::map<std::pair<size_t, uint32_t>, RuleState> state_;
   std::vector<Alert> alerts_;

@@ -25,6 +25,7 @@ void RpcClient::Call(Endpoint server, uint32_t prog, uint32_t vers, uint32_t pro
   call.vers = vers;
   call.proc = proc;
   call.cred.machine_name = "host" + std::to_string(host_.addr() & 0xff);
+  call.cred.uid = tenant_;
   call.cred.gids = {0, 5};
   call.args = std::move(args);
 

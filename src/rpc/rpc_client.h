@@ -58,6 +58,12 @@ class RpcClient {
   // trace id so a timed-out request explains itself in the flight dump.
   void set_eventlog(obs::EventLog* log) { eventlog_ = log; }
 
+  // Tenant tag: stamped into the AUTH_SYS uid of every subsequent call, so
+  // the µproxy and servers can attribute the request end-to-end. 0 (the
+  // default) means untenanted/system traffic.
+  void set_tenant(uint32_t tenant) { tenant_ = tenant; }
+  uint32_t tenant() const { return tenant_; }
+
  private:
   struct PendingCall {
     Endpoint server;
@@ -83,6 +89,7 @@ class RpcClient {
   // after this client is destroyed.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   uint32_t next_xid_ = 1;
+  uint32_t tenant_ = 0;
   uint64_t next_generation_ = 1;
   std::unordered_map<uint32_t, PendingCall> pending_;
   uint64_t calls_sent_ = 0;

@@ -35,6 +35,26 @@ Result<AuthSysCred> DecodeAuthBody(ByteSpan body) {
   return cred;
 }
 
+// Allocation-free uid extraction from a raw AUTH_SYS credential body: stamp,
+// variable-length machine name, then uid. Any short or oversized field falls
+// back to 0 (untenanted) rather than failing the whole peek — the credential
+// was already bounds-checked as an opaque blob by the caller.
+uint32_t PeekAuthSysUid(ByteSpan cred_body) {
+  XdrDecoder dec(cred_body);
+  if (!dec.GetUint32().ok()) {  // stamp
+    return 0;
+  }
+  Result<uint32_t> name_len = dec.GetUint32();
+  if (!name_len.ok() || name_len.value() > 255) {
+    return 0;
+  }
+  if (!dec.GetRawView(name_len.value() + XdrPad(name_len.value())).ok()) {
+    return 0;
+  }
+  Result<uint32_t> uid = dec.GetUint32();
+  return uid.ok() ? uid.value() : 0;
+}
+
 void EncodeNullVerifier(XdrEncoder& enc) {
   enc.PutEnum(static_cast<uint32_t>(RpcAuthFlavor::kNone));
   enc.PutUint32(0);  // zero-length opaque body
@@ -135,16 +155,18 @@ Result<RpcPeek> PeekRpcMessage(ByteSpan data) {
     SLICE_ASSIGN_OR_RETURN(peek.prog, dec.GetUint32());
     SLICE_ASSIGN_OR_RETURN(peek.vers, dec.GetUint32());
     SLICE_ASSIGN_OR_RETURN(peek.proc, dec.GetUint32());
-    // Skip credential and verifier without decoding their contents.
+    // Skip credential and verifier without materializing them; the tenant
+    // tag (AUTH_SYS uid) is read in place from the credential bytes.
     for (int i = 0; i < 2; ++i) {
       SLICE_ASSIGN_OR_RETURN(uint32_t flavor, dec.GetUint32());
-      (void)flavor;
       SLICE_ASSIGN_OR_RETURN(uint32_t len, dec.GetUint32());
       if (len > 400) {
         return Status(StatusCode::kCorrupt, "rpc: oversized auth");
       }
       SLICE_ASSIGN_OR_RETURN(ByteSpan skipped, dec.GetRawView(len + XdrPad(len)));
-      (void)skipped;
+      if (i == 0 && flavor == static_cast<uint32_t>(RpcAuthFlavor::kSys)) {
+        peek.tenant = PeekAuthSysUid(ByteSpan(skipped.data(), len));
+      }
     }
   } else {
     SLICE_ASSIGN_OR_RETURN(uint32_t reply_stat, dec.GetUint32());

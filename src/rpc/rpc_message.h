@@ -88,6 +88,9 @@ struct RpcPeek {
   uint32_t proc = 0;
   RpcAcceptStat accept_stat = RpcAcceptStat::kSuccess;
   size_t body_offset = 0;  // offset of proc args (call) / results (reply)
+  // Tenant tag riding in the AUTH_SYS uid (calls only; 0 = untenanted).
+  // Read in place from the credential bytes during the skip walk.
+  uint32_t tenant = 0;
 };
 
 Result<RpcPeek> PeekRpcMessage(ByteSpan data);

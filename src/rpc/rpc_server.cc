@@ -1,6 +1,7 @@
 #include "src/rpc/rpc_server.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/common/logging.h"
 
@@ -31,6 +32,18 @@ void RpcServerNode::set_metrics(obs::Metrics* metrics) {
         static_cast<int64_t>(cpu_.busy_until()) - static_cast<int64_t>(queue_.now());
     return backlog > 0 ? backlog : 0;
   });
+  // Tenant plane (opt-in: registered only when tenants are configured, so
+  // untenanted metrics exports stay byte-identical to older builds). Shows
+  // which tenant's requests land on which node — the demand side of the
+  // hotspot picture.
+  if (const uint32_t tenants = metrics_->num_tenants(); tenants > 0) {
+    tenant_requests_.assign(tenants, 0);
+    for (uint32_t j = 0; j < tenants; ++j) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "srv_tenant%u_requests", j + 1);
+      reg.GetCounter(name)->SetProvider([this, j]() { return tenant_requests_[j]; });
+    }
+  }
 }
 
 void RpcServerNode::Fail() {
@@ -94,6 +107,15 @@ void RpcServerNode::OnPacket(Packet&& pkt) {
     return;  // async execution already under way; let the DRC answer later
   }
   in_progress_.insert(key);
+
+  // Tenant attribution from the decoded AUTH_SYS credential. Counted after
+  // the DRC/in-progress checks: one executed request, one count.
+  if (!tenant_requests_.empty()) {
+    const uint32_t tenant = decoded->cred.uid;
+    if (tenant >= 1 && tenant <= tenant_requests_.size()) {
+      ++tenant_requests_[tenant - 1];
+    }
+  }
 
   const uint32_t xid = decoded->xid;
   auto done = [this, key, client, xid, trace](RpcAcceptStat stat, Bytes result,

@@ -129,6 +129,10 @@ class RpcServerNode {
   bool failed_ = false;
   uint64_t requests_served_ = 0;
   uint64_t duplicates_answered_ = 0;
+  // Per-tenant request counts (index j = tenant j+1, from the AUTH_SYS uid).
+  // Sized once by set_metrics when the hub has tenants configured; empty
+  // otherwise, so the untenanted hot path pays one empty() check.
+  std::vector<uint64_t> tenant_requests_;
 
   // Duplicate request cache keyed by (client endpoint, xid).
   struct DrcKey {

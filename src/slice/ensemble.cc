@@ -38,11 +38,22 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
   }
   if (config_.metrics.enabled) {
     metrics_ = std::make_unique<obs::Metrics>(config_.metrics);
+    if (config_.num_tenants > 0) {
+      // Before any component registers: servers and µproxies size their
+      // tenant-indexed state off num_tenants() in set_metrics.
+      metrics_->ConfigureTenants(config_.num_tenants, config_.slo.latency_threshold);
+    }
     scraper_ = std::make_unique<obs::Scraper>(queue_, *metrics_);
     for (obs::WatchdogRule& rule : obs::DefaultWatchdogRules(config_.metrics.scrape_interval)) {
       scraper_->AddRule(std::move(rule));
     }
     scraper_->set_eventlog(eventlog_.get());
+    if (config_.num_tenants > 0 && config_.slo.enabled) {
+      slo_engine_ = std::make_unique<obs::SloEngine>(*metrics_, config_.slo);
+      slo_engine_->set_eventlog(eventlog_.get());
+      scraper_->SetScrapeHook(
+          [engine = slo_engine_.get()](SimTime now) { engine->OnScrape(now); });
+    }
     if (eventlog_ && !config_.flight_dump_path.empty()) {
       // Black-box semantics: the first watchdog raise cuts a dump at the
       // moment things went wrong (teardown rewrites it with the full run).
@@ -133,6 +144,7 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
     params.op_cpu_us = config_.cal.dir_op_cpu_us;
     params.peer_cpu_us = config_.cal.dir_peer_cpu_us;
     params.peer_rtt_us = config_.cal.dir_peer_rtt_us;
+    params.slot_metrics = config_.dir_slot_metrics;
     if (config_.dir_wal_enabled) {
       params.backing_node = storage_endpoints[i % storage_endpoints.size()];
       params.backing_object =
@@ -521,7 +533,7 @@ std::string Ensemble::ExportMetricsJson() const {
   if (!metrics_) {
     return {};
   }
-  return obs::ExportMetricsJson(*metrics_, scraper_.get());
+  return obs::ExportMetricsJson(*metrics_, scraper_.get(), slo_engine_.get());
 }
 
 uint64_t Ensemble::MetricsHash() const {
@@ -560,7 +572,7 @@ std::string Ensemble::ExportFlightJson(const char* reason) const {
     return {};
   }
   return obs::ExportFlightJson(*eventlog_, queue_.now(), reason, InflightTraceIds(),
-                               metrics_.get(), scraper_.get());
+                               metrics_.get(), scraper_.get(), slo_engine_.get());
 }
 
 uint64_t Ensemble::FlightHash() const {

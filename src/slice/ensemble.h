@@ -27,6 +27,7 @@
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/metrics_export.h"
+#include "src/obs/slo.h"
 #include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 #include "src/sfs/small_file_server.h"
@@ -88,6 +89,19 @@ struct EnsembleConfig {
   // pointers, and hot paths pay one branch.
   obs::MetricsParams metrics{.enabled = false};
 
+  // Tenant/QoS plane (src/obs): with num_tenants > 0 and metrics enabled,
+  // the hub preallocates per-tenant × per-opclass instruments, workload
+  // clients stamp their tenant id into every request's AUTH_SYS credential,
+  // and each µproxy accounts end-to-end latency with tail exemplars. 0 (the
+  // default) keeps every untenanted export byte-identical to older builds.
+  uint32_t num_tenants = 0;
+  // Per-tenant SLO objectives evaluated on the scraper cadence (multi-window
+  // burn-rate alerting); requires num_tenants > 0 and slo.enabled.
+  obs::SloParams slo;
+  // Per-slot dir op providers (+ slot×tenant joints): the demand signal for
+  // the per-slot hotspot mode (mgmt.hotspot_per_slot) and the tenant report.
+  bool dir_slot_metrics = false;
+
   // Structured event log + flight recorder (src/obs): per-host rings of
   // routing / failover / retransmit decision records, dumped as canonical
   // JSON. Off by default like the other pillars: disabled means no EventLog
@@ -147,6 +161,8 @@ class Ensemble {
   // Metrics hub / scraper; null when config.metrics.enabled is false.
   obs::Metrics* metrics() { return metrics_.get(); }
   obs::Scraper* scraper() { return scraper_.get(); }
+  // SLO engine; null unless metrics, num_tenants > 0, and slo.enabled.
+  obs::SloEngine* slo_engine() { return slo_engine_.get(); }
   // Canonical JSON snapshot (instruments + series + alerts) and its FNV-1a
   // content hash; empty/0 when metrics are off.
   std::string ExportMetricsJson() const;
@@ -209,6 +225,9 @@ class Ensemble {
   // scraper's queued events are guarded by its own alive flag.
   std::unique_ptr<obs::Metrics> metrics_;
   std::unique_ptr<obs::Scraper> scraper_;
+  // After the scraper: destroyed first, and the scrape hook only fires while
+  // the queue runs, so the raw pointer the hook captures never dangles.
+  std::unique_ptr<obs::SloEngine> slo_engine_;
   std::unique_ptr<Network> network_;
   std::vector<std::unique_ptr<StorageNode>> storage_nodes_;
   std::vector<std::unique_ptr<Coordinator>> coordinators_;

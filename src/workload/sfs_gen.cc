@@ -19,13 +19,15 @@ class SfsBenchmark::Process {
     return params;
   }
 
-  Process(SfsBenchmark& bench, uint64_t seed)
+  Process(SfsBenchmark& bench, size_t index, uint64_t seed)
       : bench_(bench),
+        index_(index),
         client_(bench.host_, bench.queue_, bench.server_, TolerantRpc()),
         rng_(seed) {}
 
   void Start() { ScheduleArrival(); }
   void Stop() { stopped_ = true; }
+  void set_tenant(uint32_t tenant) { client_.rpc().set_tenant(tenant); }
 
   uint64_t created_serial = 0;
 
@@ -144,9 +146,11 @@ class SfsBenchmark::Process {
         return;
       }
       case Op::kCreate: {
+        // Deterministic per-process namespace: the absolute process index
+        // (NOT the heap address — same-seed runs must hash identical names
+        // into the dir tier's per-slot counters).
         const std::string name =
-            "tmp" + std::to_string(reinterpret_cast<uintptr_t>(this) & 0xffff) + "_" +
-            std::to_string(created_serial++);
+            "tmp" + std::to_string(index_) + "_" + std::to_string(created_serial++);
         const FileHandle dir = RandomDir();
         client_.Create(dir, name, [this, finish, dir, name](Status st, const CreateRes& res) {
           if (st.ok() && res.status == Nfsstat3::kOk) {
@@ -204,6 +208,7 @@ class SfsBenchmark::Process {
   }
 
   SfsBenchmark& bench_;
+  const size_t index_;  // absolute process index, stable across repeated Run()s
   NfsClient client_;
   Rng rng_;
   bool stopped_ = false;
@@ -310,7 +315,12 @@ SfsReport SfsBenchmark::Run() {
   // their still-scheduled arrival timers fire harmlessly.
   const size_t first_new = processes_.size();
   for (size_t p = 0; p < params_.num_processes; ++p) {
-    processes_.push_back(std::make_unique<Process>(*this, rng_.NextU64()));
+    processes_.push_back(std::make_unique<Process>(*this, first_new + p, rng_.NextU64()));
+    if (params_.num_tenants > 0) {
+      // Tenant by absolute process index, stable across repeated Run()s.
+      processes_.back()->set_tenant(
+          static_cast<uint32_t>((first_new + p) % params_.num_tenants) + 1);
+    }
   }
   for (size_t p = first_new; p < processes_.size(); ++p) {
     processes_[p]->Start();

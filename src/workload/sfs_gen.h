@@ -45,6 +45,11 @@ struct SfsParams {
   SimTime duration = FromSeconds(10);
   uint32_t io_size = 8192;  // per-op transfer unit for read/write
   uint64_t seed = 0x5f5;
+  // Multi-tenant mix: with N > 0, generator process p runs as tenant
+  // (p % N) + 1 — every request carries the tenant in its AUTH_SYS cred so
+  // the µproxy/SLO plane can attribute it. 0 = untenanted (byte-identical
+  // wire traffic to older builds).
+  uint32_t num_tenants = 0;
 };
 
 struct SfsReport {

@@ -8,6 +8,7 @@
 // can upload the full evidence on failure.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
@@ -38,6 +39,7 @@ constexpr Golden kGoldens[] = {
     {"skewed_heartbeats", 0x227fdcd7d45b5eaaull},
     {"flapping_node", 0xc543e7041ec7701eull},
     {"stale_cache_partition", 0x49f8ce5cd9db2dfdull},
+    {"noisy_neighbor", 0x0791515ebaafc9f3ull},
 };
 
 uint64_t GoldenFor(const std::string& name) {
@@ -94,6 +96,72 @@ TEST(ChaosMatrixTest, CorrelatedCrash) { CheckScenario("correlated_crash"); }
 TEST(ChaosMatrixTest, SkewedHeartbeats) { CheckScenario("skewed_heartbeats"); }
 TEST(ChaosMatrixTest, FlappingNode) { CheckScenario("flapping_node"); }
 TEST(ChaosMatrixTest, StaleCachePartition) { CheckScenario("stale_cache_partition"); }
+TEST(ChaosMatrixTest, NoisyNeighbor) { CheckScenario("noisy_neighbor"); }
+
+// The tenant/QoS pillar end to end: the victim tenant's SLO must burn while
+// the disks are gray, the alert must carry a worst-tail exemplar trace id
+// that resolves in BOTH the span collection (chrome export) and the flight
+// dump's event stream, and the burn must clear after the fault heals.
+TEST(NoisyNeighborTest, SloBurnLinksExemplarAcrossPillars) {
+  const std::vector<Scenario> matrix = ScenarioMatrix();
+  const Scenario* scenario = FindScenario(matrix, "noisy_neighbor");
+  ASSERT_NE(scenario, nullptr);
+
+  // Run inline (same steps as RunScenario) so the ensemble stays alive for
+  // the cross-pillar inspection.
+  EventQueue queue;
+  Ensemble ensemble(queue, scenario->config);
+  chaos::ChaosWorkload workload(ensemble, scenario->workload);
+  workload.Setup();
+  std::shared_ptr<void> background = scenario->background(ensemble);
+  workload.Run();
+  SimTime horizon = queue.now();
+  for (const chaos::FaultSpec& fault : scenario->config.chaos.faults) {
+    horizon = std::max(horizon, fault.at + fault.duration);
+  }
+  queue.RunUntil(horizon + scenario->settle);
+  queue.RunUntilIdle();
+
+  ASSERT_NE(ensemble.slo_engine(), nullptr);
+  const std::vector<obs::SloAlert>& alerts = ensemble.slo_engine()->alerts();
+
+  // The victim (tenant 1) burned, with an exemplar, and later cleared.
+  const obs::SloAlert* burn = nullptr;
+  const obs::SloAlert* last_tenant1 = nullptr;
+  for (const obs::SloAlert& alert : alerts) {
+    if (alert.tenant != 1) {
+      continue;
+    }
+    if (alert.raise && burn == nullptr) {
+      burn = &alert;
+    }
+    last_tenant1 = &alert;
+  }
+  ASSERT_NE(burn, nullptr) << "tenant 1 never raised slo_burn";
+  EXPECT_NE(burn->trace_id, 0u) << "slo_burn carried no exemplar trace";
+  ASSERT_NE(last_tenant1, nullptr);
+  EXPECT_FALSE(last_tenant1->raise) << "tenant 1's burn never cleared";
+  EXPECT_FALSE(ensemble.slo_engine()->burning(1));
+
+  // Pillar 2: the exemplar resolves in the trace export.
+  bool in_spans = false;
+  for (const obs::Span& span : ensemble.CollectSpans()) {
+    if (span.trace_id == burn->trace_id) {
+      in_spans = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(in_spans) << "exemplar trace " << burn->trace_id
+                        << " not found in the span collection";
+
+  // Pillar 3: the slo_burn event in the flight dump carries the same id.
+  const std::string flight = ensemble.ExportFlightJson("test");
+  EXPECT_NE(flight.find("\"slo_burn\""), std::string::npos);
+  EXPECT_NE(flight.find(std::to_string(burn->trace_id)), std::string::npos);
+  // And the tenant plane made it into the embedded metrics snapshot.
+  EXPECT_NE(flight.find("\"tenants\""), std::string::npos);
+  EXPECT_NE(flight.find("\"slo\""), std::string::npos);
+}
 
 TEST(ChaosMatrixTest, MatrixCoversEveryGolden) {
   const std::vector<Scenario> matrix = ScenarioMatrix();

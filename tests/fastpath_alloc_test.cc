@@ -14,6 +14,7 @@
 #include "src/core/uproxy.h"
 #include "src/net/packet_pool.h"
 #include "src/nfs/nfs_xdr.h"
+#include "src/obs/metrics.h"
 #include "src/rpc/rpc_message.h"
 
 // Counts every operator-new in the process; the test measures deltas.
@@ -54,6 +55,13 @@ TEST(FastPathAllocTest, SteadyStateForwardAndReplyDoNotAllocate) {
   config.storage_nodes = {Endpoint{kStorageAddr, kNfsPort}};
   Uproxy uproxy(net, queue, client_host, config);
 
+  // Tenant plane ON: the zero-allocation claim must hold with per-tenant
+  // accounting live (preallocated hub instruments + the cached LUT, no map
+  // lookups). The request below carries tenant 1 in its AUTH_SYS uid.
+  obs::Metrics metrics;
+  metrics.ConfigureTenants(2, FromMillis(50));
+  uproxy.set_metrics(&metrics);
+
   uint64_t replies = 0;
   client_host.Bind(kClientPort, [&replies](Packet&&) { ++replies; });
 
@@ -61,6 +69,7 @@ TEST(FastPathAllocTest, SteadyStateForwardAndReplyDoNotAllocate) {
   // (post-op attributes absent, so the attribute patcher exits early).
   RpcCall call;
   call.xid = 99;
+  call.cred.uid = 1;  // tenant tag
   call.prog = kNfsProgram;
   call.vers = kNfsVersion;
   call.proc = static_cast<uint32_t>(NfsProc::kRead);
@@ -124,6 +133,10 @@ TEST(FastPathAllocTest, SteadyStateForwardAndReplyDoNotAllocate) {
   // Sanity: the measurement window really ran on recycled pool buffers.
   EXPECT_GE(pool_hits_after - pool_hits_before, 2u * 256u);
   EXPECT_EQ(uproxy.pending_count(), 0u);
+  // And the tenant plane really was live: every round trip was attributed.
+  const obs::TenantInstruments* t1 = metrics.Tenant(1);
+  ASSERT_NE(t1, nullptr);
+  EXPECT_EQ(t1->ops[static_cast<size_t>(obs::TenantOpClass::kRead)].Value(), 64u + 256u);
 }
 
 // With pooling disabled (the determinism A/B hook) the same traffic must

@@ -165,6 +165,12 @@ def event_matches(ev, opts):
         return False
     if opts.trace_ids is not None and ev.get("trace", 0) not in opts.trace_ids:
         return False
+    if opts.tenant is not None:
+        # Tenant attribution rides in the event args ({"tenant": N}, the SLO
+        # engine's slo_burn/slo_ok) or in a "tenantN" detail tag.
+        args = ev.get("args", {})
+        if args.get("tenant") != opts.tenant and ev.get("detail") != "tenant%d" % opts.tenant:
+            return False
     return True
 
 
@@ -239,6 +245,9 @@ def main(argv):
     parser.add_argument("--since", help="window start (e.g. 1.5s, 200ms, or raw ns)")
     parser.add_argument("--until", help="window end")
     parser.add_argument("--trace-id", help="comma-separated trace ids: print those causal trails")
+    parser.add_argument("--tenant", type=int,
+                        help="only events attributed to this tenant (SLO burn/clear "
+                             "edges and any event carrying a tenant arg or tag)")
     parser.add_argument("--join-trace", metavar="TRACE_JSON",
                         help="chrome://tracing export to merge into the timeline "
                              "(spans matching --trace-id, or all spans without it)")
@@ -298,6 +307,7 @@ def main(argv):
         return 2
     opts.trace_ids = (set(int(t) for t in args.trace_id.split(","))
                       if args.trace_id else None)
+    opts.tenant = args.tenant
 
     flight = doc["flight"]
     events = [ev for ev in flight["events"] if event_matches(ev, opts)]

@@ -35,6 +35,7 @@ def main():
     with open(codes) as f:
         table = {row["name"]: row["code"] for row in json.load(f)["event_codes"]}
     check("table has chaos codes", "fault_inject" in table and "node_dead" in table)
+    check("table has slo codes", "slo_burn" in table and "slo_ok" in table)
 
     with tempfile.TemporaryDirectory() as tmp:
         dump = os.path.join(tmp, "dump.json")
@@ -49,6 +50,16 @@ def main():
                                        "sev": "info", "cat": "route",
                                        "code": table["route_decision"],
                                        "name": "route_decision"},
+                                      {"at": 3000, "seq": 2, "host": "10.0.5.253",
+                                       "sev": "error", "cat": "alert",
+                                       "code": table["slo_burn"], "name": "slo_burn",
+                                       "detail": "tenant1", "trace": 42,
+                                       "args": {"tenant": 1, "fast": 1400, "slow": 1100}},
+                                      {"at": 4000, "seq": 3, "host": "10.0.5.253",
+                                       "sev": "info", "cat": "alert",
+                                       "code": table["slo_ok"], "name": "slo_ok",
+                                       "detail": "tenant2",
+                                       "args": {"tenant": 2, "fast": 0, "slow": 900}},
                                   ]}}, f)
 
         code, out, err = run(script, "--list-codes", "--codes-file", codes)
@@ -70,6 +81,19 @@ def main():
 
         code, out, err = run(script, dump, "--code", "fault_inject", "--codes-file", codes)
         check("no matches exits 1", code == 1, "exit=%d" % code)
+
+        # SLO codes resolve symbolically straight from the X-macro table.
+        code, out, err = run(script, dump, "--code", "slo_burn,slo_ok",
+                             "--codes-file", codes)
+        check("slo codes filter", code == 0 and "slo_burn" in out and "slo_ok" in out, err)
+        check("slo codes exclude rest", "node_dead" not in out)
+
+        # --tenant keeps only that tenant's attributed events.
+        code, out, err = run(script, dump, "--tenant", "1", "--codes-file", codes)
+        check("--tenant exits 0", code == 0, err)
+        check("--tenant keeps tenant 1", "slo_burn" in out)
+        check("--tenant drops tenant 2", "slo_ok" not in out)
+        check("--tenant drops untenanted", "node_dead" not in out)
 
         # Table discovery next to the dump (no --codes-file).
         with open(codes) as src, open(os.path.join(tmp, "event_codes.json"), "w") as dst:

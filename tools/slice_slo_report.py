@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Per-tenant SLO attainment report from a Slice metrics snapshot.
+
+Input is the canonical metrics JSON written by the benches' --metrics flag
+(fig5_sfs_throughput --tenants N --metrics out.json) or a flight-recorder
+dump (the embedded "metrics" object is used). With the tenant plane on, the
+snapshot carries:
+
+    "tenants":  per-tenant ops/bytes by op class, latency quantiles,
+                errors, bad_ops (errors + over-threshold latencies), and
+                the worst-tail exemplars (trace ids)
+    "slo":      the SLO parameters plus every burn-rate alert edge
+
+The report renders, per tenant: total ops, the error-budget objective,
+measured attainment (good ops / total ops), budget consumption, tail
+latency per op class, burn/clear edges, and the exemplar trace ids that
+link each violation to the tracing pillar (resolve them with
+slice_inspect.py --trace-id N --join-trace trace.json).
+
+Usage:
+    slice_slo_report.py metrics.json              # all tenants
+    slice_slo_report.py flight.json --tenant 2    # one tenant
+    slice_slo_report.py metrics.json --json       # machine-readable
+
+Exit status 0 = report printed, 1 = no tenant plane in the snapshot,
+2 = usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_snapshot(path):
+    with open(path) as f:
+        doc = json.load(f)
+    # Accept either a bare metrics snapshot or a flight dump wrapping one.
+    if "tenants" not in doc and "metrics" in doc:
+        doc = doc["metrics"]
+    return doc
+
+
+def fmt_ns(ns):
+    ns = int(ns)
+    if ns >= 1000000:
+        return "%.2fms" % (ns / 1e6)
+    if ns >= 1000:
+        return "%.1fus" % (ns / 1e3)
+    return "%dns" % ns
+
+
+def tenant_report(tenant, data, slo):
+    ops = data.get("ops", {})
+    total = sum(int(v) for v in ops.values())
+    bad = int(data.get("bad_ops", 0))
+    good = total - bad
+    report = {
+        "tenant": int(tenant),
+        "total_ops": total,
+        "bad_ops": bad,
+        "errors": int(data.get("errors", 0)),
+        "ops": {k: int(v) for k, v in ops.items() if int(v) > 0},
+        "bytes": {k: int(v) for k, v in data.get("bytes", {}).items() if int(v) > 0},
+        "attainment": (good / total) if total else None,
+        "exemplars": [
+            {"trace_id": int(ex["trace_id"]), "latency_ns": int(ex["latency"]),
+             "class": ex.get("class", "?"), "at_ns": int(ex["at"])}
+            for ex in data.get("exemplars", [])
+        ],
+        "tail_latency": {},
+    }
+    for cls, hist in data.get("latency", {}).items():
+        if int(hist.get("count", 0)) > 0:
+            report["tail_latency"][cls] = {
+                "count": int(hist["count"]),
+                "p50_ns": int(hist["p50"]),
+                "p95_ns": int(hist["p95"]),
+                "p99_ns": int(hist["p99"]),
+                "max_ns": int(hist["max"]),
+            }
+    if slo:
+        budget_ppm = int(slo.get("budget_ppm", 0))
+        report["objective"] = 1.0 - budget_ppm / 1e6
+        if total and budget_ppm:
+            # Fraction of the error budget this run consumed (1.0 = spent).
+            report["budget_consumed"] = (bad / total) / (budget_ppm / 1e6)
+        report["alerts"] = [
+            {"at_ns": int(a["at"]), "raise": bool(a["raise"]),
+             "fast_milli": int(a["fast"]), "slow_milli": int(a["slow"]),
+             "trace_id": int(a["trace_id"])}
+            for a in slo.get("alerts", []) if int(a.get("tenant", 0)) == int(tenant)
+        ]
+    return report
+
+
+def print_report(report, slo):
+    t = report["tenant"]
+    print("tenant %d" % t)
+    print("  ops: %d total, %d bad, %d errors" %
+          (report["total_ops"], report["bad_ops"], report["errors"]))
+    if report["ops"]:
+        print("  by class: " + "  ".join(
+            "%s=%d" % (k, v) for k, v in sorted(report["ops"].items())))
+    if report.get("attainment") is not None:
+        line = "  attainment: %.4f%%" % (100.0 * report["attainment"])
+        if "objective" in report:
+            met = report["attainment"] >= report["objective"]
+            line += "  objective: %.4f%%  [%s]" % (100.0 * report["objective"],
+                                                   "MET" if met else "MISSED")
+        if "budget_consumed" in report:
+            line += "  budget consumed: %.0f%%" % (100.0 * report["budget_consumed"])
+        print(line)
+    for cls, tail in sorted(report["tail_latency"].items()):
+        print("  latency %-5s n=%-6d p50=%-10s p95=%-10s p99=%-10s max=%s" %
+              (cls, tail["count"], fmt_ns(tail["p50_ns"]), fmt_ns(tail["p95_ns"]),
+               fmt_ns(tail["p99_ns"]), fmt_ns(tail["max_ns"])))
+    for alert in report.get("alerts", []):
+        print("  %s at %s: fast burn %.2fx, slow %.2fx, exemplar trace %d" %
+              ("SLO BURN " if alert["raise"] else "slo clear",
+               fmt_ns(alert["at_ns"]), alert["fast_milli"] / 1000.0,
+               alert["slow_milli"] / 1000.0, alert["trace_id"]))
+    for ex in report["exemplars"]:
+        print("  exemplar trace %d: %s %s at %s" %
+              (ex["trace_id"], ex["class"], fmt_ns(ex["latency_ns"]), fmt_ns(ex["at_ns"])))
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Per-tenant SLO attainment from a Slice metrics snapshot.")
+    parser.add_argument("snapshot", help="metrics JSON or flight dump")
+    parser.add_argument("--tenant", type=int, help="report only this tenant")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the report as JSON instead of text")
+    args = parser.parse_args(argv[1:])
+
+    try:
+        doc = load_snapshot(args.snapshot)
+    except (OSError, ValueError) as err:
+        sys.stderr.write("slice_slo_report: %s\n" % err)
+        return 2
+
+    tenants = doc.get("tenants", {})
+    if not tenants:
+        sys.stderr.write("slice_slo_report: no tenant plane in %s "
+                         "(was the run tenanted?)\n" % args.snapshot)
+        return 1
+    slo = doc.get("slo", {})
+
+    reports = []
+    for tenant in sorted(tenants, key=int):
+        if args.tenant is not None and int(tenant) != args.tenant:
+            continue
+        reports.append(tenant_report(tenant, tenants[tenant], slo))
+    if not reports:
+        sys.stderr.write("slice_slo_report: tenant %d not in snapshot\n" % args.tenant)
+        return 1
+
+    if args.as_json:
+        out = {"slo": {k: v for k, v in slo.items() if k != "alerts"},
+               "tenants": reports}
+        json.dump(out, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+
+    if slo:
+        print("SLO: error budget %dppm, latency threshold %s, burn threshold %.1fx "
+              "(fast %d / slow %d windows)" %
+              (int(slo.get("budget_ppm", 0)), fmt_ns(slo.get("latency_threshold", 0)),
+               int(slo.get("burn_threshold_milli", 0)) / 1000.0,
+               int(slo.get("fast_windows", 0)), int(slo.get("slow_windows", 0))))
+        print()
+    for report in reports:
+        print_report(report, slo)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Regression tests for slice_slo_report.py.
+
+Run as a ctest: slice_slo_report_test.py <slice_slo_report.py>. Exercises a
+synthetic tenanted snapshot (attainment math, alert/exemplar rendering,
+--tenant filtering, --json mode, flight-dump unwrapping) and the
+no-tenant-plane error path.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(script, *args):
+    proc = subprocess.run([sys.executable, script] + list(args),
+                          stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+    return proc.returncode, proc.stdout.decode(), proc.stderr.decode()
+
+
+SNAPSHOT = {
+    "hosts": {},
+    "tenants": {
+        "1": {
+            "ops": {"read": 60, "write": 40, "name": 0, "attr": 0, "other": 0},
+            "bytes": {"read": 491520, "write": 327680, "name": 0, "attr": 0, "other": 0},
+            "latency": {
+                "write": {"count": 40, "min": 1000, "max": 90000000,
+                          "sum": 200000000, "p50": 2000000, "p95": 60000000,
+                          "p99": 90000000},
+            },
+            "errors": 1,
+            "bad_ops": 5,
+            "slow_threshold": 50000000,
+            "exemplars": [
+                {"at": 700000000, "latency": 90000000, "trace_id": 354, "class": "write"},
+            ],
+        },
+        "2": {
+            "ops": {"read": 0, "write": 0, "name": 200, "attr": 0, "other": 0},
+            "bytes": {},
+            "latency": {},
+            "errors": 0,
+            "bad_ops": 0,
+            "slow_threshold": 50000000,
+            "exemplars": [],
+        },
+    },
+    "slo": {
+        "budget_ppm": 50000,
+        "latency_threshold": 50000000,
+        "burn_threshold_milli": 1000,
+        "fast_windows": 3,
+        "slow_windows": 8,
+        "alerts": [
+            {"at": 600000000, "tenant": 1, "raise": 1, "fast": 2400,
+             "slow": 1500, "trace_id": 354},
+            {"at": 1400000000, "tenant": 1, "raise": 0, "fast": 0,
+             "slow": 800, "trace_id": 354},
+        ],
+    },
+}
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.stderr.write("usage: slice_slo_report_test.py <slice_slo_report.py>\n")
+        return 2
+    script = sys.argv[1]
+    failures = []
+
+    def check(case, ok, extra=""):
+        if not ok:
+            failures.append("%s %s" % (case, extra))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        snap = os.path.join(tmp, "metrics.json")
+        with open(snap, "w") as f:
+            json.dump(SNAPSHOT, f)
+
+        code, out, err = run(script, snap)
+        check("report exits 0", code == 0, err)
+        check("both tenants render", "tenant 1" in out and "tenant 2" in out)
+        check("attainment math", "95.0000%" in out)       # 95/100 good ops
+        check("objective rendered", "95.0000%" in out and "MET" in out)
+        check("burn edge rendered", "SLO BURN" in out and "2.40x" in out)
+        check("exemplar trace id", "trace 354" in out)
+        check("tail latency", "p99=90.00ms" in out)
+
+        code, out, err = run(script, snap, "--tenant", "2")
+        check("--tenant filters", code == 0 and "tenant 2" in out
+              and "tenant 1" not in out, err)
+
+        code, out, err = run(script, snap, "--tenant", "9")
+        check("missing tenant exits 1", code == 1, "exit=%d" % code)
+
+        code, out, err = run(script, snap, "--json")
+        check("--json exits 0", code == 0, err)
+        doc = json.loads(out)
+        check("--json tenants", [t["tenant"] for t in doc["tenants"]] == [1, 2])
+        check("--json attainment", abs(doc["tenants"][0]["attainment"] - 0.95) < 1e-9)
+        check("--json alerts", doc["tenants"][0]["alerts"][0]["trace_id"] == 354)
+        check("--json objective", abs(doc["tenants"][0]["objective"] - 0.95) < 1e-9)
+
+        # A flight dump wrapping the snapshot unwraps transparently.
+        flight = os.path.join(tmp, "flight.json")
+        with open(flight, "w") as f:
+            json.dump({"flight": {"reason": "test", "events": []},
+                       "metrics": SNAPSHOT}, f)
+        code, out, err = run(script, flight, "--tenant", "1")
+        check("flight dump unwraps", code == 0 and "tenant 1" in out, err)
+
+        # No tenant plane => exit 1 with a pointed message.
+        bare = os.path.join(tmp, "bare.json")
+        with open(bare, "w") as f:
+            json.dump({"hosts": {}}, f)
+        code, out, err = run(script, bare)
+        check("untenanted exits 1", code == 1, "exit=%d" % code)
+        check("untenanted explains", "no tenant plane" in err, err)
+
+    if failures:
+        for f in failures:
+            sys.stderr.write("FAIL %s\n" % f)
+        return 1
+    print("slice_slo_report_test: per-tenant report rendering passes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
