@@ -25,6 +25,12 @@
 //   --flight-dump <path>  re-run one Slice-2 point with the event log on and
 //                     write the flight-recorder dump (tail of routing
 //                     decisions + metrics snapshot) to <path>
+//   --profile <path>  re-run one Slice-2 point with the profiler on and write
+//                     the {"profile":...} JSON to <path> plus a collapsed-
+//                     stack rendering next to it (<path minus .json>.folded);
+//                     the bench renames itself fig5_profile — profiler runs
+//                     register extra instruments, so they get their own
+//                     artifacts instead of perturbing the fig5 golden
 //
 // Always writes BENCH_fig5.json (BENCH_fig5_cache.json under --proxy-cache):
 // per-line points (offered, delivered, mean, p50/p95/p99 ms), the <40ms
@@ -51,7 +57,7 @@ struct BenchLine {
 };
 
 void RunFig5(bool smoke, bool proxy_cache, const char* metrics_path, const char* flight_path,
-             uint32_t tenants) {
+             const char* profile_path, uint32_t tenants) {
   std::printf("Figure 5: SFS97-like delivered throughput (IOPS) vs offered load%s%s\n\n",
               proxy_cache ? " [in-proxy metadata cache ON]" : "",
               tenants > 0 ? " [tenant/SLO plane ON]" : "");
@@ -145,6 +151,28 @@ void RunFig5(bool smoke, bool proxy_cache, const char* metrics_path, const char*
                 static_cast<unsigned long long>(obs::FlightContentHash(flight_json)));
   }
 
+  // Optional profiled run: one Slice-2 point with the profiler (plus metrics
+  // and the event log, so the flight dump carries the profile section).
+  SfsProfile profile;
+  if (profile_path != nullptr) {
+    const double offered = smoke ? 800 : 1600;
+    std::printf("\n--profile: Slice-2 @ %.0f ops/s with the profiler enabled\n", offered);
+    RunSlicePointProfiled(2, offered, &profile, nullptr, proxy_cache);
+    std::ofstream out(profile_path, std::ios::binary | std::ios::trunc);
+    out << profile.profile_json << "\n";
+    std::string folded_path(profile_path);
+    const size_t dot = folded_path.rfind(".json");
+    folded_path = (dot == std::string::npos ? folded_path : folded_path.substr(0, dot)) +
+                  ".folded";
+    std::ofstream folded(folded_path, std::ios::binary | std::ios::trunc);
+    folded << profile.folded;
+    std::printf("profile written to %s (+ %s), sim hash %016llx, "
+                "min host ledger coverage %.2f%%\n",
+                profile_path, folded_path.c_str(),
+                static_cast<unsigned long long>(profile.sim_hash),
+                static_cast<double>(profile.min_coverage_bp) / 100.0);
+  }
+
   if (tenants > 0 && !tenant_totals.empty()) {
     std::printf("per-tenant attribution (metered Slice-2 point):\n");
     for (uint32_t t = 1; t <= tenants; ++t) {
@@ -161,7 +189,10 @@ void RunFig5(bool smoke, bool proxy_cache, const char* metrics_path, const char*
     }
   }
 
-  const char* bench_name = tenants > 0 ? "fig5_tenants" : (proxy_cache ? "fig5_cache" : "fig5");
+  const char* bench_name = profile_path != nullptr
+                               ? "fig5_profile"
+                               : (tenants > 0 ? "fig5_tenants"
+                                              : (proxy_cache ? "fig5_cache" : "fig5"));
   JsonWriter w;
   w.BeginObject();
   w.Key("bench").String(bench_name);
@@ -208,6 +239,13 @@ void RunFig5(bool smoke, bool proxy_cache, const char* metrics_path, const char*
     }
     w.EndObject();
   }
+  if (profile_path != nullptr) {
+    // Sim-side rollup only: byte-stable same-seed, so a golden may pin it.
+    w.Key("profile").BeginObject();
+    w.Key("sim_hash").UInt(profile.sim_hash);
+    w.Key("min_coverage_bp").UInt(profile.min_coverage_bp);
+    w.EndObject();
+  }
   w.EndObject();
   WriteBenchFile(bench_name, w.str());
 }
@@ -220,6 +258,7 @@ int main(int argc, char** argv) {
   bool proxy_cache = false;
   const char* metrics_path = nullptr;
   const char* flight_path = nullptr;
+  const char* profile_path = nullptr;
   uint32_t tenants = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -232,10 +271,12 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--flight-dump") == 0 && i + 1 < argc) {
       flight_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      profile_path = argv[++i];
     } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
       tenants = static_cast<uint32_t>(std::atoi(argv[++i]));
     }
   }
-  slice::RunFig5(smoke, proxy_cache, metrics_path, flight_path, tenants);
+  slice::RunFig5(smoke, proxy_cache, metrics_path, flight_path, profile_path, tenants);
   return 0;
 }

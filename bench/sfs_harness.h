@@ -191,6 +191,55 @@ inline SfsPoint RunSlicePointFlight(size_t storage_nodes, double offered,
   return PointFromReport(offered, report);
 }
 
+// Everything a profiled run exports: the canonical profile JSON, the
+// collapsed-stack rendering, the sim-section hash (byte-stable same-seed),
+// and the worst per-host ledger coverage in basis points.
+struct SfsProfile {
+  std::string profile_json;
+  std::string folded;
+  uint64_t sim_hash = 0;
+  uint64_t min_coverage_bp = 0;
+};
+
+// Same Slice point with the profiler on (plus metrics + event log so the
+// ledger rides the time series and the flight dump carries the profile
+// section) — the benches' --profile flag.
+inline SfsPoint RunSlicePointProfiled(size_t storage_nodes, double offered,
+                                      SfsProfile* profile_out,
+                                      std::string* flight_json_out = nullptr,
+                                      bool proxy_cache = false) {
+  EventQueue queue;
+  EnsembleConfig config;
+  config.mgmt.enabled = false;
+  config.num_storage_nodes = storage_nodes;
+  config.num_small_file_servers = 2;
+  config.num_dir_servers = 1;
+  config.num_clients = 4;
+  config.cal.storage_cache_mb = kSfsStorageCacheMb;
+  config.cal.sfs_cache_mb = kSfsSmallFileCacheMb;
+  config.storage_extra_meta_ios = kSfsMetaIos;
+  config.proxy_cache = proxy_cache;
+  config.metrics.enabled = true;
+  config.eventlog.enabled = true;
+  config.profiler.enabled = true;
+  Ensemble ensemble(queue, config);
+  SfsParams params = ScaledSfsParams(offered);
+  SfsBenchmark bench(ensemble.client_host(0), queue, ensemble.virtual_server(),
+                     ensemble.root(), params);
+  SLICE_CHECK(bench.Setup().ok());
+  const SfsReport report = bench.Run();
+  if (profile_out != nullptr) {
+    profile_out->profile_json = ensemble.ExportProfileJson();
+    profile_out->folded = ensemble.ExportProfileFolded();
+    profile_out->sim_hash = ensemble.ProfileSimHash();
+    profile_out->min_coverage_bp = ensemble.profiler()->MinCoverageBp();
+  }
+  if (flight_json_out != nullptr) {
+    *flight_json_out = ensemble.ExportFlightJson("bench");
+  }
+  return PointFromReport(offered, report);
+}
+
 // Same Slice point with end-to-end tracing enabled (--trace in the benches):
 // returns the delivered numbers plus the critical-path latency breakdown,
 // and optionally the full chrome://tracing JSON.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <tuple>
 
 #include "src/common/logging.h"
 
@@ -154,7 +155,10 @@ NfsTime Uproxy::Now() const {
 
 SimTime Uproxy::ChargeCpu() {
   const SimTime now = queue_.now();
+  const SimTime start = std::max(cpu_.busy_until(), now);
   const SimTime done = cpu_.Acquire(now, FromMicros(config_.per_packet_cpu_us));
+  obs::ChargeSim(prof_ledger_, obs::LedgerCat::kQueue, start - now);
+  obs::ChargeSim(prof_ledger_, obs::LedgerCat::kCpu, done - start);
   obs::Observe(m_cpu_, done - now);
   return done;
 }
@@ -163,6 +167,8 @@ SimTime Uproxy::ChargeCpu(const obs::TraceContext& ctx) {
   const SimTime now = queue_.now();
   const SimTime start = std::max(cpu_.busy_until(), now);
   const SimTime done = cpu_.Acquire(now, FromMicros(config_.per_packet_cpu_us));
+  obs::ChargeSim(prof_ledger_, obs::LedgerCat::kQueue, start - now);
+  obs::ChargeSim(prof_ledger_, obs::LedgerCat::kCpu, done - start);
   obs::Observe(m_cpu_, done - now);
   if (tracer_ != nullptr && ctx.valid()) {
     if (start > now) {
@@ -386,22 +392,29 @@ void Uproxy::HandleOutbound(Packet&& pkt) {
     net_.Inject(std::move(pkt));
     return;
   }
+  obs::Profiler::Scope prof(profiler_, obs::ProfScope::kUproxyOutbound);
   // First sight decodes once; a retransmission that already carries the
   // cached view (e.g. re-forwarded by the RPC layer) skips the parse.
   DecodedView req;
-  if (!pkt.get_view(kDecodedViewTag, &req)) {
-    if (!DecodeNfsRequestView(pkt.payload(), &req).ok()) {
-      PassThroughOutbound(std::move(pkt));
-      return;
+  {
+    obs::Profiler::Scope prof_decode(profiler_, obs::ProfScope::kUproxyDecode);
+    if (!pkt.get_view(kDecodedViewTag, &req)) {
+      if (!DecodeNfsRequestView(pkt.payload(), &req).ok()) {
+        PassThroughOutbound(std::move(pkt));
+        return;
+      }
+      pkt.set_view(kDecodedViewTag, req);
     }
-    pkt.set_view(kDecodedViewTag, req);
   }
   counters_.Add("intercepted");
 
   const uint64_t key = KeyOf(pkt.src_port(), req.xid);
-  if (const Pending* dup = pending_.Find(key); dup != nullptr && dup->absorbed) {
-    counters_.Add("duplicate_absorbed");
-    return;  // fan-out already in flight; our own RPC layer retransmits
+  {
+    obs::Profiler::Scope prof_soft(profiler_, obs::ProfScope::kUproxySoftState);
+    if (const Pending* dup = pending_.Find(key); dup != nullptr && dup->absorbed) {
+      counters_.Add("duplicate_absorbed");
+      return;  // fan-out already in flight; our own RPC layer retransmits
+    }
   }
 
   // Dynamic placement: bulk I/O consults the coordinator block maps.
@@ -459,7 +472,11 @@ void Uproxy::HandleOutbound(Packet&& pkt) {
     return;
   }
 
-  const RouteDecision route = SelectRoute(req, pkt.payload());
+  RouteDecision route;
+  {
+    obs::Profiler::Scope prof_route(profiler_, obs::ProfScope::kUproxyRoute);
+    route = SelectRoute(req, pkt.payload());
+  }
   switch (route.cls) {
     case RouteClass::kPassThrough:
       PassThroughOutbound(std::move(pkt));
@@ -543,44 +560,60 @@ void Uproxy::HandleOutbound(Packet&& pkt) {
 
 void Uproxy::ForwardRequest(Packet&& pkt, const DecodedView& req, Endpoint target,
                             const char* route) {
-  if (pending_.size() >= kMaxPending) {
-    pending_.Clear();  // soft state; clients retransmit
+  Pending* p = nullptr;
+  {
+    obs::Profiler::Scope prof_soft(profiler_, obs::ProfScope::kUproxySoftState);
+    if (pending_.size() >= kMaxPending) {
+      pending_.Clear();  // soft state; clients retransmit
+    }
+    bool inserted = false;
+    std::tie(p, inserted) = pending_.Insert(KeyOf(pkt.src_port(), req.xid));
+    if (inserted) {
+      p->proc = req.proc;
+      p->fh = req.fh;
+      p->offset = req.offset;
+      p->tenant = req.tenant;
+      p->issued_at = queue_.now();
+      if (req.proc != NfsProc::kRemove) {
+        p->count = req.count;
+      }
+      if (config_.proxy_cache && req.proc == NfsProc::kLookup) {
+        // Arm the reply-side cache fill with the (dir, name) key.
+        p->name_fp = NameFingerprint(req.fh, req.name(pkt.payload()));
+      }
+    } else {
+      // Retransmission: keep existing record (it may hold the remove lookup).
+      // Repeated retransmissions of one call suggest the target is dead and
+      // our table is stale — ask the manager for a fresh one (lazy pull; the
+      // re-forward below re-routes with whatever table is current).
+      if (config_.mgmt_enabled && ++p->retransmits >= 2) {
+        FetchTables();
+      }
+    }
   }
-  auto [p, inserted] = pending_.Insert(KeyOf(pkt.src_port(), req.xid));
-  if (inserted) {
-    p->proc = req.proc;
-    p->fh = req.fh;
-    p->offset = req.offset;
-    p->tenant = req.tenant;
-    p->issued_at = queue_.now();
-    if (req.proc != NfsProc::kRemove) {
-      p->count = req.count;
-    }
-    if (config_.proxy_cache && req.proc == NfsProc::kLookup) {
-      // Arm the reply-side cache fill with the (dir, name) key.
-      p->name_fp = NameFingerprint(req.fh, req.name(pkt.payload()));
-    }
-  } else {
-    // Retransmission: keep existing record (it may hold the remove lookup).
-    // Repeated retransmissions of one call suggest the target is dead and
-    // our table is stale — ask the manager for a fresh one (lazy pull; the
-    // re-forward below re-routes with whatever table is current).
-    if (config_.mgmt_enabled && ++p->retransmits >= 2) {
-      FetchTables();
-    }
+  obs::TraceContext ctx;
+  {
+    obs::Profiler::Scope prof_trace(profiler_, obs::ProfScope::kUproxyTrace);
+    ctx = BeginTrace(*p, route);
+    obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kDebug,
+                  obs::EventCat::kRoute, obs::EventCode::kRouteDecision, ctx.trace_id, route,
+                  {{"dst", target.addr}, {"xid", req.xid}});
   }
-  const obs::TraceContext ctx = BeginTrace(*p, route);
-  obs::LogEvent(eventlog_, client_host_.addr(), queue_.now(), obs::EventSev::kDebug,
-                obs::EventCat::kRoute, obs::EventCode::kRouteDecision, ctx.trace_id, route,
-                {{"dst", target.addr}, {"xid", req.xid}});
 
-  pkt.RewriteDst(target);
-  if (ctx.valid()) {
-    pkt.AttachTrace(ctx.trace_id, ctx.span_id);
+  {
+    obs::Profiler::Scope prof_rewrite(profiler_, obs::ProfScope::kUproxyRewrite);
+    pkt.RewriteDst(target);
+    if (ctx.valid()) {
+      pkt.AttachTrace(ctx.trace_id, ctx.span_id);
+    }
   }
   // Hand the rewritten packet straight to the network's flight queue at the
   // CPU-done instant — no closure, no shared_ptr, no per-packet allocation.
-  const SimTime ready = ChargeCpu(ctx);
+  SimTime ready;
+  {
+    obs::Profiler::Scope prof_metrics(profiler_, obs::ProfScope::kUproxyMetrics);
+    ready = ChargeCpu(ctx);
+  }
   net_.InjectAt(std::move(pkt), ready, alive_);
 }
 
@@ -597,19 +630,30 @@ void Uproxy::HandleInbound(Packet&& pkt) {
     net_.DeliverLocal(pkt.dst_addr(), std::move(pkt));
     return;
   }
+  obs::Profiler::Scope prof(profiler_, obs::ProfScope::kUproxyInbound);
   DecodedReply reply;
-  if (!DecodeNfsReply(pkt.payload(), &reply).ok()) {
-    net_.DeliverLocal(pkt.dst_addr(), std::move(pkt));
-    return;
+  {
+    obs::Profiler::Scope prof_decode(profiler_, obs::ProfScope::kUproxyDecode);
+    if (!DecodeNfsReply(pkt.payload(), &reply).ok()) {
+      net_.DeliverLocal(pkt.dst_addr(), std::move(pkt));
+      return;
+    }
   }
   const uint64_t key = KeyOf(pkt.dst_port(), reply.xid);
-  const Pending* found = pending_.Find(key);
+  const Pending* found;
+  {
+    obs::Profiler::Scope prof_soft(profiler_, obs::ProfScope::kUproxySoftState);
+    found = pending_.Find(key);
+  }
   if (found == nullptr) {
     net_.DeliverLocal(pkt.dst_addr(), std::move(pkt));
     return;
   }
   Pending pending = *found;
-  pending_.Erase(key);
+  {
+    obs::Profiler::Scope prof_soft(profiler_, obs::ProfScope::kUproxySoftState);
+    pending_.Erase(key);
+  }
 
   // Reply-side work (attr writebacks, remove/truncate fan-outs) chains into
   // the originating trace.
@@ -647,21 +691,36 @@ void Uproxy::HandleInbound(Packet&& pkt) {
         WritebackAttrs(pending.fh.fileid(), entry->attr);
       }
     }
-    PatchReplyAttrs(pkt, pending, reply);
+    {
+      obs::Profiler::Scope prof_patch(profiler_, obs::ProfScope::kUproxyAttrPatch);
+      PatchReplyAttrs(pkt, pending, reply);
+    }
     if (config_.proxy_cache && pending.proc == NfsProc::kLookup &&
         pending.name_fp != 0) {
       // Fill after patching so the cached attributes match what the client
       // sees in this reply.
+      obs::Profiler::Scope prof_soft(profiler_, obs::ProfScope::kUproxySoftState);
       FillLookupCache(pkt, pending);
     }
   }
 
-  pkt.RewriteSrc(config_.virtual_server);
-  const SimTime ready = ChargeCpu(ctx);
-  FinishTrace(pending, ready);
+  {
+    obs::Profiler::Scope prof_rewrite(profiler_, obs::ProfScope::kUproxyRewrite);
+    pkt.RewriteSrc(config_.virtual_server);
+  }
+  SimTime ready;
+  {
+    obs::Profiler::Scope prof_metrics(profiler_, obs::ProfScope::kUproxyMetrics);
+    ready = ChargeCpu(ctx);
+  }
+  {
+    obs::Profiler::Scope prof_trace(profiler_, obs::ProfScope::kUproxyTrace);
+    FinishTrace(pending, ready);
+  }
   if (pending.tenant != 0 && pending.tenant <= tenant_count_) {
     // Error = RPC-level rejection or a nonzero nfsstat3 (always the first
     // word of the result body). Read in place; nothing allocates.
+    obs::Profiler::Scope prof_metrics(profiler_, obs::ProfScope::kUproxyMetrics);
     bool error = reply.stat != RpcAcceptStat::kSuccess;
     const ByteSpan payload = pkt.payload();
     if (!error && payload.size() >= reply.body_offset + 4) {
@@ -1264,6 +1323,8 @@ void Uproxy::AbsorbMirrorWrite(const DecodedView& req, Endpoint client, ByteSpan
       cpu_.Acquire(copy_now,
                    static_cast<SimTime>(static_cast<double>(args.data.size()) *
                                         (replication - 1) * config_.mirror_copy_ns_per_byte));
+  obs::ChargeSim(prof_ledger_, obs::LedgerCat::kQueue, copy_start - copy_now);
+  obs::ChargeSim(prof_ledger_, obs::LedgerCat::kCpu, copy_done - copy_start);
   if (tracer_ != nullptr && ctx.valid() && copy_done > copy_start) {
     tracer_->RecordSpan(client_host_.addr(), ctx, obs::SpanCat::kCpu, "mirror_copy",
                         copy_start, copy_done);

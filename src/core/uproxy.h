@@ -34,6 +34,7 @@
 #include "src/net/host.h"
 #include "src/obs/eventlog.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/rpc/rpc_client.h"
 #include "src/sim/stats.h"
@@ -127,6 +128,8 @@ class Uproxy : public PacketTap {
   }
 
   const OpCounters& counters() const { return counters_; }
+  // Proxy CPU busy-time accounting (the profiler's coverage reference).
+  const BusyResource& cpu() const { return cpu_; }
   const AttrCache& attr_cache() const { return attr_cache_; }
   const LookupCache& lookup_cache() const { return lookup_cache_; }
   size_t pending_count() const { return pending_.size(); }
@@ -162,6 +165,15 @@ class Uproxy : public PacketTap {
   // over the OpCounters the µproxy already maintains; only the per-request
   // CPU histogram and attr-cache hit/miss counters touch the hot path.
   void set_metrics(obs::Metrics* metrics);
+
+  // Profiler: per-stage wall scopes (decode / route / soft-state / trace /
+  // rewrite / attr-patch / metrics under outbound / inbound) plus cpu+queue
+  // sim-time charges at the interposition CPU. The ledger pointer is cached
+  // here so steady-state charges never do a map lookup.
+  void set_profiler(obs::Profiler* profiler) {
+    profiler_ = profiler;
+    prof_ledger_ = profiler != nullptr ? profiler->LedgerFor(client_host_.addr()) : nullptr;
+  }
 
   // --- routing decisions, exposed for tests and the Table 3 bench ---
 
@@ -320,6 +332,8 @@ class Uproxy : public PacketTap {
   LookupCache lookup_cache_;
   obs::Tracer* tracer_ = nullptr;
   obs::EventLog* eventlog_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
+  uint64_t* prof_ledger_ = nullptr;  // cached LedgerFor(client host); null when off
   // Hot-path instruments (null when metrics are off — see obs::Inc/Observe).
   obs::Histogram* m_cpu_ = nullptr;
   obs::Counter* m_attr_hits_ = nullptr;

@@ -1041,6 +1041,7 @@ RpcAcceptStat DirServer::HandleCall(const RpcMessageView& call, XdrEncoder& repl
   if (call.prog != kNfsProgram || call.vers != kNfsVersion) {
     return RpcAcceptStat::kProgUnavail;
   }
+  obs::Profiler::Scope prof(profiler(), obs::ProfScope::kDirNameOp);
   const NfsProc proc = static_cast<NfsProc>(call.proc);
   cost.AddCpu(FromMicros(params_.op_cpu_us));
   ++local_ops_;

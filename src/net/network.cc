@@ -74,6 +74,7 @@ void Network::Attach(NetAddr addr, Handler handler) {
   SLICE_CHECK(!hosts_.contains(addr));
   hosts_[addr].handler = std::move(handler);
   RegisterHostMetrics(addr);
+  RegisterHostProfiler(addr);
 }
 
 void Network::set_metrics(obs::Metrics* metrics) {
@@ -134,6 +135,34 @@ void Network::RegisterHostMetrics(NetAddr addr) {
                          static_cast<int64_t>(queue_.now());
     return backlog > 0 ? backlog : 0;
   });
+}
+
+void Network::set_profiler(obs::Profiler* profiler) {
+  profiler_ = profiler;
+  std::vector<NetAddr> addrs;
+  addrs.reserve(hosts_.size());
+  for (const auto& [addr, host] : hosts_) {
+    addrs.push_back(addr);
+  }
+  std::sort(addrs.begin(), addrs.end());
+  for (const NetAddr addr : addrs) {
+    RegisterHostProfiler(addr);
+  }
+}
+
+void Network::RegisterHostProfiler(NetAddr addr) {
+  auto it = hosts_.find(addr);
+  if (it == hosts_.end()) {
+    return;
+  }
+  it->second.prof_ledger = profiler_ != nullptr ? profiler_->LedgerFor(addr) : nullptr;
+}
+
+void Network::CollectNicBusy(std::map<uint32_t, uint64_t>* out) const {
+  for (const auto& [addr, host] : hosts_) {
+    (*out)[addr] += static_cast<uint64_t>(host.tx.total_busy_time()) +
+                    static_cast<uint64_t>(host.rx.total_busy_time());
+  }
 }
 
 void Network::Detach(NetAddr addr) { hosts_.erase(addr); }
@@ -235,6 +264,8 @@ void Network::Transmit(Packet&& pkt) {
   const SimTime wire = static_cast<SimTime>(static_cast<double>(pkt.size()) * ns_per_byte_);
   const SimTime tx_start = std::max(src_it->second.tx.busy_until(), queue_.now());
   const SimTime tx_done = src_it->second.tx.Acquire(queue_.now(), wire);
+  obs::ChargeSim(src_it->second.prof_ledger, obs::LedgerCat::kQueue, tx_start - queue_.now());
+  obs::ChargeSim(src_it->second.prof_ledger, obs::LedgerCat::kWire, wire);
   const SimTime arrival = tx_done + FromMicros(params_.switch_latency_us) + chaos_latency;
   if (tracer_ != nullptr && ctx.valid()) {
     const NetAddr src = pkt.src_addr();
@@ -303,6 +334,8 @@ void Network::ProcessOneFlight() {
       }
       const SimTime rx_start = std::max(it->second.rx.busy_until(), queue_.now());
       const SimTime rx_done = it->second.rx.Acquire(queue_.now(), f.wire);
+      obs::ChargeSim(it->second.prof_ledger, obs::LedgerCat::kQueue, rx_start - queue_.now());
+      obs::ChargeSim(it->second.prof_ledger, obs::LedgerCat::kWire, f.wire);
       if (tracer_ != nullptr && f.ctx.valid()) {
         if (rx_start > queue_.now()) {
           tracer_->RecordSpan(dst, f.ctx, obs::SpanCat::kQueue, "nic_rx_wait", queue_.now(),

@@ -22,6 +22,7 @@
 #include "src/net/packet.h"
 #include "src/obs/eventlog.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 
@@ -134,6 +135,15 @@ class Network {
   void set_eventlog(obs::EventLog* log) { eventlog_ = log; }
   obs::EventLog* eventlog() { return eventlog_; }
 
+  // Profiler: per-host wire/queue sim-time charges at the NIC serialization
+  // points. Each host caches its ledger pointer, so a steady-state charge is
+  // one branch + one add (no map lookup on the packet path).
+  void set_profiler(obs::Profiler* profiler);
+  obs::Profiler* profiler() { return profiler_; }
+  // Busy-provider support: adds every host's NIC busy time (tx+rx) into
+  // `out`, the independent reference the ledger coverage is checked against.
+  void CollectNicBusy(std::map<uint32_t, uint64_t>* out) const;
+
   EventQueue& queue() { return queue_; }
   uint64_t packets_sent() const { return packets_sent_; }
   uint64_t packets_dropped() const { return packets_dropped_; }
@@ -151,6 +161,8 @@ class Network {
     obs::Counter* m_bytes_tx = nullptr;
     obs::Counter* m_pkts_rx = nullptr;
     obs::Counter* m_pkts_dropped = nullptr;
+    // Cached profiler ledger (null when profiling is off).
+    uint64_t* prof_ledger = nullptr;
   };
 
   // In-flight packets, ordered exactly like the event queue orders their
@@ -194,6 +206,7 @@ class Network {
 
   void Transmit(Packet&& pkt);
   void RegisterHostMetrics(NetAddr addr);
+  void RegisterHostProfiler(NetAddr addr);
 
   static uint64_t LinkKey(NetAddr src, NetAddr dst) {
     return (static_cast<uint64_t>(src) << 32) | dst;
@@ -207,6 +220,7 @@ class Network {
   obs::Tracer* tracer_ = nullptr;
   obs::Metrics* metrics_ = nullptr;
   obs::EventLog* eventlog_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
   double ns_per_byte_;
   std::unordered_map<NetAddr, Host> hosts_;
   std::unordered_map<NetAddr, bool> failed_;

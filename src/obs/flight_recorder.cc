@@ -83,7 +83,8 @@ void AppendEvent(std::string& out, const Event& event) {
 
 std::string ExportFlightJson(const EventLog& log, SimTime at, const char* reason,
                              const std::vector<uint64_t>& inflight_traces, const Metrics* metrics,
-                             const Scraper* scraper, const SloEngine* slo) {
+                             const Scraper* scraper, const SloEngine* slo,
+                             const Profiler* profiler) {
   std::string out;
   out.reserve(1 << 16);
   out += "{\"flight\":{\"reason\":\"";
@@ -116,6 +117,16 @@ std::string ExportFlightJson(const EventLog& log, SimTime at, const char* reason
   if (metrics != nullptr) {
     out += ",\"metrics\":";
     out += ExportMetricsJson(*metrics, scraper, slo);
+  }
+  if (profiler != nullptr) {
+    // Strictly appended opt-in section (same rule as the tenant sections in
+    // the metrics snapshot): unprofiled dumps stay byte-identical to older
+    // builds. ExportProfileJson wraps itself in {"profile":...} — splice the
+    // inner object under our own key.
+    const std::string profile = profiler->ExportProfileJson();
+    constexpr std::string_view kPrefix = "{\"profile\":";
+    out += ",\"profile\":";
+    out.append(profile, kPrefix.size(), profile.size() - kPrefix.size() - 1);
   }
   out += '}';
   return out;

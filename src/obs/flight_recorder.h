@@ -17,19 +17,22 @@
 
 #include "src/obs/eventlog.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/slo.h"
 #include "src/obs/timeseries.h"
 
 namespace slice::obs {
 
-// Renders the flight dump. `metrics`/`scraper`/`slo`/`inflight` are optional
-// (null / empty => the corresponding section is omitted or empty). `reason`
-// tags why the dump was cut ("teardown", "alert:<rule>", "manual", ...);
-// `at` is the sim time of the dump.
+// Renders the flight dump. `metrics`/`scraper`/`slo`/`inflight`/`profiler`
+// are optional (null / empty => the corresponding section is omitted or
+// empty). `reason` tags why the dump was cut ("teardown", "alert:<rule>",
+// "manual", ...); `at` is the sim time of the dump. The profile section
+// carries wall-clock values, so profiled dumps are not hash-pinned — pin
+// Profiler::ProfileSimHash instead.
 std::string ExportFlightJson(const EventLog& log, SimTime at, const char* reason,
                              const std::vector<uint64_t>& inflight_traces = {},
                              const Metrics* metrics = nullptr, const Scraper* scraper = nullptr,
-                             const SloEngine* slo = nullptr);
+                             const SloEngine* slo = nullptr, const Profiler* profiler = nullptr);
 
 // FNV-1a over the canonical dump bytes (same convention as the trace and
 // metrics content hashes).

@@ -142,6 +142,8 @@ void RpcServerNode::OnPacket(Packet&& pkt) {
     const SimTime cpu_start = std::max(cpu_.busy_until(), ready_at);
     const SimTime cpu_done = cpu_.Acquire(ready_at, cost.cpu());
     const SimTime done_at = cpu_done > cost.completion() ? cpu_done : cost.completion();
+    obs::ChargeSim(prof_ledger_, obs::LedgerCat::kQueue, cpu_start - ready_at);
+    obs::ChargeSim(prof_ledger_, obs::LedgerCat::kCpu, cost.cpu());
     if (tracer_ != nullptr && trace.valid()) {
       if (cpu_start > ready_at) {
         tracer_->RecordSpan(addr(), trace, obs::SpanCat::kQueue, "srv_cpu_wait", ready_at,
@@ -172,6 +174,7 @@ void RpcServerNode::OnPacket(Packet&& pkt) {
   // their own network I/O (small-file backing fetches, WAL appends) chain
   // those calls into this trace.
   obs::ScopedContext scope(tracer_, trace);
+  obs::Profiler::Scope prof_scope(profiler_, obs::ProfScope::kRpcDispatch);
   DispatchCall(*decoded, client, std::move(done));
 }
 

@@ -17,6 +17,7 @@
 #include "src/net/host.h"
 #include "src/obs/eventlog.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace.h"
 #include "src/rpc/rpc_message.h"
 #include "src/sim/event_queue.h"
@@ -88,10 +89,21 @@ class RpcServerNode {
   // wire nested components (e.g. the dir WAL).
   virtual void set_eventlog(obs::EventLog* log) { eventlog_ = log; }
 
+  // Profiler: the rpc.dispatch wall scope around every served call plus
+  // cpu/queue sim-time charges at the CPU acquire point. Virtual so
+  // subclasses with nested scopes (storage cache/disk, dir name ops) can
+  // hook the same call; overrides must call the base.
+  virtual void set_profiler(obs::Profiler* profiler) {
+    profiler_ = profiler;
+    prof_ledger_ = profiler != nullptr ? profiler->LedgerFor(addr()) : nullptr;
+  }
+
  protected:
   obs::Tracer* tracer() const { return tracer_; }
   obs::Metrics* metrics() const { return metrics_; }
   obs::EventLog* eventlog() const { return eventlog_; }
+  obs::Profiler* profiler() const { return profiler_; }
+  uint64_t* prof_ledger() const { return prof_ledger_; }
   // Completion functor for asynchronous dispatch: subclasses call it exactly
   // once with the accept stat, encoded result body, and accumulated cost.
   using ReplyFn = std::function<void(RpcAcceptStat, Bytes, ServiceCost)>;
@@ -125,6 +137,8 @@ class RpcServerNode {
   obs::Tracer* tracer_ = nullptr;
   obs::Metrics* metrics_ = nullptr;
   obs::EventLog* eventlog_ = nullptr;
+  obs::Profiler* profiler_ = nullptr;
+  uint64_t* prof_ledger_ = nullptr;  // cached LedgerFor(addr()); null when off
   BusyResource cpu_;
   bool failed_ = false;
   uint64_t requests_served_ = 0;

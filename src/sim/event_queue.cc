@@ -79,12 +79,18 @@ bool EventQueue::RunOne() {
   }
   const bool prev_background = in_background_;
   in_background_ = ev.background;
+  if (dispatch_hook_ != nullptr) {
+    dispatch_hook_(dispatch_hook_ctx_, /*begin=*/true);
+  }
   if (ev.drain_fn != nullptr) {
     if (ev.guard == nullptr || *ev.guard) {
       ev.drain_fn(ev.drain_sink);
     }
   } else {
     ev.action();
+  }
+  if (dispatch_hook_ != nullptr) {
+    dispatch_hook_(dispatch_hook_ctx_, /*begin=*/false);
   }
   in_background_ = prev_background;
   return true;

@@ -93,6 +93,18 @@ class EventQueue {
   // Total events executed (diagnostics / runaway detection in tests).
   uint64_t executed() const { return executed_; }
 
+  // Optional dispatch hook so the profiler can attribute event-loop
+  // self-time (the DES machinery itself) as a wall-clock scope enclosing
+  // every component handler. Plain function pointer + context — the sim
+  // layer cannot depend on obs, and the unset path is a single branch per
+  // dispatch. `begin` is true just before the handler runs, false just
+  // after. Installed/removed by the ensemble around profiled runs.
+  using DispatchHook = void (*)(void* ctx, bool begin);
+  void SetDispatchHook(DispatchHook hook, void* ctx) {
+    dispatch_hook_ = hook;
+    dispatch_hook_ctx_ = ctx;
+  }
+
  private:
   struct Event {
     SimTime when;
@@ -120,6 +132,8 @@ class EventQueue {
   uint64_t executed_ = 0;
   size_t foreground_pending_ = 0;
   bool in_background_ = false;
+  DispatchHook dispatch_hook_ = nullptr;
+  void* dispatch_hook_ctx_ = nullptr;
 };
 
 // A serially reusable resource (a CPU, a disk arm, a link direction): jobs

@@ -20,6 +20,18 @@ FileHandle BackingObject(uint8_t kind, uint32_t index, uint32_t volume, uint64_t
                           FileType3::kReg, 1, secret);
 }
 
+// EventQueue dispatch hook (plain fn-pointer — the sim layer cannot depend
+// on obs): brackets every handler dispatch in the sim.dispatch scope so
+// event-loop self-time shows up as that scope's exclusive time.
+void ProfilerDispatchHook(void* ctx, bool begin) {
+  auto* profiler = static_cast<obs::Profiler*>(ctx);
+  if (begin) {
+    profiler->BeginScope(obs::ProfScope::kSimDispatch);
+  } else {
+    profiler->EndScope();
+  }
+}
+
 }  // namespace
 
 Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
@@ -35,6 +47,10 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
   }
   if (config_.eventlog.enabled) {
     eventlog_ = std::make_unique<obs::EventLog>(config_.eventlog);
+  }
+  if (config_.profiler.enabled) {
+    profiler_ = std::make_unique<obs::Profiler>(config_.profiler);
+    queue_.SetDispatchHook(&ProfilerDispatchHook, profiler_.get());
   }
   if (config_.metrics.enabled) {
     metrics_ = std::make_unique<obs::Metrics>(config_.metrics);
@@ -79,6 +95,7 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
   network_->set_tracer(tracer_.get());
   network_->set_metrics(metrics_.get());
   network_->set_eventlog(eventlog_.get());
+  network_->set_profiler(profiler_.get());
 
   // --- storage nodes ---
   std::vector<Endpoint> storage_endpoints;
@@ -316,6 +333,89 @@ Ensemble::Ensemble(EventQueue& queue, EnsembleConfig config)
     scraper_->Start();
   }
 
+  if (profiler_) {
+    for (auto& node : storage_nodes_) {
+      node->set_profiler(profiler_.get());
+    }
+    for (auto& server : small_file_servers_) {
+      server->set_profiler(profiler_.get());
+    }
+    for (auto& coord : coordinators_) {
+      coord->set_profiler(profiler_.get());
+    }
+    for (auto& server : dir_servers_) {
+      server->set_profiler(profiler_.get());
+    }
+    if (manager_) {
+      manager_->set_profiler(profiler_.get());
+    }
+    for (auto& proxy : uproxies_) {
+      proxy->set_profiler(profiler_.get());
+    }
+
+    // Coverage reference: per-host *independent* busy-time totals from the
+    // BusyResource accounting — NIC tx+rx on every host, server/proxy CPU,
+    // and the storage arms + channel. The ledger must attribute >= 99% of
+    // this in profiled runs.
+    profiler_->SetBusyProvider([this](std::map<uint32_t, uint64_t>* out) {
+      network_->CollectNicBusy(out);
+      for (const auto& node : storage_nodes_) {
+        (*out)[node->addr()] += static_cast<uint64_t>(node->cpu().total_busy_time()) +
+                                static_cast<uint64_t>(node->disks().TotalBusy()) +
+                                static_cast<uint64_t>(node->disks().channel().total_busy_time());
+      }
+      for (const auto& server : small_file_servers_) {
+        (*out)[server->addr()] += static_cast<uint64_t>(server->cpu().total_busy_time());
+      }
+      for (const auto& coord : coordinators_) {
+        (*out)[coord->addr()] += static_cast<uint64_t>(coord->cpu().total_busy_time());
+      }
+      for (const auto& server : dir_servers_) {
+        (*out)[server->addr()] += static_cast<uint64_t>(server->cpu().total_busy_time());
+      }
+      if (manager_) {
+        (*out)[manager_->addr()] += static_cast<uint64_t>(manager_->cpu().total_busy_time());
+      }
+      for (size_t i = 0; i < uproxies_.size(); ++i) {
+        (*out)[client_hosts_[i]->addr()] +=
+            static_cast<uint64_t>(uproxies_[i]->cpu().total_busy_time());
+      }
+    });
+
+    if (metrics_) {
+      // Ledger categories as provider-backed counters in every host's
+      // registry, so the scraper samples utilization attribution into the
+      // same time-series rings as every other instrument.
+      auto add_ledger_counters = [this](uint32_t addr) {
+        uint64_t* ledger = profiler_->LedgerFor(addr);
+        obs::MetricsRegistry& reg = metrics_->Registry(addr);
+        static constexpr const char* kNames[obs::kNumLedgerCats] = {
+            "profile_cpu_ns", "profile_queue_ns", "profile_disk_ns", "profile_wire_ns"};
+        for (size_t cat = 0; cat < obs::kNumLedgerCats; ++cat) {
+          reg.GetCounter(kNames[cat])->SetProvider([ledger, cat] { return ledger[cat]; });
+        }
+      };
+      for (const auto& node : storage_nodes_) {
+        add_ledger_counters(node->addr());
+      }
+      for (const auto& server : small_file_servers_) {
+        add_ledger_counters(server->addr());
+      }
+      for (const auto& coord : coordinators_) {
+        add_ledger_counters(coord->addr());
+      }
+      for (const auto& server : dir_servers_) {
+        add_ledger_counters(server->addr());
+      }
+      if (manager_) {
+        add_ledger_counters(manager_->addr());
+      }
+      for (const auto& host : client_hosts_) {
+        add_ledger_counters(host->addr());
+      }
+    }
+  }
+
   // --- chaos engine (src/chaos) ---
   if (config_.chaos.enabled) {
     chaos::ChaosHooks hooks;
@@ -395,6 +495,10 @@ RpcServerNode* Ensemble::node(NodeClass cls, uint32_t index) {
 Ensemble::~Ensemble() {
   if (eventlog_ && !config_.flight_dump_path.empty()) {
     DumpFlightRecorder(config_.flight_dump_path, "teardown");
+  }
+  if (profiler_) {
+    // The queue outlives the ensemble; detach before the profiler dies.
+    queue_.SetDispatchHook(nullptr, nullptr);
   }
   *alive_ = false;
 }
@@ -572,7 +676,29 @@ std::string Ensemble::ExportFlightJson(const char* reason) const {
     return {};
   }
   return obs::ExportFlightJson(*eventlog_, queue_.now(), reason, InflightTraceIds(),
-                               metrics_.get(), scraper_.get(), slo_engine_.get());
+                               metrics_.get(), scraper_.get(), slo_engine_.get(),
+                               profiler_.get());
+}
+
+std::string Ensemble::ExportProfileJson() const {
+  if (!profiler_) {
+    return {};
+  }
+  return profiler_->ExportProfileJson();
+}
+
+std::string Ensemble::ExportProfileFolded() const {
+  if (!profiler_) {
+    return {};
+  }
+  return profiler_->ExportProfileFolded();
+}
+
+uint64_t Ensemble::ProfileSimHash() const {
+  if (!profiler_) {
+    return 0;
+  }
+  return profiler_->ProfileSimHash();
 }
 
 uint64_t Ensemble::FlightHash() const {

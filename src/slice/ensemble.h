@@ -27,6 +27,7 @@
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/metrics_export.h"
+#include "src/obs/profiler.h"
 #include "src/obs/slo.h"
 #include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
@@ -101,6 +102,14 @@ struct EnsembleConfig {
   // Per-slot dir op providers (+ slot×tenant joints): the demand signal for
   // the per-slot hotspot mode (mgmt.hotspot_per_slot) and the tenant report.
   bool dir_slot_metrics = false;
+
+  // Profiler (src/obs): the cost pillar. Per-host sim-time utilization
+  // ledgers (cpu / queue / disk / wire, scraped into the metrics time
+  // series) plus wall-clock per-stage scope timings on the real fast path.
+  // Off by default like the other pillars: disabled means no Profiler is
+  // constructed, components keep null ledger pointers, and every charge or
+  // scope site costs one branch.
+  obs::ProfilerParams profiler;
 
   // Structured event log + flight recorder (src/obs): per-host rings of
   // routing / failover / retransmit decision records, dumped as canonical
@@ -185,6 +194,17 @@ class Ensemble {
   // Trace ids of requests still pending at any µproxy, sorted and deduped.
   std::vector<uint64_t> InflightTraceIds() const;
 
+  // Profiler; null when config.profiler.enabled is false.
+  obs::Profiler* profiler() { return profiler_.get(); }
+  const obs::Profiler* profiler() const { return profiler_.get(); }
+  // Canonical {"profile":{"sim":...,"wall":...}} JSON; empty when off.
+  std::string ExportProfileJson() const;
+  // Collapsed-stack wall-clock rendering (FlameGraph input); empty when off.
+  std::string ExportProfileFolded() const;
+  // FNV-1a over the sim-time ledger section only (wall values are
+  // machine-dependent and stay out-of-hash); 0 when off.
+  uint64_t ProfileSimHash() const;
+
   // Tracer; null when config.trace.enabled is false.
   obs::Tracer* tracer() { return tracer_.get(); }
   // Collected spans in canonical order (empty when tracing is off).
@@ -220,6 +240,9 @@ class Ensemble {
   // Like the tracer: events recorded during component teardown must land in
   // a still-live log, so the log outlives everything below.
   std::unique_ptr<obs::EventLog> eventlog_;
+  // Before network_/components: they cache raw ledger pointers from
+  // LedgerFor in set_profiler, so the profiler must be destroyed last.
+  std::unique_ptr<obs::Profiler> profiler_;
   // Hub before network_/components: providers registered by components are
   // destroyed with their registries only after every pollster is gone. The
   // scraper's queued events are guarded by its own alive flag.

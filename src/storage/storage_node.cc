@@ -75,6 +75,7 @@ Fattr3 StorageNode::MakeAttr(const FileHandle& fh) const {
 }
 
 SimTime StorageNode::SubmitCoalesced(std::vector<PhysBlock> blocks, bool fill_cache) {
+  obs::Profiler::Scope prof(profiler(), obs::ProfScope::kStorageDisk);
   std::sort(blocks.begin(), blocks.end());
   SimTime latest = 0;
   const size_t arms = disks_.num_disks();
@@ -132,6 +133,7 @@ SimTime StorageNode::RecordDisk(const char* name, SimTime start, SimTime done) {
 }
 
 SimTime StorageNode::ChargeReads(const std::vector<PhysBlock>& blocks) {
+  obs::Profiler::Scope prof(profiler(), obs::ProfScope::kStorageCache);
   std::vector<PhysBlock> misses;
   SimTime latest = 0;
   for (PhysBlock block : blocks) {
@@ -343,6 +345,17 @@ void StorageNode::HandleFsstat(XdrEncoder& reply, ServiceCost& cost) {
 
 RpcAcceptStat StorageNode::HandleCall(const RpcMessageView& call, XdrEncoder& reply,
                                       ServiceCost& cost) {
+  const SimTime disk_before =
+      disks_.TotalBusy() + static_cast<SimTime>(disks_.channel().total_busy_time());
+  const RpcAcceptStat stat = DispatchNfsCall(call, reply, cost);
+  const SimTime disk_after =
+      disks_.TotalBusy() + static_cast<SimTime>(disks_.channel().total_busy_time());
+  obs::ChargeSim(prof_ledger(), obs::LedgerCat::kDisk, disk_after - disk_before);
+  return stat;
+}
+
+RpcAcceptStat StorageNode::DispatchNfsCall(const RpcMessageView& call, XdrEncoder& reply,
+                                           ServiceCost& cost) {
   if (call.prog != kNfsProgram || call.vers != kNfsVersion) {
     return RpcAcceptStat::kProgUnavail;
   }

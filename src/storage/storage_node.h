@@ -69,6 +69,11 @@ class StorageNode : public RpcServerNode {
   void OnRestart() override;
 
  private:
+  // The per-proc switch; HandleCall wraps it to charge the request's disk
+  // busy-time delta (arms + channel) to the profiler ledger, covering every
+  // disk path — demand I/O, prefetch, and metadata debt — from one site.
+  RpcAcceptStat DispatchNfsCall(const RpcMessageView& call, XdrEncoder& reply,
+                                ServiceCost& cost);
   Fattr3 MakeAttr(const FileHandle& fh) const;
   // Charges disk reads for the uncached blocks among `blocks`; returns the
   // latest completion. Updates the cache.

@@ -15,6 +15,7 @@
 #include "src/net/packet_pool.h"
 #include "src/nfs/nfs_xdr.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profiler.h"
 #include "src/rpc/rpc_message.h"
 
 // Counts every operator-new in the process; the test measures deltas.
@@ -137,6 +138,94 @@ TEST(FastPathAllocTest, SteadyStateForwardAndReplyDoNotAllocate) {
   const obs::TenantInstruments* t1 = metrics.Tenant(1);
   ASSERT_NE(t1, nullptr);
   EXPECT_EQ(t1->ops[static_cast<size_t>(obs::TenantOpClass::kRead)].Value(), 64u + 256u);
+}
+
+// The same steady-state window with the profiler ON: every per-stage scope
+// (outbound/decode/route/soft-state/rewrite/metrics/inbound/attr-patch) and
+// every ledger charge runs on the fast path, and none of it may touch the
+// heap — the scope engine is a fixed node pool + fixed stack, and the ledger
+// pointer is cached at set_profiler time.
+TEST(FastPathAllocTest, SteadyStateWithProfilerEnabledDoesNotAllocate) {
+  ASSERT_TRUE(PacketPool::Enabled());
+
+  EventQueue queue;
+  Network net(queue, NetworkParams{});
+  Host client_host(net, kClientAddr);
+
+  UproxyConfig config;
+  config.virtual_server = Endpoint{0x0a0000fe, kNfsPort};
+  config.dir_servers = {Endpoint{kDirAddr, kNfsPort}};
+  config.storage_nodes = {Endpoint{kStorageAddr, kNfsPort}};
+  Uproxy uproxy(net, queue, client_host, config);
+
+  // Profiler live: ledger pointer cached now, scope tree grown during
+  // warm-up (FindOrAddChild only ever indexes into the fixed pool).
+  obs::Profiler profiler(obs::ProfilerParams{.enabled = true});
+  net.set_profiler(&profiler);
+  uproxy.set_profiler(&profiler);
+
+  uint64_t replies = 0;
+  client_host.Bind(kClientPort, [&replies](Packet&&) { ++replies; });
+
+  RpcCall call;
+  call.xid = 99;
+  call.prog = kNfsProgram;
+  call.vers = kNfsVersion;
+  call.proc = static_cast<uint32_t>(NfsProc::kRead);
+  {
+    XdrEncoder args;
+    ReadArgs rargs;
+    rargs.file = FileHandle::Make(1, MakeFileid(0, 42), 1, FileType3::kReg, 1, 0);
+    rargs.offset = 1 << 20;
+    rargs.count = 4096;
+    rargs.Encode(args);
+    call.args = args.Take();
+  }
+  const Bytes req_wire = call.Encode();
+
+  RpcReply reply;
+  reply.xid = 99;
+  {
+    XdrEncoder result;
+    ReadRes res;
+    res.status = Nfsstat3::kOk;
+    res.count = 4096;
+    res.eof = false;
+    res.Encode(result);
+    reply.result = result.Take();
+  }
+  const Bytes rep_wire = reply.Encode();
+
+  const Endpoint client_ep{kClientAddr, kClientPort};
+  const Endpoint storage_ep{kStorageAddr, kNfsPort};
+  auto round_trip = [&]() {
+    uproxy.HandleOutbound(Packet::MakeUdp(client_ep, config.virtual_server, req_wire));
+    uproxy.HandleInbound(Packet::MakeUdp(storage_ep, client_ep, rep_wire));
+    queue.RunUntilIdle();
+  };
+
+  for (int i = 0; i < 64; ++i) {
+    round_trip();
+  }
+  ASSERT_EQ(replies, 64u);
+
+  const uint64_t news_before = g_news;
+  for (int i = 0; i < 256; ++i) {
+    round_trip();
+  }
+  const uint64_t news_after = g_news;
+
+  EXPECT_EQ(news_after - news_before, 0u)
+      << "profiled steady-state forwarding allocated " << (news_after - news_before)
+      << " times over 256 round trips";
+  EXPECT_EQ(replies, 64u + 256u);
+  EXPECT_EQ(profiler.dropped_scopes(), 0u);
+  // The profiler really was live on every packet in the window.
+  EXPECT_GE(profiler.ScopeCount(obs::ProfScope::kUproxyOutbound), 64u + 256u);
+  EXPECT_GE(profiler.ScopeCount(obs::ProfScope::kUproxyInbound), 64u + 256u);
+  // And the client host's ledger accumulated proxy CPU attribution.
+  const uint64_t* ledger = profiler.LedgerFor(kClientAddr);
+  EXPECT_GT(ledger[static_cast<size_t>(obs::LedgerCat::kCpu)], 0u);
 }
 
 // With pooling disabled (the determinism A/B hook) the same traffic must

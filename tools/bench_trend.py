@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Appends bench runs to a trend ledger and reports deltas across runs.
+
+The golden checker (check_bench_golden.py) answers "is this run sane?";
+this tool answers "which way are the numbers moving?". Each `append` takes
+BENCH_<name>.json files produced by the bench binaries, flattens their
+numeric leaves to dotted paths, and appends one JSONL line per bench to
+<trend-dir>/<bench>.jsonl:
+
+    {"run": "ci-1234", "metrics": {"mean_ns_per_pkt": 157.0, ...}}
+
+Appending prints the delta against the previous recorded run for every
+shared metric, so a regression is visible in the CI log the moment it
+lands. `report` renders the last N runs of one bench (or all benches) as a
+delta table for artifact browsing.
+
+Usage:
+    bench_trend.py append --trend-dir bench/trend [--run-id ID] BENCH_*.json...
+    bench_trend.py report --trend-dir bench/trend [--bench fig5] [--last 10]
+
+--run-id defaults to $GITHUB_RUN_NUMBER, then to one past the ledger's
+line count. Exit status 0 = ok, 2 = usage/IO error. Deltas never fail the
+run — trend data is evidence, not a gate; the goldens gate.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def flatten(doc, prefix=""):
+    """Numeric leaves of a JSON document as {dotted.path: value}."""
+    out = {}
+    if isinstance(doc, dict):
+        for key, sub in sorted(doc.items()):
+            out.update(flatten(sub, "%s.%s" % (prefix, key) if prefix else key))
+    elif isinstance(doc, list):
+        for i, sub in enumerate(doc):
+            out.update(flatten(sub, "%s[%d]" % (prefix, i)))
+    elif isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        out[prefix] = doc
+    return out
+
+
+def load_ledger(path):
+    rows = []
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    rows.append(json.loads(line))
+    except OSError:
+        return []
+    except ValueError as err:
+        raise ValueError("%s: corrupt trend ledger: %s" % (path, err))
+    return rows
+
+
+def fmt_delta(prev, cur):
+    delta = cur - prev
+    if prev != 0:
+        return "%+g (%+.1f%%)" % (delta, 100.0 * delta / abs(prev))
+    return "%+g" % delta
+
+
+def cmd_append(args):
+    os.makedirs(args.trend_dir, exist_ok=True)
+    for bench_path in args.bench_files:
+        try:
+            with open(bench_path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as err:
+            sys.stderr.write("bench_trend: %s: %s\n" % (bench_path, err))
+            return 2
+        name = doc.get("bench") if isinstance(doc, dict) else None
+        if not isinstance(name, str) or not name:
+            sys.stderr.write("bench_trend: %s has no 'bench' name\n" % bench_path)
+            return 2
+        ledger_path = os.path.join(args.trend_dir, "%s.jsonl" % name)
+        try:
+            rows = load_ledger(ledger_path)
+        except ValueError as err:
+            sys.stderr.write("bench_trend: %s\n" % err)
+            return 2
+        run_id = args.run_id or os.environ.get("GITHUB_RUN_NUMBER") or str(len(rows) + 1)
+        metrics = flatten(doc)
+        with open(ledger_path, "a") as f:
+            f.write(json.dumps({"run": run_id, "metrics": metrics},
+                               sort_keys=True) + "\n")
+        print("%s: appended run %s (%d metrics) -> %s" % (
+            name, run_id, len(metrics), ledger_path))
+        if rows:
+            prev = rows[-1].get("metrics", {})
+            moved = [(k, prev[k], v) for k, v in sorted(metrics.items())
+                     if k in prev and v != prev[k]]
+            for key, pv, cv in moved:
+                print("  %-46s %g -> %g  %s" % (key, pv, cv, fmt_delta(pv, cv)))
+            if not moved:
+                print("  no shared metric moved vs run %s" % rows[-1].get("run", "?"))
+    return 0
+
+
+def cmd_report(args):
+    try:
+        names = sorted(p[:-len(".jsonl")] for p in os.listdir(args.trend_dir)
+                       if p.endswith(".jsonl"))
+    except OSError as err:
+        sys.stderr.write("bench_trend: %s\n" % err)
+        return 2
+    if args.bench:
+        if args.bench not in names:
+            sys.stderr.write("bench_trend: no ledger for bench %r in %s (have: %s)\n" % (
+                args.bench, args.trend_dir, ", ".join(names) or "none"))
+            return 2
+        names = [args.bench]
+    if not names:
+        sys.stderr.write("bench_trend: no trend ledgers in %s\n" % args.trend_dir)
+        return 2
+    for name in names:
+        try:
+            rows = load_ledger(os.path.join(args.trend_dir, "%s.jsonl" % name))
+        except ValueError as err:
+            sys.stderr.write("bench_trend: %s\n" % err)
+            return 2
+        rows = rows[-args.last:]
+        print("== %s (last %d runs) ==" % (name, len(rows)))
+        for i, row in enumerate(rows):
+            print("run %s:" % row.get("run", "?"))
+            metrics = row.get("metrics", {})
+            prev = rows[i - 1].get("metrics", {}) if i > 0 else {}
+            for key, value in sorted(metrics.items()):
+                if key in prev and value != prev[key]:
+                    print("  %-46s %g  %s" % (key, value, fmt_delta(prev[key], value)))
+                else:
+                    print("  %-46s %g" % (key, value))
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Track bench results across runs with per-metric deltas.")
+    sub = parser.add_subparsers(dest="command")
+    p_append = sub.add_parser("append", help="record BENCH_*.json files into the ledger")
+    p_append.add_argument("--trend-dir", default="bench/trend")
+    p_append.add_argument("--run-id", help="run label (default: $GITHUB_RUN_NUMBER, "
+                                           "else the ledger line count + 1)")
+    p_append.add_argument("bench_files", nargs="+", metavar="BENCH_JSON")
+    p_report = sub.add_parser("report", help="print the delta table for recorded runs")
+    p_report.add_argument("--trend-dir", default="bench/trend")
+    p_report.add_argument("--bench", help="one bench name (default: all ledgers)")
+    p_report.add_argument("--last", type=int, default=10)
+    args = parser.parse_args(argv[1:])
+    if args.command == "append":
+        return cmd_append(args)
+    if args.command == "report":
+        return cmd_report(args)
+    parser.print_usage(sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Regression tests for bench_trend.py's ledger + delta semantics.
+
+Run as a ctest: bench_trend_test.py <bench_trend.py>. Pins the contract CI
+relies on: append creates one JSONL ledger per bench name, consecutive
+appends surface per-metric deltas, report renders the ledger, and malformed
+inputs exit 2 without touching the ledger.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(script, *args, env=None):
+    proc = subprocess.run([sys.executable, script] + list(args),
+                          stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env)
+    return proc.returncode, proc.stdout.decode(), proc.stderr.decode()
+
+
+def write(path, doc):
+    with open(path, "w") as f:
+        if isinstance(doc, str):
+            f.write(doc)
+        else:
+            json.dump(doc, f)
+    return path
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.stderr.write("usage: bench_trend_test.py <bench_trend.py>\n")
+        return 2
+    script = sys.argv[1]
+    failures = []
+    env = {k: v for k, v in os.environ.items() if k != "GITHUB_RUN_NUMBER"}
+
+    def check(case, ok, extra=""):
+        if not ok:
+            failures.append("%s %s" % (case, extra))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trend = os.path.join(tmp, "trend")
+        bench1 = write(os.path.join(tmp, "BENCH_fig5.json"),
+                       {"bench": "fig5", "smoke": 1,
+                        "lines": [{"name": "NFS", "saturation_iops": 800.0}]})
+        bench2 = write(os.path.join(tmp, "BENCH_fig5_b.json"),
+                       {"bench": "fig5", "smoke": 1,
+                        "lines": [{"name": "NFS", "saturation_iops": 900.0}]})
+
+        code, out, err = run(script, "append", "--trend-dir", trend, bench1, env=env)
+        check("first append exits 0", code == 0, err)
+        ledger = os.path.join(trend, "fig5.jsonl")
+        check("ledger created", os.path.exists(ledger))
+        with open(ledger) as f:
+            rows = [json.loads(line) for line in f if line.strip()]
+        check("one row recorded", len(rows) == 1)
+        check("numeric leaves flattened",
+              rows[0]["metrics"].get("lines[0].saturation_iops") == 800.0,
+              json.dumps(rows[0]))
+        check("strings not recorded", "lines[0].name" not in rows[0]["metrics"])
+
+        code, out, err = run(script, "append", "--trend-dir", trend, "--run-id", "r2",
+                             bench2, env=env)
+        check("second append exits 0", code == 0, err)
+        check("delta printed", "800" in out and "900" in out and "+12.5%" in out, out)
+        with open(ledger) as f:
+            rows = [json.loads(line) for line in f if line.strip()]
+        check("rows accumulate", len(rows) == 2 and rows[1]["run"] == "r2")
+
+        code, out, err = run(script, "report", "--trend-dir", trend, "--bench", "fig5",
+                             env=env)
+        check("report exits 0", code == 0, err)
+        check("report shows both runs", "run 1:" in out and "run r2:" in out, out)
+        check("report shows delta", "+12.5%" in out, out)
+
+        # Unchanged metrics append without noise.
+        code, out, err = run(script, "append", "--trend-dir", trend, bench2, env=env)
+        check("steady append exits 0", code == 0, err)
+        check("steady append says so", "no shared metric moved" in out, out)
+
+        # Failure modes: no bench name, unparseable file, missing trend dir.
+        noname = write(os.path.join(tmp, "BENCH_noname.json"), {"ops": 1})
+        code, out, err = run(script, "append", "--trend-dir", trend, noname, env=env)
+        check("missing bench name exits 2", code == 2, "exit=%d" % code)
+
+        bad = write(os.path.join(tmp, "BENCH_bad.json"), "{truncated")
+        code, out, err = run(script, "append", "--trend-dir", trend, bad, env=env)
+        check("unparseable bench exits 2", code == 2, "exit=%d" % code)
+
+        code, out, err = run(script, "report", "--trend-dir",
+                             os.path.join(tmp, "nope"), env=env)
+        check("missing trend dir exits 2", code == 2, "exit=%d" % code)
+
+        code, out, err = run(script, "report", "--trend-dir", trend, "--bench", "nope",
+                             env=env)
+        check("unknown bench exits 2", code == 2, "exit=%d" % code)
+
+    if failures:
+        for f in failures:
+            sys.stderr.write("FAIL %s\n" % f)
+        return 1
+    print("bench_trend_test: ledger and delta semantics pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

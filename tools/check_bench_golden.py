@@ -15,17 +15,30 @@ in the bench file but absent from `expect` are ignored, so goldens pin
 only the stable quantities (saturation throughput, who-beats-whom) and
 not host-speed-dependent ones.
 
+A golden may also carry an `out_of_hash` list of fnmatch patterns over
+dotted leaf paths (as printed in mismatch messages, e.g.
+"$.profile.stages*.ns_per_pkt"). A leaf whose path matches is checked for
+presence and JSON type only — its value is machine-dependent (wall-clock
+ns from a profiled run) and deliberately stays outside the pinned
+comparison, mirroring how profile exports keep wall values out of the
+content hash.
+
 Usage: check_bench_golden.py <golden.json> <bench.json> [<golden> <bench> ...]
 Multiple golden/bench pairs are checked in one invocation (CI checks fig5
 throughput and fig6 latency together); each pair carries its own tolerance.
 Exit status 0 = all within tolerance, 1 = any mismatch, 2 = usage/IO error.
 """
 
+import fnmatch
 import json
 import sys
 
 
-def compare(expect, actual, tolerance, path, errors):
+def out_of_hash_match(path, patterns):
+    return any(fnmatch.fnmatchcase(path, pat) for pat in patterns)
+
+
+def compare(expect, actual, tolerance, path, errors, out_of_hash=()):
     if isinstance(expect, dict):
         if not isinstance(actual, dict):
             errors.append("%s: expected object, got %s" % (path, type(actual).__name__))
@@ -34,7 +47,8 @@ def compare(expect, actual, tolerance, path, errors):
             if key not in actual:
                 errors.append("%s.%s: missing from bench output" % (path, key))
             else:
-                compare(sub, actual[key], tolerance, "%s.%s" % (path, key), errors)
+                compare(sub, actual[key], tolerance, "%s.%s" % (path, key), errors,
+                        out_of_hash)
     elif isinstance(expect, list):
         if not isinstance(actual, list):
             errors.append("%s: expected array, got %s" % (path, type(actual).__name__))
@@ -43,14 +57,20 @@ def compare(expect, actual, tolerance, path, errors):
             errors.append("%s: expected >=%d entries, got %d" % (path, len(expect), len(actual)))
             return
         for i, sub in enumerate(expect):
-            compare(sub, actual[i], tolerance, "%s[%d]" % (path, i), errors)
+            compare(sub, actual[i], tolerance, "%s[%d]" % (path, i), errors, out_of_hash)
     elif isinstance(expect, bool) or not isinstance(expect, (int, float)):
-        if expect != actual:
+        if out_of_hash_match(path, out_of_hash):
+            if type(actual) is not type(expect):
+                errors.append("%s: out-of-hash leaf has wrong type: expected %s, got %s" %
+                              (path, type(expect).__name__, type(actual).__name__))
+        elif expect != actual:
             errors.append("%s: expected %r, got %r" % (path, expect, actual))
     else:
         if not isinstance(actual, (int, float)) or isinstance(actual, bool):
             errors.append("%s: expected number, got %r" % (path, actual))
             return
+        if out_of_hash_match(path, out_of_hash):
+            return  # present and numeric — value is machine-dependent
         if expect == 0:
             ok = abs(actual) <= tolerance
         else:
@@ -94,8 +114,13 @@ def check_pair(golden_path, bench_path):
         return 2
 
     tolerance = float(golden.get("tolerance", 0.05))
+    out_of_hash = golden.get("out_of_hash", [])
+    if not isinstance(out_of_hash, list) or any(not isinstance(p, str) for p in out_of_hash):
+        sys.stderr.write("check_bench_golden: golden file %s has a malformed "
+                         "'out_of_hash' list\n" % golden_path)
+        return 2
     errors = []
-    compare(expect, bench, tolerance, "$", errors)
+    compare(expect, bench, tolerance, "$", errors, tuple(out_of_hash))
     if errors:
         sys.stderr.write("golden mismatch (%s vs %s, tolerance %g%%):\n" %
                          (golden_path, bench_path, tolerance * 100))

@@ -72,6 +72,46 @@ def main():
         code, err = run(script, golden, bench_bad, golden, bench_ok)
         expect("bad pair poisons multi-pair run", code, 2)
 
+        # out_of_hash: matched leaves are presence/type-checked only, so a
+        # wildly different wall-clock number passes — but a missing leaf or a
+        # non-number still fails, and unmatched leaves keep full checking.
+        golden_ooh = write(os.path.join(tmp, "golden_ooh.json"),
+                           {"tolerance": 0.05,
+                            "expect": {"ops": 100,
+                                       "profile": {"stages": [{"name": "decode",
+                                                               "ns_per_pkt": 0.0}]}},
+                            "out_of_hash": ["$.profile.stages*.ns_per_pkt"]})
+        bench_ooh = write(os.path.join(tmp, "bench_ooh.json"),
+                          {"ops": 100,
+                           "profile": {"stages": [{"name": "decode", "ns_per_pkt": 87.3}]}})
+        code, err = run(script, golden_ooh, bench_ooh)
+        expect("out_of_hash leaf ignores value", code, 0)
+
+        bench_ooh_miss = write(os.path.join(tmp, "bench_ooh_miss.json"),
+                               {"ops": 100, "profile": {"stages": [{"name": "decode"}]}})
+        code, err = run(script, golden_ooh, bench_ooh_miss)
+        expect("out_of_hash leaf must still exist", code, 1, "missing", err)
+
+        bench_ooh_type = write(os.path.join(tmp, "bench_ooh_type.json"),
+                               {"ops": 100,
+                                "profile": {"stages": [{"name": "decode",
+                                                        "ns_per_pkt": "fast"}]}})
+        code, err = run(script, golden_ooh, bench_ooh_type)
+        expect("out_of_hash leaf must stay numeric", code, 1, "number", err)
+
+        bench_ooh_other = write(os.path.join(tmp, "bench_ooh_other.json"),
+                                {"ops": 180,
+                                 "profile": {"stages": [{"name": "decode",
+                                                         "ns_per_pkt": 87.3}]}})
+        code, err = run(script, golden_ooh, bench_ooh_other)
+        expect("unmatched leaves keep full checking", code, 1)
+
+        golden_ooh_bad = write(os.path.join(tmp, "golden_ooh_bad.json"),
+                               {"tolerance": 0.05, "expect": {"ops": 100},
+                                "out_of_hash": "not-a-list"})
+        code, err = run(script, golden_ooh_bad, bench_ok)
+        expect("malformed out_of_hash is a broken golden", code, 2, "out_of_hash", err)
+
         code, err = run(script, golden)
         expect("odd argument count", code, 2)
 

@@ -29,6 +29,14 @@ Examples:
     slice_inspect.py dump.json --trace-id 1234        # one causal trail
     slice_inspect.py dump.json --trace-id 1234 --join-trace trace.json
     slice_inspect.py dump.json --summary              # counts only
+    slice_inspect.py dump.json --profile              # profiler section
+    slice_inspect.py fig5_profile.json --profile --top 5
+
+--profile renders the profiler pillar: the per-host sim-time utilization
+ledger (cpu/queue/disk/wire ns plus attribution coverage) and the top-N
+wall-clock scopes ranked by exclusive ns. It accepts either a flight dump
+whose run had the profiler on (the merged "profile" section) or a
+standalone {"profile": ...} export (bench --profile output).
 
 Exit status 0 = printed something, 1 = no events matched, 2 = usage error.
 """
@@ -227,6 +235,48 @@ def print_summary(events, flight):
         print("  %6d  %s" % (n, name))
 
 
+def print_profile(profile, top):
+    """Renders a {"sim": ..., "wall": ...} profile object; returns exit status."""
+    printed = False
+    sim = profile.get("sim", {})
+    hosts = sim.get("hosts", [])
+    if hosts:
+        printed = True
+        print("sim-time utilization ledger (ns):")
+        print("%-11s %14s %14s %14s %14s %9s" % (
+            "host", "cpu", "queue", "disk", "wire", "coverage"))
+        for h in hosts:
+            print("%-11s %14d %14d %14d %14d %8.2f%%" % (
+                h.get("host", "?"), h.get("cpu", 0), h.get("queue", 0),
+                h.get("disk", 0), h.get("wire", 0), h.get("coverage_bp", 0) / 100.0))
+        total = sim.get("total", {})
+        if total:
+            print("%-11s %14d %14d %14d %14d" % (
+                "total", total.get("cpu", 0), total.get("queue", 0),
+                total.get("disk", 0), total.get("wire", 0)))
+    wall = profile.get("wall", {})
+    scopes = sorted(wall.get("scopes", []),
+                    key=lambda s: (-s.get("excl_ns", 0), s.get("name", "")))
+    if scopes:
+        printed = True
+        total_excl = sum(s.get("excl_ns", 0) for s in scopes) or 1
+        if hosts:
+            print()
+        print("top %d wall-clock scopes by exclusive ns:" % min(top, len(scopes)))
+        print("%-22s %12s %14s %14s %7s" % ("scope", "count", "incl_ns", "excl_ns", "excl%"))
+        for s in scopes[:top]:
+            print("%-22s %12d %14d %14d %6.1f%%" % (
+                s.get("name", "?"), s.get("count", 0), s.get("incl_ns", 0),
+                s.get("excl_ns", 0), 100.0 * s.get("excl_ns", 0) / total_excl))
+        dropped = wall.get("dropped", 0)
+        if dropped:
+            print("dropped scopes (stack overflow): %d" % dropped)
+    if not printed:
+        print("(empty profile)")
+        return 1
+    return 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(
         description="Filter and pretty-print Slice flight-recorder dumps.")
@@ -253,6 +303,11 @@ def main(argv):
                              "(spans matching --trace-id, or all spans without it)")
     parser.add_argument("--summary", action="store_true",
                         help="print counts by severity/category/code instead of rows")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the profiler section (sim-time ledger + top wall-clock "
+                             "scopes) from a flight dump or a standalone profile JSON")
+    parser.add_argument("--top", type=int, default=10,
+                        help="scopes shown with --profile (default 10)")
     args = parser.parse_args(argv[1:])
 
     try:
@@ -273,6 +328,22 @@ def main(argv):
     if not args.dump:
         sys.stderr.write("slice_inspect: a flight dump path is required\n")
         return 2
+
+    if args.profile:
+        # A profiled flight dump carries "profile" at top level; the bench
+        # --profile artifact IS a bare {"profile": ...} document.
+        try:
+            with open(args.dump) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as err:
+            sys.stderr.write("slice_inspect: %s\n" % err)
+            return 2
+        profile = doc.get("profile")
+        if not isinstance(profile, dict):
+            sys.stderr.write("slice_inspect: %s has no profile section (was the run "
+                             "profiled?)\n" % args.dump)
+            return 2
+        return print_profile(profile, args.top)
 
     try:
         doc = load_dump(args.dump)

@@ -95,6 +95,51 @@ def main():
         check("--tenant drops tenant 2", "slo_ok" not in out)
         check("--tenant drops untenanted", "node_dead" not in out)
 
+        # --profile renders the profiler section: standalone {"profile": ...}
+        # export (bench --profile artifact) and a flight dump both work.
+        profile_doc = {"profile": {
+            "sim": {"hosts": [
+                {"host": "10.0.3.0", "cpu": 5000, "queue": 700, "disk": 90000,
+                 "wire": 2000, "attributed": 97000, "busy": 97500,
+                 "coverage_bp": 9948},
+                {"host": "10.0.9.0", "cpu": 3000, "queue": 0, "disk": 0,
+                 "wire": 1000, "attributed": 4000, "busy": 4000,
+                 "coverage_bp": 10000}],
+                "total": {"cpu": 8000, "queue": 700, "disk": 90000, "wire": 3000}},
+            "wall": {"dropped": 0, "scopes": [
+                {"name": "sim.dispatch", "count": 900, "incl_ns": 50000, "excl_ns": 20000},
+                {"name": "uproxy.decode", "count": 400, "incl_ns": 9000, "excl_ns": 9000},
+                {"name": "rpc.dispatch", "count": 300, "incl_ns": 21000, "excl_ns": 12000}],
+                "stacks": []}}}
+        profile_path = os.path.join(tmp, "fig5_profile.json")
+        with open(profile_path, "w") as f:
+            json.dump(profile_doc, f)
+        code, out, err = run(script, profile_path, "--profile", "--codes-file", codes)
+        check("--profile exits 0", code == 0, err)
+        check("--profile prints ledger hosts", "10.0.3.0" in out and "99.48%" in out)
+        check("--profile ranks by exclusive ns",
+              out.find("sim.dispatch") < out.find("rpc.dispatch") < out.find("uproxy.decode"))
+
+        code, out, err = run(script, profile_path, "--profile", "--top", "1",
+                             "--codes-file", codes)
+        check("--top limits scope rows", code == 0 and "sim.dispatch" in out
+              and "uproxy.decode" not in out, err)
+
+        # Flight dump with an embedded profile section: same renderer.
+        merged = os.path.join(tmp, "merged.json")
+        with open(dump) as f:
+            merged_doc = json.load(f)
+        merged_doc["profile"] = profile_doc["profile"]
+        with open(merged, "w") as f:
+            json.dump(merged_doc, f)
+        code, out, err = run(script, merged, "--profile", "--codes-file", codes)
+        check("--profile on flight dump", code == 0 and "10.0.3.0" in out, err)
+
+        # An unprofiled dump must say so, not stack-trace.
+        code, out, err = run(script, dump, "--profile", "--codes-file", codes)
+        check("unprofiled dump exits 2", code == 2, "exit=%d" % code)
+        check("unprofiled dump explains", "no profile section" in err, err)
+
         # Table discovery next to the dump (no --codes-file).
         with open(codes) as src, open(os.path.join(tmp, "event_codes.json"), "w") as dst:
             dst.write(src.read())
