@@ -16,6 +16,13 @@
 //                     fig5_cache so the A/B artifacts get their own golden
 //   --no-pool         disable the packet pool (A/B determinism check: same
 //                     seed must produce byte-identical artifacts either way)
+//   --no-batch        disable flight-at-a-time delivery batching (same A/B
+//                     contract: batching is a cost optimization, never a
+//                     behavior change)
+//   --assert-zero-alloc  after the sweep, run the end-to-end fast-path probe
+//                     (µproxy + real storage node round trips under a
+//                     counting operator-new) and exit nonzero if the
+//                     steady-state window allocates at all
 //   --tenants N       run the metered Slice-2 point with N tenants (AUTH_SYS
 //                     tagged generator processes) and the SLO engine on; the
 //                     bench renames itself fig5_tenants and the baseline
@@ -41,14 +48,121 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <new>
 #include <vector>
 
 #include "bench/bench_json.h"
 #include "bench/sfs_harness.h"
+#include "src/common/hash.h"
+#include "src/core/uproxy.h"
+#include "src/net/network.h"
 #include "src/net/packet_pool.h"
+#include "src/nfs/nfs_xdr.h"
+#include "src/rpc/rpc_message.h"
+#include "src/storage/storage_node.h"
+
+// Process-wide allocation counter for --assert-zero-alloc: the end-to-end
+// fast-path probe measures a steady-state delta, which must be exactly zero
+// (the same operator-new override the fastpath_alloc_test uses).
+static uint64_t g_allocs = 0;
+
+void* operator new(std::size_t size) {
+  ++g_allocs;
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace slice {
 namespace {
+
+// --assert-zero-alloc: the end-to-end steady-state probe. One µproxy in
+// front of one REAL storage node; every round trip runs the full interposed
+// path (outbound decode/route/rewrite → rpc view decode + DRC → cache-hit
+// READ → span-spliced reply encode → deferred send flight → inbound pairing
+// + attr patch). After warming the DRC ring, caches and pool freelists, the
+// measured window must allocate exactly zero times. Returns true on success.
+bool RunZeroAllocProbe() {
+  constexpr NetAddr kClientAddr = 0x0a000001;
+  constexpr NetAddr kStorageAddr = 0x0a000020;
+  constexpr NetPort kNfsPort = 2049;
+  constexpr NetPort kClientPort = 5001;
+
+  EventQueue queue;
+  Network net(queue, NetworkParams{});
+  Host client_host(net, kClientAddr);
+
+  UproxyConfig config;
+  config.virtual_server = Endpoint{0x0a0000fe, kNfsPort};
+  config.dir_servers = {Endpoint{0x0a000010, kNfsPort}};
+  config.storage_nodes = {Endpoint{kStorageAddr, kNfsPort}};
+  Uproxy uproxy(net, queue, client_host, config);
+
+  StorageNode storage(net, queue, kStorageAddr, StorageNodeParams{});
+  const FileHandle fh = FileHandle::Make(1, MakeFileid(0, 42), 1, FileType3::kReg, 1, 0);
+  const ObjectId object = MixU64(fh.fileid() ^ (static_cast<uint64_t>(fh.volume()) << 48));
+  constexpr uint64_t kOffset = 1 << 20;  // bulk route: straight to storage
+  {
+    Bytes payload(64 << 10, 0x5a);
+    if (!storage.mutable_store().Write(object, kOffset, ByteSpan(payload), true).ok()) {
+      return false;
+    }
+  }
+
+  uint64_t replies = 0;
+  client_host.Bind(kClientPort, [&replies](Packet&&) { ++replies; });
+
+  RpcCall call;
+  call.xid = 0;  // patched per request: a fixed xid would replay from the DRC
+  call.prog = kNfsProgram;
+  call.vers = kNfsVersion;
+  call.proc = static_cast<uint32_t>(NfsProc::kRead);
+  {
+    XdrEncoder args;
+    ReadArgs rargs;
+    rargs.file = fh;
+    rargs.offset = kOffset;
+    rargs.count = 4096;
+    rargs.Encode(args);
+    call.args = args.Take();
+  }
+  Bytes req_wire = call.Encode();
+
+  const Endpoint client_ep{kClientAddr, kClientPort};
+  uint32_t xid = 0;
+  auto round_trip = [&]() {
+    ++xid;
+    req_wire[0] = static_cast<uint8_t>(xid >> 24);
+    req_wire[1] = static_cast<uint8_t>(xid >> 16);
+    req_wire[2] = static_cast<uint8_t>(xid >> 8);
+    req_wire[3] = static_cast<uint8_t>(xid);
+    uproxy.HandleOutbound(Packet::MakeUdp(client_ep, config.virtual_server, req_wire));
+    queue.RunUntilIdle();
+  };
+
+  constexpr int kWarmup = 4096 + 128;  // run the DRC ring to FIFO steady state
+  constexpr int kMeasured = 1024;
+  for (int i = 0; i < kWarmup; ++i) {
+    round_trip();
+  }
+  const uint64_t before = g_allocs;
+  for (int i = 0; i < kMeasured; ++i) {
+    round_trip();
+  }
+  const uint64_t delta = g_allocs - before;
+  const bool ok = delta == 0 && replies == static_cast<uint64_t>(kWarmup) + kMeasured;
+  std::printf("\n--assert-zero-alloc: %llu allocations over %d served end-to-end requests "
+              "(%llu replies) — %s\n",
+              static_cast<unsigned long long>(delta), kMeasured,
+              static_cast<unsigned long long>(replies), ok ? "OK" : "FAILED");
+  return ok;
+}
 
 struct BenchLine {
   const char* name;
@@ -256,6 +370,7 @@ void RunFig5(bool smoke, bool proxy_cache, const char* metrics_path, const char*
 int main(int argc, char** argv) {
   bool smoke = false;
   bool proxy_cache = false;
+  bool assert_zero_alloc = false;
   const char* metrics_path = nullptr;
   const char* flight_path = nullptr;
   const char* profile_path = nullptr;
@@ -265,8 +380,12 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--proxy-cache") == 0) {
       proxy_cache = true;
+    } else if (std::strcmp(argv[i], "--assert-zero-alloc") == 0) {
+      assert_zero_alloc = true;
     } else if (std::strcmp(argv[i], "--no-pool") == 0) {
       slice::PacketPool::SetEnabled(false);
+    } else if (std::strcmp(argv[i], "--no-batch") == 0) {
+      slice::Network::SetDeliveryBatching(false);
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
     } else if (std::strcmp(argv[i], "--flight-dump") == 0 && i + 1 < argc) {
@@ -278,5 +397,8 @@ int main(int argc, char** argv) {
     }
   }
   slice::RunFig5(smoke, proxy_cache, metrics_path, flight_path, profile_path, tenants);
+  if (assert_zero_alloc && !slice::RunZeroAllocProbe()) {
+    return 1;
+  }
   return 0;
 }

@@ -4,6 +4,8 @@
 // proportional to the bytes modified, independent of packet size.
 #include <benchmark/benchmark.h>
 
+#include "src/common/inet_checksum.h"
+#include "src/common/md5.h"
 #include "src/net/packet.h"
 #include "src/rpc/rpc_message.h"
 
@@ -37,6 +39,30 @@ void BM_FullRecompute(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FullRecompute)->Arg(128)->Arg(1024)->Arg(8192)->Arg(32768);
+
+// Raw one's-complement sum throughput: the word-at-a-time kernel behind
+// RecomputeChecksums. Feeds the per-byte cost model in EXPERIMENTS.md.
+void BM_OnesComplementSum(benchmark::State& state) {
+  Bytes data(static_cast<size_t>(state.range(0)), 0x42);
+  const ByteSpan span(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OnesComplementSum(span));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OnesComplementSum)->Arg(64)->Arg(128)->Arg(1024)->Arg(8192)->Arg(32768);
+
+// MD5 routing-fingerprint throughput (paper §4.1: per-name hash cost). Short
+// inputs dominate in practice — pathname components, not bulk data.
+void BM_Md5Fingerprint(benchmark::State& state) {
+  Bytes data(static_cast<size_t>(state.range(0)), 0x42);
+  const ByteSpan span(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md5Fingerprint64(Md5::Hash(span)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Md5Fingerprint)->Arg(16)->Arg(64)->Arg(256)->Arg(4096);
 
 }  // namespace
 }  // namespace slice

@@ -31,7 +31,10 @@
 #include "src/nfs/nfs_xdr.h"
 #include "src/obs/trace.h"
 #include "src/rpc/rpc_message.h"
+#include "src/rpc/rpc_server.h"
 #include "src/sim/stats.h"
+#include "src/storage/block_cache.h"
+#include "src/storage/object_store.h"
 
 // Process-wide allocation counter: the fast-path measurement reports
 // allocs/pkt, which must be exactly zero in steady state (the same
@@ -337,6 +340,145 @@ void BM_Total_RequestPath_Legacy(benchmark::State& state) {
 }
 BENCHMARK(BM_Total_RequestPath_Legacy);
 
+// Server-side dispatch fixture: a warm object store + block cache + DRC plus
+// four preconstructed small READ calls at distinct offsets. The Serve() body
+// replicates the shape of RpcServerNode::OnPacket + StorageNode::HandleRead
+// after the zero-allocation rework: view decode of the RPC envelope and args,
+// flat-index duplicate-request cache, cache-hit read into reusable scratch,
+// span-spliced ReadRes encode, the reply envelope into a member scratch
+// encoder, and the DRC reply ring recording the wire bytes. In steady state
+// none of it touches the heap — the same claim the full-path alloc test pins
+// against the real nodes; here we put a ns/pkt number on it.
+struct ServerPathFixture {
+  static constexpr ObjectId kObject = 42;
+  static constexpr uint32_t kReadBytes = 512;
+
+  ObjectStore store{64ull << 20};
+  BlockCache cache{16ull << 20};
+  DuplicateRequestCache drc{4096};
+  std::vector<Bytes> wires;
+  Fattr3 attr;
+  // Per-request scratch, mirroring the node members it models.
+  Bytes read_data;
+  std::vector<PhysBlock> read_blocks;
+  XdrEncoder result_enc;
+  XdrEncoder reply_enc;
+  uint32_t next_xid = 1;
+  size_t next_wire = 0;
+
+  ServerPathFixture() {
+    Bytes payload(1 << 16);
+    for (size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<uint8_t>(i * 131);
+    }
+    SLICE_CHECK(store.Write(kObject, 0, ByteSpan(payload), /*stable=*/true).ok());
+    attr.type = FileType3::kReg;
+    attr.size = payload.size();
+    for (uint64_t off : {0ull, 8192ull, 16384ull, 24576ull}) {
+      RpcCall call;
+      call.xid = 0;  // patched per request
+      call.prog = kNfsProgram;
+      call.vers = kNfsVersion;
+      call.proc = static_cast<uint32_t>(NfsProc::kRead);
+      call.cred.machine_name = "bench-client-host";
+      call.cred.gids = {0, 5, 20};
+      XdrEncoder args;
+      ReadArgs rargs;
+      rargs.file = FileHandle::Make(1, MakeFileid(0, 42), 1, FileType3::kReg, 1, kSecret);
+      rargs.offset = off;
+      rargs.count = kReadBytes;
+      rargs.Encode(args);
+      call.args = args.Take();
+      wires.push_back(call.Encode());
+    }
+    Serve();  // populate scratch buffers so stage bodies can run standalone
+  }
+
+  static void PatchXid(Bytes& wire, uint32_t xid) {
+    wire[0] = static_cast<uint8_t>(xid >> 24);
+    wire[1] = static_cast<uint8_t>(xid >> 16);
+    wire[2] = static_cast<uint8_t>(xid >> 8);
+    wire[3] = static_cast<uint8_t>(xid);
+  }
+
+  // Stage bodies (each standalone so the per-stage loops time exactly one).
+  void DecodeStage(const Bytes& wire, RpcMessageView* msg, ReadArgs* args) {
+    Result<RpcMessageView> m = DecodeRpcMessage(ByteSpan(wire));
+    SLICE_CHECK(m.ok());
+    XdrDecoder dec(m->body);
+    Result<ReadArgs> a = ReadArgs::Decode(dec);
+    SLICE_CHECK(a.ok());
+    *msg = *m;
+    *args = *a;
+  }
+
+  void DrcStage(const DrcKey& key) {
+    benchmark::DoNotOptimize(drc.FindReply(key));
+    benchmark::DoNotOptimize(drc.InProgress(key));
+    drc.BeginCall(key);
+    drc.CompleteCall(key, ByteSpan(reply_enc.bytes()));
+  }
+
+  void ReadStage(const ReadArgs& args) {
+    read_blocks.clear();
+    Result<bool> eof = store.ReadInto(kObject, args.offset, args.count, &read_data, &read_blocks);
+    SLICE_CHECK(eof.ok());
+    for (PhysBlock b : read_blocks) {
+      cache.Access(b);  // warm: every block is a hit
+    }
+  }
+
+  void EncodeStage(uint32_t xid) {
+    result_enc.Clear();
+    ReadRes res;
+    res.status = Nfsstat3::kOk;
+    res.file_attributes = attr;
+    res.count = static_cast<uint32_t>(read_data.size());
+    res.eof = false;
+    res.Encode(result_enc, ByteSpan(read_data));
+    reply_enc.Clear();
+    reply_enc.PutUint32(xid);
+    reply_enc.PutEnum(static_cast<uint32_t>(RpcMsgType::kReply));
+    reply_enc.PutEnum(static_cast<uint32_t>(RpcReplyStat::kAccepted));
+    reply_enc.PutEnum(static_cast<uint32_t>(RpcAuthFlavor::kNone));
+    reply_enc.PutUint32(0);  // zero-length verifier body
+    reply_enc.PutEnum(static_cast<uint32_t>(RpcAcceptStat::kSuccess));
+    reply_enc.PutOpaqueFixed(ByteSpan(result_enc.bytes()));
+  }
+
+  // The whole dispatch: what one served READ costs the server in CPU.
+  void Serve() {
+    Bytes& wire = wires[next_wire++ % wires.size()];
+    const uint32_t xid = next_xid++;
+    PatchXid(wire, xid);
+    RpcMessageView msg;
+    ReadArgs args;
+    DecodeStage(wire, &msg, &args);
+    const DrcKey key{(static_cast<uint64_t>(0x0a000901) << 16) | 800, msg.xid, msg.prog,
+                     msg.vers, msg.proc};
+    benchmark::DoNotOptimize(drc.FindReply(key));
+    benchmark::DoNotOptimize(drc.InProgress(key));
+    drc.BeginCall(key);
+    ReadStage(args);
+    EncodeStage(xid);
+    drc.CompleteCall(key, ByteSpan(reply_enc.bytes()));
+  }
+};
+
+// Whole server dispatch path (view decode → DRC → cache-hit read → reply
+// encode → reply ring), google-benchmark account.
+void BM_Total_ServerPath(benchmark::State& state) {
+  ServerPathFixture server;
+  for (int i = 0; i < 8192; ++i) {
+    server.Serve();  // fill the DRC index + cache before measuring
+  }
+  for (auto _ : state) {
+    server.Serve();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Total_ServerPath);
+
 // Machine-readable baseline: wall-clock-times the whole request path per
 // packet (the BM_Total_RequestPath body, outside google-benchmark so we can
 // keep per-packet samples) and writes BENCH_table3_uproxy_cpu.json. Both the
@@ -521,29 +663,12 @@ void WriteTable3Bench() {
   }
 
   const double total_ns = static_cast<double>(per_packet.sum());
-  const double pkts_per_sec = total_ns > 0 ? kMeasured * 1e9 / total_ns : 0;
-  const double mean_ns = total_ns / kMeasured;
+  const double sampled_mean_ns = total_ns / kMeasured;
   const double legacy_mean_ns = static_cast<double>(legacy_total_ns) / kMeasured;
-  const double speedup = mean_ns > 0 ? legacy_mean_ns / mean_ns : 0;
+  // Speedup compares like with like: both paths carry the same per-packet
+  // clock-pair overhead in the sampled account.
+  const double speedup = sampled_mean_ns > 0 ? legacy_mean_ns / sampled_mean_ns : 0;
   const double allocs_per_pkt = static_cast<double>(allocs_measured) / kMeasured;
-  // The paper's operating point: %CPU this implementation would spend at
-  // 6250 packets/s (paper total: 6.1% on a 500 MHz Alpha).
-  const double cpu_pct_at_6250 = mean_ns * 6250.0 / 1e9 * 100.0;
-
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("bench").String("table3_uproxy_cpu");
-  w.Key("packets_measured").Int(kMeasured);
-  w.Key("request_path_pkts_per_sec").Fixed(pkts_per_sec, 0);
-  w.Key("mean_ns_per_pkt").Fixed(mean_ns, 1);
-  w.Key("legacy_mean_ns_per_pkt").Fixed(legacy_mean_ns, 1);
-  w.Key("speedup_vs_legacy").Fixed(speedup, 2);
-  w.Key("allocs_per_pkt").Fixed(allocs_per_pkt, 6);
-  w.Key("p50_ns").UInt(per_packet.Percentile(50));
-  w.Key("p95_ns").UInt(per_packet.Percentile(95));
-  w.Key("p99_ns").UInt(per_packet.Percentile(99));
-  w.Key("cpu_pct_at_6250_pkts").Fixed(cpu_pct_at_6250, 3);
-  w.Key("paper_cpu_pct_at_6250_pkts").Fixed(6.1, 1);
 
   // Reporting. B = bulk (uninstrumented) mean, C = coarse profiler total
   // (one compensated pair/pkt), V = raw fine stage sum. The acceptance
@@ -590,6 +715,105 @@ void WriteTable3Bench() {
   }
   const double attribution_err_pct =
       bulk_mean_ns > 0 ? (coarse_mean_ns - bulk_mean_ns) / bulk_mean_ns * 100.0 : 0;
+
+  // Headline per-packet cost: the chunk-timed bulk account. The sampled mean
+  // above brackets every packet with two clock reads, which on a ~120ns body
+  // adds ~30-50ns of measurement overhead to the number itself; the chunked
+  // account amortizes one tick pair over 2000 packets, so it reports the path
+  // and not the clock. The sampled account stays exported for its p50/p99.
+  const double mean_ns = bulk_mean_ns;
+  const double pkts_per_sec = mean_ns > 0 ? 1e9 / mean_ns : 0;
+  // The paper's operating point: %CPU this implementation would spend at
+  // 6250 packets/s (paper total: 6.1% on a 500 MHz Alpha).
+  const double cpu_pct_at_6250 = mean_ns * 6250.0 / 1e9 * 100.0;
+
+  // Server-side dispatch: the same chunked methodology over the zero-alloc
+  // server path (RPC view decode → DRC → cache-hit read → reply encode →
+  // reply ring). end_to_end = µproxy forwarding + server dispatch, the full
+  // CPU cost of one interposed, served request.
+  ServerPathFixture server;
+  auto chunked_ns = [&](auto&& body) -> double {
+    std::vector<uint64_t> samples;
+    samples.reserve(static_cast<size_t>(kMeasured / kChunk));
+    for (int i = 0; i < kWarmup; ++i) {
+      body();
+    }
+    for (int done = 0; done < kMeasured; done += kChunk) {
+      const uint64_t t0 = obs::Profiler::Ticks();
+      for (int i = 0; i < kChunk; ++i) {
+        body();
+      }
+      samples.push_back(profiler.ns_from_ticks(obs::Profiler::Ticks() - t0));
+    }
+    return chunk_median(samples) / kChunk;
+  };
+  const double server_mean_ns = chunked_ns([&] { server.Serve(); });
+  uint64_t server_allocs = g_allocs;
+  for (int i = 0; i < kMeasured; ++i) {
+    server.Serve();
+  }
+  server_allocs = g_allocs - server_allocs;
+  const double server_allocs_per_pkt = static_cast<double>(server_allocs) / kMeasured;
+  // Per-stage server accounts (each stage timed standalone; raw medians, so
+  // the rows need not sum exactly to the whole-body mean — cross-stage
+  // locality the split loops don't share shows up as the difference).
+  RpcMessageView stage_msg;
+  ReadArgs stage_args;
+  server.DecodeStage(server.wires[0], &stage_msg, &stage_args);
+  const DrcKey stage_key{(static_cast<uint64_t>(0x0a000901) << 16) | 800, stage_msg.xid,
+                         stage_msg.prog, stage_msg.vers, stage_msg.proc};
+  size_t rot = 0;
+  const double srv_decode_ns = chunked_ns([&] {
+    server.DecodeStage(server.wires[rot++ % server.wires.size()], &stage_msg, &stage_args);
+  });
+  uint32_t drc_xid = 1u << 30;
+  const double srv_drc_ns = chunked_ns([&] {
+    DrcKey k = stage_key;
+    k.xid = drc_xid++;
+    server.DrcStage(k);
+  });
+  const double srv_read_ns = chunked_ns([&] { server.ReadStage(stage_args); });
+  const double srv_encode_ns = chunked_ns([&] { server.EncodeStage(drc_xid); });
+  struct ServerStageRow {
+    const char* name;
+    double ns_per_pkt;
+  };
+  const ServerStageRow server_stages[] = {
+      {"rpc.decode_view", srv_decode_ns},
+      {"rpc.drc", srv_drc_ns},
+      {"storage.cache_read", srv_read_ns},
+      {"rpc.reply_encode", srv_encode_ns},
+  };
+  const double end_to_end_ns = mean_ns + server_mean_ns;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("table3_uproxy_cpu");
+  w.Key("packets_measured").Int(kMeasured);
+  w.Key("request_path_pkts_per_sec").Fixed(pkts_per_sec, 0);
+  w.Key("mean_ns_per_pkt").Fixed(mean_ns, 1);
+  w.Key("sampled_mean_ns_per_pkt").Fixed(sampled_mean_ns, 1);
+  w.Key("legacy_mean_ns_per_pkt").Fixed(legacy_mean_ns, 1);
+  w.Key("speedup_vs_legacy").Fixed(speedup, 2);
+  w.Key("allocs_per_pkt").Fixed(allocs_per_pkt, 6);
+  w.Key("p50_ns").UInt(per_packet.Percentile(50));
+  w.Key("p95_ns").UInt(per_packet.Percentile(95));
+  w.Key("p99_ns").UInt(per_packet.Percentile(99));
+  w.Key("cpu_pct_at_6250_pkts").Fixed(cpu_pct_at_6250, 3);
+  w.Key("paper_cpu_pct_at_6250_pkts").Fixed(6.1, 1);
+  w.Key("server").BeginObject();
+  w.Key("mean_ns_per_pkt").Fixed(server_mean_ns, 1);
+  w.Key("allocs_per_pkt").Fixed(server_allocs_per_pkt, 6);
+  w.Key("stages").BeginArray();
+  for (const ServerStageRow& row : server_stages) {
+    w.BeginObject();
+    w.Key("name").String(row.name);
+    w.Key("ns_per_pkt").Fixed(row.ns_per_pkt, 2);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.Key("end_to_end_ns_per_pkt").Fixed(end_to_end_ns, 1);
   w.Key("profile").BeginObject();
   w.Key("stages").BeginArray();
   for (const StageRow& row : stages) {
@@ -608,10 +832,10 @@ void WriteTable3Bench() {
   w.EndObject();
   w.EndObject();
   WriteBenchFile("table3_uproxy_cpu", w.str());
-  std::printf("request path: %.0f pkts/s, mean %.0f ns (p50 %llu, p99 %llu), %.2fx vs the\n"
-              "legacy decode+map path (%.0f ns), %.6f allocs/pkt; %.3f%% CPU at the paper's\n"
-              "6250 pkt/s point (paper: 6.1%% on a 500MHz Alpha)\n",
-              pkts_per_sec, mean_ns,
+  std::printf("request path: %.0f pkts/s, mean %.0f ns (sampled %.0f, p50 %llu, p99 %llu),\n"
+              "%.2fx vs the legacy decode+map path (%.0f ns), %.6f allocs/pkt; %.3f%% CPU at\n"
+              "the paper's 6250 pkt/s point (paper: 6.1%% on a 500MHz Alpha)\n",
+              pkts_per_sec, mean_ns, sampled_mean_ns,
               static_cast<unsigned long long>(per_packet.Percentile(50)),
               static_cast<unsigned long long>(per_packet.Percentile(99)), speedup,
               legacy_mean_ns, allocs_per_pkt, cpu_pct_at_6250);
@@ -624,6 +848,12 @@ void WriteTable3Bench() {
   std::printf("  shares from the fine account (raw sum %.1f ns incl. per-stage scope\n"
               "  overhead, normalized x%.3f to the validated whole-path total)\n",
               fine_sum, norm);
+  std::printf("\nserver dispatch (ns/pkt, %.6f allocs/pkt):\n", server_allocs_per_pkt);
+  for (const ServerStageRow& row : server_stages) {
+    std::printf("  %-20s %8.1f\n", row.name, row.ns_per_pkt);
+  }
+  std::printf("  %-20s %8.1f\n", "whole dispatch", server_mean_ns);
+  std::printf("\nend-to-end (uproxy forward + server dispatch): %.1f ns/pkt\n", end_to_end_ns);
 }
 
 }  // namespace

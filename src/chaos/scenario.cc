@@ -206,6 +206,32 @@ std::vector<Scenario> ScenarioMatrix() {
     matrix.push_back(std::move(s));
   }
 
+  {  // Restart storm: the correlated-crash pair dies twice in one run. Each
+     // restart must come up with per-object soft state (prefetch offsets,
+     // pending-ready blocks, metadata write-behind debt, disk backlog) fully
+     // cleared — state leaking across the first restart would skew the
+     // second window's replay and surface as a flight-hash change.
+    Scenario s;
+    s.name = "correlated_crash_restart_storm";
+    s.description =
+        "storage1+storage2 crash twice back-to-back; restarts must not carry "
+        "stale per-object state between windows";
+    s.config = BaseConfig();
+    s.config.chaos.faults = {
+        {.kind = FaultKind::kCrash,
+         .at = FromMillis(700),
+         .duration = FromMillis(600),
+         .targets = {Storage(1), Storage(2)}},
+        {.kind = FaultKind::kCrash,
+         .at = FromMillis(1800),
+         .duration = FromMillis(600),
+         .targets = {Storage(1), Storage(2)}},
+    };
+    s.workload.shape = WorkloadShape::kWriteVerify;
+    s.bounds.max_outage = FromSeconds(4);
+    matrix.push_back(std::move(s));
+  }
+
   {  // Clock skew: storage3's heartbeat clock runs 14x slow — past the
      // detector timeout, so an alive node flaps dead/rejoined. Dir1 gets a
      // milder 4x skew that only grazes the suspicion window.

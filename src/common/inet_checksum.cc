@@ -1,17 +1,58 @@
 #include "src/common/inet_checksum.h"
 
+#include <bit>
+#include <cstring>
+
 #include "src/common/status.h"
 
 namespace slice {
 
 uint32_t OnesComplementSum(ByteSpan data, uint32_t initial) {
-  uint32_t sum = initial;
-  size_t i = 0;
-  for (; i + 1 < data.size(); i += 2) {
-    sum += (static_cast<uint32_t>(data[i]) << 8) | data[i + 1];
+  // Word-at-a-time RFC 1071: one's-complement addition is associative and
+  // byte-order independent, so the bulk runs over native 64-bit loads (each
+  // split into 32-bit halves so carries accumulate in the upper half of a
+  // 64-bit accumulator) and only the final folded 16 bits are byte-swapped
+  // back to the big-endian pair convention the callers chain in `initial`.
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  uint64_t acc = 0;
+  while (n >= 32) {
+    uint64_t w0, w1, w2, w3;
+    std::memcpy(&w0, p, 8);
+    std::memcpy(&w1, p + 8, 8);
+    std::memcpy(&w2, p + 16, 8);
+    std::memcpy(&w3, p + 24, 8);
+    acc += (w0 & 0xffffffffu) + (w0 >> 32);
+    acc += (w1 & 0xffffffffu) + (w1 >> 32);
+    acc += (w2 & 0xffffffffu) + (w2 >> 32);
+    acc += (w3 & 0xffffffffu) + (w3 >> 32);
+    p += 32;
+    n -= 32;
   }
-  if (i < data.size()) {
-    sum += static_cast<uint32_t>(data[i]) << 8;  // odd trailing byte, zero-padded
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    acc += (w & 0xffffffffu) + (w >> 32);
+    p += 8;
+    n -= 8;
+  }
+  while (n >= 2) {
+    uint16_t h;
+    std::memcpy(&h, p, 2);
+    acc += h;
+    p += 2;
+    n -= 2;
+  }
+  uint32_t sum32 = static_cast<uint32_t>((acc & 0xffffffffu) + (acc >> 32));
+  sum32 = (sum32 & 0xffff) + (sum32 >> 16);
+  sum32 = (sum32 & 0xffff) + (sum32 >> 16);
+  uint16_t native = static_cast<uint16_t>(sum32);
+  if constexpr (std::endian::native == std::endian::little) {
+    native = static_cast<uint16_t>((native << 8) | (native >> 8));
+  }
+  uint32_t sum = initial + native;
+  if (n != 0) {
+    sum += static_cast<uint32_t>(*p) << 8;  // odd trailing byte, zero-padded
   }
   return sum;
 }

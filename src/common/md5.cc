@@ -1,9 +1,15 @@
 #include "src/common/md5.h"
 
+#include <bit>
+
 namespace slice {
 namespace {
 
 inline uint32_t RotL(uint32_t x, uint32_t n) { return (x << n) | (x >> (32 - n)); }
+
+inline uint32_t Bswap32(uint32_t v) {
+  return (v >> 24) | ((v >> 8) & 0x0000ff00u) | ((v << 8) & 0x00ff0000u) | (v << 24);
+}
 
 // Per-round sine-derived constants, RFC 1321 §3.4.
 constexpr uint32_t kT[64] = {
@@ -35,12 +41,13 @@ void Md5::Reset() {
 }
 
 void Md5::ProcessBlock(const uint8_t block[64]) {
+  // RFC 1321: message words are little-endian. Whole-word memcpy loads
+  // (byte-swapped on big-endian hosts) instead of four shifted byte loads —
+  // the fingerprint path hashes every routed name, so this is hot.
   uint32_t m[16];
-  for (int i = 0; i < 16; ++i) {
-    // RFC 1321: message words are little-endian.
-    m[i] = static_cast<uint32_t>(block[i * 4]) | (static_cast<uint32_t>(block[i * 4 + 1]) << 8) |
-           (static_cast<uint32_t>(block[i * 4 + 2]) << 16) |
-           (static_cast<uint32_t>(block[i * 4 + 3]) << 24);
+  std::memcpy(m, block, 64);
+  if constexpr (std::endian::native == std::endian::big) {
+    for (int i = 0; i < 16; ++i) m[i] = Bswap32(m[i]);
   }
 
   uint32_t a = state_[0];

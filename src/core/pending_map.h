@@ -1,11 +1,14 @@
-// Open-addressing hash map from uint64 keys to a trivially-copyable value.
+// Open-addressing hash map from a trivially-copyable key to a
+// trivially-copyable value.
 //
 // The µproxy's pending-request table sees one insert and one erase per
 // forwarded request; std::unordered_map pays a node allocation for each.
 // This map keeps everything in one flat slot array — linear probing on a
 // power-of-two capacity, backward-shift (Knuth) deletion instead of
 // tombstones — so once the array has grown to the working-set size,
-// steady-state insert/find/erase never touch the heap.
+// steady-state insert/find/erase never touch the heap. The same discipline
+// now backs the server tier: the RPC duplicate-request cache index and the
+// storage node's per-object tables (DESIGN.md, server-side pools).
 #ifndef SLICE_CORE_PENDING_MAP_H_
 #define SLICE_CORE_PENDING_MAP_H_
 
@@ -19,13 +22,19 @@
 
 namespace slice {
 
-template <typename V>
-class FlatU64Map {
+struct MixU64Hash {
+  uint64_t operator()(uint64_t key) const { return MixU64(key); }
+};
+
+template <typename K, typename V, typename Hash = MixU64Hash>
+class FlatMap {
+  static_assert(std::is_trivially_copyable_v<K>,
+                "backward-shift deletion relocates keys by assignment");
   static_assert(std::is_trivially_copyable_v<V>,
                 "backward-shift deletion relocates values by assignment");
 
  public:
-  explicit FlatU64Map(size_t initial_capacity = 64) {
+  explicit FlatMap(size_t initial_capacity = 64) {
     size_t cap = 16;
     while (cap < initial_capacity) {
       cap <<= 1;
@@ -37,7 +46,7 @@ class FlatU64Map {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  V* Find(uint64_t key) {
+  V* Find(const K& key) {
     size_t i = IndexFor(key);
     while (slots_[i].full) {
       if (slots_[i].key == key) {
@@ -47,11 +56,11 @@ class FlatU64Map {
     }
     return nullptr;
   }
-  const V* Find(uint64_t key) const { return const_cast<FlatU64Map*>(this)->Find(key); }
+  const V* Find(const K& key) const { return const_cast<FlatMap*>(this)->Find(key); }
 
   // Returns (value slot, inserted). A fresh slot holds a value-initialized V.
   // The pointer is valid until the next Insert (growth) or Erase (shift).
-  std::pair<V*, bool> Insert(uint64_t key) {
+  std::pair<V*, bool> Insert(const K& key) {
     if ((size_ + 1) * 2 > slots_.size()) {
       Grow();
     }
@@ -69,7 +78,7 @@ class FlatU64Map {
     return {&slots_[i].value, true};
   }
 
-  bool Erase(uint64_t key) {
+  bool Erase(const K& key) {
     size_t i = IndexFor(key);
     while (true) {
       if (!slots_[i].full) {
@@ -124,12 +133,14 @@ class FlatU64Map {
 
  private:
   struct Slot {
-    uint64_t key = 0;
+    K key{};
     V value{};
     bool full = false;
   };
 
-  size_t IndexFor(uint64_t key) const { return static_cast<size_t>(MixU64(key)) & mask_; }
+  size_t IndexFor(const K& key) const {
+    return static_cast<size_t>(Hash{}(key)) & mask_;
+  }
 
   void Grow() {
     std::vector<Slot> old = std::move(slots_);
@@ -148,6 +159,10 @@ class FlatU64Map {
   size_t mask_ = 0;
   size_t size_ = 0;
 };
+
+// The original uint64-keyed shape (µproxy pending table, table3 bench).
+template <typename V>
+using FlatU64Map = FlatMap<uint64_t, V, MixU64Hash>;
 
 }  // namespace slice
 

@@ -8,6 +8,8 @@
 
 namespace slice {
 
+bool Network::batching_enabled_ = true;
+
 Network::Network(EventQueue& queue, NetworkParams params)
     : queue_(queue),
       params_(params),
@@ -363,7 +365,36 @@ void Network::ProcessOneFlight() {
       }
       obs::Inc(host_it->second.m_pkts_rx);
       if (host_it->second.tap != nullptr) {
-        host_it->second.tap->HandleInbound(std::move(f.pkt));
+        if (batching_enabled_) {
+          // Flight-at-a-time delivery: extend this dispatch over the run of
+          // same-instant deliveries to the same tapped host. Each extension
+          // first absorbs the flight's paired drain (keeping flights and
+          // drains 1:1) and only then pops the flight; an interleaved
+          // foreign event makes AbsorbNextDrain fail and ends the batch, so
+          // global ordering is exactly what per-flight dispatch produced.
+          // No handler runs during collection, so the host/failed state
+          // checked above cannot change mid-batch.
+          batch_.clear();
+          batch_.push_back(std::move(f.pkt));
+          while (!flights_.empty()) {
+            const Flight& top = flights_.top();
+            if (top.stage != FlightStage::kDeliver || top.due != queue_.now() ||
+                top.pkt.dst_addr() != addr) {
+              break;
+            }
+            if (!queue_.AbsorbNextDrain(this)) {
+              break;
+            }
+            Flight g = std::move(const_cast<Flight&>(flights_.top()));
+            flights_.pop();
+            obs::Inc(host_it->second.m_pkts_rx);
+            batch_.push_back(std::move(g.pkt));
+          }
+          host_it->second.tap->HandleInboundBatch(std::span<Packet>(batch_));
+          batch_.clear();
+        } else {
+          host_it->second.tap->HandleInbound(std::move(f.pkt));
+        }
       } else {
         host_it->second.handler(std::move(f.pkt));
       }
@@ -381,6 +412,12 @@ void Network::ProcessOneFlight() {
       }
       return;
     }
+    case FlightStage::kSend: {
+      if (f.guard == nullptr || *f.guard) {
+        Send(std::move(f.pkt));
+      }
+      return;
+    }
   }
 }
 
@@ -388,6 +425,15 @@ void Network::InjectAt(Packet&& pkt, SimTime ready, std::shared_ptr<const bool> 
   Flight f;
   f.due = ready;
   f.stage = FlightStage::kInject;
+  f.guard = std::move(guard);
+  f.pkt = std::move(pkt);
+  PushFlight(std::move(f));
+}
+
+void Network::SendAt(Packet&& pkt, SimTime ready, std::shared_ptr<const bool> guard) {
+  Flight f;
+  f.due = ready;
+  f.stage = FlightStage::kSend;
   f.guard = std::move(guard);
   f.pkt = std::move(pkt);
   PushFlight(std::move(f));

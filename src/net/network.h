@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -62,6 +63,17 @@ class PacketTap {
   // Called for packets arriving for the host. Implementations call
   // Network::DeliverLocal to pass packets up to the host.
   virtual void HandleInbound(Packet&& pkt) = 0;
+  // Called with a whole delivery flight: every packet in `pkts` arrived for
+  // this host at the same instant (their drains coalesced into one event
+  // dispatch). The default peels them one at a time, so taps that don't
+  // batch behave exactly as before; the µproxy overrides this to hoist
+  // per-dispatch work out of the per-packet loop. Overrides must consume
+  // every packet and must preserve in-order processing.
+  virtual void HandleInboundBatch(std::span<Packet> pkts) {
+    for (Packet& p : pkts) {
+      HandleInbound(std::move(p));
+    }
+  }
 };
 
 class Network {
@@ -97,6 +109,17 @@ class Network {
   void InjectAt(Packet&& pkt, SimTime ready, std::shared_ptr<const bool> guard = nullptr);
   void DeliverLocalAt(NetAddr addr, Packet&& pkt, SimTime ready,
                       std::shared_ptr<const bool> guard = nullptr);
+  // Deferred host send (allocation-free): at `ready` the packet enters the
+  // normal Send path — outbound tap first, then the wire. This is the RPC
+  // server's deferred reply: the encoded reply moves into a pooled packet
+  // buffer immediately and rides the flight heap to its service-done
+  // instant, replacing a heap-allocated ScheduleAt closure.
+  void SendAt(Packet&& pkt, SimTime ready, std::shared_ptr<const bool> guard = nullptr);
+
+  // A/B switch for flight-batched tap delivery (determinism harness: runs
+  // with batching on and off must produce byte-identical artifacts).
+  static void SetDeliveryBatching(bool enabled) { batching_enabled_ = enabled; }
+  static bool delivery_batching() { return batching_enabled_; }
 
   // Marks a host failed: its packets are dropped silently until revived.
   // Models server crashes for failover experiments.
@@ -178,6 +201,7 @@ class Network {
     kDeliver,  // receiver serialization done; hand to tap/handler
     kInject,   // tap-deferred wire entry (InjectAt)
     kLocal,    // tap-deferred local delivery (DeliverLocalAt)
+    kSend,     // deferred host send (SendAt): outbound tap, then the wire
   };
   struct Flight {
     SimTime due = 0;
@@ -228,6 +252,11 @@ class Network {
   std::unordered_map<NetAddr, SimTime> host_extra_delay_;
   std::priority_queue<Flight, std::vector<Flight>, FlightLater> flights_;
   uint64_t flight_seq_ = 0;
+  // Scratch for flight-batched tap delivery (capacity reused across
+  // dispatches; never touched re-entrantly — tap handlers only push new
+  // flights, they cannot re-enter the drain).
+  std::vector<Packet> batch_;
+  static bool batching_enabled_;
   Rng loss_rng_;
   Rng chaos_rng_;
   uint64_t packets_sent_ = 0;

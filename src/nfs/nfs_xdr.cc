@@ -504,13 +504,15 @@ Result<ReadlinkRes> ReadlinkRes::Decode(XdrDecoder& dec) {
   return res;
 }
 
-void ReadRes::Encode(XdrEncoder& enc) const {
+void ReadRes::Encode(XdrEncoder& enc) const { Encode(enc, ByteSpan(data)); }
+
+void ReadRes::Encode(XdrEncoder& enc, ByteSpan payload) const {
   enc.PutEnum(static_cast<uint32_t>(status));
   EncodePostOpAttr(enc, file_attributes);
   if (status == Nfsstat3::kOk) {
     enc.PutUint32(count);
     enc.PutBool(eof);
-    enc.PutOpaqueVar(data);
+    enc.PutOpaqueVar(payload);
   }
 }
 

@@ -195,6 +195,11 @@ struct ReadRes {
   bool eof = false;
   Bytes data;
   void Encode(XdrEncoder& enc) const;
+  // Encodes with `payload` as the data body instead of `data`, so the
+  // storage node's READ path can splice its reusable scratch buffer into the
+  // reply without materializing a Bytes copy per request. Byte-identical to
+  // Encode(enc) when payload == data.
+  void Encode(XdrEncoder& enc, ByteSpan payload) const;
   static Result<ReadRes> Decode(XdrDecoder& dec);
 };
 

@@ -17,21 +17,25 @@ void EncodeAuthSys(XdrEncoder& enc, const AuthSysCred& cred) {
   enc.PutOpaqueVar(body.bytes());
 }
 
-Result<AuthSysCred> DecodeAuthBody(ByteSpan body) {
+// Parses an AUTH_SYS credential in place: the machine name stays a view into
+// `body` and the gid list lands in the bounded inline array, so a credential
+// decode never allocates. Callers must keep `body` alive while the view is
+// consumed.
+Result<AuthSysCredView> DecodeAuthBody(ByteSpan body) {
   XdrDecoder dec(body);
-  AuthSysCred cred;
+  AuthSysCredView cred;
   SLICE_ASSIGN_OR_RETURN(cred.stamp, dec.GetUint32());
-  SLICE_ASSIGN_OR_RETURN(cred.machine_name, dec.GetString(255));
+  SLICE_ASSIGN_OR_RETURN(cred.machine_name, dec.GetStringView(255));
   SLICE_ASSIGN_OR_RETURN(cred.uid, dec.GetUint32());
   SLICE_ASSIGN_OR_RETURN(cred.gid, dec.GetUint32());
   SLICE_ASSIGN_OR_RETURN(uint32_t n, dec.GetUint32());
-  if (n > 16) {
+  if (n > AuthSysCredView::kMaxGids) {
     return Status(StatusCode::kCorrupt, "rpc: too many gids");
   }
   for (uint32_t i = 0; i < n; ++i) {
-    SLICE_ASSIGN_OR_RETURN(uint32_t g, dec.GetUint32());
-    cred.gids.push_back(g);
+    SLICE_ASSIGN_OR_RETURN(cred.gids.v[i], dec.GetUint32());
   }
+  cred.gids.count = n;
   return cred;
 }
 
@@ -108,13 +112,24 @@ Result<RpcMessageView> DecodeRpcMessage(ByteSpan data) {
     SLICE_ASSIGN_OR_RETURN(view.vers, dec.GetUint32());
     SLICE_ASSIGN_OR_RETURN(view.proc, dec.GetUint32());
     SLICE_ASSIGN_OR_RETURN(uint32_t cred_flavor, dec.GetUint32());
-    SLICE_ASSIGN_OR_RETURN(Bytes cred_body, dec.GetOpaqueVar(400));
+    SLICE_ASSIGN_OR_RETURN(uint32_t cred_len, dec.GetUint32());
+    if (cred_len > 400) {
+      return Status(StatusCode::kCorrupt, "rpc: oversized auth");
+    }
+    SLICE_ASSIGN_OR_RETURN(ByteSpan cred_body,
+                           dec.GetRawView(cred_len + XdrPad(cred_len)));
     if (cred_flavor == static_cast<uint32_t>(RpcAuthFlavor::kSys)) {
-      SLICE_ASSIGN_OR_RETURN(view.cred, DecodeAuthBody(cred_body));
+      SLICE_ASSIGN_OR_RETURN(view.cred,
+                             DecodeAuthBody(ByteSpan(cred_body.data(), cred_len)));
     }
     SLICE_ASSIGN_OR_RETURN(uint32_t verf_flavor, dec.GetUint32());
     (void)verf_flavor;
-    SLICE_ASSIGN_OR_RETURN(Bytes verf_body, dec.GetOpaqueVar(400));
+    SLICE_ASSIGN_OR_RETURN(uint32_t verf_len, dec.GetUint32());
+    if (verf_len > 400) {
+      return Status(StatusCode::kCorrupt, "rpc: oversized auth");
+    }
+    SLICE_ASSIGN_OR_RETURN(ByteSpan verf_body,
+                           dec.GetRawView(verf_len + XdrPad(verf_len)));
     (void)verf_body;
   } else {
     SLICE_ASSIGN_OR_RETURN(uint32_t reply_stat, dec.GetUint32());
@@ -123,7 +138,12 @@ Result<RpcMessageView> DecodeRpcMessage(ByteSpan data) {
     }
     SLICE_ASSIGN_OR_RETURN(uint32_t verf_flavor, dec.GetUint32());
     (void)verf_flavor;
-    SLICE_ASSIGN_OR_RETURN(Bytes verf_body, dec.GetOpaqueVar(400));
+    SLICE_ASSIGN_OR_RETURN(uint32_t verf_len, dec.GetUint32());
+    if (verf_len > 400) {
+      return Status(StatusCode::kCorrupt, "rpc: oversized verifier");
+    }
+    SLICE_ASSIGN_OR_RETURN(ByteSpan verf_body,
+                           dec.GetRawView(verf_len + XdrPad(verf_len)));
     (void)verf_body;
     SLICE_ASSIGN_OR_RETURN(uint32_t accept, dec.GetUint32());
     if (accept > static_cast<uint32_t>(RpcAcceptStat::kSystemErr)) {
@@ -133,7 +153,7 @@ Result<RpcMessageView> DecodeRpcMessage(ByteSpan data) {
   }
 
   view.body_offset = dec.position();
-  view.body.assign(data.begin() + static_cast<ptrdiff_t>(dec.position()), data.end());
+  view.body = data.subspan(dec.position());
   return view;
 }
 

@@ -6,8 +6,10 @@
 #ifndef SLICE_RPC_RPC_MESSAGE_H_
 #define SLICE_RPC_RPC_MESSAGE_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/bytes.h"
@@ -39,6 +41,29 @@ struct AuthSysCred {
   std::vector<uint32_t> gids;
 };
 
+// Decode-side AUTH_SYS credential, parsed in place from the wire. The
+// machine name is a view into the decoded buffer (valid only while that
+// buffer lives) and the gid list is a bounded inline array — RFC 1831 caps
+// AUTH_SYS at 16 gids, which the decoder enforces — so materializing a
+// credential never touches the heap.
+struct AuthSysCredView {
+  static constexpr uint32_t kMaxGids = 16;
+
+  struct GidList {
+    std::array<uint32_t, kMaxGids> v{};
+    uint32_t count = 0;
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+    uint32_t operator[](size_t i) const { return v[i]; }
+  };
+
+  uint32_t stamp = 0;
+  std::string_view machine_name;
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+  GidList gids;
+};
+
 struct RpcCall {
   uint32_t xid = 0;
   uint32_t prog = 0;
@@ -58,7 +83,11 @@ struct RpcReply {
   Bytes Encode() const;
 };
 
-// Decoded view of an incoming message.
+// Decoded view of an incoming message. A true view: `cred.machine_name` and
+// `body` alias the buffer passed to DecodeRpcMessage and are valid only
+// while it lives — dispatch paths consume the view synchronously, while the
+// packet is still in scope (the same packet-view lifetime rule as DESIGN.md
+// §7's µproxy decode views).
 struct RpcMessageView {
   RpcMsgType type = RpcMsgType::kCall;
   uint32_t xid = 0;
@@ -66,12 +95,12 @@ struct RpcMessageView {
   uint32_t prog = 0;
   uint32_t vers = 0;
   uint32_t proc = 0;
-  AuthSysCred cred;
+  AuthSysCredView cred;
   // For replies:
   RpcAcceptStat accept_stat = RpcAcceptStat::kSuccess;
   // Offset of the procedure body within the decoded buffer, and its bytes.
   size_t body_offset = 0;
-  Bytes body;
+  ByteSpan body;
 };
 
 Result<RpcMessageView> DecodeRpcMessage(ByteSpan data);

@@ -10,7 +10,7 @@ namespace slice {
 RpcServerNode::RpcServerNode(Network& net, EventQueue& queue, NetAddr addr, NetPort port,
                              RpcServerParams params)
     : net_(net), queue_(queue), host_(std::make_unique<Host>(net, addr)), port_(port),
-      params_(params) {
+      params_(params), drc_(params_.duplicate_cache_entries) {
   host_->Bind(port_, [this](Packet&& pkt) { OnPacket(std::move(pkt)); });
 }
 
@@ -56,9 +56,10 @@ void RpcServerNode::Fail() {
 void RpcServerNode::Restart() {
   failed_ = false;
   net_.SetHostFailed(host_->addr(), false);
-  drc_.clear();
-  drc_order_.clear();
-  in_progress_.clear();
+  // A restarted server has an empty DRC: retransmits of pre-crash calls
+  // re-execute, which is exactly the at-least-once contract NFS retries
+  // assume.
+  drc_.Clear();
   obs::LogEvent(eventlog_, addr(), queue_.now(), obs::EventSev::kInfo, obs::EventCat::kFailover,
                 obs::EventCode::kNodeRecover);
   OnRestart();
@@ -67,10 +68,11 @@ void RpcServerNode::Restart() {
 void RpcServerNode::DispatchCall(const RpcMessageView& call, const Endpoint& client,
                                  ReplyFn done) {
   (void)client;
-  XdrEncoder result;
+  dispatch_result_.Clear();
   ServiceCost cost;
-  const RpcAcceptStat stat = HandleCall(call, result, cost);
-  done(stat, result.Take(), cost);
+  const RpcAcceptStat stat = HandleCall(call, dispatch_result_, cost);
+  CompleteCall(done.key_, done.client_, done.trace_, stat,
+               ByteSpan(dispatch_result_.bytes()), cost);
 }
 
 void RpcServerNode::OnPacket(Packet&& pkt) {
@@ -88,11 +90,12 @@ void RpcServerNode::OnPacket(Packet&& pkt) {
   }
 
   const Endpoint client = pkt.src();
-  const DrcKey key{(static_cast<uint64_t>(client.addr) << 16) | client.port, decoded->xid};
+  const DrcKey key{(static_cast<uint64_t>(client.addr) << 16) | client.port, decoded->xid,
+                   decoded->prog, decoded->vers, decoded->proc};
 
-  if (auto cached = drc_.find(key); cached != drc_.end()) {
+  if (const Bytes* cached = drc_.FindReply(key)) {
     ++duplicates_answered_;
-    Packet out = Packet::MakeUdp(endpoint(), client, cached->second);
+    Packet out = Packet::MakeUdp(endpoint(), client, *cached);
     if (tracer_ != nullptr && trace.valid()) {
       tracer_->RecordInstant(addr(), trace, "drc_replay", queue_.now());
       out.AttachTrace(trace.trace_id, trace.span_id);
@@ -103,10 +106,10 @@ void RpcServerNode::OnPacket(Packet&& pkt) {
     SendPacket(std::move(out));
     return;
   }
-  if (in_progress_.contains(key)) {
+  if (drc_.InProgress(key)) {
     return;  // async execution already under way; let the DRC answer later
   }
-  in_progress_.insert(key);
+  drc_.BeginCall(key);
 
   // Tenant attribution from the decoded AUTH_SYS credential. Counted after
   // the DRC/in-progress checks: one executed request, one count.
@@ -117,65 +120,67 @@ void RpcServerNode::OnPacket(Packet&& pkt) {
     }
   }
 
-  const uint32_t xid = decoded->xid;
-  auto done = [this, key, client, xid, trace](RpcAcceptStat stat, Bytes result,
-                                              ServiceCost cost) {
-    RpcReply reply;
-    reply.xid = xid;
-    reply.stat = stat;
-    if (stat == RpcAcceptStat::kSuccess) {
-      reply.result = std::move(result);
-    }
-    Bytes wire = reply.Encode();
-
-    in_progress_.erase(key);
-    drc_.emplace(key, wire);
-    drc_order_.push_back(key);
-    while (drc_order_.size() > params_.duplicate_cache_entries) {
-      drc_.erase(drc_order_.front());
-      drc_order_.pop_front();
-    }
-
-    ++requests_served_;
-
-    const SimTime ready_at = queue_.now();
-    const SimTime cpu_start = std::max(cpu_.busy_until(), ready_at);
-    const SimTime cpu_done = cpu_.Acquire(ready_at, cost.cpu());
-    const SimTime done_at = cpu_done > cost.completion() ? cpu_done : cost.completion();
-    obs::ChargeSim(prof_ledger_, obs::LedgerCat::kQueue, cpu_start - ready_at);
-    obs::ChargeSim(prof_ledger_, obs::LedgerCat::kCpu, cost.cpu());
-    if (tracer_ != nullptr && trace.valid()) {
-      if (cpu_start > ready_at) {
-        tracer_->RecordSpan(addr(), trace, obs::SpanCat::kQueue, "srv_cpu_wait", ready_at,
-                            cpu_start);
-      }
-      if (cpu_done > cpu_start) {
-        tracer_->RecordSpan(addr(), trace, obs::SpanCat::kCpu, "srv_cpu", cpu_start,
-                            cpu_done);
-      }
-      if (done_at > cpu_done) {
-        // Completion-bound tail (disk I/O finishing after the CPU); storage
-        // nodes record the precise disk spans underneath this window.
-        tracer_->RecordSpan(addr(), trace, obs::SpanCat::kService, "srv_completion",
-                            cpu_done, done_at);
-      }
-    }
-    const Endpoint self = endpoint();
-    queue_.ScheduleAt(done_at, [this, self, client, trace, wire = std::move(wire)]() mutable {
-      Packet out = Packet::MakeUdp(self, client, wire);
-      if (tracer_ != nullptr && trace.valid()) {
-        out.AttachTrace(trace.trace_id, trace.span_id);
-      }
-      SendPacket(std::move(out));
-    });
-  };
-
   // Run the dispatch under the request's context so handlers that issue
   // their own network I/O (small-file backing fetches, WAL appends) chain
   // those calls into this trace.
   obs::ScopedContext scope(tracer_, trace);
   obs::Profiler::Scope prof_scope(profiler_, obs::ProfScope::kRpcDispatch);
-  DispatchCall(*decoded, client, std::move(done));
+  DispatchCall(*decoded, client, ReplyFn(this, key, client, trace));
+}
+
+void RpcServerNode::CompleteCall(const DrcKey& key, const Endpoint& client,
+                                 const obs::TraceContext& trace, RpcAcceptStat stat,
+                                 ByteSpan result, const ServiceCost& cost) {
+  // Reply envelope straight into the member scratch — bytes identical to the
+  // old RpcReply::Encode (null verifier, opaque-fixed result body with XDR
+  // padding), with no intermediate RpcReply/Bytes materialization.
+  reply_enc_.Clear();
+  reply_enc_.PutUint32(key.xid);
+  reply_enc_.PutEnum(static_cast<uint32_t>(RpcMsgType::kReply));
+  reply_enc_.PutEnum(static_cast<uint32_t>(RpcReplyStat::kAccepted));
+  reply_enc_.PutEnum(static_cast<uint32_t>(RpcAuthFlavor::kNone));
+  reply_enc_.PutUint32(0);  // zero-length verifier body
+  reply_enc_.PutEnum(static_cast<uint32_t>(stat));
+  if (stat == RpcAcceptStat::kSuccess) {
+    reply_enc_.PutOpaqueFixed(result);
+  }
+
+  drc_.CompleteCall(key, ByteSpan(reply_enc_.bytes()));
+  ++requests_served_;
+
+  const SimTime ready_at = queue_.now();
+  const SimTime cpu_start = std::max(cpu_.busy_until(), ready_at);
+  const SimTime cpu_done = cpu_.Acquire(ready_at, cost.cpu());
+  const SimTime done_at = cpu_done > cost.completion() ? cpu_done : cost.completion();
+  obs::ChargeSim(prof_ledger_, obs::LedgerCat::kQueue, cpu_start - ready_at);
+  obs::ChargeSim(prof_ledger_, obs::LedgerCat::kCpu, cost.cpu());
+  if (tracer_ != nullptr && trace.valid()) {
+    if (cpu_start > ready_at) {
+      tracer_->RecordSpan(addr(), trace, obs::SpanCat::kQueue, "srv_cpu_wait", ready_at,
+                          cpu_start);
+    }
+    if (cpu_done > cpu_start) {
+      tracer_->RecordSpan(addr(), trace, obs::SpanCat::kCpu, "srv_cpu", cpu_start,
+                          cpu_done);
+    }
+    if (done_at > cpu_done) {
+      // Completion-bound tail (disk I/O finishing after the CPU); storage
+      // nodes record the precise disk spans underneath this window.
+      tracer_->RecordSpan(addr(), trace, obs::SpanCat::kService, "srv_completion",
+                          cpu_done, done_at);
+    }
+  }
+
+  // The reply is a deferred send flight, not a heap-allocated closure: the
+  // wire bytes move into a pooled packet buffer now, and the network sends
+  // it at the service-done instant. Ordering is identical to the old
+  // ScheduleAt closure — a flight's paired drain draws from the same event
+  // sequence the closure would have.
+  Packet out = Packet::MakeUdp(endpoint(), client, ByteSpan(reply_enc_.bytes()));
+  if (tracer_ != nullptr && trace.valid()) {
+    out.AttachTrace(trace.trace_id, trace.span_id);
+  }
+  net_.SendAt(std::move(out), done_at);
 }
 
 }  // namespace slice

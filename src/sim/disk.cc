@@ -74,6 +74,13 @@ void DiskArray::SetLatencyMultiplier(double multiplier) {
   }
 }
 
+void DiskArray::ClearBacklog() {
+  for (SimDisk& disk : disks_) {
+    disk.ClearBacklog();
+  }
+  channel_.ClearBacklog();
+}
+
 SimTime DiskArray::MaxBusyUntil() const {
   SimTime max = 0;
   for (const SimDisk& disk : disks_) {

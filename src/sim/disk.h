@@ -42,6 +42,11 @@ class SimDisk {
     position_ns_ = 0;
     transfer_ns_ = 0;
   }
+  // Crash recovery: queued I/Os die with the node, so the arm's FIFO backlog
+  // is dropped. Cumulative stats stay (they are history), and the head
+  // position survives too — the platter does not move because the host
+  // rebooted, so the first post-restart I/O can still be sequential.
+  void ClearBacklog() { arm_.ClearBacklog(); }
 
   // Gray-failure hook (src/chaos): scales both the positioning and transfer
   // time of every subsequent I/O. A multiplier of ~20 models a disk that is
@@ -86,6 +91,12 @@ class DiskArray {
 
   // Gray-failure hook: applies the multiplier to every arm in the array.
   void SetLatencyMultiplier(double multiplier);
+
+  // Crash recovery: drops every arm's and the channel's queued backlog (see
+  // SimDisk::ClearBacklog). Without this, a restarted node kept servicing
+  // its pre-crash I/O queue, so post-restart requests saw phantom seconds of
+  // wait from work that should have died with the node.
+  void ClearBacklog();
 
  private:
   std::vector<SimDisk> disks_;

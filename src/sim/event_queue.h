@@ -165,6 +165,11 @@ class BusyResource {
     busy_time_ = 0;
     jobs_ = 0;
   }
+  // Drops the queued backlog without touching the cumulative counters.
+  // Models a crash: jobs waiting in the FIFO die with the node, but the
+  // busy-time/job totals are history and stay monotonic for the metrics
+  // plane.
+  void ClearBacklog() { busy_until_ = 0; }
 
  private:
   SimTime busy_until_ = 0;

@@ -114,22 +114,20 @@ Result<StoreWriteResult> ObjectStore::Write(ObjectId id, uint64_t offset, ByteSp
   return result;
 }
 
-Result<StoreReadResult> ObjectStore::Read(ObjectId id, uint64_t offset, uint32_t count) const {
-  StoreReadResult result;
+Result<bool> ObjectStore::ReadInto(ObjectId id, uint64_t offset, uint32_t count, Bytes* data,
+                                   std::vector<PhysBlock>* blocks_read) const {
+  data->clear();
   const auto obj_it = objects_.find(id);
   if (obj_it == objects_.end()) {
-    result.eof = true;
-    return result;
+    return true;
   }
   const Object& obj = obj_it->second;
   const uint64_t size = std::max(obj.size, obj.unstable_size);
   if (offset >= size) {
-    result.eof = true;
-    return result;
+    return true;
   }
   const uint64_t n = std::min<uint64_t>(count, size - offset);
-  result.data.resize(n, 0);
-  result.eof = offset + n >= size;
+  data->resize(n, 0);
 
   uint64_t produced = 0;
   while (produced < n) {
@@ -139,17 +137,24 @@ Result<StoreReadResult> ObjectStore::Read(ObjectId id, uint64_t offset, uint32_t
     const size_t take = std::min<uint64_t>(n - produced, kStoreBlockSize - within);
 
     if (auto dirty_it = obj.dirty.find(block); dirty_it != obj.dirty.end()) {
-      std::memcpy(result.data.data() + produced, dirty_it->second.data() + within, take);
+      std::memcpy(data->data() + produced, dirty_it->second.data() + within, take);
     } else if (auto sit = obj.blocks.find(block); sit != obj.blocks.end()) {
-      result.blocks_read.push_back(sit->second);
+      blocks_read->push_back(sit->second);
       const auto disk_it = disk_.find(sit->second);
       if (disk_it != disk_.end()) {
-        std::memcpy(result.data.data() + produced, disk_it->second.data() + within, take);
+        std::memcpy(data->data() + produced, disk_it->second.data() + within, take);
       }
     }
     // else: hole — zeros already there.
     produced += take;
   }
+  return offset + n >= size;
+}
+
+Result<StoreReadResult> ObjectStore::Read(ObjectId id, uint64_t offset, uint32_t count) const {
+  StoreReadResult result;
+  SLICE_ASSIGN_OR_RETURN(result.eof,
+                         ReadInto(id, offset, count, &result.data, &result.blocks_read));
   return result;
 }
 

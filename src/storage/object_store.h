@@ -58,6 +58,14 @@ class ObjectStore {
   // the stable image. Short reads indicate end-of-object.
   Result<StoreReadResult> Read(ObjectId id, uint64_t offset, uint32_t count) const;
 
+  // Allocation-free read into caller-owned scratch: `data` is resized to the
+  // read length (capacity reused across calls) and the stable blocks backing
+  // the read are appended to `blocks_read`. Returns eof. The storage node's
+  // READ fast path uses this so a steady-state cache-hit read never touches
+  // the heap; Read() above is a convenience wrapper.
+  Result<bool> ReadInto(ObjectId id, uint64_t offset, uint32_t count, Bytes* data,
+                        std::vector<PhysBlock>* blocks_read) const;
+
   // Flushes the object's dirty overlay to the stable image; returns the
   // physical blocks written so the caller can charge (clustered) disk time.
   // Committing a missing/clean object succeeds with no blocks.

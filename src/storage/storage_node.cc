@@ -24,7 +24,14 @@ StorageNode::StorageNode(Network& net, EventQueue& queue, NetAddr addr,
       cache_(params.cache_bytes),
       disks_(params.num_disks, params.disk, params.channel_mb_per_s),
       rng_(seed ^ addr),
-      write_verifier_(rng_.NextU64()) {}
+      write_verifier_(rng_.NextU64()) {
+  // A pending-ready entry is only meaningful while its block is cached: if
+  // capacity pressure evicts the block before its prefetch I/O lands, a
+  // later re-fetch must charge fresh disk time, not inherit the stale ready
+  // stamp. Tying the lifetime to eviction also bounds the table by the cache
+  // size (this replaces an episodic size-triggered clear).
+  cache_.SetEvictionHook([this](PhysBlock block) { pending_ready_.Erase(block); });
+}
 
 void StorageNode::set_metrics(obs::Metrics* metrics) {
   RpcServerNode::set_metrics(metrics);
@@ -74,7 +81,7 @@ Fattr3 StorageNode::MakeAttr(const FileHandle& fh) const {
   return attr;
 }
 
-SimTime StorageNode::SubmitCoalesced(std::vector<PhysBlock> blocks, bool fill_cache) {
+SimTime StorageNode::SubmitCoalesced(std::vector<PhysBlock>& blocks, bool fill_cache) {
   obs::Profiler::Scope prof(profiler(), obs::ProfScope::kStorageDisk);
   std::sort(blocks.begin(), blocks.end());
   SimTime latest = 0;
@@ -134,25 +141,24 @@ SimTime StorageNode::RecordDisk(const char* name, SimTime start, SimTime done) {
 
 SimTime StorageNode::ChargeReads(const std::vector<PhysBlock>& blocks) {
   obs::Profiler::Scope prof(profiler(), obs::ProfScope::kStorageCache);
-  std::vector<PhysBlock> misses;
+  read_misses_.clear();
   SimTime latest = 0;
   for (PhysBlock block : blocks) {
     if (cache_.Access(block)) {
       // A hit on an in-flight prefetch still waits for the disk.
-      const auto it = pending_ready_.find(block);
-      if (it != pending_ready_.end()) {
-        if (it->second > now()) {
-          latest = std::max(latest, it->second);
+      if (const SimTime* ready = pending_ready_.Find(block)) {
+        if (*ready > now()) {
+          latest = std::max(latest, *ready);
         } else {
-          pending_ready_.erase(it);
+          pending_ready_.Erase(block);
         }
       }
     } else {
-      misses.push_back(block);
+      read_misses_.push_back(block);
     }
   }
   return RecordDisk("disk_read", now(),
-                    std::max(latest, SubmitCoalesced(std::move(misses), /*fill_cache=*/true)));
+                    std::max(latest, SubmitCoalesced(read_misses_, /*fill_cache=*/true)));
 }
 
 SimTime StorageNode::ChargeMetadataIos() {
@@ -167,7 +173,7 @@ SimTime StorageNode::ChargeMetadataIos() {
   return latest;
 }
 
-SimTime StorageNode::ChargeWrites(const std::vector<PhysBlock>& blocks) {
+SimTime StorageNode::ChargeWrites(std::vector<PhysBlock>& blocks) {
   return RecordDisk("disk_write", now(), SubmitCoalesced(blocks, /*fill_cache=*/true));
 }
 
@@ -175,10 +181,10 @@ void StorageNode::MaybePrefetch(ObjectId id, uint64_t offset, uint32_t count) {
   // Striped files reach each node with large strides between this node's
   // shares; treat bounded forward progress as sequential so the prefetcher
   // stays ahead of a striped sequential reader.
-  auto it = next_offset_.find(id);
-  const bool forward = it != next_offset_.end() && offset >= it->second &&
-                       offset - it->second <= (4u << 20);
-  next_offset_[id] = offset + count;
+  const uint64_t* expected = next_offset_.Find(id);
+  const bool forward =
+      expected != nullptr && offset >= *expected && offset - *expected <= (4u << 20);
+  *next_offset_.Insert(id).first = offset + count;
   if (!forward && offset != 0) {
     return;
   }
@@ -189,7 +195,7 @@ void StorageNode::MaybePrefetch(ObjectId id, uint64_t offset, uint32_t count) {
   const BlockIndex first = (offset + count + kStoreBlockSize - 1) / kStoreBlockSize;
   size_t found = 0;
   const size_t horizon = params_.prefetch_blocks * 16;
-  std::vector<PhysBlock> batch;
+  prefetch_batch_.clear();
   for (size_t i = 0; i < horizon && found < params_.prefetch_blocks; ++i) {
     std::optional<PhysBlock> phys = store_.PhysicalFor(id, first + i);
     if (!phys.has_value()) {
@@ -199,21 +205,20 @@ void StorageNode::MaybePrefetch(ObjectId id, uint64_t offset, uint32_t count) {
     if (cache_.Contains(*phys)) {
       continue;
     }
-    batch.push_back(*phys);
+    prefetch_batch_.push_back(*phys);
   }
   // Hysteresis: refill in track-sized batches. Dribbling one block per
   // demand read would cost a full positioning delay per 8KB; waiting until
   // half the window has drained keeps per-arm runs long (FFS clustering).
-  if (batch.size() < params_.prefetch_blocks / 2) {
+  if (prefetch_batch_.size() < params_.prefetch_blocks / 2) {
     return;
   }
-  prefetches_issued_ += batch.size();
-  const SimTime ready = SubmitCoalesced(batch, /*fill_cache=*/true);
-  if (pending_ready_.size() > (1u << 17)) {
-    pending_ready_.clear();  // stale entries; only in-flight ones matter
-  }
-  for (PhysBlock block : batch) {
-    pending_ready_[block] = ready;
+  prefetches_issued_ += prefetch_batch_.size();
+  const SimTime ready = SubmitCoalesced(prefetch_batch_, /*fill_cache=*/true);
+  // Stale entries cannot accumulate: the cache's eviction hook erases a
+  // block's entry when the block itself is evicted.
+  for (PhysBlock block : prefetch_batch_) {
+    *pending_ready_.Insert(block).first = ready;
   }
 }
 
@@ -225,22 +230,24 @@ void StorageNode::HandleRead(const ReadArgs& args, XdrEncoder& reply, ServiceCos
     return;
   }
   const ObjectId id = ObjectIdFor(args.file);
-  Result<StoreReadResult> read = store_.Read(id, args.offset, args.count);
-  if (!read.ok()) {
+  read_blocks_.clear();
+  Result<bool> eof = store_.ReadInto(id, args.offset, args.count, &read_data_, &read_blocks_);
+  if (!eof.ok()) {
     res.status = Nfsstat3::kErrIo;
     res.Encode(reply);
     return;
   }
-  cost.MergeCompletion(ChargeReads(read->blocks_read));
+  cost.MergeCompletion(ChargeReads(read_blocks_));
   MaybePrefetch(id, args.offset, args.count);
   cost.AddCpu(FromMicros(params_.op_cpu_us) +
-              static_cast<SimTime>(static_cast<double>(read->data.size()) *
+              static_cast<SimTime>(static_cast<double>(read_data_.size()) *
                                    params_.cpu_ns_per_byte));
   res.file_attributes = MakeAttr(args.file);
-  res.count = static_cast<uint32_t>(read->data.size());
-  res.eof = read->eof;
-  res.data = std::move(read->data);
-  res.Encode(reply);
+  res.count = static_cast<uint32_t>(read_data_.size());
+  res.eof = *eof;
+  // Splice the scratch payload straight into the reply; res.data stays empty
+  // (no per-request Bytes materialization on the READ fast path).
+  res.Encode(reply, ByteSpan(read_data_));
 }
 
 void StorageNode::HandleWrite(const WriteArgs& args, XdrEncoder& reply, ServiceCost& cost) {
@@ -279,7 +286,7 @@ void StorageNode::HandleCommit(const CommitArgs& args, XdrEncoder& reply, Servic
     res.Encode(reply);
     return;
   }
-  const std::vector<PhysBlock> written = store_.Commit(ObjectIdFor(args.file));
+  std::vector<PhysBlock> written = store_.Commit(ObjectIdFor(args.file));
   cost.MergeCompletion(ChargeWrites(written));
   cost.AddCpu(FromMicros(params_.op_cpu_us));
   res.verf = write_verifier_;
@@ -425,8 +432,14 @@ void StorageNode::OnRestart() {
   // re-send uncommitted writes (NFSv3 commit semantics).
   store_.CrashDiscardDirty();
   cache_.Clear();
-  next_offset_.clear();
-  pending_ready_.clear();
+  next_offset_.Clear();
+  pending_ready_.Clear();
+  // Queued disk I/O and accrued metadata debt died with the node: without
+  // these resets a restarted node kept servicing its pre-crash arm backlog
+  // (phantom wait time for post-restart requests) and carried fractional
+  // metadata debt across the crash.
+  disks_.ClearBacklog();
+  meta_debt_ = 0.0;
   write_verifier_ = rng_.NextU64();
   SLICE_ILOG << "storage node " << AddrToString(addr()) << " restarted, new verifier";
   // Committed objects survive on disk; clients learn from the fresh

@@ -11,8 +11,10 @@
 #define SLICE_STORAGE_STORAGE_NODE_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/common/rng.h"
+#include "src/core/pending_map.h"
 #include "src/nfs/nfs_xdr.h"
 #include "src/rpc/rpc_server.h"
 #include "src/sim/disk.h"
@@ -78,12 +80,12 @@ class StorageNode : public RpcServerNode {
   // Charges disk reads for the uncached blocks among `blocks`; returns the
   // latest completion. Updates the cache.
   SimTime ChargeReads(const std::vector<PhysBlock>& blocks);
-  // Charges disk writes (clustered) for `blocks`.
-  SimTime ChargeWrites(const std::vector<PhysBlock>& blocks);
+  // Charges disk writes (clustered) for `blocks` (sorted in place).
+  SimTime ChargeWrites(std::vector<PhysBlock>& blocks);
   // Submits the blocks as per-arm contiguous runs (one positioning per run,
-  // FFS clustering / track-sized transfers). Inserts into the cache when
-  // `fill_cache`.
-  SimTime SubmitCoalesced(std::vector<PhysBlock> blocks, bool fill_cache);
+  // FFS clustering / track-sized transfers), sorting `blocks` in place.
+  // Inserts into the cache when `fill_cache`.
+  SimTime SubmitCoalesced(std::vector<PhysBlock>& blocks, bool fill_cache);
   // Charges accumulated metadata I/O debt (extra_meta_ios per missed block).
   SimTime ChargeMetadataIos();
   // Records a kDisk span [start, done] against the current trace context
@@ -109,11 +111,21 @@ class StorageNode : public RpcServerNode {
   uint64_t write_verifier_;
   double meta_debt_ = 0.0;
   uint64_t prefetches_issued_ = 0;
-  // Sequential-access detector: next expected offset per object.
-  std::unordered_map<ObjectId, uint64_t> next_offset_;
+  // Sequential-access detector: next expected offset per object. Flat map so
+  // the steady-state READ path never allocates a node (DESIGN.md,
+  // server-side pools).
+  FlatU64Map<uint64_t> next_offset_;
   // Blocks inserted into the cache whose disk I/O has not completed yet
-  // (prefetch in flight): demand reads must wait for the ready time.
-  std::unordered_map<PhysBlock, SimTime> pending_ready_;
+  // (prefetch in flight): demand reads must wait for the ready time. Entries
+  // die with their block — the cache's eviction hook erases them — so the
+  // table is bounded by the cache size, not by an episodic clear.
+  FlatU64Map<SimTime> pending_ready_;
+  // Per-request scratch (capacities reused): READ payload + backing blocks,
+  // the miss list ChargeReads feeds to the disks, and the prefetch batch.
+  Bytes read_data_;
+  std::vector<PhysBlock> read_blocks_;
+  std::vector<PhysBlock> read_misses_;
+  std::vector<PhysBlock> prefetch_batch_;
 };
 
 }  // namespace slice

@@ -28,6 +28,10 @@ class XdrEncoder {
   void PutOpaqueFixed(ByteSpan data);
   // Variable-length opaque: length word + bytes + padding.
   void PutOpaqueVar(ByteSpan data);
+  // Appends pre-encoded XDR verbatim — no length word, no padding. The
+  // server reply path splices an already-encoded result body into the RPC
+  // envelope through this without an intermediate Bytes copy.
+  void PutRawBytes(ByteSpan data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
   void PutString(std::string_view s) {
     PutOpaqueVar(ByteSpan(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
   }

@@ -36,6 +36,7 @@ constexpr Golden kGoldens[] = {
     {"burst_loss", 0x4fa38d7ff3129586ull},
     {"gray_disk", 0xbb3a6d1fc4551b12ull},
     {"correlated_crash", 0xdabbb5a64254242eull},
+    {"correlated_crash_restart_storm", 0xb7d02261edfcba01ull},
     {"skewed_heartbeats", 0x227fdcd7d45b5eaaull},
     {"flapping_node", 0xc543e7041ec7701eull},
     {"stale_cache_partition", 0x49f8ce5cd9db2dfdull},
@@ -93,6 +94,9 @@ TEST(ChaosMatrixTest, AsymmetricLoss) { CheckScenario("asymmetric_loss"); }
 TEST(ChaosMatrixTest, BurstLoss) { CheckScenario("burst_loss"); }
 TEST(ChaosMatrixTest, GrayDisk) { CheckScenario("gray_disk"); }
 TEST(ChaosMatrixTest, CorrelatedCrash) { CheckScenario("correlated_crash"); }
+TEST(ChaosMatrixTest, CorrelatedCrashRestartStorm) {
+  CheckScenario("correlated_crash_restart_storm");
+}
 TEST(ChaosMatrixTest, SkewedHeartbeats) { CheckScenario("skewed_heartbeats"); }
 TEST(ChaosMatrixTest, FlappingNode) { CheckScenario("flapping_node"); }
 TEST(ChaosMatrixTest, StaleCachePartition) { CheckScenario("stale_cache_partition"); }

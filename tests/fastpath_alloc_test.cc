@@ -17,6 +17,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/profiler.h"
 #include "src/rpc/rpc_message.h"
+#include "src/storage/storage_node.h"
 
 // Counts every operator-new in the process; the test measures deltas.
 static uint64_t g_news = 0;
@@ -226,6 +227,97 @@ TEST(FastPathAllocTest, SteadyStateWithProfilerEnabledDoesNotAllocate) {
   // And the client host's ledger accumulated proxy CPU attribution.
   const uint64_t* ledger = profiler.LedgerFor(kClientAddr);
   EXPECT_GT(ledger[static_cast<size_t>(obs::LedgerCat::kCpu)], 0u);
+}
+
+// The full request path against a REAL storage node: µproxy outbound decode/
+// route/rewrite → network delivery → RpcServerNode view decode + DRC →
+// StorageNode cache-hit READ into reusable scratch → span-spliced reply
+// encode → DRC reply ring → deferred send flight → µproxy inbound pairing +
+// attribute patch → client socket. Once the DRC ring, flat tables, caches,
+// scratch encoders and pool freelists have warmed, a served request must
+// touch the heap zero times end to end.
+TEST(FastPathAllocTest, FullPathThroughStorageNodeDoesNotAllocate) {
+  ASSERT_TRUE(PacketPool::Enabled());
+
+  EventQueue queue;
+  Network net(queue, NetworkParams{});
+  Host client_host(net, kClientAddr);
+
+  UproxyConfig config;
+  config.virtual_server = Endpoint{0x0a0000fe, kNfsPort};
+  config.dir_servers = {Endpoint{kDirAddr, kNfsPort}};
+  config.storage_nodes = {Endpoint{kStorageAddr, kNfsPort}};
+  Uproxy uproxy(net, queue, client_host, config);
+
+  StorageNode storage(net, queue, kStorageAddr, StorageNodeParams{});
+
+  // Back the READ with real object bytes (stable image, physical blocks).
+  const FileHandle fh = FileHandle::Make(1, MakeFileid(0, 42), 1, FileType3::kReg, 1, 0);
+  const ObjectId object = MixU64(fh.fileid() ^ (static_cast<uint64_t>(fh.volume()) << 48));
+  constexpr uint64_t kOffset = 1 << 20;  // above the small-file bulk threshold
+  constexpr uint32_t kCount = 4096;
+  {
+    Bytes payload(64 << 10, 0x5a);
+    ASSERT_TRUE(storage.mutable_store().Write(object, kOffset, ByteSpan(payload), true).ok());
+  }
+
+  uint64_t replies = 0;
+  client_host.Bind(kClientPort, [&replies](Packet&&) { ++replies; });
+
+  RpcCall call;
+  call.xid = 0;  // patched per request: a fixed xid would hit the DRC
+  call.prog = kNfsProgram;
+  call.vers = kNfsVersion;
+  call.proc = static_cast<uint32_t>(NfsProc::kRead);
+  {
+    XdrEncoder args;
+    ReadArgs rargs;
+    rargs.file = fh;
+    rargs.offset = kOffset;
+    rargs.count = kCount;
+    rargs.Encode(args);
+    call.args = args.Take();
+  }
+  Bytes req_wire = call.Encode();
+
+  const Endpoint client_ep{kClientAddr, kClientPort};
+  uint32_t xid = 0;
+  auto round_trip = [&]() {
+    ++xid;
+    req_wire[0] = static_cast<uint8_t>(xid >> 24);
+    req_wire[1] = static_cast<uint8_t>(xid >> 16);
+    req_wire[2] = static_cast<uint8_t>(xid >> 8);
+    req_wire[3] = static_cast<uint8_t>(xid);
+    uproxy.HandleOutbound(Packet::MakeUdp(client_ep, config.virtual_server, req_wire));
+    queue.RunUntilIdle();
+  };
+
+  // Warm-up must run the DRC's reply ring (4096 entries) all the way to its
+  // FIFO steady state so the flat index stops growing and every ring slot's
+  // wire buffer has its capacity; it also fills the block cache (the first
+  // trip's misses go to the simulated disks) and the pool freelists.
+  constexpr int kWarmup = 4096 + 128;
+  for (int i = 0; i < kWarmup; ++i) {
+    round_trip();
+  }
+  ASSERT_EQ(replies, static_cast<uint64_t>(kWarmup));
+
+  const uint64_t pool_hits_before = PacketPool::Default().recycle_hits();
+  const uint64_t news_before = g_news;
+  for (int i = 0; i < 256; ++i) {
+    round_trip();
+  }
+  const uint64_t news_after = g_news;
+
+  EXPECT_EQ(news_after - news_before, 0u)
+      << "steady-state full path (uproxy -> rpc dispatch -> storage cache hit -> "
+         "reply encode -> uproxy inbound) allocated "
+      << (news_after - news_before) << " times over 256 served requests";
+  EXPECT_EQ(replies, static_cast<uint64_t>(kWarmup) + 256u);
+  EXPECT_EQ(storage.requests_served(), static_cast<uint64_t>(kWarmup) + 256u);
+  // Each trip recycles at least the request and reply packet buffers.
+  EXPECT_GE(PacketPool::Default().recycle_hits() - pool_hits_before, 2u * 256u);
+  EXPECT_EQ(uproxy.pending_count(), 0u);
 }
 
 // With pooling disabled (the determinism A/B hook) the same traffic must

@@ -260,6 +260,138 @@ TEST_P(FuzzSeedTest, TruncationsOfValidMessagesFailCleanly) {
   SUCCEED();
 }
 
+// Builds a READ reply wire exactly as the server's pooled encode path does:
+// the span-encoded ReadRes result spliced into a hand-built accepted-reply
+// envelope (rpc_server.cc CompleteCall), no intermediate Bytes copy.
+Bytes ServerShapedReadReply(uint32_t xid, const Fattr3& attr, ByteSpan payload,
+                            bool eof) {
+  ReadRes res;
+  res.status = Nfsstat3::kOk;
+  res.file_attributes = attr;
+  res.count = static_cast<uint32_t>(payload.size());
+  res.eof = eof;
+  XdrEncoder result;
+  res.Encode(result, payload);
+  XdrEncoder reply;
+  reply.PutUint32(xid);
+  reply.PutEnum(static_cast<uint32_t>(RpcMsgType::kReply));
+  reply.PutEnum(static_cast<uint32_t>(RpcReplyStat::kAccepted));
+  reply.PutEnum(static_cast<uint32_t>(RpcAuthFlavor::kNone));
+  reply.PutUint32(0);  // empty verifier
+  reply.PutEnum(static_cast<uint32_t>(RpcAcceptStat::kSuccess));
+  reply.PutOpaqueFixed(result.bytes());
+  return reply.Take();
+}
+
+TEST_P(FuzzSeedTest, ServerEncodedReadReplyRoundTrips) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const Bytes payload = RandomBytes(rng, rng.NextBelow(2000));
+    Fattr3 attr;
+    attr.type = FileType3::kReg;
+    attr.fileid = rng.NextU64();
+    attr.size = payload.size();
+    const uint32_t xid = static_cast<uint32_t>(rng.NextU64());
+    const bool eof = (trial & 1) != 0;
+    const Bytes wire = ServerShapedReadReply(xid, attr, ByteSpan(payload), eof);
+
+    // The span overload must be byte-identical to the materializing encoder
+    // — this is the contract the zero-copy reply path stands on.
+    {
+      ReadRes res;
+      res.status = Nfsstat3::kOk;
+      res.file_attributes = attr;
+      res.count = static_cast<uint32_t>(payload.size());
+      res.eof = eof;
+      res.data = payload;
+      XdrEncoder materialized;
+      res.Encode(materialized);
+      XdrEncoder spanned;
+      res.Encode(spanned, ByteSpan(payload));
+      EXPECT_EQ(materialized.bytes().size(), spanned.bytes().size());
+      EXPECT_TRUE(std::memcmp(materialized.bytes().data(), spanned.bytes().data(),
+                              spanned.bytes().size()) == 0);
+    }
+
+    // Full round trip through the envelope and result decoders.
+    Result<RpcMessageView> view = DecodeRpcMessage(wire);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(view->xid, xid);
+    XdrDecoder dec(view->body);
+    Result<ReadRes> decoded = ReadRes::Decode(dec);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->status, Nfsstat3::kOk);
+    EXPECT_EQ(decoded->count, payload.size());
+    EXPECT_EQ(decoded->eof, eof);
+    ASSERT_EQ(decoded->data.size(), payload.size());
+    EXPECT_TRUE(decoded->data == payload);
+    ASSERT_TRUE(decoded->file_attributes.has_value());
+    EXPECT_EQ(decoded->file_attributes->fileid, attr.fileid);
+
+    // And through the µproxy's reply fast-path decoder.
+    DecodedReply rep;
+    ASSERT_TRUE(DecodeNfsReply(wire, &rep).ok());
+    EXPECT_EQ(rep.xid, xid);
+  }
+}
+
+TEST_P(FuzzSeedTest, BitFlippedServerRepliesNeverCrashTheDecoders) {
+  Rng rng(GetParam());
+  Fattr3 attr;
+  attr.type = FileType3::kReg;
+  attr.fileid = 77;
+  const Bytes payload = RandomBytes(rng, 512);
+  attr.size = payload.size();
+  const Bytes valid = ServerShapedReadReply(4242, attr, ByteSpan(payload), true);
+
+  for (int trial = 0; trial < 400; ++trial) {
+    Bytes mutated = valid;
+    const int flips = 1 + static_cast<int>(rng.NextBelow(8));
+    for (int f = 0; f < flips; ++f) {
+      mutated[rng.NextBelow(mutated.size())] ^=
+          static_cast<uint8_t>(1u << rng.NextBelow(8));
+    }
+    Result<RpcMessageView> view = DecodeRpcMessage(mutated);
+    if (view.ok()) {
+      XdrDecoder dec(view->body);
+      Result<ReadRes> decoded = ReadRes::Decode(dec);
+      if (decoded.ok()) {
+        // A parse that survives corruption must never claim more payload
+        // than the wire could carry (no over-read).
+        EXPECT_LE(decoded->data.size(), mutated.size());
+      }
+    }
+    DecodedReply rep;
+    (void)DecodeNfsReply(mutated, &rep);
+  }
+}
+
+TEST_P(FuzzSeedTest, TruncatedServerRepliesFailCleanly) {
+  Rng rng(GetParam());
+  Fattr3 attr;
+  attr.type = FileType3::kReg;
+  attr.fileid = 9;
+  const Bytes payload = RandomBytes(rng, 300);
+  attr.size = payload.size();
+  const Bytes valid = ServerShapedReadReply(600, attr, ByteSpan(payload), false);
+
+  for (size_t keep = 0; keep < valid.size(); ++keep) {
+    Result<RpcMessageView> view = DecodeRpcMessage(ByteSpan(valid.data(), keep));
+    if (view.ok()) {
+      XdrDecoder dec(view->body);
+      Result<ReadRes> decoded = ReadRes::Decode(dec);
+      if (decoded.ok() && decoded->status == Nfsstat3::kOk) {
+        // The opaque length header inside the prefix is intact, so any
+        // successful parse carries exactly the advertised byte count.
+        EXPECT_EQ(decoded->data.size(), decoded->count);
+      }
+    }
+    DecodedReply rep;
+    (void)DecodeNfsReply(ByteSpan(valid.data(), keep), &rep);
+  }
+  SUCCEED();
+}
+
 TEST_P(FuzzSeedTest, RandomBytesThroughTraceTrailerDecoders) {
   Rng rng(GetParam());
   for (int trial = 0; trial < 300; ++trial) {

@@ -391,6 +391,48 @@ TEST_F(DrcCapacityTest, SameXidDifferentClientPortsAreDistinctEntries) {
   EXPECT_EQ(server_.duplicates_answered(), 0u);
 }
 
+TEST_F(DrcCapacityTest, SameXidDifferentProcExecutesInsteadOfReplaying) {
+  // Regression: the DRC key must cover the full call identity
+  // (client, xid, prog, vers, proc). A client that recycles an xid for a
+  // different procedure must have that procedure executed — replaying the
+  // cached reply of the other proc would hand it the wrong result bytes.
+  Call(42);  // proc 1, now cached
+  ASSERT_EQ(server_.calls, 1);
+
+  auto send_variant = [&](uint32_t prog, uint32_t vers, uint32_t proc) {
+    RpcCall call;
+    call.xid = 42;
+    call.prog = prog;
+    call.vers = vers;
+    call.proc = proc;
+    XdrEncoder args;
+    args.PutUint32(7);
+    call.args = args.Take();
+    client_host_.Send(Packet::MakeUdp(Endpoint{kClientAddr, src_port_},
+                                      server_.endpoint(), call.Encode()));
+    queue_.RunUntilIdle();
+  };
+
+  // Same client endpoint + same xid, but a different proc: fresh execution.
+  send_variant(kTestProg, kTestVers, 2);
+  EXPECT_EQ(server_.calls, 2) << "different proc must not replay";
+  EXPECT_EQ(server_.duplicates_answered(), 0u);
+
+  // Different version, same everything else: also a distinct entry, not a
+  // replay of the cached proc-1 result.
+  send_variant(kTestProg, kTestVers + 1, 1);
+  EXPECT_EQ(server_.calls, 3);
+  EXPECT_EQ(server_.duplicates_answered(), 0u);
+
+  // Exact retransmits of the first two calls replay their own entries.
+  Call(42);
+  send_variant(kTestProg, kTestVers, 2);
+  EXPECT_EQ(server_.calls, 3) << "true retransmits must not re-execute";
+  EXPECT_EQ(server_.duplicates_answered(), 2u);
+  // Every send got a reply (executed, rejected, or replayed).
+  EXPECT_EQ(reply_xids_.size(), 5u);
+}
+
 TEST_F(DrcCapacityTest, SustainedTrafficStaysBounded) {
   // 100 distinct xids through the 4-entry cache: no blowup, no crash, every
   // call executed exactly once and replied to.

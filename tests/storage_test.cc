@@ -3,6 +3,9 @@
 // storage node wire service.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "src/common/rng.h"
 #include "src/nfs/nfs_client.h"
 #include "src/storage/block_cache.h"
@@ -229,6 +232,105 @@ TEST(BlockCacheTest, EraseAndClear) {
   cache.Insert(6);
   cache.Clear();
   EXPECT_EQ(cache.size_blocks(), 0u);
+}
+
+// Reference LRU: a plain MRU-front vector. O(n) per op, but obviously
+// correct — the differential below checks the index-threaded intrusive
+// list against it under a random storm of touches, re-inserts, erases and
+// clears, where the old iterator-stored variant's splice bugs would bite.
+class ModelLru {
+ public:
+  explicit ModelLru(size_t capacity) : capacity_(capacity) {}
+
+  // Mirrors BlockCache::Access: returns hit, touches or inserts.
+  bool Access(PhysBlock block) {
+    const bool hit = Touch(block);
+    if (!hit && order_.size() > capacity_) {
+      evicted_.push_back(order_.back());
+      order_.pop_back();
+    }
+    return hit;
+  }
+
+  void Insert(PhysBlock block) { Access(block); }
+
+  void Erase(PhysBlock block) {
+    auto it = std::find(order_.begin(), order_.end(), block);
+    if (it != order_.end()) {
+      order_.erase(it);
+    }
+  }
+
+  void Clear() { order_.clear(); }
+
+  bool Contains(PhysBlock block) const {
+    return std::find(order_.begin(), order_.end(), block) != order_.end();
+  }
+
+  size_t size() const { return order_.size(); }
+  const std::vector<PhysBlock>& evicted() const { return evicted_; }
+
+ private:
+  bool Touch(PhysBlock block) {
+    auto it = std::find(order_.begin(), order_.end(), block);
+    const bool hit = it != order_.end();
+    if (hit) {
+      order_.erase(it);
+    }
+    order_.insert(order_.begin(), block);
+    return hit;
+  }
+
+  size_t capacity_;
+  std::vector<PhysBlock> order_;  // front = MRU
+  std::vector<PhysBlock> evicted_;
+};
+
+TEST(BlockCacheTest, RandomizedModelDifferential) {
+  constexpr size_t kCapacity = 8;
+  constexpr PhysBlock kKeySpace = 24;  // 3x capacity: constant pressure
+  BlockCache cache(kCapacity * kStoreBlockSize);
+  ModelLru model(kCapacity);
+  std::vector<PhysBlock> evicted;
+  cache.SetEvictionHook([&](PhysBlock block) { evicted.push_back(block); });
+
+  Rng rng(0xb10cca11u);
+  for (int step = 0; step < 20000; ++step) {
+    const PhysBlock block = rng.NextBelow(kKeySpace);
+    switch (rng.NextBelow(10)) {
+      case 0:
+      case 1:
+        cache.Insert(block);
+        model.Insert(block);
+        break;
+      case 2:
+        cache.Erase(block);
+        model.Erase(block);
+        break;
+      case 3:
+        if (rng.NextBelow(200) == 0) {  // rare full flush
+          cache.Clear();
+          model.Clear();
+          break;
+        }
+        [[fallthrough]];
+      default: {
+        const bool hit = cache.Access(block);
+        ASSERT_EQ(hit, model.Access(block)) << "step " << step << " block " << block;
+        break;
+      }
+    }
+    ASSERT_EQ(cache.size_blocks(), model.size()) << "step " << step;
+    ASSERT_EQ(cache.Contains(block), model.Contains(block)) << "step " << step;
+    // Eviction order is the strongest check: it exposes any divergence in
+    // recency order, not just membership.
+    ASSERT_EQ(evicted, model.evicted()) << "step " << step;
+  }
+  EXPECT_FALSE(evicted.empty());
+  // Final membership must agree exactly.
+  for (PhysBlock block = 0; block < kKeySpace; ++block) {
+    EXPECT_EQ(cache.Contains(block), model.Contains(block)) << "block " << block;
+  }
 }
 
 // --- storage node wire tests ---
